@@ -1,0 +1,51 @@
+//! Criterion performance benches for the discrete-event mining simulator
+//! and the RL framework.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mbm_chain_sim::network::DelayModel;
+use mbm_chain_sim::race::{run_race, MinerPower};
+use mbm_chain_sim::sim::{simulate, EdgeMode, SimConfig};
+use mbm_core::params::{MarketParams, Prices};
+use mbm_core::subgame::dynamic::Population;
+use mbm_learn::trainer::{learn_miner_strategies, TrainConfig};
+
+fn bench_single_race(c: &mut Criterion) {
+    let delays = DelayModel::new(10.0, 0.0).expect("valid delays");
+    let powers: Vec<MinerPower> = (0..5)
+        .map(|i| MinerPower::new(1.0 + i as f64 * 0.3, 2.0).expect("valid power"))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(7);
+    c.bench_function("single_race_n5", |b| {
+        b.iter(|| run_race(&powers, 0.01, &delays, &mut rng).expect("race"))
+    });
+}
+
+fn bench_simulation_rounds(c: &mut Criterion) {
+    let cfg = SimConfig {
+        unit_rate: 0.01,
+        delays: DelayModel::new(10.0, 0.0).expect("valid delays"),
+        mode: Some(EdgeMode::Connected { h: 0.8 }),
+        rounds: 1000,
+        seed: 9,
+    };
+    let requests = [(1.0, 2.0), (2.0, 1.0), (1.5, 1.5), (0.5, 3.0), (3.0, 0.5)];
+    c.bench_function("simulate_1000_rounds_n5", |b| {
+        b.iter(|| simulate(&requests, &cfg).expect("simulate"))
+    });
+}
+
+fn bench_rl_period(c: &mut Criterion) {
+    let params = MarketParams::builder().build().expect("valid params");
+    let prices = Prices::new(4.0, 2.0).expect("valid prices");
+    let pop = Population::gaussian(4.0, 1.0).expect("valid population");
+    let cfg = TrainConfig { periods: 1, ..Default::default() };
+    c.bench_function("rl_one_period_50_blocks", |b| {
+        b.iter(|| learn_miner_strategies(&params, &prices, 200.0, &pop, 5, &cfg).expect("train"))
+    });
+}
+
+criterion_group!(benches, bench_single_race, bench_simulation_rounds, bench_rl_period);
+criterion_main!(benches);

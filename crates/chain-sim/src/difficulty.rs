@@ -1,0 +1,201 @@
+//! Proof-of-work difficulty retargeting.
+//!
+//! PoW blockchains hold the block interval roughly constant by retargeting:
+//! every `window` blocks the difficulty target is rescaled by the ratio of
+//! the observed timespan to the desired one (clamped, as in Bitcoin, to a
+//! factor of 4 per adjustment). In the mining game this is what keeps the
+//! *reward rate* fixed while the Stackelberg equilibrium moves total
+//! computing power `S` around — the game's reward `R` per block is constant
+//! precisely because difficulty absorbs demand changes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::pow::Target;
+
+/// A Bitcoin-style difficulty adjuster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DifficultyAdjuster {
+    target: Target,
+    window: usize,
+    desired_interval: f64,
+    /// Clamp on the per-retarget scale factor (Bitcoin uses 4).
+    max_adjustment: f64,
+    window_start: f64,
+    blocks_in_window: usize,
+    last_time: f64,
+    retargets: u64,
+}
+
+impl DifficultyAdjuster {
+    /// Creates an adjuster starting from `initial` difficulty, retargeting
+    /// every `window` blocks toward `desired_interval` time units per block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] unless `window ≥ 1` and
+    /// `desired_interval > 0`.
+    pub fn new(initial: Target, window: usize, desired_interval: f64) -> Result<Self, SimError> {
+        if window == 0 {
+            return Err(SimError::invalid("DifficultyAdjuster: window must be >= 1"));
+        }
+        if !(desired_interval.is_finite() && desired_interval > 0.0) {
+            return Err(SimError::invalid(format!(
+                "DifficultyAdjuster: desired_interval = {desired_interval} must be > 0"
+            )));
+        }
+        Ok(DifficultyAdjuster {
+            target: initial,
+            window,
+            desired_interval,
+            max_adjustment: 4.0,
+            window_start: 0.0,
+            blocks_in_window: 0,
+            last_time: 0.0,
+            retargets: 0,
+        })
+    }
+
+    /// Current difficulty target.
+    #[must_use]
+    pub fn target(&self) -> Target {
+        self.target
+    }
+
+    /// Number of retargets performed so far.
+    #[must_use]
+    pub fn retargets(&self) -> u64 {
+        self.retargets
+    }
+
+    /// Records a block found at absolute time `time`; retargets when the
+    /// window fills. Returns the (possibly new) target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if time runs backwards.
+    pub fn record_block(&mut self, time: f64) -> Result<Target, SimError> {
+        if !(time.is_finite() && time >= self.last_time) {
+            return Err(SimError::invalid(format!(
+                "DifficultyAdjuster: block time {time} precedes previous {p}",
+                p = self.last_time
+            )));
+        }
+        self.last_time = time;
+        self.blocks_in_window += 1;
+        if self.blocks_in_window >= self.window {
+            let actual = (time - self.window_start).max(f64::MIN_POSITIVE);
+            let desired = self.desired_interval * self.window as f64;
+            // Blocks too fast (actual < desired): shrink the target.
+            let scale = (actual / desired).clamp(1.0 / self.max_adjustment, self.max_adjustment);
+            let new_threshold = ((self.target.threshold() as f64) * scale)
+                .clamp(1.0, u64::MAX as f64) as u64;
+            self.target = Target::new(new_threshold.max(1))?;
+            self.window_start = time;
+            self.blocks_in_window = 0;
+            self.retargets += 1;
+        }
+        Ok(self.target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbm_numerics::distributions::Exponential;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn start_target() -> Target {
+        Target::from_success_probability(1e-6).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(DifficultyAdjuster::new(start_target(), 0, 10.0).is_err());
+        assert!(DifficultyAdjuster::new(start_target(), 10, 0.0).is_err());
+        let mut a = DifficultyAdjuster::new(start_target(), 2, 10.0).unwrap();
+        a.record_block(5.0).unwrap();
+        assert!(a.record_block(4.0).is_err());
+    }
+
+    #[test]
+    fn fast_blocks_shrink_the_target() {
+        let mut a = DifficultyAdjuster::new(start_target(), 10, 10.0).unwrap();
+        // 10 blocks in 10 time units instead of 100: 10x too fast, clamped
+        // to a 4x shrink.
+        for i in 1..=10 {
+            a.record_block(i as f64).unwrap();
+        }
+        assert_eq!(a.retargets(), 1);
+        let ratio = a.target().threshold() as f64 / start_target().threshold() as f64;
+        assert!((ratio - 0.25).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn slow_blocks_grow_the_target() {
+        let mut a = DifficultyAdjuster::new(start_target(), 10, 10.0).unwrap();
+        // 10 blocks in 200 time units: 2x too slow, target doubles.
+        for i in 1..=10 {
+            a.record_block(20.0 * i as f64).unwrap();
+        }
+        let ratio = a.target().threshold() as f64 / start_target().threshold() as f64;
+        assert!((ratio - 2.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn on_schedule_blocks_leave_target_unchanged() {
+        let mut a = DifficultyAdjuster::new(start_target(), 10, 10.0).unwrap();
+        for i in 1..=10 {
+            a.record_block(10.0 * i as f64).unwrap();
+        }
+        let ratio = a.target().threshold() as f64 / start_target().threshold() as f64;
+        assert!((ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retargeting_restores_the_block_interval_after_a_power_shock() {
+        // Simulated mining: block intervals are exponential with rate
+        // power × target-probability × hash-rate-constant. After the
+        // network's power doubles, a few retargets bring the mean interval
+        // back to the desired 10 time units.
+        let hash_rate = 1e6; // attempts per unit time at power 1
+        let desired = 10.0;
+        let window = 50;
+        let mut adj = DifficultyAdjuster::new(
+            Target::from_success_probability(1.0 / (hash_rate * desired)).unwrap(),
+            window,
+            desired,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut clock = 0.0;
+        let mut mine_window = |power: f64, adj: &mut DifficultyAdjuster, clock: &mut f64| {
+            let mut total = 0.0;
+            for _ in 0..window {
+                let rate = power * hash_rate * adj.target().success_probability();
+                let dt = Exponential::new(rate).unwrap().sample(&mut rng);
+                total += dt;
+                *clock += dt;
+                adj.record_block(*clock).unwrap();
+            }
+            total / window as f64
+        };
+        // Warm-up at power 1: interval ~ desired.
+        let warm = mine_window(1.0, &mut adj, &mut clock);
+        assert!((warm - desired).abs() < 3.0, "warm-up interval {warm}");
+        // Power doubles: the first window runs ~2x fast...
+        let shocked = mine_window(2.0, &mut adj, &mut clock);
+        assert!(shocked < 0.75 * desired, "shock interval {shocked}");
+        // ...but after a few retargets the interval is back on schedule.
+        let mut recovered = 0.0;
+        for _ in 0..4 {
+            recovered = mine_window(2.0, &mut adj, &mut clock);
+        }
+        assert!(
+            (recovered - desired).abs() < 2.5,
+            "recovered interval {recovered} (target prob {})",
+            adj.target().success_probability()
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for the blockchain simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use mbm_numerics::NumericsError;
+
+/// Errors produced by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration value was out of range.
+    InvalidConfig(String),
+    /// The requested simulation has no computing power anywhere, so no
+    /// block can ever be mined.
+    NoPower,
+    /// A numerical helper failed.
+    Numerics(NumericsError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid simulation config: {msg}"),
+            SimError::NoPower => write!(f, "no miner has any computing power; nothing to simulate"),
+            SimError::Numerics(e) => write!(f, "numerical helper failed: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericsError> for SimError {
+    fn from(e: NumericsError) -> Self {
+        SimError::Numerics(e)
+    }
+}
+
+impl SimError {
+    /// Convenience constructor for [`SimError::InvalidConfig`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        SimError::InvalidConfig(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(SimError::invalid("x").to_string().contains("invalid"));
+        assert!(SimError::NoPower.to_string().contains("no miner"));
+        let e: SimError = NumericsError::invalid("y").into();
+        assert!(e.source().is_some());
+    }
+}

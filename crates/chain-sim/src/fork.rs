@@ -1,0 +1,168 @@
+//! The block-collision experiment behind the paper's Fig. 2.
+//!
+//! Bitcoin measurements (the paper's reference \[1\]) show that the density of
+//! block-collision times is exponential in the propagation delay, so the
+//! split (fork) rate — its CDF — is nearly linear for small delays. This
+//! module reproduces both panels from the generative race model: sample the
+//! arrival time of the *next conflicting block* after a block is found
+//! (exponential with the network's block-finding rate) and compare it with
+//! the propagation delay.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use mbm_numerics::distributions::Exponential;
+use mbm_numerics::stats::Histogram;
+
+use crate::error::SimError;
+
+/// One point of the split-rate curve (Fig. 2(b)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForkPoint {
+    /// Propagation delay of the first block.
+    pub delay: f64,
+    /// Empirical fork probability at that delay.
+    pub fork_rate: f64,
+    /// Analytic value `1 − e^{−λ·delay}` for comparison.
+    pub analytic: f64,
+}
+
+/// Empirical density of collision times (Fig. 2(a)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollisionPdf {
+    /// Bin centers (collision time).
+    pub times: Vec<f64>,
+    /// Empirical density per bin.
+    pub density: Vec<f64>,
+    /// Analytic exponential density at the bin centers.
+    pub analytic: Vec<f64>,
+}
+
+/// Samples `samples` collision times at block-finding rate `block_rate` and
+/// histograms them over `[0, horizon)` with `bins` bins.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] on non-positive rate/horizon/samples
+/// or zero bins.
+pub fn collision_pdf(
+    block_rate: f64,
+    horizon: f64,
+    bins: usize,
+    samples: usize,
+    seed: u64,
+) -> Result<CollisionPdf, SimError> {
+    if samples == 0 {
+        return Err(SimError::invalid("collision_pdf: samples must be positive"));
+    }
+    let dist = Exponential::new(block_rate)
+        .map_err(|_| SimError::invalid(format!("collision_pdf: block_rate = {block_rate} must be > 0")))?;
+    let mut hist = Histogram::new(0.0, horizon, bins)
+        .map_err(|_| SimError::invalid("collision_pdf: bad horizon/bins"))?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..samples {
+        hist.push(dist.sample(&mut rng));
+    }
+    let times: Vec<f64> = (0..bins).map(|i| hist.bin_center(i)).collect();
+    let density = hist.density();
+    let analytic = times.iter().map(|&t| dist.pdf(t)).collect();
+    Ok(CollisionPdf { times, density, analytic })
+}
+
+/// Estimates the fork rate at each delay in `delays` with `samples`
+/// Monte-Carlo rounds per point.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] on non-positive rate or samples, or a
+/// negative delay.
+pub fn split_rate_curve(
+    block_rate: f64,
+    delays: &[f64],
+    samples: usize,
+    seed: u64,
+) -> Result<Vec<ForkPoint>, SimError> {
+    if samples == 0 {
+        return Err(SimError::invalid("split_rate_curve: samples must be positive"));
+    }
+    let dist = Exponential::new(block_rate).map_err(|_| {
+        SimError::invalid(format!("split_rate_curve: block_rate = {block_rate} must be > 0"))
+    })?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(delays.len());
+    for &d in delays {
+        if !(d.is_finite() && d >= 0.0) {
+            return Err(SimError::invalid(format!("split_rate_curve: delay = {d} must be >= 0")));
+        }
+        let mut forks = 0usize;
+        for _ in 0..samples {
+            if dist.sample(&mut rng) < d {
+                forks += 1;
+            }
+        }
+        out.push(ForkPoint {
+            delay: d,
+            fork_rate: forks as f64 / samples as f64,
+            analytic: dist.cdf(d),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bitcoin's measured mean collision time (~12.6 s in the reference the
+    /// paper cites); any positive rate works for the tests.
+    const RATE: f64 = 1.0 / 12.6;
+
+    #[test]
+    fn pdf_matches_exponential_shape() {
+        let pdf = collision_pdf(RATE, 60.0, 30, 200_000, 7).unwrap();
+        // Compare empirical vs analytic density pointwise.
+        for (i, (&got, &want)) in pdf.density.iter().zip(&pdf.analytic).enumerate() {
+            assert!(
+                (got - want).abs() < 0.005,
+                "bin {i} at t = {}: {got} vs {want}",
+                pdf.times[i]
+            );
+        }
+        // Monotone decreasing (allowing sampling noise on a coarse check).
+        assert!(pdf.density[0] > pdf.density[10]);
+        assert!(pdf.density[10] > pdf.density[25]);
+    }
+
+    #[test]
+    fn split_rate_matches_cdf_and_is_nearly_linear_early() {
+        let delays: Vec<f64> = (0..=12).map(|i| i as f64).collect();
+        let curve = split_rate_curve(RATE, &delays, 100_000, 11).unwrap();
+        for p in &curve {
+            assert!((p.fork_rate - p.analytic).abs() < 0.01, "delay {}", p.delay);
+        }
+        // Near-linearity for small delays: value at d=2 is ~2x value at d=1.
+        let r1 = curve[1].fork_rate;
+        let r2 = curve[2].fork_rate;
+        assert!((r2 / r1 - 2.0).abs() < 0.2, "ratio {}", r2 / r1);
+        // Monotone in delay.
+        for w in curve.windows(2) {
+            assert!(w[1].fork_rate >= w[0].fork_rate - 0.01);
+        }
+    }
+
+    #[test]
+    fn zero_delay_never_forks() {
+        let curve = split_rate_curve(RATE, &[0.0], 1000, 3).unwrap();
+        assert_eq!(curve[0].fork_rate, 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(collision_pdf(0.0, 60.0, 10, 100, 0).is_err());
+        assert!(collision_pdf(RATE, 60.0, 0, 100, 0).is_err());
+        assert!(collision_pdf(RATE, 60.0, 10, 0, 0).is_err());
+        assert!(split_rate_curve(RATE, &[-1.0], 100, 0).is_err());
+        assert!(split_rate_curve(RATE, &[1.0], 0, 0).is_err());
+    }
+}

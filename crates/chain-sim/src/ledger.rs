@@ -1,0 +1,326 @@
+//! The append-only block ledger with longest-chain fork resolution.
+//!
+//! The paper's network maintains "an append-only public ledger" grown by
+//! repeated mining rounds; forks occur when conflicting blocks propagate
+//! concurrently and are resolved in favour of the chain that grows fastest.
+//! This module implements that ledger concretely: hashed block headers,
+//! parent links, longest-chain (first-seen tie-break) selection, and reward
+//! accounting along the main chain.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::hash::{sha256d, Digest};
+
+/// A block header in the simulated ledger.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Height above genesis.
+    pub height: u64,
+    /// Hash of the parent block.
+    #[serde(skip, default = "zero_digest")]
+    pub parent: Digest,
+    /// Index of the miner that produced the block.
+    pub miner: usize,
+    /// PoW nonce (0 for the abstract race model).
+    pub nonce: u64,
+    /// Simulation time at which the block reached consensus.
+    pub timestamp: f64,
+}
+
+fn zero_digest() -> Digest {
+    Digest([0; 32])
+}
+
+impl Block {
+    /// Serialized header bytes (what gets hashed).
+    #[must_use]
+    pub fn header_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + 8 * 3 + 8);
+        out.extend_from_slice(&self.parent.0);
+        out.extend_from_slice(&self.height.to_le_bytes());
+        out.extend_from_slice(&(self.miner as u64).to_le_bytes());
+        out.extend_from_slice(&self.nonce.to_le_bytes());
+        out.extend_from_slice(&self.timestamp.to_bits().to_le_bytes());
+        out
+    }
+
+    /// The block hash (double SHA-256 of the header).
+    #[must_use]
+    pub fn hash(&self) -> Digest {
+        sha256d(&self.header_bytes())
+    }
+}
+
+/// The ledger: all received blocks, the current main chain, and orphan
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct Ledger {
+    blocks: HashMap<Digest, Block>,
+    genesis: Digest,
+    best_tip: Digest,
+    best_height: u64,
+    arrival_order: HashMap<Digest, u64>,
+    next_arrival: u64,
+}
+
+impl Ledger {
+    /// Creates a ledger with a genesis block (miner index `usize::MAX`,
+    /// height 0).
+    #[must_use]
+    pub fn new() -> Self {
+        let genesis = Block {
+            height: 0,
+            parent: zero_digest(),
+            miner: usize::MAX,
+            nonce: 0,
+            timestamp: 0.0,
+        };
+        let gh = genesis.hash();
+        let mut blocks = HashMap::new();
+        blocks.insert(gh, genesis);
+        let mut arrival_order = HashMap::new();
+        arrival_order.insert(gh, 0);
+        Ledger { blocks, genesis: gh, best_tip: gh, best_height: 0, arrival_order, next_arrival: 1 }
+    }
+
+    /// Hash of the genesis block.
+    #[must_use]
+    pub fn genesis(&self) -> Digest {
+        self.genesis
+    }
+
+    /// Hash of the current main-chain tip.
+    #[must_use]
+    pub fn best_tip(&self) -> Digest {
+        self.best_tip
+    }
+
+    /// Height of the main chain.
+    #[must_use]
+    pub fn height(&self) -> u64 {
+        self.best_height
+    }
+
+    /// Total blocks stored, including orphans and genesis.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the ledger holds only genesis.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.len() == 1
+    }
+
+    /// Looks up a block by hash.
+    #[must_use]
+    pub fn block(&self, hash: &Digest) -> Option<&Block> {
+        self.blocks.get(hash)
+    }
+
+    /// Appends a mined block. The parent must exist; the height must be
+    /// `parent.height + 1`. Returns the block's hash. The main chain
+    /// switches to the new block if it is strictly higher than the current
+    /// tip (first-seen wins on ties — exactly the consensus rule of the
+    /// race model, where the earlier-consensus block survives).
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::InvalidConfig`] for unknown parents, wrong heights or
+    ///   duplicate blocks.
+    pub fn append(&mut self, block: Block) -> Result<Digest, SimError> {
+        let parent = self
+            .blocks
+            .get(&block.parent)
+            .ok_or_else(|| SimError::invalid("Ledger::append: unknown parent"))?;
+        if block.height != parent.height + 1 {
+            return Err(SimError::invalid(format!(
+                "Ledger::append: height {} does not extend parent height {}",
+                block.height, parent.height
+            )));
+        }
+        let hash = block.hash();
+        if self.blocks.contains_key(&hash) {
+            return Err(SimError::invalid("Ledger::append: duplicate block"));
+        }
+        let height = block.height;
+        self.blocks.insert(hash, block);
+        self.arrival_order.insert(hash, self.next_arrival);
+        self.next_arrival += 1;
+        if height > self.best_height {
+            self.best_height = height;
+            self.best_tip = hash;
+        }
+        Ok(hash)
+    }
+
+    /// The main chain from genesis to the tip (inclusive), as hashes.
+    #[must_use]
+    pub fn main_chain(&self) -> Vec<Digest> {
+        let mut chain = Vec::with_capacity(self.best_height as usize + 1);
+        let mut cursor = self.best_tip;
+        loop {
+            chain.push(cursor);
+            if cursor == self.genesis {
+                break;
+            }
+            cursor = self.blocks[&cursor].parent;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Blocks not on the main chain (discarded forks).
+    #[must_use]
+    pub fn orphan_count(&self) -> usize {
+        self.blocks.len() - self.main_chain().len()
+    }
+
+    /// Main-chain block counts per miner — the realized reward tally whose
+    /// share converges to the winning probability `W_i`.
+    #[must_use]
+    pub fn rewards(&self, num_miners: usize) -> Vec<u64> {
+        let mut tally = vec![0u64; num_miners];
+        for h in self.main_chain() {
+            let b = &self.blocks[&h];
+            if b.miner < num_miners {
+                tally[b.miner] += 1;
+            }
+        }
+        tally
+    }
+
+    /// Verifies the structural integrity of the whole ledger: every block's
+    /// parent exists with height one less, and the main chain links back to
+    /// genesis.
+    #[must_use]
+    pub fn verify(&self) -> bool {
+        for (hash, block) in &self.blocks {
+            if *hash != block.hash() {
+                return false;
+            }
+            if *hash == self.genesis {
+                continue;
+            }
+            match self.blocks.get(&block.parent) {
+                Some(p) if p.height + 1 == block.height => {}
+                _ => return false,
+            }
+        }
+        let chain = self.main_chain();
+        chain.first() == Some(&self.genesis) && chain.last() == Some(&self.best_tip)
+    }
+}
+
+impl Default for Ledger {
+    fn default() -> Self {
+        Ledger::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn child(ledger: &Ledger, parent: Digest, miner: usize, t: f64) -> Block {
+        let ph = ledger.block(&parent).unwrap().height;
+        Block { height: ph + 1, parent, miner, nonce: 0, timestamp: t }
+    }
+
+    #[test]
+    fn grows_a_linear_chain() {
+        let mut ledger = Ledger::new();
+        let mut tip = ledger.genesis();
+        for i in 0..10 {
+            let b = child(&ledger, tip, i % 3, i as f64);
+            tip = ledger.append(b).unwrap();
+        }
+        assert_eq!(ledger.height(), 10);
+        assert_eq!(ledger.main_chain().len(), 11);
+        assert_eq!(ledger.orphan_count(), 0);
+        assert!(ledger.verify());
+        assert_eq!(ledger.rewards(3), vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn fork_resolution_prefers_first_seen_at_equal_height() {
+        let mut ledger = Ledger::new();
+        let g = ledger.genesis();
+        let a = ledger.append(child(&ledger, g, 0, 1.0)).unwrap();
+        // A competing block at the same height arrives later.
+        let b = child(&ledger, g, 1, 1.5);
+        ledger.append(b).unwrap();
+        assert_eq!(ledger.best_tip(), a, "first block at a height keeps the tip");
+        assert_eq!(ledger.orphan_count(), 1);
+    }
+
+    #[test]
+    fn longer_fork_overtakes() {
+        let mut ledger = Ledger::new();
+        let g = ledger.genesis();
+        let _a = ledger.append(child(&ledger, g, 0, 1.0)).unwrap();
+        let b = ledger.append(child(&ledger, g, 1, 1.2)).unwrap();
+        // The late fork extends first: it becomes the main chain.
+        let b2 = ledger.append(child(&ledger, b, 1, 2.0)).unwrap();
+        assert_eq!(ledger.best_tip(), b2);
+        assert_eq!(ledger.height(), 2);
+        assert_eq!(ledger.orphan_count(), 1);
+        assert_eq!(ledger.rewards(2), vec![0, 2]);
+        assert!(ledger.verify());
+    }
+
+    #[test]
+    fn append_validation() {
+        let mut ledger = Ledger::new();
+        let g = ledger.genesis();
+        // Unknown parent.
+        let bogus = Block { height: 1, parent: Digest([9; 32]), miner: 0, nonce: 0, timestamp: 0.0 };
+        assert!(ledger.append(bogus).is_err());
+        // Wrong height.
+        let wrong = Block { height: 5, parent: g, miner: 0, nonce: 0, timestamp: 0.0 };
+        assert!(ledger.append(wrong).is_err());
+        // Duplicate.
+        let b = child(&ledger, g, 0, 1.0);
+        ledger.append(b.clone()).unwrap();
+        assert!(ledger.append(b).is_err());
+    }
+
+    #[test]
+    fn header_hashing_is_sensitive_to_every_field() {
+        let base = Block { height: 1, parent: Digest([1; 32]), miner: 2, nonce: 3, timestamp: 4.0 };
+        let mut variants = vec![base.clone()];
+        let mut v = base.clone();
+        v.height = 2;
+        variants.push(v);
+        let mut v = base.clone();
+        v.miner = 3;
+        variants.push(v);
+        let mut v = base.clone();
+        v.nonce = 4;
+        variants.push(v);
+        let mut v = base.clone();
+        v.timestamp = 4.5;
+        variants.push(v);
+        let hashes: Vec<String> = variants.iter().map(|b| b.hash().to_hex()).collect();
+        for i in 0..hashes.len() {
+            for j in i + 1..hashes.len() {
+                assert_ne!(hashes[i], hashes[j], "variants {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_ledger_properties() {
+        let ledger = Ledger::new();
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger.height(), 0);
+        assert_eq!(ledger.best_tip(), ledger.genesis());
+        assert!(ledger.verify());
+        assert_eq!(ledger.rewards(2), vec![0, 0]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Venue delays and consensus timing.
+//!
+//! The paper's network model (Section II-A): communication delay between the
+//! ESP and miners is 0, delay to the CSP is `D_avg`, and the time to
+//! broadcast a mined block among the miners is identical for everyone. A
+//! block mined at time `t` in venue `v` therefore reaches consensus at
+//! `t + broadcast + delay(v)`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+
+/// Where a block was mined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Venue {
+    /// Mined on edge computing units (zero extra delay).
+    Edge,
+    /// Mined on cloud computing units (extra `D_avg` delay).
+    Cloud,
+}
+
+impl Venue {
+    /// Both venues, in a fixed order.
+    pub const ALL: [Venue; 2] = [Venue::Edge, Venue::Cloud];
+}
+
+/// Propagation-delay model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayModel {
+    cloud_delay: f64,
+    broadcast_delay: f64,
+}
+
+impl DelayModel {
+    /// Creates a delay model with cloud delay `D_avg` and a common broadcast
+    /// delay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if either delay is negative or
+    /// non-finite.
+    pub fn new(cloud_delay: f64, broadcast_delay: f64) -> Result<Self, SimError> {
+        if !(cloud_delay.is_finite() && cloud_delay >= 0.0) {
+            return Err(SimError::invalid(format!("cloud_delay = {cloud_delay} must be >= 0")));
+        }
+        if !(broadcast_delay.is_finite() && broadcast_delay >= 0.0) {
+            return Err(SimError::invalid(format!(
+                "broadcast_delay = {broadcast_delay} must be >= 0"
+            )));
+        }
+        Ok(DelayModel { cloud_delay, broadcast_delay })
+    }
+
+    /// Cloud round-trip delay `D_avg`.
+    #[must_use]
+    pub fn cloud_delay(&self) -> f64 {
+        self.cloud_delay
+    }
+
+    /// Common broadcast delay.
+    #[must_use]
+    pub fn broadcast_delay(&self) -> f64 {
+        self.broadcast_delay
+    }
+
+    /// Extra propagation delay of a block mined in `venue` before it can
+    /// reach consensus.
+    #[must_use]
+    pub fn propagation(&self, venue: Venue) -> f64 {
+        match venue {
+            Venue::Edge => self.broadcast_delay,
+            Venue::Cloud => self.broadcast_delay + self.cloud_delay,
+        }
+    }
+
+    /// Absolute consensus time of a block found at `found_at` in `venue`.
+    #[must_use]
+    pub fn consensus_time(&self, venue: Venue, found_at: f64) -> f64 {
+        found_at + self.propagation(venue)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_is_faster_than_cloud() {
+        let d = DelayModel::new(10.0, 1.0).unwrap();
+        assert_eq!(d.propagation(Venue::Edge), 1.0);
+        assert_eq!(d.propagation(Venue::Cloud), 11.0);
+        assert_eq!(d.consensus_time(Venue::Cloud, 5.0), 16.0);
+    }
+
+    #[test]
+    fn zero_delays_are_allowed() {
+        let d = DelayModel::new(0.0, 0.0).unwrap();
+        assert_eq!(d.consensus_time(Venue::Edge, 2.0), 2.0);
+        assert_eq!(d.consensus_time(Venue::Cloud, 2.0), 2.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(DelayModel::new(-1.0, 0.0).is_err());
+        assert!(DelayModel::new(0.0, -1.0).is_err());
+        assert!(DelayModel::new(f64::NAN, 0.0).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Hash-level proof-of-work puzzles.
+//!
+//! The race model of [`crate::race`] treats PoW as a Poisson process; this
+//! module grounds that abstraction: a PoW puzzle is "find a nonce whose
+//! double-SHA-256 falls below a target", each attempt succeeds independently
+//! with probability `target / 2^64`, and the attempts-to-solution count is
+//! geometric — memoryless, hence exponential inter-arrival in continuous
+//! time. Tests verify exactly that correspondence.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::hash::{sha256d, Digest};
+
+/// A PoW difficulty target: a hash solves the puzzle if its leading 8 bytes,
+/// read as a big-endian integer, are strictly below the target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Target(u64);
+
+impl Target {
+    /// Creates a target from the raw threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a zero threshold (unsolvable).
+    pub fn new(threshold: u64) -> Result<Self, SimError> {
+        if threshold == 0 {
+            return Err(SimError::invalid("Target: zero threshold is unsolvable"));
+        }
+        Ok(Target(threshold))
+    }
+
+    /// Target with per-attempt success probability (approximately) `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] unless `0 < p ≤ 1`.
+    pub fn from_success_probability(p: f64) -> Result<Self, SimError> {
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(SimError::invalid(format!("Target: p = {p} must be in (0, 1]")));
+        }
+        let threshold = (p * 2f64.powi(64)).min(u64::MAX as f64).max(1.0) as u64;
+        Target::new(threshold)
+    }
+
+    /// Raw threshold.
+    #[must_use]
+    pub fn threshold(&self) -> u64 {
+        self.0
+    }
+
+    /// Per-attempt success probability.
+    #[must_use]
+    pub fn success_probability(&self) -> f64 {
+        self.0 as f64 / 2f64.powi(64)
+    }
+
+    /// Whether `digest` solves a puzzle at this target.
+    #[must_use]
+    pub fn accepts(&self, digest: &Digest) -> bool {
+        digest.prefix_u64() < self.0
+    }
+}
+
+/// A concrete PoW puzzle over header bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Puzzle {
+    header: Vec<u8>,
+    target: Target,
+}
+
+/// A found solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Solution {
+    /// The winning nonce.
+    pub nonce: u64,
+    /// The block hash at that nonce.
+    pub digest: Digest,
+    /// Attempts spent (including the successful one).
+    pub attempts: u64,
+}
+
+impl Puzzle {
+    /// Creates a puzzle over the given header bytes.
+    #[must_use]
+    pub fn new(header: Vec<u8>, target: Target) -> Self {
+        Puzzle { header, target }
+    }
+
+    /// The difficulty target.
+    #[must_use]
+    pub fn target(&self) -> Target {
+        self.target
+    }
+
+    /// Hash of the header with `nonce` appended (double SHA-256, following
+    /// the Bitcoin convention).
+    #[must_use]
+    pub fn hash_with_nonce(&self, nonce: u64) -> Digest {
+        let mut data = Vec::with_capacity(self.header.len() + 8);
+        data.extend_from_slice(&self.header);
+        data.extend_from_slice(&nonce.to_le_bytes());
+        sha256d(&data)
+    }
+
+    /// Grinds nonces from `start` for at most `max_attempts`, returning the
+    /// first solution found.
+    #[must_use]
+    pub fn solve(&self, start: u64, max_attempts: u64) -> Option<Solution> {
+        for i in 0..max_attempts {
+            let nonce = start.wrapping_add(i);
+            let digest = self.hash_with_nonce(nonce);
+            if self.target.accepts(&digest) {
+                return Some(Solution { nonce, digest, attempts: i + 1 });
+            }
+        }
+        None
+    }
+
+    /// Verifies a claimed solution.
+    #[must_use]
+    pub fn verify(&self, nonce: u64) -> bool {
+        self.target.accepts(&self.hash_with_nonce(nonce))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_validation_and_probability() {
+        assert!(Target::new(0).is_err());
+        assert!(Target::from_success_probability(0.0).is_err());
+        assert!(Target::from_success_probability(1.5).is_err());
+        let t = Target::from_success_probability(0.25).unwrap();
+        assert!((t.success_probability() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_and_verify_round_trip() {
+        let t = Target::from_success_probability(1.0 / 256.0).unwrap();
+        let puzzle = Puzzle::new(b"block header".to_vec(), t);
+        let sol = puzzle.solve(0, 100_000).expect("solvable at 1/256");
+        assert!(puzzle.verify(sol.nonce));
+        assert!(t.accepts(&sol.digest));
+        assert_eq!(puzzle.hash_with_nonce(sol.nonce), sol.digest);
+    }
+
+    #[test]
+    fn harder_targets_take_more_attempts_on_average() {
+        let easy = Target::from_success_probability(1.0 / 16.0).unwrap();
+        let hard = Target::from_success_probability(1.0 / 1024.0).unwrap();
+        let mut easy_total = 0u64;
+        let mut hard_total = 0u64;
+        for i in 0..40u64 {
+            let header = format!("header {i}").into_bytes();
+            easy_total += Puzzle::new(header.clone(), easy).solve(0, 1_000_000).unwrap().attempts;
+            hard_total += Puzzle::new(header, hard).solve(0, 1_000_000).unwrap().attempts;
+        }
+        assert!(hard_total > easy_total * 4, "easy {easy_total}, hard {hard_total}");
+    }
+
+    #[test]
+    fn attempts_are_geometric_memoryless() {
+        // The attempts-to-solution distribution must be geometric with mean
+        // 1/p — the discrete analogue of the exponential race assumption.
+        let p = 1.0 / 64.0;
+        let t = Target::from_success_probability(p).unwrap();
+        let n = 600;
+        let mut total = 0u64;
+        for i in 0..n {
+            let header = format!("memoryless {i}").into_bytes();
+            total += Puzzle::new(header, t).solve(0, 1_000_000).unwrap().attempts;
+        }
+        let mean = total as f64 / n as f64;
+        // Mean of geometric = 1/p = 64; allow generous sampling error.
+        assert!((mean - 64.0).abs() < 8.0, "mean attempts {mean}");
+    }
+
+    #[test]
+    fn unsolvable_budget_returns_none() {
+        let t = Target::from_success_probability(1e-15).unwrap();
+        let puzzle = Puzzle::new(b"hopeless".to_vec(), t);
+        assert!(puzzle.solve(0, 100).is_none());
+    }
+
+    #[test]
+    fn different_headers_give_independent_puzzles() {
+        let t = Target::from_success_probability(1.0 / 32.0).unwrap();
+        let a = Puzzle::new(b"A".to_vec(), t).solve(0, 1_000_000).unwrap();
+        let b = Puzzle::new(b"B".to_vec(), t).solve(0, 1_000_000).unwrap();
+        assert_ne!(a.digest, b.digest);
+    }
+}

@@ -1,0 +1,299 @@
+//! One mining round: a PoW race to consensus.
+//!
+//! Every (miner, venue) pair with positive computing units is a Poisson
+//! process of PoW solutions with rate `units × unit_rate`. The round plays
+//! out on the event queue:
+//!
+//! 1. the first solution of each process is scheduled;
+//! 2. a solution found at `t` in venue `v` becomes a *candidate* that will
+//!    reach consensus at `t + propagation(v)`;
+//! 3. a candidate is beaten by any other candidate with an earlier consensus
+//!    time (ties go to the earlier find, then to insertion order);
+//! 4. once the simulation clock passes the best candidate's consensus time,
+//!    that candidate's miner wins the round. If more than one candidate was
+//!    found before the winner reached consensus, the round forked.
+//!
+//! Only the first solution per process matters: a later solution of the same
+//! process has both a later find time and a later consensus time.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use mbm_numerics::distributions::Exponential;
+
+use crate::engine::EventQueue;
+use crate::error::SimError;
+use crate::network::{DelayModel, Venue};
+
+/// A miner's computing units at each venue for one round.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MinerPower {
+    /// Edge units actually served.
+    pub edge: f64,
+    /// Cloud units actually served.
+    pub cloud: f64,
+}
+
+impl MinerPower {
+    /// Creates a power assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if either amount is negative or
+    /// non-finite.
+    pub fn new(edge: f64, cloud: f64) -> Result<Self, SimError> {
+        if !(edge.is_finite() && edge >= 0.0) || !(cloud.is_finite() && cloud >= 0.0) {
+            return Err(SimError::invalid(format!(
+                "MinerPower: edge = {edge}, cloud = {cloud} must be >= 0"
+            )));
+        }
+        Ok(MinerPower { edge, cloud })
+    }
+
+    /// Units at the given venue.
+    #[must_use]
+    pub fn at(&self, venue: Venue) -> f64 {
+        match venue {
+            Venue::Edge => self.edge,
+            Venue::Cloud => self.cloud,
+        }
+    }
+
+    /// Total units across venues.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.edge + self.cloud
+    }
+}
+
+/// Outcome of one mining round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RaceOutcome {
+    /// Index of the winning miner.
+    pub winner: usize,
+    /// Venue where the winning block was mined.
+    pub venue: Venue,
+    /// Time the winning block was found.
+    pub found_at: f64,
+    /// Time the winning block reached consensus.
+    pub consensus_at: f64,
+    /// Number of candidate blocks found before the winner reached
+    /// consensus (≥ 1).
+    pub candidates: usize,
+    /// Whether the round forked (`candidates > 1`).
+    pub forked: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Found {
+    miner: usize,
+    venue: Venue,
+}
+
+/// Runs one race to consensus.
+///
+/// `unit_rate` is the solution rate of a single computing unit
+/// (blocks per unit time).
+///
+/// # Errors
+///
+/// * [`SimError::InvalidConfig`] if `unit_rate` is not positive or a power
+///   entry is invalid.
+/// * [`SimError::NoPower`] if every miner has zero units everywhere.
+pub fn run_race<R: Rng + ?Sized>(
+    powers: &[MinerPower],
+    unit_rate: f64,
+    delays: &DelayModel,
+    rng: &mut R,
+) -> Result<RaceOutcome, SimError> {
+    if !(unit_rate.is_finite() && unit_rate > 0.0) {
+        return Err(SimError::invalid(format!("unit_rate = {unit_rate} must be > 0")));
+    }
+    let total: f64 = powers.iter().map(MinerPower::total).sum();
+    if total <= 0.0 {
+        return Err(SimError::NoPower);
+    }
+
+    let mut queue = EventQueue::new();
+    for (i, p) in powers.iter().enumerate() {
+        for venue in Venue::ALL {
+            let units = p.at(venue);
+            if units > 0.0 {
+                let dist = Exponential::new(units * unit_rate)?;
+                queue.schedule(dist.sample(rng), Found { miner: i, venue });
+            }
+        }
+    }
+
+    let mut best: Option<(RaceOutcome, f64)> = None; // (outcome, consensus time)
+    let mut candidates = 0usize;
+    while let Some((t, ev)) = queue.pop() {
+        if let Some((outcome, consensus)) = &best {
+            if t >= *consensus {
+                // The best candidate has reached consensus before this find.
+                let mut o = *outcome;
+                o.candidates = candidates;
+                o.forked = candidates > 1;
+                return Ok(o);
+            }
+        }
+        candidates += 1;
+        let consensus = delays.consensus_time(ev.venue, t);
+        let better = match &best {
+            None => true,
+            Some((o, c)) => consensus < *c || (consensus == *c && t < o.found_at),
+        };
+        if better {
+            best = Some((
+                RaceOutcome {
+                    winner: ev.miner,
+                    venue: ev.venue,
+                    found_at: t,
+                    consensus_at: consensus,
+                    candidates: 0,
+                    forked: false,
+                },
+                consensus,
+            ));
+        }
+    }
+    // The queue drained: every process found exactly one block; the best
+    // candidate wins.
+    let (mut o, _) = best.expect("at least one process had positive power");
+    o.candidates = candidates;
+    o.forked = candidates > 1;
+    Ok(o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn delays(cloud: f64) -> DelayModel {
+        DelayModel::new(cloud, 0.0).unwrap()
+    }
+
+    #[test]
+    fn sole_miner_always_wins() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let powers = [MinerPower::new(1.0, 0.0).unwrap(), MinerPower::default()];
+        for _ in 0..50 {
+            let o = run_race(&powers, 0.01, &delays(5.0), &mut rng).unwrap();
+            assert_eq!(o.winner, 0);
+            assert_eq!(o.venue, Venue::Edge);
+            assert!(!o.forked);
+        }
+    }
+
+    #[test]
+    fn win_frequency_tracks_power_share_without_delay() {
+        // With zero delays there are no forks; wins should match power
+        // shares s_i / S.
+        let mut rng = StdRng::seed_from_u64(42);
+        let powers = [
+            MinerPower::new(1.0, 0.0).unwrap(),
+            MinerPower::new(0.0, 3.0).unwrap(),
+        ];
+        let n = 40_000;
+        let mut wins = [0u64; 2];
+        for _ in 0..n {
+            let o = run_race(&powers, 0.05, &delays(0.0), &mut rng).unwrap();
+            wins[o.winner] += 1;
+            assert!(!o.forked, "zero delay cannot fork");
+        }
+        let f0 = wins[0] as f64 / n as f64;
+        assert!((f0 - 0.25).abs() < 0.01, "{f0}");
+    }
+
+    #[test]
+    fn cloud_blocks_lose_to_edge_blocks_found_during_propagation() {
+        // Miner 0 all-cloud, miner 1 all-edge, huge cloud delay: whenever
+        // miner 1 finds any block before miner 0's block propagates, miner 1
+        // wins. With delay >> typical inter-arrival, miner 1 nearly always
+        // wins despite equal power.
+        let mut rng = StdRng::seed_from_u64(3);
+        let powers = [
+            MinerPower::new(0.0, 1.0).unwrap(),
+            MinerPower::new(1.0, 0.0).unwrap(),
+        ];
+        let n = 5000;
+        let mut wins = [0u64; 2];
+        for _ in 0..n {
+            // unit_rate 1.0 => mean inter-arrival 1; delay 50 => cloud
+            // almost never survives.
+            let o = run_race(&powers, 1.0, &delays(50.0), &mut rng).unwrap();
+            wins[o.winner] += 1;
+        }
+        let edge_share = wins[1] as f64 / n as f64;
+        assert!(edge_share > 0.95, "{edge_share}");
+    }
+
+    #[test]
+    fn fork_rate_matches_exponential_window() {
+        // One all-cloud miner vs one all-edge miner. A fork happens when the
+        // edge process fires within the cloud block's propagation window (or
+        // any second candidate before consensus). With both rates r and
+        // delay d, P(fork | cloud first) = 1 - exp(-r d).
+        let mut rng = StdRng::seed_from_u64(11);
+        let r = 0.02;
+        let d = 10.0;
+        let powers = [
+            MinerPower::new(0.0, 1.0).unwrap(),
+            MinerPower::new(1.0, 0.0).unwrap(),
+        ];
+        let n = 60_000;
+        let mut cloud_first = 0u64;
+        let mut forks_given_cloud_first = 0u64;
+        for _ in 0..n {
+            let o = run_race(&powers, r, &delays(d), &mut rng).unwrap();
+            // Cloud-first rounds are those where the first found block was
+            // cloud: either the winner is the cloud block, or the round
+            // forked with an edge block overtaking it.
+            if o.venue == Venue::Cloud || o.forked {
+                // (When edge fires first there is never a fork: it reaches
+                // consensus instantly.)
+            }
+            if o.venue == Venue::Cloud {
+                cloud_first += 1;
+                if o.forked {
+                    forks_given_cloud_first += 1;
+                }
+            } else if o.forked {
+                cloud_first += 1;
+                forks_given_cloud_first += 1;
+            }
+        }
+        let want = 1.0 - (-r * d).exp(); // 0.181
+        let got = forks_given_cloud_first as f64 / cloud_first as f64;
+        assert!((got - want).abs() < 0.02, "got {got}, want {want}");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let powers = [MinerPower::new(1.0, 0.0).unwrap()];
+        assert!(run_race(&powers, 0.0, &delays(0.0), &mut rng).is_err());
+        assert!(matches!(
+            run_race(&[MinerPower::default()], 1.0, &delays(0.0), &mut rng),
+            Err(SimError::NoPower)
+        ));
+        assert!(MinerPower::new(-1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let powers = [
+            MinerPower::new(1.0, 2.0).unwrap(),
+            MinerPower::new(2.0, 1.0).unwrap(),
+        ];
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..20)
+                .map(|_| run_race(&powers, 0.1, &delays(3.0), &mut rng).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

@@ -1,0 +1,315 @@
+//! A full mining session: many race rounds written into a real ledger.
+//!
+//! Each round runs the PoW race of [`crate::race`]; the consensus winner's
+//! block extends the ledger's main chain, and — when the round forked — one
+//! losing candidate is recorded as an orphan. The resulting ledger realizes
+//! the paper's "repetitive block-appending process": per-miner main-chain
+//! reward shares converge to the winning probabilities `W_i`, and the
+//! orphan fraction converges to the fork rate `β`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::ledger::{Block, Ledger};
+use crate::race::{run_race, MinerPower};
+use crate::sim::SimConfig;
+
+/// Outcome of a ledger-backed mining session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// Main-chain blocks won per miner.
+    pub rewards: Vec<u64>,
+    /// Final main-chain height.
+    pub height: u64,
+    /// Orphaned (discarded) blocks.
+    pub orphans: usize,
+    /// Total simulated time.
+    pub duration: f64,
+}
+
+impl SessionReport {
+    /// Per-miner share of main-chain rewards — the empirical `W_i`.
+    #[must_use]
+    pub fn reward_shares(&self) -> Vec<f64> {
+        let total: u64 = self.rewards.iter().sum();
+        self.rewards
+            .iter()
+            .map(|&r| r as f64 / total.max(1) as f64)
+            .collect()
+    }
+
+    /// Orphan fraction — the empirical fork rate `β`.
+    #[must_use]
+    pub fn orphan_rate(&self) -> f64 {
+        let total = self.height as usize + self.orphans;
+        self.orphans as f64 / total.max(1) as f64
+    }
+}
+
+/// Runs a ledger-backed session of `cfg.rounds` rounds at fixed requests.
+///
+/// Returns the report and the ledger itself (for structural inspection).
+///
+/// # Errors
+///
+/// Propagates configuration errors from the race model and ledger.
+pub fn run_session(
+    requests: &[(f64, f64)],
+    cfg: &SimConfig,
+) -> Result<(SessionReport, Ledger), SimError> {
+    if requests.is_empty() {
+        return Err(SimError::invalid("run_session: need at least one miner"));
+    }
+    if cfg.rounds == 0 {
+        return Err(SimError::invalid("run_session: rounds must be positive"));
+    }
+    let powers: Vec<MinerPower> = requests
+        .iter()
+        .map(|&(e, c)| MinerPower::new(e, c))
+        .collect::<Result<_, _>>()?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut ledger = Ledger::new();
+    let mut clock = 0.0;
+    for round in 0..cfg.rounds {
+        let outcome = run_race(&powers, cfg.unit_rate, &cfg.delays, &mut rng)?;
+        clock += outcome.consensus_at;
+        let tip = ledger.best_tip();
+        let height = ledger.height() + 1;
+        let winner = Block {
+            height,
+            parent: tip,
+            miner: outcome.winner,
+            nonce: round as u64,
+            timestamp: clock,
+        };
+        let winner_hash = ledger.append(winner)?;
+        if outcome.forked {
+            // Record one losing candidate as an orphan at the same height:
+            // a conflicting block that reached the network too late.
+            let orphan = Block {
+                height,
+                parent: tip,
+                // Attribute the orphan to "some other" miner deterministically.
+                miner: (outcome.winner + 1) % requests.len(),
+                nonce: u64::MAX - round as u64,
+                timestamp: clock + 1e-6,
+            };
+            let oh = ledger.append(orphan)?;
+            debug_assert_ne!(oh, winner_hash);
+            debug_assert_eq!(ledger.best_tip(), winner_hash, "orphan must not displace the winner");
+        }
+    }
+    let report = SessionReport {
+        rewards: ledger.rewards(requests.len()),
+        height: ledger.height(),
+        orphans: ledger.orphan_count(),
+        duration: clock,
+    };
+    Ok((report, ledger))
+}
+
+/// Outcome of a churning-roster session (the chain-level realization of the
+/// paper's dynamic-miner-number scenario).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RosterSessionReport {
+    /// Rounds each pool member participated in.
+    pub participations: Vec<u64>,
+    /// Rounds each pool member won.
+    pub wins: Vec<u64>,
+    /// Rounds in which the chain forked.
+    pub fork_rounds: u64,
+    /// Total rounds played.
+    pub rounds: u64,
+}
+
+impl RosterSessionReport {
+    /// Empirical per-round winning probability *conditional on
+    /// participating* — the quantity the dynamic model's `W̄` predicts.
+    #[must_use]
+    pub fn conditional_win_rates(&self) -> Vec<f64> {
+        self.wins
+            .iter()
+            .zip(&self.participations)
+            .map(|(&w, &p)| w as f64 / p.max(1) as f64)
+            .collect()
+    }
+}
+
+/// Runs a session in which the active roster changes every round: the
+/// sampler returns the number of participants (clamped to the pool), a
+/// uniformly random subset of the pool plays that round's race, and —
+/// when `mode` is connected — transfers hit each participant's edge request
+/// independently. This is the generative counterpart of the paper's
+/// Section V population-uncertainty model.
+///
+/// # Errors
+///
+/// Propagates configuration errors; `cfg.mode` standalone is also honoured
+/// (overflow rejection within the sampled roster).
+pub fn run_roster_session<F>(
+    pool: &[(f64, f64)],
+    mut roster_size: F,
+    cfg: &SimConfig,
+) -> Result<RosterSessionReport, SimError>
+where
+    F: FnMut(&mut StdRng) -> usize,
+{
+    use rand::seq::SliceRandom;
+    use rand::Rng;
+    if pool.len() < 2 {
+        return Err(SimError::invalid("run_roster_session: need a pool of at least 2"));
+    }
+    if cfg.rounds == 0 {
+        return Err(SimError::invalid("run_roster_session: rounds must be positive"));
+    }
+    let base: Vec<MinerPower> = pool
+        .iter()
+        .map(|&(e, c)| MinerPower::new(e, c))
+        .collect::<Result<_, _>>()?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut report = RosterSessionReport {
+        participations: vec![0; pool.len()],
+        wins: vec![0; pool.len()],
+        fork_rounds: 0,
+        rounds: cfg.rounds as u64,
+    };
+    let mut indices: Vec<usize> = (0..pool.len()).collect();
+    for _ in 0..cfg.rounds {
+        let k = roster_size(&mut rng).clamp(1, pool.len());
+        indices.shuffle(&mut rng);
+        let roster = &indices[..k];
+        let mut powers: Vec<MinerPower> = roster.iter().map(|&i| base[i]).collect();
+        match cfg.mode {
+            None => {}
+            Some(crate::sim::EdgeMode::Connected { h }) => {
+                for p in &mut powers {
+                    if p.edge > 0.0 && rng.gen::<f64>() > h {
+                        p.cloud += p.edge;
+                        p.edge = 0.0;
+                    }
+                }
+            }
+            Some(crate::sim::EdgeMode::Standalone { e_max }) => {
+                let mut total: f64 = powers.iter().map(|p| p.edge).sum();
+                for p in &mut powers {
+                    if total <= e_max {
+                        break;
+                    }
+                    total -= p.edge;
+                    p.edge = 0.0;
+                }
+            }
+        }
+        for &i in roster {
+            report.participations[i] += 1;
+        }
+        if powers.iter().map(MinerPower::total).sum::<f64>() <= 0.0 {
+            continue;
+        }
+        let outcome = run_race(&powers, cfg.unit_rate, &cfg.delays, &mut rng)?;
+        report.wins[roster[outcome.winner]] += 1;
+        if outcome.forked {
+            report.fork_rounds += 1;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::DelayModel;
+
+    fn cfg(rounds: usize, delay: f64) -> SimConfig {
+        SimConfig {
+            unit_rate: 0.01,
+            delays: DelayModel::new(delay, 0.0).unwrap(),
+            mode: None,
+            rounds,
+            seed: 31,
+        }
+    }
+
+    #[test]
+    fn session_builds_a_valid_ledger() {
+        let (report, ledger) = run_session(&[(1.0, 1.0), (2.0, 0.5)], &cfg(500, 5.0)).unwrap();
+        assert!(ledger.verify());
+        assert_eq!(report.height, 500);
+        assert_eq!(ledger.main_chain().len(), 501);
+        assert_eq!(report.rewards.iter().sum::<u64>(), 500);
+        assert!(report.duration > 0.0);
+    }
+
+    #[test]
+    fn reward_shares_track_power_shares_without_delay() {
+        let (report, _) = run_session(&[(1.0, 0.0), (3.0, 0.0)], &cfg(40_000, 0.0)).unwrap();
+        let shares = report.reward_shares();
+        assert!((shares[0] - 0.25).abs() < 0.01, "{shares:?}");
+        assert_eq!(report.orphans, 0);
+        assert_eq!(report.orphan_rate(), 0.0);
+    }
+
+    #[test]
+    fn orphan_rate_reflects_forks() {
+        // All-cloud vs all-edge with a large delay produces frequent forks.
+        let (report, ledger) = run_session(&[(0.0, 2.0), (2.0, 0.0)], &cfg(5_000, 30.0)).unwrap();
+        assert!(report.orphans > 0);
+        assert!(report.orphan_rate() > 0.05, "{}", report.orphan_rate());
+        assert!(ledger.verify());
+        // Main chain height unaffected by orphans.
+        assert_eq!(report.height, 5_000);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(run_session(&[], &cfg(10, 0.0)).is_err());
+        assert!(run_session(&[(1.0, 0.0)], &cfg(0, 0.0)).is_err());
+    }
+
+    #[test]
+    fn roster_session_with_full_roster_matches_plain_session_statistics() {
+        let pool = [(1.0, 1.0), (2.0, 0.5), (0.5, 2.0)];
+        let c = cfg(30_000, 5.0);
+        let roster = run_roster_session(&pool, |_| 3, &c).unwrap();
+        // Everyone participates every round.
+        assert!(roster.participations.iter().all(|&p| p == 30_000));
+        // Conditional win rates sum to ~1 and track power shares loosely.
+        let rates = roster.conditional_win_rates();
+        let total: f64 = rates.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "{rates:?}");
+        assert!(rates[1] > rates[2], "{rates:?}"); // edge-heavy beats cloud-heavy
+    }
+
+    #[test]
+    fn roster_churn_reduces_competition_per_round() {
+        // With rosters of 2 out of 4 equal miners, each participant's
+        // conditional win rate is ~1/2 rather than ~1/4.
+        let pool = [(1.0, 1.0); 4];
+        let c = cfg(20_000, 0.0);
+        let roster = run_roster_session(&pool, |_| 2, &c).unwrap();
+        for (i, &rate) in roster.conditional_win_rates().iter().enumerate() {
+            assert!((rate - 0.5).abs() < 0.02, "miner {i}: {rate}");
+        }
+        // Participation is uniform across the pool.
+        let mean = roster.participations.iter().sum::<u64>() as f64 / 4.0;
+        for &p in &roster.participations {
+            assert!((p as f64 - mean).abs() / mean < 0.05);
+        }
+    }
+
+    #[test]
+    fn roster_session_validation() {
+        let c = cfg(10, 0.0);
+        assert!(run_roster_session(&[(1.0, 1.0)], |_| 1, &c).is_err());
+        assert!(run_roster_session(&[(1.0, 1.0), (1.0, 1.0)], |_| 1, &cfg(0, 0.0)).is_err());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = run_session(&[(1.0, 2.0), (2.0, 1.0)], &cfg(200, 8.0)).unwrap().0;
+        let b = run_session(&[(1.0, 2.0), (2.0, 1.0)], &cfg(200, 8.0)).unwrap().0;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,303 @@
+//! Multi-round mining simulation with edge operation modes.
+//!
+//! Runs many independent mining rounds at fixed requests, applying the
+//! paper's edge operation mode each round:
+//!
+//! * **connected** — each miner's edge request is transferred to the cloud
+//!   independently with probability `1 − h` (the ESP's expected transfer
+//!   rate), exactly the lottery behind the paper's Eq. 9;
+//! * **standalone** — if aggregate edge demand exceeds `E_max`, whole edge
+//!   requests are rejected (in random order) until the remainder fits,
+//!   matching the rejection story behind Eq. 8.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::network::{DelayModel, Venue};
+use crate::race::{run_race, MinerPower};
+
+/// Edge operation mode applied before each round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EdgeMode {
+    /// Connected to the CSP: each edge request is independently transferred
+    /// to the cloud with probability `1 − h`.
+    Connected {
+        /// Probability that an edge request is served at the edge.
+        h: f64,
+    },
+    /// Standalone with capacity `e_max`: overflowing edge requests are
+    /// rejected (dropped entirely, not transferred).
+    Standalone {
+        /// Total edge computing units available.
+        e_max: f64,
+    },
+}
+
+/// Configuration for [`simulate`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// PoW solution rate of one computing unit.
+    pub unit_rate: f64,
+    /// Propagation delays.
+    pub delays: DelayModel,
+    /// Edge operation mode (`None`: requests always served as submitted).
+    pub mode: Option<EdgeMode>,
+    /// Number of mining rounds.
+    pub rounds: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Tallies from a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Wins per miner.
+    pub wins: Vec<u64>,
+    /// Wins per miner where the winning block was edge-mined.
+    pub edge_wins: Vec<u64>,
+    /// Rounds actually carrying a winner (equals the configured rounds).
+    pub rounds: u64,
+    /// Rounds in which the chain forked.
+    pub fork_rounds: u64,
+    /// Rounds in which at least one edge request was transferred (connected)
+    /// or rejected (standalone).
+    pub degraded_rounds: u64,
+}
+
+impl SimReport {
+    /// Empirical winning probability per miner — the Monte-Carlo estimate of
+    /// the paper's `W_i`.
+    #[must_use]
+    pub fn win_frequencies(&self) -> Vec<f64> {
+        self.wins.iter().map(|&w| w as f64 / self.rounds.max(1) as f64).collect()
+    }
+
+    /// Empirical fork rate — the Monte-Carlo estimate of `β`.
+    #[must_use]
+    pub fn fork_rate(&self) -> f64 {
+        self.fork_rounds as f64 / self.rounds.max(1) as f64
+    }
+}
+
+/// Simulates `cfg.rounds` mining rounds at fixed `requests` (pairs of
+/// `(edge_units, cloud_units)` per miner).
+///
+/// # Errors
+///
+/// * [`SimError::InvalidConfig`] for bad rates, delays, requests, `h` or
+///   `e_max`, or zero rounds.
+/// * [`SimError::NoPower`] if the requests carry no power at all.
+pub fn simulate(requests: &[(f64, f64)], cfg: &SimConfig) -> Result<SimReport, SimError> {
+    if requests.is_empty() {
+        return Err(SimError::invalid("simulate: need at least one miner"));
+    }
+    if cfg.rounds == 0 {
+        return Err(SimError::invalid("simulate: rounds must be positive"));
+    }
+    if let Some(EdgeMode::Connected { h }) = cfg.mode {
+        if !(0.0..=1.0).contains(&h) {
+            return Err(SimError::invalid(format!("simulate: h = {h} must be in [0, 1]")));
+        }
+    }
+    if let Some(EdgeMode::Standalone { e_max }) = cfg.mode {
+        if !(e_max.is_finite() && e_max >= 0.0) {
+            return Err(SimError::invalid(format!("simulate: e_max = {e_max} must be >= 0")));
+        }
+    }
+    let base: Vec<MinerPower> = requests
+        .iter()
+        .map(|&(e, c)| MinerPower::new(e, c))
+        .collect::<Result<_, _>>()?;
+    if base.iter().map(MinerPower::total).sum::<f64>() <= 0.0 {
+        return Err(SimError::NoPower);
+    }
+
+    let n = requests.len();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut report = SimReport {
+        wins: vec![0; n],
+        edge_wins: vec![0; n],
+        rounds: cfg.rounds as u64,
+        fork_rounds: 0,
+        degraded_rounds: 0,
+    };
+
+    let mut powers = base.clone();
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..cfg.rounds {
+        powers.copy_from_slice(&base);
+        let mut degraded = false;
+        match cfg.mode {
+            None => {}
+            Some(EdgeMode::Connected { h }) => {
+                for p in powers.iter_mut() {
+                    if p.edge > 0.0 && rng.gen::<f64>() > h {
+                        p.cloud += p.edge;
+                        p.edge = 0.0;
+                        degraded = true;
+                    }
+                }
+            }
+            Some(EdgeMode::Standalone { e_max }) => {
+                let mut total_edge: f64 = powers.iter().map(|p| p.edge).sum();
+                if total_edge > e_max {
+                    order.shuffle(&mut rng);
+                    for &i in &order {
+                        if total_edge <= e_max {
+                            break;
+                        }
+                        if powers[i].edge > 0.0 {
+                            total_edge -= powers[i].edge;
+                            powers[i].edge = 0.0;
+                            degraded = true;
+                        }
+                    }
+                }
+            }
+        }
+        if degraded {
+            report.degraded_rounds += 1;
+        }
+        if powers.iter().map(MinerPower::total).sum::<f64>() <= 0.0 {
+            // Every unit was rejected this round; nobody can win. Treat as a
+            // no-winner round (still counted in `rounds`).
+            continue;
+        }
+        let outcome = run_race(&powers, cfg.unit_rate, &cfg.delays, &mut rng)?;
+        report.wins[outcome.winner] += 1;
+        if outcome.venue == Venue::Edge {
+            report.edge_wins[outcome.winner] += 1;
+        }
+        if outcome.forked {
+            report.fork_rounds += 1;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(rounds: usize, cloud_delay: f64, mode: Option<EdgeMode>) -> SimConfig {
+        SimConfig {
+            unit_rate: 0.01,
+            delays: DelayModel::new(cloud_delay, 0.0).unwrap(),
+            mode,
+            rounds,
+            seed: 123,
+        }
+    }
+
+    #[test]
+    fn no_delay_win_frequencies_match_power_shares() {
+        let requests = [(2.0, 0.0), (1.0, 1.0), (0.0, 4.0)];
+        let report = simulate(&requests, &cfg(60_000, 0.0, None)).unwrap();
+        let freq = report.win_frequencies();
+        for (i, want) in [0.25, 0.25, 0.5].iter().enumerate() {
+            assert!((freq[i] - want).abs() < 0.01, "miner {i}: {} vs {want}", freq[i]);
+        }
+        assert_eq!(report.fork_rate(), 0.0);
+    }
+
+    #[test]
+    fn connected_mode_with_h_zero_moves_everything_to_cloud() {
+        // h = 0: edge requests always transferred; no edge wins possible.
+        let requests = [(5.0, 0.0), (0.0, 5.0)];
+        let report = simulate(
+            &requests,
+            &cfg(5_000, 20.0, Some(EdgeMode::Connected { h: 0.0 })),
+        )
+        .unwrap();
+        assert_eq!(report.edge_wins, vec![0, 0]);
+        assert_eq!(report.degraded_rounds, 5_000);
+        // With everyone in the cloud, equal power => ~equal wins.
+        let freq = report.win_frequencies();
+        assert!((freq[0] - 0.5).abs() < 0.03, "{freq:?}");
+    }
+
+    #[test]
+    fn connected_mode_with_h_one_never_degrades() {
+        let requests = [(5.0, 0.0), (0.0, 5.0)];
+        let report = simulate(
+            &requests,
+            &cfg(2_000, 20.0, Some(EdgeMode::Connected { h: 1.0 })),
+        )
+        .unwrap();
+        assert_eq!(report.degraded_rounds, 0);
+    }
+
+    #[test]
+    fn standalone_mode_rejects_overflow() {
+        // Total edge demand 10 > e_max 4: every round someone is rejected.
+        let requests = [(5.0, 1.0), (5.0, 1.0)];
+        let report = simulate(
+            &requests,
+            &cfg(2_000, 5.0, Some(EdgeMode::Standalone { e_max: 4.0 })),
+        )
+        .unwrap();
+        assert_eq!(report.degraded_rounds, 2_000);
+    }
+
+    #[test]
+    fn standalone_mode_within_capacity_is_untouched() {
+        let requests = [(1.0, 1.0), (2.0, 0.0)];
+        let report = simulate(
+            &requests,
+            &cfg(1_000, 5.0, Some(EdgeMode::Standalone { e_max: 10.0 })),
+        )
+        .unwrap();
+        assert_eq!(report.degraded_rounds, 0);
+    }
+
+    #[test]
+    fn edge_advantage_shows_in_win_rates() {
+        // Equal total power, but miner 0 is all-edge and miner 1 all-cloud
+        // with a significant delay: miner 0 must win more than half.
+        let requests = [(3.0, 0.0), (0.0, 3.0)];
+        let report = simulate(&requests, &cfg(30_000, 30.0, None)).unwrap();
+        let freq = report.win_frequencies();
+        assert!(freq[0] > 0.55, "{freq:?}");
+        assert!(report.fork_rate() > 0.05);
+    }
+
+    #[test]
+    fn degenerate_all_rejected_rounds_have_no_winner() {
+        let requests = [(1.0, 0.0)];
+        let report = simulate(
+            &requests,
+            &cfg(100, 0.0, Some(EdgeMode::Standalone { e_max: 0.5 })),
+        )
+        .unwrap();
+        assert_eq!(report.wins, vec![0]);
+        assert_eq!(report.degraded_rounds, 100);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(simulate(&[], &cfg(10, 0.0, None)).is_err());
+        assert!(simulate(&[(1.0, 0.0)], &cfg(0, 0.0, None)).is_err());
+        assert!(simulate(&[(0.0, 0.0)], &cfg(10, 0.0, None)).is_err());
+        assert!(simulate(
+            &[(1.0, 0.0)],
+            &cfg(10, 0.0, Some(EdgeMode::Connected { h: 1.5 }))
+        )
+        .is_err());
+        assert!(simulate(
+            &[(1.0, 0.0)],
+            &cfg(10, 0.0, Some(EdgeMode::Standalone { e_max: -1.0 }))
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn reproducible_for_fixed_seed() {
+        let requests = [(1.0, 2.0), (2.0, 1.0)];
+        let a = simulate(&requests, &cfg(500, 10.0, None)).unwrap();
+        let b = simulate(&requests, &cfg(500, 10.0, None)).unwrap();
+        assert_eq!(a, b);
+    }
+}

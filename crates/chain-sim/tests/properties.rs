@@ -1,0 +1,106 @@
+//! Property-based tests of the blockchain simulator.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mbm_chain_sim::hash::{sha256, Sha256};
+use mbm_chain_sim::ledger::{Block, Ledger};
+use mbm_chain_sim::network::DelayModel;
+use mbm_chain_sim::race::{run_race, MinerPower};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Incremental hashing equals one-shot hashing for arbitrary data and
+    /// arbitrary chunkings.
+    #[test]
+    fn sha256_incremental_consistency(
+        data in prop::collection::vec(any::<u8>(), 0..600),
+        split in 0usize..600,
+    ) {
+        let oneshot = sha256(&data);
+        let cut = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(h.finalize(), oneshot);
+    }
+
+    /// Distinct inputs (almost surely) produce distinct digests, and every
+    /// digest round-trips through hex.
+    #[test]
+    fn sha256_injective_in_practice(
+        a in prop::collection::vec(any::<u8>(), 0..64),
+        b in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let (da, db) = (sha256(&a), sha256(&b));
+        if a != b {
+            prop_assert_ne!(da, db);
+        } else {
+            prop_assert_eq!(da, db);
+        }
+        prop_assert_eq!(da.to_hex().len(), 64);
+    }
+
+    /// Every race has a winner with positive power, consensus never
+    /// precedes the find, and fork flags agree with candidate counts.
+    #[test]
+    fn race_outcomes_are_structurally_sound(
+        seed in 0u64..10_000,
+        e1 in 0.0f64..5.0,
+        c1 in 0.0f64..5.0,
+        e2 in 0.0f64..5.0,
+        c2 in 0.0f64..5.0,
+        delay in 0.0f64..30.0,
+    ) {
+        prop_assume!(e1 + c1 + e2 + c2 > 0.01);
+        let powers = [
+            MinerPower::new(e1, c1).unwrap(),
+            MinerPower::new(e2, c2).unwrap(),
+        ];
+        let delays = DelayModel::new(delay, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let o = run_race(&powers, 0.05, &delays, &mut rng).unwrap();
+        prop_assert!(powers[o.winner].total() > 0.0, "powerless winner");
+        prop_assert!(o.consensus_at >= o.found_at);
+        prop_assert_eq!(o.forked, o.candidates > 1);
+        prop_assert!(o.candidates >= 1);
+    }
+
+    /// Ledgers built from arbitrary valid append sequences always verify,
+    /// and reward tallies equal the main-chain length.
+    #[test]
+    fn ledger_always_verifies(
+        miners in prop::collection::vec(0usize..4, 1..40),
+        fork_at in prop::collection::vec(any::<bool>(), 1..40),
+    ) {
+        let mut ledger = Ledger::new();
+        let mut tip = ledger.genesis();
+        for (i, (&m, &fork)) in miners.iter().zip(&fork_at).enumerate() {
+            let h = ledger.block(&tip).unwrap().height;
+            let b = Block { height: h + 1, parent: tip, miner: m, nonce: i as u64, timestamp: i as f64 };
+            tip = ledger.append(b).unwrap();
+            if fork {
+                // A competing block at the same height (arrives later, so
+                // it becomes an orphan unless extended).
+                let o = Block {
+                    height: h + 1,
+                    parent: ledger.block(&tip).unwrap().parent,
+                    miner: (m + 1) % 4,
+                    nonce: u64::MAX - i as u64,
+                    timestamp: i as f64 + 0.5,
+                };
+                ledger.append(o).unwrap();
+            }
+        }
+        prop_assert!(ledger.verify());
+        let rewards = ledger.rewards(4);
+        prop_assert_eq!(rewards.iter().sum::<u64>(), ledger.height());
+        // Only pairs actually visited by the zip produce orphans.
+        prop_assert_eq!(
+            ledger.orphan_count(),
+            miners.iter().zip(&fork_at).filter(|(_, &f)| f).count()
+        );
+    }
+}

@@ -1,0 +1,350 @@
+//! The paper's Algorithm 1 and Algorithm 2, as traced, inspectable runs.
+//!
+//! [`crate::stackelberg`] solves the leader stage as an opaque fixed point;
+//! this module re-implements the two published algorithms *as written* —
+//! Algorithm 1 ("Asynchronous Best-Response", leaders updating one at a
+//! time) and Algorithm 2 ("Price Bargaining", miners responding and both
+//! providers re-pricing each round) — and records every round, so
+//! convergence behaviour (including the Edgeworth price cycles documented
+//! in DESIGN.md) can be inspected and plotted.
+
+use serde::{Deserialize, Serialize};
+
+use mbm_numerics::optimize::adaptive_grid_max;
+
+use crate::error::MiningGameError;
+use crate::params::{MarketParams, Prices};
+use crate::request::Aggregates;
+use crate::sp::stage::{Mode, ProviderStage};
+use crate::sp::MinerPopulation;
+use crate::subgame::SubgameConfig;
+
+/// One recorded round of a price algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriceRound {
+    /// Prices announced this round.
+    pub prices: Prices,
+    /// Follower demand at those prices.
+    pub demand: Aggregates,
+    /// Provider profits `(V_e, V_c)` at those prices.
+    pub profits: (f64, f64),
+}
+
+/// A full traced run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriceTrace {
+    /// All rounds, in order (the first entry is the starting point).
+    pub rounds: Vec<PriceRound>,
+    /// Whether the final round met the convergence tolerance.
+    pub converged: bool,
+}
+
+impl PriceTrace {
+    /// Final prices of the run.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: a trace always holds at least the starting round.
+    #[must_use]
+    pub fn final_prices(&self) -> Prices {
+        self.rounds.last().expect("non-empty trace").prices
+    }
+
+    /// Detects a price cycle: the smallest period `p ≥ 2` such that the
+    /// last `2p` rounds repeat with that period (within `tol` on both
+    /// prices). Returns `None` for converged or aperiodic traces.
+    #[must_use]
+    pub fn detect_cycle(&self, tol: f64) -> Option<usize> {
+        let n = self.rounds.len();
+        if self.converged || n < 4 {
+            return None;
+        }
+        let close = |a: &Prices, b: &Prices| {
+            (a.edge - b.edge).abs() <= tol && (a.cloud - b.cloud).abs() <= tol
+        };
+        for period in 2..=(n / 2).min(12) {
+            let mut ok = true;
+            for k in 0..period {
+                let i = n - 1 - k;
+                let j = i - period;
+                if !close(&self.rounds[i].prices, &self.rounds[j].prices) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                // Exclude the degenerate "constant" pseudo-cycle.
+                let i = n - 1;
+                if !close(&self.rounds[i].prices, &self.rounds[i - 1].prices) {
+                    return Some(period);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Shared configuration for the traced algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlgorithmConfig {
+    /// Rounds to run at most.
+    pub max_rounds: usize,
+    /// Convergence tolerance on the price displacement per round.
+    pub tol: f64,
+    /// Grid points for each provider's one-dimensional price optimization.
+    pub grid_points: usize,
+    /// Grid refinement rounds.
+    pub grid_rounds: usize,
+    /// Follower-stage solver settings.
+    pub subgame: SubgameConfig,
+}
+
+impl Default for AlgorithmConfig {
+    fn default() -> Self {
+        AlgorithmConfig {
+            max_rounds: 40,
+            tol: 1e-4,
+            grid_points: 25,
+            grid_rounds: 5,
+            subgame: SubgameConfig::default(),
+        }
+    }
+}
+
+/// Algorithm 1 — Asynchronous Best-Response: starting from `init`, each
+/// provider in turn (ESP then CSP) observes the miners' optimal requests,
+/// predicts the rival's strategy as its current price, and re-prices
+/// optimally; stops when neither moves.
+///
+/// # Errors
+///
+/// Propagates parameter errors; a non-convergent run is *not* an error —
+/// the trace reports `converged = false` so cycles can be analyzed.
+pub fn algorithm1_asynchronous_best_response(
+    params: &MarketParams,
+    population: MinerPopulation,
+    mode: Mode,
+    init: Prices,
+    cfg: &AlgorithmConfig,
+) -> Result<PriceTrace, MiningGameError> {
+    let stage = ProviderStage::new(*params, population, mode, cfg.subgame);
+    let mut prices = init;
+    let mut rounds = vec![record(&stage, params, prices)?];
+    for _ in 0..cfg.max_rounds {
+        let before = prices;
+        // ESP re-prices against the CSP's current price.
+        prices.edge = best_price(&stage, params, 0, prices, cfg)?;
+        // CSP re-prices against the ESP's *new* price (asynchronous).
+        prices.cloud = best_price(&stage, params, 1, prices, cfg)?;
+        rounds.push(record(&stage, params, prices)?);
+        if (prices.edge - before.edge).abs() <= cfg.tol
+            && (prices.cloud - before.cloud).abs() <= cfg.tol
+        {
+            return Ok(PriceTrace { rounds, converged: true });
+        }
+    }
+    Ok(PriceTrace { rounds, converged: false })
+}
+
+/// Algorithm 2 — Price Bargaining: each round the miners respond to the
+/// current prices, then *both* providers simultaneously announce new
+/// prices optimized against the observed round.
+///
+/// # Errors
+///
+/// Propagates parameter errors; non-convergence is reported in the trace.
+pub fn algorithm2_price_bargaining(
+    params: &MarketParams,
+    population: MinerPopulation,
+    mode: Mode,
+    init: Prices,
+    cfg: &AlgorithmConfig,
+) -> Result<PriceTrace, MiningGameError> {
+    let stage = ProviderStage::new(*params, population, mode, cfg.subgame);
+    let mut prices = init;
+    let mut rounds = vec![record(&stage, params, prices)?];
+    for _ in 0..cfg.max_rounds {
+        let before = prices;
+        // Simultaneous: both optimize against the same observed round.
+        let new_edge = best_price(&stage, params, 0, before, cfg)?;
+        let new_cloud = best_price(&stage, params, 1, before, cfg)?;
+        prices = Prices::new(new_edge, new_cloud)?;
+        rounds.push(record(&stage, params, prices)?);
+        if (prices.edge - before.edge).abs() <= cfg.tol
+            && (prices.cloud - before.cloud).abs() <= cfg.tol
+        {
+            return Ok(PriceTrace { rounds, converged: true });
+        }
+    }
+    Ok(PriceTrace { rounds, converged: false })
+}
+
+fn record(
+    stage: &ProviderStage,
+    params: &MarketParams,
+    prices: Prices,
+) -> Result<PriceRound, MiningGameError> {
+    let demand = stage.follower_demand(&prices).unwrap_or_default();
+    let profits = crate::sp::profits(params, &prices, &demand);
+    Ok(PriceRound { prices, demand, profits })
+}
+
+fn best_price(
+    stage: &ProviderStage,
+    params: &MarketParams,
+    leader: usize,
+    prices: Prices,
+    cfg: &AlgorithmConfig,
+) -> Result<f64, MiningGameError> {
+    let provider = if leader == 0 { params.esp() } else { params.csp() };
+    let lo = provider.cost().max(1e-6 * provider.price_cap());
+    let hi = provider.price_cap();
+    let objective = |p: f64| {
+        let trial = if leader == 0 {
+            Prices::new(p, prices.cloud)
+        } else {
+            Prices::new(prices.edge, p)
+        };
+        match trial.ok().and_then(|t| stage.follower_demand(&t).map(|d| (t, d))) {
+            Some((t, d)) => {
+                let (ve, vc) = crate::sp::profits(params, &t, &d);
+                if leader == 0 {
+                    ve
+                } else {
+                    vc
+                }
+            }
+            None => f64::NAN,
+        }
+    };
+    let r = adaptive_grid_max(objective, lo, hi, cfg.grid_points, cfg.grid_rounds)?;
+    Ok(r.x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Provider;
+
+    fn ne_params() -> MarketParams {
+        MarketParams::builder()
+            .reward(100.0)
+            .fork_rate(0.2)
+            .edge_availability(0.8)
+            .esp(Provider::new(7.0, 15.0).unwrap())
+            .csp(Provider::new(1.0, 8.0).unwrap())
+            .e_max(5.0)
+            .build()
+            .unwrap()
+    }
+
+    fn cycle_params() -> MarketParams {
+        // C_e = 2 below the CSP's stationary price: the Edgeworth region.
+        MarketParams::builder()
+            .reward(100.0)
+            .fork_rate(0.2)
+            .edge_availability(0.8)
+            .esp(Provider::new(2.0, 10.0).unwrap())
+            .csp(Provider::new(1.0, 8.0).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    fn population() -> MinerPopulation {
+        MinerPopulation::Homogeneous { budget: 200.0, n: 5 }
+    }
+
+    #[test]
+    fn algorithm1_converges_in_the_ne_region() {
+        let p = ne_params();
+        let trace = algorithm1_asynchronous_best_response(
+            &p,
+            population(),
+            Mode::Connected,
+            Prices::new(10.0, 4.0).unwrap(),
+            &AlgorithmConfig::default(),
+        )
+        .unwrap();
+        assert!(trace.converged, "rounds = {}", trace.rounds.len());
+        let final_prices = trace.final_prices();
+        assert!((final_prices.edge - 15.0).abs() < 0.1, "{final_prices:?}");
+        assert!(trace.detect_cycle(1e-3).is_none());
+        // Recorded profits are consistent with the recorded demand.
+        let last = trace.rounds.last().unwrap();
+        assert!((last.profits.0 - (last.prices.edge - 7.0) * last.demand.edge).abs() < 1e-9);
+    }
+
+    #[test]
+    fn algorithm2_agrees_with_algorithm1_in_the_ne_region() {
+        let p = ne_params();
+        let init = Prices::new(10.0, 4.0).unwrap();
+        let a1 = algorithm1_asynchronous_best_response(
+            &p,
+            population(),
+            Mode::Connected,
+            init,
+            &AlgorithmConfig::default(),
+        )
+        .unwrap();
+        let a2 = algorithm2_price_bargaining(
+            &p,
+            population(),
+            Mode::Connected,
+            init,
+            &AlgorithmConfig::default(),
+        )
+        .unwrap();
+        assert!(a2.converged);
+        let (f1, f2) = (a1.final_prices(), a2.final_prices());
+        assert!((f1.edge - f2.edge).abs() < 0.2, "{f1:?} vs {f2:?}");
+        assert!((f1.cloud - f2.cloud).abs() < 0.2, "{f1:?} vs {f2:?}");
+    }
+
+    #[test]
+    fn edgeworth_region_cycles_and_is_detected() {
+        let p = cycle_params();
+        let trace = algorithm1_asynchronous_best_response(
+            &p,
+            population(),
+            Mode::Connected,
+            Prices::new(6.0, 3.0).unwrap(),
+            &AlgorithmConfig { max_rounds: 60, ..Default::default() },
+        )
+        .unwrap();
+        assert!(!trace.converged, "unexpected convergence in the cycle region");
+        let cycle = trace.detect_cycle(0.05);
+        assert!(cycle.is_some(), "no cycle detected in {} rounds", trace.rounds.len());
+    }
+
+    #[test]
+    fn standalone_algorithm2_converges() {
+        let p = ne_params();
+        let trace = algorithm2_price_bargaining(
+            &p,
+            population(),
+            Mode::Standalone,
+            Prices::new(10.0, 4.0).unwrap(),
+            &AlgorithmConfig::default(),
+        )
+        .unwrap();
+        assert!(trace.converged);
+        // Capacity respected along the whole trace.
+        for r in &trace.rounds {
+            assert!(r.demand.edge <= p.e_max() + 1e-4, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn cycle_detection_ignores_converged_traces() {
+        let constant = PriceRound {
+            prices: Prices::new(2.0, 1.0).unwrap(),
+            demand: Aggregates::default(),
+            profits: (0.0, 0.0),
+        };
+        let trace = PriceTrace { rounds: vec![constant; 10], converged: true };
+        assert_eq!(trace.detect_cycle(1e-6), None);
+        let trace = PriceTrace { rounds: vec![constant; 10], converged: false };
+        // Constant non-converged trace: no *proper* cycle either.
+        assert_eq!(trace.detect_cycle(1e-6), None);
+    }
+}

@@ -1,0 +1,179 @@
+//! Calibrating the fork-rate model from simulated (or measured) data.
+//!
+//! The game takes the fork rate `β` as a primitive; the paper grounds it in
+//! Bitcoin's measured collision behaviour, `β(D) = 1 − e^{−D/τ}` with mean
+//! collision time `τ` (its Fig. 2). This module closes the loop for the
+//! reproduction: it fits `τ` from `(delay, fork rate)` observations produced
+//! by `mbm-chain-sim` and converts delays to game-ready `β` values.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::MiningGameError;
+
+/// A fitted exponential fork model `β(D) = 1 − e^{−D/τ}`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForkModel {
+    tau: f64,
+}
+
+impl ForkModel {
+    /// Constructs the model from a known mean collision time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiningGameError::InvalidParameter`] unless `tau > 0`.
+    pub fn new(tau: f64) -> Result<Self, MiningGameError> {
+        if !(tau.is_finite() && tau > 0.0) {
+            return Err(MiningGameError::invalid(format!("ForkModel: tau = {tau} must be > 0")));
+        }
+        Ok(ForkModel { tau })
+    }
+
+    /// Least-squares fit of `τ` from `(delay, observed fork rate)` pairs.
+    ///
+    /// The model linearizes as `−ln(1 − β) = D/τ`, so the best `1/τ` in the
+    /// least-squares sense is `Σ D·y / Σ D²` with `y = −ln(1 − β)`.
+    /// Observations with `β ≥ 1`, `β < 0` or `D ≤ 0` are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiningGameError::InvalidParameter`] if fewer than two
+    /// usable observations remain or the fit degenerates.
+    pub fn fit(observations: &[(f64, f64)]) -> Result<Self, MiningGameError> {
+        let mut sum_dy = 0.0;
+        let mut sum_dd = 0.0;
+        let mut used = 0;
+        for &(d, beta) in observations {
+            if !(d.is_finite() && d > 0.0) || !(beta.is_finite() && (0.0..1.0).contains(&beta)) {
+                continue;
+            }
+            let y = -(1.0 - beta).ln();
+            sum_dy += d * y;
+            sum_dd += d * d;
+            used += 1;
+        }
+        if used < 2 {
+            return Err(MiningGameError::invalid(
+                "ForkModel::fit: need at least two usable (delay, fork-rate) observations",
+            ));
+        }
+        let inv_tau = sum_dy / sum_dd;
+        if !(inv_tau.is_finite() && inv_tau > 0.0) {
+            return Err(MiningGameError::invalid(
+                "ForkModel::fit: observations do not determine a positive rate",
+            ));
+        }
+        ForkModel::new(1.0 / inv_tau)
+    }
+
+    /// Mean collision time `τ`.
+    #[must_use]
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Fork rate at communication delay `d` (clamped below 1).
+    #[must_use]
+    pub fn beta(&self, delay: f64) -> f64 {
+        if delay <= 0.0 {
+            0.0
+        } else {
+            -(-delay / self.tau).exp_m1()
+        }
+    }
+
+    /// Delay that produces fork rate `beta` (the model inverse).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiningGameError::InvalidParameter`] unless `β ∈ [0, 1)`.
+    pub fn delay_for(&self, beta: f64) -> Result<f64, MiningGameError> {
+        if !(beta.is_finite() && (0.0..1.0).contains(&beta)) {
+            return Err(MiningGameError::invalid(format!(
+                "ForkModel::delay_for: beta = {beta} must be in [0, 1)"
+            )));
+        }
+        Ok(-self.tau * (1.0 - beta).ln())
+    }
+
+    /// Root-mean-square error of the model against observations.
+    #[must_use]
+    pub fn rmse(&self, observations: &[(f64, f64)]) -> f64 {
+        if observations.is_empty() {
+            return 0.0;
+        }
+        let sq: f64 = observations
+            .iter()
+            .map(|&(d, beta)| {
+                let e = self.beta(d) - beta;
+                e * e
+            })
+            .sum();
+        (sq / observations.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_tau_from_clean_data() {
+        let truth = ForkModel::new(12.6).unwrap();
+        let obs: Vec<(f64, f64)> = (1..=20).map(|i| {
+            let d = i as f64 * 3.0;
+            (d, truth.beta(d))
+        })
+        .collect();
+        let fit = ForkModel::fit(&obs).unwrap();
+        assert!((fit.tau() - 12.6).abs() < 1e-9, "tau = {}", fit.tau());
+        assert!(fit.rmse(&obs) < 1e-12);
+    }
+
+    #[test]
+    fn fit_is_robust_to_noise_and_junk_points() {
+        let truth = ForkModel::new(10.0).unwrap();
+        let mut obs: Vec<(f64, f64)> = (1..=30)
+            .map(|i| {
+                let d = i as f64;
+                let noise = ((i * 37 % 11) as f64 - 5.0) * 0.004;
+                (d, (truth.beta(d) + noise).clamp(0.0, 0.999))
+            })
+            .collect();
+        obs.push((-1.0, 0.5)); // junk delay
+        obs.push((5.0, 1.0)); // junk beta
+        let fit = ForkModel::fit(&obs).unwrap();
+        assert!((fit.tau() - 10.0).abs() < 0.5, "tau = {}", fit.tau());
+    }
+
+    #[test]
+    fn beta_and_delay_are_inverses() {
+        let m = ForkModel::new(8.0).unwrap();
+        for beta in [0.0, 0.1, 0.5, 0.9] {
+            let d = m.delay_for(beta).unwrap();
+            assert!((m.beta(d) - beta).abs() < 1e-12);
+        }
+        assert_eq!(m.beta(0.0), 0.0);
+        assert_eq!(m.beta(-1.0), 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ForkModel::new(0.0).is_err());
+        assert!(ForkModel::new(f64::NAN).is_err());
+        assert!(ForkModel::fit(&[]).is_err());
+        assert!(ForkModel::fit(&[(1.0, 0.5)]).is_err());
+        assert!(ForkModel::fit(&[(1.0, 1.0), (2.0, 1.5)]).is_err());
+        let m = ForkModel::new(5.0).unwrap();
+        assert!(m.delay_for(1.0).is_err());
+        assert!(m.delay_for(-0.1).is_err());
+    }
+
+    #[test]
+    fn matches_market_params_helper() {
+        // MarketParams::fork_rate_from_delay implements the same law.
+        let m = ForkModel::new(12.6).unwrap();
+        let via_params = crate::params::MarketParams::fork_rate_from_delay(7.0, 12.6).unwrap();
+        assert!((m.beta(7.0) - via_params).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for the mining game.
+
+use std::error::Error;
+use std::fmt;
+
+use mbm_game::GameError;
+use mbm_numerics::NumericsError;
+
+/// Errors produced by mining-game model construction and equilibrium
+/// computation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MiningGameError {
+    /// A parameter was out of its admissible range.
+    InvalidParameter(String),
+    /// A closed-form expression was requested outside its validity region
+    /// (e.g. Theorem 3 when the price condition `P_c < (1−β)P_e/(1−β+hβ)`
+    /// fails, or a budget-binding form when budgets do not bind).
+    OutsideValidityRegion(String),
+    /// The underlying game solver failed.
+    Game(GameError),
+    /// A numerical routine failed.
+    Numerics(NumericsError),
+}
+
+impl fmt::Display for MiningGameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MiningGameError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            MiningGameError::OutsideValidityRegion(msg) => {
+                write!(f, "closed form outside its validity region: {msg}")
+            }
+            MiningGameError::Game(e) => write!(f, "game solver failed: {e}"),
+            MiningGameError::Numerics(e) => write!(f, "numerical routine failed: {e}"),
+        }
+    }
+}
+
+impl Error for MiningGameError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MiningGameError::Game(e) => Some(e),
+            MiningGameError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GameError> for MiningGameError {
+    fn from(e: GameError) -> Self {
+        MiningGameError::Game(e)
+    }
+}
+
+impl From<NumericsError> for MiningGameError {
+    fn from(e: NumericsError) -> Self {
+        MiningGameError::Numerics(e)
+    }
+}
+
+impl MiningGameError {
+    /// Convenience constructor for [`MiningGameError::InvalidParameter`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        MiningGameError::InvalidParameter(msg.into())
+    }
+
+    /// Convenience constructor for [`MiningGameError::OutsideValidityRegion`].
+    pub fn outside(msg: impl Into<String>) -> Self {
+        MiningGameError::OutsideValidityRegion(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(MiningGameError::invalid("x").to_string().contains("invalid parameter"));
+        assert!(MiningGameError::outside("y").to_string().contains("validity region"));
+        let e: MiningGameError = GameError::invalid("g").into();
+        assert!(e.source().is_some());
+        let e: MiningGameError = NumericsError::invalid("n").into();
+        assert!(e.source().is_some());
+    }
+}

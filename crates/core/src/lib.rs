@@ -1,0 +1,77 @@
+//! The hierarchical edge-cloud mobile blockchain mining game.
+//!
+//! This crate implements the primary contribution of *Jiang, Li, Wu —
+//! "Hierarchical Edge-Cloud Computing for Mobile Blockchain Mining Game"*
+//! (ICDCS 2019): a multi-leader multi-follower Stackelberg game between an
+//! edge service provider (ESP) and a cloud service provider (CSP) setting
+//! unit prices, and `N` mobile miners buying computing units to offload
+//! proof-of-work mining.
+//!
+//! * [`params`] — validated market parameters (reward `R`, fork rate `β`,
+//!   edge availability `h`, provider costs/caps, capacity `E_max`).
+//! * [`request`] — a miner's request vector `r_i = [e_i, c_i]`.
+//! * [`winning`] — the winning-probability algebra of Section III
+//!   (Eqs. 4–9, 23) with the Theorem 1 validity property.
+//! * [`subgame`] — the follower stage: the connected-mode NEP (Problem 1a),
+//!   the homogeneous closed forms (Theorem 3, Corollary 1), the
+//!   standalone-mode GNEP (Problem 1c) and the dynamic-population game
+//!   (Problem 1d).
+//! * [`sp`] — the leader stage: profit functions, closed-form pricing
+//!   helpers (Theorem 4, Table II) and [`mbm_game::stackelberg::LeaderStage`]
+//!   adapters.
+//! * [`stackelberg`] — full two-stage solutions per mode.
+//! * [`algorithms`] — the paper's Algorithm 1 / Algorithm 2 as traced runs,
+//!   with Edgeworth-cycle detection.
+//! * [`table2`] — the paper's Table II closed-form comparison.
+//! * [`analysis`] — revenue/welfare accounting and mining-efficiency
+//!   (price-of-anarchy style) measures.
+//! * [`calibration`] — fitting the fork model `β(D) = 1 − e^{−D/τ}` from
+//!   simulated or measured collision data.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mbm_core::params::{MarketParams, Provider};
+//! use mbm_core::stackelberg::{solve_connected, StackelbergConfig};
+//!
+//! # fn main() -> Result<(), mbm_core::MiningGameError> {
+//! let params = MarketParams::builder()
+//!     .reward(100.0)
+//!     .fork_rate(0.2)
+//!     .edge_availability(0.8)
+//!     .esp(Provider::new(7.0, 15.0)?)
+//!     .csp(Provider::new(1.0, 8.0)?)
+//!     .build()?;
+//! let budgets = vec![200.0; 5];
+//! let solution = solve_connected(&params, &budgets, &StackelbergConfig::default())?;
+//! // The ESP prices above the CSP: it sells the scarce low-latency units.
+//! assert!(solution.prices.edge > solution.prices.cloud);
+//! # Ok(())
+//! # }
+//! ```
+
+// Lint policy: `!(x > 0.0)`-style guards deliberately reject NaN alongside
+// out-of-range values (rewriting via `partial_cmp` would lose that), and
+// index-based loops mirror the paper's sum-over-miners notation.
+#![allow(
+    clippy::neg_cmp_op_on_partial_ord,
+    clippy::nonminimal_bool,
+    clippy::needless_range_loop,
+    clippy::explicit_counter_loop
+)]
+
+pub mod algorithms;
+pub mod analysis;
+pub mod calibration;
+pub mod error;
+pub mod params;
+pub mod presets;
+pub mod request;
+pub mod scenario;
+pub mod sp;
+pub mod stackelberg;
+pub mod subgame;
+pub mod table2;
+pub mod winning;
+
+pub use error::MiningGameError;

@@ -1,0 +1,116 @@
+//! Named parameter presets used by the paper's evaluation and this
+//! reproduction's experiments.
+//!
+//! The paper does not publish its exact constants; these presets are the
+//! calibrations under which every qualitative shape of its evaluation
+//! reproduces (see EXPERIMENTS.md). They are re-exported by the experiment
+//! harness so that library users and the figure binaries agree on what
+//! "baseline" means.
+
+use crate::error::MiningGameError;
+use crate::params::{MarketParams, Provider};
+
+/// Number of miners in the paper's small evaluation network (Section VI).
+pub const PAPER_N_MINERS: usize = 5;
+
+/// The common miner budget of the paper's homogeneous experiments.
+pub const PAPER_BUDGET: f64 = 200.0;
+
+/// Bitcoin's measured mean block-collision time in seconds (the paper's
+/// Fig. 2 source), used to convert delays to fork rates.
+pub const BITCOIN_COLLISION_TAU: f64 = 12.6;
+
+/// The baseline market of Section VI: `R = 100`, `β = 0.2`, `h = 0.8`,
+/// costs `C_e = 2` / `C_c = 1`, caps `10`/`8`, `E_max = 5`.
+///
+/// **Leader-stage caveat:** at these costs the leader game has no pure Nash
+/// equilibrium (Edgeworth cycle; DESIGN.md §2) — use it for follower-stage
+/// experiments at fixed prices, and [`leader_ne_market`] when the providers
+/// must price endogenously.
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` keeps the constructor honest.
+pub fn paper_baseline() -> Result<MarketParams, MiningGameError> {
+    MarketParams::builder()
+        .reward(100.0)
+        .fork_rate(0.2)
+        .edge_availability(0.8)
+        .esp(Provider::new(2.0, 10.0)?)
+        .csp(Provider::new(1.0, 8.0)?)
+        .e_max(5.0)
+        .build()
+}
+
+/// A market variant in the pure-equilibrium region of the leader game: the
+/// ESP's unit cost (7) exceeds the CSP's stationary price (≈ 5.6), so the
+/// ESP's price cap is a dominant strategy (Theorem 4) and Algorithms 1–2
+/// converge.
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` keeps the constructor honest.
+pub fn leader_ne_market() -> Result<MarketParams, MiningGameError> {
+    MarketParams::builder()
+        .reward(100.0)
+        .fork_rate(0.2)
+        .edge_availability(0.8)
+        .esp(Provider::new(7.0, 15.0)?)
+        .csp(Provider::new(1.0, 8.0)?)
+        .e_max(5.0)
+        .build()
+}
+
+/// Baseline with the fork rate derived from a cloud delay via the Bitcoin
+/// collision model: `β = 1 − e^{−delay/τ}` with `τ = 12.6 s`.
+///
+/// # Errors
+///
+/// Returns [`MiningGameError::InvalidParameter`] for a negative delay or
+/// one that drives `β` to 1.
+pub fn paper_baseline_with_delay(delay_seconds: f64) -> Result<MarketParams, MiningGameError> {
+    let beta = MarketParams::fork_rate_from_delay(delay_seconds, BITCOIN_COLLISION_TAU)?;
+    if beta >= 1.0 {
+        return Err(MiningGameError::invalid(format!(
+            "delay {delay_seconds}s drives the fork rate to 1"
+        )));
+    }
+    paper_baseline()?.with_fork_rate(beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sp::pricing::csp_best_response_budget_binding;
+
+    #[test]
+    fn presets_build() {
+        let b = paper_baseline().unwrap();
+        assert_eq!(b.reward(), 100.0);
+        assert_eq!(b.esp().cost(), 2.0);
+        let l = leader_ne_market().unwrap();
+        assert_eq!(l.esp().cost(), 7.0);
+    }
+
+    #[test]
+    fn leader_ne_market_is_actually_in_the_ne_region() {
+        // The CSP's stationary price at the ESP cap must stay below the
+        // ESP's cost — the condition that makes the cap dominant.
+        let p = leader_ne_market().unwrap();
+        let pc =
+            csp_best_response_budget_binding(&p, p.esp().price_cap(), PAPER_BUDGET, PAPER_N_MINERS)
+                .unwrap();
+        assert!(
+            pc < p.esp().cost(),
+            "CSP stationary price {pc} not below ESP cost {}",
+            p.esp().cost()
+        );
+    }
+
+    #[test]
+    fn delay_preset_converts_via_the_collision_model() {
+        let p = paper_baseline_with_delay(12.6).unwrap();
+        assert!((p.fork_rate() - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert!(paper_baseline_with_delay(-1.0).is_err());
+    }
+}

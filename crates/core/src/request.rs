@@ -1,0 +1,110 @@
+//! A miner's request vector `r_i = [e_i, c_i]`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::MiningGameError;
+use crate::params::Prices;
+
+/// Computing units requested from the ESP (`edge`) and the CSP (`cloud`).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Request {
+    /// Units requested from the ESP (`e_i`).
+    pub edge: f64,
+    /// Units requested from the CSP (`c_i`).
+    pub cloud: f64,
+}
+
+impl Request {
+    /// Creates a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiningGameError::InvalidParameter`] if either amount is
+    /// negative or non-finite.
+    pub fn new(edge: f64, cloud: f64) -> Result<Self, MiningGameError> {
+        if !(edge.is_finite() && edge >= 0.0) || !(cloud.is_finite() && cloud >= 0.0) {
+            return Err(MiningGameError::invalid(format!(
+                "request (edge = {edge}, cloud = {cloud}) must be >= 0"
+            )));
+        }
+        Ok(Request { edge, cloud })
+    }
+
+    /// Total units `e_i + c_i`.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.edge + self.cloud
+    }
+
+    /// Cost of the request at the given prices, `P_e e_i + P_c c_i`.
+    #[must_use]
+    pub fn cost(&self, prices: &Prices) -> f64 {
+        prices.edge * self.edge + prices.cloud * self.cloud
+    }
+}
+
+impl From<Request> for [f64; 2] {
+    fn from(r: Request) -> Self {
+        [r.edge, r.cloud]
+    }
+}
+
+/// Aggregates `(E, C, S)` of a request profile.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Aggregates {
+    /// Total edge demand `E = Σ e_i`.
+    pub edge: f64,
+    /// Total cloud demand `C = Σ c_i`.
+    pub cloud: f64,
+}
+
+impl Aggregates {
+    /// Sums a request profile.
+    #[must_use]
+    pub fn of(requests: &[Request]) -> Self {
+        Aggregates {
+            edge: requests.iter().map(|r| r.edge).sum(),
+            cloud: requests.iter().map(|r| r.cloud).sum(),
+        }
+    }
+
+    /// Total network power `S = E + C`.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.edge + self.cloud
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_helpers() {
+        let r = Request::new(2.0, 3.0).unwrap();
+        assert_eq!(r.total(), 5.0);
+        let p = Prices::new(4.0, 2.0).unwrap();
+        assert_eq!(r.cost(&p), 14.0);
+        let arr: [f64; 2] = r.into();
+        assert_eq!(arr, [2.0, 3.0]);
+    }
+
+    #[test]
+    fn request_validation() {
+        assert!(Request::new(-1.0, 0.0).is_err());
+        assert!(Request::new(0.0, f64::NAN).is_err());
+        assert_eq!(Request::default(), Request { edge: 0.0, cloud: 0.0 });
+    }
+
+    #[test]
+    fn aggregates_sum_profiles() {
+        let reqs = [
+            Request::new(1.0, 2.0).unwrap(),
+            Request::new(3.0, 4.0).unwrap(),
+        ];
+        let agg = Aggregates::of(&reqs);
+        assert_eq!(agg.edge, 4.0);
+        assert_eq!(agg.cloud, 6.0);
+        assert_eq!(agg.total(), 10.0);
+    }
+}

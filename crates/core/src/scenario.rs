@@ -1,0 +1,319 @@
+//! High-level scenario API: one entry point for the whole model.
+//!
+//! Downstream users usually want "set up a market, pick a mode and a
+//! population, solve, read a report" without assembling solvers by hand.
+//! [`Scenario`] is that facade; it routes to the right solver (connected /
+//! standalone / dynamic population; fixed prices or full Stackelberg) and
+//! always returns a [`ScenarioOutcome`] with the same accounting.
+//!
+//! ```
+//! use mbm_core::scenario::Scenario;
+//! use mbm_core::params::{MarketParams, Provider};
+//!
+//! # fn main() -> Result<(), mbm_core::MiningGameError> {
+//! let params = MarketParams::builder()
+//!     .esp(Provider::new(7.0, 15.0)?)
+//!     .csp(Provider::new(1.0, 8.0)?)
+//!     .build()?;
+//! let outcome = Scenario::connected(params)
+//!     .homogeneous_miners(5, 200.0)
+//!     .solve()?;
+//! assert!(outcome.report.esp_profit > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::MarketReport;
+use crate::error::MiningGameError;
+use crate::params::{validate_budgets, MarketParams, Prices};
+use crate::request::{Aggregates, Request};
+use crate::stackelberg::{solve_connected, solve_standalone, StackelbergConfig};
+use crate::subgame::connected::solve_connected_miner_subgame;
+use crate::subgame::dynamic::{solve_symmetric_dynamic, DynamicConfig, Population};
+use crate::subgame::standalone::solve_standalone_miner_subgame;
+use crate::subgame::MinerEquilibrium;
+
+/// Which edge operation mode the scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EdgeOperation {
+    /// ESP connected to the CSP.
+    Connected,
+    /// Standalone ESP with capacity `E_max`.
+    Standalone,
+}
+
+#[derive(Debug, Clone)]
+enum PopulationSpec {
+    Fixed(Vec<f64>),
+    Dynamic { budget: f64, population: Population },
+}
+
+/// A fully specified market scenario, built fluently.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    params: MarketParams,
+    operation: EdgeOperation,
+    population: Option<PopulationSpec>,
+    fixed_prices: Option<Prices>,
+    stackelberg: StackelbergConfig,
+    dynamic: DynamicConfig,
+}
+
+/// The uniform result of any scenario solve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// Prices the market cleared at (announced or equilibrium).
+    pub prices: Prices,
+    /// Per-miner equilibrium requests.
+    pub requests: Vec<Request>,
+    /// Full market accounting at those prices/requests.
+    pub report: MarketReport,
+    /// Whether the prices came from a leader equilibrium (`true`) or were
+    /// fixed by the caller (`false`).
+    pub prices_endogenous: bool,
+}
+
+impl Scenario {
+    /// Starts a connected-mode scenario.
+    #[must_use]
+    pub fn connected(params: MarketParams) -> Self {
+        Scenario::new(params, EdgeOperation::Connected)
+    }
+
+    /// Starts a standalone-mode scenario.
+    #[must_use]
+    pub fn standalone(params: MarketParams) -> Self {
+        Scenario::new(params, EdgeOperation::Standalone)
+    }
+
+    fn new(params: MarketParams, operation: EdgeOperation) -> Self {
+        Scenario {
+            params,
+            operation,
+            population: None,
+            fixed_prices: None,
+            stackelberg: StackelbergConfig::default(),
+            dynamic: DynamicConfig::default(),
+        }
+    }
+
+    /// `n` identical miners with a common budget.
+    #[must_use]
+    pub fn homogeneous_miners(mut self, n: usize, budget: f64) -> Self {
+        self.population = Some(PopulationSpec::Fixed(vec![budget; n]));
+        self
+    }
+
+    /// Miners with explicit budgets.
+    #[must_use]
+    pub fn miners(mut self, budgets: Vec<f64>) -> Self {
+        self.population = Some(PopulationSpec::Fixed(budgets));
+        self
+    }
+
+    /// A permissionless population: `N ~ Gaussian(mean, sd²)` homogeneous
+    /// miners with a common budget (Section V; solved at fixed prices).
+    #[must_use]
+    pub fn dynamic_population(mut self, population: Population, budget: f64) -> Self {
+        self.population = Some(PopulationSpec::Dynamic { budget, population });
+        self
+    }
+
+    /// Pins the prices instead of solving the leader stage.
+    #[must_use]
+    pub fn with_prices(mut self, prices: Prices) -> Self {
+        self.fixed_prices = Some(prices);
+        self
+    }
+
+    /// Overrides the Stackelberg solver configuration.
+    #[must_use]
+    pub fn with_stackelberg_config(mut self, cfg: StackelbergConfig) -> Self {
+        self.stackelberg = cfg;
+        self
+    }
+
+    /// Overrides the dynamic-population solver configuration.
+    #[must_use]
+    pub fn with_dynamic_config(mut self, cfg: DynamicConfig) -> Self {
+        self.dynamic = cfg;
+        self
+    }
+
+    /// Solves the scenario.
+    ///
+    /// # Errors
+    ///
+    /// * [`MiningGameError::InvalidParameter`] if no population was chosen,
+    ///   a dynamic population is combined with endogenous prices (the paper
+    ///   only analyzes fixed prices under uncertainty), or budgets are
+    ///   invalid.
+    /// * Solver errors (including honest `NoConvergence` in the
+    ///   Edgeworth-cycle region — see DESIGN.md).
+    pub fn solve(self) -> Result<ScenarioOutcome, MiningGameError> {
+        let population = self
+            .population
+            .clone()
+            .ok_or_else(|| MiningGameError::invalid("Scenario: choose a miner population first"))?;
+        match population {
+            PopulationSpec::Fixed(budgets) => self.solve_fixed(&budgets),
+            PopulationSpec::Dynamic { budget, ref population } => {
+                self.solve_dynamic(budget, population)
+            }
+        }
+    }
+
+    fn solve_fixed(&self, budgets: &[f64]) -> Result<ScenarioOutcome, MiningGameError> {
+        validate_budgets(budgets)?;
+        let (prices, equilibrium, endogenous) = match self.fixed_prices {
+            Some(prices) => {
+                let eq = self.follower_solve(&prices, budgets)?;
+                (prices, eq, false)
+            }
+            None => {
+                let sol = match self.operation {
+                    EdgeOperation::Connected => {
+                        solve_connected(&self.params, budgets, &self.stackelberg)?
+                    }
+                    EdgeOperation::Standalone => {
+                        solve_standalone(&self.params, budgets, &self.stackelberg)?
+                    }
+                };
+                (sol.prices, sol.equilibrium, true)
+            }
+        };
+        let report = MarketReport::new(&self.params, &prices, &equilibrium);
+        Ok(ScenarioOutcome {
+            prices,
+            requests: equilibrium.requests,
+            report,
+            prices_endogenous: endogenous,
+        })
+    }
+
+    fn follower_solve(
+        &self,
+        prices: &Prices,
+        budgets: &[f64],
+    ) -> Result<MinerEquilibrium, MiningGameError> {
+        match self.operation {
+            EdgeOperation::Connected => {
+                solve_connected_miner_subgame(&self.params, prices, budgets, &self.stackelberg.subgame)
+            }
+            EdgeOperation::Standalone => solve_standalone_miner_subgame(
+                &self.params,
+                prices,
+                budgets,
+                &self.stackelberg.subgame,
+            ),
+        }
+    }
+
+    fn solve_dynamic(
+        &self,
+        budget: f64,
+        population: &Population,
+    ) -> Result<ScenarioOutcome, MiningGameError> {
+        let prices = self.fixed_prices.ok_or_else(|| {
+            MiningGameError::invalid(
+                "Scenario: the dynamic-population scenario needs fixed prices (the paper's \
+                 Section V analyzes price-taking miners under uncertainty)",
+            )
+        })?;
+        let per_miner =
+            solve_symmetric_dynamic(&self.params, &prices, budget, population, &self.dynamic)?;
+        // Report at the expected roster size (the discretized mean).
+        let n_expected = population.pmf().mean().round().max(2.0) as usize;
+        let requests = vec![per_miner; n_expected];
+        let utilities: Vec<f64> = (0..n_expected)
+            .map(|_| {
+                crate::subgame::dynamic::expected_utility(
+                    per_miner,
+                    per_miner,
+                    population,
+                    &self.params,
+                    &prices,
+                    self.dynamic.mixing,
+                )
+            })
+            .collect();
+        let equilibrium = MinerEquilibrium {
+            aggregates: Aggregates::of(&requests),
+            requests: requests.clone(),
+            utilities,
+            iterations: 0,
+            residual: 0.0,
+        };
+        let report = MarketReport::new(&self.params, &prices, &equilibrium);
+        Ok(ScenarioOutcome { prices, requests, report, prices_endogenous: false })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Provider;
+
+    fn params() -> MarketParams {
+        MarketParams::builder()
+            .esp(Provider::new(7.0, 15.0).unwrap())
+            .csp(Provider::new(1.0, 8.0).unwrap())
+            .e_max(5.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fixed_price_connected_scenario() {
+        let out = Scenario::connected(params())
+            .homogeneous_miners(5, 200.0)
+            .with_prices(Prices::new(4.0, 2.0).unwrap())
+            .solve()
+            .unwrap();
+        assert!(!out.prices_endogenous);
+        assert_eq!(out.requests.len(), 5);
+        assert!(out.report.edge_units > 0.0);
+    }
+
+    #[test]
+    fn endogenous_price_scenario_matches_direct_solver() {
+        let out = Scenario::connected(params()).homogeneous_miners(5, 200.0).solve().unwrap();
+        let direct = solve_connected(&params(), &[200.0; 5], &StackelbergConfig::default()).unwrap();
+        assert!(out.prices_endogenous);
+        assert!((out.prices.edge - direct.prices.edge).abs() < 1e-9);
+        assert!((out.report.esp_profit - direct.esp_profit).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standalone_scenario_respects_capacity() {
+        let out = Scenario::standalone(params())
+            .miners(vec![100.0, 200.0, 300.0])
+            .with_prices(Prices::new(4.0, 2.0).unwrap())
+            .solve()
+            .unwrap();
+        assert!(out.report.edge_units <= params().e_max() + 1e-6);
+    }
+
+    #[test]
+    fn dynamic_scenario_requires_fixed_prices() {
+        let err = Scenario::connected(params())
+            .dynamic_population(Population::gaussian(8.0, 2.0).unwrap(), 300.0)
+            .solve();
+        assert!(err.is_err());
+
+        let ok = Scenario::connected(params())
+            .dynamic_population(Population::gaussian(8.0, 2.0).unwrap(), 300.0)
+            .with_prices(Prices::new(4.0, 2.0).unwrap())
+            .solve()
+            .unwrap();
+        assert!(!ok.requests.is_empty());
+        assert!(ok.report.edge_units > 0.0);
+    }
+
+    #[test]
+    fn missing_population_is_an_error() {
+        assert!(Scenario::connected(params()).solve().is_err());
+    }
+}

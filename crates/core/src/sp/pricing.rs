@@ -1,0 +1,279 @@
+//! Closed-form pricing results (Theorem 4 and Table II helpers).
+
+use mbm_numerics::optimize::golden_section_max;
+
+use crate::error::MiningGameError;
+use crate::params::{MarketParams, Prices};
+use crate::subgame::homogeneous::theorem3_request;
+
+/// The upper limit of the CSP's admissible price given `P_e`
+/// (the Theorem 3 mixed-strategy condition): `(1−β) P_e / (1−β+hβ)`.
+#[must_use]
+pub fn csp_price_bound(params: &MarketParams, edge_price: f64) -> f64 {
+    let beta = params.fork_rate();
+    let h = params.edge_availability();
+    (1.0 - beta) * edge_price / (1.0 - beta + h * beta)
+}
+
+/// Theorem 4 (CSP side): the CSP's best-response price to `P_e` in the
+/// homogeneous budget-binding regime, maximizing
+/// `V_c(P_c) = n (P_c − C_c) · c*(P_e, P_c)` over
+/// `P_c ∈ (C_c, (1−β)P_e/(1−β+hβ))` with `c*` from Theorem 3.
+///
+/// The paper proves `V_c` concave on that interval and leaves the root
+/// symbolic; we maximize it directly by golden-section search (the interval
+/// is one-dimensional and `V_c` is smooth there).
+///
+/// # Errors
+///
+/// Returns [`MiningGameError::OutsideValidityRegion`] if the interval is
+/// empty (`C_c` at or above the bound) and propagates optimizer errors.
+pub fn csp_best_response_budget_binding(
+    params: &MarketParams,
+    edge_price: f64,
+    budget: f64,
+    n: usize,
+) -> Result<f64, MiningGameError> {
+    let c_c = params.csp().cost();
+    let hi = csp_price_bound(params, edge_price);
+    if hi <= c_c {
+        return Err(MiningGameError::outside(format!(
+            "CSP best response undefined: price bound {hi} does not exceed cost {c_c}"
+        )));
+    }
+    let eps = 1e-9 * (1.0 + hi);
+    let lo = c_c + eps;
+    let hi = hi - eps;
+    if lo >= hi {
+        return Err(MiningGameError::outside("CSP best-response interval is degenerate"));
+    }
+    let nf = n as f64;
+    let profit = |p_c: f64| {
+        match Prices::new(edge_price, p_c).ok().and_then(|pr| theorem3_request(params, &pr, budget).ok()) {
+            Some(r) => nf * (p_c - c_c) * r.cloud,
+            None => f64::NEG_INFINITY,
+        }
+    };
+    let out = golden_section_max(profit, lo, hi, 1e-10 * (1.0 + hi))?;
+    Ok(out.x)
+}
+
+/// Theorem 4 (ESP side): in the budget-binding regime the ESP's profit
+/// `V_e(P_e) = nBhβ (P_e − C_e) / [(1−β+hβ)(P_e − P_c)]` is strictly
+/// increasing in `P_e` whenever `C_e > P_c` (and saturates otherwise), so
+/// the dominant strategy is the price cap `p̄_e`.
+///
+/// Returns the cap — the paper's `P_e* = p̄`.
+#[must_use]
+pub fn esp_dominant_price(params: &MarketParams) -> f64 {
+    params.esp().price_cap()
+}
+
+/// ESP profit in the budget-binding homogeneous regime (used to verify the
+/// monotonicity claim behind [`esp_dominant_price`]).
+///
+/// # Errors
+///
+/// Propagates the Theorem 3 validity region.
+pub fn esp_profit_budget_binding(
+    params: &MarketParams,
+    prices: &Prices,
+    budget: f64,
+    n: usize,
+) -> Result<f64, MiningGameError> {
+    let r = theorem3_request(params, prices, budget)?;
+    Ok(n as f64 * (prices.edge - params.esp().cost()) * r.edge)
+}
+
+/// Standalone mode, sufficient budgets: the market-clearing edge price at
+/// which unconstrained edge demand exactly equals `E_max`
+/// (from Corollary 1 at `h = 1`): `P_e = P_c + βR(n−1)/(n·E_max)`.
+///
+/// # Errors
+///
+/// Returns [`MiningGameError::InvalidParameter`] if `n < 2` or
+/// `cloud_price ≤ 0`.
+pub fn standalone_market_clearing_edge_price(
+    params: &MarketParams,
+    cloud_price: f64,
+    n: usize,
+) -> Result<f64, MiningGameError> {
+    if n < 2 {
+        return Err(MiningGameError::invalid("need at least two miners"));
+    }
+    if !(cloud_price.is_finite() && cloud_price > 0.0) {
+        return Err(MiningGameError::invalid(format!("cloud_price = {cloud_price} must be > 0")));
+    }
+    let nf = n as f64;
+    Ok(cloud_price + params.fork_rate() * params.reward() * (nf - 1.0) / (nf * params.e_max()))
+}
+
+/// Standalone mode, sufficient budgets, capacity binding: the CSP's
+/// closed-form optimal price (Table II).
+///
+/// With `E = E_max` fixed, total demand is
+/// `S(P_c) = (1−β)R(n−1)/(n P_c)` and
+/// `V_c = (P_c − C_c)(S(P_c) − E_max)`; the first-order condition gives
+/// `P_c* = sqrt(C_c (1−β) R (n−1) / (n E_max))`.
+///
+/// # Errors
+///
+/// Returns [`MiningGameError::InvalidParameter`] if `n < 2`, and
+/// [`MiningGameError::OutsideValidityRegion`] if the CSP cost is zero (the
+/// optimum degenerates to 0⁺).
+pub fn standalone_csp_price(params: &MarketParams, n: usize) -> Result<f64, MiningGameError> {
+    if n < 2 {
+        return Err(MiningGameError::invalid("need at least two miners"));
+    }
+    let c_c = params.csp().cost();
+    if c_c <= 0.0 {
+        return Err(MiningGameError::outside(
+            "standalone CSP closed form requires a positive CSP cost",
+        ));
+    }
+    let nf = n as f64;
+    let k = (1.0 - params.fork_rate()) * params.reward() * (nf - 1.0) / nf;
+    Ok((c_c * k / params.e_max()).sqrt())
+}
+
+/// Total unconstrained standalone edge demand at `h = 1`
+/// (Corollary 1 aggregate): `E = βR(n−1)/(n(P_e − P_c))`.
+///
+/// # Errors
+///
+/// Returns [`MiningGameError::InvalidParameter`] for `n < 2` or
+/// `P_e ≤ P_c`.
+pub fn standalone_unconstrained_edge_demand(
+    params: &MarketParams,
+    prices: &Prices,
+    n: usize,
+) -> Result<f64, MiningGameError> {
+    if n < 2 {
+        return Err(MiningGameError::invalid("need at least two miners"));
+    }
+    if prices.edge <= prices.cloud {
+        return Err(MiningGameError::invalid("edge demand formula needs P_e > P_c"));
+    }
+    let nf = n as f64;
+    Ok(params.fork_rate() * params.reward() * (nf - 1.0) / (nf * (prices.edge - prices.cloud)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbm_numerics::diff::derivative;
+
+    fn params() -> MarketParams {
+        MarketParams::builder()
+            .reward(100.0)
+            .fork_rate(0.2)
+            .edge_availability(0.8)
+            .e_max(5.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn csp_bound_matches_theorem3_condition() {
+        let p = params();
+        // (1−β)/(1−β+hβ) = 0.8/0.96.
+        assert!((csp_price_bound(&p, 6.0) - 6.0 * 0.8 / 0.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csp_best_response_is_interior_stationary_point() {
+        let p = params();
+        let pe = 8.0;
+        let budget = 200.0;
+        let n = 5;
+        let pc = csp_best_response_budget_binding(&p, pe, budget, n).unwrap();
+        assert!(pc > p.csp().cost() && pc < csp_price_bound(&p, pe));
+        // Verify stationarity of V_c at the returned price.
+        let profit = |x: f64| {
+            let pr = Prices::new(pe, x).unwrap();
+            let r = theorem3_request(&p, &pr, budget).unwrap();
+            n as f64 * (x - p.csp().cost()) * r.cloud
+        };
+        let d = derivative(profit, pc, None);
+        let scale = profit(pc).abs().max(1.0);
+        assert!(d.abs() / scale < 1e-4, "dV/dP_c = {d}");
+    }
+
+    #[test]
+    fn csp_best_response_fails_when_cost_exceeds_bound() {
+        let p = MarketParams::builder()
+            .fork_rate(0.2)
+            .edge_availability(0.8)
+            .csp(crate::params::Provider::new(7.0, 20.0).unwrap())
+            .build()
+            .unwrap();
+        // Bound at P_e = 6 is 5 < cost 7.
+        assert!(matches!(
+            csp_best_response_budget_binding(&p, 6.0, 100.0, 5),
+            Err(MiningGameError::OutsideValidityRegion(_))
+        ));
+    }
+
+    #[test]
+    fn esp_profit_is_increasing_in_its_price_when_cost_exceeds_cloud_price() {
+        // V_e ∝ (P_e − C_e)/(P_e − P_c) is increasing exactly when
+        // C_e > P_c — the regime behind Theorem 4's "dominant strategy is
+        // the cap". Here C_e = 2 > P_c = 1.5.
+        let p = params();
+        let budget = 200.0;
+        let n = 5;
+        let pc = 1.5;
+        let mut last = 0.0;
+        for pe in [4.0, 6.0, 8.0, 10.0] {
+            let v = esp_profit_budget_binding(&p, &Prices::new(pe, pc).unwrap(), budget, n).unwrap();
+            assert!(v > last, "V_e({pe}) = {v} not increasing");
+            last = v;
+        }
+        assert_eq!(esp_dominant_price(&p), 10.0);
+
+        // And decreasing in the opposite regime (C_e = 2 < P_c = 2.5).
+        let hi = esp_profit_budget_binding(&p, &Prices::new(8.0, 2.5).unwrap(), budget, n).unwrap();
+        let lo = esp_profit_budget_binding(&p, &Prices::new(4.0, 2.5).unwrap(), budget, n).unwrap();
+        assert!(lo > hi, "V_e should fall with P_e when C_e < P_c: {lo} vs {hi}");
+    }
+
+    #[test]
+    fn market_clearing_price_clears_exactly() {
+        let p = params();
+        let n = 5;
+        let pc = 2.0;
+        let pe = standalone_market_clearing_edge_price(&p, pc, n).unwrap();
+        let e = standalone_unconstrained_edge_demand(&p, &Prices::new(pe, pc).unwrap(), n).unwrap();
+        assert!((e - p.e_max()).abs() < 1e-9, "demand {e} vs capacity {}", p.e_max());
+    }
+
+    #[test]
+    fn standalone_csp_price_satisfies_its_foc() {
+        let p = params();
+        let n = 5;
+        let pc = standalone_csp_price(&p, n).unwrap();
+        // V_c(P_c) = (P_c − C_c)(K/P_c − E_max), K = (1−β)R(n−1)/n.
+        let k = 0.8 * 100.0 * 4.0 / 5.0;
+        let v = |x: f64| (x - 1.0) * (k / x - p.e_max());
+        let d = derivative(v, pc, None);
+        assert!(d.abs() < 1e-5, "dV/dP_c = {d}");
+        // And the demand beyond capacity is positive at that price.
+        assert!(k / pc > p.e_max());
+    }
+
+    #[test]
+    fn closed_form_validation() {
+        let p = params();
+        assert!(standalone_market_clearing_edge_price(&p, 2.0, 1).is_err());
+        assert!(standalone_market_clearing_edge_price(&p, 0.0, 5).is_err());
+        assert!(standalone_csp_price(&p, 1).is_err());
+        assert!(
+            standalone_unconstrained_edge_demand(&p, &Prices::new(2.0, 3.0).unwrap(), 5).is_err()
+        );
+        let free_csp = MarketParams::builder()
+            .csp(crate::params::Provider::new(0.0, 8.0).unwrap())
+            .build()
+            .unwrap();
+        assert!(standalone_csp_price(&free_csp, 5).is_err());
+    }
+}

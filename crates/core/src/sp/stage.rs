@@ -1,0 +1,201 @@
+//! [`LeaderStage`] adapters: provider payoffs with the miner subgame
+//! embedded (backward induction).
+//!
+//! Leader 0 is the ESP, leader 1 the CSP; actions are unit prices bounded by
+//! `(cost, price_cap]`. Evaluating a payoff solves the follower stage at the
+//! candidate price pair — the homogeneous populations use the symmetric
+//! fast-path solvers, heterogeneous ones the full NEP/GNEP solvers. Price
+//! pairs at which the follower stage fails to converge are reported as `NaN`
+//! (infeasible), which the leader search skips.
+
+use mbm_game::stackelberg::LeaderStage;
+use mbm_game::GameError;
+
+use crate::params::{MarketParams, Prices};
+use crate::request::Aggregates;
+use crate::sp::MinerPopulation;
+use crate::subgame::connected::{solve_connected_miner_subgame, solve_symmetric_connected};
+use crate::subgame::standalone::{solve_standalone_miner_subgame, solve_symmetric_standalone};
+use crate::subgame::SubgameConfig;
+
+/// Which edge operation mode the follower stage runs in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// ESP connected to the CSP (transfer probability `1 − h`).
+    Connected,
+    /// Standalone ESP with capacity `E_max`.
+    Standalone,
+}
+
+/// The two-provider leader stage.
+#[derive(Debug, Clone)]
+pub struct ProviderStage {
+    params: MarketParams,
+    population: MinerPopulation,
+    mode: Mode,
+    subgame: SubgameConfig,
+}
+
+impl ProviderStage {
+    /// Creates the stage.
+    #[must_use]
+    pub fn new(
+        params: MarketParams,
+        population: MinerPopulation,
+        mode: Mode,
+        subgame: SubgameConfig,
+    ) -> Self {
+        ProviderStage { params, population, mode, subgame }
+    }
+
+    /// Aggregate follower demand at the given prices, or `None` if the
+    /// follower solve does not converge there.
+    #[must_use]
+    pub fn follower_demand(&self, prices: &Prices) -> Option<Aggregates> {
+        match (&self.population, self.mode) {
+            (MinerPopulation::Homogeneous { budget, n }, Mode::Connected) => {
+                solve_symmetric_connected(&self.params, prices, *budget, *n, &self.subgame)
+                    .ok()
+                    .map(|r| Aggregates { edge: *n as f64 * r.edge, cloud: *n as f64 * r.cloud })
+            }
+            (MinerPopulation::Homogeneous { budget, n }, Mode::Standalone) => {
+                solve_symmetric_standalone(&self.params, prices, *budget, *n, &self.subgame)
+                    .ok()
+                    .map(|r| Aggregates { edge: *n as f64 * r.edge, cloud: *n as f64 * r.cloud })
+            }
+            (MinerPopulation::Heterogeneous { budgets }, Mode::Connected) => {
+                solve_connected_miner_subgame(&self.params, prices, budgets, &self.subgame)
+                    .ok()
+                    .map(|eq| eq.aggregates)
+            }
+            (MinerPopulation::Heterogeneous { budgets }, Mode::Standalone) => {
+                solve_standalone_miner_subgame(&self.params, prices, budgets, &self.subgame)
+                    .ok()
+                    .map(|eq| eq.aggregates)
+            }
+        }
+    }
+}
+
+impl LeaderStage for ProviderStage {
+    fn num_leaders(&self) -> usize {
+        2
+    }
+
+    fn bounds(&self, i: usize) -> (f64, f64) {
+        let p = if i == 0 { self.params.esp() } else { self.params.csp() };
+        // Prices must be strictly positive; a zero-cost provider still
+        // cannot price at zero.
+        (p.cost().max(1e-6 * p.price_cap()), p.price_cap())
+    }
+
+    fn payoff(&self, i: usize, actions: &[f64]) -> Result<f64, GameError> {
+        let prices = Prices::new(actions[0], actions[1])
+            .map_err(|e| GameError::invalid(e.to_string()))?;
+        match self.follower_demand(&prices) {
+            Some(agg) => {
+                let (ve, vc) = crate::sp::profits(&self.params, &prices, &agg);
+                Ok(if i == 0 { ve } else { vc })
+            }
+            // Non-convergent follower stage: mark infeasible, keep searching.
+            None => Ok(f64::NAN),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> MarketParams {
+        MarketParams::builder()
+            .reward(100.0)
+            .fork_rate(0.2)
+            .edge_availability(0.8)
+            .e_max(5.0)
+            .build()
+            .unwrap()
+    }
+
+    fn homogeneous() -> MinerPopulation {
+        MinerPopulation::Homogeneous { budget: 200.0, n: 5 }
+    }
+
+    #[test]
+    fn bounds_are_cost_to_cap() {
+        let stage = ProviderStage::new(params(), homogeneous(), Mode::Connected, SubgameConfig::default());
+        assert_eq!(stage.bounds(0), (2.0, 10.0));
+        assert_eq!(stage.bounds(1), (1.0, 8.0));
+    }
+
+    #[test]
+    fn payoff_is_profit_at_follower_equilibrium() {
+        let stage = ProviderStage::new(params(), homogeneous(), Mode::Connected, SubgameConfig::default());
+        let actions = [6.0, 2.0];
+        let ve = stage.payoff(0, &actions).unwrap();
+        let vc = stage.payoff(1, &actions).unwrap();
+        let agg = stage.follower_demand(&Prices::new(6.0, 2.0).unwrap()).unwrap();
+        assert!((ve - (6.0 - 2.0) * agg.edge).abs() < 1e-9);
+        assert!((vc - (2.0 - 1.0) * agg.cloud).abs() < 1e-9);
+        assert!(ve > 0.0 && vc > 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_connected_demand_matches_homogeneous_when_equal() {
+        let p = params();
+        let cfg = SubgameConfig::default();
+        let hom = ProviderStage::new(p, homogeneous(), Mode::Connected, cfg);
+        let het = ProviderStage::new(
+            p,
+            MinerPopulation::Heterogeneous { budgets: vec![200.0; 5] },
+            Mode::Connected,
+            cfg,
+        );
+        let prices = Prices::new(5.0, 2.0).unwrap();
+        let a = hom.follower_demand(&prices).unwrap();
+        let b = het.follower_demand(&prices).unwrap();
+        assert!((a.edge - b.edge).abs() < 1e-4, "{a:?} vs {b:?}");
+        assert!((a.cloud - b.cloud).abs() < 1e-4, "{a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn standalone_demand_respects_capacity() {
+        let stage =
+            ProviderStage::new(params(), homogeneous(), Mode::Standalone, SubgameConfig::default());
+        let agg = stage.follower_demand(&Prices::new(4.0, 2.0).unwrap()).unwrap();
+        assert!(agg.edge <= params().e_max() + 1e-6, "E = {}", agg.edge);
+    }
+
+    #[test]
+    fn heterogeneous_standalone_demand_matches_homogeneous_when_equal() {
+        let p = params();
+        let cfg = SubgameConfig::default();
+        let hom = ProviderStage::new(p, homogeneous(), Mode::Standalone, cfg);
+        let het = ProviderStage::new(
+            p,
+            MinerPopulation::Heterogeneous { budgets: vec![200.0; 5] },
+            Mode::Standalone,
+            cfg,
+        );
+        let prices = Prices::new(4.0, 2.0).unwrap();
+        let a = hom.follower_demand(&prices).unwrap();
+        let b = het.follower_demand(&prices).unwrap();
+        assert!((a.edge - b.edge).abs() < 5e-3, "{a:?} vs {b:?}");
+        assert!((a.cloud - b.cloud).abs() < 5e-3, "{a:?} vs {b:?}");
+        assert!(b.edge <= p.e_max() + 1e-5);
+    }
+
+    #[test]
+    fn infeasible_price_pairs_return_nan_payoff_not_error() {
+        // A CSP price above its cap bound is rejected by Prices::new inside
+        // payoff(): the stage reports an invalid-game error for malformed
+        // actions but NaN (searchable) for non-convergent follower stages.
+        let stage =
+            ProviderStage::new(params(), homogeneous(), Mode::Connected, SubgameConfig::default());
+        assert!(stage.payoff(0, &[-1.0, 2.0]).is_err());
+        // A price pair where the cloud is dominated converges to an
+        // all-edge equilibrium: payoff is finite, not NaN.
+        let v = stage.payoff(0, &[2.0, 3.0]).unwrap();
+        assert!(v.is_finite());
+    }
+}

@@ -1,0 +1,261 @@
+//! Full two-stage Stackelberg solutions.
+//!
+//! Backward induction per Definition 1: the leader stage (both providers
+//! pricing, each anticipating the miner subgame) is solved by asynchronous
+//! best response (paper Algorithm 1) or simultaneous price bargaining
+//! (Algorithm 2's schedule); the reported follower equilibrium is then
+//! re-solved at the equilibrium prices with the full heterogeneous solver.
+
+use mbm_game::stackelberg::{leader_equilibrium, simultaneous_bargaining, LeaderParams};
+use serde::{Deserialize, Serialize};
+
+use crate::error::MiningGameError;
+use crate::params::{validate_budgets, MarketParams, Prices};
+use crate::sp::stage::{Mode, ProviderStage};
+use crate::sp::MinerPopulation;
+use crate::subgame::connected::solve_connected_miner_subgame;
+use crate::subgame::standalone::solve_standalone_miner_subgame;
+use crate::subgame::{MinerEquilibrium, SubgameConfig};
+
+/// Leader-update schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LeaderSchedule {
+    /// Sequential asynchronous best response (paper Algorithm 1).
+    BestResponse,
+    /// Simultaneous damped updates (paper Algorithm 2, "price bargaining").
+    Bargaining,
+}
+
+/// Configuration for the full Stackelberg solve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StackelbergConfig {
+    /// Leader-stage solver settings.
+    pub leader: LeaderParams,
+    /// Follower-stage solver settings.
+    pub subgame: SubgameConfig,
+    /// Leader-update schedule.
+    pub schedule: LeaderSchedule,
+}
+
+impl Default for StackelbergConfig {
+    fn default() -> Self {
+        StackelbergConfig {
+            leader: LeaderParams { tol: 1e-4, max_rounds: 60, grid_points: 25, grid_rounds: 5, damping: 1.0 },
+            subgame: SubgameConfig::default(),
+            schedule: LeaderSchedule::BestResponse,
+        }
+    }
+}
+
+/// A solved Stackelberg game.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StackelbergSolution {
+    /// Equilibrium prices `(P_e*, P_c*)`.
+    pub prices: Prices,
+    /// Follower equilibrium at those prices.
+    pub equilibrium: MinerEquilibrium,
+    /// ESP profit `V_e`.
+    pub esp_profit: f64,
+    /// CSP profit `V_c`.
+    pub csp_profit: f64,
+    /// Leader rounds used.
+    pub leader_rounds: usize,
+    /// Final leader residual (price displacement).
+    pub leader_residual: f64,
+}
+
+/// Solves the connected-mode Stackelberg game for the given miner budgets.
+///
+/// Homogeneous budgets automatically use the symmetric fast-path follower
+/// solver inside the price search.
+///
+/// # Errors
+///
+/// Propagates parameter and convergence errors.
+pub fn solve_connected(
+    params: &MarketParams,
+    budgets: &[f64],
+    cfg: &StackelbergConfig,
+) -> Result<StackelbergSolution, MiningGameError> {
+    solve(params, budgets, Mode::Connected, cfg)
+}
+
+/// Solves the standalone-mode Stackelberg game for the given miner budgets.
+///
+/// # Errors
+///
+/// Propagates parameter and convergence errors.
+pub fn solve_standalone(
+    params: &MarketParams,
+    budgets: &[f64],
+    cfg: &StackelbergConfig,
+) -> Result<StackelbergSolution, MiningGameError> {
+    solve(params, budgets, Mode::Standalone, cfg)
+}
+
+fn solve(
+    params: &MarketParams,
+    budgets: &[f64],
+    mode: Mode,
+    cfg: &StackelbergConfig,
+) -> Result<StackelbergSolution, MiningGameError> {
+    validate_budgets(budgets)?;
+    let population = population_of(budgets);
+    let stage = ProviderStage::new(*params, population, mode, cfg.subgame);
+    let init = vec![
+        0.5 * (params.esp().cost() + params.esp().price_cap()),
+        0.5 * (params.csp().cost() + params.csp().price_cap()),
+    ];
+    // The leader game can lack a pure Nash equilibrium: whenever the CSP's
+    // stationary price exceeds the ESP's unit cost, the ESP's best response
+    // flips discontinuously between its price cap and the mixed-strategy
+    // kink, producing an Edgeworth-style price cycle (see DESIGN.md). We
+    // retry with increasing damping, which settles near-cycles; a genuine
+    // cycle still reports `NoConvergence` honestly.
+    let out = match cfg.schedule {
+        LeaderSchedule::BestResponse => {
+            let mut result = leader_equilibrium(&stage, init.clone(), &cfg.leader);
+            for damping in [0.5, 0.25] {
+                if result.is_ok() {
+                    break;
+                }
+                let damped = LeaderParams { damping, ..cfg.leader };
+                result = leader_equilibrium(&stage, init.clone(), &damped);
+            }
+            result?
+        }
+        LeaderSchedule::Bargaining => {
+            let damped = LeaderParams { damping: 0.6, ..cfg.leader };
+            simultaneous_bargaining(&stage, init, &damped)?
+        }
+    };
+    let prices = Prices::new(out.actions[0], out.actions[1])?;
+    let equilibrium = match mode {
+        Mode::Connected => solve_connected_miner_subgame(params, &prices, budgets, &cfg.subgame)?,
+        Mode::Standalone => solve_standalone_miner_subgame(params, &prices, budgets, &cfg.subgame)?,
+    };
+    let (esp_profit, csp_profit) = crate::sp::profits(params, &prices, &equilibrium.aggregates);
+    Ok(StackelbergSolution {
+        prices,
+        equilibrium,
+        esp_profit,
+        csp_profit,
+        leader_rounds: out.rounds,
+        leader_residual: out.residual,
+    })
+}
+
+fn population_of(budgets: &[f64]) -> MinerPopulation {
+    let first = budgets[0];
+    if budgets.iter().all(|&b| (b - first).abs() <= 1e-12 * (1.0 + first)) {
+        MinerPopulation::Homogeneous { budget: first, n: budgets.len() }
+    } else {
+        MinerPopulation::Heterogeneous { budgets: budgets.to_vec() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Parameters in the pure-NE region of the leader game: the CSP's
+    /// stationary price (~5.6 at these values) stays below the ESP's unit
+    /// cost, so the ESP's cap is dominant and no Edgeworth cycle arises.
+    fn params() -> MarketParams {
+        MarketParams::builder()
+            .reward(100.0)
+            .fork_rate(0.2)
+            .edge_availability(0.8)
+            .e_max(5.0)
+            .esp(crate::params::Provider::new(7.0, 15.0).unwrap())
+            .csp(crate::params::Provider::new(1.0, 8.0).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn connected_solution_is_sane() {
+        let p = params();
+        let sol = solve_connected(&p, &[200.0; 5], &StackelbergConfig::default()).unwrap();
+        // Prices within bounds.
+        assert!(sol.prices.edge > p.esp().cost() && sol.prices.edge <= p.esp().price_cap());
+        assert!(sol.prices.cloud > p.csp().cost() && sol.prices.cloud <= p.csp().price_cap());
+        // ESP prices above CSP (scarce low-latency resource).
+        assert!(sol.prices.edge > sol.prices.cloud);
+        // Positive activity and profits.
+        assert!(sol.equilibrium.aggregates.edge > 0.0);
+        assert!(sol.equilibrium.aggregates.cloud > 0.0);
+        assert!(sol.esp_profit > 0.0);
+        assert!(sol.csp_profit > 0.0);
+    }
+
+    #[test]
+    fn esp_hits_its_cap_in_the_budget_binding_regime() {
+        // Theorem 4: with binding budgets the ESP's dominant strategy is its
+        // price cap.
+        let p = params();
+        let sol = solve_connected(&p, &[200.0; 5], &StackelbergConfig::default()).unwrap();
+        assert!(
+            (sol.prices.edge - p.esp().price_cap()).abs() < 0.2,
+            "P_e = {} vs cap {}",
+            sol.prices.edge,
+            p.esp().price_cap()
+        );
+    }
+
+    #[test]
+    fn standalone_solution_respects_capacity_and_prices_higher() {
+        let p = params();
+        let cfg = StackelbergConfig::default();
+        let conn = solve_connected(&p, &[200.0; 5], &cfg).unwrap();
+        let stand = solve_standalone(&p, &[200.0; 5], &cfg).unwrap();
+        assert!(stand.equilibrium.aggregates.edge <= p.e_max() + 1e-4);
+        // Paper Section VI-B: the standalone mode allows the ESP a higher
+        // price (it does not, however, always yield more profit under a
+        // shared cap, so we only assert the price ordering).
+        assert!(
+            stand.prices.edge >= conn.prices.edge - 0.2,
+            "standalone {} vs connected {}",
+            stand.prices.edge,
+            conn.prices.edge
+        );
+    }
+
+    #[test]
+    fn bargaining_schedule_agrees_with_best_response() {
+        let p = params();
+        let br = solve_connected(&p, &[200.0; 5], &StackelbergConfig::default()).unwrap();
+        let barg = solve_connected(
+            &p,
+            &[200.0; 5],
+            &StackelbergConfig { schedule: LeaderSchedule::Bargaining, ..Default::default() },
+        )
+        .unwrap();
+        assert!((br.prices.edge - barg.prices.edge).abs() < 0.3, "{:?} vs {:?}", br.prices, barg.prices);
+        assert!((br.prices.cloud - barg.prices.cloud).abs() < 0.3);
+    }
+
+    #[test]
+    fn heterogeneous_budgets_are_accepted() {
+        let p = params();
+        // Loose settings keep the full-NEP leader search affordable in tests.
+        let cfg = StackelbergConfig {
+            leader: LeaderParams { tol: 5e-3, max_rounds: 20, grid_points: 9, grid_rounds: 3, damping: 1.0 },
+            subgame: SubgameConfig { tol: 1e-7, ..Default::default() },
+            schedule: LeaderSchedule::BestResponse,
+        };
+        let sol = solve_connected(&p, &[50.0, 100.0, 200.0], &cfg).unwrap();
+        assert!(sol.prices.edge > sol.prices.cloud);
+        assert!(sol.equilibrium.requests.len() == 3);
+        // Richer miners buy more in total.
+        let totals: Vec<f64> = sol.equilibrium.requests.iter().map(|r| r.total()).collect();
+        assert!(totals[2] >= totals[0], "{totals:?}");
+    }
+
+    #[test]
+    fn rejects_bad_budgets() {
+        let p = params();
+        assert!(solve_connected(&p, &[100.0], &StackelbergConfig::default()).is_err());
+        assert!(solve_connected(&p, &[], &StackelbergConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! The follower (miner) stage of the Stackelberg game.
+//!
+//! * [`connected`] — Problem 1a: the classical NEP when the ESP is connected
+//!   to the CSP (Theorem 2 machinery: analytic KKT best responses and
+//!   best-response dynamics).
+//! * [`homogeneous`] — Theorem 3 and Corollary 1 closed forms for identical
+//!   miners.
+//! * [`standalone`] — Problem 1c: the GNEP under the shared capacity
+//!   constraint `Σ eᵢ ≤ E_max` (Theorem 5 machinery: variational
+//!   equilibrium).
+//! * [`dynamic`] — Problem 1d: population uncertainty with
+//!   `N ~ Gaussian(μ, σ²)`.
+
+pub mod connected;
+pub mod dynamic;
+pub mod homogeneous;
+pub mod standalone;
+
+use serde::{Deserialize, Serialize};
+
+use crate::request::{Aggregates, Request};
+
+/// Configuration shared by the miner-subgame solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubgameConfig {
+    /// Damping of the best-response dynamics in `(0, 1]`.
+    pub damping: f64,
+    /// Convergence tolerance on the request displacement.
+    pub tol: f64,
+    /// Sweep / iteration cap.
+    pub max_iter: usize,
+}
+
+impl Default for SubgameConfig {
+    fn default() -> Self {
+        SubgameConfig { damping: 0.5, tol: 1e-9, max_iter: 5000 }
+    }
+}
+
+/// A solved miner subgame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinerEquilibrium {
+    /// Per-miner equilibrium requests.
+    pub requests: Vec<Request>,
+    /// Aggregates `(E, C)` at equilibrium.
+    pub aggregates: Aggregates,
+    /// Per-miner equilibrium utilities.
+    pub utilities: Vec<f64>,
+    /// Iterations/sweeps used by the solver.
+    pub iterations: usize,
+    /// Final solver residual (displacement or VI natural residual).
+    pub residual: f64,
+}

@@ -1,0 +1,424 @@
+//! Standalone-mode miner subgame (Problem 1c, `GNEP_MINER`).
+//!
+//! Without load sharing, the ESP owns `E_max` units and rejects overflow, so
+//! rational miners jointly respect `Σᵢ eᵢ ≤ E_max` — a *shared* constraint
+//! that turns the follower stage into a jointly convex generalized Nash
+//! equilibrium problem (GNEP). Existence follows variational-inequality
+//! theory (paper Theorem 5); among the generally-infinite equilibria we
+//! compute the **variational equilibrium** (equal shadow price on the shared
+//! capacity), which is what the paper's Algorithm 2 converges to.
+
+use mbm_game::game::Game;
+use mbm_game::gnep::{gnep_residual, variational_equilibrium, IntersectionSet, ProductSet};
+use mbm_game::profile::Profile;
+use mbm_numerics::projection::{BudgetSet, ConvexSet, Halfspace};
+use mbm_numerics::vi::ViParams;
+
+use crate::error::MiningGameError;
+use crate::params::{validate_budgets, MarketParams, Prices};
+use crate::request::{Aggregates, Request};
+use crate::subgame::connected::{analytic_best_response, BestResponseInputs};
+use crate::subgame::{MinerEquilibrium, SubgameConfig};
+use crate::winning::{utility_gradient, utility_standalone};
+
+/// The standalone-mode miner subgame as an [`mbm_game::game::Game`].
+///
+/// The per-player [`Game::best_response`] honours the *residual* capacity
+/// `E_max − E₋ᵢ` (the generalized best response); the variational
+/// equilibrium itself is computed on the shared set via the extragradient
+/// method.
+#[derive(Debug, Clone)]
+pub struct StandaloneMinerGame {
+    params: MarketParams,
+    prices: Prices,
+    budgets: Vec<f64>,
+}
+
+impl StandaloneMinerGame {
+    /// Creates the subgame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiningGameError::InvalidParameter`] for invalid budgets.
+    pub fn new(
+        params: MarketParams,
+        prices: Prices,
+        budgets: Vec<f64>,
+    ) -> Result<Self, MiningGameError> {
+        validate_budgets(&budgets)?;
+        Ok(StandaloneMinerGame { params, prices, budgets })
+    }
+
+    fn requests_of(profile: &Profile) -> Vec<Request> {
+        (0..profile.num_players())
+            .map(|i| {
+                let b = profile.block(i);
+                Request { edge: b[0].max(0.0), cloud: b[1].max(0.0) }
+            })
+            .collect()
+    }
+
+    /// The shared feasible set: every miner within budget, total edge demand
+    /// within capacity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (cannot occur for validated params).
+    pub fn shared_set(
+        &self,
+    ) -> Result<IntersectionSet<ProductSet, Halfspace>, MiningGameError> {
+        let budget_sets: Vec<Box<dyn ConvexSet + Send + Sync>> = self
+            .budgets
+            .iter()
+            .map(|&b| {
+                Ok(Box::new(BudgetSet::new(
+                    vec![self.prices.edge, self.prices.cloud],
+                    b,
+                )?) as Box<dyn ConvexSet + Send + Sync>)
+            })
+            .collect::<Result<_, MiningGameError>>()?;
+        let product = ProductSet::new(budget_sets)?;
+        // Capacity half-space touches only the edge coordinates (pattern
+        // [1, 0, 1, 0, ...]).
+        let mut normal = vec![0.0; 2 * self.budgets.len()];
+        for k in 0..self.budgets.len() {
+            normal[2 * k] = 1.0;
+        }
+        let hs = Halfspace::new(normal, self.params.e_max())?;
+        Ok(IntersectionSet::new(product, hs)?)
+    }
+}
+
+impl Game for StandaloneMinerGame {
+    fn num_players(&self) -> usize {
+        self.budgets.len()
+    }
+
+    fn dim(&self, _i: usize) -> usize {
+        2
+    }
+
+    fn utility(&self, i: usize, profile: &Profile) -> f64 {
+        let requests = Self::requests_of(profile);
+        utility_standalone(i, &requests, &self.prices, &self.params)
+    }
+
+    fn project(&self, i: usize, strategy: &mut [f64], profile: &Profile) {
+        // Individual projection: own budget plus the residual capacity left
+        // by the other miners (the generalized feasible set K_i(r_{-i})).
+        let set = BudgetSet::new(vec![self.prices.edge, self.prices.cloud], self.budgets[i])
+            .expect("prices validated at construction");
+        set.project(strategy);
+        let requests = Self::requests_of(profile);
+        let e_others: f64 = requests
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, r)| r.edge)
+            .sum();
+        let residual = (self.params.e_max() - e_others).max(0.0);
+        if strategy[0] > residual {
+            strategy[0] = residual;
+        }
+    }
+
+    fn gradient(&self, i: usize, profile: &Profile, out: &mut [f64]) {
+        // The winning probability's edge share e_i/E is discontinuous at
+        // E = 0: the convention "no edge, no bonus" creates a spurious
+        // all-zero-edge VI solution that the extragradient method can fall
+        // into (any single miner would in truth gain the whole β bonus by
+        // buying ε edge units). Evaluating the operator at edge-floored
+        // profiles keeps the escape direction visible while perturbing
+        // genuine equilibria by at most the floor.
+        const EDGE_FLOOR: f64 = 1e-7;
+        let mut requests = Self::requests_of(profile);
+        for r in &mut requests {
+            r.edge = r.edge.max(EDGE_FLOOR);
+        }
+        let g = utility_gradient(i, &requests, &self.prices, &self.params, 1.0);
+        out.copy_from_slice(&g);
+    }
+
+    fn best_response(&self, i: usize, profile: &Profile) -> Result<Vec<f64>, mbm_game::GameError> {
+        let requests = Self::requests_of(profile);
+        let agg = Aggregates::of(&requests);
+        let e_others = agg.edge - requests[i].edge;
+        let inp = BestResponseInputs {
+            reward: self.params.reward(),
+            beta: self.params.fork_rate(),
+            h: 1.0, // the standalone objective is the h = 1 form
+            prices: self.prices,
+            budget: self.budgets[i],
+            e_others,
+            s_others: agg.total() - requests[i].total(),
+            edge_cap: Some((self.params.e_max() - e_others).max(0.0)),
+        };
+        let r = analytic_best_response(&inp)
+            .map_err(|e| mbm_game::GameError::invalid(e.to_string()))?;
+        Ok(vec![r.edge, r.cloud])
+    }
+}
+
+/// Solves the standalone miner subgame for its variational equilibrium
+/// (the follower half of the paper's Algorithm 2).
+///
+/// # Errors
+///
+/// Propagates parameter and solver errors.
+pub fn solve_standalone_miner_subgame(
+    params: &MarketParams,
+    prices: &Prices,
+    budgets: &[f64],
+    cfg: &SubgameConfig,
+) -> Result<MinerEquilibrium, MiningGameError> {
+    let game = StandaloneMinerGame::new(*params, *prices, budgets.to_vec())?;
+    let shared = game.shared_set()?;
+    let n = budgets.len();
+    // Feasible interior start: spread half the budget, then scale edge into
+    // capacity.
+    let mut blocks: Vec<Vec<f64>> = budgets
+        .iter()
+        .map(|&b| vec![b / (4.0 * prices.edge), b / (4.0 * prices.cloud)])
+        .collect();
+    let e_total: f64 = blocks.iter().map(|b| b[0]).sum();
+    if e_total > params.e_max() {
+        let scale = params.e_max() / e_total * 0.95;
+        for b in &mut blocks {
+            b[0] *= scale;
+        }
+    }
+    let init = Profile::from_blocks(&blocks)?;
+    let vi = ViParams { tol: cfg.tol.max(1e-10), max_iter: cfg.max_iter.max(20_000), ..Default::default() };
+    let out = variational_equilibrium(&game, &shared, &init, &vi)?;
+    let requests = StandaloneMinerGame::requests_of(&out.profile);
+    let utilities = (0..n)
+        .map(|i| utility_standalone(i, &requests, prices, params))
+        .collect();
+    Ok(MinerEquilibrium {
+        aggregates: Aggregates::of(&requests),
+        requests,
+        utilities,
+        iterations: out.iterations,
+        residual: out.residual,
+    })
+}
+
+/// VI natural-residual certificate for a candidate standalone equilibrium.
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn standalone_residual(
+    params: &MarketParams,
+    prices: &Prices,
+    budgets: &[f64],
+    requests: &[Request],
+) -> Result<f64, MiningGameError> {
+    let game = StandaloneMinerGame::new(*params, *prices, budgets.to_vec())?;
+    let shared = game.shared_set()?;
+    let blocks: Vec<Vec<f64>> = requests.iter().map(|r| vec![r.edge, r.cloud]).collect();
+    let profile = Profile::from_blocks(&blocks)?;
+    Ok(gnep_residual(&game, &shared, &profile))
+}
+
+/// Fast path for homogeneous miners in standalone mode: symmetric fixed
+/// point of the capacity-capped best response. When the capacity binds the
+/// symmetric variational equilibrium has `e_i = E_max / n`, which this
+/// iteration reproduces.
+///
+/// # Errors
+///
+/// Propagates parameter and convergence errors.
+pub fn solve_symmetric_standalone(
+    params: &MarketParams,
+    prices: &Prices,
+    budget: f64,
+    n: usize,
+    cfg: &SubgameConfig,
+) -> Result<Request, MiningGameError> {
+    if n < 2 {
+        return Err(MiningGameError::invalid("need at least two miners"));
+    }
+    let m = (n - 1) as f64;
+    let mut x = Request {
+        edge: (budget / (4.0 * prices.edge)).min(params.e_max() / n as f64),
+        cloud: budget / (4.0 * prices.cloud),
+    };
+    // See solve_symmetric_connected for the 1/n damping rationale; the
+    // standalone map is steeper still — in the capacity-binding branch
+    // `e_i = E_max − (n−1)ē` has slope −(n−1) — so the damping must stay
+    // below 2/n. 1.2/(n+1) keeps a safety margin at every n.
+    let omega = cfg.damping.min(1.2 / (n as f64 + 1.0));
+    let mut residual = f64::INFINITY;
+    for _ in 0..cfg.max_iter {
+        let e_others = m * x.edge;
+        let inp = BestResponseInputs {
+            reward: params.reward(),
+            beta: params.fork_rate(),
+            h: 1.0,
+            prices: *prices,
+            budget,
+            e_others,
+            s_others: m * x.total(),
+            edge_cap: Some((params.e_max() - e_others).max(0.0)),
+        };
+        let br = analytic_best_response(&inp)?;
+        let next = Request {
+            edge: (1.0 - omega) * x.edge + omega * br.edge,
+            cloud: (1.0 - omega) * x.cloud + omega * br.cloud,
+        };
+        residual = (next.edge - x.edge).abs().max((next.cloud - x.cloud).abs());
+        x = next;
+        if residual <= cfg.tol {
+            return Ok(x);
+        }
+    }
+    Err(MiningGameError::Game(mbm_game::GameError::NoConvergence {
+        iterations: cfg.max_iter,
+        residual,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(e_max: f64) -> MarketParams {
+        MarketParams::builder()
+            .reward(100.0)
+            .fork_rate(0.2)
+            .edge_availability(0.8)
+            .e_max(e_max)
+            .build()
+            .unwrap()
+    }
+
+    fn prices() -> Prices {
+        Prices::new(4.0, 2.0).unwrap()
+    }
+
+    #[test]
+    fn equilibrium_respects_capacity_and_budgets() {
+        let p = params(2.0); // tight capacity
+        let pr = prices();
+        let budgets = vec![200.0; 4];
+        let eq = solve_standalone_miner_subgame(&p, &pr, &budgets, &SubgameConfig::default())
+            .unwrap();
+        assert!(
+            eq.aggregates.edge <= p.e_max() + 1e-6,
+            "E = {} > E_max = {}",
+            eq.aggregates.edge,
+            p.e_max()
+        );
+        for (r, &b) in eq.requests.iter().zip(&budgets) {
+            assert!(r.cost(&pr) <= b + 1e-6);
+            assert!(r.edge >= -1e-12 && r.cloud >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn capacity_binds_when_tight_and_splits_evenly_for_homogeneous() {
+        let p = params(2.0);
+        let pr = prices();
+        let budgets = vec![200.0; 4];
+        let eq = solve_standalone_miner_subgame(&p, &pr, &budgets, &SubgameConfig::default())
+            .unwrap();
+        // Unconstrained edge demand far exceeds 2.0, so capacity binds; the
+        // variational equilibrium splits it evenly.
+        assert!((eq.aggregates.edge - 2.0).abs() < 1e-3, "E = {}", eq.aggregates.edge);
+        for r in &eq.requests {
+            assert!((r.edge - 0.5).abs() < 1e-3, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn loose_capacity_reduces_to_h_one_connected_nep() {
+        use crate::subgame::connected::solve_symmetric_connected;
+        // With a huge E_max the shared constraint is inactive, and the
+        // standalone game equals the connected NEP at h = 1.
+        let p = params(1e6);
+        let p_h1 = MarketParams::builder()
+            .reward(100.0)
+            .fork_rate(0.2)
+            .edge_availability(1.0)
+            .e_max(1e6)
+            .build()
+            .unwrap();
+        let pr = prices();
+        let n = 4;
+        let budget = 300.0;
+        let standalone =
+            solve_standalone_miner_subgame(&p, &pr, &vec![budget; n], &SubgameConfig::default())
+                .unwrap();
+        let connected =
+            solve_symmetric_connected(&p_h1, &pr, budget, n, &SubgameConfig::default()).unwrap();
+        for r in &standalone.requests {
+            assert!((r.edge - connected.edge).abs() < 1e-3, "{r:?} vs {connected:?}");
+            assert!((r.cloud - connected.cloud).abs() < 1e-3, "{r:?} vs {connected:?}");
+        }
+    }
+
+    #[test]
+    fn variational_residual_is_small_at_solution_and_large_off_it() {
+        let p = params(3.0);
+        let pr = prices();
+        let budgets = vec![150.0; 3];
+        let eq = solve_standalone_miner_subgame(&p, &pr, &budgets, &SubgameConfig::default())
+            .unwrap();
+        let at_solution = standalone_residual(&p, &pr, &budgets, &eq.requests).unwrap();
+        assert!(at_solution < 1e-3, "residual {at_solution}");
+        let off = vec![Request::new(0.1, 0.1).unwrap(); 3];
+        let off_residual = standalone_residual(&p, &pr, &budgets, &off).unwrap();
+        assert!(off_residual > at_solution * 10.0, "{off_residual} vs {at_solution}");
+    }
+
+    #[test]
+    fn symmetric_fast_path_matches_variational_equilibrium() {
+        let p = params(2.0);
+        let pr = prices();
+        let n = 4;
+        let budget = 200.0;
+        let sym = solve_symmetric_standalone(&p, &pr, budget, n, &SubgameConfig::default()).unwrap();
+        let full = solve_standalone_miner_subgame(&p, &pr, &vec![budget; n], &SubgameConfig::default())
+            .unwrap();
+        for r in &full.requests {
+            assert!((r.edge - sym.edge).abs() < 2e-3, "{r:?} vs {sym:?}");
+            assert!((r.cloud - sym.cloud).abs() < 2e-3, "{r:?} vs {sym:?}");
+        }
+    }
+
+    #[test]
+    fn generalized_best_response_respects_residual_capacity() {
+        let p = params(1.0);
+        let pr = prices();
+        let game = StandaloneMinerGame::new(p, pr, vec![500.0, 500.0]).unwrap();
+        // Other miner already uses 0.8 of the 1.0 capacity.
+        let profile = Profile::from_blocks(&[vec![0.0, 5.0], vec![0.8, 5.0]]).unwrap();
+        let br = Game::best_response(&game, 0, &profile).unwrap();
+        assert!(br[0] <= 0.2 + 1e-9, "edge request {} exceeds residual", br[0]);
+    }
+
+    #[test]
+    fn standalone_buys_more_edge_than_connected() {
+        use crate::subgame::connected::solve_symmetric_connected;
+        // Paper Section IV-C/Table II: the standalone mode encourages more
+        // edge purchases (connected mode discounts the edge by h < 1).
+        let p = params(50.0);
+        let pr = prices();
+        let n = 5;
+        let budget = 200.0;
+        let stand = solve_symmetric_standalone(&p, &pr, budget, n, &SubgameConfig::default())
+            .unwrap();
+        let conn = solve_symmetric_connected(&p, &pr, budget, n, &SubgameConfig::default()).unwrap();
+        assert!(stand.edge > conn.edge, "standalone {stand:?} vs connected {conn:?}");
+    }
+
+    #[test]
+    fn single_miner_is_rejected() {
+        let p = params(10.0);
+        assert!(
+            solve_standalone_miner_subgame(&p, &prices(), &[100.0], &SubgameConfig::default())
+                .is_err()
+        );
+    }
+}

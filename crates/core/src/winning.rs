@@ -1,0 +1,365 @@
+//! Winning probabilities (paper Section III) and miner utilities.
+//!
+//! All formulas take the full request profile; aggregates `E`, `C`,
+//! `S = E + C` are recomputed internally. Degenerate profiles are handled by
+//! explicit conventions (documented per function) rather than NaNs:
+//!
+//! * `S = 0` (no power anywhere): every winning probability is `0`.
+//! * `E = 0` (all-cloud network): every block suffers the same delay, so no
+//!   block can overtake another; `W_i = (e_i + c_i)/S`, and the fork
+//!   discount/bonus terms vanish.
+
+use crate::params::{MarketParams, Prices};
+use crate::request::{Aggregates, Request};
+
+/// `x / y` with the convention `0` when `y ≤ 0` (used for the `e_i / E`
+/// edge-share terms at degenerate profiles).
+#[inline]
+fn ratio(x: f64, y: f64) -> f64 {
+    if y > 0.0 {
+        x / y
+    } else {
+        0.0
+    }
+}
+
+/// Eq. 4 — the edge component `W_i^e = e_i/S + β e_i Σ_{j≠i} c_j /(E S)`:
+/// the chance of winning with an edge-mined block, including overtaking
+/// other miners' cloud blocks during their propagation.
+#[must_use]
+pub fn w_edge_component(i: usize, requests: &[Request], beta: f64) -> f64 {
+    let agg = Aggregates::of(requests);
+    let s = agg.total();
+    if s <= 0.0 {
+        return 0.0;
+    }
+    let r = requests[i];
+    if agg.edge <= 0.0 {
+        return 0.0;
+    }
+    r.edge / s + beta * r.edge * (agg.cloud - r.cloud) / (agg.edge * s)
+}
+
+/// Eq. 5 — the cloud component
+/// `W_i^c = c_i/S − β c_i Σ_{j≠i} e_j /(E S)`: the chance of winning with a
+/// cloud-mined block, discounted by conflicting edge blocks of other miners.
+#[must_use]
+pub fn w_cloud_component(i: usize, requests: &[Request], beta: f64) -> f64 {
+    let agg = Aggregates::of(requests);
+    let s = agg.total();
+    if s <= 0.0 {
+        return 0.0;
+    }
+    let r = requests[i];
+    if agg.edge <= 0.0 {
+        // All-cloud network: uniform delay, no overtaking.
+        return r.cloud / s;
+    }
+    r.cloud / s - beta * r.cloud * (agg.edge - r.edge) / (agg.edge * s)
+}
+
+/// Eq. 6 — full-satisfaction winning probability
+/// `W_i^h = (e_i + c_i)/S + β (e_i C − c_i E)/(E S)`.
+///
+/// Equals [`w_edge_component`]` + `[`w_cloud_component`] and sums to one
+/// over miners (Theorem 1); both identities are enforced by property tests.
+#[must_use]
+pub fn w_full(i: usize, requests: &[Request], beta: f64) -> f64 {
+    let agg = Aggregates::of(requests);
+    let s = agg.total();
+    if s <= 0.0 {
+        return 0.0;
+    }
+    let r = requests[i];
+    if agg.edge <= 0.0 {
+        return r.total() / s;
+    }
+    r.total() / s + beta * (r.edge * agg.cloud - r.cloud * agg.edge) / (agg.edge * s)
+}
+
+/// Eq. 7 — winning probability after a connected-mode transfer: the edge
+/// request is served by the cloud instead, so the whole request suffers the
+/// cloud delay: `W_i^{1−h} = (1 − β)(e_i + c_i)/S`.
+#[must_use]
+pub fn w_connected_transfer(i: usize, requests: &[Request], beta: f64) -> f64 {
+    let agg = Aggregates::of(requests);
+    let s = agg.total();
+    if s <= 0.0 {
+        return 0.0;
+    }
+    (1.0 - beta) * requests[i].total() / s
+}
+
+/// Eq. 8 — winning probability after a standalone-mode rejection: the edge
+/// request evaporates, shrinking the network to `S − e_i`:
+/// `W_i^⊥ = (1 − β) c_i/(S − e_i)`.
+#[must_use]
+pub fn w_standalone_rejected(i: usize, requests: &[Request], beta: f64) -> f64 {
+    let agg = Aggregates::of(requests);
+    let r = requests[i];
+    let s = agg.total() - r.edge;
+    if s <= 0.0 {
+        return 0.0;
+    }
+    (1.0 - beta) * r.cloud / s
+}
+
+/// Eq. 9 (simplified as in Problem 1a) — connected-mode expected winning
+/// probability `W_i = (1 − β)(e_i + c_i)/S + β h e_i / E`.
+///
+/// This is the law-of-total-expectation mixture
+/// `h·W_i^h + (1 − h)·W_i^{1−h}`; the algebraic collapse is verified by
+/// tests. At `E = 0` (all-cloud) it degrades to `(e_i + c_i)/S` — see the
+/// module conventions.
+#[must_use]
+pub fn w_connected_expected(i: usize, requests: &[Request], beta: f64, h: f64) -> f64 {
+    let agg = Aggregates::of(requests);
+    let s = agg.total();
+    if s <= 0.0 {
+        return 0.0;
+    }
+    let r = requests[i];
+    if agg.edge <= 0.0 {
+        return r.total() / s;
+    }
+    (1.0 - beta) * r.total() / s + beta * h * ratio(r.edge, agg.edge)
+}
+
+/// Eq. 23 — standalone-mode winning probability under the capacity
+/// constraint, identical to [`w_full`] (and to [`w_connected_expected`] at
+/// `h = 1`).
+#[must_use]
+pub fn w_standalone(i: usize, requests: &[Request], beta: f64) -> f64 {
+    w_full(i, requests, beta)
+}
+
+/// Theorem 1 check: the total winning probability `Σ_i W_i^h` (exactly 1
+/// for non-degenerate profiles).
+#[must_use]
+pub fn total_winning_probability(requests: &[Request], beta: f64) -> f64 {
+    (0..requests.len()).map(|i| w_full(i, requests, beta)).sum()
+}
+
+/// Connected-mode miner utility (Problem 1a objective):
+/// `U_i = R·W_i − (P_e e_i + P_c c_i)`.
+#[must_use]
+pub fn utility_connected(
+    i: usize,
+    requests: &[Request],
+    prices: &Prices,
+    params: &MarketParams,
+) -> f64 {
+    params.reward() * w_connected_expected(i, requests, params.fork_rate(), params.edge_availability())
+        - requests[i].cost(prices)
+}
+
+/// Standalone-mode miner utility (Problem 1c objective):
+/// `U_i = R·W_i^h − (P_e e_i + P_c c_i)` (the capacity constraint lives in
+/// the feasible set, not the objective).
+#[must_use]
+pub fn utility_standalone(
+    i: usize,
+    requests: &[Request],
+    prices: &Prices,
+    params: &MarketParams,
+) -> f64 {
+    params.reward() * w_full(i, requests, params.fork_rate()) - requests[i].cost(prices)
+}
+
+/// Analytic gradient `[∂U_i/∂e_i, ∂U_i/∂c_i]` of the connected-mode utility
+/// with availability `h` (pass `h = 1` for the standalone objective).
+///
+/// At degenerate aggregates (`S₋ᵢ = 0` or `E₋ᵢ = 0`) the corresponding
+/// share terms are treated as constant (zero derivative), matching the
+/// conventions above.
+#[must_use]
+pub fn utility_gradient(
+    i: usize,
+    requests: &[Request],
+    prices: &Prices,
+    params: &MarketParams,
+    h: f64,
+) -> [f64; 2] {
+    let agg = Aggregates::of(requests);
+    let r = requests[i];
+    let s = agg.total();
+    let s_others = s - r.total();
+    let e_others = agg.edge - r.edge;
+    let reward = params.reward();
+    let beta = params.fork_rate();
+
+    // d/de_i, d/dc_i of (1-beta)(e+c)/S = (1-beta) * S_{-i} / S^2.
+    let share_term = if s > 0.0 && s_others > 0.0 {
+        (1.0 - beta) * reward * s_others / (s * s)
+    } else {
+        0.0
+    };
+    // d/de_i of beta*h*e_i/E = beta*h*E_{-i}/E^2.
+    let edge_term = if agg.edge > 0.0 && e_others > 0.0 {
+        beta * h * reward * e_others / (agg.edge * agg.edge)
+    } else {
+        0.0
+    };
+    [share_term + edge_term - prices.edge, share_term - prices.cloud]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MarketParams;
+
+    fn reqs(v: &[(f64, f64)]) -> Vec<Request> {
+        v.iter().map(|&(e, c)| Request::new(e, c).unwrap()).collect()
+    }
+
+    const BETA: f64 = 0.3;
+
+    #[test]
+    fn components_sum_to_full() {
+        let r = reqs(&[(1.0, 2.0), (3.0, 0.5), (0.0, 4.0)]);
+        for i in 0..3 {
+            let sum = w_edge_component(i, &r, BETA) + w_cloud_component(i, &r, BETA);
+            let full = w_full(i, &r, BETA);
+            assert!((sum - full).abs() < 1e-14, "miner {i}: {sum} vs {full}");
+        }
+    }
+
+    #[test]
+    fn theorem1_probabilities_sum_to_one() {
+        for profile in [
+            vec![(1.0, 2.0), (3.0, 0.5), (0.0, 4.0)],
+            vec![(5.0, 0.0), (0.0, 5.0)],
+            vec![(1.0, 1.0), (1.0, 1.0), (1.0, 1.0), (1.0, 1.0)],
+        ] {
+            let r = reqs(&profile);
+            let total = total_winning_probability(&r, BETA);
+            assert!((total - 1.0).abs() < 1e-12, "{profile:?}: {total}");
+        }
+    }
+
+    #[test]
+    fn zero_beta_reduces_to_power_shares() {
+        let r = reqs(&[(1.0, 2.0), (3.0, 4.0)]);
+        assert!((w_full(0, &r, 0.0) - 0.3).abs() < 1e-15);
+        assert!((w_full(1, &r, 0.0) - 0.7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn all_cloud_network_has_no_fork_discount() {
+        let r = reqs(&[(0.0, 2.0), (0.0, 6.0)]);
+        assert!((w_full(0, &r, BETA) - 0.25).abs() < 1e-15);
+        assert!((w_cloud_component(0, &r, BETA) - 0.25).abs() < 1e-15);
+        assert_eq!(w_edge_component(0, &r, BETA), 0.0);
+        // And the total still sums to one.
+        assert!((total_winning_probability(&r, BETA) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_network_probabilities_are_zero() {
+        let r = reqs(&[(0.0, 0.0), (0.0, 0.0)]);
+        assert_eq!(w_full(0, &r, BETA), 0.0);
+        assert_eq!(w_connected_expected(0, &r, BETA, 0.8), 0.0);
+        assert_eq!(w_connected_transfer(0, &r, BETA), 0.0);
+        assert_eq!(w_standalone_rejected(0, &r, BETA), 0.0);
+    }
+
+    #[test]
+    fn edge_heavy_miner_benefits_from_forks() {
+        // Miner 0 all-edge vs miner 1 all-cloud, equal power: forks transfer
+        // win mass from 1 to 0.
+        let r = reqs(&[(2.0, 0.0), (0.0, 2.0)]);
+        assert!(w_full(0, &r, BETA) > 0.5);
+        assert!(w_full(1, &r, BETA) < 0.5);
+        assert!((w_full(0, &r, BETA) + w_full(1, &r, BETA) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn eq9_is_the_mixture_of_eq6_and_eq7() {
+        let r = reqs(&[(1.5, 2.0), (2.0, 1.0), (0.5, 3.0)]);
+        let h = 0.7;
+        for i in 0..3 {
+            let mix = h * w_full(i, &r, BETA) + (1.0 - h) * w_connected_transfer(i, &r, BETA);
+            let direct = w_connected_expected(i, &r, BETA, h);
+            assert!((mix - direct).abs() < 1e-12, "miner {i}: {mix} vs {direct}");
+        }
+    }
+
+    #[test]
+    fn standalone_equals_full_and_h_one_connected() {
+        let r = reqs(&[(1.0, 2.0), (2.0, 2.0)]);
+        for i in 0..2 {
+            assert_eq!(w_standalone(i, &r, BETA), w_full(i, &r, BETA));
+            assert!(
+                (w_connected_expected(i, &r, BETA, 1.0) - w_full(i, &r, BETA)).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn rejection_shrinks_the_network() {
+        let r = reqs(&[(2.0, 1.0), (1.0, 1.0)]);
+        // S = 5, rejected miner 0: c/(S - e) = 1/3 scaled by (1 - beta).
+        let w = w_standalone_rejected(0, &r, BETA);
+        assert!((w - (1.0 - BETA) / 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn utilities_subtract_costs() {
+        let params = MarketParams::builder().fork_rate(BETA).build().unwrap();
+        let prices = Prices::new(3.0, 2.0).unwrap();
+        let r = reqs(&[(1.0, 1.0), (1.0, 1.0)]);
+        let u = utility_connected(0, &r, &prices, &params);
+        let w = w_connected_expected(0, &r, BETA, params.edge_availability());
+        assert!((u - (100.0 * w - 5.0)).abs() < 1e-12);
+
+        let us = utility_standalone(0, &r, &prices, &params);
+        assert!((us - (100.0 * w_full(0, &r, BETA) - 5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analytic_gradient_matches_numeric() {
+        let params = MarketParams::builder().fork_rate(BETA).build().unwrap();
+        let prices = Prices::new(3.0, 2.0).unwrap();
+        let base = reqs(&[(1.5, 2.5), (2.0, 1.0), (0.5, 3.0)]);
+        let h = params.edge_availability();
+        for i in 0..3 {
+            let g = utility_gradient(i, &base, &prices, &params, h);
+            let eps = 1e-6;
+            for (k, want) in g.iter().enumerate() {
+                let mut up = base.clone();
+                let mut dn = base.clone();
+                if k == 0 {
+                    up[i].edge += eps;
+                    dn[i].edge -= eps;
+                } else {
+                    up[i].cloud += eps;
+                    dn[i].cloud -= eps;
+                }
+                let numeric = (utility_connected(i, &up, &prices, &params)
+                    - utility_connected(i, &dn, &prices, &params))
+                    / (2.0 * eps);
+                assert!(
+                    (want - numeric).abs() < 1e-5,
+                    "miner {i} coord {k}: analytic {want} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_with_h_one_matches_standalone_numeric() {
+        let params = MarketParams::builder().fork_rate(BETA).build().unwrap();
+        let prices = Prices::new(3.0, 2.0).unwrap();
+        let base = reqs(&[(1.5, 2.5), (2.0, 1.0)]);
+        let g = utility_gradient(0, &base, &prices, &params, 1.0);
+        let eps = 1e-6;
+        let mut up = base.clone();
+        up[0].edge += eps;
+        let mut dn = base.clone();
+        dn[0].edge -= eps;
+        let numeric = (utility_standalone(0, &up, &prices, &params)
+            - utility_standalone(0, &dn, &prices, &params))
+            / (2.0 * eps);
+        assert!((g[0] - numeric).abs() < 1e-5, "{} vs {numeric}", g[0]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Reference Cournot oligopoly with closed-form Nash equilibrium.
+//!
+//! Every solver in this crate is validated against this game before being
+//! trusted on the mining game. Firm `i` chooses quantity `qᵢ ∈ [0, cap]` and
+//! earns `qᵢ · (a − Σⱼ qⱼ) − cᵢ qᵢ` (linear inverse demand with slope 1,
+//! constant marginal cost).
+//!
+//! With all firms interior, the unique Nash equilibrium is
+//! `qᵢ* = (a + Σⱼ cⱼ) / (n + 1) − cᵢ`.
+
+use mbm_numerics::projection::{BoxSet, ConvexSet};
+use serde::{Deserialize, Serialize};
+
+use crate::error::GameError;
+use crate::game::Game;
+use crate::profile::Profile;
+
+/// Linear-demand Cournot oligopoly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cournot {
+    demand_intercept: f64,
+    costs: Vec<f64>,
+    cap: f64,
+}
+
+impl Cournot {
+    /// Creates an oligopoly with inverse demand `P(Q) = a − Q`, marginal
+    /// costs `costs`, and per-firm quantity cap `cap`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidGame`] if `costs` is empty, any cost is
+    /// negative/non-finite, `a` is not positive, or `cap` is not positive.
+    pub fn new(demand_intercept: f64, costs: Vec<f64>, cap: f64) -> Result<Self, GameError> {
+        if costs.is_empty() {
+            return Err(GameError::invalid("Cournot: need at least one firm"));
+        }
+        if !(demand_intercept.is_finite() && demand_intercept > 0.0) {
+            return Err(GameError::invalid("Cournot: demand intercept must be positive"));
+        }
+        if !(cap.is_finite() && cap > 0.0) {
+            return Err(GameError::invalid("Cournot: cap must be positive"));
+        }
+        for (i, &c) in costs.iter().enumerate() {
+            if !(c.is_finite() && c >= 0.0) {
+                return Err(GameError::invalid(format!("Cournot: cost[{i}] = {c} must be >= 0")));
+            }
+        }
+        Ok(Cournot { demand_intercept, costs, cap })
+    }
+
+    /// Closed-form interior Nash equilibrium quantities
+    /// `qᵢ* = (a + Σⱼ cⱼ) / (n + 1) − cᵢ`, clamped to `[0, cap]`.
+    #[must_use]
+    pub fn equilibrium(&self) -> Vec<f64> {
+        let n = self.costs.len() as f64;
+        let cost_sum: f64 = self.costs.iter().sum();
+        self.costs
+            .iter()
+            .map(|&c| ((self.demand_intercept + cost_sum) / (n + 1.0) - c).clamp(0.0, self.cap))
+            .collect()
+    }
+
+    /// Analytic best response `qᵢ = (a − cᵢ − Q₋ᵢ) / 2`, clamped.
+    #[must_use]
+    pub fn analytic_best_response(&self, i: usize, others_total: f64) -> f64 {
+        ((self.demand_intercept - self.costs[i] - others_total) / 2.0).clamp(0.0, self.cap)
+    }
+}
+
+impl Game for Cournot {
+    fn num_players(&self) -> usize {
+        self.costs.len()
+    }
+
+    fn dim(&self, _i: usize) -> usize {
+        1
+    }
+
+    fn utility(&self, i: usize, profile: &Profile) -> f64 {
+        let q_i = profile.block(i)[0];
+        let total: f64 = (0..self.num_players()).map(|j| profile.block(j)[0]).sum();
+        q_i * (self.demand_intercept - total) - self.costs[i] * q_i
+    }
+
+    fn project(&self, _i: usize, strategy: &mut [f64], _profile: &Profile) {
+        let set = BoxSet::new(vec![0.0], vec![self.cap]).expect("cap validated at construction");
+        set.project(strategy);
+    }
+
+    fn gradient(&self, i: usize, profile: &Profile, out: &mut [f64]) {
+        let q_i = profile.block(i)[0];
+        let total: f64 = (0..self.num_players()).map(|j| profile.block(j)[0]).sum();
+        out[0] = self.demand_intercept - total - q_i - self.costs[i];
+    }
+
+    fn best_response(&self, i: usize, profile: &Profile) -> Result<Vec<f64>, GameError> {
+        let others: f64 = (0..self.num_players())
+            .filter(|&j| j != i)
+            .map(|j| profile.block(j)[0])
+            .sum();
+        Ok(vec![self.analytic_best_response(i, others)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_duopoly_equilibrium() {
+        let g = Cournot::new(100.0, vec![10.0, 10.0], 100.0).unwrap();
+        let ne = g.equilibrium();
+        assert_eq!(ne, vec![30.0, 30.0]);
+    }
+
+    #[test]
+    fn asymmetric_triopoly_equilibrium_is_a_fixed_point_of_br() {
+        let g = Cournot::new(120.0, vec![10.0, 20.0, 30.0], 100.0).unwrap();
+        let ne = g.equilibrium();
+        for i in 0..3 {
+            let others: f64 = (0..3).filter(|&j| j != i).map(|j| ne[j]).sum();
+            let br = g.analytic_best_response(i, others);
+            assert!((br - ne[i]).abs() < 1e-12, "firm {i}");
+        }
+    }
+
+    #[test]
+    fn utility_and_gradient_are_consistent() {
+        let g = Cournot::new(100.0, vec![10.0, 10.0], 100.0).unwrap();
+        let p = Profile::from_blocks(&[vec![20.0], vec![25.0]]).unwrap();
+        let mut grad = [0.0];
+        g.gradient(0, &p, &mut grad);
+        // Numeric check.
+        let mut up = p.clone();
+        up.block_mut(0)[0] += 1e-6;
+        let mut dn = p.clone();
+        dn.block_mut(0)[0] -= 1e-6;
+        let numeric = (g.utility(0, &up) - g.utility(0, &dn)) / 2e-6;
+        assert!((grad[0] - numeric).abs() < 1e-5);
+    }
+
+    #[test]
+    fn monopoly_equilibrium() {
+        let g = Cournot::new(100.0, vec![20.0], 100.0).unwrap();
+        // Monopoly: q = (a - c) / 2 = 40.
+        assert_eq!(g.equilibrium(), vec![40.0]);
+    }
+
+    #[test]
+    fn cap_binds_in_equilibrium_formula() {
+        let g = Cournot::new(100.0, vec![0.0], 10.0).unwrap();
+        assert_eq!(g.equilibrium(), vec![10.0]);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Cournot::new(100.0, vec![], 10.0).is_err());
+        assert!(Cournot::new(0.0, vec![1.0], 10.0).is_err());
+        assert!(Cournot::new(100.0, vec![-1.0], 10.0).is_err());
+        assert!(Cournot::new(100.0, vec![1.0], 0.0).is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for game solvers.
+
+use std::error::Error;
+use std::fmt;
+
+use mbm_numerics::NumericsError;
+
+/// Errors produced by equilibrium computations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GameError {
+    /// A structural problem with the game description (dimension mismatch,
+    /// empty player set, invalid bounds, ...).
+    InvalidGame(String),
+    /// Best-response / bargaining dynamics hit the iteration cap.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final profile displacement.
+        residual: f64,
+    },
+    /// A numerical sub-solver failed.
+    Numerics(NumericsError),
+}
+
+impl fmt::Display for GameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GameError::InvalidGame(msg) => write!(f, "invalid game: {msg}"),
+            GameError::NoConvergence { iterations, residual } => write!(
+                f,
+                "equilibrium dynamics did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            GameError::Numerics(e) => write!(f, "numerical solver failed: {e}"),
+        }
+    }
+}
+
+impl Error for GameError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GameError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericsError> for GameError {
+    fn from(e: NumericsError) -> Self {
+        GameError::Numerics(e)
+    }
+}
+
+impl GameError {
+    /// Convenience constructor for [`GameError::InvalidGame`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        GameError::InvalidGame(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = GameError::invalid("no players");
+        assert_eq!(e.to_string(), "invalid game: no players");
+        assert!(e.source().is_none());
+
+        let e: GameError = NumericsError::invalid("bad").into();
+        assert!(e.to_string().contains("numerical solver failed"));
+        assert!(e.source().is_some());
+
+        let e = GameError::NoConvergence { iterations: 10, residual: 0.5 };
+        assert!(e.to_string().contains("10 iterations"));
+    }
+}

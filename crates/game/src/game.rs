@@ -1,0 +1,227 @@
+//! The [`Game`] trait: what a solver needs to know about a strategic game.
+
+use mbm_numerics::optimize::{projected_gradient_max, PgParams};
+use mbm_numerics::projection::BoxSet;
+
+use crate::error::GameError;
+use crate::profile::Profile;
+
+/// A finite-player continuous game.
+///
+/// Implementors describe utilities and per-player feasibility; solvers in
+/// [`crate::nash`] and [`crate::gnep`] drive the dynamics. Default
+/// implementations provide a numeric gradient (forward differences on the
+/// player's own block) and a numeric best response (projected-gradient
+/// ascent), so a minimal implementation only needs [`Game::utility`] and
+/// [`Game::project`]; games with analytic structure (like the mining game's
+/// KKT best response) override [`Game::best_response`] for speed and
+/// accuracy.
+pub trait Game {
+    /// Number of players.
+    fn num_players(&self) -> usize;
+
+    /// Dimension of player `i`'s strategy block.
+    fn dim(&self, i: usize) -> usize;
+
+    /// Utility of player `i` at the stacked profile.
+    fn utility(&self, i: usize, profile: &Profile) -> f64;
+
+    /// Projects `strategy` onto player `i`'s feasible set, *given* the rest
+    /// of the profile (the profile matters only for generalized games whose
+    /// feasible sets couple players).
+    fn project(&self, i: usize, strategy: &mut [f64], profile: &Profile);
+
+    /// Per-player dimensions, collected.
+    fn dims(&self) -> Vec<usize> {
+        (0..self.num_players()).map(|i| self.dim(i)).collect()
+    }
+
+    /// Gradient of player `i`'s utility with respect to its own block,
+    /// written into `out`.
+    ///
+    /// The default is a central difference on the player's own coordinates;
+    /// override with the analytic gradient where available.
+    fn gradient(&self, i: usize, profile: &Profile, out: &mut [f64]) {
+        let d = self.dim(i);
+        assert_eq!(out.len(), d, "Game::gradient: output length mismatch");
+        let mut work = profile.clone();
+        let h0 = 1e-6;
+        for k in 0..d {
+            let xk = profile.block(i)[k];
+            let h = h0 * (1.0 + xk.abs());
+            work.block_mut(i)[k] = xk + h;
+            let up = self.utility(i, &work);
+            work.block_mut(i)[k] = xk - h;
+            let dn = self.utility(i, &work);
+            work.block_mut(i)[k] = xk;
+            out[k] = (up - dn) / (2.0 * h);
+        }
+    }
+
+    /// Best response of player `i` to the rest of the profile.
+    ///
+    /// The default runs projected-gradient ascent from the player's current
+    /// strategy, using [`Game::gradient`] and a projection shim around
+    /// [`Game::project`]. Override with an analytic best response when one
+    /// exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::Numerics`] if the inner optimizer fails.
+    fn best_response(&self, i: usize, profile: &Profile) -> Result<Vec<f64>, GameError> {
+        let shim = ProjectionShim { game: self, player: i, profile };
+        let mut work_f = profile.clone();
+        let mut work_g = profile.clone();
+        let params = PgParams { tol: 1e-9, max_iter: 5000, ..Default::default() };
+        let r = projected_gradient_max(
+            &shim,
+            |own| {
+                work_f.set_block(i, own);
+                self.utility(i, &work_f)
+            },
+            |own, g| {
+                work_g.set_block(i, own);
+                self.gradient(i, &work_g, g);
+            },
+            profile.block(i),
+            &params,
+        )?;
+        Ok(r.x)
+    }
+}
+
+/// Adapter presenting a single player's feasible set (conditioned on the
+/// current profile) as a [`mbm_numerics::projection::ConvexSet`].
+struct ProjectionShim<'a, G: Game + ?Sized> {
+    game: &'a G,
+    player: usize,
+    profile: &'a Profile,
+}
+
+impl<G: Game + ?Sized> mbm_numerics::projection::ConvexSet for ProjectionShim<'_, G> {
+    fn dim(&self) -> usize {
+        self.game.dim(self.player)
+    }
+
+    fn project(&self, x: &mut [f64]) {
+        self.game.project(self.player, x, self.profile);
+    }
+
+    fn contains(&self, x: &[f64], tol: f64) -> bool {
+        let mut y = x.to_vec();
+        self.game.project(self.player, &mut y, self.profile);
+        mbm_numerics::max_abs_diff(x, &y) <= tol
+    }
+}
+
+/// A game whose players all share box-constrained strategies and whose
+/// utilities are supplied as closures — convenient for tests and small
+/// experiments.
+pub struct ClosureGame<U> {
+    boxes: Vec<BoxSet>,
+    utility: U,
+}
+
+impl<U> ClosureGame<U>
+where
+    U: Fn(usize, &Profile) -> f64,
+{
+    /// Creates a closure-backed game with one box per player.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidGame`] if `boxes` is empty.
+    pub fn new(boxes: Vec<BoxSet>, utility: U) -> Result<Self, GameError> {
+        if boxes.is_empty() {
+            return Err(GameError::invalid("ClosureGame: need at least one player"));
+        }
+        Ok(ClosureGame { boxes, utility })
+    }
+}
+
+impl<U> Game for ClosureGame<U>
+where
+    U: Fn(usize, &Profile) -> f64,
+{
+    fn num_players(&self) -> usize {
+        self.boxes.len()
+    }
+
+    fn dim(&self, i: usize) -> usize {
+        use mbm_numerics::projection::ConvexSet;
+        self.boxes[i].dim()
+    }
+
+    fn utility(&self, i: usize, profile: &Profile) -> f64 {
+        (self.utility)(i, profile)
+    }
+
+    fn project(&self, i: usize, strategy: &mut [f64], _profile: &Profile) {
+        use mbm_numerics::projection::ConvexSet;
+        self.boxes[i].project(strategy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_player_quadratic() -> ClosureGame<impl Fn(usize, &Profile) -> f64> {
+        // Player i maximizes -(x_i - t_i)^2, t = (0.3, 0.8), boxes [0, 1].
+        let boxes = vec![
+            BoxSet::new(vec![0.0], vec![1.0]).unwrap(),
+            BoxSet::new(vec![0.0], vec![1.0]).unwrap(),
+        ];
+        ClosureGame::new(boxes, |i, p: &Profile| {
+            let t = [0.3, 0.8];
+            let x = p.block(i)[0];
+            -(x - t[i]) * (x - t[i])
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn default_gradient_matches_analytic() {
+        let g = two_player_quadratic();
+        let p = Profile::uniform(&[1, 1], 0.5).unwrap();
+        let mut grad = [0.0];
+        g.gradient(0, &p, &mut grad);
+        // d/dx [-(x - 0.3)^2] at 0.5 = -0.4.
+        assert!((grad[0] + 0.4).abs() < 1e-6, "{grad:?}");
+    }
+
+    #[test]
+    fn default_best_response_solves_decoupled_game() {
+        let g = two_player_quadratic();
+        let p = Profile::uniform(&[1, 1], 0.5).unwrap();
+        let br0 = g.best_response(0, &p).unwrap();
+        let br1 = g.best_response(1, &p).unwrap();
+        assert!((br0[0] - 0.3).abs() < 1e-5, "{br0:?}");
+        assert!((br1[0] - 0.8).abs() < 1e-5, "{br1:?}");
+    }
+
+    #[test]
+    fn best_response_respects_box_bounds() {
+        // Target outside the box: BR must clamp to the boundary.
+        let boxes = vec![BoxSet::new(vec![0.0], vec![1.0]).unwrap()];
+        let g = ClosureGame::new(boxes, |_, p: &Profile| {
+            let x = p.block(0)[0];
+            -(x - 5.0) * (x - 5.0)
+        })
+        .unwrap();
+        let p = Profile::uniform(&[1], 0.2).unwrap();
+        let br = g.best_response(0, &p).unwrap();
+        assert!((br[0] - 1.0).abs() < 1e-8, "{br:?}");
+    }
+
+    #[test]
+    fn dims_collects_per_player_dimensions() {
+        let g = two_player_quadratic();
+        assert_eq!(g.dims(), vec![1, 1]);
+    }
+
+    #[test]
+    fn closure_game_rejects_empty() {
+        assert!(ClosureGame::new(vec![], |_, _: &Profile| 0.0).is_err());
+    }
+}

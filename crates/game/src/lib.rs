@@ -1,0 +1,64 @@
+//! Game-theoretic solvers for the mobile blockchain mining workspace.
+//!
+//! The mining game of the paper is a multi-leader multi-follower Stackelberg
+//! game whose follower stage is either a classical Nash equilibrium problem
+//! (connected mode) or a generalized Nash equilibrium problem with a shared
+//! edge-capacity constraint (standalone mode). This crate provides the
+//! reusable machinery:
+//!
+//! * [`profile`] — stacked strategy profiles with per-player blocks.
+//! * [`game`] — the [`game::Game`] trait: utilities, feasibility projections
+//!   and (optionally analytic) best responses.
+//! * [`nash`] — best-response dynamics (Gauss–Seidel, Jacobi, randomized
+//!   asynchronous — the paper's Algorithm 1 style) and ε-equilibrium
+//!   verification.
+//! * [`gnep`] — variational equilibria of jointly convex GNEPs via the
+//!   extragradient method (paper Theorem 5 machinery).
+//! * [`stackelberg`] — bilevel driver: leaders with scalar actions and
+//!   follower-anticipating payoffs, solved by asynchronous best response
+//!   (Algorithm 1) or simultaneous bargaining sweeps (Algorithm 2).
+//! * [`cournot`] — a reference Cournot oligopoly with closed-form Nash
+//!   equilibrium, used to validate every solver against known answers.
+//! * [`matrix`] — finite bimatrix games, pure-equilibrium enumeration and
+//!   regret matching, used to analyze the leader stage where no pure
+//!   equilibrium exists (Edgeworth price cycles).
+//!
+//! # Example: solving a Cournot duopoly
+//!
+//! ```
+//! use mbm_game::cournot::Cournot;
+//! use mbm_game::nash::{best_response_dynamics, BrParams, UpdateOrder};
+//! use mbm_game::profile::Profile;
+//!
+//! # fn main() -> Result<(), mbm_game::GameError> {
+//! let game = Cournot::new(100.0, vec![10.0, 10.0], 50.0)?;
+//! let init = Profile::uniform(&[1, 1], 1.0)?;
+//! let out = best_response_dynamics(&game, init, &BrParams::default())?;
+//! let q = out.profile.as_slice();
+//! // Symmetric duopoly: q_i = (a - c) / 3b = 30.
+//! assert!((q[0] - 30.0).abs() < 1e-6);
+//! assert!((q[1] - 30.0).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+// Lint policy: `!(x > 0.0)`-style guards deliberately reject NaN alongside
+// out-of-range values (rewriting via `partial_cmp` would lose that), and
+// index-based loops mirror the paper's sum-over-miners notation.
+#![allow(
+    clippy::neg_cmp_op_on_partial_ord,
+    clippy::nonminimal_bool,
+    clippy::needless_range_loop,
+    clippy::explicit_counter_loop
+)]
+
+pub mod cournot;
+pub mod error;
+pub mod game;
+pub mod gnep;
+pub mod matrix;
+pub mod nash;
+pub mod profile;
+pub mod stackelberg;
+
+pub use error::GameError;

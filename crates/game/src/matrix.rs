@@ -1,0 +1,326 @@
+//! Finite two-player (bimatrix) games, pure-equilibrium enumeration and
+//! regret-matching dynamics.
+//!
+//! The mining game's leader stage can lack a pure Nash equilibrium (the
+//! Edgeworth price cycle documented in the workspace DESIGN.md). On a
+//! discretized price grid the leader stage becomes a bimatrix game, for
+//! which regret matching converges — in time average — to the set of
+//! coarse correlated equilibria; its average strategies summarize how the
+//! providers randomize over the cycle.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::error::GameError;
+
+/// A finite two-player game in strategic form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BimatrixGame {
+    rows: usize,
+    cols: usize,
+    /// Row player's payoffs, row-major.
+    a: Vec<f64>,
+    /// Column player's payoffs, row-major.
+    b: Vec<f64>,
+}
+
+impl BimatrixGame {
+    /// Creates a game from row-major payoff matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidGame`] on empty or mismatched matrices or
+    /// non-finite payoffs.
+    pub fn new(rows: usize, cols: usize, a: Vec<f64>, b: Vec<f64>) -> Result<Self, GameError> {
+        if rows == 0 || cols == 0 {
+            return Err(GameError::invalid("BimatrixGame: need at least one action each"));
+        }
+        if a.len() != rows * cols || b.len() != rows * cols {
+            return Err(GameError::invalid("BimatrixGame: payoff matrix size mismatch"));
+        }
+        if a.iter().chain(&b).any(|v| !v.is_finite()) {
+            return Err(GameError::invalid("BimatrixGame: non-finite payoff"));
+        }
+        Ok(BimatrixGame { rows, cols, a, b })
+    }
+
+    /// Builds the game by evaluating `payoffs(i, j) -> (row, col)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidGame`] if any payoff is non-finite.
+    pub fn from_fn<F>(rows: usize, cols: usize, mut payoffs: F) -> Result<Self, GameError>
+    where
+        F: FnMut(usize, usize) -> (f64, f64),
+    {
+        let mut a = Vec::with_capacity(rows * cols);
+        let mut b = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                let (pa, pb) = payoffs(i, j);
+                a.push(pa);
+                b.push(pb);
+            }
+        }
+        BimatrixGame::new(rows, cols, a, b)
+    }
+
+    /// Number of row-player actions.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of column-player actions.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Payoffs `(row, col)` at the pure profile `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    #[must_use]
+    pub fn payoffs(&self, i: usize, j: usize) -> (f64, f64) {
+        assert!(i < self.rows && j < self.cols, "BimatrixGame::payoffs: out of range");
+        (self.a[i * self.cols + j], self.b[i * self.cols + j])
+    }
+
+    /// All pure Nash equilibria `(i, j)`.
+    #[must_use]
+    pub fn pure_equilibria(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let (ai, bj) = self.payoffs(i, j);
+                let row_best = (0..self.rows).all(|k| self.payoffs(k, j).0 <= ai + 1e-12);
+                let col_best = (0..self.cols).all(|k| self.payoffs(i, k).1 <= bj + 1e-12);
+                if row_best && col_best {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Expected payoffs under independent mixed strategies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy lengths do not match the action counts.
+    #[must_use]
+    pub fn expected_payoffs(&self, x: &[f64], y: &[f64]) -> (f64, f64) {
+        assert_eq!(x.len(), self.rows, "expected_payoffs: row strategy length");
+        assert_eq!(y.len(), self.cols, "expected_payoffs: col strategy length");
+        let mut ea = 0.0;
+        let mut eb = 0.0;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let w = x[i] * y[j];
+                ea += w * self.a[i * self.cols + j];
+                eb += w * self.b[i * self.cols + j];
+            }
+        }
+        (ea, eb)
+    }
+
+    /// Each player's best pure-deviation gain against the mixed profile —
+    /// the exploitability certificate (`(0, 0)` exactly at a mixed NE).
+    #[must_use]
+    pub fn exploitability(&self, x: &[f64], y: &[f64]) -> (f64, f64) {
+        let (ea, eb) = self.expected_payoffs(x, y);
+        let mut best_row = f64::NEG_INFINITY;
+        for i in 0..self.rows {
+            let v: f64 = (0..self.cols).map(|j| y[j] * self.a[i * self.cols + j]).sum();
+            best_row = best_row.max(v);
+        }
+        let mut best_col = f64::NEG_INFINITY;
+        for j in 0..self.cols {
+            let v: f64 = (0..self.rows).map(|i| x[i] * self.b[i * self.cols + j]).sum();
+            best_col = best_col.max(v);
+        }
+        ((best_row - ea).max(0.0), (best_col - eb).max(0.0))
+    }
+}
+
+/// Outcome of a regret-matching run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegretOutcome {
+    /// Row player's time-average strategy.
+    pub row_strategy: Vec<f64>,
+    /// Column player's time-average strategy.
+    pub col_strategy: Vec<f64>,
+    /// Exploitability of the average profile.
+    pub exploitability: (f64, f64),
+    /// Iterations played.
+    pub iterations: usize,
+}
+
+/// Runs regret matching (Hart & Mas-Colell) for both players
+/// simultaneously; the empirical play converges to the set of coarse
+/// correlated equilibria, and for many price games the average strategies
+/// summarize the cycle's invariant distribution.
+///
+/// # Errors
+///
+/// Returns [`GameError::InvalidGame`] for `iterations == 0`.
+pub fn regret_matching(
+    game: &BimatrixGame,
+    iterations: usize,
+    seed: u64,
+) -> Result<RegretOutcome, GameError> {
+    if iterations == 0 {
+        return Err(GameError::invalid("regret_matching: need at least one iteration"));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (rows, cols) = (game.rows(), game.cols());
+    let mut regret_row = vec![0.0f64; rows];
+    let mut regret_col = vec![0.0f64; cols];
+    let mut count_row = vec![0u64; rows];
+    let mut count_col = vec![0u64; cols];
+
+    let sample = |regrets: &[f64], rng: &mut StdRng| -> usize {
+        let positive: f64 = regrets.iter().map(|r| r.max(0.0)).sum();
+        if positive <= 0.0 {
+            return rng.gen_range(0..regrets.len());
+        }
+        let mut u = rng.gen::<f64>() * positive;
+        for (k, r) in regrets.iter().enumerate() {
+            u -= r.max(0.0);
+            if u <= 0.0 {
+                return k;
+            }
+        }
+        regrets.len() - 1
+    };
+
+    for _ in 0..iterations {
+        let i = sample(&regret_row, &mut rng);
+        let j = sample(&regret_col, &mut rng);
+        count_row[i] += 1;
+        count_col[j] += 1;
+        let (pa, pb) = game.payoffs(i, j);
+        for k in 0..rows {
+            regret_row[k] += game.payoffs(k, j).0 - pa;
+        }
+        for k in 0..cols {
+            regret_col[k] += game.payoffs(i, k).1 - pb;
+        }
+    }
+    let row_strategy: Vec<f64> =
+        count_row.iter().map(|&c| c as f64 / iterations as f64).collect();
+    let col_strategy: Vec<f64> =
+        count_col.iter().map(|&c| c as f64 / iterations as f64).collect();
+    let exploitability = game.exploitability(&row_strategy, &col_strategy);
+    Ok(RegretOutcome { row_strategy, col_strategy, exploitability, iterations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matching_pennies() -> BimatrixGame {
+        // Row wants to match, column wants to mismatch.
+        BimatrixGame::new(
+            2,
+            2,
+            vec![1.0, -1.0, -1.0, 1.0],
+            vec![-1.0, 1.0, 1.0, -1.0],
+        )
+        .unwrap()
+    }
+
+    fn prisoners_dilemma() -> BimatrixGame {
+        // Actions: 0 = cooperate, 1 = defect.
+        BimatrixGame::new(
+            2,
+            2,
+            vec![3.0, 0.0, 5.0, 1.0],
+            vec![3.0, 5.0, 0.0, 1.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(BimatrixGame::new(0, 1, vec![], vec![]).is_err());
+        assert!(BimatrixGame::new(1, 1, vec![1.0, 2.0], vec![1.0]).is_err());
+        assert!(BimatrixGame::new(1, 1, vec![f64::NAN], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn pure_equilibria_of_classic_games() {
+        assert!(matching_pennies().pure_equilibria().is_empty());
+        assert_eq!(prisoners_dilemma().pure_equilibria(), vec![(1, 1)]);
+        // Battle of the sexes: two pure equilibria on the diagonal.
+        let bos = BimatrixGame::new(
+            2,
+            2,
+            vec![2.0, 0.0, 0.0, 1.0],
+            vec![1.0, 0.0, 0.0, 2.0],
+        )
+        .unwrap();
+        assert_eq!(bos.pure_equilibria(), vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn expected_payoffs_and_exploitability_at_mixed_ne() {
+        let g = matching_pennies();
+        let uniform = [0.5, 0.5];
+        let (ea, eb) = g.expected_payoffs(&uniform, &uniform);
+        assert!(ea.abs() < 1e-12 && eb.abs() < 1e-12);
+        let (xr, xc) = g.exploitability(&uniform, &uniform);
+        assert!(xr < 1e-12 && xc < 1e-12);
+        // A pure profile in matching pennies is fully exploitable.
+        let (xr, _) = g.exploitability(&[1.0, 0.0], &[0.0, 1.0]);
+        assert!(xr >= 2.0 - 1e-12);
+    }
+
+    #[test]
+    fn regret_matching_finds_the_pennies_mixture() {
+        let g = matching_pennies();
+        let out = regret_matching(&g, 200_000, 3).unwrap();
+        for p in out.row_strategy.iter().chain(&out.col_strategy) {
+            assert!((p - 0.5).abs() < 0.05, "{:?} {:?}", out.row_strategy, out.col_strategy);
+        }
+        assert!(out.exploitability.0 < 0.05 && out.exploitability.1 < 0.05);
+    }
+
+    #[test]
+    fn regret_matching_converges_to_defection_in_pd() {
+        let g = prisoners_dilemma();
+        let out = regret_matching(&g, 50_000, 7).unwrap();
+        assert!(out.row_strategy[1] > 0.95, "{:?}", out.row_strategy);
+        assert!(out.col_strategy[1] > 0.95, "{:?}", out.col_strategy);
+    }
+
+    #[test]
+    fn rock_paper_scissors_averages_to_uniform() {
+        let a = vec![
+            0.0, -1.0, 1.0, //
+            1.0, 0.0, -1.0, //
+            -1.0, 1.0, 0.0,
+        ];
+        let b: Vec<f64> = a.iter().map(|v| -v).collect();
+        let g = BimatrixGame::new(3, 3, a, b).unwrap();
+        let out = regret_matching(&g, 300_000, 11).unwrap();
+        for p in out.row_strategy.iter().chain(&out.col_strategy) {
+            assert!((p - 1.0 / 3.0).abs() < 0.05, "{p}");
+        }
+    }
+
+    #[test]
+    fn from_fn_matches_explicit_construction() {
+        let g1 = prisoners_dilemma();
+        let g2 = BimatrixGame::from_fn(2, 2, |i, j| g1.payoffs(i, j)).unwrap();
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn zero_iterations_rejected() {
+        assert!(regret_matching(&matching_pennies(), 0, 0).is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Best-response dynamics.
+//!
+//! The paper's Algorithm 1 ("Asynchronous Best-Response") is a best-response
+//! dynamic on the relevant subgame; this module implements three update
+//! schedules and optional damping, all sharing a convergence detector.
+//! For games where the best-response map is a contraction (the mining game's
+//! miner subgame has a strictly monotone pseudo-gradient, Theorem 2), every
+//! schedule converges to the unique Nash equilibrium.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::GameError;
+use crate::game::Game;
+use crate::profile::Profile;
+
+/// Player-update schedule for the dynamics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdateOrder {
+    /// Players update one at a time, each seeing the others' freshest
+    /// strategies (Gauss–Seidel). Usually fastest.
+    Sequential,
+    /// All players update simultaneously against the previous profile
+    /// (Jacobi). Models fully parallel play; may need damping.
+    Simultaneous,
+    /// Players update one at a time in a freshly shuffled order each sweep —
+    /// the "asynchronous" schedule of the paper's Algorithm 1.
+    RandomizedSweep {
+        /// RNG seed for reproducible runs.
+        seed: u64,
+    },
+}
+
+/// Parameters for [`best_response_dynamics`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BrParams {
+    /// Update schedule.
+    pub order: UpdateOrder,
+    /// Damping weight `ω ∈ (0, 1]` toward the best response (`1` undamped).
+    pub damping: f64,
+    /// Convergence tolerance on the profile displacement per sweep.
+    pub tol: f64,
+    /// Sweep cap.
+    pub max_sweeps: usize,
+}
+
+impl Default for BrParams {
+    fn default() -> Self {
+        BrParams { order: UpdateOrder::Sequential, damping: 1.0, tol: 1e-9, max_sweeps: 2000 }
+    }
+}
+
+/// Outcome of best-response dynamics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NashOutcome {
+    /// The (approximate) equilibrium profile.
+    pub profile: Profile,
+    /// Sweeps performed.
+    pub sweeps: usize,
+    /// Final per-sweep displacement.
+    pub residual: f64,
+    /// Displacement after each sweep (diagnostics / ablation data).
+    pub history: Vec<f64>,
+}
+
+/// Runs best-response dynamics on `game` from `init` until the profile stops
+/// moving.
+///
+/// # Errors
+///
+/// * [`GameError::InvalidGame`] if `init`'s shape disagrees with the game or
+///   the damping is outside `(0, 1]`.
+/// * [`GameError::NoConvergence`] if `max_sweeps` is exhausted.
+/// * Any error from the players' best-response oracles.
+pub fn best_response_dynamics<G: Game>(
+    game: &G,
+    init: Profile,
+    params: &BrParams,
+) -> Result<NashOutcome, GameError> {
+    let n = game.num_players();
+    if init.num_players() != n {
+        return Err(GameError::invalid("best_response_dynamics: profile/game player count mismatch"));
+    }
+    for i in 0..n {
+        if init.dim(i) != game.dim(i) {
+            return Err(GameError::invalid(format!(
+                "best_response_dynamics: player {i} dimension mismatch"
+            )));
+        }
+    }
+    if !(params.damping > 0.0 && params.damping <= 1.0) {
+        return Err(GameError::invalid("best_response_dynamics: damping must be in (0, 1]"));
+    }
+
+    let mut profile = init;
+    // Start from a feasible point.
+    for i in 0..n {
+        let snapshot = profile.clone();
+        game.project(i, profile.block_mut(i), &snapshot);
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = match params.order {
+        UpdateOrder::RandomizedSweep { seed } => Some(StdRng::seed_from_u64(seed)),
+        _ => None,
+    };
+    let mut history = Vec::new();
+
+    for sweep in 0..params.max_sweeps {
+        let before = profile.clone();
+        match params.order {
+            UpdateOrder::Simultaneous => {
+                let snapshot = profile.clone();
+                for i in 0..n {
+                    let br = game.best_response(i, &snapshot)?;
+                    damp_into(profile.block_mut(i), &br, params.damping);
+                    let snap2 = profile.clone();
+                    game.project(i, profile.block_mut(i), &snap2);
+                }
+            }
+            UpdateOrder::Sequential | UpdateOrder::RandomizedSweep { .. } => {
+                if let Some(r) = rng.as_mut() {
+                    order.shuffle(r);
+                }
+                for &i in &order {
+                    let br = game.best_response(i, &profile)?;
+                    damp_into(profile.block_mut(i), &br, params.damping);
+                    let snap = profile.clone();
+                    game.project(i, profile.block_mut(i), &snap);
+                }
+            }
+        }
+        let residual = profile.max_abs_diff(&before);
+        history.push(residual);
+        if residual <= params.tol {
+            return Ok(NashOutcome { profile, sweeps: sweep + 1, residual, history });
+        }
+    }
+    let residual = history.last().copied().unwrap_or(f64::INFINITY);
+    Err(GameError::NoConvergence { iterations: params.max_sweeps, residual })
+}
+
+fn damp_into(current: &mut [f64], target: &[f64], omega: f64) {
+    for (c, &t) in current.iter_mut().zip(target) {
+        *c = (1.0 - omega) * *c + omega * t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cournot::Cournot;
+
+    fn duopoly() -> Cournot {
+        Cournot::new(100.0, vec![10.0, 10.0], 50.0).unwrap()
+    }
+
+    #[test]
+    fn sequential_converges_to_cournot_ne() {
+        let game = duopoly();
+        let out = best_response_dynamics(
+            &game,
+            Profile::uniform(&[1, 1], 0.0).unwrap(),
+            &BrParams::default(),
+        )
+        .unwrap();
+        let expect = game.equilibrium();
+        assert!((out.profile.block(0)[0] - expect[0]).abs() < 1e-7);
+        assert!((out.profile.block(1)[0] - expect[1]).abs() < 1e-7);
+    }
+
+    #[test]
+    fn all_schedules_agree() {
+        let game = Cournot::new(120.0, vec![10.0, 20.0, 30.0], 80.0).unwrap();
+        let init = Profile::uniform(&[1, 1, 1], 1.0).unwrap();
+        let seq = best_response_dynamics(&game, init.clone(), &BrParams::default()).unwrap();
+        let jac = best_response_dynamics(
+            &game,
+            init.clone(),
+            &BrParams { order: UpdateOrder::Simultaneous, damping: 0.5, ..Default::default() },
+        )
+        .unwrap();
+        let rnd = best_response_dynamics(
+            &game,
+            init,
+            &BrParams { order: UpdateOrder::RandomizedSweep { seed: 9 }, ..Default::default() },
+        )
+        .unwrap();
+        assert!(seq.profile.max_abs_diff(&jac.profile) < 1e-6);
+        assert!(seq.profile.max_abs_diff(&rnd.profile) < 1e-6);
+    }
+
+    #[test]
+    fn closed_form_matches_dynamics_for_asymmetric_costs() {
+        let game = Cournot::new(120.0, vec![10.0, 20.0, 30.0], 80.0).unwrap();
+        let out = best_response_dynamics(
+            &game,
+            Profile::uniform(&[1, 1, 1], 5.0).unwrap(),
+            &BrParams::default(),
+        )
+        .unwrap();
+        let expect = game.equilibrium();
+        for i in 0..3 {
+            assert!(
+                (out.profile.block(i)[0] - expect[i]).abs() < 1e-6,
+                "player {i}: {} vs {}",
+                out.profile.block(i)[0],
+                expect[i]
+            );
+        }
+    }
+
+    #[test]
+    fn damping_zero_is_rejected() {
+        let game = duopoly();
+        let err = best_response_dynamics(
+            &game,
+            Profile::uniform(&[1, 1], 0.0).unwrap(),
+            &BrParams { damping: 0.0, ..Default::default() },
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let game = duopoly();
+        let err = best_response_dynamics(
+            &game,
+            Profile::uniform(&[1, 1, 1], 0.0).unwrap(),
+            &BrParams::default(),
+        );
+        assert!(matches!(err, Err(GameError::InvalidGame(_))));
+    }
+
+    #[test]
+    fn residual_history_is_recorded_and_decreasing_at_the_end() {
+        let game = duopoly();
+        let out = best_response_dynamics(
+            &game,
+            Profile::uniform(&[1, 1], 0.0).unwrap(),
+            &BrParams::default(),
+        )
+        .unwrap();
+        assert_eq!(out.history.len(), out.sweeps);
+        assert!(out.residual <= 1e-9);
+    }
+}

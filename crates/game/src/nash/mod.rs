@@ -1,0 +1,8 @@
+//! Nash-equilibrium computation via best-response dynamics, plus
+//! ε-equilibrium verification.
+
+pub mod br;
+pub mod verify;
+
+pub use br::{best_response_dynamics, BrParams, NashOutcome, UpdateOrder};
+pub use verify::{epsilon_equilibrium, DeviationReport};

@@ -1,0 +1,113 @@
+//! ε-equilibrium verification.
+//!
+//! Definition 1 of the paper characterizes the Stackelberg equilibrium by
+//! no-profitable-deviation conditions. This module checks those conditions
+//! directly: for each player it computes a best response to the candidate
+//! profile and measures the utility gain — the certified `ε` such that the
+//! profile is an ε-Nash equilibrium.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GameError;
+use crate::game::Game;
+use crate::profile::Profile;
+
+/// Per-player deviation diagnostics from [`epsilon_equilibrium`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviationReport {
+    /// Utility gain available to each player by deviating to its best
+    /// response (non-negative up to solver noise).
+    pub gains: Vec<f64>,
+    /// The largest gain: the profile is an `epsilon`-Nash equilibrium.
+    pub epsilon: f64,
+    /// Index of the player with the largest gain.
+    pub worst_player: usize,
+}
+
+impl DeviationReport {
+    /// Whether the profile passes as an ε-equilibrium at tolerance `tol`.
+    #[must_use]
+    pub fn is_equilibrium(&self, tol: f64) -> bool {
+        self.epsilon <= tol
+    }
+}
+
+/// Certifies how far `profile` is from a Nash equilibrium of `game`.
+///
+/// For each player, computes a best response (via [`Game::best_response`])
+/// and the corresponding utility improvement. Negative improvements (the
+/// oracle failing to beat the current strategy) are clamped to zero.
+///
+/// # Errors
+///
+/// * [`GameError::InvalidGame`] on shape mismatch.
+/// * Any error from the best-response oracles.
+pub fn epsilon_equilibrium<G: Game>(game: &G, profile: &Profile) -> Result<DeviationReport, GameError> {
+    let n = game.num_players();
+    if profile.num_players() != n {
+        return Err(GameError::invalid("epsilon_equilibrium: player count mismatch"));
+    }
+    let mut gains = Vec::with_capacity(n);
+    let mut work = profile.clone();
+    for i in 0..n {
+        let base = game.utility(i, profile);
+        let br = game.best_response(i, profile)?;
+        work.set_block(i, &br);
+        let best = game.utility(i, &work);
+        work.set_block(i, profile.block(i));
+        gains.push((best - base).max(0.0));
+    }
+    let (worst_player, &epsilon) = gains
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("gains are finite"))
+        .expect("at least one player");
+    Ok(DeviationReport { gains, epsilon, worst_player })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cournot::Cournot;
+    use crate::nash::{best_response_dynamics, BrParams};
+
+    #[test]
+    fn equilibrium_certifies_with_tiny_epsilon() {
+        let game = Cournot::new(100.0, vec![10.0, 10.0], 50.0).unwrap();
+        let out = best_response_dynamics(
+            &game,
+            Profile::uniform(&[1, 1], 0.0).unwrap(),
+            &BrParams::default(),
+        )
+        .unwrap();
+        let report = epsilon_equilibrium(&game, &out.profile).unwrap();
+        assert!(report.is_equilibrium(1e-8), "epsilon = {}", report.epsilon);
+    }
+
+    #[test]
+    fn non_equilibrium_is_flagged() {
+        let game = Cournot::new(100.0, vec![10.0, 10.0], 50.0).unwrap();
+        let bad = Profile::uniform(&[1, 1], 1.0).unwrap();
+        let report = epsilon_equilibrium(&game, &bad).unwrap();
+        assert!(report.epsilon > 1.0, "epsilon = {}", report.epsilon);
+        assert!(!report.is_equilibrium(1e-6));
+    }
+
+    #[test]
+    fn worst_player_is_identified() {
+        let game = Cournot::new(100.0, vec![10.0, 10.0], 50.0).unwrap();
+        // Player 0 at its equilibrium quantity, player 1 far off.
+        let ne = game.equilibrium();
+        let profile = Profile::from_blocks(&[vec![ne[0]], vec![0.0]]).unwrap();
+        let report = epsilon_equilibrium(&game, &profile).unwrap();
+        assert_eq!(report.worst_player, 1);
+        assert!(report.gains[1] > report.gains[0]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let game = Cournot::new(100.0, vec![10.0, 10.0], 50.0).unwrap();
+        let p = Profile::uniform(&[1], 0.0).unwrap();
+        assert!(epsilon_equilibrium(&game, &p).is_err());
+    }
+}

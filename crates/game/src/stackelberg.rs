@@ -1,0 +1,320 @@
+//! Bilevel (Stackelberg) driver for the leader stage.
+//!
+//! In the mining game the leaders are the two service providers, each with a
+//! scalar action (its unit price) in a bounded interval. A leader's payoff
+//! already *anticipates* the followers: evaluating it solves the miner
+//! subgame at the candidate price pair (backward induction). The leader
+//! equilibrium is then a Nash equilibrium of the two scalar players, found by
+//! best-response iteration:
+//!
+//! * [`leader_equilibrium`] — sequential (Gauss–Seidel) best response, the
+//!   paper's Algorithm 1 ("Asynchronous Best-Response").
+//! * [`simultaneous_bargaining`] — simultaneous (Jacobi) updates with
+//!   damping, the schedule of the paper's Algorithm 2 ("Price Bargaining")
+//!   where both SPs announce new prices after observing the same round of
+//!   requests.
+
+use mbm_numerics::optimize::adaptive_grid_max;
+use serde::{Deserialize, Serialize};
+
+use crate::error::GameError;
+
+/// The leader stage of a Stackelberg game: scalar-action leaders whose
+/// payoffs embed the follower equilibrium.
+pub trait LeaderStage {
+    /// Number of leaders.
+    fn num_leaders(&self) -> usize;
+
+    /// Action interval `[lo, hi]` of leader `i`.
+    fn bounds(&self, i: usize) -> (f64, f64);
+
+    /// Payoff of leader `i` at the action vector `actions`, anticipating the
+    /// follower response.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may fail if the embedded follower solve fails;
+    /// returning an error aborts the leader iteration. Returning `NaN`
+    /// instead marks the action profile as infeasible and lets the search
+    /// continue elsewhere.
+    fn payoff(&self, i: usize, actions: &[f64]) -> Result<f64, GameError>;
+}
+
+/// Parameters for the leader-stage solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeaderParams {
+    /// Convergence tolerance on the action displacement per round.
+    pub tol: f64,
+    /// Round cap.
+    pub max_rounds: usize,
+    /// Grid points per best-response line search.
+    pub grid_points: usize,
+    /// Refinement rounds per best-response line search.
+    pub grid_rounds: usize,
+    /// Damping toward the best response in `(0, 1]`.
+    pub damping: f64,
+}
+
+impl Default for LeaderParams {
+    fn default() -> Self {
+        LeaderParams { tol: 1e-6, max_rounds: 200, grid_points: 33, grid_rounds: 6, damping: 1.0 }
+    }
+}
+
+/// Outcome of a leader-stage solve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeaderOutcome {
+    /// Equilibrium actions (prices).
+    pub actions: Vec<f64>,
+    /// Payoffs at the equilibrium actions.
+    pub payoffs: Vec<f64>,
+    /// Rounds performed.
+    pub rounds: usize,
+    /// Final action displacement.
+    pub residual: f64,
+}
+
+/// Sequential best-response iteration over the leaders (Algorithm 1).
+///
+/// Each round, every leader in turn maximizes its payoff over its interval
+/// (adaptive grid — robust to the regime switches that make leader profits
+/// non-smooth) holding the other leaders fixed; rounds repeat until no
+/// leader moves more than `tol`.
+///
+/// # Errors
+///
+/// * [`GameError::InvalidGame`] on malformed bounds or initial actions.
+/// * [`GameError::NoConvergence`] if `max_rounds` is exhausted.
+/// * Any error surfaced by `stage.payoff`.
+pub fn leader_equilibrium<S: LeaderStage>(
+    stage: &S,
+    init: Vec<f64>,
+    params: &LeaderParams,
+) -> Result<LeaderOutcome, GameError> {
+    run_leaders(stage, init, params, false)
+}
+
+/// Simultaneous (Jacobi) best-response iteration with damping (Algorithm 2's
+/// price-bargaining schedule).
+///
+/// # Errors
+///
+/// Same conditions as [`leader_equilibrium`].
+pub fn simultaneous_bargaining<S: LeaderStage>(
+    stage: &S,
+    init: Vec<f64>,
+    params: &LeaderParams,
+) -> Result<LeaderOutcome, GameError> {
+    run_leaders(stage, init, params, true)
+}
+
+fn run_leaders<S: LeaderStage>(
+    stage: &S,
+    init: Vec<f64>,
+    params: &LeaderParams,
+    simultaneous: bool,
+) -> Result<LeaderOutcome, GameError> {
+    let n = stage.num_leaders();
+    if n == 0 {
+        return Err(GameError::invalid("leader stage: no leaders"));
+    }
+    if init.len() != n {
+        return Err(GameError::invalid("leader stage: initial action count mismatch"));
+    }
+    if !(params.damping > 0.0 && params.damping <= 1.0) {
+        return Err(GameError::invalid("leader stage: damping must be in (0, 1]"));
+    }
+    let mut actions = init;
+    for i in 0..n {
+        let (lo, hi) = stage.bounds(i);
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(GameError::invalid(format!("leader stage: bad bounds for leader {i}")));
+        }
+        actions[i] = actions[i].clamp(lo, hi);
+    }
+
+    let mut residual = f64::INFINITY;
+    for round in 0..params.max_rounds {
+        let before = actions.clone();
+        if simultaneous {
+            let snapshot = actions.clone();
+            let mut targets = vec![0.0; n];
+            for i in 0..n {
+                targets[i] = best_action(stage, i, &snapshot, params)?;
+            }
+            for i in 0..n {
+                actions[i] = (1.0 - params.damping) * actions[i] + params.damping * targets[i];
+            }
+        } else {
+            for i in 0..n {
+                let t = best_action(stage, i, &actions, params)?;
+                actions[i] = (1.0 - params.damping) * actions[i] + params.damping * t;
+            }
+        }
+        residual = mbm_numerics::max_abs_diff(&actions, &before);
+        if residual <= params.tol {
+            let payoffs = collect_payoffs(stage, &actions)?;
+            return Ok(LeaderOutcome { actions, payoffs, rounds: round + 1, residual });
+        }
+    }
+    Err(GameError::NoConvergence { iterations: params.max_rounds, residual })
+}
+
+fn best_action<S: LeaderStage>(
+    stage: &S,
+    i: usize,
+    actions: &[f64],
+    params: &LeaderParams,
+) -> Result<f64, GameError> {
+    let (lo, hi) = stage.bounds(i);
+    let mut trial = actions.to_vec();
+    // Payoff errors inside the line search abort the solve; NaNs mark
+    // infeasible cells and are skipped by the grid search.
+    let mut inner_error: Option<GameError> = None;
+    let r = adaptive_grid_max(
+        |a| {
+            if inner_error.is_some() {
+                return f64::NAN;
+            }
+            trial[i] = a;
+            match stage.payoff(i, &trial) {
+                Ok(v) => v,
+                Err(e) => {
+                    inner_error = Some(e);
+                    f64::NAN
+                }
+            }
+        },
+        lo,
+        hi,
+        params.grid_points,
+        params.grid_rounds,
+    );
+    if let Some(e) = inner_error {
+        return Err(e);
+    }
+    Ok(r?.x)
+}
+
+fn collect_payoffs<S: LeaderStage>(stage: &S, actions: &[f64]) -> Result<Vec<f64>, GameError> {
+    (0..stage.num_leaders()).map(|i| stage.payoff(i, actions)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Differentiated-price duopoly: leader i's payoff
+    /// `pᵢ (1 − pᵢ + 0.5 pⱼ)` has best response `pᵢ = (1 + 0.5 pⱼ) / 2` and
+    /// symmetric equilibrium `p* = 2/3`.
+    struct PriceDuopoly;
+
+    impl LeaderStage for PriceDuopoly {
+        fn num_leaders(&self) -> usize {
+            2
+        }
+        fn bounds(&self, _i: usize) -> (f64, f64) {
+            (0.0, 2.0)
+        }
+        fn payoff(&self, i: usize, actions: &[f64]) -> Result<f64, GameError> {
+            let p = actions[i];
+            let q = actions[1 - i];
+            Ok(p * (1.0 - p + 0.5 * q))
+        }
+    }
+
+    #[test]
+    fn sequential_finds_price_equilibrium() {
+        let out = leader_equilibrium(&PriceDuopoly, vec![0.1, 1.9], &LeaderParams::default()).unwrap();
+        assert!((out.actions[0] - 2.0 / 3.0).abs() < 1e-4, "{:?}", out.actions);
+        assert!((out.actions[1] - 2.0 / 3.0).abs() < 1e-4, "{:?}", out.actions);
+        // Payoff at equilibrium: p(1 - p + 0.5p) = p(1 - 0.5p) = 2/3 * 2/3.
+        assert!((out.payoffs[0] - 4.0 / 9.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn simultaneous_matches_sequential() {
+        let seq = leader_equilibrium(&PriceDuopoly, vec![0.5, 0.5], &LeaderParams::default()).unwrap();
+        let sim = simultaneous_bargaining(
+            &PriceDuopoly,
+            vec![0.5, 0.5],
+            &LeaderParams { damping: 0.7, ..Default::default() },
+        )
+        .unwrap();
+        assert!(mbm_numerics::max_abs_diff(&seq.actions, &sim.actions) < 1e-3);
+    }
+
+    /// A leader whose unconstrained optimum is outside its bounds.
+    struct CappedMonopolist;
+
+    impl LeaderStage for CappedMonopolist {
+        fn num_leaders(&self) -> usize {
+            1
+        }
+        fn bounds(&self, _i: usize) -> (f64, f64) {
+            (0.0, 0.3)
+        }
+        fn payoff(&self, _i: usize, actions: &[f64]) -> Result<f64, GameError> {
+            let p = actions[0];
+            Ok(p * (1.0 - p)) // unconstrained optimum at 0.5 > cap
+        }
+    }
+
+    #[test]
+    fn cap_binds_when_profit_increasing_on_interval() {
+        let out = leader_equilibrium(&CappedMonopolist, vec![0.1], &LeaderParams::default()).unwrap();
+        assert!((out.actions[0] - 0.3).abs() < 1e-6, "{:?}", out.actions);
+    }
+
+    struct NanRegions;
+
+    impl LeaderStage for NanRegions {
+        fn num_leaders(&self) -> usize {
+            1
+        }
+        fn bounds(&self, _i: usize) -> (f64, f64) {
+            (0.0, 1.0)
+        }
+        fn payoff(&self, _i: usize, actions: &[f64]) -> Result<f64, GameError> {
+            let p = actions[0];
+            if p < 0.4 {
+                Ok(f64::NAN) // infeasible region
+            } else {
+                Ok(-(p - 0.6) * (p - 0.6))
+            }
+        }
+    }
+
+    #[test]
+    fn nan_payoff_regions_are_avoided() {
+        let out = leader_equilibrium(&NanRegions, vec![0.9], &LeaderParams::default()).unwrap();
+        assert!((out.actions[0] - 0.6).abs() < 1e-4, "{:?}", out.actions);
+    }
+
+    struct FailingStage;
+
+    impl LeaderStage for FailingStage {
+        fn num_leaders(&self) -> usize {
+            1
+        }
+        fn bounds(&self, _i: usize) -> (f64, f64) {
+            (0.0, 1.0)
+        }
+        fn payoff(&self, _i: usize, _a: &[f64]) -> Result<f64, GameError> {
+            Err(GameError::invalid("follower solve failed"))
+        }
+    }
+
+    #[test]
+    fn payoff_errors_abort_the_solve() {
+        let err = leader_equilibrium(&FailingStage, vec![0.5], &LeaderParams::default()).unwrap_err();
+        assert!(matches!(err, GameError::InvalidGame(_)));
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(leader_equilibrium(&PriceDuopoly, vec![0.5], &LeaderParams::default()).is_err());
+        let bad = LeaderParams { damping: 0.0, ..Default::default() };
+        assert!(leader_equilibrium(&PriceDuopoly, vec![0.5, 0.5], &bad).is_err());
+    }
+}

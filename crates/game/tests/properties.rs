@@ -1,0 +1,91 @@
+#![allow(clippy::needless_range_loop)] // indexed Σ-loops mirror the paper
+
+//! Property-based tests of the game solvers against the Cournot oligopoly's
+//! closed-form equilibrium.
+
+use proptest::prelude::*;
+
+use mbm_game::cournot::Cournot;
+use mbm_game::nash::{best_response_dynamics, epsilon_equilibrium, BrParams, UpdateOrder};
+use mbm_game::profile::Profile;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Best-response dynamics converge to the closed-form Cournot NE for
+    /// random oligopolies (interior equilibria).
+    #[test]
+    fn dynamics_match_closed_form(
+        a in 50.0f64..200.0,
+        costs in prop::collection::vec(0.0f64..20.0, 2..6),
+        start in 0.0f64..30.0,
+    ) {
+        let game = Cournot::new(a, costs.clone(), 1000.0).unwrap();
+        let expect = game.equilibrium();
+        // Only test interior equilibria (every firm active).
+        prop_assume!(expect.iter().all(|&q| q > 1.0));
+        let init = Profile::uniform(&vec![1; costs.len()], start).unwrap();
+        let out = best_response_dynamics(&game, init, &BrParams::default()).unwrap();
+        for i in 0..costs.len() {
+            prop_assert!(
+                (out.profile.block(i)[0] - expect[i]).abs() < 1e-6,
+                "firm {i}: {} vs {}",
+                out.profile.block(i)[0],
+                expect[i]
+            );
+        }
+    }
+
+    /// The closed-form equilibrium certifies as an ε-NE with tiny ε.
+    #[test]
+    fn closed_form_certifies(
+        a in 50.0f64..200.0,
+        c1 in 0.0f64..20.0,
+        c2 in 0.0f64..20.0,
+        c3 in 0.0f64..20.0,
+    ) {
+        let game = Cournot::new(a, vec![c1, c2, c3], 1000.0).unwrap();
+        let ne = game.equilibrium();
+        prop_assume!(ne.iter().all(|&q| q > 0.5));
+        let profile = Profile::from_blocks(
+            &ne.iter().map(|&q| vec![q]).collect::<Vec<_>>()
+        ).unwrap();
+        let report = epsilon_equilibrium(&game, &profile).unwrap();
+        prop_assert!(report.epsilon < 1e-9, "epsilon = {}", report.epsilon);
+    }
+
+    /// All three update schedules land on the same equilibrium.
+    #[test]
+    fn schedules_agree(a in 60.0f64..150.0, c in 0.0f64..15.0, seed in 0u64..1000) {
+        let game = Cournot::new(a, vec![c, c * 0.5 + 1.0, 5.0], 1000.0).unwrap();
+        prop_assume!(game.equilibrium().iter().all(|&q| q > 1.0));
+        let init = Profile::uniform(&[1, 1, 1], 2.0).unwrap();
+        let seq = best_response_dynamics(&game, init.clone(), &BrParams::default()).unwrap();
+        let jac = best_response_dynamics(
+            &game,
+            init.clone(),
+            &BrParams { order: UpdateOrder::Simultaneous, damping: 0.5, ..Default::default() },
+        ).unwrap();
+        let rnd = best_response_dynamics(
+            &game,
+            init,
+            &BrParams { order: UpdateOrder::RandomizedSweep { seed }, ..Default::default() },
+        ).unwrap();
+        prop_assert!(seq.profile.max_abs_diff(&jac.profile) < 1e-5);
+        prop_assert!(seq.profile.max_abs_diff(&rnd.profile) < 1e-5);
+    }
+
+    /// More competition lowers every firm's equilibrium quantity (symmetric
+    /// Cournot comparative statics).
+    #[test]
+    fn entry_reduces_per_firm_output(a in 60.0f64..150.0, c in 0.0f64..15.0, n in 2usize..6) {
+        prop_assume!(a > 3.0 * c + 10.0);
+        let small = Cournot::new(a, vec![c; n], 1000.0).unwrap().equilibrium();
+        let large = Cournot::new(a, vec![c; n + 1], 1000.0).unwrap().equilibrium();
+        prop_assert!(large[0] < small[0], "{} vs {}", large[0], small[0]);
+        // Total output rises with entry.
+        let sum_s: f64 = small.iter().sum();
+        let sum_l: f64 = large.iter().sum();
+        prop_assert!(sum_l > sum_s);
+    }
+}

@@ -1,0 +1,168 @@
+//! Discretized request grids.
+
+use mbm_core::params::Prices;
+use mbm_core::request::Request;
+use serde::{Deserialize, Serialize};
+
+use crate::error::LearnError;
+
+/// A finite set of affordable requests a learning miner chooses among.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActionGrid {
+    actions: Vec<Request>,
+}
+
+impl ActionGrid {
+    /// A `points × points` grid over `[0, e_max] × [0, c_max]`, keeping only
+    /// affordable combinations (cost ≤ `budget`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::InvalidConfig`] unless `points ≥ 2`, the ranges
+    /// are positive, and at least one action is affordable.
+    pub fn rectangular(
+        e_max: f64,
+        c_max: f64,
+        points: usize,
+        prices: &Prices,
+        budget: f64,
+    ) -> Result<Self, LearnError> {
+        if points < 2 {
+            return Err(LearnError::invalid("ActionGrid: need at least 2 points per axis"));
+        }
+        if !(e_max > 0.0 && c_max > 0.0 && e_max.is_finite() && c_max.is_finite()) {
+            return Err(LearnError::invalid("ActionGrid: ranges must be positive and finite"));
+        }
+        let mut actions = Vec::new();
+        for i in 0..points {
+            for j in 0..points {
+                let e = e_max * i as f64 / (points - 1) as f64;
+                let c = c_max * j as f64 / (points - 1) as f64;
+                let r = Request { edge: e, cloud: c };
+                if r.cost(prices) <= budget {
+                    actions.push(r);
+                }
+            }
+        }
+        if actions.is_empty() {
+            return Err(LearnError::invalid("ActionGrid: no affordable action"));
+        }
+        Ok(ActionGrid { actions })
+    }
+
+    /// A grid centred on a reference request (e.g. the model's predicted
+    /// equilibrium), spanning `spread` times the reference in each axis.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ActionGrid::rectangular`].
+    pub fn around(
+        center: Request,
+        spread: f64,
+        points: usize,
+        prices: &Prices,
+        budget: f64,
+    ) -> Result<Self, LearnError> {
+        if !(spread > 1.0) {
+            return Err(LearnError::invalid("ActionGrid: spread must exceed 1"));
+        }
+        let e_max = (center.edge * spread).max(1e-6);
+        let c_max = (center.cloud * spread).max(1e-6);
+        Self::rectangular(e_max, c_max, points, prices, budget)
+    }
+
+    /// The actions.
+    #[must_use]
+    pub fn actions(&self) -> &[Request] {
+        &self.actions
+    }
+
+    /// Number of actions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the grid is empty (never true for a constructed grid).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// The action at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn action(&self, index: usize) -> Request {
+        self.actions[index]
+    }
+
+    /// Index of the action closest (Euclidean) to `target`.
+    #[must_use]
+    pub fn nearest(&self, target: Request) -> usize {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, a) in self.actions.iter().enumerate() {
+            let d = (a.edge - target.edge).powi(2) + (a.cloud - target.cloud).powi(2);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prices() -> Prices {
+        Prices::new(4.0, 2.0).unwrap()
+    }
+
+    #[test]
+    fn rectangular_grid_filters_unaffordable() {
+        let g = ActionGrid::rectangular(10.0, 10.0, 5, &prices(), 20.0).unwrap();
+        assert!(g.len() < 25, "expected filtering, got {}", g.len());
+        for a in g.actions() {
+            assert!(a.cost(&prices()) <= 20.0 + 1e-12);
+        }
+        // The zero action is always affordable.
+        assert!(g.actions().iter().any(|a| a.edge == 0.0 && a.cloud == 0.0));
+    }
+
+    #[test]
+    fn around_scales_with_center() {
+        let g = ActionGrid::around(
+            Request { edge: 1.0, cloud: 2.0 },
+            2.0,
+            3,
+            &prices(),
+            1e6,
+        )
+        .unwrap();
+        let max_e = g.actions().iter().map(|a| a.edge).fold(0.0, f64::max);
+        let max_c = g.actions().iter().map(|a| a.cloud).fold(0.0, f64::max);
+        assert!((max_e - 2.0).abs() < 1e-12);
+        assert!((max_c - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_finds_closest_action() {
+        let g = ActionGrid::rectangular(4.0, 4.0, 5, &prices(), 1e6).unwrap();
+        let idx = g.nearest(Request { edge: 1.1, cloud: 2.9 });
+        let a = g.action(idx);
+        assert!((a.edge - 1.0).abs() < 1e-12);
+        assert!((a.cloud - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ActionGrid::rectangular(0.0, 1.0, 5, &prices(), 10.0).is_err());
+        assert!(ActionGrid::rectangular(1.0, 1.0, 1, &prices(), 10.0).is_err());
+        assert!(ActionGrid::around(Request::default(), 1.0, 3, &prices(), 10.0).is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! ε-greedy incremental-average Q-learning over a finite action set.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::LearnError;
+
+/// ε-greedy action-value learner.
+///
+/// Values are incremental averages with an optional constant step size
+/// (`alpha`), which tracks non-stationary opponents — the other miners learn
+/// at the same time. Exploration decays multiplicatively per update.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QLearner {
+    values: Vec<f64>,
+    counts: Vec<u64>,
+    epsilon: f64,
+    epsilon_decay: f64,
+    epsilon_min: f64,
+    alpha: Option<f64>,
+}
+
+impl QLearner {
+    /// Creates a learner over `num_actions` actions.
+    ///
+    /// * `epsilon` — initial exploration probability.
+    /// * `epsilon_decay` — multiplicative decay per update (`1.0` disables).
+    /// * `alpha` — constant step size; `None` uses the sample average
+    ///   `1/n(a)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::InvalidConfig`] on empty action sets or
+    /// out-of-range parameters.
+    pub fn new(
+        num_actions: usize,
+        epsilon: f64,
+        epsilon_decay: f64,
+        alpha: Option<f64>,
+    ) -> Result<Self, LearnError> {
+        if num_actions == 0 {
+            return Err(LearnError::invalid("QLearner: need at least one action"));
+        }
+        if !(0.0..=1.0).contains(&epsilon) {
+            return Err(LearnError::invalid(format!("QLearner: epsilon = {epsilon} not in [0, 1]")));
+        }
+        if !(epsilon_decay > 0.0 && epsilon_decay <= 1.0) {
+            return Err(LearnError::invalid(format!(
+                "QLearner: epsilon_decay = {epsilon_decay} not in (0, 1]"
+            )));
+        }
+        if let Some(a) = alpha {
+            if !(a > 0.0 && a <= 1.0) {
+                return Err(LearnError::invalid(format!("QLearner: alpha = {a} not in (0, 1]")));
+            }
+        }
+        Ok(QLearner {
+            values: vec![0.0; num_actions],
+            counts: vec![0; num_actions],
+            epsilon,
+            epsilon_decay,
+            epsilon_min: 0.01,
+            alpha,
+        })
+    }
+
+    /// Number of actions.
+    #[must_use]
+    pub fn num_actions(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Current exploration probability.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Selects an action: uniformly random with probability ε, greedy
+    /// (untried-first) otherwise.
+    pub fn select<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        if rng.gen::<f64>() < self.epsilon {
+            return rng.gen_range(0..self.values.len());
+        }
+        // Prefer untried actions so every value eventually gets estimated.
+        if let Some(idx) = self.counts.iter().position(|&c| c == 0) {
+            return idx;
+        }
+        self.best_action()
+    }
+
+    /// Records a reward for `action` and decays exploration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action` is out of range.
+    pub fn update(&mut self, action: usize, reward: f64) {
+        assert!(action < self.values.len(), "QLearner::update: action out of range");
+        self.counts[action] += 1;
+        let step = match self.alpha {
+            Some(a) => a,
+            None => 1.0 / self.counts[action] as f64,
+        };
+        self.values[action] += step * (reward - self.values[action]);
+        self.epsilon = (self.epsilon * self.epsilon_decay).max(self.epsilon_min);
+    }
+
+    /// The greedy action (highest estimated value; first on ties).
+    #[must_use]
+    pub fn best_action(&self) -> usize {
+        let mut best = 0;
+        for i in 1..self.values.len() {
+            if self.values[i] > self.values[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Estimated action values.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Per-action visit counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_the_best_arm_of_a_stationary_bandit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let means = [0.1, 0.9, 0.4];
+        let mut q = QLearner::new(3, 0.3, 0.999, None).unwrap();
+        for _ in 0..3000 {
+            let a = q.select(&mut rng);
+            let noise: f64 = rng.gen::<f64>() - 0.5;
+            q.update(a, means[a] + 0.1 * noise);
+        }
+        assert_eq!(q.best_action(), 1);
+        assert!((q.values()[1] - 0.9).abs() < 0.05);
+    }
+
+    #[test]
+    fn untried_actions_are_explored_first() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut q = QLearner::new(4, 0.0, 1.0, None).unwrap();
+        let mut seen = [false; 4];
+        for _ in 0..4 {
+            let a = q.select(&mut rng);
+            seen[a] = true;
+            q.update(a, 0.0);
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn epsilon_decays_to_floor() {
+        let mut q = QLearner::new(2, 0.5, 0.5, None).unwrap();
+        for _ in 0..50 {
+            q.update(0, 1.0);
+        }
+        assert!((q.epsilon() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_alpha_tracks_changes() {
+        let mut q = QLearner::new(1, 0.0, 1.0, Some(0.5)).unwrap();
+        q.update(0, 0.0);
+        for _ in 0..20 {
+            q.update(0, 10.0);
+        }
+        assert!((q.values()[0] - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(QLearner::new(0, 0.1, 1.0, None).is_err());
+        assert!(QLearner::new(2, 1.5, 1.0, None).is_err());
+        assert!(QLearner::new(2, 0.1, 0.0, None).is_err());
+        assert!(QLearner::new(2, 0.1, 1.0, Some(0.0)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn update_out_of_range_panics() {
+        let mut q = QLearner::new(2, 0.1, 1.0, None).unwrap();
+        q.update(5, 1.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! The stochastic-population mining environment.
+//!
+//! One *block* (episode): draw the participant count `k` from the population
+//! model (clamped to the learner pool), pick a random subset of `k`
+//! learners, and pay each participant its realized expected utility — the
+//! ω-mixture of fully-served and degraded winning probability at the
+//! realized line-up (the per-`k` term of the paper's Eq. 26).
+
+use mbm_core::params::{MarketParams, Prices};
+use mbm_core::request::{Aggregates, Request};
+use mbm_core::subgame::dynamic::Population;
+use mbm_core::winning::{w_connected_transfer, w_full};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::error::LearnError;
+
+/// The environment shared by all learners.
+#[derive(Debug, Clone)]
+pub struct MiningEnv {
+    params: MarketParams,
+    prices: Prices,
+    population: Population,
+    pool: usize,
+    mixing: f64,
+}
+
+/// Outcome of one block for the learners.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockOutcome {
+    /// Indices of the miners that participated this block.
+    pub participants: Vec<usize>,
+    /// Utility realized by each participant (aligned with `participants`).
+    pub utilities: Vec<f64>,
+}
+
+impl MiningEnv {
+    /// Creates an environment with `pool` learning miners.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::InvalidConfig`] unless `pool ≥ 2` and
+    /// `mixing ∈ [0, 1]`.
+    pub fn new(
+        params: MarketParams,
+        prices: Prices,
+        population: Population,
+        pool: usize,
+        mixing: f64,
+    ) -> Result<Self, LearnError> {
+        if pool < 2 {
+            return Err(LearnError::invalid("MiningEnv: need a pool of at least 2 miners"));
+        }
+        if !(0.0..=1.0).contains(&mixing) {
+            return Err(LearnError::invalid(format!("MiningEnv: mixing = {mixing} not in [0, 1]")));
+        }
+        Ok(MiningEnv { params, prices, population, pool, mixing })
+    }
+
+    /// Number of learners in the pool.
+    #[must_use]
+    pub fn pool(&self) -> usize {
+        self.pool
+    }
+
+    /// Announced prices.
+    #[must_use]
+    pub fn prices(&self) -> &Prices {
+        &self.prices
+    }
+
+    /// Market parameters.
+    #[must_use]
+    pub fn params(&self) -> &MarketParams {
+        &self.params
+    }
+
+    /// Plays one block: `requests[i]` is learner `i`'s chosen action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len() != self.pool()`.
+    pub fn play_block<R: Rng + ?Sized>(&self, requests: &[Request], rng: &mut R) -> BlockOutcome {
+        assert_eq!(requests.len(), self.pool, "MiningEnv::play_block: request count mismatch");
+        let k = (self.population.pmf().sample(rng) as usize).clamp(1, self.pool);
+        let mut idx: Vec<usize> = (0..self.pool).collect();
+        idx.shuffle(rng);
+        idx.truncate(k);
+        let lineup: Vec<Request> = idx.iter().map(|&i| requests[i]).collect();
+        let beta = self.params.fork_rate();
+        let utilities = idx
+            .iter()
+            .enumerate()
+            .map(|(slot, &i)| {
+                let w = self.mixing * w_full(slot, &lineup, beta)
+                    + (1.0 - self.mixing) * w_connected_transfer(slot, &lineup, beta);
+                self.params.reward() * w - requests[i].cost(&self.prices)
+            })
+            .collect();
+        BlockOutcome { participants: idx, utilities }
+    }
+
+    /// Aggregate demand of a request profile (diagnostic for the SP loop).
+    #[must_use]
+    pub fn demand(&self, requests: &[Request]) -> Aggregates {
+        Aggregates::of(requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn env(pool: usize) -> MiningEnv {
+        MiningEnv::new(
+            MarketParams::builder().build().unwrap(),
+            Prices::new(4.0, 2.0).unwrap(),
+            Population::gaussian(4.0, 1.0).unwrap(),
+            pool,
+            0.5,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn participant_counts_follow_population() {
+        let e = env(6);
+        let mut rng = StdRng::seed_from_u64(3);
+        let reqs = vec![Request { edge: 1.0, cloud: 1.0 }; 6];
+        let mut total = 0usize;
+        let n = 2000;
+        for _ in 0..n {
+            let out = e.play_block(&reqs, &mut rng);
+            assert!(!out.participants.is_empty() && out.participants.len() <= 6);
+            assert_eq!(out.participants.len(), out.utilities.len());
+            total += out.participants.len();
+        }
+        let mean = total as f64 / n as f64;
+        // Population mean ~4 (clamped to pool 6, discretization shifts +0.5).
+        assert!((mean - 4.5).abs() < 0.3, "mean participants {mean}");
+    }
+
+    #[test]
+    fn utilities_are_reward_minus_cost() {
+        let e = env(2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let reqs = vec![Request { edge: 1.0, cloud: 1.0 }; 2];
+        // With 2 identical miners participating, each W = 1/2-ish; utility
+        // must be bounded by R - cost and at least -cost.
+        for _ in 0..200 {
+            let out = e.play_block(&reqs, &mut rng);
+            for &u in &out.utilities {
+                assert!(u <= 100.0 - 6.0 + 1e-9);
+                assert!(u >= -6.0 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sole_participant_wins_everything() {
+        let e = MiningEnv::new(
+            MarketParams::builder().build().unwrap(),
+            Prices::new(4.0, 2.0).unwrap(),
+            Population::fixed(2).unwrap(),
+            2,
+            1.0,
+        )
+        .unwrap();
+        // Fixed population of 2 on a pool of 2: both always participate.
+        let mut rng = StdRng::seed_from_u64(9);
+        let reqs = vec![Request { edge: 1.0, cloud: 0.0 }, Request { edge: 0.0, cloud: 0.0 }];
+        let out = e.play_block(&reqs, &mut rng);
+        // Miner 0 holds all power: utility = R - cost; miner 1 gets 0.
+        let u0 = out
+            .participants
+            .iter()
+            .zip(&out.utilities)
+            .find(|&(&i, _)| i == 0)
+            .map(|(_, &u)| u)
+            .unwrap();
+        assert!((u0 - (100.0 - 4.0)).abs() < 1e-9, "{u0}");
+    }
+
+    #[test]
+    fn validation() {
+        let params = MarketParams::builder().build().unwrap();
+        let prices = Prices::new(4.0, 2.0).unwrap();
+        let pop = Population::fixed(3).unwrap();
+        assert!(MiningEnv::new(params, prices, pop.clone(), 1, 0.5).is_err());
+        assert!(MiningEnv::new(params, prices, pop, 3, 1.5).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for the learning framework.
+
+use std::error::Error;
+use std::fmt;
+
+use mbm_core::MiningGameError;
+
+/// Errors produced by the RL framework.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LearnError {
+    /// A configuration value was out of range.
+    InvalidConfig(String),
+    /// The underlying game model rejected its inputs.
+    Model(MiningGameError),
+}
+
+impl fmt::Display for LearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearnError::InvalidConfig(msg) => write!(f, "invalid learning config: {msg}"),
+            LearnError::Model(e) => write!(f, "game model error: {e}"),
+        }
+    }
+}
+
+impl Error for LearnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LearnError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MiningGameError> for LearnError {
+    fn from(e: MiningGameError) -> Self {
+        LearnError::Model(e)
+    }
+}
+
+impl LearnError {
+    /// Convenience constructor for [`LearnError::InvalidConfig`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        LearnError::InvalidConfig(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(LearnError::invalid("x").to_string().contains("invalid"));
+        let e: LearnError = MiningGameError::invalid("y").into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,50 @@
+//! Reinforcement-learning validation framework for the mining game.
+//!
+//! Section VI-C of the paper validates the equilibrium analysis with a
+//! reinforcement-learning loop: miners repeatedly choose requests from a
+//! discretized action set, observe realized utilities in a network whose
+//! population fluctuates as `N ~ Gaussian(μ, σ²)`, and update their beliefs;
+//! once miner behaviour converges (within a period of `T = 50` blocks in the
+//! paper), the providers adapt their prices, and the two timescales repeat
+//! until a fixed point. The learned strategies land on the model's
+//! equilibria (the unfilled points of the paper's Fig. 9).
+//!
+//! * [`actions`] — discretized request grids within a budget.
+//! * [`bandit`] — ε-greedy incremental-average Q-learning.
+//! * [`env`](mod@crate::env) — the stochastic-population mining environment.
+//! * [`trainer`] — the two-timescale learning loops.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use mbm_core::params::{MarketParams, Prices};
+//! use mbm_core::subgame::dynamic::Population;
+//! use mbm_learn::trainer::{learn_miner_strategies, TrainConfig};
+//!
+//! # fn main() -> Result<(), mbm_learn::LearnError> {
+//! let params = MarketParams::builder().build()?;
+//! let prices = Prices::new(4.0, 2.0)?;
+//! let pop = Population::gaussian(4.0, 1.0)?;
+//! let out = learn_miner_strategies(&params, &prices, 200.0, &pop, 5, &TrainConfig::default())?;
+//! println!("learned mean request: {:?}", out.mean_request);
+//! # Ok(())
+//! # }
+//! ```
+
+// Lint policy: `!(x > 0.0)`-style guards deliberately reject NaN alongside
+// out-of-range values (rewriting via `partial_cmp` would lose that), and
+// index-based loops mirror the paper's sum-over-miners notation.
+#![allow(
+    clippy::neg_cmp_op_on_partial_ord,
+    clippy::nonminimal_bool,
+    clippy::needless_range_loop,
+    clippy::explicit_counter_loop
+)]
+
+pub mod actions;
+pub mod bandit;
+pub mod env;
+pub mod error;
+pub mod trainer;
+
+pub use error::LearnError;

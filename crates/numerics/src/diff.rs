@@ -1,0 +1,151 @@
+//! Numerical differentiation by central differences.
+//!
+//! Used to cross-check analytic gradients of miner utilities and to drive
+//! the generic projected-gradient best response when only an objective is
+//! available (dynamic-population scenario).
+
+/// Default relative step for central differences (`cbrt` of machine epsilon
+/// scaled — the classical optimum for second-order accurate differences).
+pub const DEFAULT_STEP: f64 = 6.055_454_452_393_343e-6; // eps^(1/3)
+
+/// Central-difference approximation of `df/dx` at `x`.
+///
+/// The step adapts to the magnitude of `x` so relative accuracy is uniform.
+///
+/// ```
+/// let d = mbm_numerics::diff::derivative(|x| x * x, 3.0, None);
+/// assert!((d - 6.0).abs() < 1e-6);
+/// ```
+#[must_use]
+pub fn derivative<F>(mut f: F, x: f64, step: Option<f64>) -> f64
+where
+    F: FnMut(f64) -> f64,
+{
+    let h = step.unwrap_or(DEFAULT_STEP) * (1.0 + x.abs());
+    (f(x + h) - f(x - h)) / (2.0 * h)
+}
+
+/// Second central-difference approximation of `d²f/dx²` at `x`.
+///
+/// ```
+/// let d2 = mbm_numerics::diff::second_derivative(|x| x * x * x, 2.0, None);
+/// assert!((d2 - 12.0).abs() < 1e-3);
+/// ```
+#[must_use]
+pub fn second_derivative<F>(mut f: F, x: f64, step: Option<f64>) -> f64
+where
+    F: FnMut(f64) -> f64,
+{
+    // Larger step for second differences: eps^(1/4) balances truncation and
+    // rounding error.
+    let h = step.unwrap_or(1.22e-4) * (1.0 + x.abs());
+    (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h)
+}
+
+/// Central-difference gradient of `f` at `x`, written into `out`.
+///
+/// # Panics
+///
+/// Panics if `out.len() != x.len()`.
+pub fn gradient<F>(mut f: F, x: &[f64], out: &mut [f64], step: Option<f64>)
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    assert_eq!(x.len(), out.len(), "gradient: output length mismatch");
+    let mut work = x.to_vec();
+    for i in 0..x.len() {
+        let h = step.unwrap_or(DEFAULT_STEP) * (1.0 + x[i].abs());
+        let xi = x[i];
+        work[i] = xi + h;
+        let fp = f(&work);
+        work[i] = xi - h;
+        let fm = f(&work);
+        work[i] = xi;
+        out[i] = (fp - fm) / (2.0 * h);
+    }
+}
+
+/// One-sided (forward) gradient for functions only defined on one side of a
+/// boundary (e.g. utilities undefined for negative requests). Steps *into*
+/// the domain assuming `x` is feasible and `x + h e_i` stays feasible.
+///
+/// # Panics
+///
+/// Panics if `out.len() != x.len()`.
+pub fn forward_gradient<F>(mut f: F, x: &[f64], out: &mut [f64], step: Option<f64>)
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    assert_eq!(x.len(), out.len(), "forward_gradient: output length mismatch");
+    let f0 = f(x);
+    let mut work = x.to_vec();
+    for i in 0..x.len() {
+        let h = step.unwrap_or(1e-7) * (1.0 + x[i].abs());
+        let xi = x[i];
+        work[i] = xi + h;
+        out[i] = (f(&work) - f0) / h;
+        work[i] = xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivative_of_polynomial() {
+        let d = derivative(|x| 3.0 * x * x + 2.0 * x - 1.0, 1.5, None);
+        assert!((d - 11.0).abs() < 1e-7, "{d}");
+    }
+
+    #[test]
+    fn derivative_of_transcendental() {
+        let d = derivative(f64::exp, 1.0, None);
+        assert!((d - std::f64::consts::E).abs() < 1e-7);
+    }
+
+    #[test]
+    fn derivative_scales_with_large_arguments() {
+        let d = derivative(|x| x * x, 1e6, None);
+        assert!((d - 2e6).abs() / 2e6 < 1e-6);
+    }
+
+    #[test]
+    fn second_derivative_of_quadratic_is_exactish() {
+        let d2 = second_derivative(|x| 5.0 * x * x, 10.0, None);
+        assert!((d2 - 10.0).abs() < 1e-3, "{d2}");
+    }
+
+    #[test]
+    fn second_derivative_sign_detects_concavity() {
+        let d2 = second_derivative(|x: f64| -(x.powi(4)), 1.0, None);
+        assert!(d2 < 0.0);
+    }
+
+    #[test]
+    fn gradient_matches_analytic() {
+        let f = |x: &[f64]| x[0] * x[0] + 3.0 * x[0] * x[1] + x[1].powi(3);
+        let x = [2.0, -1.0];
+        let mut g = [0.0; 2];
+        gradient(f, &x, &mut g, None);
+        // df/dx0 = 2x0 + 3x1 = 1; df/dx1 = 3x0 + 3x1^2 = 9.
+        assert!((g[0] - 1.0).abs() < 1e-6, "{g:?}");
+        assert!((g[1] - 9.0).abs() < 1e-6, "{g:?}");
+    }
+
+    #[test]
+    fn forward_gradient_at_domain_boundary() {
+        // f(x) = sqrt(x) is defined only for x >= 0; evaluate at 0 feasibly.
+        let f = |x: &[f64]| x[0].sqrt();
+        let mut g = [0.0];
+        forward_gradient(f, &[1.0], &mut g, None);
+        assert!((g[0] - 0.5).abs() < 1e-4, "{g:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn gradient_length_mismatch_panics() {
+        let mut g = [0.0];
+        gradient(|x: &[f64]| x[0], &[1.0, 2.0], &mut g, None);
+    }
+}

@@ -1,0 +1,152 @@
+//! Exponential distribution.
+//!
+//! PoW mining is a memoryless race: the time until some miner finds a valid
+//! block is exponential with rate proportional to total hash power, and the
+//! paper's fork model (its Fig. 2, following Bitcoin measurements) takes the
+//! block-collision density over propagation delay to be exponential as well.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::NumericsError;
+
+/// Exponential distribution with rate `λ` (mean `1/λ`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `λ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidInput`] unless `rate` is finite and
+    /// strictly positive.
+    pub fn new(rate: f64) -> Result<Self, NumericsError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(NumericsError::invalid(format!(
+                "Exponential: rate = {rate} must be finite and > 0"
+            )));
+        }
+        Ok(Exponential { rate })
+    }
+
+    /// Creates the distribution from its mean `1/λ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidInput`] unless `mean` is finite and
+    /// strictly positive.
+    pub fn from_mean(mean: f64) -> Result<Self, NumericsError> {
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(NumericsError::invalid(format!(
+                "Exponential: mean = {mean} must be finite and > 0"
+            )));
+        }
+        Exponential::new(1.0 / mean)
+    }
+
+    /// Rate `λ`.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Mean `1/λ`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Density `λ e^{−λx}` for `x ≥ 0`, zero otherwise.
+    #[must_use]
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    /// CDF `1 − e^{−λx}` for `x ≥ 0`, zero otherwise.
+    ///
+    /// In the fork model this is exactly the split rate after a propagation
+    /// delay `x`: the probability that a conflicting block appears before the
+    /// first block reaches consensus.
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            -(-self.rate * x).exp_m1()
+        }
+    }
+
+    /// Draws a sample by inversion.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 1 - U in (0, 1] avoids ln(0).
+        let u: f64 = rng.gen::<f64>();
+        -(1.0 - u).ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validation() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+        assert!(Exponential::from_mean(0.0).is_err());
+    }
+
+    #[test]
+    fn from_mean_round_trips() {
+        let e = Exponential::from_mean(12.6).unwrap();
+        assert!((e.mean() - 12.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdf_cdf_reference_values() {
+        let e = Exponential::new(2.0).unwrap();
+        assert_eq!(e.pdf(-1.0), 0.0);
+        assert_eq!(e.cdf(-1.0), 0.0);
+        assert!((e.pdf(0.0) - 2.0).abs() < 1e-15);
+        assert!((e.cdf(1.0) - (1.0 - (-2.0f64).exp())).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cdf_is_nearly_linear_for_small_delay() {
+        // The paper's Fig. 2(b): the split rate is approximately linear in
+        // the delay for small delays: cdf(x) ≈ λx.
+        let e = Exponential::from_mean(12.6).unwrap();
+        for &x in &[0.1, 0.5, 1.0] {
+            let lin = e.rate() * x;
+            assert!((e.cdf(x) - lin).abs() / lin < 0.05, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn sample_mean_converges() {
+        let e = Exponential::from_mean(3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| e.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "{mean}");
+    }
+
+    #[test]
+    fn samples_are_nonnegative_and_finite() {
+        let e = Exponential::new(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let s = e.sample(&mut rng);
+            assert!(s.is_finite() && s >= 0.0);
+        }
+    }
+}

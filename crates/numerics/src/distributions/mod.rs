@@ -1,0 +1,17 @@
+//! Probability distributions used across the mining-game workspace.
+//!
+//! * [`gaussian`] — normal distribution with an `erf` implementation; its
+//!   integer discretization `P(k) = Φ(k) − Φ(k−1)` models the random miner
+//!   population of the paper's Section V.
+//! * [`exponential`] — exponential distribution; PoW block inter-arrival
+//!   times and the fork model of the paper's Fig. 2 are exponential.
+//! * [`discrete`] — generic finite probability mass functions with exact
+//!   expectation and inverse-CDF sampling.
+
+pub mod discrete;
+pub mod exponential;
+pub mod gaussian;
+
+pub use discrete::DiscretePmf;
+pub use exponential::Exponential;
+pub use gaussian::Gaussian;

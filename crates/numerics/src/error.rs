@@ -1,0 +1,133 @@
+//! Error type shared by all numerical routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the numerical routines in this crate.
+///
+/// Every fallible public function in `mbm-numerics` returns this type, so
+/// downstream crates can propagate numerical failures with `?` and report
+/// them uniformly.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumericsError {
+    /// An input argument was outside the function's domain
+    /// (NaN, wrong sign, empty interval, ...). The payload describes the
+    /// violated requirement.
+    InvalidInput(String),
+    /// A bracketing method was given an interval whose endpoints do not
+    /// bracket a root (the function has the same sign at both ends).
+    NoBracket {
+        /// Left endpoint of the attempted bracket.
+        a: f64,
+        /// Right endpoint of the attempted bracket.
+        b: f64,
+        /// Function value at `a`.
+        fa: f64,
+        /// Function value at `b`.
+        fb: f64,
+    },
+    /// An iterative method hit its iteration cap before reaching the
+    /// requested tolerance. `best` is the best iterate found, `residual` the
+    /// remaining error estimate, so callers can decide whether the partial
+    /// answer is still usable.
+    DidNotConverge {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Remaining error estimate (method-specific).
+        residual: f64,
+    },
+    /// The objective or operator returned a non-finite value during
+    /// iteration, which makes further progress meaningless.
+    NonFiniteValue {
+        /// Point at which the non-finite value appeared (first coordinate
+        /// only, for context).
+        at: f64,
+    },
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            NumericsError::NoBracket { a, b, fa, fb } => write!(
+                f,
+                "interval [{a}, {b}] does not bracket a root (f(a) = {fa}, f(b) = {fb})"
+            ),
+            NumericsError::DidNotConverge {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            NumericsError::NonFiniteValue { at } => {
+                write!(f, "non-finite function value encountered near {at}")
+            }
+        }
+    }
+}
+
+impl Error for NumericsError {}
+
+impl NumericsError {
+    /// Convenience constructor for [`NumericsError::InvalidInput`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        NumericsError::InvalidInput(msg.into())
+    }
+}
+
+/// Checks that a value is finite, returning [`NumericsError::InvalidInput`]
+/// with the given `name` otherwise.
+///
+/// # Errors
+///
+/// Returns an error if `x` is NaN or infinite.
+pub fn ensure_finite(x: f64, name: &str) -> Result<f64, NumericsError> {
+    if x.is_finite() {
+        Ok(x)
+    } else {
+        Err(NumericsError::invalid(format!("{name} must be finite, got {x}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = NumericsError::invalid("x must be positive");
+        assert_eq!(e.to_string(), "invalid input: x must be positive");
+
+        let e = NumericsError::NoBracket {
+            a: 0.0,
+            b: 1.0,
+            fa: 2.0,
+            fb: 3.0,
+        };
+        assert!(e.to_string().contains("does not bracket"));
+
+        let e = NumericsError::DidNotConverge {
+            iterations: 7,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("7 iterations"));
+
+        let e = NumericsError::NonFiniteValue { at: 2.5 };
+        assert!(e.to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn ensure_finite_accepts_and_rejects() {
+        assert_eq!(ensure_finite(1.5, "x").unwrap(), 1.5);
+        assert!(ensure_finite(f64::NAN, "x").is_err());
+        assert!(ensure_finite(f64::INFINITY, "x").is_err());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericsError>();
+    }
+}

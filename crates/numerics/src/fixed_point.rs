@@ -1,0 +1,164 @@
+//! Damped fixed-point iteration.
+//!
+//! Best-response dynamics — the engine of Algorithms 1 and 2 in the paper —
+//! are fixed-point iterations `x ← T(x)` on the stacked strategy profile.
+//! Damping (`x ← (1−ω) x + ω T(x)`) turns many merely non-expansive maps into
+//! convergent ones and is one of the ablations benchmarked in EXP-ABL.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NumericsError;
+
+/// Configuration for [`iterate`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FixedPointParams {
+    /// Damping weight `ω ∈ (0, 1]` on the new iterate; `1` is undamped.
+    pub damping: f64,
+    /// Convergence tolerance on `‖x_{k+1} − x_k‖∞`.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iter: usize,
+}
+
+impl Default for FixedPointParams {
+    fn default() -> Self {
+        FixedPointParams { damping: 1.0, tol: 1e-9, max_iter: 10_000 }
+    }
+}
+
+/// Outcome of a fixed-point iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedPointResult {
+    /// Final iterate.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final displacement `‖x_{k+1} − x_k‖∞`.
+    pub residual: f64,
+    /// Displacement after each iteration, for convergence diagnostics.
+    pub history: Vec<f64>,
+}
+
+/// Iterates `x ← (1−ω)·x + ω·T(x)` until the displacement falls below
+/// `params.tol`.
+///
+/// `map` writes `T(x)` into its second argument.
+///
+/// # Errors
+///
+/// * [`NumericsError::InvalidInput`] for bad damping or empty `x0`.
+/// * [`NumericsError::NonFiniteValue`] if the map produces non-finite
+///   entries.
+/// * [`NumericsError::DidNotConverge`] if `max_iter` is exhausted; the error
+///   carries the final residual so callers can decide whether to accept.
+pub fn iterate<T>(mut map: T, x0: &[f64], params: &FixedPointParams) -> Result<FixedPointResult, NumericsError>
+where
+    T: FnMut(&[f64], &mut [f64]),
+{
+    if x0.is_empty() {
+        return Err(NumericsError::invalid("fixed_point::iterate: empty starting point"));
+    }
+    if !(params.damping > 0.0 && params.damping <= 1.0) {
+        return Err(NumericsError::invalid(format!(
+            "fixed_point::iterate: damping = {} must be in (0, 1]",
+            params.damping
+        )));
+    }
+    let mut x = x0.to_vec();
+    let mut tx = vec![0.0; x.len()];
+    let mut history = Vec::new();
+    for iter in 0..params.max_iter {
+        map(&x, &mut tx);
+        if tx.iter().any(|v| !v.is_finite()) {
+            return Err(NumericsError::NonFiniteValue { at: x[0] });
+        }
+        let mut residual = 0.0f64;
+        for i in 0..x.len() {
+            let next = (1.0 - params.damping) * x[i] + params.damping * tx[i];
+            residual = residual.max((next - x[i]).abs());
+            x[i] = next;
+        }
+        history.push(residual);
+        if residual <= params.tol {
+            return Ok(FixedPointResult { x, iterations: iter + 1, residual, history });
+        }
+    }
+    let residual = history.last().copied().unwrap_or(f64::INFINITY);
+    Err(NumericsError::DidNotConverge { iterations: params.max_iter, residual })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contraction_converges_undamped() {
+        // T(x) = 0.5 x + 1 has fixed point 2.
+        let r = iterate(
+            |x, out| out[0] = 0.5 * x[0] + 1.0,
+            &[0.0],
+            &FixedPointParams::default(),
+        )
+        .unwrap();
+        assert!((r.x[0] - 2.0).abs() < 1e-8);
+        assert!(r.history.windows(2).all(|w| w[1] <= w[0] + 1e-15));
+    }
+
+    #[test]
+    fn oscillating_map_needs_damping() {
+        // T(x) = -x + 2 has fixed point 1 but oscillates undamped from 0:
+        // 0 -> 2 -> 0 -> 2 ...
+        let undamped = iterate(
+            |x, out| out[0] = -x[0] + 2.0,
+            &[0.0],
+            &FixedPointParams { damping: 1.0, tol: 1e-9, max_iter: 100 },
+        );
+        assert!(undamped.is_err());
+
+        let damped = iterate(
+            |x, out| out[0] = -x[0] + 2.0,
+            &[0.0],
+            &FixedPointParams { damping: 0.5, tol: 1e-9, max_iter: 100 },
+        )
+        .unwrap();
+        assert!((damped.x[0] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn multidimensional_fixed_point() {
+        // Rotation-and-shrink toward (1, 1).
+        let r = iterate(
+            |x, out| {
+                out[0] = 1.0 + 0.3 * (x[1] - 1.0);
+                out[1] = 1.0 - 0.3 * (x[0] - 1.0);
+            },
+            &[5.0, -3.0],
+            &FixedPointParams::default(),
+        )
+        .unwrap();
+        assert!((r.x[0] - 1.0).abs() < 1e-7);
+        assert!((r.x[1] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(iterate(|_, _| {}, &[], &FixedPointParams::default()).is_err());
+        let p = FixedPointParams { damping: 0.0, ..Default::default() };
+        assert!(iterate(|x, o| o[0] = x[0], &[1.0], &p).is_err());
+        let p = FixedPointParams { damping: 1.5, ..Default::default() };
+        assert!(iterate(|x, o| o[0] = x[0], &[1.0], &p).is_err());
+    }
+
+    #[test]
+    fn non_finite_map_is_an_error() {
+        let r = iterate(|_, out| out[0] = f64::NAN, &[1.0], &FixedPointParams::default());
+        assert!(matches!(r, Err(NumericsError::NonFiniteValue { .. })));
+    }
+
+    #[test]
+    fn fixed_start_converges_in_one_iteration() {
+        let r = iterate(|x, out| out[0] = x[0], &[3.0], &FixedPointParams::default()).unwrap();
+        assert_eq!(r.iterations, 1);
+        assert_eq!(r.residual, 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Golden-section search for one-dimensional unimodal maximization.
+
+use crate::error::NumericsError;
+
+/// Inverse golden ratio, `(sqrt(5) - 1) / 2`.
+const INV_PHI: f64 = 0.618_033_988_749_894_9;
+
+/// Result of a golden-section maximization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoldenResult {
+    /// Argmax estimate.
+    pub x: f64,
+    /// Objective value at [`GoldenResult::x`].
+    pub value: f64,
+    /// Number of objective evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Maximizes a unimodal function `f` on `[lo, hi]` by golden-section search.
+///
+/// Convergence is linear with ratio `INV_PHI`; `tol` is the absolute width of
+/// the final uncertainty interval. For a concave `f` (the case for the
+/// service providers' profit functions in the mining game) the returned point
+/// is within `tol` of the global maximizer.
+///
+/// # Errors
+///
+/// * [`NumericsError::InvalidInput`] if the interval is degenerate, reversed
+///   or non-finite, or `tol` is not positive.
+/// * [`NumericsError::NonFiniteValue`] if `f` returns NaN/∞.
+///
+/// ```
+/// use mbm_numerics::optimize::golden_section_max;
+/// # fn main() -> Result<(), mbm_numerics::NumericsError> {
+/// let r = golden_section_max(|x| -(x - 3.0) * (x - 3.0), 0.0, 10.0, 1e-10)?;
+/// assert!((r.x - 3.0).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn golden_section_max<F>(mut f: F, lo: f64, hi: f64, tol: f64) -> Result<GoldenResult, NumericsError>
+where
+    F: FnMut(f64) -> f64,
+{
+    if !(lo.is_finite() && hi.is_finite()) {
+        return Err(NumericsError::invalid("golden_section_max: bounds must be finite"));
+    }
+    if lo >= hi {
+        return Err(NumericsError::invalid("golden_section_max: need lo < hi"));
+    }
+    if !(tol > 0.0) {
+        return Err(NumericsError::invalid("golden_section_max: tol must be positive"));
+    }
+    let mut a = lo;
+    let mut b = hi;
+    let mut x1 = b - INV_PHI * (b - a);
+    let mut x2 = a + INV_PHI * (b - a);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    let mut evals = 2;
+    check(x1, f1)?;
+    check(x2, f2)?;
+    while (b - a) > tol {
+        if f1 < f2 {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + INV_PHI * (b - a);
+            f2 = f(x2);
+            check(x2, f2)?;
+        } else {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - INV_PHI * (b - a);
+            f1 = f(x1);
+            check(x1, f1)?;
+        }
+        evals += 1;
+        // The interval shrinks by a constant factor each step, so this loop
+        // always terminates; an explicit cap guards against tol underflow.
+        if evals > 10_000 {
+            break;
+        }
+    }
+    let (x, value) = if f1 >= f2 { (x1, f1) } else { (x2, f2) };
+    // Also compare against the endpoints: for monotone objectives the
+    // maximum sits at a boundary that interior probes never reach exactly.
+    let fl = f(lo);
+    let fh = f(hi);
+    evals += 2;
+    check(lo, fl)?;
+    check(hi, fh)?;
+    let mut best = GoldenResult { x, value, evaluations: evals };
+    if fl > best.value {
+        best.x = lo;
+        best.value = fl;
+    }
+    if fh > best.value {
+        best.x = hi;
+        best.value = fh;
+    }
+    Ok(best)
+}
+
+fn check(x: f64, fx: f64) -> Result<(), NumericsError> {
+    if fx.is_finite() {
+        Ok(())
+    } else {
+        Err(NumericsError::NonFiniteValue { at: x })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_interior_maximum() {
+        let r = golden_section_max(|x| 4.0 - (x - 1.5f64).powi(2), -10.0, 10.0, 1e-10).unwrap();
+        // √ε limit: near the maximum the objective is flat to machine
+        // precision, so ~1e-8 is the best any derivative-free method can do.
+        assert!((r.x - 1.5).abs() < 1e-6);
+        assert!((r.value - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finds_boundary_maximum_of_monotone_function() {
+        let r = golden_section_max(|x| 2.0 * x, 0.0, 5.0, 1e-10).unwrap();
+        assert_eq!(r.x, 5.0);
+        assert_eq!(r.value, 10.0);
+
+        let r = golden_section_max(|x| -x, 0.0, 5.0, 1e-10).unwrap();
+        assert_eq!(r.x, 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_intervals() {
+        assert!(golden_section_max(|x| x, 1.0, 1.0, 1e-8).is_err());
+        assert!(golden_section_max(|x| x, 2.0, 1.0, 1e-8).is_err());
+        assert!(golden_section_max(|x| x, f64::NEG_INFINITY, 1.0, 1e-8).is_err());
+        assert!(golden_section_max(|x| x, 0.0, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn propagates_non_finite_objective() {
+        let err = golden_section_max(|x| if x > 0.5 { f64::NAN } else { x }, 0.0, 1.0, 1e-8);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn narrow_interval_still_works() {
+        let r = golden_section_max(|x| -(x - 1.0e-7f64).powi(2), 0.0, 2.0e-7, 1e-14).unwrap();
+        assert!((r.x - 1.0e-7).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,156 @@
+//! Adaptive refining grid search for one-dimensional maximization.
+//!
+//! Unlike golden-section search, grid refinement does not assume
+//! unimodality: it scans the whole interval, then recursively zooms on the
+//! best cell. It is used where profit functions may develop multiple local
+//! maxima (e.g. leader profits across regime switches between the
+//! budget-binding and sufficient-budget follower equilibria).
+
+use crate::error::NumericsError;
+
+/// Result of an adaptive grid maximization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridResult {
+    /// Argmax estimate.
+    pub x: f64,
+    /// Objective value at [`GridResult::x`].
+    pub value: f64,
+    /// Number of objective evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Maximizes `f` on `[lo, hi]` by scanning `points` equally spaced samples
+/// and recursively refining around the best one for `rounds` rounds.
+///
+/// Each round shrinks the search interval by a factor of `points / 2`, so the
+/// final resolution is roughly `(hi - lo) * (2 / points)^rounds`.
+///
+/// Non-finite objective values are treated as "worse than everything" rather
+/// than an error, because leader profit functions in the mining game are
+/// legitimately undefined outside feasibility regions (e.g. prices below
+/// cost); the search simply avoids those cells. If *every* sample is
+/// non-finite, an error is returned.
+///
+/// # Errors
+///
+/// * [`NumericsError::InvalidInput`] for degenerate intervals or
+///   `points < 3` or `rounds == 0`.
+/// * [`NumericsError::NonFiniteValue`] if no sample point yields a finite
+///   value.
+///
+/// ```
+/// use mbm_numerics::optimize::adaptive_grid_max;
+/// # fn main() -> Result<(), mbm_numerics::NumericsError> {
+/// // Bimodal: global max near x = 4 (pulled slightly left by the bump at 1).
+/// let f = |x: f64| (-(x - 1.0) * (x - 1.0)).exp() + 2.0 * (-(x - 4.0) * (x - 4.0)).exp();
+/// let r = adaptive_grid_max(f, 0.0, 6.0, 41, 8)?;
+/// assert!((r.x - 4.0).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn adaptive_grid_max<F>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    points: usize,
+    rounds: usize,
+) -> Result<GridResult, NumericsError>
+where
+    F: FnMut(f64) -> f64,
+{
+    if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
+        return Err(NumericsError::invalid("adaptive_grid_max: need finite lo < hi"));
+    }
+    if points < 3 {
+        return Err(NumericsError::invalid("adaptive_grid_max: need at least 3 grid points"));
+    }
+    if rounds == 0 {
+        return Err(NumericsError::invalid("adaptive_grid_max: need at least 1 round"));
+    }
+    let mut a = lo;
+    let mut b = hi;
+    let mut best_x = f64::NAN;
+    let mut best_v = f64::NEG_INFINITY;
+    let mut evals = 0;
+    for _ in 0..rounds {
+        let step = (b - a) / (points - 1) as f64;
+        let mut round_best_x = f64::NAN;
+        let mut round_best_v = f64::NEG_INFINITY;
+        for k in 0..points {
+            let x = a + step * k as f64;
+            let v = f(x);
+            evals += 1;
+            if v.is_finite() && v > round_best_v {
+                round_best_v = v;
+                round_best_x = x;
+            }
+        }
+        if !round_best_x.is_finite() {
+            return Err(NumericsError::NonFiniteValue { at: 0.5 * (a + b) });
+        }
+        if round_best_v > best_v {
+            best_v = round_best_v;
+            best_x = round_best_x;
+        }
+        // Zoom on the winning cell (one step each side), clamped to [lo, hi].
+        a = (round_best_x - step).max(lo);
+        b = (round_best_x + step).min(hi);
+        if b - a <= f64::EPSILON * (1.0 + b.abs()) {
+            break;
+        }
+    }
+    Ok(GridResult { x: best_x, value: best_v, evaluations: evals })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_global_max_of_bimodal() {
+        let f = |x: f64| (-(x - 1.0) * (x - 1.0)).exp() + 2.0 * (-(x - 4.0) * (x - 4.0)).exp();
+        let r = adaptive_grid_max(f, 0.0, 6.0, 61, 10).unwrap();
+        // The small bump at x = 1 pulls the true maximizer slightly below 4
+        // (to ≈ 3.999815), so compare with a tolerance wider than that pull.
+        assert!((r.x - 4.0).abs() < 1e-3, "got {}", r.x);
+        assert!(r.value >= f(4.0));
+    }
+
+    #[test]
+    fn boundary_maximum() {
+        let r = adaptive_grid_max(|x| x, 0.0, 1.0, 11, 6).unwrap();
+        assert!((r.x - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tolerates_partial_nan_regions() {
+        // Undefined left half, maximum at 0.75 on the defined right half.
+        let f = |x: f64| if x < 0.5 { f64::NAN } else { -(x - 0.75f64).powi(2) };
+        let r = adaptive_grid_max(f, 0.0, 1.0, 21, 8).unwrap();
+        assert!((r.x - 0.75).abs() < 1e-5, "got {}", r.x);
+    }
+
+    #[test]
+    fn all_nan_is_an_error() {
+        let err = adaptive_grid_max(|_| f64::NAN, 0.0, 1.0, 11, 3).unwrap_err();
+        assert!(matches!(err, NumericsError::NonFiniteValue { .. }));
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(adaptive_grid_max(|x| x, 1.0, 0.0, 11, 3).is_err());
+        assert!(adaptive_grid_max(|x| x, 0.0, 1.0, 2, 3).is_err());
+        assert!(adaptive_grid_max(|x| x, 0.0, 1.0, 11, 0).is_err());
+    }
+
+    #[test]
+    fn refinement_improves_accuracy() {
+        let f = |x: f64| -(x - std::f64::consts::PI).powi(2);
+        let coarse = adaptive_grid_max(f, 0.0, 10.0, 11, 1).unwrap();
+        let fine = adaptive_grid_max(f, 0.0, 10.0, 11, 10).unwrap();
+        assert!(
+            (fine.x - std::f64::consts::PI).abs() < (coarse.x - std::f64::consts::PI).abs()
+        );
+        assert!((fine.x - std::f64::consts::PI).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,255 @@
+//! Numerical integration: Simpson's rule and Gauss–Hermite quadrature.
+//!
+//! The dynamic-population scenario discretizes the Gaussian miner count as
+//! the paper does (`P(k) = Φ(k) − Φ(k−1)`); Gauss–Hermite quadrature
+//! evaluates the *continuous* Gaussian expectation instead, which the
+//! EXP-ABL harness uses to quantify the discretization error. Nodes and
+//! weights are computed from scratch by Newton iteration on the Hermite
+//! recurrence.
+
+use crate::error::NumericsError;
+
+/// Composite Simpson integration of `f` over `[a, b]` with `2n` panels.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidInput`] for a degenerate interval or
+/// `n == 0`, and [`NumericsError::NonFiniteValue`] if `f` produces
+/// non-finite values.
+pub fn simpson<F>(mut f: F, a: f64, b: f64, n: usize) -> Result<f64, NumericsError>
+where
+    F: FnMut(f64) -> f64,
+{
+    if !(a.is_finite() && b.is_finite() && a < b) {
+        return Err(NumericsError::invalid("simpson: need finite a < b"));
+    }
+    if n == 0 {
+        return Err(NumericsError::invalid("simpson: need at least one panel pair"));
+    }
+    let m = 2 * n;
+    let h = (b - a) / m as f64;
+    let mut total = 0.0;
+    for i in 0..=m {
+        let x = a + i as f64 * h;
+        let fx = f(x);
+        if !fx.is_finite() {
+            return Err(NumericsError::NonFiniteValue { at: x });
+        }
+        let w = if i == 0 || i == m {
+            1.0
+        } else if i % 2 == 1 {
+            4.0
+        } else {
+            2.0
+        };
+        total += w * fx;
+    }
+    Ok(total * h / 3.0)
+}
+
+/// Gauss–Hermite nodes and weights for
+/// `∫ f(x) e^{−x²} dx ≈ Σ wᵢ f(xᵢ)`.
+///
+/// Computed by Newton iteration on `H_n` using the three-term recurrence;
+/// accurate to near machine precision for `n ≤ 64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussHermite {
+    nodes: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl GaussHermite {
+    /// Computes the `n`-point rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidInput`] unless `1 ≤ n ≤ 64`.
+    pub fn new(n: usize) -> Result<Self, NumericsError> {
+        if n == 0 || n > 64 {
+            return Err(NumericsError::invalid("GaussHermite: need 1 <= n <= 64"));
+        }
+        let mut nodes = vec![0.0; n];
+        let mut weights = vec![0.0; n];
+        let nf = n as f64;
+        // sqrt(pi) prefactor of the weights.
+        let sqrt_pi = std::f64::consts::PI.sqrt();
+        // Find the positive roots (symmetry gives the rest).
+        let m = n.div_ceil(2);
+        let mut x = 0.0f64;
+        for i in 0..m {
+            // Initial guesses (Numerical Recipes).
+            x = match i {
+                0 => (2.0 * nf + 1.0).sqrt() - 1.85575 * (2.0 * nf + 1.0).powf(-1.0 / 6.0),
+                1 => x - 1.14 * nf.powf(0.426) / x,
+                2 => 1.86 * x - 0.86 * nodes[0],
+                3 => 1.91 * x - 0.91 * nodes[1],
+                _ => 2.0 * x - nodes[i - 2],
+            };
+            // Newton on H_n(x) (physicists' polynomials, normalized).
+            let mut dp = 0.0;
+            for _ in 0..100 {
+                let (p, d) = hermite_value(n, x);
+                dp = d;
+                let step = p / d;
+                x -= step;
+                if step.abs() < 1e-15 * (1.0 + x.abs()) {
+                    break;
+                }
+            }
+            nodes[i] = x;
+            weights[i] = 2.0 / (dp * dp) * (2.0f64).powi(n as i32 - 1) * factorial(n) * sqrt_pi
+                / normalization(n);
+            // Mirror.
+            nodes[n - 1 - i] = -x;
+            weights[n - 1 - i] = weights[i];
+        }
+        // Sort ascending for presentation.
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| nodes[a].partial_cmp(&nodes[b]).expect("finite nodes"));
+        let nodes_sorted: Vec<f64> = idx.iter().map(|&i| nodes[i]).collect();
+        let weights_sorted: Vec<f64> = idx.iter().map(|&i| weights[i]).collect();
+        Ok(GaussHermite { nodes: nodes_sorted, weights: weights_sorted })
+    }
+
+    /// Quadrature nodes (ascending).
+    #[must_use]
+    pub fn nodes(&self) -> &[f64] {
+        &self.nodes
+    }
+
+    /// Quadrature weights.
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Approximates `∫ f(x) e^{−x²} dx`.
+    pub fn integrate<F: FnMut(f64) -> f64>(&self, mut f: F) -> f64 {
+        self.nodes.iter().zip(&self.weights).map(|(&x, &w)| w * f(x)).sum()
+    }
+
+    /// Expectation `E[f(X)]` for `X ~ N(mean, sd²)` via the substitution
+    /// `x = mean + sd·√2·t`.
+    pub fn gaussian_expectation<F: FnMut(f64) -> f64>(&self, mean: f64, sd: f64, mut f: F) -> f64 {
+        let scale = sd * std::f64::consts::SQRT_2;
+        let inv_sqrt_pi = 1.0 / std::f64::consts::PI.sqrt();
+        self.nodes
+            .iter()
+            .zip(&self.weights)
+            .map(|(&t, &w)| w * inv_sqrt_pi * f(mean + scale * t))
+            .sum()
+    }
+}
+
+/// Value and derivative of the monic-normalized Hermite polynomial used by
+/// the Newton iteration (orthonormal recurrence, Numerical-Recipes style).
+fn hermite_value(n: usize, x: f64) -> (f64, f64) {
+    // Orthonormal Hermite recurrence:
+    // p_0 = pi^{-1/4}; p_j = x*sqrt(2/j)*p_{j-1} - sqrt((j-1)/j)*p_{j-2}.
+    let mut p1 = std::f64::consts::PI.powf(-0.25);
+    let mut p2 = 0.0;
+    for j in 1..=n {
+        let p3 = p2;
+        p2 = p1;
+        let jf = j as f64;
+        p1 = x * (2.0 / jf).sqrt() * p2 - ((jf - 1.0) / jf).sqrt() * p3;
+    }
+    // Derivative via p'_n = sqrt(2 n) * p_{n-1}.
+    let d = (2.0 * n as f64).sqrt() * p2;
+    (p1, d)
+}
+
+fn factorial(n: usize) -> f64 {
+    (1..=n).map(|k| k as f64).product()
+}
+
+/// Normalization connecting the orthonormal recurrence's derivative to the
+/// classical Gauss–Hermite weight formula `w = 2^{n-1} n! √π / (n² H_{n-1}²)`.
+/// With the orthonormal recurrence, the weight is simply `2 / p'_n(x)²` up
+/// to this constant, which cancels — kept explicit for readability.
+fn normalization(n: usize) -> f64 {
+    // In the orthonormal convention the weight is exactly 2 / (p'_n)^2 —
+    // i.e. the classical prefactors cancel.
+    (2.0f64).powi(n as i32 - 1) * factorial(n) * std::f64::consts::PI.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simpson_integrates_polynomials_exactly() {
+        // Simpson is exact for cubics.
+        let r = simpson(|x| x * x * x - 2.0 * x + 1.0, 0.0, 2.0, 4).unwrap();
+        // ∫ = [x^4/4 - x^2 + x] from 0 to 2 = 4 - 4 + 2 = 2.
+        assert!((r - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpson_converges_on_transcendentals() {
+        let r = simpson(f64::sin, 0.0, std::f64::consts::PI, 200).unwrap();
+        assert!((r - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simpson_validation() {
+        assert!(simpson(|x| x, 1.0, 0.0, 4).is_err());
+        assert!(simpson(|x| x, 0.0, 1.0, 0).is_err());
+        assert!(simpson(|_| f64::NAN, 0.0, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn gauss_hermite_weights_sum_to_sqrt_pi() {
+        for n in [1, 2, 5, 10, 20, 40] {
+            let gh = GaussHermite::new(n).unwrap();
+            let total: f64 = gh.weights().iter().sum();
+            assert!(
+                (total - std::f64::consts::PI.sqrt()).abs() < 1e-10,
+                "n = {n}: {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn gauss_hermite_moments_of_standard_gaussian() {
+        let gh = GaussHermite::new(20).unwrap();
+        // E[1] = 1, E[X] = 0, E[X^2] = 1, E[X^4] = 3 for N(0, 1).
+        assert!((gh.gaussian_expectation(0.0, 1.0, |_| 1.0) - 1.0).abs() < 1e-12);
+        assert!(gh.gaussian_expectation(0.0, 1.0, |x| x).abs() < 1e-12);
+        assert!((gh.gaussian_expectation(0.0, 1.0, |x| x * x) - 1.0).abs() < 1e-10);
+        assert!((gh.gaussian_expectation(0.0, 1.0, |x| x.powi(4)) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauss_hermite_shifted_scaled_gaussian() {
+        let gh = GaussHermite::new(30).unwrap();
+        // For N(5, 2^2): E[X] = 5, Var = 4, E[e^{tX}] = e^{5t + 2t^2}.
+        assert!((gh.gaussian_expectation(5.0, 2.0, |x| x) - 5.0).abs() < 1e-10);
+        let second = gh.gaussian_expectation(5.0, 2.0, |x| (x - 5.0) * (x - 5.0));
+        assert!((second - 4.0).abs() < 1e-9);
+        let t = 0.3;
+        let mgf = gh.gaussian_expectation(5.0, 2.0, |x| (t * x).exp());
+        let exact = (5.0 * t + 2.0 * t * t).exp();
+        assert!((mgf - exact).abs() / exact < 1e-8, "{mgf} vs {exact}");
+    }
+
+    #[test]
+    fn gauss_hermite_nodes_are_symmetric_and_sorted() {
+        let gh = GaussHermite::new(11).unwrap();
+        let nodes = gh.nodes();
+        for w in nodes.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for i in 0..nodes.len() {
+            assert!((nodes[i] + nodes[nodes.len() - 1 - i]).abs() < 1e-12);
+        }
+        // Odd n: middle node at 0.
+        assert!(nodes[5].abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauss_hermite_validation() {
+        assert!(GaussHermite::new(0).is_err());
+        assert!(GaussHermite::new(65).is_err());
+    }
+}

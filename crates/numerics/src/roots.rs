@@ -1,0 +1,486 @@
+//! Scalar root finding: bisection, Brent's method and safeguarded Newton.
+//!
+//! These routines solve the stationarity and complementarity conditions that
+//! characterize miner best responses (budget multipliers) and service-provider
+//! price optima in the mining game.
+
+use crate::error::{ensure_finite, NumericsError};
+
+/// A validated interval `[a, b]` with `a < b`, used as the search region for
+/// bracketing methods.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bracket {
+    a: f64,
+    b: f64,
+}
+
+impl Bracket {
+    /// Creates a bracket, normalizing the endpoint order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidInput`] if either endpoint is
+    /// non-finite or the endpoints coincide.
+    pub fn new(a: f64, b: f64) -> Result<Self, NumericsError> {
+        ensure_finite(a, "bracket endpoint a")?;
+        ensure_finite(b, "bracket endpoint b")?;
+        if a == b {
+            return Err(NumericsError::invalid("bracket endpoints must differ"));
+        }
+        Ok(if a < b { Bracket { a, b } } else { Bracket { a: b, b: a } })
+    }
+
+    /// Left endpoint.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.a
+    }
+
+    /// Right endpoint.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.b
+    }
+
+    /// Interval width.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.b - self.a
+    }
+}
+
+/// A root found by one of the solvers, together with quality diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Root {
+    /// Location of the root.
+    pub x: f64,
+    /// Function value at `x` (residual).
+    pub f: f64,
+    /// Number of function evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Finds a root of `f` in `bracket` by bisection.
+///
+/// Bisection is slow but unconditionally robust for continuous `f` with a
+/// sign change; it is the fallback used when Brent's interpolation steps are
+/// not trusted (e.g. for the piecewise-smooth budget-multiplier equations).
+///
+/// # Errors
+///
+/// * [`NumericsError::NoBracket`] if `f` has the same sign at both endpoints.
+/// * [`NumericsError::NonFiniteValue`] if `f` returns NaN/∞ during search.
+/// * [`NumericsError::DidNotConverge`] if `max_iter` halvings do not shrink
+///   the interval below `tol`.
+///
+/// ```
+/// use mbm_numerics::roots::{bisect, Bracket};
+/// # fn main() -> Result<(), mbm_numerics::NumericsError> {
+/// let r = bisect(|x| x * x - 2.0, Bracket::new(0.0, 2.0)?, 1e-12, 200)?;
+/// assert!((r.x - 2f64.sqrt()).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn bisect<F>(mut f: F, bracket: Bracket, tol: f64, max_iter: usize) -> Result<Root, NumericsError>
+where
+    F: FnMut(f64) -> f64,
+{
+    let (mut a, mut b) = (bracket.lo(), bracket.hi());
+    let mut fa = f(a);
+    let mut fb = f(b);
+    let mut evals = 2;
+    check_finite(a, fa)?;
+    check_finite(b, fb)?;
+    if fa == 0.0 {
+        return Ok(Root { x: a, f: 0.0, evaluations: evals });
+    }
+    if fb == 0.0 {
+        return Ok(Root { x: b, f: 0.0, evaluations: evals });
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericsError::NoBracket { a, b, fa, fb });
+    }
+    for _ in 0..max_iter {
+        let mid = 0.5 * (a + b);
+        let fm = f(mid);
+        evals += 1;
+        check_finite(mid, fm)?;
+        if fm == 0.0 || (b - a) < tol {
+            return Ok(Root { x: mid, f: fm, evaluations: evals });
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+            fb = fm;
+        }
+        let _ = fb;
+    }
+    Err(NumericsError::DidNotConverge { iterations: max_iter, residual: b - a })
+}
+
+/// Finds a root of `f` in `bracket` using Brent's method (inverse quadratic
+/// interpolation with bisection safeguards).
+///
+/// This is the workhorse root finder of the workspace: superlinear on smooth
+/// problems, never worse than bisection.
+///
+/// # Errors
+///
+/// Same conditions as [`bisect`].
+///
+/// ```
+/// use mbm_numerics::roots::{brent, Bracket};
+/// # fn main() -> Result<(), mbm_numerics::NumericsError> {
+/// let r = brent(f64::cos, Bracket::new(1.0, 2.0)?, 1e-14, 100)?;
+/// assert!((r.x - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn brent<F>(mut f: F, bracket: Bracket, tol: f64, max_iter: usize) -> Result<Root, NumericsError>
+where
+    F: FnMut(f64) -> f64,
+{
+    let (mut a, mut b) = (bracket.lo(), bracket.hi());
+    let mut fa = f(a);
+    let mut fb = f(b);
+    let mut evals = 2;
+    check_finite(a, fa)?;
+    check_finite(b, fb)?;
+    if fa == 0.0 {
+        return Ok(Root { x: a, f: 0.0, evaluations: evals });
+    }
+    if fb == 0.0 {
+        return Ok(Root { x: b, f: 0.0, evaluations: evals });
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericsError::NoBracket { a, b, fa, fb });
+    }
+    // Ensure |f(b)| <= |f(a)|: b is the best iterate.
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut e = d;
+
+    for _ in 0..max_iter {
+        if fb.signum() == fc.signum() {
+            c = a;
+            fc = fa;
+            d = b - a;
+            e = d;
+        }
+        if fc.abs() < fb.abs() {
+            a = b;
+            b = c;
+            c = a;
+            fa = fb;
+            fb = fc;
+            fc = fa;
+        }
+        let tol1 = 2.0 * f64::EPSILON * b.abs() + 0.5 * tol;
+        let xm = 0.5 * (c - b);
+        if xm.abs() <= tol1 || fb == 0.0 {
+            return Ok(Root { x: b, f: fb, evaluations: evals });
+        }
+        if e.abs() >= tol1 && fa.abs() > fb.abs() {
+            // Attempt inverse quadratic interpolation / secant.
+            let s = fb / fa;
+            let (mut p, mut q);
+            if a == c {
+                p = 2.0 * xm * s;
+                q = 1.0 - s;
+            } else {
+                let qq = fa / fc;
+                let r = fb / fc;
+                p = s * (2.0 * xm * qq * (qq - r) - (b - a) * (r - 1.0));
+                q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+            }
+            if p > 0.0 {
+                q = -q;
+            }
+            p = p.abs();
+            let min1 = 3.0 * xm * q - (tol1 * q).abs();
+            let min2 = (e * q).abs();
+            if 2.0 * p < min1.min(min2) {
+                e = d;
+                d = p / q;
+            } else {
+                d = xm;
+                e = d;
+            }
+        } else {
+            d = xm;
+            e = d;
+        }
+        a = b;
+        fa = fb;
+        b += if d.abs() > tol1 { d } else { tol1.copysign(xm) };
+        fb = f(b);
+        evals += 1;
+        check_finite(b, fb)?;
+    }
+    Err(NumericsError::DidNotConverge { iterations: max_iter, residual: fb.abs() })
+}
+
+/// Newton's method safeguarded by a bracket: interpolation steps that leave
+/// the current sign-change interval fall back to bisection.
+///
+/// `fdf` must return `(f(x), f'(x))`.
+///
+/// # Errors
+///
+/// Same conditions as [`bisect`].
+///
+/// ```
+/// use mbm_numerics::roots::{newton_bracketed, Bracket};
+/// # fn main() -> Result<(), mbm_numerics::NumericsError> {
+/// // sqrt(5) as the root of x^2 - 5.
+/// let r = newton_bracketed(|x| (x * x - 5.0, 2.0 * x), Bracket::new(1.0, 5.0)?, 1e-14, 100)?;
+/// assert!((r.x - 5f64.sqrt()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn newton_bracketed<F>(
+    mut fdf: F,
+    bracket: Bracket,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Root, NumericsError>
+where
+    F: FnMut(f64) -> (f64, f64),
+{
+    let (mut a, mut b) = (bracket.lo(), bracket.hi());
+    let (fa, _) = fdf(a);
+    let (fb, _) = fdf(b);
+    let mut evals = 2;
+    check_finite(a, fa)?;
+    check_finite(b, fb)?;
+    if fa == 0.0 {
+        return Ok(Root { x: a, f: 0.0, evaluations: evals });
+    }
+    if fb == 0.0 {
+        return Ok(Root { x: b, f: 0.0, evaluations: evals });
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericsError::NoBracket { a, b, fa, fb });
+    }
+    // Orient so that f(a) < 0 < f(b).
+    if fa > 0.0 {
+        std::mem::swap(&mut a, &mut b);
+    }
+    let mut x = 0.5 * (a + b);
+    for _ in 0..max_iter {
+        let (fx, dfx) = fdf(x);
+        evals += 1;
+        check_finite(x, fx)?;
+        if fx.abs() == 0.0 || (b - a).abs() < tol {
+            return Ok(Root { x, f: fx, evaluations: evals });
+        }
+        if fx < 0.0 {
+            a = x;
+        } else {
+            b = x;
+        }
+        let newton = x - fx / dfx;
+        let inside = (newton - a) * (newton - b) < 0.0;
+        x = if dfx != 0.0 && newton.is_finite() && inside {
+            newton
+        } else {
+            0.5 * (a + b)
+        };
+        if (x - 0.5 * (a + b)).abs() < f64::EPSILON * x.abs() && (b - a).abs() < tol {
+            let (fx, _) = fdf(x);
+            return Ok(Root { x, f: fx, evaluations: evals + 1 });
+        }
+    }
+    let (fx, _) = fdf(x);
+    if fx.abs() < tol.sqrt() {
+        // Accept a numerically adequate root even if the interval did not
+        // fully collapse (flat functions).
+        return Ok(Root { x, f: fx, evaluations: evals + 1 });
+    }
+    Err(NumericsError::DidNotConverge { iterations: max_iter, residual: fx.abs() })
+}
+
+/// Expands an initial guess interval geometrically until it brackets a sign
+/// change of `f`, up to `max_expansions` doublings.
+///
+/// Used when only a one-sided bound is known analytically (e.g. a price must
+/// exceed cost, but no upper bound is known a priori).
+///
+/// # Errors
+///
+/// * [`NumericsError::InvalidInput`] if the seed interval is degenerate.
+/// * [`NumericsError::NoBracket`] if no sign change is found after all
+///   expansions.
+pub fn expand_bracket<F>(
+    mut f: F,
+    mut a: f64,
+    mut b: f64,
+    max_expansions: usize,
+) -> Result<Bracket, NumericsError>
+where
+    F: FnMut(f64) -> f64,
+{
+    if !(a.is_finite() && b.is_finite()) || a == b {
+        return Err(NumericsError::invalid("expand_bracket: degenerate seed interval"));
+    }
+    if a > b {
+        std::mem::swap(&mut a, &mut b);
+    }
+    let mut fa = f(a);
+    let mut fb = f(b);
+    for _ in 0..max_expansions {
+        check_finite(a, fa)?;
+        check_finite(b, fb)?;
+        if fa == 0.0 || fb == 0.0 || fa.signum() != fb.signum() {
+            return Bracket::new(a, b);
+        }
+        // Expand the side with the smaller |f|: the root is likelier there.
+        let w = b - a;
+        if fa.abs() < fb.abs() {
+            a -= 1.6 * w;
+            fa = f(a);
+        } else {
+            b += 1.6 * w;
+            fb = f(b);
+        }
+    }
+    Err(NumericsError::NoBracket { a, b, fa, fb })
+}
+
+fn check_finite(x: f64, fx: f64) -> Result<(), NumericsError> {
+    if fx.is_finite() {
+        Ok(())
+    } else {
+        Err(NumericsError::NonFiniteValue { at: x })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cubic(x: f64) -> f64 {
+        (x - 1.0) * (x + 2.0) * (x - 3.5)
+    }
+
+    #[test]
+    fn bracket_orders_endpoints() {
+        let b = Bracket::new(3.0, -1.0).unwrap();
+        assert_eq!(b.lo(), -1.0);
+        assert_eq!(b.hi(), 3.0);
+        assert_eq!(b.width(), 4.0);
+    }
+
+    #[test]
+    fn bracket_rejects_bad_input() {
+        assert!(Bracket::new(1.0, 1.0).is_err());
+        assert!(Bracket::new(f64::NAN, 1.0).is_err());
+        assert!(Bracket::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn bisect_finds_simple_root() {
+        let r = bisect(cubic, Bracket::new(0.0, 2.0).unwrap(), 1e-12, 200).unwrap();
+        assert!((r.x - 1.0).abs() < 1e-10, "got {}", r.x);
+    }
+
+    #[test]
+    fn bisect_detects_no_bracket() {
+        let err = bisect(|x| x * x + 1.0, Bracket::new(-1.0, 1.0).unwrap(), 1e-12, 100).unwrap_err();
+        assert!(matches!(err, NumericsError::NoBracket { .. }));
+    }
+
+    #[test]
+    fn bisect_exact_endpoint_root() {
+        let r = bisect(|x| x, Bracket::new(0.0, 1.0).unwrap(), 1e-12, 100).unwrap();
+        assert_eq!(r.x, 0.0);
+    }
+
+    #[test]
+    fn brent_matches_known_roots() {
+        for (lo, hi, expect) in [(0.0, 2.0, 1.0), (-3.0, 0.0, -2.0), (3.0, 4.0, 3.5)] {
+            let r = brent(cubic, Bracket::new(lo, hi).unwrap(), 1e-14, 100).unwrap();
+            assert!((r.x - expect).abs() < 1e-10, "expected {expect}, got {}", r.x);
+        }
+    }
+
+    #[test]
+    fn brent_beats_bisection_on_evaluations() {
+        // Root at 1.0; the bracket is chosen so no bisection midpoint hits
+        // the root exactly.
+        let bi = bisect(cubic, Bracket::new(0.0, 1.7).unwrap(), 1e-13, 300).unwrap();
+        let br = brent(cubic, Bracket::new(0.0, 1.7).unwrap(), 1e-13, 300).unwrap();
+        assert!(br.evaluations < bi.evaluations, "brent {} vs bisect {}", br.evaluations, bi.evaluations);
+    }
+
+    #[test]
+    fn brent_handles_nearly_flat_function() {
+        // f is extremely flat near the root x = 0.
+        let r = brent(|x: f64| x.powi(9), Bracket::new(-1.0, 1.5).unwrap(), 1e-10, 500).unwrap();
+        assert!(r.x.abs() < 2e-2, "flat-root estimate too far: {}", r.x);
+        assert!(r.f.abs() < 1e-9);
+    }
+
+    #[test]
+    fn brent_propagates_non_finite() {
+        // The right endpoint evaluates to NaN, which must surface as an
+        // error rather than corrupt the iteration.
+        let err = brent(
+            |x| if x > 0.5 { f64::NAN } else { x - 0.4 },
+            Bracket::new(0.0, 1.0).unwrap(),
+            1e-12,
+            100,
+        );
+        assert!(matches!(err, Err(NumericsError::NonFiniteValue { .. })));
+    }
+
+    #[test]
+    fn newton_bracketed_quadratic_convergence() {
+        let r = newton_bracketed(
+            |x| (x.exp() - 3.0, x.exp()),
+            Bracket::new(0.0, 2.0).unwrap(),
+            1e-14,
+            100,
+        )
+        .unwrap();
+        assert!((r.x - 3f64.ln()).abs() < 1e-12);
+        assert!(r.evaluations < 30);
+    }
+
+    #[test]
+    fn newton_bracketed_falls_back_when_derivative_zero() {
+        // Derivative vanishes at x = 0 inside the bracket.
+        let r = newton_bracketed(
+            |x| (x * x * x - 8.0, 3.0 * x * x),
+            Bracket::new(-1.0, 5.0).unwrap(),
+            1e-12,
+            200,
+        )
+        .unwrap();
+        assert!((r.x - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expand_bracket_grows_to_enclose_root() {
+        let b = expand_bracket(|x| x - 100.0, 0.0, 1.0, 60).unwrap();
+        assert!(b.lo() <= 100.0 && 100.0 <= b.hi());
+    }
+
+    #[test]
+    fn expand_bracket_gives_up_without_sign_change() {
+        let err = expand_bracket(|x| x * x + 1.0, 0.0, 1.0, 10).unwrap_err();
+        assert!(matches!(err, NumericsError::NoBracket { .. }));
+    }
+
+    #[test]
+    fn expand_bracket_rejects_degenerate_seed() {
+        assert!(expand_bracket(|x| x, 1.0, 1.0, 5).is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! Convergence detection for iterative solvers.
+
+use serde::{Deserialize, Serialize};
+
+/// Sliding-window convergence detector on a scalar residual sequence.
+///
+/// Declares convergence once `window` consecutive residuals all fall below
+/// `tol` — a single lucky small step is not enough, which matters for
+/// stochastic iterations like the RL validation loop where the residual
+/// fluctuates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceDetector {
+    tol: f64,
+    window: usize,
+    below: usize,
+    steps: usize,
+    last: Option<f64>,
+}
+
+impl ConvergenceDetector {
+    /// Creates a detector requiring `window ≥ 1` consecutive residuals below
+    /// `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `tol` is not positive and finite — both are
+    /// caller programming errors.
+    #[must_use]
+    pub fn new(tol: f64, window: usize) -> Self {
+        assert!(window >= 1, "ConvergenceDetector: window must be >= 1");
+        assert!(tol.is_finite() && tol > 0.0, "ConvergenceDetector: tol must be positive");
+        ConvergenceDetector { tol, window, below: 0, steps: 0, last: None }
+    }
+
+    /// Records a residual; returns `true` if convergence is now declared.
+    pub fn push(&mut self, residual: f64) -> bool {
+        self.steps += 1;
+        self.last = Some(residual);
+        if residual.is_finite() && residual.abs() < self.tol {
+            self.below += 1;
+        } else {
+            self.below = 0;
+        }
+        self.converged()
+    }
+
+    /// Whether the window criterion currently holds.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.below >= self.window
+    }
+
+    /// Total residuals recorded.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Most recent residual, if any.
+    #[must_use]
+    pub fn last_residual(&self) -> Option<f64> {
+        self.last
+    }
+
+    /// Resets the detector to its initial state, keeping the thresholds.
+    pub fn reset(&mut self) {
+        self.below = 0;
+        self.steps = 0;
+        self.last = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requires_consecutive_window() {
+        let mut d = ConvergenceDetector::new(1e-3, 3);
+        assert!(!d.push(1e-4));
+        assert!(!d.push(1e-4));
+        assert!(d.push(1e-4));
+    }
+
+    #[test]
+    fn spike_resets_the_window() {
+        let mut d = ConvergenceDetector::new(1e-3, 2);
+        assert!(!d.push(1e-4));
+        assert!(!d.push(1.0)); // spike
+        assert!(!d.push(1e-4));
+        assert!(d.push(1e-4));
+    }
+
+    #[test]
+    fn nan_resets_the_window() {
+        let mut d = ConvergenceDetector::new(1e-3, 2);
+        d.push(1e-4);
+        assert!(!d.push(f64::NAN));
+        assert!(!d.converged());
+    }
+
+    #[test]
+    fn tracks_bookkeeping() {
+        let mut d = ConvergenceDetector::new(0.1, 1);
+        d.push(0.5);
+        d.push(0.01);
+        assert_eq!(d.steps(), 2);
+        assert_eq!(d.last_residual(), Some(0.01));
+        assert!(d.converged());
+        d.reset();
+        assert_eq!(d.steps(), 0);
+        assert!(!d.converged());
+        assert_eq!(d.last_residual(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        let _ = ConvergenceDetector::new(1e-3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tol")]
+    fn bad_tol_panics() {
+        let _ = ConvergenceDetector::new(-1.0, 1);
+    }
+}

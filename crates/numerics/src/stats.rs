@@ -1,0 +1,317 @@
+//! Streaming statistics for the Monte-Carlo blockchain simulator.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NumericsError;
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (zero before any observation).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (zero with fewer than two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn std_err(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Minimum observation (`+∞` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`−∞` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = (self.count + other.count) as f64;
+        let delta = other.mean - self.mean;
+        let combined_mean = self.mean + delta * other.count as f64 / total;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total;
+        self.mean = combined_mean;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-bin histogram over `[lo, hi)` for empirical densities (e.g. the
+/// block-collision PDF of the paper's Fig. 2(a)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidInput`] unless `lo < hi` (finite) and
+    /// `bins ≥ 1`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, NumericsError> {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(NumericsError::invalid("Histogram: need finite lo < hi"));
+        }
+        if bins == 0 {
+            return Err(NumericsError::invalid("Histogram: need at least one bin"));
+        }
+        Ok(Histogram { lo, hi, counts: vec![0; bins], total: 0, underflow: 0, overflow: 0 })
+    }
+
+    /// Records one observation. Out-of-range values are tallied separately.
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if x >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let idx = ((x - self.lo) / (self.hi - self.lo) * self.counts.len() as f64) as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Bin width.
+    #[must_use]
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "Histogram::bin_center: bin out of range");
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Raw bin counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations pushed, including out-of-range ones.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below `lo` / at-or-above `hi`.
+    #[must_use]
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Empirical density estimate per bin (integrates to the in-range mass).
+    #[must_use]
+    pub fn density(&self) -> Vec<f64> {
+        let norm = self.total.max(1) as f64 * self.bin_width();
+        self.counts.iter().map(|&c| c as f64 / norm).collect()
+    }
+
+    /// Empirical CDF evaluated at each bin's right edge (of in-range mass,
+    /// relative to the total count).
+    #[must_use]
+    pub fn cdf(&self) -> Vec<f64> {
+        let total = self.total.max(1) as f64;
+        let mut acc = self.underflow as f64;
+        self.counts
+            .iter()
+            .map(|&c| {
+                acc += c as f64;
+                acc / total
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = RunningStats::new();
+        for &x in &data {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Two-pass unbiased variance = 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = RunningStats::new();
+        for &x in &data {
+            all.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+
+        let mut e = RunningStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn histogram_bins_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        for x in [0.0, 1.9, 2.0, 5.5, 9.999, -1.0, 10.0, 42.0] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.out_of_range(), (1, 2));
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.bin_width(), 2.0);
+        assert_eq!(h.bin_center(0), 1.0);
+    }
+
+    #[test]
+    fn histogram_density_integrates_to_in_range_mass() {
+        let mut h = Histogram::new(0.0, 1.0, 10).unwrap();
+        for i in 0..1000 {
+            h.push(i as f64 / 1000.0);
+        }
+        let integral: f64 = h.density().iter().sum::<f64>() * h.bin_width();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_cdf_is_monotone_and_ends_at_one() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        let h = h.as_mut().unwrap();
+        for x in [0.1, 0.3, 0.6, 0.9] {
+            h.push(x);
+        }
+        let cdf = h.cdf();
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert!((cdf.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_validation() {
+        assert!(Histogram::new(1.0, 0.0, 5).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 5).is_err());
+    }
+}

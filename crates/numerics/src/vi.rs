@@ -1,0 +1,237 @@
+//! Extragradient solver for variational inequalities.
+//!
+//! A variational inequality VI(K, F) asks for `x* ∈ K` with
+//! `F(x*) · (x − x*) ≥ 0` for all `x ∈ K`. Nash equilibria of concave games
+//! are solutions of VI(K, F) with `F` the negated pseudo-gradient of the
+//! players' utilities, and — crucially for the standalone-mode miner subgame
+//! (paper Theorem 5) — the *variational equilibrium* of a jointly convex
+//! GNEP is the solution of the same VI posed on the **shared** feasible set.
+//! The extragradient (Korpelevich) method converges for monotone Lipschitz
+//! `F` on compact convex `K`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NumericsError;
+use crate::projection::ConvexSet;
+
+/// Parameters for [`extragradient`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ViParams {
+    /// Initial step size `τ`.
+    pub step: f64,
+    /// Step shrink factor applied when an iteration fails to contract.
+    pub shrink: f64,
+    /// Convergence tolerance on the natural residual
+    /// `‖x − P_K(x − τ F(x))‖∞ / τ`.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iter: usize,
+}
+
+impl Default for ViParams {
+    fn default() -> Self {
+        ViParams { step: 0.1, shrink: 0.7, tol: 1e-9, max_iter: 50_000 }
+    }
+}
+
+/// Outcome of an extragradient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViResult {
+    /// Final iterate (a VI solution up to `residual`).
+    pub x: Vec<f64>,
+    /// Natural residual at the final iterate.
+    pub residual: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+/// Solves VI(K, F) by the extragradient method with adaptive step size.
+///
+/// `operator(x, out)` writes `F(x)` into `out`. For a game, pass the negated
+/// pseudo-gradient: `out[i] = −∂U_player(i)/∂x[i]`.
+///
+/// # Errors
+///
+/// * [`NumericsError::InvalidInput`] on dimension mismatch or bad parameters.
+/// * [`NumericsError::NonFiniteValue`] if the operator produces non-finite
+///   values at feasible points.
+/// * [`NumericsError::DidNotConverge`] if the residual never falls below
+///   `params.tol`.
+pub fn extragradient<S, F>(
+    set: &S,
+    mut operator: F,
+    x0: &[f64],
+    params: &ViParams,
+) -> Result<ViResult, NumericsError>
+where
+    S: ConvexSet,
+    F: FnMut(&[f64], &mut [f64]),
+{
+    let n = set.dim();
+    if x0.len() != n {
+        return Err(NumericsError::invalid("extragradient: x0 dimension mismatch"));
+    }
+    if !(params.step > 0.0) || !(params.shrink > 0.0 && params.shrink < 1.0) {
+        return Err(NumericsError::invalid("extragradient: bad step parameters"));
+    }
+    let mut x = x0.to_vec();
+    set.project(&mut x);
+    let mut fx = vec![0.0; n];
+    let mut y = vec![0.0; n];
+    let mut fy = vec![0.0; n];
+    let mut step = params.step;
+    let mut residual = f64::INFINITY;
+
+    for iter in 0..params.max_iter {
+        operator(&x, &mut fx);
+        ensure_finite_slice(&fx, &x)?;
+        // Predictor: y = P_K(x - step * F(x)).
+        for i in 0..n {
+            y[i] = x[i] - step * fx[i];
+        }
+        set.project(&mut y);
+        residual = crate::max_abs_diff(&y, &x) / step;
+        if residual <= params.tol {
+            return Ok(ViResult { x, residual, iterations: iter + 1 });
+        }
+        operator(&y, &mut fy);
+        ensure_finite_slice(&fy, &y)?;
+        // Adaptive step safeguard (Khobotov): require
+        // step * ||F(x) - F(y)|| <= (1/sqrt 2) ||x - y||, else shrink and retry.
+        let num = crate::max_abs_diff(&fx, &fy);
+        let den = crate::max_abs_diff(&x, &y);
+        if den > 0.0 && step * num > std::f64::consts::FRAC_1_SQRT_2 * den {
+            step *= params.shrink;
+            continue;
+        }
+        // Corrector: x = P_K(x - step * F(y)).
+        for i in 0..n {
+            x[i] -= step * fy[i];
+        }
+        set.project(&mut x);
+    }
+    if residual <= params.tol.sqrt() {
+        return Ok(ViResult { x, residual, iterations: params.max_iter });
+    }
+    Err(NumericsError::DidNotConverge { iterations: params.max_iter, residual })
+}
+
+/// Natural-residual certificate: `‖x − P_K(x − F(x))‖∞`.
+///
+/// Zero exactly at VI solutions; downstream crates report it as the
+/// equilibrium quality measure.
+pub fn natural_residual<S, F>(set: &S, mut operator: F, x: &[f64]) -> f64
+where
+    S: ConvexSet,
+    F: FnMut(&[f64], &mut [f64]),
+{
+    let mut fx = vec![0.0; x.len()];
+    operator(x, &mut fx);
+    let mut y: Vec<f64> = x.iter().zip(&fx).map(|(xi, fi)| xi - fi).collect();
+    set.project(&mut y);
+    crate::max_abs_diff(&y, x)
+}
+
+fn ensure_finite_slice(v: &[f64], at: &[f64]) -> Result<(), NumericsError> {
+    if v.iter().any(|x| !x.is_finite()) {
+        Err(NumericsError::NonFiniteValue { at: at.first().copied().unwrap_or(0.0) })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::projection::{BoxSet, Halfspace};
+
+    #[test]
+    fn solves_projection_vi() {
+        // F(x) = x - a: VI solution is the projection of a onto K.
+        let set = BoxSet::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+        let a = [2.0, 0.4];
+        let r = extragradient(
+            &set,
+            |x, out| {
+                out[0] = x[0] - a[0];
+                out[1] = x[1] - a[1];
+            },
+            &[0.5, 0.5],
+            &ViParams::default(),
+        )
+        .unwrap();
+        assert!((r.x[0] - 1.0).abs() < 1e-6, "{:?}", r.x);
+        assert!((r.x[1] - 0.4).abs() < 1e-6, "{:?}", r.x);
+    }
+
+    #[test]
+    fn solves_skew_symmetric_monotone_vi() {
+        // Saddle operator F(x, y) = (y, -x) + (x - 0.3, y - 0.7) is strongly
+        // monotone; the VI over the whole box has the unique zero of F.
+        // F = 0 => x + y = 0.3, y - x = 0.7 => x = -0.2 -> clipped by K to 0.
+        let set = BoxSet::new(vec![0.0, 0.0], vec![10.0, 10.0]).unwrap();
+        let r = extragradient(
+            &set,
+            |z, out| {
+                out[0] = z[1] + z[0] - 0.3;
+                out[1] = -z[0] + z[1] - 0.7;
+            },
+            &[5.0, 5.0],
+            &ViParams::default(),
+        )
+        .unwrap();
+        // Solution: x = 0 (active bound), then F_y = 0 => y = 0.7, and
+        // F_x = 0.7 - 0.3 >= 0 holds at the bound.
+        assert!(r.x[0].abs() < 1e-6, "{:?}", r.x);
+        assert!((r.x[1] - 0.7).abs() < 1e-6, "{:?}", r.x);
+        assert!(natural_residual(&set, |z, out| {
+            out[0] = z[1] + z[0] - 0.3;
+            out[1] = -z[0] + z[1] - 0.7;
+        }, &r.x) < 1e-5);
+    }
+
+    #[test]
+    fn halfspace_constrained_equilibrium() {
+        // Two players each maximizing -(x_i - 1)^2 with shared constraint
+        // x_1 + x_2 <= 1. Pseudo-gradient F_i = 2(x_i - 1). Variational
+        // equilibrium: symmetric x = (0.5, 0.5).
+        let set = Halfspace::new(vec![1.0, 1.0], 1.0).unwrap();
+        let r = extragradient(
+            &set,
+            |x, out| {
+                out[0] = 2.0 * (x[0] - 1.0);
+                out[1] = 2.0 * (x[1] - 1.0);
+            },
+            &[0.0, 0.0],
+            &ViParams::default(),
+        )
+        .unwrap();
+        assert!((r.x[0] - 0.5).abs() < 1e-6, "{:?}", r.x);
+        assert!((r.x[1] - 0.5).abs() < 1e-6, "{:?}", r.x);
+    }
+
+    #[test]
+    fn natural_residual_zero_at_solution() {
+        let set = BoxSet::new(vec![0.0], vec![1.0]).unwrap();
+        let op = |x: &[f64], out: &mut [f64]| out[0] = x[0] - 0.5;
+        assert!(natural_residual(&set, op, &[0.5]) < 1e-14);
+        assert!(natural_residual(&set, op, &[0.9]) > 0.1);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let set = BoxSet::nonnegative(2);
+        assert!(extragradient(&set, |_, _| {}, &[0.0], &ViParams::default()).is_err());
+        let bad = ViParams { step: 0.0, ..Default::default() };
+        assert!(extragradient(&set, |_, _| {}, &[0.0, 0.0], &bad).is_err());
+        let bad = ViParams { shrink: 1.0, ..Default::default() };
+        assert!(extragradient(&set, |_, _| {}, &[0.0, 0.0], &bad).is_err());
+    }
+
+    #[test]
+    fn non_finite_operator_is_reported() {
+        let set = BoxSet::nonnegative(1);
+        let r = extragradient(&set, |_, out| out[0] = f64::NAN, &[1.0], &ViParams::default());
+        assert!(matches!(r, Err(NumericsError::NonFiniteValue { .. })));
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests of the numerical substrate.
+
+use proptest::prelude::*;
+
+use mbm_numerics::distributions::{Exponential, Gaussian};
+use mbm_numerics::optimize::golden_section_max;
+use mbm_numerics::projection::{BoxSet, BudgetSet, ConvexSet, Halfspace};
+use mbm_numerics::roots::{brent, Bracket};
+
+fn finite_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Projection onto a budget set is idempotent and lands in the set.
+    #[test]
+    fn budget_projection_idempotent(
+        x in finite_vec(3),
+        p1 in 0.1f64..10.0,
+        p2 in 0.1f64..10.0,
+        p3 in 0.1f64..10.0,
+        budget in 0.0f64..100.0,
+    ) {
+        let set = BudgetSet::new(vec![p1, p2, p3], budget).unwrap();
+        let mut y = x.clone();
+        set.project(&mut y);
+        prop_assert!(set.contains(&y, 1e-9), "projection infeasible: {y:?}");
+        let mut z = y.clone();
+        set.project(&mut z);
+        prop_assert!(mbm_numerics::max_abs_diff(&y, &z) < 1e-10, "not idempotent");
+    }
+
+    /// Projection is non-expansive: ‖P(x) − P(y)‖ ≤ ‖x − y‖ (Euclidean).
+    #[test]
+    fn budget_projection_nonexpansive(
+        x in finite_vec(2),
+        y in finite_vec(2),
+        budget in 0.1f64..50.0,
+    ) {
+        let set = BudgetSet::new(vec![2.0, 3.0], budget).unwrap();
+        let mut px = x.clone();
+        let mut py = y.clone();
+        set.project(&mut px);
+        set.project(&mut py);
+        let dist = |a: &[f64], b: &[f64]| {
+            a.iter().zip(b).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt()
+        };
+        prop_assert!(dist(&px, &py) <= dist(&x, &y) + 1e-9);
+    }
+
+    /// The projected point is closer to the input than any sampled feasible
+    /// point (projection optimality spot-check).
+    #[test]
+    fn budget_projection_is_nearest(
+        x in finite_vec(2),
+        t1 in 0.0f64..1.0,
+        t2 in 0.0f64..1.0,
+        budget in 1.0f64..50.0,
+    ) {
+        let set = BudgetSet::new(vec![1.0, 2.0], budget).unwrap();
+        let mut px = x.clone();
+        set.project(&mut px);
+        // A random feasible point on/inside the budget simplex.
+        let feasible = vec![t1 * budget, t2 * (budget - t1 * budget).max(0.0) / 2.0];
+        prop_assume!(set.contains(&feasible, 1e-9));
+        let d2 = |a: &[f64]| (a[0] - x[0]).powi(2) + (a[1] - x[1]).powi(2);
+        prop_assert!(d2(&px) <= d2(&feasible) + 1e-7, "projection not nearest");
+    }
+
+    /// Box and half-space projections commute with feasibility.
+    #[test]
+    fn box_halfspace_projection_feasible(x in finite_vec(4), b in -50.0f64..50.0) {
+        let bx = BoxSet::new(vec![-1.0; 4], vec![1.0; 4]).unwrap();
+        let mut y = x.clone();
+        bx.project(&mut y);
+        prop_assert!(bx.contains(&y, 1e-12));
+
+        let hs = Halfspace::new(vec![1.0, -2.0, 3.0, 0.5], b).unwrap();
+        let mut z = x.clone();
+        hs.project(&mut z);
+        prop_assert!(hs.contains(&z, 1e-9));
+    }
+
+    /// Brent finds a root of any cubic with a sign change over the bracket.
+    #[test]
+    fn brent_solves_random_cubics(r1 in -5.0f64..5.0, r2 in -5.0f64..5.0, r3 in -5.0f64..5.0) {
+        let f = |x: f64| (x - r1) * (x - r2) * (x - r3);
+        let lo = r1.min(r2).min(r3) - 1.0;
+        let hi = r1.max(r2).max(r3) + 1.0;
+        prop_assume!(f(lo) != 0.0 && f(hi) != 0.0);
+        let root = brent(f, Bracket::new(lo, hi).unwrap(), 1e-12, 200).unwrap();
+        prop_assert!(f(root.x).abs() < 1e-6, "f({}) = {}", root.x, f(root.x));
+    }
+
+    /// Golden section finds the vertex of any downward parabola.
+    #[test]
+    fn golden_section_maximizes_parabolas(
+        center in -50.0f64..50.0,
+        scale in 0.01f64..10.0,
+        offset in -10.0f64..10.0,
+    ) {
+        let f = move |x: f64| offset - scale * (x - center) * (x - center);
+        let r = golden_section_max(f, center - 60.0, center + 60.0, 1e-10).unwrap();
+        prop_assert!((r.x - center).abs() < 1e-3, "vertex {} vs {center}", r.x);
+    }
+
+    /// Gaussian CDF is monotone and maps into [0, 1].
+    #[test]
+    fn gaussian_cdf_monotone(mean in -10.0f64..10.0, sd in 0.1f64..5.0, a in -30.0f64..30.0, b in -30.0f64..30.0) {
+        let g = Gaussian::new(mean, sd).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (cl, ch) = (g.cdf(lo), g.cdf(hi));
+        prop_assert!((0.0..=1.0).contains(&cl) && (0.0..=1.0).contains(&ch));
+        prop_assert!(cl <= ch + 1e-12);
+    }
+
+    /// Exponential CDF equals the integral of its PDF (trapezoid check).
+    #[test]
+    fn exponential_cdf_integrates_pdf(rate in 0.05f64..5.0, upper in 0.1f64..20.0) {
+        let e = Exponential::new(rate).unwrap();
+        let n = 2000;
+        let h = upper / n as f64;
+        let mut integral = 0.5 * (e.pdf(0.0) + e.pdf(upper));
+        for i in 1..n {
+            integral += e.pdf(i as f64 * h);
+        }
+        integral *= h;
+        // Trapezoid error bound for f = rate·e^{−rate·x}: h²·rate²/12 · ∫f.
+        let tol = h * h * rate * rate / 6.0 + 1e-6;
+        prop_assert!((integral - e.cdf(upper)).abs() < tol, "{integral} vs {}", e.cdf(upper));
+    }
+
+    /// Discretized Gaussians are proper pmfs with mean ≈ μ + ½.
+    #[test]
+    fn discretized_gaussian_is_proper(mean in 5.0f64..30.0, sd in 0.5f64..4.0) {
+        // Keep the lower truncation at k = 1 negligible (≥ 4σ below μ).
+        prop_assume!(mean - 4.0 * sd >= 1.0);
+        let g = Gaussian::new(mean, sd).unwrap();
+        let hi = (mean + 6.0 * sd).ceil() as u32;
+        let pmf = g.discretize(1, hi).unwrap();
+        prop_assert!((pmf.total_mass() - 1.0).abs() < 1e-9);
+        // Truncation is negligible; the half-shift is exact.
+        prop_assert!((pmf.mean() - (mean + 0.5)).abs() < 0.1, "mean {}", pmf.mean());
+    }
+}

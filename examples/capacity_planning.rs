@@ -1,0 +1,51 @@
+//! Capacity planning for a standalone edge provider.
+//!
+//! A standalone ESP must choose how many computing units `E_max` to deploy.
+//! Too little capacity forgoes demand; too much competes the market-clearing
+//! price down. This example sweeps capacities, solving the standalone
+//! Stackelberg game at each, and reports the profit-maximizing deployment.
+//!
+//! Run with `cargo run --example capacity_planning`.
+
+use mobile_blockchain_mining::core::params::{MarketParams, Provider};
+use mobile_blockchain_mining::core::sp::pricing::{
+    standalone_csp_price, standalone_market_clearing_edge_price,
+};
+use mobile_blockchain_mining::core::stackelberg::{solve_standalone, StackelbergConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let budgets = vec![200.0; 5];
+    let cfg = StackelbergConfig::default();
+
+    println!("capacity  P_e*    P_c*    E_sold  ESP_profit  (closed-form clearing price)");
+    let mut best = (0.0, f64::NEG_INFINITY);
+    for e_max in [0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 12.0] {
+        let params = MarketParams::builder()
+            .reward(100.0)
+            .fork_rate(0.2)
+            .edge_availability(0.8)
+            .esp(Provider::new(7.0, 15.0)?)
+            .csp(Provider::new(1.0, 8.0)?)
+            .e_max(e_max)
+            .build()?;
+        let sol = solve_standalone(&params, &budgets, &cfg)?;
+        // Closed-form cross-check: the market-clearing edge price at the
+        // CSP's Table-II price.
+        let clearing = standalone_csp_price(&params, budgets.len())
+            .and_then(|pc| standalone_market_clearing_edge_price(&params, pc, budgets.len()))
+            .unwrap_or(f64::NAN);
+        println!(
+            "{e_max:>7.1}  {:>6.3}  {:>6.3}  {:>6.3}  {:>10.3}  ({clearing:.3})",
+            sol.prices.edge, sol.prices.cloud, sol.equilibrium.aggregates.edge, sol.esp_profit
+        );
+        if sol.esp_profit > best.1 {
+            best = (e_max, sol.esp_profit);
+        }
+    }
+    println!();
+    println!(
+        "profit-maximizing deployment: E_max = {:.1} (profit {:.3})",
+        best.0, best.1
+    );
+    Ok(())
+}

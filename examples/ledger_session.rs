@@ -1,0 +1,81 @@
+#![allow(clippy::needless_range_loop)] // indexed Σ-loops mirror the paper
+
+//! A full ledger-backed mining session at the game's equilibrium.
+//!
+//! Solves the miner subgame, runs thousands of PoW races writing real
+//! (SHA-256-hashed, parent-linked) blocks into a ledger, and checks that
+//! the realized main-chain reward shares converge to the analytic winning
+//! probabilities — and, for flavour, mines one block at the hash level.
+//!
+//! Run with `cargo run --release --example ledger_session`.
+
+use mobile_blockchain_mining::chain_sim::network::DelayModel;
+use mobile_blockchain_mining::chain_sim::pow::{Puzzle, Target};
+use mobile_blockchain_mining::chain_sim::session::run_session;
+use mobile_blockchain_mining::chain_sim::sim::SimConfig;
+use mobile_blockchain_mining::core::params::{MarketParams, Prices};
+use mobile_blockchain_mining::core::subgame::connected::solve_connected_miner_subgame;
+use mobile_blockchain_mining::core::subgame::SubgameConfig;
+use mobile_blockchain_mining::core::winning::w_full;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Equilibrium requests for a heterogeneous miner population.
+    let params = MarketParams::builder()
+        .reward(1000.0)
+        .fork_rate(0.2)
+        .edge_availability(0.8)
+        .build()?;
+    let prices = Prices::new(4.0, 2.0)?;
+    let budgets = [40.0, 80.0, 120.0, 160.0];
+    let eq = solve_connected_miner_subgame(&params, &prices, &budgets, &SubgameConfig::default())?;
+    println!("equilibrium requests:");
+    for (i, r) in eq.requests.iter().enumerate() {
+        println!("  miner {i}: e = {:.3}, c = {:.3}", r.edge, r.cloud);
+    }
+
+    // 2. Run a ledger-backed session at those requests.
+    let unit_rate = 0.01;
+    let total_edge: f64 = eq.requests.iter().map(|r| r.edge).sum();
+    // Calibrate the cloud delay so the generative fork rate matches beta.
+    let delay = -(1.0 - params.fork_rate()).ln() / (total_edge * unit_rate);
+    let cfg = SimConfig {
+        unit_rate,
+        delays: DelayModel::new(delay, 0.0)?,
+        mode: None,
+        rounds: 100_000,
+        seed: 99,
+    };
+    let requests: Vec<(f64, f64)> = eq.requests.iter().map(|r| (r.edge, r.cloud)).collect();
+    let (report, ledger) = run_session(&requests, &cfg)?;
+    println!();
+    println!(
+        "session: {} blocks on the main chain, {} orphans (orphan rate {:.3}), ledger verifies: {}",
+        report.height,
+        report.orphans,
+        report.orphan_rate(),
+        ledger.verify()
+    );
+    println!("reward shares vs analytic W_i:");
+    let shares = report.reward_shares();
+    for i in 0..requests.len() {
+        let analytic = w_full(i, &eq.requests, params.fork_rate());
+        println!("  miner {i}: empirical {:.4}  analytic {:.4}", shares[i], analytic);
+    }
+
+    // 3. Mine one block at the hash level, Bitcoin style.
+    let tip = ledger.best_tip();
+    let target = Target::from_success_probability(1.0 / 100_000.0)?;
+    let mut header = tip.0.to_vec();
+    header.extend_from_slice(b"next block payload");
+    let puzzle = Puzzle::new(header, target);
+    let solution = puzzle.solve(0, 10_000_000).expect("solvable at 1e-5");
+    println!();
+    println!(
+        "hash-level PoW: nonce {} found after {} attempts, hash {} ({} leading zero bits)",
+        solution.nonce,
+        solution.attempts,
+        solution.digest,
+        solution.digest.leading_zero_bits()
+    );
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! A price war between the edge and the cloud, watched from the miners'
+//! side, with a Monte-Carlo sanity check of the analytic model.
+//!
+//! As the CSP undercuts, miners drift to the cloud; the analytic winning
+//! probabilities driving those decisions are validated against the
+//! discrete-event mining simulator at one operating point.
+//!
+//! Run with `cargo run --release --example price_war`.
+
+use mobile_blockchain_mining::chain_sim::network::DelayModel;
+use mobile_blockchain_mining::chain_sim::sim::{simulate, SimConfig};
+use mobile_blockchain_mining::core::params::{MarketParams, Prices};
+use mobile_blockchain_mining::core::subgame::connected::solve_symmetric_connected;
+use mobile_blockchain_mining::core::subgame::SubgameConfig;
+use mobile_blockchain_mining::core::winning::w_full;
+use mobile_blockchain_mining::core::request::Request;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = MarketParams::builder()
+        .reward(100.0)
+        .fork_rate(0.2)
+        .edge_availability(0.8)
+        .build()?;
+    let n = 5;
+    let budget = 200.0;
+    let cfg = SubgameConfig::default();
+
+    println!("CSP price  e* per miner  c* per miner  edge share of demand");
+    for pc in [3.0, 2.5, 2.0, 1.5, 1.0] {
+        let prices = Prices::new(4.0, pc)?;
+        let r = solve_symmetric_connected(&params, &prices, budget, n, &cfg)?;
+        println!(
+            "{pc:>9.1}  {:>12.4}  {:>12.4}  {:>19.1}%",
+            r.edge,
+            r.cloud,
+            100.0 * r.edge / r.total()
+        );
+    }
+
+    // Monte-Carlo check: at P = (4, 2), do the analytic winning
+    // probabilities match empirical win frequencies from the race model?
+    let prices = Prices::new(4.0, 2.0)?;
+    let eq = solve_symmetric_connected(&params, &prices, budget, n, &cfg)?;
+    let requests: Vec<Request> = vec![eq; n];
+    // Calibrate the fork rate: with total edge rate E·r and cloud delay D,
+    // beta = 1 − exp(−E·r·D) matches the generative race model.
+    let unit_rate = 0.01;
+    let total_edge: f64 = requests.iter().map(|r| r.edge).sum();
+    let delay = -(1.0 - params.fork_rate()).ln() / (total_edge * unit_rate);
+    let sim = simulate(
+        &requests.iter().map(|r| (r.edge, r.cloud)).collect::<Vec<_>>(),
+        &SimConfig {
+            unit_rate,
+            delays: DelayModel::new(delay, 0.0)?,
+            mode: None,
+            rounds: 200_000,
+            seed: 7,
+        },
+    )?;
+    let analytic = w_full(0, &requests, params.fork_rate());
+    let empirical = sim.win_frequencies()[0];
+    println!();
+    println!("Monte-Carlo validation at P = (4, 2):");
+    println!("  analytic  W_i = {analytic:.4}");
+    println!("  empirical W_i = {empirical:.4}  ({} races)", sim.rounds);
+    println!("  empirical fork rate = {:.4}", sim.fork_rate());
+    Ok(())
+}

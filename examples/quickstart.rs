@@ -1,0 +1,54 @@
+//! Quickstart: solve the full two-stage Stackelberg game in connected mode
+//! and print the equilibrium market report.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use mobile_blockchain_mining::core::analysis::MarketReport;
+use mobile_blockchain_mining::core::params::{MarketParams, Provider};
+use mobile_blockchain_mining::core::stackelberg::{solve_connected, StackelbergConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A mobile blockchain mining market: reward 100 per block, 20% fork
+    // rate from the cloud delay, the ESP satisfies 80% of edge requests
+    // (transfers the rest), and both providers price between cost and cap.
+    let params = MarketParams::builder()
+        .reward(100.0)
+        .fork_rate(0.2)
+        .edge_availability(0.8)
+        .esp(Provider::new(7.0, 15.0)?)
+        .csp(Provider::new(1.0, 8.0)?)
+        .build()?;
+
+    // Five miners with a common budget of 200.
+    let budgets = vec![200.0; 5];
+    let solution = solve_connected(&params, &budgets, &StackelbergConfig::default())?;
+
+    println!("Stackelberg equilibrium (connected mode)");
+    println!("  ESP price P_e* = {:.3}", solution.prices.edge);
+    println!("  CSP price P_c* = {:.3}", solution.prices.cloud);
+    println!("  leader rounds  = {}", solution.leader_rounds);
+    println!();
+    println!("Miner equilibrium:");
+    for (i, r) in solution.equilibrium.requests.iter().enumerate() {
+        println!(
+            "  miner {i}: e = {:.4}, c = {:.4}, utility = {:.4}",
+            r.edge, r.cloud, solution.equilibrium.utilities[i]
+        );
+    }
+    println!();
+    let report = MarketReport::new(&params, &solution.prices, &solution.equilibrium);
+    println!("Provider outcomes:");
+    println!("  ESP: {:.3} units sold, profit {:.3}", report.edge_units, report.esp_profit);
+    println!("  CSP: {:.3} units sold, profit {:.3}", report.cloud_units, report.csp_profit);
+    println!("  total welfare = {:.3}", report.total_welfare);
+
+    // The same solve through the high-level Scenario facade:
+    use mobile_blockchain_mining::core::scenario::Scenario;
+    let outcome = Scenario::connected(params).homogeneous_miners(5, 200.0).solve()?;
+    println!();
+    println!(
+        "Scenario facade agrees: P_e* = {:.3}, P_c* = {:.3} (endogenous: {})",
+        outcome.prices.edge, outcome.prices.cloud, outcome.prices_endogenous
+    );
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! Facade crate re-exporting the whole mobile-blockchain-mining workspace.
+//!
+//! See the README for an overview. The sub-crates are:
+//!
+//! * [`numerics`] — numerical substrate (roots, optimization, projections,
+//!   distributions, variational inequalities).
+//! * [`game`] — Nash / generalized-Nash / Stackelberg solvers.
+//! * [`chain_sim`] — discrete-event mobile blockchain mining simulator.
+//! * [`core`] — the hierarchical edge-cloud mining game itself.
+//! * [`learn`] — the reinforcement-learning validation framework.
+
+pub use mbm_chain_sim as chain_sim;
+pub use mbm_core as core;
+pub use mbm_game as game;
+pub use mbm_learn as learn;
+pub use mbm_numerics as numerics;

@@ -1,0 +1,114 @@
+//! Chain-level validation of the dynamic-population model (Section V):
+//! the expected winning probability of Eq. 26 must match empirical
+//! conditional win rates from races with a churning roster.
+//!
+//! The bridge: Eq. 26's mixture weight ω plays the role of the connected
+//! mode's availability `h` — at `ω = h` the per-roster term of Eq. 26 *is*
+//! the connected expected winning probability at the realized line-up — so
+//! a roster session in connected mode with transfer probability `1 − h`
+//! realizes exactly the model's generative story.
+
+use mbm_chain_sim::network::DelayModel;
+use mbm_chain_sim::session::run_roster_session;
+use mbm_chain_sim::sim::{EdgeMode, SimConfig};
+use mbm_core::params::{MarketParams, Prices};
+use mbm_core::request::Request;
+use mbm_core::subgame::dynamic::{expected_utility, Population};
+
+const UNIT_RATE: f64 = 0.01;
+
+#[test]
+fn eq26_matches_roster_races_for_homogeneous_miners() {
+    let pool_size = 12;
+    let mu = 8.0;
+    let sd = 1.5;
+    let h = 0.7;
+    let per_miner = Request::new(1.2, 2.4).unwrap();
+
+    // Calibrate beta to the generative model at the *expected* roster: an
+    // edge block lands in a cloud block's window w.p. 1 − exp(−E·r·D),
+    // with E the expected roster's served edge power. The discretization
+    // shifts the mean to mu + 1/2, and transfers keep a fraction h of edge
+    // requests at the edge. A moderate delay keeps beta in the regime where
+    // the paper's first-order algebra is accurate.
+    let expected_roster = mu + 0.5;
+    let expected_edge = expected_roster * per_miner.edge * h;
+    let delay = 2.5;
+    let beta = 1.0 - (-expected_edge * UNIT_RATE * delay).exp();
+    assert!(beta < 0.2, "calibration: beta = {beta}");
+
+    let params = MarketParams::builder()
+        .reward(1.0) // reward 1, zero prices: utility == winning probability
+        .fork_rate(beta)
+        .edge_availability(h)
+        .build()
+        .unwrap();
+    // Prices must be positive; make them negligible so the utility is W.
+    let prices = Prices::new(1e-12, 1e-12).unwrap();
+    let pop = Population::gaussian(mu, sd).unwrap();
+    let model_w = expected_utility(per_miner, per_miner, &pop, &params, &prices, h);
+
+    // For homogeneous miners Eq. 26's per-roster term collapses to
+    // [1 − (1−ω)β]/k, so the model value is that constant times E[1/k]...
+    let factor = 1.0 - (1.0 - h) * beta;
+    let unbiased: f64 = pop.pmf().expect(|k| factor / k);
+    assert!((model_w - unbiased).abs() < 1e-9, "{model_w} vs {unbiased}");
+    // ...whereas an *empirical conditional* win rate weights each roster
+    // size by the participation probability k/pool (size bias), giving
+    // factor / E[k]. Compare the simulation against that.
+    let e_k = pop.pmf().mean();
+    let size_biased = factor / e_k;
+
+    let pmf = pop.pmf().clone();
+    let cfg = SimConfig {
+        unit_rate: UNIT_RATE,
+        delays: DelayModel::new(delay, 0.0).unwrap(),
+        mode: Some(EdgeMode::Connected { h }),
+        rounds: 300_000,
+        seed: 314,
+    };
+    let pool = vec![(per_miner.edge, per_miner.cloud); pool_size];
+    let report = run_roster_session(&pool, |rng| pmf.sample(rng) as usize, &cfg).unwrap();
+
+    // All pool members are exchangeable: average their conditional rates.
+    let rates = report.conditional_win_rates();
+    let empirical: f64 = rates.iter().sum::<f64>() / pool_size as f64;
+    assert!(
+        (empirical - size_biased).abs() < 0.006,
+        "empirical {empirical:.4} vs size-biased Eq.26 {size_biased:.4} (beta = {beta:.3})"
+    );
+    // Jensen: E[1/k] > 1/E[k], so the unbiased model value sits above.
+    assert!(model_w > size_biased, "{model_w} vs {size_biased}");
+}
+
+#[test]
+fn uncertainty_premium_shows_up_in_races() {
+    // An edge-heavier deviant gains more under population churn than its
+    // cloud-heavy twin — the race-level trace of the paper's "uncertainty
+    // makes miners ESP-aggressive".
+    let pool_size = 10;
+    let mu = 6.0;
+    // No transfer mode below (mode: None) isolates the population effect.
+    let base = (1.0, 3.0);
+    let edge_heavy = (2.0, 2.0); // same total power, more edge
+    let mut pool = vec![base; pool_size];
+    pool[0] = edge_heavy;
+
+    let pmf = Population::gaussian(mu, 2.0).unwrap().pmf().clone();
+    let cfg = SimConfig {
+        unit_rate: UNIT_RATE,
+        delays: DelayModel::new(12.0, 0.0).unwrap(),
+        mode: None,
+        rounds: 250_000,
+        seed: 2718,
+    };
+    let report = run_roster_session(&pool, |rng| pmf.sample(rng) as usize, &cfg).unwrap();
+    let rates = report.conditional_win_rates();
+    let peers: f64 = rates[1..].iter().sum::<f64>() / (pool_size - 1) as f64;
+    assert!(
+        rates[0] > peers + 0.005,
+        "edge-heavy {:.4} vs cloud-heavy peers {peers:.4}",
+        rates[0]
+    );
+    assert!(report.fork_rounds > 0);
+}

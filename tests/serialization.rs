@@ -1,0 +1,104 @@
+//! Serde round-trip tests for the public data types: configurations and
+//! results must survive JSON serialization unchanged, so experiment outputs
+//! can be persisted and replayed.
+
+use mbm_chain_sim::network::DelayModel;
+use mbm_chain_sim::sim::{EdgeMode, SimConfig};
+use mbm_core::analysis::MarketReport;
+use mbm_core::params::{MarketParams, Prices, Provider};
+use mbm_core::request::{Aggregates, Request};
+use mbm_core::scenario::Scenario;
+use mbm_core::stackelberg::StackelbergConfig;
+use mbm_core::subgame::dynamic::Population;
+use mbm_core::subgame::SubgameConfig;
+use mbm_learn::trainer::TrainConfig;
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn market_params_round_trip() {
+    let p = MarketParams::builder()
+        .reward(123.0)
+        .fork_rate(0.31)
+        .edge_availability(0.9)
+        .esp(Provider::new(3.0, 11.0).unwrap())
+        .csp(Provider::new(0.5, 6.0).unwrap())
+        .e_max(7.5)
+        .build()
+        .unwrap();
+    assert_eq!(round_trip(&p), p);
+}
+
+#[test]
+fn prices_and_requests_round_trip() {
+    let prices = Prices::new(4.5, 2.25).unwrap();
+    assert_eq!(round_trip(&prices), prices);
+    let r = Request::new(1.5, 2.5).unwrap();
+    assert_eq!(round_trip(&r), r);
+    let agg = Aggregates { edge: 3.0, cloud: 4.0 };
+    assert_eq!(round_trip(&agg), agg);
+}
+
+#[test]
+fn solver_configs_round_trip() {
+    let cfg = StackelbergConfig::default();
+    assert_eq!(round_trip(&cfg), cfg);
+    let sub = SubgameConfig { damping: 0.3, tol: 1e-7, max_iter: 123 };
+    assert_eq!(round_trip(&sub), sub);
+    let train = TrainConfig { periods: 7, seed: 99, ..Default::default() };
+    assert_eq!(round_trip(&train), train);
+}
+
+#[test]
+fn sim_config_round_trip() {
+    let cfg = SimConfig {
+        unit_rate: 0.02,
+        delays: DelayModel::new(8.0, 0.5).unwrap(),
+        mode: Some(EdgeMode::Connected { h: 0.75 }),
+        rounds: 1000,
+        seed: 5,
+    };
+    assert_eq!(round_trip(&cfg), cfg);
+    let standalone = SimConfig { mode: Some(EdgeMode::Standalone { e_max: 3.0 }), ..cfg };
+    assert_eq!(round_trip(&standalone), standalone);
+}
+
+#[test]
+fn population_round_trip_preserves_pmf() {
+    // JSON float formatting may lose the final ulp, so compare up to 1e-12
+    // relative rather than bitwise.
+    let pop = Population::gaussian(9.0, 2.5).unwrap();
+    let back = round_trip(&pop);
+    assert_eq!(back.pmf().outcomes(), pop.pmf().outcomes());
+    for (a, b) in back.pmf().probs().iter().zip(pop.pmf().probs()) {
+        assert!((a - b).abs() <= 1e-12 * (1.0 + b.abs()), "{a} vs {b}");
+    }
+    assert!((back.pmf().mean() - pop.pmf().mean()).abs() < 1e-12);
+}
+
+#[test]
+fn full_scenario_outcome_round_trips() {
+    let params = mbm_core::presets::paper_baseline().unwrap();
+    let outcome = Scenario::connected(params)
+        .homogeneous_miners(5, 200.0)
+        .with_prices(Prices::new(4.0, 2.0).unwrap())
+        .solve()
+        .unwrap();
+    let back = round_trip(&outcome);
+    // Structure intact; floats up to the last JSON ulp.
+    assert_eq!(back.prices, outcome.prices);
+    assert_eq!(back.prices_endogenous, outcome.prices_endogenous);
+    assert_eq!(back.requests.len(), outcome.requests.len());
+    for (a, b) in back.requests.iter().zip(&outcome.requests) {
+        assert!((a.edge - b.edge).abs() < 1e-12 && (a.cloud - b.cloud).abs() < 1e-12);
+    }
+    let report: MarketReport = round_trip(&outcome.report);
+    assert!((report.total_welfare - outcome.report.total_welfare).abs() < 1e-9);
+    assert!((report.esp_profit - outcome.report.esp_profit).abs() < 1e-9);
+}

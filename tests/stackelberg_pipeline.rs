@@ -1,0 +1,193 @@
+//! End-to-end Stackelberg pipeline tests across crates: leader pricing,
+//! follower equilibria, closed-form cross-checks and the paper's
+//! cross-mode comparisons.
+
+use mbm_core::analysis::MarketReport;
+use mbm_core::params::{MarketParams, Prices, Provider};
+use mbm_core::sp::pricing::csp_best_response_budget_binding;
+use mbm_core::stackelberg::{
+    solve_connected, solve_standalone, LeaderSchedule, StackelbergConfig,
+};
+use mbm_core::subgame::connected::ConnectedMinerGame;
+use mbm_core::table2::closed_forms;
+use mbm_game::nash::epsilon_equilibrium;
+use mbm_game::profile::Profile;
+
+fn params() -> MarketParams {
+    MarketParams::builder()
+        .reward(100.0)
+        .fork_rate(0.2)
+        .edge_availability(0.8)
+        .esp(Provider::new(7.0, 15.0).unwrap())
+        .csp(Provider::new(1.0, 8.0).unwrap())
+        .e_max(5.0)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn follower_stage_of_solution_is_a_nash_equilibrium() {
+    let p = params();
+    let budgets = vec![200.0; 5];
+    let sol = solve_connected(&p, &budgets, &StackelbergConfig::default()).unwrap();
+    let game = ConnectedMinerGame::new(p, sol.prices, budgets).unwrap();
+    let blocks: Vec<Vec<f64>> = sol
+        .equilibrium
+        .requests
+        .iter()
+        .map(|r| vec![r.edge, r.cloud])
+        .collect();
+    let profile = Profile::from_blocks(&blocks).unwrap();
+    let report = epsilon_equilibrium(&game, &profile).unwrap();
+    assert!(report.epsilon < 1e-4, "epsilon = {}", report.epsilon);
+}
+
+#[test]
+fn leader_prices_are_mutual_best_responses() {
+    let p = params();
+    let budgets = vec![200.0; 5];
+    let sol = solve_connected(&p, &budgets, &StackelbergConfig::default()).unwrap();
+    // ESP at its cap (Theorem 4 dominant strategy, C_e = 7 > P_c*).
+    assert!((sol.prices.edge - p.esp().price_cap()).abs() < 0.1);
+    // CSP near the stationary point of its profit: compare against a
+    // fine 1-D re-optimization around the solution.
+    use mbm_core::sp::stage::{Mode, ProviderStage};
+    use mbm_core::sp::MinerPopulation;
+    use mbm_core::subgame::SubgameConfig;
+    let stage = ProviderStage::new(
+        p,
+        MinerPopulation::Homogeneous { budget: 200.0, n: 5 },
+        Mode::Connected,
+        SubgameConfig::default(),
+    );
+    let base = stage
+        .follower_demand(&sol.prices)
+        .map(|agg| (sol.prices.cloud - p.csp().cost()) * agg.cloud)
+        .unwrap();
+    for delta in [-0.4, -0.2, 0.2, 0.4] {
+        let trial = Prices::new(sol.prices.edge, sol.prices.cloud + delta).unwrap();
+        let profit = stage
+            .follower_demand(&trial)
+            .map(|agg| (trial.cloud - p.csp().cost()) * agg.cloud)
+            .unwrap_or(f64::NEG_INFINITY);
+        assert!(
+            profit <= base + 0.05 * base.abs(),
+            "CSP could deviate to {} for {profit} > {base}",
+            trial.cloud
+        );
+    }
+}
+
+#[test]
+fn standalone_esp_earns_at_least_connected_esp() {
+    // Paper Section IV-C: "the ESP in the standalone mode gains more
+    // profits" — standalone removes the transfer discount.
+    let p = params();
+    let budgets = vec![200.0; 5];
+    let cfg = StackelbergConfig::default();
+    let conn = solve_connected(&p, &budgets, &cfg).unwrap();
+    let stand = solve_standalone(&p, &budgets, &cfg).unwrap();
+    assert!(
+        stand.esp_profit >= conn.esp_profit - 1e-6,
+        "standalone {} vs connected {}",
+        stand.esp_profit,
+        conn.esp_profit
+    );
+    // And the CSP is (weakly) hurt by it.
+    assert!(
+        stand.csp_profit <= conn.csp_profit + 1e-6,
+        "standalone {} vs connected {}",
+        stand.csp_profit,
+        conn.csp_profit
+    );
+}
+
+#[test]
+fn table2_closed_forms_match_pipeline_at_equilibrium_prices() {
+    let p = params();
+    let budgets = vec![2e6; 5]; // sufficient budgets for the closed forms
+    let cfg = StackelbergConfig::default();
+    let conn = solve_connected(&p, &budgets, &cfg).unwrap();
+    let t = closed_forms(&p, &conn.prices, 5).unwrap();
+    assert!(
+        (conn.equilibrium.aggregates.edge - t.connected.edge_total).abs()
+            < 1e-3 * (1.0 + t.connected.edge_total),
+        "pipeline E {} vs closed form {}",
+        conn.equilibrium.aggregates.edge,
+        t.connected.edge_total
+    );
+    assert!(
+        (conn.equilibrium.aggregates.cloud - t.connected.cloud_total).abs()
+            < 1e-3 * (1.0 + t.connected.cloud_total),
+        "pipeline C {} vs closed form {}",
+        conn.equilibrium.aggregates.cloud,
+        t.connected.cloud_total
+    );
+}
+
+#[test]
+fn csp_closed_form_best_response_matches_leader_search_when_budget_binds() {
+    // Small budgets: the budget-binding Theorem 4 machinery applies.
+    let p = params();
+    let budget = 8.0;
+    let n = 5;
+    let closed = csp_best_response_budget_binding(&p, p.esp().price_cap(), budget, n).unwrap();
+    let sol = solve_connected(&p, &vec![budget; n], &StackelbergConfig::default()).unwrap();
+    assert!(
+        (sol.prices.cloud - closed).abs() < 0.15,
+        "pipeline {} vs closed form {closed}",
+        sol.prices.cloud
+    );
+}
+
+#[test]
+fn bargaining_and_best_response_schedules_agree_end_to_end() {
+    let p = params();
+    let budgets = vec![200.0; 5];
+    let br = solve_connected(&p, &budgets, &StackelbergConfig::default()).unwrap();
+    let barg = solve_connected(
+        &p,
+        &budgets,
+        &StackelbergConfig { schedule: LeaderSchedule::Bargaining, ..Default::default() },
+    )
+    .unwrap();
+    assert!((br.prices.edge - barg.prices.edge).abs() < 0.3);
+    assert!((br.prices.cloud - barg.prices.cloud).abs() < 0.3);
+}
+
+#[test]
+fn market_report_welfare_is_consistent_across_modes() {
+    let p = params();
+    let budgets = vec![200.0; 5];
+    let cfg = StackelbergConfig::default();
+    for sol in [
+        solve_connected(&p, &budgets, &cfg).unwrap(),
+        solve_standalone(&p, &budgets, &cfg).unwrap(),
+    ] {
+        let report = MarketReport::new(&p, &sol.prices, &sol.equilibrium);
+        assert!((report.esp_profit - sol.esp_profit).abs() < 1e-9);
+        assert!((report.csp_profit - sol.csp_profit).abs() < 1e-9);
+        // Revenue cannot exceed the total miner budgets.
+        assert!(report.sp_revenue() <= 1000.0 + 1e-6);
+        // Miners participate voluntarily: non-negative utilities.
+        for &u in &report.miner_utilities {
+            assert!(u >= -1e-9, "negative miner utility {u}");
+        }
+    }
+}
+
+#[test]
+fn edgeworth_cycle_region_is_reported_not_mislabeled() {
+    // With C_e = 2 below the CSP's stationary price the leader game cycles;
+    // the solver must refuse rather than return a bogus "equilibrium".
+    let p = MarketParams::builder()
+        .reward(100.0)
+        .fork_rate(0.2)
+        .edge_availability(0.8)
+        .esp(Provider::new(2.0, 10.0).unwrap())
+        .csp(Provider::new(1.0, 8.0).unwrap())
+        .build()
+        .unwrap();
+    let result = solve_connected(&p, &[200.0; 5], &StackelbergConfig::default());
+    assert!(result.is_err(), "expected no pure leader NE, got {result:?}");
+}
