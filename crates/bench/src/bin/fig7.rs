@@ -21,28 +21,21 @@ fn main() {
             .edge_availability(0.8)
             .build()
             .expect("valid market");
-        let mut rows = Vec::new();
-        let mut b1 = 20.0;
-        while b1 <= 200.0 + 1e-9 {
+        // Ten independent budget bins, one NEP solve each: fan them across
+        // the global pool (rows come back in bin order regardless).
+        let rows = mbm_par::Pool::global().par_eval(10, |bin| {
+            let b1 = 20.0 * (bin + 1) as f64;
             let mut budgets = vec![100.0, 120.0, 150.0, 180.0];
             budgets.insert(0, b1);
             debug_assert_eq!(budgets.len(), N_MINERS);
             match solve_connected_miner_subgame(&params, &prices, &budgets, &cfg) {
                 Ok(eq) => {
                     let r1 = eq.requests[0];
-                    rows.push(vec![
-                        b1,
-                        r1.edge,
-                        r1.cloud,
-                        r1.total(),
-                        eq.utilities[0],
-                        r1.cost(&prices),
-                    ]);
+                    vec![b1, r1.edge, r1.cloud, r1.total(), eq.utilities[0], r1.cost(&prices)]
                 }
-                Err(_) => rows.push(vec![b1, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN]),
+                Err(_) => vec![b1, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN],
             }
-            b1 += 20.0;
-        }
+        });
         emit_table(
             &format!(
                 "Fig 7: miner 1 requests & utility vs its budget B_1 (beta = {beta}, others' budgets = 100/120/150/180)"

@@ -16,8 +16,9 @@ use mbm_core::stackelberg::{solve_connected, solve_standalone, StackelbergConfig
 
 fn main() {
     let cfg = StackelbergConfig::default();
-    let mut rows = Vec::new();
-    for i in 0..=6 {
+    // Each cost bin runs two full Stackelberg solves; fan the bins across
+    // the global pool (rows come back in bin order regardless).
+    let rows = mbm_par::Pool::global().par_eval(7, |i| {
         let c_e = 4.0 + i as f64;
         let params = MarketParams::builder()
             .reward(100.0)
@@ -31,7 +32,7 @@ fn main() {
         let budgets = vec![BUDGET; N_MINERS];
         let conn = solve_connected(&params, &budgets, &cfg).ok();
         let stand = solve_standalone(&params, &budgets, &cfg).ok();
-        rows.push(vec![
+        vec![
             c_e,
             conn.as_ref().map_or(f64::NAN, |s| s.prices.edge),
             conn.as_ref().map_or(f64::NAN, |s| s.prices.cloud),
@@ -41,8 +42,8 @@ fn main() {
             stand.as_ref().map_or(f64::NAN, |s| s.prices.cloud),
             stand.as_ref().map_or(f64::NAN, |s| s.esp_profit),
             stand.as_ref().map_or(f64::NAN, |s| s.csp_profit),
-        ]);
-    }
+        ]
+    });
     emit_table(
         "Fig 8: equilibrium prices & profits vs ESP unit cost C_e (caps 15/8; nan = no pure leader NE)",
         &[

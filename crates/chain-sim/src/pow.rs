@@ -122,6 +122,39 @@ impl Puzzle {
     pub fn verify(&self, nonce: u64) -> bool {
         self.target.accepts(&self.hash_with_nonce(nonce))
     }
+
+    /// Nonces ground per chunk by [`Puzzle::solve_par`] before checking for
+    /// cross-chunk cancellation.
+    pub const PAR_CHUNK: u64 = 16 * 1024;
+
+    /// Parallel [`Puzzle::solve`]: grinds disjoint nonce chunks on `pool`
+    /// with first-hit cancellation.
+    ///
+    /// Returns exactly what `solve(start, max_attempts)` returns — the same
+    /// nonce, digest, and attempt count — at any thread count: chunks are
+    /// claimed in increasing nonce order and a hit only cancels chunks
+    /// *beyond* it, so the lowest-offset hit always surfaces (see
+    /// [`mbm_par::Pool::find_first_map`]).
+    #[must_use]
+    pub fn solve_par(&self, pool: &mbm_par::Pool, start: u64, max_attempts: u64) -> Option<Solution> {
+        if max_attempts <= Self::PAR_CHUNK || pool.threads() <= 1 {
+            return self.solve(start, max_attempts);
+        }
+        let n_chunks = max_attempts.div_ceil(Self::PAR_CHUNK);
+        let n_chunks_usize = usize::try_from(n_chunks).ok()?;
+        pool.find_first_map(n_chunks_usize, |c| {
+            let offset = c as u64 * Self::PAR_CHUNK;
+            let len = Self::PAR_CHUNK.min(max_attempts - offset);
+            for i in 0..len {
+                let nonce = start.wrapping_add(offset + i);
+                let digest = self.hash_with_nonce(nonce);
+                if self.target.accepts(&digest) {
+                    return Some(Solution { nonce, digest, attempts: offset + i + 1 });
+                }
+            }
+            None
+        })
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +216,32 @@ mod tests {
         let t = Target::from_success_probability(1e-15).unwrap();
         let puzzle = Puzzle::new(b"hopeless".to_vec(), t);
         assert!(puzzle.solve(0, 100).is_none());
+    }
+
+    #[test]
+    fn parallel_solve_is_bitwise_equal_to_serial() {
+        let t = Target::from_success_probability(1.0 / 100_000.0).unwrap();
+        for tag in 0..4u32 {
+            let puzzle = Puzzle::new(format!("par-header {tag}").into_bytes(), t);
+            let budget = 6 * Puzzle::PAR_CHUNK; // several chunks' worth
+            let serial = puzzle.solve(0, budget);
+            for threads in [1, 2, 4] {
+                let pool = mbm_par::Pool::new(threads);
+                assert_eq!(serial, puzzle.solve_par(&pool, 0, budget), "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_solve_handles_tiny_budgets_and_offsets() {
+        let t = Target::from_success_probability(1.0 / 8.0).unwrap();
+        let puzzle = Puzzle::new(b"tiny".to_vec(), t);
+        let pool = mbm_par::Pool::new(4);
+        // Below one chunk: falls back to the serial path.
+        assert_eq!(puzzle.solve(7, 100), puzzle.solve_par(&pool, 7, 100));
+        // Nonzero start with a multi-chunk budget.
+        let budget = 3 * Puzzle::PAR_CHUNK + 17;
+        assert_eq!(puzzle.solve(1 << 40, budget), puzzle.solve_par(&pool, 1 << 40, budget));
     }
 
     #[test]

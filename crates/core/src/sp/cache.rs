@@ -1,0 +1,290 @@
+//! Memoized leader payoffs: a quantized-price cache around the miner-subgame
+//! solve.
+//!
+//! Every leader payoff evaluation in the Stackelberg pipeline solves a full
+//! miner subgame at the candidate price pair, and the best-response iteration
+//! revisits *nearly* identical pairs round after round (the grid geometry is
+//! fixed while the other leader's price drifts by less than the solver
+//! tolerance). [`CachedStage`] exploits this: candidate prices are **snapped
+//! to a quantization grid two orders of magnitude finer than the leader
+//! tolerance before the subgame is solved**, and the resulting profit pair is
+//! memoized under the snapped key in a bounded two-generation LRU.
+//!
+//! # Determinism contract
+//!
+//! Snapping happens *before* solving, so the cached value is a pure function
+//! of the snapped key. Consequently:
+//!
+//! * cache hits return bit-for-bit what a recomputation would return — cache
+//!   capacity, eviction order, and thread interleaving can never change a
+//!   payoff, only the time spent;
+//! * a solve with the cache enabled is bitwise identical across thread
+//!   counts and across cache capacities (≥ 1);
+//! * relative to the *unsnapped* stage, equilibrium prices move by at most
+//!   one quantum per coordinate — two orders of magnitude below the leader
+//!   tolerance, i.e. below the solver's own resolution.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use mbm_game::stackelberg::LeaderStage;
+use mbm_game::GameError;
+
+use crate::params::Prices;
+use crate::sp::stage::ProviderStage;
+
+/// Quantization step as a fraction of the leader tolerance: fine enough that
+/// snapping is invisible at the solver's resolution, coarse enough that
+/// consecutive best-response rounds collapse onto the same keys.
+pub const QUANTUM_PER_TOL: f64 = 1e-2;
+
+/// Hit/miss counters of a [`CachedStage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Payoff evaluations answered from the cache.
+    pub hits: u64,
+    /// Payoff evaluations that solved the miner subgame.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of evaluations answered from the cache.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Two-generation bounded map: inserts go to `hot`; when `hot` fills half the
+/// capacity, it becomes `cold` and a fresh `hot` starts; `cold` hits are
+/// promoted. Recently-used keys therefore survive at least one generation,
+/// and total occupancy never exceeds the capacity.
+#[derive(Debug)]
+struct Generations {
+    hot: HashMap<(u64, u64), (f64, f64)>,
+    cold: HashMap<(u64, u64), (f64, f64)>,
+    half_capacity: usize,
+}
+
+impl Generations {
+    fn new(capacity: usize) -> Self {
+        let half_capacity = (capacity / 2).max(1);
+        Generations { hot: HashMap::new(), cold: HashMap::new(), half_capacity }
+    }
+
+    fn get_promote(&mut self, key: (u64, u64)) -> Option<(f64, f64)> {
+        if let Some(&v) = self.hot.get(&key) {
+            return Some(v);
+        }
+        if let Some(v) = self.cold.remove(&key) {
+            self.insert(key, v);
+            return Some(v);
+        }
+        None
+    }
+
+    fn insert(&mut self, key: (u64, u64), value: (f64, f64)) {
+        if self.hot.len() >= self.half_capacity {
+            self.cold = std::mem::take(&mut self.hot);
+        }
+        self.hot.insert(key, value);
+    }
+}
+
+/// A [`ProviderStage`] whose payoffs are quantized and memoized (see the
+/// module docs for the determinism contract).
+///
+/// Implements [`LeaderStage`], so it drops into every leader solver —
+/// serial or pooled — unchanged.
+#[derive(Debug)]
+pub struct CachedStage<'a> {
+    inner: &'a ProviderStage,
+    quantum: f64,
+    cache: Mutex<Generations>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<'a> CachedStage<'a> {
+    /// Wraps `stage` with a cache of at most `capacity` entries, quantizing
+    /// prices to `leader_tol * QUANTUM_PER_TOL`.
+    ///
+    /// `capacity` is clamped to at least 2 (one entry per generation);
+    /// `leader_tol` must be positive and finite, which
+    /// `LeaderParams` solvers already enforce.
+    #[must_use]
+    pub fn new(stage: &'a ProviderStage, leader_tol: f64, capacity: usize) -> Self {
+        CachedStage {
+            inner: stage,
+            quantum: leader_tol * QUANTUM_PER_TOL,
+            cache: Mutex::new(Generations::new(capacity.max(2))),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The quantization step applied to each price coordinate.
+    #[must_use]
+    pub fn quantum(&self) -> f64 {
+        self.quantum
+    }
+
+    /// Hit/miss counters so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snaps a price to the quantization grid, clamped back into the leader's
+    /// `[lo, hi]` interval so snapping can never step outside the feasible
+    /// box. A pure function of the input bits.
+    fn snap(&self, price: f64, leader: usize) -> f64 {
+        let (lo, hi) = self.inner.bounds(leader);
+        ((price / self.quantum).round() * self.quantum).clamp(lo, hi)
+    }
+
+    /// Profit pair `(V_e, V_c)` at the snapped prices, memoized. NaNs encode
+    /// a non-convergent follower stage, exactly as in the uncached payoff.
+    fn profits_at(&self, snapped: Prices) -> (f64, f64) {
+        let key = (snapped.edge.to_bits(), snapped.cloud.to_bits());
+        if let Some(v) = self.cache.lock().expect("payoff cache lock").get_promote(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        // Deliberately *outside* the lock: concurrent workers may duplicate a
+        // solve for the same key, but they can never block each other on a
+        // multi-millisecond subgame, and both write the identical value.
+        let value = match self.inner.follower_demand(&snapped) {
+            Some(agg) => crate::sp::profits(self.inner.params(), &snapped, &agg),
+            None => (f64::NAN, f64::NAN),
+        };
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.cache.lock().expect("payoff cache lock").insert(key, value);
+        value
+    }
+}
+
+impl LeaderStage for CachedStage<'_> {
+    fn num_leaders(&self) -> usize {
+        self.inner.num_leaders()
+    }
+
+    fn bounds(&self, i: usize) -> (f64, f64) {
+        self.inner.bounds(i)
+    }
+
+    fn payoff(&self, i: usize, actions: &[f64]) -> Result<f64, GameError> {
+        let snapped = Prices::new(self.snap(actions[0], 0), self.snap(actions[1], 1))
+            .map_err(|e| GameError::invalid(e.to_string()))?;
+        let (ve, vc) = self.profits_at(snapped);
+        Ok(if i == 0 { ve } else { vc })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MarketParams;
+    use crate::sp::stage::Mode;
+    use crate::sp::MinerPopulation;
+    use crate::subgame::SubgameConfig;
+
+    fn stage() -> ProviderStage {
+        let params = MarketParams::builder()
+            .reward(100.0)
+            .fork_rate(0.2)
+            .edge_availability(0.8)
+            .e_max(5.0)
+            .build()
+            .unwrap();
+        ProviderStage::new(
+            params,
+            MinerPopulation::Homogeneous { budget: 200.0, n: 5 },
+            Mode::Connected,
+            SubgameConfig::default(),
+        )
+    }
+
+    #[test]
+    fn hits_return_bitwise_identical_payoffs() {
+        let stage = stage();
+        let cached = CachedStage::new(&stage, 1e-4, 512);
+        let first = cached.payoff(0, &[6.0, 2.0]).unwrap();
+        let again = cached.payoff(0, &[6.0, 2.0]).unwrap();
+        assert_eq!(first.to_bits(), again.to_bits());
+        let stats = cached.stats();
+        assert_eq!(stats.misses, 1, "{stats:?}");
+        assert_eq!(stats.hits, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn both_leaders_share_one_subgame_solve() {
+        let stage = stage();
+        let cached = CachedStage::new(&stage, 1e-4, 512);
+        let _ = cached.payoff(0, &[6.0, 2.0]).unwrap();
+        let _ = cached.payoff(1, &[6.0, 2.0]).unwrap();
+        assert_eq!(cached.stats().misses, 1);
+    }
+
+    #[test]
+    fn nearby_prices_collapse_to_one_key() {
+        let stage = stage();
+        let cached = CachedStage::new(&stage, 1e-4, 512);
+        let quantum = cached.quantum();
+        let a = cached.payoff(0, &[6.0, 2.0]).unwrap();
+        let b = cached.payoff(0, &[6.0 + 0.4 * quantum, 2.0 - 0.4 * quantum]).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(cached.stats().misses, 1);
+    }
+
+    #[test]
+    fn snapping_error_is_below_solver_resolution() {
+        let stage = stage();
+        let cached = CachedStage::new(&stage, 1e-4, 512);
+        let raw = stage.payoff(0, &[6.000037, 2.000041]).unwrap();
+        let snapped = cached.payoff(0, &[6.000037, 2.000041]).unwrap();
+        // Payoffs are Lipschitz in prices near the interior; a 1e-6 price
+        // perturbation cannot move profit at the 1e-2 scale.
+        assert!((raw - snapped).abs() < 1e-2, "raw {raw} vs snapped {snapped}");
+    }
+
+    #[test]
+    fn eviction_never_changes_values() {
+        let stage = stage();
+        let tiny = CachedStage::new(&stage, 1e-4, 2);
+        let large = CachedStage::new(&stage, 1e-4, 4096);
+        let probes =
+            [[6.0, 2.0], [7.0, 2.5], [8.0, 3.0], [6.0, 2.0], [9.0, 1.5], [6.0, 2.0], [7.0, 2.5]];
+        for p in probes {
+            for i in 0..2 {
+                let a = tiny.payoff(i, &p).unwrap();
+                let b = large.payoff(i, &p).unwrap();
+                assert_eq!(a.to_bits(), b.to_bits(), "leader {i} at {p:?}");
+            }
+        }
+        assert!(tiny.stats().misses >= large.stats().misses);
+    }
+
+    #[test]
+    fn snap_respects_bounds() {
+        let stage = stage();
+        let cached = CachedStage::new(&stage, 1e-1, 16);
+        let (lo_e, hi_e) = stage.bounds(0);
+        // Candidates at the exact interval endpoints must stay inside after
+        // snapping (snapping outward would make Prices::new fail or leave
+        // the feasible box).
+        for price in [lo_e, hi_e] {
+            let s = cached.snap(price, 0);
+            assert!((lo_e..=hi_e).contains(&s), "snap({price}) = {s}");
+        }
+    }
+}

@@ -5,10 +5,13 @@
 //!   price and the standalone CSP closed form (Table II).
 //! * [`stage`] — [`mbm_game::stackelberg::LeaderStage`] adapters embedding
 //!   the miner subgame into each provider's payoff (backward induction).
+//! * [`cache`] — quantized-price memoization of leader payoffs: repeated
+//!   best-response rounds at nearby prices reuse miner-subgame solves.
 //! * [`mixed`] — mixed-strategy pricing via regret matching on the
 //!   discretized leader game, for the Edgeworth-cycle region where no pure
 //!   equilibrium exists.
 
+pub mod cache;
 pub mod mixed;
 pub mod pricing;
 pub mod stage;

@@ -48,6 +48,12 @@ impl ProviderStage {
         ProviderStage { params, population, mode, subgame }
     }
 
+    /// Market parameters the stage was built with.
+    #[must_use]
+    pub fn params(&self) -> &MarketParams {
+        &self.params
+    }
+
     /// Aggregate follower demand at the given prices, or `None` if the
     /// follower solve does not converge there.
     #[must_use]

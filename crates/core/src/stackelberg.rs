@@ -6,11 +6,17 @@
 //! (Algorithm 2's schedule); the reported follower equilibrium is then
 //! re-solved at the equilibrium prices with the full heterogeneous solver.
 
-use mbm_game::stackelberg::{leader_equilibrium, simultaneous_bargaining, LeaderParams};
+use mbm_game::stackelberg::{
+    leader_equilibrium, leader_equilibrium_par, simultaneous_bargaining,
+    simultaneous_bargaining_par, LeaderOutcome, LeaderParams, LeaderStage,
+};
+use mbm_game::GameError;
+use mbm_par::Pool;
 use serde::{Deserialize, Serialize};
 
 use crate::error::MiningGameError;
 use crate::params::{validate_budgets, MarketParams, Prices};
+use crate::sp::cache::CachedStage;
 use crate::sp::stage::{Mode, ProviderStage};
 use crate::sp::MinerPopulation;
 use crate::subgame::connected::solve_connected_miner_subgame;
@@ -26,6 +32,47 @@ pub enum LeaderSchedule {
     Bargaining,
 }
 
+/// Execution options for the pipeline: where leader payoffs run and whether
+/// they are memoized. Numerically inert in the following sense:
+///
+/// * any `threads` count gives bitwise-identical results (candidate grids are
+///   evaluated in parallel but *selected* serially);
+/// * any `cache_capacity ≥ 1` gives bitwise-identical results (cached payoffs
+///   are pure functions of quantized prices; see [`crate::sp::cache`]).
+///
+/// Enabling the cache (vs `cache_capacity = 0`) quantizes candidate prices to
+/// `leader.tol / 100`, which moves equilibria below the solver's resolution
+/// but not bitwise — hence it is opt-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecConfig {
+    /// Worker threads for leader-stage candidate evaluation (`0` or `1` =
+    /// serial on the calling thread).
+    pub threads: usize,
+    /// Leader-payoff memo cache capacity in entries (`0` disables caching
+    /// and quantization entirely).
+    pub cache_capacity: usize,
+}
+
+impl ExecConfig {
+    /// Serial, uncached: the reference execution mode (also [`Default`]).
+    #[must_use]
+    pub fn serial() -> Self {
+        ExecConfig { threads: 1, cache_capacity: 0 }
+    }
+
+    /// All available cores plus a generously sized payoff cache.
+    #[must_use]
+    pub fn accelerated() -> Self {
+        ExecConfig { threads: Pool::global().threads(), cache_capacity: 1 << 16 }
+    }
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig::serial()
+    }
+}
+
 /// Configuration for the full Stackelberg solve.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StackelbergConfig {
@@ -35,14 +82,26 @@ pub struct StackelbergConfig {
     pub subgame: SubgameConfig,
     /// Leader-update schedule.
     pub schedule: LeaderSchedule,
+    /// Execution options (parallelism and payoff memoization).
+    #[serde(default)]
+    pub exec: ExecConfig,
+}
+
+impl StackelbergConfig {
+    /// Default settings with [`ExecConfig::accelerated`] execution.
+    #[must_use]
+    pub fn accelerated() -> Self {
+        StackelbergConfig { exec: ExecConfig::accelerated(), ..Default::default() }
+    }
 }
 
 impl Default for StackelbergConfig {
     fn default() -> Self {
         StackelbergConfig {
-            leader: LeaderParams { tol: 1e-4, max_rounds: 60, grid_points: 25, grid_rounds: 5, damping: 1.0 },
+            leader: LeaderParams::pipeline(),
             subgame: SubgameConfig::default(),
             schedule: LeaderSchedule::BestResponse,
+            exec: ExecConfig::serial(),
         }
     }
 }
@@ -106,28 +165,12 @@ fn solve(
         0.5 * (params.esp().cost() + params.esp().price_cap()),
         0.5 * (params.csp().cost() + params.csp().price_cap()),
     ];
-    // The leader game can lack a pure Nash equilibrium: whenever the CSP's
-    // stationary price exceeds the ESP's unit cost, the ESP's best response
-    // flips discontinuously between its price cap and the mixed-strategy
-    // kink, producing an Edgeworth-style price cycle (see DESIGN.md). We
-    // retry with increasing damping, which settles near-cycles; a genuine
-    // cycle still reports `NoConvergence` honestly.
-    let out = match cfg.schedule {
-        LeaderSchedule::BestResponse => {
-            let mut result = leader_equilibrium(&stage, init.clone(), &cfg.leader);
-            for damping in [0.5, 0.25] {
-                if result.is_ok() {
-                    break;
-                }
-                let damped = LeaderParams { damping, ..cfg.leader };
-                result = leader_equilibrium(&stage, init.clone(), &damped);
-            }
-            result?
-        }
-        LeaderSchedule::Bargaining => {
-            let damped = LeaderParams { damping: 0.6, ..cfg.leader };
-            simultaneous_bargaining(&stage, init, &damped)?
-        }
+    let pool = (cfg.exec.threads > 1).then(|| Pool::new(cfg.exec.threads));
+    let out = if cfg.exec.cache_capacity > 0 {
+        let cached = CachedStage::new(&stage, cfg.leader.tol, cfg.exec.cache_capacity);
+        run_leader_stage(&cached, init, cfg, pool.as_ref())?
+    } else {
+        run_leader_stage(&stage, init, cfg, pool.as_ref())?
     };
     let prices = Prices::new(out.actions[0], out.actions[1])?;
     let equilibrium = match mode {
@@ -143,6 +186,45 @@ fn solve(
         leader_rounds: out.rounds,
         leader_residual: out.residual,
     })
+}
+
+/// Runs the configured leader schedule on any stage, serially or on `pool`.
+///
+/// The leader game can lack a pure Nash equilibrium: whenever the CSP's
+/// stationary price exceeds the ESP's unit cost, the ESP's best response
+/// flips discontinuously between its price cap and the mixed-strategy kink,
+/// producing an Edgeworth-style price cycle (see DESIGN.md). Best response
+/// therefore retries with increasing damping, which settles near-cycles; a
+/// genuine cycle still reports `NoConvergence` honestly.
+fn run_leader_stage<S: LeaderStage + Sync>(
+    stage: &S,
+    init: Vec<f64>,
+    cfg: &StackelbergConfig,
+    pool: Option<&Pool>,
+) -> Result<LeaderOutcome, GameError> {
+    let solve_once = |params: &LeaderParams, init: Vec<f64>| match (cfg.schedule, pool) {
+        (LeaderSchedule::BestResponse, None) => leader_equilibrium(stage, init, params),
+        (LeaderSchedule::BestResponse, Some(p)) => leader_equilibrium_par(stage, init, params, p),
+        (LeaderSchedule::Bargaining, None) => simultaneous_bargaining(stage, init, params),
+        (LeaderSchedule::Bargaining, Some(p)) => simultaneous_bargaining_par(stage, init, params, p),
+    };
+    match cfg.schedule {
+        LeaderSchedule::BestResponse => {
+            let mut result = solve_once(&cfg.leader, init.clone());
+            for damping in [0.5, 0.25] {
+                if result.is_ok() {
+                    break;
+                }
+                let damped = LeaderParams { damping, ..cfg.leader };
+                result = solve_once(&damped, init.clone());
+            }
+            result
+        }
+        LeaderSchedule::Bargaining => {
+            let damped = LeaderParams { damping: 0.6, ..cfg.leader };
+            solve_once(&damped, init)
+        }
+    }
 }
 
 fn population_of(budgets: &[f64]) -> MinerPopulation {
@@ -243,6 +325,7 @@ mod tests {
             leader: LeaderParams { tol: 5e-3, max_rounds: 20, grid_points: 9, grid_rounds: 3, damping: 1.0 },
             subgame: SubgameConfig { tol: 1e-7, ..Default::default() },
             schedule: LeaderSchedule::BestResponse,
+            exec: ExecConfig::accelerated(),
         };
         let sol = solve_connected(&p, &[50.0, 100.0, 200.0], &cfg).unwrap();
         assert!(sol.prices.edge > sol.prices.cloud);
@@ -257,5 +340,44 @@ mod tests {
         let p = params();
         assert!(solve_connected(&p, &[100.0], &StackelbergConfig::default()).is_err());
         assert!(solve_connected(&p, &[], &StackelbergConfig::default()).is_err());
+    }
+
+    #[test]
+    fn parallel_execution_is_bitwise_equal_to_serial() {
+        let p = params();
+        let serial = solve_connected(&p, &[200.0; 5], &StackelbergConfig::default()).unwrap();
+        for threads in [2, 4] {
+            let cfg = StackelbergConfig {
+                exec: ExecConfig { threads, cache_capacity: 0 },
+                ..Default::default()
+            };
+            let par = solve_connected(&p, &[200.0; 5], &cfg).unwrap();
+            assert_eq!(serial, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn cached_execution_is_capacity_and_thread_invariant() {
+        let p = params();
+        let base = StackelbergConfig::default();
+        let reference = solve_connected(
+            &p,
+            &[200.0; 5],
+            &StackelbergConfig { exec: ExecConfig { threads: 1, cache_capacity: 1 }, ..base },
+        )
+        .unwrap();
+        for (threads, capacity) in [(1, 1 << 16), (4, 1), (4, 1 << 16)] {
+            let cfg = StackelbergConfig {
+                exec: ExecConfig { threads, cache_capacity: capacity },
+                ..base
+            };
+            let sol = solve_connected(&p, &[200.0; 5], &cfg).unwrap();
+            assert_eq!(reference, sol, "threads = {threads}, capacity = {capacity}");
+        }
+        // Quantization stays below the solver's resolution relative to the
+        // exact (uncached) pipeline.
+        let exact = solve_connected(&p, &[200.0; 5], &base).unwrap();
+        assert!((exact.prices.edge - reference.prices.edge).abs() <= 10.0 * base.leader.tol);
+        assert!((exact.prices.cloud - reference.prices.cloud).abs() <= 10.0 * base.leader.tol);
     }
 }

@@ -14,7 +14,10 @@
 //!   where both SPs announce new prices after observing the same round of
 //!   requests.
 
-use mbm_numerics::optimize::adaptive_grid_max;
+use std::sync::Mutex;
+
+use mbm_numerics::optimize::{adaptive_grid_max, adaptive_grid_max_batch};
+use mbm_par::Pool;
 use serde::{Deserialize, Serialize};
 
 use crate::error::GameError;
@@ -55,9 +58,29 @@ pub struct LeaderParams {
     pub damping: f64,
 }
 
+impl LeaderParams {
+    /// High-accuracy reference settings (`tol = 1e-6`, 200 rounds, 33-point
+    /// grid, 6 refinements): the source of truth for figure-quality solves
+    /// and for validating faster configurations. This is also [`Default`].
+    #[must_use]
+    pub fn reference() -> Self {
+        LeaderParams { tol: 1e-6, max_rounds: 200, grid_points: 33, grid_rounds: 6, damping: 1.0 }
+    }
+
+    /// Throughput settings for the end-to-end pricing pipeline (`tol = 1e-4`,
+    /// 60 rounds, 25-point grid, 5 refinements): every leader payoff
+    /// evaluation solves a full miner subgame, so the pipeline trades the
+    /// last two digits of price accuracy for a several-fold cut in subgame
+    /// solves. `mbm-core`'s `StackelbergConfig` uses these.
+    #[must_use]
+    pub fn pipeline() -> Self {
+        LeaderParams { tol: 1e-4, max_rounds: 60, grid_points: 25, grid_rounds: 5, damping: 1.0 }
+    }
+}
+
 impl Default for LeaderParams {
     fn default() -> Self {
-        LeaderParams { tol: 1e-6, max_rounds: 200, grid_points: 33, grid_rounds: 6, damping: 1.0 }
+        LeaderParams::reference()
     }
 }
 
@@ -91,7 +114,7 @@ pub fn leader_equilibrium<S: LeaderStage>(
     init: Vec<f64>,
     params: &LeaderParams,
 ) -> Result<LeaderOutcome, GameError> {
-    run_leaders(stage, init, params, false)
+    run_leaders(stage, init, params, false, &mut best_action)
 }
 
 /// Simultaneous (Jacobi) best-response iteration with damping (Algorithm 2's
@@ -105,14 +128,59 @@ pub fn simultaneous_bargaining<S: LeaderStage>(
     init: Vec<f64>,
     params: &LeaderParams,
 ) -> Result<LeaderOutcome, GameError> {
-    run_leaders(stage, init, params, true)
+    run_leaders(stage, init, params, true, &mut best_action)
 }
+
+/// [`leader_equilibrium`] with the per-round candidate grid evaluated on
+/// `pool`.
+///
+/// Each best-response line search fans its grid candidates (each one a full
+/// miner-subgame solve) across the pool's workers; candidate *selection*
+/// stays a fixed serial scan, so the outcome is bitwise identical to
+/// [`leader_equilibrium`] at any thread count.
+///
+/// # Errors
+///
+/// Same conditions as [`leader_equilibrium`].
+pub fn leader_equilibrium_par<S: LeaderStage + Sync>(
+    stage: &S,
+    init: Vec<f64>,
+    params: &LeaderParams,
+    pool: &Pool,
+) -> Result<LeaderOutcome, GameError> {
+    run_leaders(stage, init, params, false, &mut |s: &S, i, a: &[f64], p: &LeaderParams| {
+        best_action_par(pool, s, i, a, p)
+    })
+}
+
+/// [`simultaneous_bargaining`] with pooled candidate evaluation; bitwise
+/// identical to the serial solver at any thread count (see
+/// [`leader_equilibrium_par`]).
+///
+/// # Errors
+///
+/// Same conditions as [`leader_equilibrium`].
+pub fn simultaneous_bargaining_par<S: LeaderStage + Sync>(
+    stage: &S,
+    init: Vec<f64>,
+    params: &LeaderParams,
+    pool: &Pool,
+) -> Result<LeaderOutcome, GameError> {
+    run_leaders(stage, init, params, true, &mut |s: &S, i, a: &[f64], p: &LeaderParams| {
+        best_action_par(pool, s, i, a, p)
+    })
+}
+
+/// Pluggable best-response step: `(stage, leader, actions, params) → action`.
+type BestActionFn<'a, S> =
+    dyn FnMut(&S, usize, &[f64], &LeaderParams) -> Result<f64, GameError> + 'a;
 
 fn run_leaders<S: LeaderStage>(
     stage: &S,
     init: Vec<f64>,
     params: &LeaderParams,
     simultaneous: bool,
+    best: &mut BestActionFn<'_, S>,
 ) -> Result<LeaderOutcome, GameError> {
     let n = stage.num_leaders();
     if n == 0 {
@@ -140,14 +208,14 @@ fn run_leaders<S: LeaderStage>(
             let snapshot = actions.clone();
             let mut targets = vec![0.0; n];
             for i in 0..n {
-                targets[i] = best_action(stage, i, &snapshot, params)?;
+                targets[i] = best(stage, i, &snapshot, params)?;
             }
             for i in 0..n {
                 actions[i] = (1.0 - params.damping) * actions[i] + params.damping * targets[i];
             }
         } else {
             for i in 0..n {
-                let t = best_action(stage, i, &actions, params)?;
+                let t = best(stage, i, &actions, params)?;
                 actions[i] = (1.0 - params.damping) * actions[i] + params.damping * t;
             }
         }
@@ -191,6 +259,44 @@ fn best_action<S: LeaderStage>(
         params.grid_rounds,
     );
     if let Some(e) = inner_error {
+        return Err(e);
+    }
+    Ok(r?.x)
+}
+
+fn best_action_par<S: LeaderStage + Sync>(
+    pool: &Pool,
+    stage: &S,
+    i: usize,
+    actions: &[f64],
+    params: &LeaderParams,
+) -> Result<f64, GameError> {
+    let (lo, hi) = stage.bounds(i);
+    // Workers cannot early-exit like the serial path, so the first payoff
+    // error is parked here and re-raised after the batch; NaNs mark the
+    // erroring cells exactly as in `best_action`.
+    let inner_error: Mutex<Option<GameError>> = Mutex::new(None);
+    let r = adaptive_grid_max_batch(
+        |xs| {
+            pool.par_map(xs, |_, &a| {
+                let mut trial = actions.to_vec();
+                trial[i] = a;
+                match stage.payoff(i, &trial) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        let mut slot = inner_error.lock().expect("leader stage: error slot");
+                        slot.get_or_insert(e);
+                        f64::NAN
+                    }
+                }
+            })
+        },
+        lo,
+        hi,
+        params.grid_points,
+        params.grid_rounds,
+    );
+    if let Some(e) = inner_error.into_inner().expect("leader stage: error slot") {
         return Err(e);
     }
     Ok(r?.x)
@@ -316,5 +422,47 @@ mod tests {
         assert!(leader_equilibrium(&PriceDuopoly, vec![0.5], &LeaderParams::default()).is_err());
         let bad = LeaderParams { damping: 0.0, ..Default::default() };
         assert!(leader_equilibrium(&PriceDuopoly, vec![0.5, 0.5], &bad).is_err());
+    }
+
+    #[test]
+    fn parallel_solvers_are_bitwise_equal_to_serial() {
+        let params = LeaderParams::default();
+        let seq = leader_equilibrium(&PriceDuopoly, vec![0.1, 1.9], &params).unwrap();
+        let sim = simultaneous_bargaining(
+            &PriceDuopoly,
+            vec![0.1, 1.9],
+            &LeaderParams { damping: 0.7, ..params },
+        )
+        .unwrap();
+        for threads in [1, 3, 8] {
+            let pool = Pool::new(threads);
+            let seq_p =
+                leader_equilibrium_par(&PriceDuopoly, vec![0.1, 1.9], &params, &pool).unwrap();
+            assert_eq!(seq, seq_p, "sequential, threads = {threads}");
+            let sim_p = simultaneous_bargaining_par(
+                &PriceDuopoly,
+                vec![0.1, 1.9],
+                &LeaderParams { damping: 0.7, ..params },
+                &pool,
+            )
+            .unwrap();
+            assert_eq!(sim, sim_p, "simultaneous, threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_payoff_errors_abort_the_solve() {
+        let pool = Pool::new(4);
+        let err = leader_equilibrium_par(&FailingStage, vec![0.5], &LeaderParams::default(), &pool)
+            .unwrap_err();
+        assert!(matches!(err, GameError::InvalidGame(_)));
+    }
+
+    #[test]
+    fn named_parameter_sets_are_distinct_and_documented() {
+        assert_eq!(LeaderParams::default(), LeaderParams::reference());
+        let pipeline = LeaderParams::pipeline();
+        assert!(pipeline.grid_points < LeaderParams::reference().grid_points);
+        assert!(pipeline.max_rounds < LeaderParams::reference().max_rounds);
     }
 }

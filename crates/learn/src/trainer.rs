@@ -161,6 +161,45 @@ pub fn adapt_prices(
     cfg: &TrainConfig,
     price_grid: usize,
 ) -> Result<(Prices, LearnedMiners), LearnError> {
+    adapt_prices_impl(params, prices, budget, population, pool, cfg, price_grid, None)
+}
+
+/// [`adapt_prices`] with the candidate-price re-trainings fanned across
+/// `exec`.
+///
+/// Every candidate independently re-seeds its learner from `cfg.seed`, so
+/// candidate evaluations are embarrassingly parallel, and the winning price
+/// is selected by the same first-strict-maximum scan as the serial path —
+/// the outcome is bitwise identical at any thread count.
+///
+/// # Errors
+///
+/// Same conditions as [`adapt_prices`].
+#[allow(clippy::too_many_arguments)] // mirrors adapt_prices
+pub fn adapt_prices_par(
+    params: &MarketParams,
+    prices: &Prices,
+    budget: f64,
+    population: &Population,
+    pool: usize,
+    cfg: &TrainConfig,
+    price_grid: usize,
+    exec: &mbm_par::Pool,
+) -> Result<(Prices, LearnedMiners), LearnError> {
+    adapt_prices_impl(params, prices, budget, population, pool, cfg, price_grid, Some(exec))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adapt_prices_impl(
+    params: &MarketParams,
+    prices: &Prices,
+    budget: f64,
+    population: &Population,
+    pool: usize,
+    cfg: &TrainConfig,
+    price_grid: usize,
+    exec: Option<&mbm_par::Pool>,
+) -> Result<(Prices, LearnedMiners), LearnError> {
     if price_grid < 2 {
         return Err(LearnError::invalid("adapt_prices: need at least 2 price candidates"));
     }
@@ -172,9 +211,9 @@ pub fn adapt_prices(
         } else {
             (params.csp().cost().max(1e-6), params.csp().price_cap(), params.csp().cost())
         };
-        let mut best_price = if leader == 0 { current.edge } else { current.cloud };
-        let mut best_profit = f64::NEG_INFINITY;
-        for k in 0..price_grid {
+        // Each candidate retrains the miners from the same seed, so the
+        // evaluations are independent and safe to fan out.
+        let evaluate = |k: usize| -> Result<(f64, f64), LearnError> {
             let p = lo + (hi - lo) * (k as f64 + 0.5) / price_grid as f64;
             let candidate = if leader == 0 {
                 Prices::new(p, current.cloud)?
@@ -184,7 +223,18 @@ pub fn adapt_prices(
             let learned =
                 learn_miner_strategies(params, &candidate, budget, population, pool, cfg)?;
             let demand = if leader == 0 { learned.aggregates.edge } else { learned.aggregates.cloud };
-            let profit = (p - cost) * demand;
+            Ok(((p - cost) * demand, p))
+        };
+        let profits: Vec<Result<(f64, f64), LearnError>> = match exec {
+            Some(exec) => exec.par_eval(price_grid, evaluate),
+            None => (0..price_grid).map(evaluate).collect(),
+        };
+        // First-strict-maximum scan in candidate order (and first error in
+        // candidate order), identical however the profits were computed.
+        let mut best_price = if leader == 0 { current.edge } else { current.cloud };
+        let mut best_profit = f64::NEG_INFINITY;
+        for result in profits {
+            let (profit, p) = result?;
             if profit > best_profit {
                 best_profit = profit;
                 best_price = p;
@@ -198,6 +248,33 @@ pub fn adapt_prices(
     }
     let learned = learn_miner_strategies(params, &current, budget, population, pool, cfg)?;
     Ok((current, learned))
+}
+
+/// Trains one independent learner run per seed in `seeds`, in parallel on
+/// `exec` — the ensemble view used to report learning curves with error
+/// bands. Each run is seeded independently, so the result vector is bitwise
+/// identical to running [`learn_miner_strategies`] serially per seed.
+///
+/// # Errors
+///
+/// Propagates the first (lowest-seed-index) failure, as a serial loop would.
+#[allow(clippy::too_many_arguments)] // mirrors learn_miner_strategies plus the ensemble inputs
+pub fn learn_ensemble(
+    params: &MarketParams,
+    prices: &Prices,
+    budget: f64,
+    population: &Population,
+    pool: usize,
+    cfg: &TrainConfig,
+    seeds: &[u64],
+    exec: &mbm_par::Pool,
+) -> Result<Vec<LearnedMiners>, LearnError> {
+    exec.par_map(seeds, |_, &seed| {
+        let run_cfg = TrainConfig { seed, ..*cfg };
+        learn_miner_strategies(params, prices, budget, population, pool, &run_cfg)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Outcome of the full two-timescale loop.
@@ -233,6 +310,56 @@ pub fn full_loop(
     max_rounds: usize,
     tol: f64,
 ) -> Result<FullLoopOutcome, LearnError> {
+    full_loop_impl(params, start, budget, population, pool, cfg, price_grid, max_rounds, tol, None)
+}
+
+/// [`full_loop`] with every slow-timescale price adaptation fanned across
+/// `exec` (see [`adapt_prices_par`]); bitwise identical to [`full_loop`] at
+/// any thread count.
+///
+/// # Errors
+///
+/// Same conditions as [`full_loop`].
+#[allow(clippy::too_many_arguments)] // mirrors full_loop
+pub fn full_loop_par(
+    params: &MarketParams,
+    start: &Prices,
+    budget: f64,
+    population: &Population,
+    pool: usize,
+    cfg: &TrainConfig,
+    price_grid: usize,
+    max_rounds: usize,
+    tol: f64,
+    exec: &mbm_par::Pool,
+) -> Result<FullLoopOutcome, LearnError> {
+    full_loop_impl(
+        params,
+        start,
+        budget,
+        population,
+        pool,
+        cfg,
+        price_grid,
+        max_rounds,
+        tol,
+        Some(exec),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn full_loop_impl(
+    params: &MarketParams,
+    start: &Prices,
+    budget: f64,
+    population: &Population,
+    pool: usize,
+    cfg: &TrainConfig,
+    price_grid: usize,
+    max_rounds: usize,
+    tol: f64,
+    exec: Option<&mbm_par::Pool>,
+) -> Result<FullLoopOutcome, LearnError> {
     if max_rounds == 0 {
         return Err(LearnError::invalid("full_loop: max_rounds must be positive"));
     }
@@ -242,7 +369,7 @@ pub fn full_loop(
     let mut miners = learn_miner_strategies(params, &prices, budget, population, pool, cfg)?;
     for _ in 0..max_rounds {
         let (next, learned) =
-            adapt_prices(params, &prices, budget, population, pool, cfg, price_grid)?;
+            adapt_prices_impl(params, &prices, budget, population, pool, cfg, price_grid, exec)?;
         residual = (next.edge - prices.edge).abs().max((next.cloud - prices.cloud).abs());
         prices = next;
         miners = learned;
@@ -327,6 +454,44 @@ mod tests {
         assert!(out.miners.blocks > 0);
         assert!(full_loop(&p, &Prices::new(3.0, 1.5).unwrap(), 150.0, &pop, 4, &cfg, 6, 0, 0.3)
             .is_err());
+    }
+
+    #[test]
+    fn parallel_price_adaptation_is_bitwise_equal_to_serial() {
+        let p = params();
+        let pop = Population::fixed(4).unwrap();
+        let cfg = TrainConfig { periods: 8, ..Default::default() };
+        let start = Prices::new(3.0, 1.5).unwrap();
+        let serial = adapt_prices(&p, &start, 150.0, &pop, 4, &cfg, 5).unwrap();
+        for threads in [1, 2, 4] {
+            let exec = mbm_par::Pool::new(threads);
+            let par = adapt_prices_par(&p, &start, 150.0, &pop, 4, &cfg, 5, &exec).unwrap();
+            assert_eq!(serial, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn ensemble_matches_independent_serial_runs() {
+        let p = params();
+        let pr = prices();
+        let pop = Population::fixed(4).unwrap();
+        let cfg = TrainConfig { periods: 6, ..Default::default() };
+        let seeds = [1u64, 7, 42, 1234];
+        let exec = mbm_par::Pool::new(3);
+        let ensemble = learn_ensemble(&p, &pr, 100.0, &pop, 4, &cfg, &seeds, &exec).unwrap();
+        assert_eq!(ensemble.len(), seeds.len());
+        for (seed, run) in seeds.iter().zip(&ensemble) {
+            let one = learn_miner_strategies(
+                &p,
+                &pr,
+                100.0,
+                &pop,
+                4,
+                &TrainConfig { seed: *seed, ..cfg },
+            )
+            .unwrap();
+            assert_eq!(&one, run, "seed = {seed}");
+        }
     }
 
     #[test]

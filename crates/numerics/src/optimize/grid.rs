@@ -58,6 +58,32 @@ pub fn adaptive_grid_max<F>(
 where
     F: FnMut(f64) -> f64,
 {
+    adaptive_grid_max_batch(|xs| xs.iter().map(|&x| f(x)).collect(), lo, hi, points, rounds)
+}
+
+/// Batch-evaluator form of [`adaptive_grid_max`]: each refinement round hands
+/// the *whole* candidate grid to `eval_batch` at once, which may compute the
+/// values in any order (e.g. on a thread pool) as long as `eval_batch(xs)[k]`
+/// is the objective at `xs[k]`.
+///
+/// Candidate selection is a fixed serial scan over the returned values, so
+/// the result is bitwise identical no matter how the batch was computed —
+/// this is the determinism seam the parallel Stackelberg pipeline relies on.
+///
+/// # Errors
+///
+/// As [`adaptive_grid_max`]; additionally [`NumericsError::InvalidInput`] if
+/// `eval_batch` returns a vector of the wrong length.
+pub fn adaptive_grid_max_batch<F>(
+    mut eval_batch: F,
+    lo: f64,
+    hi: f64,
+    points: usize,
+    rounds: usize,
+) -> Result<GridResult, NumericsError>
+where
+    F: FnMut(&[f64]) -> Vec<f64>,
+{
     if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
         return Err(NumericsError::invalid("adaptive_grid_max: need finite lo < hi"));
     }
@@ -72,14 +98,23 @@ where
     let mut best_x = f64::NAN;
     let mut best_v = f64::NEG_INFINITY;
     let mut evals = 0;
+    let mut xs = Vec::with_capacity(points);
     for _ in 0..rounds {
         let step = (b - a) / (points - 1) as f64;
+        xs.clear();
+        xs.extend((0..points).map(|k| a + step * k as f64));
+        let values = eval_batch(&xs);
+        if values.len() != points {
+            return Err(NumericsError::invalid(
+                "adaptive_grid_max_batch: evaluator returned wrong number of values",
+            ));
+        }
+        evals += points;
+        // Selection is a strict first-max scan in grid order: independent of
+        // the evaluation order inside `eval_batch`.
         let mut round_best_x = f64::NAN;
         let mut round_best_v = f64::NEG_INFINITY;
-        for k in 0..points {
-            let x = a + step * k as f64;
-            let v = f(x);
-            evals += 1;
+        for (&x, &v) in xs.iter().zip(&values) {
             if v.is_finite() && v > round_best_v {
                 round_best_v = v;
                 round_best_x = x;
@@ -100,6 +135,28 @@ where
         }
     }
     Ok(GridResult { x: best_x, value: best_v, evaluations: evals })
+}
+
+/// Parallel [`adaptive_grid_max`]: evaluates each round's candidate grid on
+/// `pool`, with selection identical to the serial scan (see
+/// [`adaptive_grid_max_batch`]), so results are bitwise equal to
+/// [`adaptive_grid_max`] at any thread count.
+///
+/// # Errors
+///
+/// As [`adaptive_grid_max`].
+pub fn adaptive_grid_max_par<F>(
+    pool: &mbm_par::Pool,
+    f: F,
+    lo: f64,
+    hi: f64,
+    points: usize,
+    rounds: usize,
+) -> Result<GridResult, NumericsError>
+where
+    F: Fn(f64) -> f64 + Sync,
+{
+    adaptive_grid_max_batch(|xs| pool.par_map(xs, |_, &x| f(x)), lo, hi, points, rounds)
 }
 
 #[cfg(test)]
@@ -141,6 +198,25 @@ mod tests {
         assert!(adaptive_grid_max(|x| x, 1.0, 0.0, 11, 3).is_err());
         assert!(adaptive_grid_max(|x| x, 0.0, 1.0, 2, 3).is_err());
         assert!(adaptive_grid_max(|x| x, 0.0, 1.0, 11, 0).is_err());
+    }
+
+    #[test]
+    fn parallel_grid_is_bitwise_equal_to_serial() {
+        let f = |x: f64| (x * 3.7).sin() + 0.3 * (x * 0.9).cos() - 0.01 * x * x;
+        let serial = adaptive_grid_max(f, -2.0, 8.0, 33, 6).unwrap();
+        for threads in [1, 2, 4, 9] {
+            let pool = mbm_par::Pool::new(threads);
+            let par = adaptive_grid_max_par(&pool, f, -2.0, 8.0, 33, 6).unwrap();
+            assert_eq!(serial.x.to_bits(), par.x.to_bits(), "threads = {threads}");
+            assert_eq!(serial.value.to_bits(), par.value.to_bits(), "threads = {threads}");
+            assert_eq!(serial.evaluations, par.evaluations);
+        }
+    }
+
+    #[test]
+    fn batch_length_mismatch_is_an_error() {
+        let err = adaptive_grid_max_batch(|_| vec![1.0], 0.0, 1.0, 11, 3).unwrap_err();
+        assert!(matches!(err, NumericsError::InvalidInput { .. }));
     }
 
     #[test]

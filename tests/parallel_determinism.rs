@@ -1,0 +1,107 @@
+//! Integration properties of the execution layer: the parallel substrate and
+//! the payoff memo cache must never change *what* the pipeline computes —
+//! only how fast. Randomized markets are solved serial vs multi-threaded
+//! (bitwise equality) and cached vs differently-cached (capacity/thread
+//! invariance); PoW grinds are cross-checked chunked vs linear.
+
+use proptest::prelude::*;
+
+use mbm_chain_sim::pow::{Puzzle, Target};
+use mbm_core::params::{MarketParams, Provider};
+use mbm_core::stackelberg::{solve_connected, ExecConfig, StackelbergConfig};
+use mbm_par::Pool;
+
+/// Markets in the regime where the leader game has a pure equilibrium
+/// (`C_e` above the CSP's stationary price — see EXPERIMENTS.md).
+fn market(c_e: f64, beta: f64, h: f64) -> MarketParams {
+    MarketParams::builder()
+        .reward(100.0)
+        .fork_rate(beta)
+        .edge_availability(h)
+        .esp(Provider::new(c_e, 15.0).unwrap())
+        .csp(Provider::new(1.0, 8.0).unwrap())
+        .e_max(5.0)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    // Each case is several full Stackelberg solves; keep the count small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Thread-count invariance, cache off: the parallel candidate evaluator
+    /// reproduces the serial pipeline bit for bit on arbitrary markets.
+    #[test]
+    fn full_solve_is_thread_count_invariant(
+        c_e in 8.0f64..12.0,
+        beta in 0.1f64..0.4,
+        h in 0.6f64..0.95,
+        b0 in 60.0f64..140.0,
+        b1 in 150.0f64..260.0,
+    ) {
+        let params = market(c_e, beta, h);
+        let budgets = [b0, 0.5 * (b0 + b1), b1];
+        let serial = StackelbergConfig::default();
+        let reference = solve_connected(&params, &budgets, &serial).ok();
+        for threads in [2usize, 4] {
+            let cfg = StackelbergConfig {
+                exec: ExecConfig { threads, cache_capacity: 0 },
+                ..serial
+            };
+            let got = solve_connected(&params, &budgets, &cfg).ok();
+            prop_assert_eq!(&got, &reference, "threads = {}", threads);
+        }
+    }
+
+    /// Cache invariance: with memoization on, the solution is a pure
+    /// function of the quantized market — capacity (eviction pressure) and
+    /// thread count must not move a single bit.
+    #[test]
+    fn cached_solve_is_capacity_and_thread_invariant(
+        c_e in 8.0f64..12.0,
+        beta in 0.1f64..0.4,
+        b0 in 60.0f64..140.0,
+    ) {
+        let params = market(c_e, beta, 0.8);
+        let budgets = [b0, b0 + 40.0, b0 + 90.0];
+        let base = StackelbergConfig {
+            exec: ExecConfig { threads: 1, cache_capacity: 1 },
+            ..StackelbergConfig::default()
+        };
+        let reference = solve_connected(&params, &budgets, &base).ok();
+        for (threads, capacity) in [(1usize, 1usize << 16), (4, 1), (4, 1 << 16)] {
+            let cfg = StackelbergConfig {
+                exec: ExecConfig { threads, cache_capacity: capacity },
+                ..base
+            };
+            let got = solve_connected(&params, &budgets, &cfg).ok();
+            prop_assert_eq!(&got, &reference, "threads = {}, capacity = {}", threads, capacity);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The chunked first-hit PoW search finds a solution whenever the linear
+    /// scan does — and the *same* one (lowest nonce, same attempt count).
+    #[test]
+    fn parallel_pow_solve_matches_serial(
+        seed in any::<u64>(),
+        start in any::<u64>(),
+        inv_p in 2_000.0f64..60_000.0,
+        chunks in 1u64..5,
+        slack in 0u64..2_000,
+    ) {
+        let target = Target::from_success_probability(1.0 / inv_p).unwrap();
+        let puzzle = Puzzle::new(seed.to_le_bytes().to_vec(), target);
+        let budget = chunks * Puzzle::PAR_CHUNK + slack;
+        let pool = Pool::new(4);
+        let serial = puzzle.solve(start, budget);
+        let parallel = puzzle.solve_par(&pool, start, budget);
+        prop_assert_eq!(&parallel, &serial);
+        if let Some(sol) = &serial {
+            prop_assert!(puzzle.verify(sol.nonce), "serial-found nonce must verify");
+        }
+    }
+}

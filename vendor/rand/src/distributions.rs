@@ -1,0 +1,184 @@
+//! Distributions: the [`Standard`] distribution behind `Rng::gen` and the
+//! uniform-range machinery behind `Rng::gen_range`.
+
+use crate::Rng;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: uniform over all values for
+/// integers and `bool`, uniform on `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits, exactly as upstream `rand`.
+        let r = rng;
+        (r.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        let r = rng;
+        (r.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                let r = rng;
+                r.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        let r = rng;
+        // Use the top bit (strongest bit of xoshiro output).
+        r.next_u64() >> 63 == 1
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling from ranges.
+
+    use crate::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be sampled uniformly from a bounded range.
+    pub trait SampleUniform: Sized + Copy + PartialOrd {
+        /// Uniform sample from `[lo, hi)` (`inclusive = false`) or
+        /// `[lo, hi]` (`inclusive = true`). Panics on an empty range, like
+        /// upstream `rand`.
+        fn sample_between<R: Rng + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
+            -> Self;
+    }
+
+    /// Range forms accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one sample from the range.
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_between(self.start, self.end, false, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_between(*self.start(), *self.end(), true, rng)
+        }
+    }
+
+    macro_rules! impl_uniform_uint {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: Rng + ?Sized>(
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    let r = rng;
+                    let (lo64, hi64) = (lo as u64, hi as u64);
+                    assert!(
+                        if inclusive { lo64 <= hi64 } else { lo64 < hi64 },
+                        "gen_range: empty range"
+                    );
+                    let span = if inclusive {
+                        match hi64.wrapping_sub(lo64).checked_add(1) {
+                            Some(s) => s,
+                            // Full u64 domain.
+                            None => return r.next_u64() as $t,
+                        }
+                    } else {
+                        hi64 - lo64
+                    };
+                    // Widening-multiply bounded sample (Lemire); the modulo
+                    // bias at 64 bits is far below anything observable.
+                    let x = ((r.next_u64() as u128 * span as u128) >> 64) as u64;
+                    (lo64 + x) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: Rng + ?Sized>(
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    let r = rng;
+                    assert!(
+                        if inclusive { lo <= hi } else { lo < hi },
+                        "gen_range: empty range"
+                    );
+                    let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                    let span = if inclusive {
+                        match span.checked_add(1) {
+                            Some(s) => s,
+                            None => return r.next_u64() as $t,
+                        }
+                    } else {
+                        span
+                    };
+                    let x = ((r.next_u64() as u128 * span as u128) >> 64) as u64;
+                    ((lo as i64).wrapping_add(x as i64)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_uniform_int!(i8, i16, i32, i64, isize);
+
+    /// Largest `f64` strictly below `x` (toward negative infinity).
+    fn next_below(x: f64) -> f64 {
+        if x > 0.0 {
+            f64::from_bits(x.to_bits() - 1)
+        } else if x < 0.0 {
+            f64::from_bits(x.to_bits() + 1)
+        } else {
+            -f64::MIN_POSITIVE
+        }
+    }
+
+    impl SampleUniform for f64 {
+        fn sample_between<R: Rng + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+            let r = rng;
+            assert!(lo < hi || (inclusive && lo == hi), "gen_range: empty range");
+            let unit = (r.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let v = lo + (hi - lo) * unit;
+            // Guard the open upper bound against rounding.
+            if !inclusive && v >= hi {
+                next_below(hi)
+            } else {
+                v
+            }
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn sample_between<R: Rng + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+            f64::sample_between(lo as f64, hi as f64, inclusive, rng) as f32
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard seeded generator: xoshiro256**.
+///
+/// Upstream `rand`'s `StdRng` is ChaCha12, so seeded streams differ from
+/// the real crate, but this generator is deterministic across platforms and
+/// passes the usual statistical batteries (BigCrush, PractRand at scale),
+/// which is what the simulators and learners here depend on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // xoshiro must not start from the all-zero state; remix through
+        // SplitMix64 like the reference implementation recommends.
+        if s == [0; 4] {
+            let mut state = 0x9E37_79B9_7F4A_7C15u64;
+            for slot in &mut s {
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *slot = z ^ (z >> 31);
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            }
+        }
+        StdRng { s }
+    }
+}

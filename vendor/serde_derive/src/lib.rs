@@ -1,0 +1,522 @@
+//! Derive macros for the vendored offline `serde` stand-in.
+//!
+//! Parses the item by walking raw [`proc_macro`] token trees (no `syn` or
+//! `quote` — the build environment has no registry access) and emits
+//! `serde::Serialize` / `serde::Deserialize` impls against the stand-in's
+//! value-tree data model. Supports what the workspace uses: non-generic
+//! structs with named fields, tuple structs, and enums with unit, newtype,
+//! tuple, and struct variants, plus the `#[serde(skip)]` and
+//! `#[serde(default = "path")]` field attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    ty: String,
+    skip: bool,
+    default_fn: Option<String>,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().expect("valid error tokens")
+        }
+    };
+    let code = match dir {
+        Direction::Serialize => gen_serialize(&item),
+        Direction::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().expect("derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde derive: expected struct/enum, got {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde derive: expected item name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde derive (vendored): generic type `{name}` is not supported"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct { name, fields: parse_fields(g.stream())? })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct { name, arity: count_top_level(g.stream()) })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("serde derive: unexpected struct body {other:?}")),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Enum { name, variants: parse_variants(g.stream())? })
+            }
+            other => Err(format!("serde derive: unexpected enum body {other:?}")),
+        },
+        other => Err(format!("serde derive: unsupported item kind `{other}`")),
+    }
+}
+
+/// Parses `#[serde(...)]` contents into (skip, default_fn).
+fn parse_serde_attr(stream: TokenStream, skip: &mut bool, default_fn: &mut Option<String>) {
+    let mut tokens = stream.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            match id.to_string().as_str() {
+                "skip" | "skip_serializing" | "skip_deserializing" => *skip = true,
+                "default" => {
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        if p.as_char() == '=' {
+                            tokens.next();
+                            if let Some(TokenTree::Literal(lit)) = tokens.next() {
+                                let raw = lit.to_string();
+                                *default_fn =
+                                    Some(raw.trim_matches('"').to_string());
+                            }
+                        }
+                    }
+                    if default_fn.is_none() {
+                        *default_fn = Some(String::new()); // bare `default`
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        let mut skip = false;
+        let mut default_fn: Option<String> = None;
+        // Attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.next() {
+                        let mut inner = g.stream().into_iter();
+                        if let Some(TokenTree::Ident(id)) = inner.next() {
+                            if id.to_string() == "serde" {
+                                if let Some(TokenTree::Group(args)) = inner.next() {
+                                    parse_serde_attr(args.stream(), &mut skip, &mut default_fn);
+                                }
+                            }
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde derive: expected field name, got {other:?}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde derive: expected `:`, got {other:?}")),
+        }
+        // Type: everything until a comma at angle-bracket depth zero.
+        let mut ty = String::new();
+        let mut depth = 0i32;
+        for tt in tokens.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            if !ty.is_empty() {
+                ty.push(' ');
+            }
+            ty.push_str(&tt.to_string());
+        }
+        fields.push(Field { name, ty, skip, default_fn });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Attributes (doc comments etc.).
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde derive: expected variant name, got {other:?}")),
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream())?;
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Discriminant (`= expr`) or separator.
+        let mut depth = 0i32;
+        while let Some(tt) = tokens.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                _ => {}
+            }
+            tokens.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+/// Number of comma-separated entries at the top level of a token stream
+/// (tuple-struct arity), ignoring a trailing comma.
+fn count_top_level(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut saw_tokens = false;
+    let mut last_was_comma = false;
+    for tt in stream {
+        saw_tokens = true;
+        last_was_comma = false;
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                last_was_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if !saw_tokens {
+        0
+    } else if last_was_comma {
+        count
+    } else {
+        count + 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = String::from(
+                "let mut __m: Vec<(String, serde::Value)> = Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                body.push_str(&format!(
+                    "__m.push((String::from({n:?}), serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            body.push_str("serde::Value::Map(__m)");
+            impl_serialize(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("serde::Value::Seq(vec![{}])", items.join(", "))
+            };
+            impl_serialize(name, &body)
+        }
+        Item::UnitStruct { name } => impl_serialize(name, "serde::Value::Null"),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => serde::Value::Str(String::from({v:?})),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> =
+                            (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => serde::Value::Map(vec![(String::from({v:?}), {inner})]),\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from(
+                            "{ let mut __vm: Vec<(String, serde::Value)> = Vec::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__vm.push((String::from({n:?}), serde::Serialize::to_value({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        inner.push_str("serde::Value::Map(__vm) }");
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => serde::Value::Map(vec![(String::from({v:?}), {inner})]),\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\nimpl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn missing_field_expr(item: &str, f: &Field) -> String {
+    match &f.default_fn {
+        Some(path) if !path.is_empty() => format!("{path}()"),
+        Some(_) => "::core::default::Default::default()".to_string(),
+        None if f.ty.starts_with("Option") => "::core::option::Option::None".to_string(),
+        None => format!(
+            "return ::core::result::Result::Err(serde::Error::msg(\"{item}: missing field `{n}`\"))",
+            n = f.name
+        ),
+    }
+}
+
+fn named_fields_from_map(item: &str, ctor: &str, fields: &[Field], map_expr: &str) -> String {
+    let mut body = format!("let __m = {map_expr};\n");
+    body.push_str(&format!("::core::result::Result::Ok({ctor} {{\n"));
+    for f in fields {
+        if f.skip {
+            body.push_str(&format!("{n}: {e},\n", n = f.name, e = missing_field_expr(item, f)));
+        } else {
+            body.push_str(&format!(
+                "{n}: match serde::map_get(__m, {n:?}) {{\n\
+                 ::core::option::Option::Some(__v) => serde::Deserialize::from_value(__v)?,\n\
+                 ::core::option::Option::None => {e},\n}},\n",
+                n = f.name,
+                e = missing_field_expr(item, f)
+            ));
+        }
+    }
+    body.push_str("})");
+    body
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let body = named_fields_from_map(
+                name,
+                name,
+                fields,
+                &format!(
+                    "match __value {{ serde::Value::Map(m) => m.as_slice(), _ => \
+                     return ::core::result::Result::Err(serde::Error::msg(\"{name}: expected map\")) }}"
+                ),
+            );
+            impl_deserialize(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!(
+                    "::core::result::Result::Ok({name}(serde::Deserialize::from_value(__value)?))"
+                )
+            } else {
+                let mut b = format!(
+                    "let __s = __value.as_seq().ok_or_else(|| serde::Error::msg(\"{name}: expected sequence\"))?;\n\
+                     if __s.len() != {arity} {{ return ::core::result::Result::Err(serde::Error::msg(\"{name}: wrong tuple length\")); }}\n"
+                );
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("serde::Deserialize::from_value(&__s[{i}])?"))
+                    .collect();
+                b.push_str(&format!(
+                    "::core::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                ));
+                b
+            };
+            impl_deserialize(name, &body)
+        }
+        Item::UnitStruct { name } => {
+            impl_deserialize(name, &format!("::core::result::Result::Ok({name})"))
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "{v:?} => ::core::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let inner = if *arity == 1 {
+                            format!(
+                                "::core::result::Result::Ok({name}::{v}(serde::Deserialize::from_value(__inner)?))",
+                                v = v.name
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| format!("serde::Deserialize::from_value(&__s[{i}])?"))
+                                .collect();
+                            format!(
+                                "{{ let __s = __inner.as_seq().ok_or_else(|| serde::Error::msg(\"{name}::{v}: expected sequence\"))?;\n\
+                                 if __s.len() != {arity} {{ return ::core::result::Result::Err(serde::Error::msg(\"{name}::{v}: wrong tuple length\")); }}\n\
+                                 ::core::result::Result::Ok({name}::{v}({items})) }}",
+                                v = v.name,
+                                items = items.join(", ")
+                            )
+                        };
+                        data_arms.push_str(&format!("{v:?} => {inner},\n", v = v.name));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let body = named_fields_from_map(
+                            &format!("{name}::{v}", v = v.name),
+                            &format!("{name}::{v}", v = v.name),
+                            fields,
+                            &format!(
+                                "match __inner {{ serde::Value::Map(m) => m.as_slice(), _ => \
+                                 return ::core::result::Result::Err(serde::Error::msg(\"{name}::{v}: expected map\")) }}",
+                                v = v.name
+                            ),
+                        );
+                        data_arms.push_str(&format!("{v:?} => {{ {body} }},\n", v = v.name));
+                    }
+                }
+            }
+            let body = format!(
+                "match __value {{\n\
+                 serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::core::result::Result::Err(serde::Error::msg(format!(\"{name}: unknown variant `{{__other}}`\"))),\n}},\n\
+                 serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __inner) = (&__m[0].0, &__m[0].1);\n\
+                 match __tag.as_str() {{\n{data_arms}\
+                 __other => ::core::result::Result::Err(serde::Error::msg(format!(\"{name}: unknown variant `{{__other}}`\"))),\n}}\n}},\n\
+                 _ => ::core::result::Result::Err(serde::Error::msg(\"{name}: expected variant string or single-entry map\")),\n}}"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\nimpl serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &serde::Value) -> ::core::result::Result<Self, serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
