@@ -14,9 +14,8 @@ use mbm_learn::trainer::{learn_miner_strategies, TrainConfig};
 
 fn bench_single_race(c: &mut Criterion) {
     let delays = DelayModel::new(10.0, 0.0).expect("valid delays");
-    let powers: Vec<MinerPower> = (0..5)
-        .map(|i| MinerPower::new(1.0 + i as f64 * 0.3, 2.0).expect("valid power"))
-        .collect();
+    let powers: Vec<MinerPower> =
+        (0..5).map(|i| MinerPower::new(1.0 + i as f64 * 0.3, 2.0).expect("valid power")).collect();
     let mut rng = StdRng::seed_from_u64(7);
     c.bench_function("single_race_n5", |b| {
         b.iter(|| run_race(&powers, 0.01, &delays, &mut rng).expect("race"))

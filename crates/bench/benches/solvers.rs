@@ -3,6 +3,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use mbm_core::params::{MarketParams, Prices};
+use mbm_core::stackelberg::{solve_connected, StackelbergConfig};
 use mbm_core::subgame::connected::{
     analytic_best_response, solve_connected_miner_subgame, solve_symmetric_connected,
     BestResponseInputs,
@@ -10,7 +11,6 @@ use mbm_core::subgame::connected::{
 use mbm_core::subgame::dynamic::{solve_symmetric_dynamic, DynamicConfig, Population};
 use mbm_core::subgame::standalone::solve_standalone_miner_subgame;
 use mbm_core::subgame::SubgameConfig;
-use mbm_core::stackelberg::{solve_connected, StackelbergConfig};
 
 fn params() -> MarketParams {
     MarketParams::builder()
@@ -107,9 +107,7 @@ fn bench_regret_matching(c: &mut Criterion) {
 
 fn bench_gauss_hermite(c: &mut Criterion) {
     use mbm_numerics::quadrature::GaussHermite;
-    c.bench_function("gauss_hermite_rule_40", |b| {
-        b.iter(|| GaussHermite::new(40).expect("rule"))
-    });
+    c.bench_function("gauss_hermite_rule_40", |b| b.iter(|| GaussHermite::new(40).expect("rule")));
     let gh = GaussHermite::new(40).expect("rule");
     c.bench_function("gauss_hermite_expectation_40", |b| {
         b.iter(|| gh.gaussian_expectation(10.0, 2.0, |x| 1.0 / (1.0 + x * x)))

@@ -64,9 +64,7 @@ fn variational_vs_clip() {
     let ve_res = standalone_residual(&params, &prices, &budgets, &ve.requests).unwrap_or(f64::NAN);
 
     // Naive: h = 1 unconstrained NEP, then scale the edge coordinates.
-    let h1 = baseline_market()
-        .with_e_max(2.0)
-        .expect("valid capacity");
+    let h1 = baseline_market().with_e_max(2.0).expect("valid capacity");
     let unconstrained = {
         let p = mbm_core::params::MarketParams::builder()
             .reward(h1.reward())
@@ -91,10 +89,7 @@ fn variational_vs_clip() {
     emit_table(
         "ABL-2: variational equilibrium vs naive clip-to-capacity (standalone, E_max = 2)",
         &["method", "E_total", "vi_residual"],
-        &[
-            vec![0.0, ve.aggregates.edge, ve_res],
-            vec![1.0, clip_e, clip_res],
-        ],
+        &[vec![0.0, ve.aggregates.edge, ve_res], vec![1.0, clip_e, clip_res]],
     );
     println!("# method 0 = variational equilibrium, 1 = naive clip\n");
 }
@@ -106,7 +101,9 @@ fn price_cap_sensitivity() {
         let params = leader_ne_market().with_esp(Provider::new(7.0, cap).expect("valid provider"));
         let sol = solve_connected(&params, &[BUDGET; N_MINERS], &StackelbergConfig::default());
         match sol {
-            Ok(s) => rows.push(vec![cap, s.prices.edge, s.prices.cloud, s.esp_profit, s.csp_profit]),
+            Ok(s) => {
+                rows.push(vec![cap, s.prices.edge, s.prices.cloud, s.esp_profit, s.csp_profit])
+            }
             Err(_) => rows.push(vec![cap, f64::NAN, f64::NAN, f64::NAN, f64::NAN]),
         }
     }

@@ -10,7 +10,16 @@
 //!
 //! Every parallel path is bitwise-deterministic, so the parallel results are
 //! asserted equal to the serial ones before a timing is accepted. Usage:
-//! `cargo run --release -p mbm-bench --bin bench1 [output.json]`.
+//! `cargo run --release -p mbm-bench --bin bench1 [output.json] [telemetry.json]`.
+//!
+//! Each record carries a `floor`: the minimum speedup CI accepts for it. The
+//! binary exits non-zero when any measured speedup lands below its floor, so
+//! the bench-smoke job fails on a real perf regression, not just a crash.
+//! Timing runs with the global recorder *disabled* (the zero-overhead
+//! configuration); afterwards one untimed telemetry pass re-runs the
+//! Stackelberg workload with the recorder on and writes the full snapshot —
+//! plus an `obs_overhead_on_vs_off` record comparing the two modes — to the
+//! second output path (default `TELEMETRY.json`).
 
 use std::time::Instant;
 
@@ -31,6 +40,10 @@ struct BenchRecord {
     serial_ms: f64,
     parallel_ms: f64,
     speedup: f64,
+    /// Minimum acceptable speedup; `0.0` marks an informational record
+    /// (parallel gains depend on the runner's core count, so only the
+    /// machine-independent memoization bench carries a hard floor).
+    floor: f64,
 }
 
 #[derive(Serialize)]
@@ -67,7 +80,7 @@ fn bench_stackelberg(threads: usize) -> BenchRecord {
     let serial_cfg =
         StackelbergConfig { leader: LeaderParams::reference(), ..StackelbergConfig::default() };
     let par_cfg = StackelbergConfig {
-        exec: ExecConfig { threads, cache_capacity: 1 << 16 },
+        exec: ExecConfig { threads, cache_capacity: 1 << 16, telemetry: false },
         ..serial_cfg
     };
     let (serial, serial_ms) =
@@ -90,6 +103,7 @@ fn bench_stackelberg(threads: usize) -> BenchRecord {
         serial_ms,
         parallel_ms,
         speedup: serial_ms / parallel_ms,
+        floor: 0.0,
     }
 }
 
@@ -142,7 +156,11 @@ fn bench_multistart_memoized() -> BenchRecord {
         name: "stackelberg_multistart_memoized".into(),
         serial_ms,
         parallel_ms: memo_ms,
+        // Memoization gains are single-core and machine-independent (the
+        // multi-start workload re-traverses the converged grid), so this
+        // record carries the one hard floor of the suite.
         speedup: serial_ms / memo_ms,
+        floor: 1.3,
     }
 }
 
@@ -156,29 +174,26 @@ fn bench_fig2_sweep(pool: &Pool) -> BenchRecord {
     let run_bin = |i: usize| {
         split_rate_curve(rate, &delays[i..=i], samples, 2027 + i as u64).expect("valid config")
     };
-    let (serial, serial_ms) = best_of(2, || {
-        time_ms(|| (0..delays.len()).map(run_bin).collect::<Vec<_>>())
-    });
-    let (parallel, parallel_ms) =
-        best_of(2, || time_ms(|| pool.par_eval(delays.len(), run_bin)));
+    let (serial, serial_ms) =
+        best_of(2, || time_ms(|| (0..delays.len()).map(run_bin).collect::<Vec<_>>()));
+    let (parallel, parallel_ms) = best_of(2, || time_ms(|| pool.par_eval(delays.len(), run_bin)));
     assert_eq!(serial, parallel, "fig2 sweep must be bitwise deterministic");
     BenchRecord {
         name: "fig2_split_rate_sweep".into(),
         serial_ms,
         parallel_ms,
         speedup: serial_ms / parallel_ms,
+        floor: 0.0,
     }
 }
 
 fn bench_pow(pool: &Pool) -> BenchRecord {
     let target = Target::from_success_probability(1.0 / 400_000.0).expect("valid target");
-    let headers: Vec<Puzzle> = (0..4)
-        .map(|i| Puzzle::new(format!("bench1 header {i}").into_bytes(), target))
-        .collect();
+    let headers: Vec<Puzzle> =
+        (0..4).map(|i| Puzzle::new(format!("bench1 header {i}").into_bytes(), target)).collect();
     let budget = 40 * Puzzle::PAR_CHUNK;
-    let (serial, serial_ms) = best_of(2, || {
-        time_ms(|| headers.iter().map(|p| p.solve(0, budget)).collect::<Vec<_>>())
-    });
+    let (serial, serial_ms) =
+        best_of(2, || time_ms(|| headers.iter().map(|p| p.solve(0, budget)).collect::<Vec<_>>()));
     let (parallel, parallel_ms) = best_of(2, || {
         time_ms(|| headers.iter().map(|p| p.solve_par(pool, 0, budget)).collect::<Vec<_>>())
     });
@@ -188,7 +203,52 @@ fn bench_pow(pool: &Pool) -> BenchRecord {
         serial_ms,
         parallel_ms,
         speedup: serial_ms / parallel_ms,
+        floor: 0.0,
     }
+}
+
+/// Recorder-enabled vs recorder-disabled wall clock of the same serial
+/// Stackelberg solve. `serial_ms` is the disabled run, `parallel_ms` the
+/// enabled run; `speedup` < 1 is the (tiny) cost of live telemetry. The
+/// floor guards against an instrumentation change turning the recorder into
+/// a hot-path cost: enabled may never be 2× slower than disabled.
+fn bench_obs_overhead() -> BenchRecord {
+    let params = leader_ne_market();
+    let budgets = [80.0, 120.0, 160.0, 200.0, 240.0];
+    let off_cfg = StackelbergConfig::default();
+    let on_cfg = StackelbergConfig { exec: off_cfg.exec.with_telemetry(), ..off_cfg };
+    let rec = mbm_obs::global();
+    let (off, off_ms) =
+        best_of(2, || time_ms(|| solve_connected(&params, &budgets, &off_cfg).ok()));
+    rec.set_enabled(true);
+    let (on, on_ms) = best_of(2, || time_ms(|| solve_connected(&params, &budgets, &on_cfg).ok()));
+    rec.set_enabled(false);
+    assert_eq!(off, on, "telemetry must never change results");
+    BenchRecord {
+        name: "obs_overhead_on_vs_off".into(),
+        serial_ms: off_ms,
+        parallel_ms: on_ms,
+        speedup: off_ms / on_ms,
+        floor: 0.5,
+    }
+}
+
+/// Untimed telemetry pass: re-runs the Stackelberg workload with the global
+/// recorder on so the written snapshot holds real solver counters, leader
+/// traces, cache stats, pool fan-out, and span timings.
+fn collect_telemetry(threads: usize) -> mbm_obs::Snapshot {
+    let rec = mbm_obs::global();
+    rec.reset();
+    rec.set_enabled(true);
+    let params = leader_ne_market();
+    let budgets = [80.0, 120.0, 160.0, 200.0, 240.0];
+    let cfg = StackelbergConfig {
+        exec: ExecConfig { threads, cache_capacity: 1 << 16, telemetry: true },
+        ..StackelbergConfig::default()
+    };
+    let _ = solve_connected(&params, &budgets, &cfg);
+    rec.set_enabled(false);
+    rec.snapshot()
 }
 
 fn main() {
@@ -200,6 +260,7 @@ fn main() {
             bench_multistart_memoized(),
             bench_fig2_sweep(pool),
             bench_pow(pool),
+            bench_obs_overhead(),
         ],
     };
     let json = serde_json::to_string_pretty(&report).expect("serializable report");
@@ -207,4 +268,25 @@ fn main() {
     std::fs::write(&path, &json).expect("writable output path");
     println!("{json}");
     println!("wrote {path}");
+
+    let snapshot = collect_telemetry(pool.threads());
+    let doc = mbm_bench::telemetry::telemetry_document(
+        &snapshot,
+        vec![("threads".into(), serde::Value::U64(pool.threads() as u64))],
+    );
+    let telemetry_json = serde_json::to_string_pretty(&doc).expect("serializable telemetry");
+    let telemetry_path = std::env::args().nth(2).unwrap_or_else(|| "TELEMETRY.json".into());
+    std::fs::write(&telemetry_path, &telemetry_json).expect("writable telemetry path");
+    println!("wrote {telemetry_path}");
+
+    let mut failed = false;
+    for b in &report.benches {
+        if b.floor > 0.0 && b.speedup < b.floor {
+            eprintln!("FAIL: {} speedup {:.2} below floor {:.2}", b.name, b.speedup, b.floor);
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
 }

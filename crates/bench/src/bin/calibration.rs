@@ -15,10 +15,8 @@ fn main() {
     let observations: Vec<(f64, f64)> = curve.iter().map(|p| (p.delay, p.fork_rate)).collect();
     let model = ForkModel::fit(&observations).expect("fit");
 
-    let rows: Vec<Vec<f64>> = observations
-        .iter()
-        .map(|&(d, b)| vec![d, b, model.beta(d)])
-        .collect();
+    let rows: Vec<Vec<f64>> =
+        observations.iter().map(|&(d, b)| vec![d, b, model.beta(d)]).collect();
     emit_table(
         "Calibration: observed fork rates vs fitted exponential model",
         &["delay_s", "observed_beta", "fitted_beta"],
@@ -31,13 +29,7 @@ fn main() {
     );
 
     // Game-ready betas at representative delays.
-    let rows: Vec<Vec<f64>> = [2.0, 5.0, 10.0, 20.0]
-        .iter()
-        .map(|&d| vec![d, model.beta(d)])
-        .collect();
-    emit_table(
-        "Calibrated beta(D) for the game model",
-        &["delay_s", "beta"],
-        &rows,
-    );
+    let rows: Vec<Vec<f64>> =
+        [2.0, 5.0, 10.0, 20.0].iter().map(|&d| vec![d, model.beta(d)]).collect();
+    emit_table("Calibrated beta(D) for the game model", &["delay_s", "beta"], &rows);
 }

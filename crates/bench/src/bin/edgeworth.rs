@@ -38,7 +38,9 @@ fn main() {
         &rows,
     );
     match trace.detect_cycle(0.05) {
-        Some(p) => println!("# detected price cycle of period {p}; converged = {}\n", trace.converged),
+        Some(p) => {
+            println!("# detected price cycle of period {p}; converged = {}\n", trace.converged)
+        }
         None => println!("# no cycle detected; converged = {}\n", trace.converged),
     }
 
@@ -50,19 +52,15 @@ fn main() {
         &MixedPricingConfig { grid_points: 12, iterations: 150_000, ..Default::default() },
     )
     .expect("mixed equilibrium");
-    let rows: Vec<Vec<f64>> = mixed
-        .edge_grid
-        .iter()
-        .zip(&mixed.edge_strategy)
-        .map(|(&p, &w)| vec![p, w])
-        .collect();
-    emit_table("ESP mixed price strategy (time-average of regret matching)", &["P_e", "mass"], &rows);
-    let rows: Vec<Vec<f64>> = mixed
-        .cloud_grid
-        .iter()
-        .zip(&mixed.cloud_strategy)
-        .map(|(&p, &w)| vec![p, w])
-        .collect();
+    let rows: Vec<Vec<f64>> =
+        mixed.edge_grid.iter().zip(&mixed.edge_strategy).map(|(&p, &w)| vec![p, w]).collect();
+    emit_table(
+        "ESP mixed price strategy (time-average of regret matching)",
+        &["P_e", "mass"],
+        &rows,
+    );
+    let rows: Vec<Vec<f64>> =
+        mixed.cloud_grid.iter().zip(&mixed.cloud_strategy).map(|(&p, &w)| vec![p, w]).collect();
     emit_table("CSP mixed price strategy", &["P_c", "mass"], &rows);
     emit_table(
         "Mixed-equilibrium summary",

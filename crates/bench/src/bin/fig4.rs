@@ -38,7 +38,9 @@ fn main() {
                     p_c * n * r.cloud, // CSP revenue
                 ]);
             }
-            Err(_) => rows.push(vec![p_c, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN]),
+            Err(_) => {
+                rows.push(vec![p_c, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN])
+            }
         }
         p_c += step;
     }

@@ -27,7 +27,16 @@ fn main() {
                 t.standalone.total,
                 if t.capacity_binds { 1.0 } else { 0.0 },
             ]),
-            Err(_) => rows.push(vec![e_max, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN]),
+            Err(_) => rows.push(vec![
+                e_max,
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+            ]),
         }
     }
     emit_table(

@@ -23,9 +23,7 @@ fn main() {
     let params = baseline_market();
     let mut rows = Vec::new();
     for budget in [2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0] {
-        if let Ok(eq) =
-            solve_connected_miner_subgame(&params, &prices, &[budget; N_MINERS], &cfg)
-        {
+        if let Ok(eq) = solve_connected_miner_subgame(&params, &prices, &[budget; N_MINERS], &cfg) {
             let report = MarketReport::new(&params, &prices, &eq);
             let ceiling = welfare_upper_bound_connected(&params);
             rows.push(vec![
@@ -52,9 +50,7 @@ fn main() {
             .edge_availability(0.8)
             .build()
             .expect("valid market");
-        if let Ok(eq) =
-            solve_connected_miner_subgame(&params, &prices, &[1e6; N_MINERS], &cfg)
-        {
+        if let Ok(eq) = solve_connected_miner_subgame(&params, &prices, &[1e6; N_MINERS], &cfg) {
             let report = MarketReport::new(&params, &prices, &eq);
             let ceiling = welfare_upper_bound_connected(&params);
             rows.push(vec![

@@ -9,6 +9,8 @@
 use mbm_core::params::MarketParams;
 use mbm_core::presets;
 
+pub mod telemetry;
+
 /// The baseline market of the paper's evaluation
 /// (see [`mbm_core::presets::paper_baseline`]).
 ///
@@ -53,9 +55,7 @@ pub const COLLISION_TAU: f64 = presets::BITCOIN_COLLISION_TAU;
 pub fn arg_or(index: usize, default: f64) -> f64 {
     match std::env::args().nth(index) {
         None => default,
-        Some(s) => s
-            .parse()
-            .unwrap_or_else(|_| panic!("argument {index} ({s:?}) is not a number")),
+        Some(s) => s.parse().unwrap_or_else(|_| panic!("argument {index} ({s:?}) is not a number")),
     }
 }
 

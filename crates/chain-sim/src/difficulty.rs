@@ -88,8 +88,8 @@ impl DifficultyAdjuster {
             let desired = self.desired_interval * self.window as f64;
             // Blocks too fast (actual < desired): shrink the target.
             let scale = (actual / desired).clamp(1.0 / self.max_adjustment, self.max_adjustment);
-            let new_threshold = ((self.target.threshold() as f64) * scale)
-                .clamp(1.0, u64::MAX as f64) as u64;
+            let new_threshold =
+                ((self.target.threshold() as f64) * scale).clamp(1.0, u64::MAX as f64) as u64;
             self.target = Target::new(new_threshold.max(1))?;
             self.window_start = time;
             self.blocks_in_window = 0;

@@ -56,8 +56,9 @@ pub fn collision_pdf(
     if samples == 0 {
         return Err(SimError::invalid("collision_pdf: samples must be positive"));
     }
-    let dist = Exponential::new(block_rate)
-        .map_err(|_| SimError::invalid(format!("collision_pdf: block_rate = {block_rate} must be > 0")))?;
+    let dist = Exponential::new(block_rate).map_err(|_| {
+        SimError::invalid(format!("collision_pdf: block_rate = {block_rate} must be > 0"))
+    })?;
     let mut hist = Histogram::new(0.0, horizon, bins)
         .map_err(|_| SimError::invalid("collision_pdf: bad horizon/bins"))?;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -123,11 +124,7 @@ mod tests {
         let pdf = collision_pdf(RATE, 60.0, 30, 200_000, 7).unwrap();
         // Compare empirical vs analytic density pointwise.
         for (i, (&got, &want)) in pdf.density.iter().zip(&pdf.analytic).enumerate() {
-            assert!(
-                (got - want).abs() < 0.005,
-                "bin {i} at t = {}: {got} vs {want}",
-                pdf.times[i]
-            );
+            assert!((got - want).abs() < 0.005, "bin {i} at t = {}: {got} vs {want}", pdf.times[i]);
         }
         // Monotone decreasing (allowing sampling noise on a coarse check).
         assert!(pdf.density[0] > pdf.density[10]);

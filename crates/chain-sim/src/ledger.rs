@@ -71,13 +71,8 @@ impl Ledger {
     /// height 0).
     #[must_use]
     pub fn new() -> Self {
-        let genesis = Block {
-            height: 0,
-            parent: zero_digest(),
-            miner: usize::MAX,
-            nonce: 0,
-            timestamp: 0.0,
-        };
+        let genesis =
+            Block { height: 0, parent: zero_digest(), miner: usize::MAX, nonce: 0, timestamp: 0.0 };
         let gh = genesis.hash();
         let mut blocks = HashMap::new();
         blocks.insert(gh, genesis);
@@ -278,7 +273,8 @@ mod tests {
         let mut ledger = Ledger::new();
         let g = ledger.genesis();
         // Unknown parent.
-        let bogus = Block { height: 1, parent: Digest([9; 32]), miner: 0, nonce: 0, timestamp: 0.0 };
+        let bogus =
+            Block { height: 1, parent: Digest([9; 32]), miner: 0, nonce: 0, timestamp: 0.0 };
         assert!(ledger.append(bogus).is_err());
         // Wrong height.
         let wrong = Block { height: 5, parent: g, miner: 0, nonce: 0, timestamp: 0.0 };

@@ -107,6 +107,16 @@ impl Puzzle {
     /// first solution found.
     #[must_use]
     pub fn solve(&self, start: u64, max_attempts: u64) -> Option<Solution> {
+        let rec = mbm_obs::global();
+        let _span = rec.span("chain.pow.solve");
+        let out = self.solve_core(start, max_attempts);
+        if rec.enabled() {
+            Self::record_grind(rec, &out);
+        }
+        out
+    }
+
+    fn solve_core(&self, start: u64, max_attempts: u64) -> Option<Solution> {
         for i in 0..max_attempts {
             let nonce = start.wrapping_add(i);
             let digest = self.hash_with_nonce(nonce);
@@ -115,6 +125,21 @@ impl Puzzle {
             }
         }
         None
+    }
+
+    /// Grind accounting shared by the serial and chunked searches. Attempt
+    /// counts are identical across the two paths (the chunked search returns
+    /// the serial solution bit for bit), so the counters stay
+    /// thread-count-invariant.
+    fn record_grind(rec: &mbm_obs::Recorder, out: &Option<Solution>) {
+        rec.incr("chain.pow.solves");
+        match out {
+            Some(sol) => {
+                rec.incr("chain.pow.solved");
+                rec.add("chain.pow.attempts", sol.attempts);
+            }
+            None => rec.incr("chain.pow.exhausted"),
+        }
     }
 
     /// Verifies a claimed solution.
@@ -136,13 +161,20 @@ impl Puzzle {
     /// *beyond* it, so the lowest-offset hit always surfaces (see
     /// [`mbm_par::Pool::find_first_map`]).
     #[must_use]
-    pub fn solve_par(&self, pool: &mbm_par::Pool, start: u64, max_attempts: u64) -> Option<Solution> {
+    pub fn solve_par(
+        &self,
+        pool: &mbm_par::Pool,
+        start: u64,
+        max_attempts: u64,
+    ) -> Option<Solution> {
         if max_attempts <= Self::PAR_CHUNK || pool.threads() <= 1 {
             return self.solve(start, max_attempts);
         }
+        let rec = mbm_obs::global();
+        let _span = rec.span("chain.pow.solve_par");
         let n_chunks = max_attempts.div_ceil(Self::PAR_CHUNK);
         let n_chunks_usize = usize::try_from(n_chunks).ok()?;
-        pool.find_first_map(n_chunks_usize, |c| {
+        let out = pool.find_first_map(n_chunks_usize, |c| {
             let offset = c as u64 * Self::PAR_CHUNK;
             let len = Self::PAR_CHUNK.min(max_attempts - offset);
             for i in 0..len {
@@ -153,7 +185,12 @@ impl Puzzle {
                 }
             }
             None
-        })
+        });
+        if rec.enabled() {
+            Self::record_grind(rec, &out);
+            rec.observe("chain.pow.par_chunks", n_chunks as f64);
+        }
+        out
     }
 }
 

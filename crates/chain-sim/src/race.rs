@@ -106,6 +106,31 @@ pub fn run_race<R: Rng + ?Sized>(
     delays: &DelayModel,
     rng: &mut R,
 ) -> Result<RaceOutcome, SimError> {
+    let rec = mbm_obs::global();
+    if !rec.enabled() {
+        return run_race_core(powers, unit_rate, delays, rng);
+    }
+    let _span = rec.span("chain.race");
+    let out = run_race_core(powers, unit_rate, delays, rng);
+    match &out {
+        Ok(o) => {
+            rec.incr("chain.race.rounds");
+            if o.forked {
+                rec.incr("chain.race.forks");
+            }
+            rec.observe("chain.race.candidates", o.candidates as f64);
+        }
+        Err(_) => rec.incr("chain.race.errors"),
+    }
+    out
+}
+
+fn run_race_core<R: Rng + ?Sized>(
+    powers: &[MinerPower],
+    unit_rate: f64,
+    delays: &DelayModel,
+    rng: &mut R,
+) -> Result<RaceOutcome, SimError> {
     if !(unit_rate.is_finite() && unit_rate > 0.0) {
         return Err(SimError::invalid(format!("unit_rate = {unit_rate} must be > 0")));
     }
@@ -192,10 +217,7 @@ mod tests {
         // With zero delays there are no forks; wins should match power
         // shares s_i / S.
         let mut rng = StdRng::seed_from_u64(42);
-        let powers = [
-            MinerPower::new(1.0, 0.0).unwrap(),
-            MinerPower::new(0.0, 3.0).unwrap(),
-        ];
+        let powers = [MinerPower::new(1.0, 0.0).unwrap(), MinerPower::new(0.0, 3.0).unwrap()];
         let n = 40_000;
         let mut wins = [0u64; 2];
         for _ in 0..n {
@@ -214,10 +236,7 @@ mod tests {
         // wins. With delay >> typical inter-arrival, miner 1 nearly always
         // wins despite equal power.
         let mut rng = StdRng::seed_from_u64(3);
-        let powers = [
-            MinerPower::new(0.0, 1.0).unwrap(),
-            MinerPower::new(1.0, 0.0).unwrap(),
-        ];
+        let powers = [MinerPower::new(0.0, 1.0).unwrap(), MinerPower::new(1.0, 0.0).unwrap()];
         let n = 5000;
         let mut wins = [0u64; 2];
         for _ in 0..n {
@@ -239,10 +258,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let r = 0.02;
         let d = 10.0;
-        let powers = [
-            MinerPower::new(0.0, 1.0).unwrap(),
-            MinerPower::new(1.0, 0.0).unwrap(),
-        ];
+        let powers = [MinerPower::new(0.0, 1.0).unwrap(), MinerPower::new(1.0, 0.0).unwrap()];
         let n = 60_000;
         let mut cloud_first = 0u64;
         let mut forks_given_cloud_first = 0u64;
@@ -284,10 +300,7 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let powers = [
-            MinerPower::new(1.0, 2.0).unwrap(),
-            MinerPower::new(2.0, 1.0).unwrap(),
-        ];
+        let powers = [MinerPower::new(1.0, 2.0).unwrap(), MinerPower::new(2.0, 1.0).unwrap()];
         let run = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
             (0..20)

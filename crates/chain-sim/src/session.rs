@@ -34,10 +34,7 @@ impl SessionReport {
     #[must_use]
     pub fn reward_shares(&self) -> Vec<f64> {
         let total: u64 = self.rewards.iter().sum();
-        self.rewards
-            .iter()
-            .map(|&r| r as f64 / total.max(1) as f64)
-            .collect()
+        self.rewards.iter().map(|&r| r as f64 / total.max(1) as f64).collect()
     }
 
     /// Orphan fraction — the empirical fork rate `β`.
@@ -65,10 +62,8 @@ pub fn run_session(
     if cfg.rounds == 0 {
         return Err(SimError::invalid("run_session: rounds must be positive"));
     }
-    let powers: Vec<MinerPower> = requests
-        .iter()
-        .map(|&(e, c)| MinerPower::new(e, c))
-        .collect::<Result<_, _>>()?;
+    let powers: Vec<MinerPower> =
+        requests.iter().map(|&(e, c)| MinerPower::new(e, c)).collect::<Result<_, _>>()?;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut ledger = Ledger::new();
     let mut clock = 0.0;
@@ -164,10 +159,8 @@ where
     if cfg.rounds == 0 {
         return Err(SimError::invalid("run_roster_session: rounds must be positive"));
     }
-    let base: Vec<MinerPower> = pool
-        .iter()
-        .map(|&(e, c)| MinerPower::new(e, c))
-        .collect::<Result<_, _>>()?;
+    let base: Vec<MinerPower> =
+        pool.iter().map(|&(e, c)| MinerPower::new(e, c)).collect::<Result<_, _>>()?;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut report = RosterSessionReport {
         participations: vec![0; pool.len()],

@@ -107,10 +107,8 @@ pub fn simulate(requests: &[(f64, f64)], cfg: &SimConfig) -> Result<SimReport, S
             return Err(SimError::invalid(format!("simulate: e_max = {e_max} must be >= 0")));
         }
     }
-    let base: Vec<MinerPower> = requests
-        .iter()
-        .map(|&(e, c)| MinerPower::new(e, c))
-        .collect::<Result<_, _>>()?;
+    let base: Vec<MinerPower> =
+        requests.iter().map(|&(e, c)| MinerPower::new(e, c)).collect::<Result<_, _>>()?;
     if base.iter().map(MinerPower::total).sum::<f64>() <= 0.0 {
         return Err(SimError::NoPower);
     }
@@ -207,11 +205,8 @@ mod tests {
     fn connected_mode_with_h_zero_moves_everything_to_cloud() {
         // h = 0: edge requests always transferred; no edge wins possible.
         let requests = [(5.0, 0.0), (0.0, 5.0)];
-        let report = simulate(
-            &requests,
-            &cfg(5_000, 20.0, Some(EdgeMode::Connected { h: 0.0 })),
-        )
-        .unwrap();
+        let report =
+            simulate(&requests, &cfg(5_000, 20.0, Some(EdgeMode::Connected { h: 0.0 }))).unwrap();
         assert_eq!(report.edge_wins, vec![0, 0]);
         assert_eq!(report.degraded_rounds, 5_000);
         // With everyone in the cloud, equal power => ~equal wins.
@@ -222,11 +217,8 @@ mod tests {
     #[test]
     fn connected_mode_with_h_one_never_degrades() {
         let requests = [(5.0, 0.0), (0.0, 5.0)];
-        let report = simulate(
-            &requests,
-            &cfg(2_000, 20.0, Some(EdgeMode::Connected { h: 1.0 })),
-        )
-        .unwrap();
+        let report =
+            simulate(&requests, &cfg(2_000, 20.0, Some(EdgeMode::Connected { h: 1.0 }))).unwrap();
         assert_eq!(report.degraded_rounds, 0);
     }
 
@@ -234,22 +226,18 @@ mod tests {
     fn standalone_mode_rejects_overflow() {
         // Total edge demand 10 > e_max 4: every round someone is rejected.
         let requests = [(5.0, 1.0), (5.0, 1.0)];
-        let report = simulate(
-            &requests,
-            &cfg(2_000, 5.0, Some(EdgeMode::Standalone { e_max: 4.0 })),
-        )
-        .unwrap();
+        let report =
+            simulate(&requests, &cfg(2_000, 5.0, Some(EdgeMode::Standalone { e_max: 4.0 })))
+                .unwrap();
         assert_eq!(report.degraded_rounds, 2_000);
     }
 
     #[test]
     fn standalone_mode_within_capacity_is_untouched() {
         let requests = [(1.0, 1.0), (2.0, 0.0)];
-        let report = simulate(
-            &requests,
-            &cfg(1_000, 5.0, Some(EdgeMode::Standalone { e_max: 10.0 })),
-        )
-        .unwrap();
+        let report =
+            simulate(&requests, &cfg(1_000, 5.0, Some(EdgeMode::Standalone { e_max: 10.0 })))
+                .unwrap();
         assert_eq!(report.degraded_rounds, 0);
     }
 
@@ -267,11 +255,8 @@ mod tests {
     #[test]
     fn degenerate_all_rejected_rounds_have_no_winner() {
         let requests = [(1.0, 0.0)];
-        let report = simulate(
-            &requests,
-            &cfg(100, 0.0, Some(EdgeMode::Standalone { e_max: 0.5 })),
-        )
-        .unwrap();
+        let report =
+            simulate(&requests, &cfg(100, 0.0, Some(EdgeMode::Standalone { e_max: 0.5 }))).unwrap();
         assert_eq!(report.wins, vec![0]);
         assert_eq!(report.degraded_rounds, 100);
     }
@@ -281,16 +266,11 @@ mod tests {
         assert!(simulate(&[], &cfg(10, 0.0, None)).is_err());
         assert!(simulate(&[(1.0, 0.0)], &cfg(0, 0.0, None)).is_err());
         assert!(simulate(&[(0.0, 0.0)], &cfg(10, 0.0, None)).is_err());
-        assert!(simulate(
-            &[(1.0, 0.0)],
-            &cfg(10, 0.0, Some(EdgeMode::Connected { h: 1.5 }))
-        )
-        .is_err());
-        assert!(simulate(
-            &[(1.0, 0.0)],
-            &cfg(10, 0.0, Some(EdgeMode::Standalone { e_max: -1.0 }))
-        )
-        .is_err());
+        assert!(
+            simulate(&[(1.0, 0.0)], &cfg(10, 0.0, Some(EdgeMode::Connected { h: 1.5 }))).is_err()
+        );
+        assert!(simulate(&[(1.0, 0.0)], &cfg(10, 0.0, Some(EdgeMode::Standalone { e_max: -1.0 })))
+            .is_err());
     }
 
     #[test]

@@ -200,11 +200,8 @@ fn best_price(
     let lo = provider.cost().max(1e-6 * provider.price_cap());
     let hi = provider.price_cap();
     let objective = |p: f64| {
-        let trial = if leader == 0 {
-            Prices::new(p, prices.cloud)
-        } else {
-            Prices::new(prices.edge, p)
-        };
+        let trial =
+            if leader == 0 { Prices::new(p, prices.cloud) } else { Prices::new(prices.edge, p) };
         match trial.ok().and_then(|t| stage.follower_demand(&t).map(|d| (t, d))) {
             Some((t, d)) => {
                 let (ve, vc) = crate::sp::profits(params, &t, &d);

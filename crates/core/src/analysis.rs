@@ -106,8 +106,9 @@ mod tests {
     fn report_is_internally_consistent() {
         let params = MarketParams::builder().build().unwrap();
         let prices = Prices::new(4.0, 2.0).unwrap();
-        let eq = solve_connected_miner_subgame(&params, &prices, &[200.0; 5], &SubgameConfig::default())
-            .unwrap();
+        let eq =
+            solve_connected_miner_subgame(&params, &prices, &[200.0; 5], &SubgameConfig::default())
+                .unwrap();
         let report = MarketReport::new(&params, &prices, &eq);
         assert!((report.esp_revenue - 4.0 * report.edge_units).abs() < 1e-9);
         assert!((report.csp_revenue - 2.0 * report.cloud_units).abs() < 1e-9);
@@ -124,13 +125,14 @@ mod tests {
         // identity pins the efficiency gap to the resource burn.
         let params = MarketParams::builder().build().unwrap();
         let prices = Prices::new(4.0, 2.0).unwrap();
-        let eq = solve_connected_miner_subgame(&params, &prices, &[200.0; 5], &SubgameConfig::default())
-            .unwrap();
+        let eq =
+            solve_connected_miner_subgame(&params, &prices, &[200.0; 5], &SubgameConfig::default())
+                .unwrap();
         let report = MarketReport::new(&params, &prices, &eq);
         let ceiling = welfare_upper_bound_connected(&params);
         assert!((ceiling - 100.0 * (1.0 - 0.2 * 0.2)).abs() < 1e-12);
-        let resource_cost = params.esp().cost() * report.edge_units
-            + params.csp().cost() * report.cloud_units;
+        let resource_cost =
+            params.esp().cost() * report.edge_units + params.csp().cost() * report.cloud_units;
         assert!(
             (report.total_welfare - (ceiling - resource_cost)).abs() < 1e-6,
             "welfare {} vs ceiling {} - cost {}",
@@ -146,17 +148,23 @@ mod tests {
     fn standalone_ceiling_is_the_reward() {
         let params = MarketParams::builder().build().unwrap();
         assert_eq!(welfare_upper_bound_standalone(&params), 100.0);
-        assert_eq!(mining_efficiency(&MarketReport {
-            prices: Prices::new(1.0, 1.0).unwrap(),
-            edge_units: 0.0,
-            cloud_units: 0.0,
-            esp_revenue: 0.0,
-            csp_revenue: 0.0,
-            esp_profit: 0.0,
-            csp_profit: 0.0,
-            miner_utilities: vec![],
-            total_welfare: 50.0,
-        }, 0.0), 0.0);
+        assert_eq!(
+            mining_efficiency(
+                &MarketReport {
+                    prices: Prices::new(1.0, 1.0).unwrap(),
+                    edge_units: 0.0,
+                    cloud_units: 0.0,
+                    esp_revenue: 0.0,
+                    csp_revenue: 0.0,
+                    esp_profit: 0.0,
+                    csp_profit: 0.0,
+                    miner_utilities: vec![],
+                    total_welfare: 50.0,
+                },
+                0.0
+            ),
+            0.0
+        );
     }
 
     #[test]
@@ -165,8 +173,9 @@ mod tests {
         let params = MarketParams::builder().build().unwrap();
         let prices = Prices::new(4.0, 2.0).unwrap();
         let budgets = [50.0; 5];
-        let eq = solve_connected_miner_subgame(&params, &prices, &budgets, &SubgameConfig::default())
-            .unwrap();
+        let eq =
+            solve_connected_miner_subgame(&params, &prices, &budgets, &SubgameConfig::default())
+                .unwrap();
         let report = MarketReport::new(&params, &prices, &eq);
         assert!(report.sp_revenue() <= 250.0 + 1e-6);
     }

@@ -120,11 +120,12 @@ mod tests {
     #[test]
     fn fit_recovers_tau_from_clean_data() {
         let truth = ForkModel::new(12.6).unwrap();
-        let obs: Vec<(f64, f64)> = (1..=20).map(|i| {
-            let d = i as f64 * 3.0;
-            (d, truth.beta(d))
-        })
-        .collect();
+        let obs: Vec<(f64, f64)> = (1..=20)
+            .map(|i| {
+                let d = i as f64 * 3.0;
+                (d, truth.beta(d))
+            })
+            .collect();
         let fit = ForkModel::fit(&obs).unwrap();
         assert!((fit.tau() - 12.6).abs() < 1e-9, "tau = {}", fit.tau());
         assert!(fit.rmse(&obs) < 1e-12);

@@ -98,10 +98,7 @@ mod tests {
 
     #[test]
     fn aggregates_sum_profiles() {
-        let reqs = [
-            Request::new(1.0, 2.0).unwrap(),
-            Request::new(3.0, 4.0).unwrap(),
-        ];
+        let reqs = [Request::new(1.0, 2.0).unwrap(), Request::new(3.0, 4.0).unwrap()];
         let agg = Aggregates::of(&reqs);
         assert_eq!(agg.edge, 4.0);
         assert_eq!(agg.cloud, 6.0);

@@ -199,9 +199,12 @@ impl Scenario {
         budgets: &[f64],
     ) -> Result<MinerEquilibrium, MiningGameError> {
         match self.operation {
-            EdgeOperation::Connected => {
-                solve_connected_miner_subgame(&self.params, prices, budgets, &self.stackelberg.subgame)
-            }
+            EdgeOperation::Connected => solve_connected_miner_subgame(
+                &self.params,
+                prices,
+                budgets,
+                &self.stackelberg.subgame,
+            ),
             EdgeOperation::Standalone => solve_standalone_miner_subgame(
                 &self.params,
                 prices,
@@ -280,7 +283,8 @@ mod tests {
     #[test]
     fn endogenous_price_scenario_matches_direct_solver() {
         let out = Scenario::connected(params()).homogeneous_miners(5, 200.0).solve().unwrap();
-        let direct = solve_connected(&params(), &[200.0; 5], &StackelbergConfig::default()).unwrap();
+        let direct =
+            solve_connected(&params(), &[200.0; 5], &StackelbergConfig::default()).unwrap();
         assert!(out.prices_endogenous);
         assert!((out.prices.edge - direct.prices.edge).abs() < 1e-9);
         assert!((out.report.esp_profit - direct.esp_profit).abs() < 1e-9);

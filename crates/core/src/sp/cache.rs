@@ -144,6 +144,19 @@ impl<'a> CachedStage<'a> {
         }
     }
 
+    /// Publishes the hit/miss counters to `rec` as the cumulative
+    /// `core.cache.hits` / `core.cache.misses` counters and the
+    /// `core.cache.hit_rate` trace (one sample per published solve).
+    ///
+    /// Takes the recorder explicitly so tests can capture stats on a local
+    /// [`mbm_obs::Recorder`]; the pipeline passes [`mbm_obs::global`].
+    pub fn publish_stats(&self, rec: &mbm_obs::Recorder) {
+        let stats = self.stats();
+        rec.add("core.cache.hits", stats.hits);
+        rec.add("core.cache.misses", stats.misses);
+        rec.trace("core.cache.hit_rate", stats.hit_rate());
+    }
+
     /// Snaps a price to the quantization grid, clamped back into the leader's
     /// `[lo, hi]` interval so snapping can never step outside the feasible
     /// box. A pure function of the input bits.
@@ -272,6 +285,71 @@ mod tests {
             }
         }
         assert!(tiny.stats().misses >= large.stats().misses);
+    }
+
+    /// Distinct quantized keys for the generation tests: all ≥ 0.5 apart,
+    /// far above the 1e-6 quantum at `leader_tol = 1e-4`.
+    const A: [f64; 2] = [6.0, 2.0];
+    const B: [f64; 2] = [6.5, 2.0];
+    const C: [f64; 2] = [7.0, 2.0];
+    const D: [f64; 2] = [7.5, 2.0];
+
+    #[test]
+    fn capacity_boundary_evicts_the_oldest_generation() {
+        // capacity 2 → one entry per generation: the third distinct key must
+        // push the first out entirely.
+        let stage = stage();
+        let cached = CachedStage::new(&stage, 1e-4, 2);
+        for p in [A, B, C] {
+            let _ = cached.payoff(0, &p).unwrap();
+        }
+        assert_eq!(cached.stats(), CacheStats { hits: 0, misses: 3 });
+        // A was in the generation rotated away when C arrived.
+        let _ = cached.payoff(0, &A).unwrap();
+        assert_eq!(cached.stats(), CacheStats { hits: 0, misses: 4 });
+        // C is still resident (it triggered the last rotation into hot).
+        let _ = cached.payoff(0, &C).unwrap();
+        assert_eq!(cached.stats().hits, 1);
+    }
+
+    #[test]
+    fn generation_rotation_promotes_recently_used_keys() {
+        // capacity 4 → two entries per generation. Exercise the full
+        // hot/cold lifecycle: fill hot {A, B}; C rotates them cold; touching
+        // A promotes it back to hot, so the next rotation (D) discards B —
+        // the one key not used since its generation aged out.
+        let stage = stage();
+        let cached = CachedStage::new(&stage, 1e-4, 4);
+        for p in [A, B, C] {
+            let _ = cached.payoff(0, &p).unwrap(); // 3 misses; {A, B} now cold
+        }
+        let _ = cached.payoff(0, &A).unwrap(); // hit: promoted out of cold
+        assert_eq!(cached.stats(), CacheStats { hits: 1, misses: 3 });
+        let _ = cached.payoff(0, &D).unwrap(); // miss: rotates {C, A} cold
+        let _ = cached.payoff(0, &A).unwrap(); // hit: survived via promotion
+        assert_eq!(cached.stats(), CacheStats { hits: 2, misses: 4 });
+        let _ = cached.payoff(0, &B).unwrap(); // miss: B's generation is gone
+        assert_eq!(cached.stats(), CacheStats { hits: 2, misses: 5 });
+    }
+
+    #[test]
+    fn publish_stats_exposes_hit_rate_through_mbm_obs() {
+        let stage = stage();
+        let cached = CachedStage::new(&stage, 1e-4, 512);
+        let _ = cached.payoff(0, &A).unwrap();
+        let _ = cached.payoff(0, &A).unwrap();
+        let _ = cached.payoff(0, &B).unwrap();
+        let rec = mbm_obs::Recorder::new();
+        rec.set_enabled(true);
+        cached.publish_stats(&rec);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["core.cache.hits"], 1);
+        assert_eq!(snap.counters["core.cache.misses"], 2);
+        assert_eq!(snap.traces["core.cache.hit_rate"], vec![1.0 / 3.0]);
+        // A disabled recorder swallows the publication entirely.
+        let off = mbm_obs::Recorder::new();
+        cached.publish_stats(&off);
+        assert!(off.snapshot().counters.is_empty());
     }
 
     #[test]

@@ -83,15 +83,16 @@ pub fn mixed_price_equilibrium(
     let cloud_grid = price_grid(params.csp().cost(), params.csp().price_cap(), cfg.grid_points);
 
     const INFEASIBLE: f64 = -1e6;
-    let game = BimatrixGame::from_fn(edge_grid.len(), cloud_grid.len(), |i, j| {
-        match Prices::new(edge_grid[i], cloud_grid[j])
-            .ok()
-            .and_then(|p| stage.follower_demand(&p).map(|d| (p, d)))
-        {
-            Some((p, d)) => crate::sp::profits(params, &p, &d),
-            None => (INFEASIBLE, INFEASIBLE),
-        }
-    })?;
+    let game =
+        BimatrixGame::from_fn(edge_grid.len(), cloud_grid.len(), |i, j| {
+            match Prices::new(edge_grid[i], cloud_grid[j])
+                .ok()
+                .and_then(|p| stage.follower_demand(&p).map(|d| (p, d)))
+            {
+                Some((p, d)) => crate::sp::profits(params, &p, &d),
+                None => (INFEASIBLE, INFEASIBLE),
+            }
+        })?;
     let has_pure_equilibrium = !game.pure_equilibria().is_empty();
     let RegretOutcome { row_strategy, col_strategy, exploitability, .. } =
         regret_matching(&game, cfg.iterations, cfg.seed)?;
@@ -111,9 +112,7 @@ pub fn mixed_price_equilibrium(
 
 fn price_grid(cost: f64, cap: f64, points: usize) -> Vec<f64> {
     let lo = cost.max(1e-6 * cap);
-    (1..=points)
-        .map(|k| lo + (cap - lo) * k as f64 / points as f64)
-        .collect()
+    (1..=points).map(|k| lo + (cap - lo) * k as f64 / points as f64).collect()
 }
 
 #[cfg(test)]
@@ -149,11 +148,7 @@ mod tests {
 
     #[test]
     fn cycle_region_yields_a_genuinely_mixed_prediction() {
-        let cfg = MixedPricingConfig {
-            grid_points: 9,
-            iterations: 60_000,
-            ..Default::default()
-        };
+        let cfg = MixedPricingConfig { grid_points: 9, iterations: 60_000, ..Default::default() };
         let out =
             mixed_price_equilibrium(&cycle_params(), population(), Mode::Connected, &cfg).unwrap();
         // Strategies are distributions.
@@ -170,13 +165,9 @@ mod tests {
 
     #[test]
     fn ne_region_concentrates_near_the_pure_equilibrium() {
-        let cfg = MixedPricingConfig {
-            grid_points: 9,
-            iterations: 60_000,
-            ..Default::default()
-        };
-        let out = mixed_price_equilibrium(&ne_params(), population(), Mode::Connected, &cfg)
-            .unwrap();
+        let cfg = MixedPricingConfig { grid_points: 9, iterations: 60_000, ..Default::default() };
+        let out =
+            mixed_price_equilibrium(&ne_params(), population(), Mode::Connected, &cfg).unwrap();
         assert!(out.has_pure_equilibrium);
         // The ESP's mass concentrates on the cap (its dominant strategy).
         let last = *out.edge_strategy.last().unwrap();
@@ -188,8 +179,6 @@ mod tests {
     #[test]
     fn validation() {
         let cfg = MixedPricingConfig { grid_points: 1, ..Default::default() };
-        assert!(
-            mixed_price_equilibrium(&ne_params(), population(), Mode::Connected, &cfg).is_err()
-        );
+        assert!(mixed_price_equilibrium(&ne_params(), population(), Mode::Connected, &cfg).is_err());
     }
 }

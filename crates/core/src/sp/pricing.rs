@@ -48,11 +48,12 @@ pub fn csp_best_response_budget_binding(
         return Err(MiningGameError::outside("CSP best-response interval is degenerate"));
     }
     let nf = n as f64;
-    let profit = |p_c: f64| {
-        match Prices::new(edge_price, p_c).ok().and_then(|pr| theorem3_request(params, &pr, budget).ok()) {
-            Some(r) => nf * (p_c - c_c) * r.cloud,
-            None => f64::NEG_INFINITY,
-        }
+    let profit = |p_c: f64| match Prices::new(edge_price, p_c)
+        .ok()
+        .and_then(|pr| theorem3_request(params, &pr, budget).ok())
+    {
+        Some(r) => nf * (p_c - c_c) * r.cloud,
+        None => f64::NEG_INFINITY,
     };
     let out = golden_section_max(profit, lo, hi, 1e-10 * (1.0 + hi))?;
     Ok(out.x)
@@ -225,7 +226,8 @@ mod tests {
         let pc = 1.5;
         let mut last = 0.0;
         for pe in [4.0, 6.0, 8.0, 10.0] {
-            let v = esp_profit_budget_binding(&p, &Prices::new(pe, pc).unwrap(), budget, n).unwrap();
+            let v =
+                esp_profit_budget_binding(&p, &Prices::new(pe, pc).unwrap(), budget, n).unwrap();
             assert!(v > last, "V_e({pe}) = {v} not increasing");
             last = v;
         }

@@ -96,8 +96,8 @@ impl LeaderStage for ProviderStage {
     }
 
     fn payoff(&self, i: usize, actions: &[f64]) -> Result<f64, GameError> {
-        let prices = Prices::new(actions[0], actions[1])
-            .map_err(|e| GameError::invalid(e.to_string()))?;
+        let prices =
+            Prices::new(actions[0], actions[1]).map_err(|e| GameError::invalid(e.to_string()))?;
         match self.follower_demand(&prices) {
             Some(agg) => {
                 let (ve, vc) = crate::sp::profits(&self.params, &prices, &agg);
@@ -129,14 +129,16 @@ mod tests {
 
     #[test]
     fn bounds_are_cost_to_cap() {
-        let stage = ProviderStage::new(params(), homogeneous(), Mode::Connected, SubgameConfig::default());
+        let stage =
+            ProviderStage::new(params(), homogeneous(), Mode::Connected, SubgameConfig::default());
         assert_eq!(stage.bounds(0), (2.0, 10.0));
         assert_eq!(stage.bounds(1), (1.0, 8.0));
     }
 
     #[test]
     fn payoff_is_profit_at_follower_equilibrium() {
-        let stage = ProviderStage::new(params(), homogeneous(), Mode::Connected, SubgameConfig::default());
+        let stage =
+            ProviderStage::new(params(), homogeneous(), Mode::Connected, SubgameConfig::default());
         let actions = [6.0, 2.0];
         let ve = stage.payoff(0, &actions).unwrap();
         let vc = stage.payoff(1, &actions).unwrap();

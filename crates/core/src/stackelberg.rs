@@ -45,25 +45,58 @@ pub enum LeaderSchedule {
 /// but not bitwise — hence it is opt-in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecConfig {
-    /// Worker threads for leader-stage candidate evaluation (`0` or `1` =
-    /// serial on the calling thread).
+    /// Worker threads for leader-stage candidate evaluation: `1` runs serial
+    /// on the calling thread, `0` means *auto* (resolve from the global
+    /// pool). Call [`ExecConfig::effective_threads`] to get the resolved
+    /// count — never read `MBM_PAR_THREADS` directly.
     pub threads: usize,
     /// Leader-payoff memo cache capacity in entries (`0` disables caching
     /// and quantization entirely).
     pub cache_capacity: usize,
+    /// When `true`, the pipeline drivers publish solve-level telemetry
+    /// (effective thread gauge, memo-cache hit/miss counters, leader rounds,
+    /// wall-clock spans) to [`mbm_obs::global`]. Events still only land if
+    /// that recorder is enabled; the flag exists so unrelated solves in the
+    /// same process do not pollute a scoped measurement.
+    #[serde(default)]
+    pub telemetry: bool,
 }
 
 impl ExecConfig {
-    /// Serial, uncached: the reference execution mode (also [`Default`]).
+    /// Serial, uncached, untelemetered: the reference execution mode (also
+    /// [`Default`]).
     #[must_use]
     pub fn serial() -> Self {
-        ExecConfig { threads: 1, cache_capacity: 0 }
+        ExecConfig { threads: 1, cache_capacity: 0, telemetry: false }
     }
 
-    /// All available cores plus a generously sized payoff cache.
+    /// Auto-sized worker pool plus a generously sized payoff cache.
     #[must_use]
     pub fn accelerated() -> Self {
-        ExecConfig { threads: Pool::global().threads(), cache_capacity: 1 << 16 }
+        ExecConfig { threads: 0, cache_capacity: 1 << 16, telemetry: false }
+    }
+
+    /// Same execution settings with telemetry publication switched on.
+    #[must_use]
+    pub fn with_telemetry(self) -> Self {
+        ExecConfig { telemetry: true, ..self }
+    }
+
+    /// The worker count this configuration actually runs with.
+    ///
+    /// This is the **single authoritative resolution point** for pool sizing
+    /// in the pipeline: `threads == 0` defers to [`Pool::global`] (which
+    /// owns the one `MBM_PAR_THREADS` environment read, falling back to
+    /// `available_parallelism`), anything else is taken literally. Telemetry
+    /// reports this resolved value as the `core.exec.threads` gauge, so a
+    /// snapshot always states the thread count it was produced under.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            Pool::global().threads()
+        } else {
+            self.threads
+        }
     }
 }
 
@@ -159,19 +192,44 @@ fn solve(
     cfg: &StackelbergConfig,
 ) -> Result<StackelbergSolution, MiningGameError> {
     validate_budgets(budgets)?;
+    let rec = mbm_obs::global();
+    let telemetry = cfg.exec.telemetry;
+    let _span = telemetry.then(|| {
+        rec.span(match mode {
+            Mode::Connected => "core.solve.connected",
+            Mode::Standalone => "core.solve.standalone",
+        })
+    });
+    let threads = cfg.exec.effective_threads();
+    if telemetry {
+        rec.incr(match mode {
+            Mode::Connected => "core.solves.connected",
+            Mode::Standalone => "core.solves.standalone",
+        });
+        rec.gauge("core.exec.threads", threads as u64);
+        rec.gauge("core.exec.cache_capacity", cfg.exec.cache_capacity as u64);
+    }
     let population = population_of(budgets);
     let stage = ProviderStage::new(*params, population, mode, cfg.subgame);
     let init = vec![
         0.5 * (params.esp().cost() + params.esp().price_cap()),
         0.5 * (params.csp().cost() + params.csp().price_cap()),
     ];
-    let pool = (cfg.exec.threads > 1).then(|| Pool::new(cfg.exec.threads));
+    let pool = (threads > 1).then(|| Pool::new(threads));
     let out = if cfg.exec.cache_capacity > 0 {
         let cached = CachedStage::new(&stage, cfg.leader.tol, cfg.exec.cache_capacity);
-        run_leader_stage(&cached, init, cfg, pool.as_ref())?
+        let out = run_leader_stage(&cached, init, cfg, pool.as_ref());
+        if telemetry {
+            cached.publish_stats(rec);
+        }
+        out?
     } else {
         run_leader_stage(&stage, init, cfg, pool.as_ref())?
     };
+    if telemetry {
+        rec.add("core.leader.rounds", out.rounds as u64);
+        rec.observe("core.leader.residual", out.residual);
+    }
     let prices = Prices::new(out.actions[0], out.actions[1])?;
     let equilibrium = match mode {
         Mode::Connected => solve_connected_miner_subgame(params, &prices, budgets, &cfg.subgame)?,
@@ -206,7 +264,9 @@ fn run_leader_stage<S: LeaderStage + Sync>(
         (LeaderSchedule::BestResponse, None) => leader_equilibrium(stage, init, params),
         (LeaderSchedule::BestResponse, Some(p)) => leader_equilibrium_par(stage, init, params, p),
         (LeaderSchedule::Bargaining, None) => simultaneous_bargaining(stage, init, params),
-        (LeaderSchedule::Bargaining, Some(p)) => simultaneous_bargaining_par(stage, init, params, p),
+        (LeaderSchedule::Bargaining, Some(p)) => {
+            simultaneous_bargaining_par(stage, init, params, p)
+        }
     };
     match cfg.schedule {
         LeaderSchedule::BestResponse => {
@@ -313,7 +373,12 @@ mod tests {
             &StackelbergConfig { schedule: LeaderSchedule::Bargaining, ..Default::default() },
         )
         .unwrap();
-        assert!((br.prices.edge - barg.prices.edge).abs() < 0.3, "{:?} vs {:?}", br.prices, barg.prices);
+        assert!(
+            (br.prices.edge - barg.prices.edge).abs() < 0.3,
+            "{:?} vs {:?}",
+            br.prices,
+            barg.prices
+        );
         assert!((br.prices.cloud - barg.prices.cloud).abs() < 0.3);
     }
 
@@ -322,7 +387,13 @@ mod tests {
         let p = params();
         // Loose settings keep the full-NEP leader search affordable in tests.
         let cfg = StackelbergConfig {
-            leader: LeaderParams { tol: 5e-3, max_rounds: 20, grid_points: 9, grid_rounds: 3, damping: 1.0 },
+            leader: LeaderParams {
+                tol: 5e-3,
+                max_rounds: 20,
+                grid_points: 9,
+                grid_rounds: 3,
+                damping: 1.0,
+            },
             subgame: SubgameConfig { tol: 1e-7, ..Default::default() },
             schedule: LeaderSchedule::BestResponse,
             exec: ExecConfig::accelerated(),
@@ -348,7 +419,7 @@ mod tests {
         let serial = solve_connected(&p, &[200.0; 5], &StackelbergConfig::default()).unwrap();
         for threads in [2, 4] {
             let cfg = StackelbergConfig {
-                exec: ExecConfig { threads, cache_capacity: 0 },
+                exec: ExecConfig { threads, cache_capacity: 0, telemetry: false },
                 ..Default::default()
             };
             let par = solve_connected(&p, &[200.0; 5], &cfg).unwrap();
@@ -363,12 +434,15 @@ mod tests {
         let reference = solve_connected(
             &p,
             &[200.0; 5],
-            &StackelbergConfig { exec: ExecConfig { threads: 1, cache_capacity: 1 }, ..base },
+            &StackelbergConfig {
+                exec: ExecConfig { threads: 1, cache_capacity: 1, telemetry: false },
+                ..base
+            },
         )
         .unwrap();
         for (threads, capacity) in [(1, 1 << 16), (4, 1), (4, 1 << 16)] {
             let cfg = StackelbergConfig {
-                exec: ExecConfig { threads, cache_capacity: capacity },
+                exec: ExecConfig { threads, cache_capacity: capacity, telemetry: false },
                 ..base
             };
             let sol = solve_connected(&p, &[200.0; 5], &cfg).unwrap();

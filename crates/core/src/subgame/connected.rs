@@ -156,11 +156,8 @@ fn solve_combined_foc(
 ) -> Result<f64, MiningGameError> {
     let g = |e: f64| {
         let s_term = a * s_others / ((s_others + e) * (s_others + e));
-        let e_term = if e_others > 0.0 {
-            d * e_others / ((e_others + e) * (e_others + e))
-        } else {
-            0.0
-        };
+        let e_term =
+            if e_others > 0.0 { d * e_others / ((e_others + e) * (e_others + e)) } else { 0.0 };
         s_term + e_term - price
     };
     if g(0.0) <= 0.0 {
@@ -289,10 +286,8 @@ pub fn solve_connected_miner_subgame(
     let game = ConnectedMinerGame::new(*params, *prices, budgets.to_vec())?;
     let n = budgets.len();
     // A feasible interior start: each miner spreads half its budget.
-    let blocks: Vec<Vec<f64>> = budgets
-        .iter()
-        .map(|&b| vec![b / (4.0 * prices.edge), b / (4.0 * prices.cloud)])
-        .collect();
+    let blocks: Vec<Vec<f64>> =
+        budgets.iter().map(|&b| vec![b / (4.0 * prices.edge), b / (4.0 * prices.cloud)]).collect();
     let init = Profile::from_blocks(&blocks).map_err(MiningGameError::from)?;
     let out = best_response_dynamics(
         &game,
@@ -305,9 +300,7 @@ pub fn solve_connected_miner_subgame(
         },
     )?;
     let requests = ConnectedMinerGame::requests_of(&out.profile);
-    let utilities = (0..n)
-        .map(|i| utility_connected(i, &requests, prices, params))
-        .collect();
+    let utilities = (0..n).map(|i| utility_connected(i, &requests, prices, params)).collect();
     Ok(MinerEquilibrium {
         aggregates: Aggregates::of(&requests),
         requests,
@@ -335,10 +328,8 @@ pub fn solve_symmetric_connected(
     if n < 2 {
         return Err(MiningGameError::invalid("need at least two miners"));
     }
-    let mut x = Request {
-        edge: budget / (4.0 * prices.edge),
-        cloud: budget / (4.0 * prices.cloud),
-    };
+    let mut x =
+        Request { edge: budget / (4.0 * prices.edge), cloud: budget / (4.0 * prices.cloud) };
     let m = (n - 1) as f64;
     // The symmetric best-response map has slope ≈ 1 − n/2 at the fixed
     // point (the √-shaped KKT targets), so stability requires damping
@@ -394,12 +385,8 @@ mod tests {
         let pr = prices();
         let budgets = vec![200.0, 150.0, 80.0];
         let game = ConnectedMinerGame::new(p, pr, budgets).unwrap();
-        let profile = Profile::from_blocks(&[
-            vec![3.0, 6.0],
-            vec![2.0, 5.0],
-            vec![1.0, 4.0],
-        ])
-        .unwrap();
+        let profile =
+            Profile::from_blocks(&[vec![3.0, 6.0], vec![2.0, 5.0], vec![1.0, 4.0]]).unwrap();
         for i in 0..3 {
             let analytic = Game::best_response(&game, i, &profile).unwrap();
             // Default (numeric) best response from the trait:
@@ -466,11 +453,8 @@ mod tests {
         };
         let free = analytic_best_response(&base).unwrap();
         assert!(free.edge > 1.0);
-        let capped = analytic_best_response(&BestResponseInputs {
-            edge_cap: Some(0.5),
-            ..base
-        })
-        .unwrap();
+        let capped =
+            analytic_best_response(&BestResponseInputs { edge_cap: Some(0.5), ..base }).unwrap();
         assert!(capped.edge <= 0.5 + 1e-12);
         // Cloud demand does not shrink when the edge is capped.
         assert!(capped.cloud >= free.cloud - 1e-9);
@@ -513,7 +497,8 @@ mod tests {
         let p = params();
         let pr = prices();
         let budgets = vec![200.0, 120.0, 60.0, 200.0, 90.0];
-        let eq = solve_connected_miner_subgame(&p, &pr, &budgets, &SubgameConfig::default()).unwrap();
+        let eq =
+            solve_connected_miner_subgame(&p, &pr, &budgets, &SubgameConfig::default()).unwrap();
         let game = ConnectedMinerGame::new(p, pr, budgets).unwrap();
         let blocks: Vec<Vec<f64>> = eq.requests.iter().map(|r| vec![r.edge, r.cloud]).collect();
         let profile = Profile::from_blocks(&blocks).unwrap();
@@ -526,7 +511,8 @@ mod tests {
         let p = params();
         let pr = prices();
         let budgets = vec![50.0, 100.0];
-        let eq = solve_connected_miner_subgame(&p, &pr, &budgets, &SubgameConfig::default()).unwrap();
+        let eq =
+            solve_connected_miner_subgame(&p, &pr, &budgets, &SubgameConfig::default()).unwrap();
         for (r, &b) in eq.requests.iter().zip(&budgets) {
             assert!(r.edge >= 0.0 && r.cloud >= 0.0);
             assert!(r.cost(&pr) <= b + 1e-7, "cost {} > budget {b}", r.cost(&pr));
@@ -540,8 +526,9 @@ mod tests {
         let n = 5;
         let budget = 200.0;
         let sym = solve_symmetric_connected(&p, &pr, budget, n, &SubgameConfig::default()).unwrap();
-        let eq = solve_connected_miner_subgame(&p, &pr, &vec![budget; n], &SubgameConfig::default())
-            .unwrap();
+        let eq =
+            solve_connected_miner_subgame(&p, &pr, &vec![budget; n], &SubgameConfig::default())
+                .unwrap();
         for r in &eq.requests {
             assert!((r.edge - sym.edge).abs() < 1e-5, "{r:?} vs {sym:?}");
             assert!((r.cloud - sym.cloud).abs() < 1e-5, "{r:?} vs {sym:?}");
@@ -576,7 +563,8 @@ mod tests {
         let p = params();
         assert!(solve_connected_miner_subgame(&p, &prices(), &[100.0], &SubgameConfig::default())
             .is_err());
-        assert!(solve_symmetric_connected(&p, &prices(), 100.0, 1, &SubgameConfig::default())
-            .is_err());
+        assert!(
+            solve_symmetric_connected(&p, &prices(), 100.0, 1, &SubgameConfig::default()).is_err()
+        );
     }
 }

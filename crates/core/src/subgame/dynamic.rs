@@ -159,17 +159,10 @@ pub fn expected_utility_gradient(
             continue;
         }
         let s_others = s_k - s_own;
-        let share_grad = if s_others > 0.0 {
-            (1.0 - beta) * s_others / (s_k * s_k)
-        } else {
-            0.0
-        };
+        let share_grad = if s_others > 0.0 { (1.0 - beta) * s_others / (s_k * s_k) } else { 0.0 };
         let e_others = e_k - own.edge;
-        let edge_grad = if e_k > 0.0 && e_others > 0.0 {
-            beta * e_others / (e_k * e_k)
-        } else {
-            0.0
-        };
+        let edge_grad =
+            if e_k > 0.0 && e_others > 0.0 { beta * e_others / (e_k * e_k) } else { 0.0 };
         de += p * (share_grad + mixing * edge_grad);
         dc += p * share_grad;
     }
@@ -229,17 +222,9 @@ where
         let e_prev = e;
         let c_prev = c;
         let e_hi = (budget - prices.cloud * c).max(0.0) / prices.edge;
-        e = if e_hi > 0.0 {
-            golden_section_max(|x| u(x, c), 0.0, e_hi, tol)?.x
-        } else {
-            0.0
-        };
+        e = if e_hi > 0.0 { golden_section_max(|x| u(x, c), 0.0, e_hi, tol)?.x } else { 0.0 };
         let c_hi = (budget - prices.edge * e).max(0.0) / prices.cloud;
-        c = if c_hi > 0.0 {
-            golden_section_max(|x| u(e, x), 0.0, c_hi, tol)?.x
-        } else {
-            0.0
-        };
+        c = if c_hi > 0.0 { golden_section_max(|x| u(e, x), 0.0, c_hi, tol)?.x } else { 0.0 };
         if (e - e_prev).abs() + (c - c_prev).abs() < 1e-10 * (1.0 + e + c) {
             break;
         }
@@ -315,10 +300,8 @@ pub fn solve_symmetric_continuous(
         )));
     }
     let gh = mbm_numerics::quadrature::GaussHermite::new(40)?;
-    let mut x = Request {
-        edge: budget / (4.0 * prices.edge),
-        cloud: budget / (4.0 * prices.cloud),
-    };
+    let mut x =
+        Request { edge: budget / (4.0 * prices.edge), cloud: budget / (4.0 * prices.cloud) };
     let sub = cfg.subgame;
     let omega = sub.damping.min(3.0 / (mean + 2.0));
     let mut residual = f64::INFINITY;
@@ -378,10 +361,8 @@ pub fn solve_symmetric_dynamic(
             cfg.mixing
         )));
     }
-    let mut x = Request {
-        edge: budget / (4.0 * prices.edge),
-        cloud: budget / (4.0 * prices.cloud),
-    };
+    let mut x =
+        Request { edge: budget / (4.0 * prices.edge), cloud: budget / (4.0 * prices.cloud) };
     let sub = cfg.subgame;
     // The symmetric BR map steepens with the (expected) population size —
     // see solve_symmetric_connected — so the damping shrinks like 1/μ.
@@ -483,10 +464,7 @@ mod tests {
             &cfg,
         )
         .unwrap();
-        assert!(
-            uncertain.edge > fixed.edge,
-            "uncertain {uncertain:?} vs fixed {fixed:?}"
-        );
+        assert!(uncertain.edge > fixed.edge, "uncertain {uncertain:?} vs fixed {fixed:?}");
     }
 
     #[test]
@@ -543,8 +521,7 @@ mod tests {
             &cfg,
         )
         .unwrap();
-        let continuous =
-            solve_symmetric_continuous(&p, &pr, budget, 10.5, 2.0, &cfg).unwrap();
+        let continuous = solve_symmetric_continuous(&p, &pr, budget, 10.5, 2.0, &cfg).unwrap();
         assert!(
             (discrete.edge - continuous.edge).abs() < 0.02 * discrete.edge.max(0.01),
             "discrete {discrete:?} vs continuous {continuous:?}"

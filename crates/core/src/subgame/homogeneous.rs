@@ -164,8 +164,8 @@ mod tests {
         let budget = 5.0;
         let n = 5;
         let closed = theorem3_request(&p, &prices, budget).unwrap();
-        let numeric = solve_symmetric_connected(&p, &prices, budget, n, &SubgameConfig::default())
-            .unwrap();
+        let numeric =
+            solve_symmetric_connected(&p, &prices, budget, n, &SubgameConfig::default()).unwrap();
         assert!((closed.edge - numeric.edge).abs() < 1e-5, "{closed:?} vs {numeric:?}");
         assert!((closed.cloud - numeric.cloud).abs() < 1e-5, "{closed:?} vs {numeric:?}");
     }
@@ -177,8 +177,8 @@ mod tests {
         let budget = 1e7;
         let n = 5;
         let closed = corollary1_request(&p, &prices, n).unwrap();
-        let numeric = solve_symmetric_connected(&p, &prices, budget, n, &SubgameConfig::default())
-            .unwrap();
+        let numeric =
+            solve_symmetric_connected(&p, &prices, budget, n, &SubgameConfig::default()).unwrap();
         assert!((closed.edge - numeric.edge).abs() < 1e-6, "{closed:?} vs {numeric:?}");
         assert!((closed.cloud - numeric.cloud).abs() < 1e-6, "{closed:?} vs {numeric:?}");
     }

@@ -64,17 +64,13 @@ impl StandaloneMinerGame {
     /// # Errors
     ///
     /// Propagates construction errors (cannot occur for validated params).
-    pub fn shared_set(
-        &self,
-    ) -> Result<IntersectionSet<ProductSet, Halfspace>, MiningGameError> {
+    pub fn shared_set(&self) -> Result<IntersectionSet<ProductSet, Halfspace>, MiningGameError> {
         let budget_sets: Vec<Box<dyn ConvexSet + Send + Sync>> = self
             .budgets
             .iter()
             .map(|&b| {
-                Ok(Box::new(BudgetSet::new(
-                    vec![self.prices.edge, self.prices.cloud],
-                    b,
-                )?) as Box<dyn ConvexSet + Send + Sync>)
+                Ok(Box::new(BudgetSet::new(vec![self.prices.edge, self.prices.cloud], b)?)
+                    as Box<dyn ConvexSet + Send + Sync>)
             })
             .collect::<Result<_, MiningGameError>>()?;
         let product = ProductSet::new(budget_sets)?;
@@ -110,12 +106,8 @@ impl Game for StandaloneMinerGame {
             .expect("prices validated at construction");
         set.project(strategy);
         let requests = Self::requests_of(profile);
-        let e_others: f64 = requests
-            .iter()
-            .enumerate()
-            .filter(|&(j, _)| j != i)
-            .map(|(_, r)| r.edge)
-            .sum();
+        let e_others: f64 =
+            requests.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, r)| r.edge).sum();
         let residual = (self.params.e_max() - e_others).max(0.0);
         if strategy[0] > residual {
             strategy[0] = residual;
@@ -176,10 +168,8 @@ pub fn solve_standalone_miner_subgame(
     let n = budgets.len();
     // Feasible interior start: spread half the budget, then scale edge into
     // capacity.
-    let mut blocks: Vec<Vec<f64>> = budgets
-        .iter()
-        .map(|&b| vec![b / (4.0 * prices.edge), b / (4.0 * prices.cloud)])
-        .collect();
+    let mut blocks: Vec<Vec<f64>> =
+        budgets.iter().map(|&b| vec![b / (4.0 * prices.edge), b / (4.0 * prices.cloud)]).collect();
     let e_total: f64 = blocks.iter().map(|b| b[0]).sum();
     if e_total > params.e_max() {
         let scale = params.e_max() / e_total * 0.95;
@@ -188,12 +178,14 @@ pub fn solve_standalone_miner_subgame(
         }
     }
     let init = Profile::from_blocks(&blocks)?;
-    let vi = ViParams { tol: cfg.tol.max(1e-10), max_iter: cfg.max_iter.max(20_000), ..Default::default() };
+    let vi = ViParams {
+        tol: cfg.tol.max(1e-10),
+        max_iter: cfg.max_iter.max(20_000),
+        ..Default::default()
+    };
     let out = variational_equilibrium(&game, &shared, &init, &vi)?;
     let requests = StandaloneMinerGame::requests_of(&out.profile);
-    let utilities = (0..n)
-        .map(|i| utility_standalone(i, &requests, prices, params))
-        .collect();
+    let utilities = (0..n).map(|i| utility_standalone(i, &requests, prices, params)).collect();
     Ok(MinerEquilibrium {
         aggregates: Aggregates::of(&requests),
         requests,
@@ -302,8 +294,8 @@ mod tests {
         let p = params(2.0); // tight capacity
         let pr = prices();
         let budgets = vec![200.0; 4];
-        let eq = solve_standalone_miner_subgame(&p, &pr, &budgets, &SubgameConfig::default())
-            .unwrap();
+        let eq =
+            solve_standalone_miner_subgame(&p, &pr, &budgets, &SubgameConfig::default()).unwrap();
         assert!(
             eq.aggregates.edge <= p.e_max() + 1e-6,
             "E = {} > E_max = {}",
@@ -321,8 +313,8 @@ mod tests {
         let p = params(2.0);
         let pr = prices();
         let budgets = vec![200.0; 4];
-        let eq = solve_standalone_miner_subgame(&p, &pr, &budgets, &SubgameConfig::default())
-            .unwrap();
+        let eq =
+            solve_standalone_miner_subgame(&p, &pr, &budgets, &SubgameConfig::default()).unwrap();
         // Unconstrained edge demand far exceeds 2.0, so capacity binds; the
         // variational equilibrium splits it evenly.
         assert!((eq.aggregates.edge - 2.0).abs() < 1e-3, "E = {}", eq.aggregates.edge);
@@ -363,8 +355,8 @@ mod tests {
         let p = params(3.0);
         let pr = prices();
         let budgets = vec![150.0; 3];
-        let eq = solve_standalone_miner_subgame(&p, &pr, &budgets, &SubgameConfig::default())
-            .unwrap();
+        let eq =
+            solve_standalone_miner_subgame(&p, &pr, &budgets, &SubgameConfig::default()).unwrap();
         let at_solution = standalone_residual(&p, &pr, &budgets, &eq.requests).unwrap();
         assert!(at_solution < 1e-3, "residual {at_solution}");
         let off = vec![Request::new(0.1, 0.1).unwrap(); 3];
@@ -378,9 +370,11 @@ mod tests {
         let pr = prices();
         let n = 4;
         let budget = 200.0;
-        let sym = solve_symmetric_standalone(&p, &pr, budget, n, &SubgameConfig::default()).unwrap();
-        let full = solve_standalone_miner_subgame(&p, &pr, &vec![budget; n], &SubgameConfig::default())
-            .unwrap();
+        let sym =
+            solve_symmetric_standalone(&p, &pr, budget, n, &SubgameConfig::default()).unwrap();
+        let full =
+            solve_standalone_miner_subgame(&p, &pr, &vec![budget; n], &SubgameConfig::default())
+                .unwrap();
         for r in &full.requests {
             assert!((r.edge - sym.edge).abs() < 2e-3, "{r:?} vs {sym:?}");
             assert!((r.cloud - sym.cloud).abs() < 2e-3, "{r:?} vs {sym:?}");
@@ -407,18 +401,17 @@ mod tests {
         let pr = prices();
         let n = 5;
         let budget = 200.0;
-        let stand = solve_symmetric_standalone(&p, &pr, budget, n, &SubgameConfig::default())
-            .unwrap();
-        let conn = solve_symmetric_connected(&p, &pr, budget, n, &SubgameConfig::default()).unwrap();
+        let stand =
+            solve_symmetric_standalone(&p, &pr, budget, n, &SubgameConfig::default()).unwrap();
+        let conn =
+            solve_symmetric_connected(&p, &pr, budget, n, &SubgameConfig::default()).unwrap();
         assert!(stand.edge > conn.edge, "standalone {stand:?} vs connected {conn:?}");
     }
 
     #[test]
     fn single_miner_is_rejected() {
         let p = params(10.0);
-        assert!(
-            solve_standalone_miner_subgame(&p, &prices(), &[100.0], &SubgameConfig::default())
-                .is_err()
-        );
+        assert!(solve_standalone_miner_subgame(&p, &prices(), &[100.0], &SubgameConfig::default())
+            .is_err());
     }
 }

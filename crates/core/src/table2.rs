@@ -142,8 +142,8 @@ mod tests {
         assert!(t.capacity_binds);
         assert!((t.standalone.edge_total - 2.0).abs() < 1e-12);
         // Numeric standalone equilibrium with a huge budget agrees.
-        let numeric = solve_symmetric_standalone(&p, &prices, 1e7, n, &SubgameConfig::default())
-            .unwrap();
+        let numeric =
+            solve_symmetric_standalone(&p, &prices, 1e7, n, &SubgameConfig::default()).unwrap();
         assert!(
             (numeric.edge - t.standalone.per_miner.edge).abs() < 1e-4,
             "{numeric:?} vs {:?}",
@@ -163,8 +163,8 @@ mod tests {
         let n = 5;
         let t = closed_forms(&p, &prices, n).unwrap();
         assert!(!t.capacity_binds);
-        let numeric = solve_symmetric_standalone(&p, &prices, 1e7, n, &SubgameConfig::default())
-            .unwrap();
+        let numeric =
+            solve_symmetric_standalone(&p, &prices, 1e7, n, &SubgameConfig::default()).unwrap();
         assert!((numeric.edge - t.standalone.per_miner.edge).abs() < 1e-5);
         assert!((numeric.cloud - t.standalone.per_miner.cloud).abs() < 1e-5);
     }

@@ -149,7 +149,8 @@ pub fn utility_connected(
     prices: &Prices,
     params: &MarketParams,
 ) -> f64 {
-    params.reward() * w_connected_expected(i, requests, params.fork_rate(), params.edge_availability())
+    params.reward()
+        * w_connected_expected(i, requests, params.fork_rate(), params.edge_availability())
         - requests[i].cost(prices)
 }
 
@@ -189,11 +190,8 @@ pub fn utility_gradient(
     let beta = params.fork_rate();
 
     // d/de_i, d/dc_i of (1-beta)(e+c)/S = (1-beta) * S_{-i} / S^2.
-    let share_term = if s > 0.0 && s_others > 0.0 {
-        (1.0 - beta) * reward * s_others / (s * s)
-    } else {
-        0.0
-    };
+    let share_term =
+        if s > 0.0 && s_others > 0.0 { (1.0 - beta) * reward * s_others / (s * s) } else { 0.0 };
     // d/de_i of beta*h*e_i/E = beta*h*E_{-i}/E^2.
     let edge_term = if agg.edge > 0.0 && e_others > 0.0 {
         beta * h * reward * e_others / (agg.edge * agg.edge)
@@ -289,9 +287,7 @@ mod tests {
         let r = reqs(&[(1.0, 2.0), (2.0, 2.0)]);
         for i in 0..2 {
             assert_eq!(w_standalone(i, &r, BETA), w_full(i, &r, BETA));
-            assert!(
-                (w_connected_expected(i, &r, BETA, 1.0) - w_full(i, &r, BETA)).abs() < 1e-12
-            );
+            assert!((w_connected_expected(i, &r, BETA, 1.0) - w_full(i, &r, BETA)).abs() < 1e-12);
         }
     }
 

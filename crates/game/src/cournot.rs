@@ -95,10 +95,8 @@ impl Game for Cournot {
     }
 
     fn best_response(&self, i: usize, profile: &Profile) -> Result<Vec<f64>, GameError> {
-        let others: f64 = (0..self.num_players())
-            .filter(|&j| j != i)
-            .map(|j| profile.block(j)[0])
-            .sum();
+        let others: f64 =
+            (0..self.num_players()).filter(|&j| j != i).map(|j| profile.block(j)[0]).sum();
         Ok(vec![self.analytic_best_response(i, others)])
     }
 }

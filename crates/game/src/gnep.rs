@@ -99,7 +99,8 @@ impl<A: ConvexSet, B: ConvexSet> ConvexSet for IntersectionSet<A, B> {
         // non-empty intersection; if the iteration cap is hit we fall back
         // to the last (feasible up to tolerance) iterate produced by
         // alternating projections.
-        if mbm_numerics::projection::dykstra(&self.a, &self.b, x, self.tol, self.max_iter).is_err() {
+        if mbm_numerics::projection::dykstra(&self.a, &self.b, x, self.tol, self.max_iter).is_err()
+        {
             for _ in 0..64 {
                 self.a.project(x);
                 self.b.project(x);
@@ -200,10 +201,7 @@ mod tests {
     fn shared_quadratic_game(
         t: [f64; 2],
     ) -> (ClosureGame<impl Fn(usize, &Profile) -> f64>, SharedSet) {
-        let boxes = vec![
-            BoxSet::nonnegative(1),
-            BoxSet::nonnegative(1),
-        ];
+        let boxes = vec![BoxSet::nonnegative(1), BoxSet::nonnegative(1)];
         let game = ClosureGame::new(boxes, move |i, p: &Profile| {
             let x = p.block(i)[0];
             -(x - t[i]) * (x - t[i])

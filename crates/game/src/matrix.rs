@@ -210,10 +210,8 @@ pub fn regret_matching(
             regret_col[k] += game.payoffs(i, k).1 - pb;
         }
     }
-    let row_strategy: Vec<f64> =
-        count_row.iter().map(|&c| c as f64 / iterations as f64).collect();
-    let col_strategy: Vec<f64> =
-        count_col.iter().map(|&c| c as f64 / iterations as f64).collect();
+    let row_strategy: Vec<f64> = count_row.iter().map(|&c| c as f64 / iterations as f64).collect();
+    let col_strategy: Vec<f64> = count_col.iter().map(|&c| c as f64 / iterations as f64).collect();
     let exploitability = game.exploitability(&row_strategy, &col_strategy);
     Ok(RegretOutcome { row_strategy, col_strategy, exploitability, iterations })
 }
@@ -224,24 +222,12 @@ mod tests {
 
     fn matching_pennies() -> BimatrixGame {
         // Row wants to match, column wants to mismatch.
-        BimatrixGame::new(
-            2,
-            2,
-            vec![1.0, -1.0, -1.0, 1.0],
-            vec![-1.0, 1.0, 1.0, -1.0],
-        )
-        .unwrap()
+        BimatrixGame::new(2, 2, vec![1.0, -1.0, -1.0, 1.0], vec![-1.0, 1.0, 1.0, -1.0]).unwrap()
     }
 
     fn prisoners_dilemma() -> BimatrixGame {
         // Actions: 0 = cooperate, 1 = defect.
-        BimatrixGame::new(
-            2,
-            2,
-            vec![3.0, 0.0, 5.0, 1.0],
-            vec![3.0, 5.0, 0.0, 1.0],
-        )
-        .unwrap()
+        BimatrixGame::new(2, 2, vec![3.0, 0.0, 5.0, 1.0], vec![3.0, 5.0, 0.0, 1.0]).unwrap()
     }
 
     #[test]
@@ -256,13 +242,8 @@ mod tests {
         assert!(matching_pennies().pure_equilibria().is_empty());
         assert_eq!(prisoners_dilemma().pure_equilibria(), vec![(1, 1)]);
         // Battle of the sexes: two pure equilibria on the diagonal.
-        let bos = BimatrixGame::new(
-            2,
-            2,
-            vec![2.0, 0.0, 0.0, 1.0],
-            vec![1.0, 0.0, 0.0, 2.0],
-        )
-        .unwrap();
+        let bos =
+            BimatrixGame::new(2, 2, vec![2.0, 0.0, 0.0, 1.0], vec![1.0, 0.0, 0.0, 2.0]).unwrap();
         assert_eq!(bos.pure_equilibria(), vec![(0, 0), (1, 1)]);
     }
 

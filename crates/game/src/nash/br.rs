@@ -81,7 +81,9 @@ pub fn best_response_dynamics<G: Game>(
 ) -> Result<NashOutcome, GameError> {
     let n = game.num_players();
     if init.num_players() != n {
-        return Err(GameError::invalid("best_response_dynamics: profile/game player count mismatch"));
+        return Err(GameError::invalid(
+            "best_response_dynamics: profile/game player count mismatch",
+        ));
     }
     for i in 0..n {
         if init.dim(i) != game.dim(i) {

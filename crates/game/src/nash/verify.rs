@@ -42,7 +42,10 @@ impl DeviationReport {
 ///
 /// * [`GameError::InvalidGame`] on shape mismatch.
 /// * Any error from the best-response oracles.
-pub fn epsilon_equilibrium<G: Game>(game: &G, profile: &Profile) -> Result<DeviationReport, GameError> {
+pub fn epsilon_equilibrium<G: Game>(
+    game: &G,
+    profile: &Profile,
+) -> Result<DeviationReport, GameError> {
     let n = game.num_players();
     if profile.num_players() != n {
         return Err(GameError::invalid("epsilon_equilibrium: player count mismatch"));

@@ -136,7 +136,10 @@ impl Profile {
         (0..self.num_players())
             .map(|i| {
                 let b = self.block(i);
-                assert!(k < b.len(), "Profile::aggregate: coordinate {k} out of range for player {i}");
+                assert!(
+                    k < b.len(),
+                    "Profile::aggregate: coordinate {k} out of range for player {i}"
+                );
                 b[k]
             })
             .sum()

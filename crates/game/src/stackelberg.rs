@@ -201,6 +201,7 @@ fn run_leaders<S: LeaderStage>(
         actions[i] = actions[i].clamp(lo, hi);
     }
 
+    let rec = mbm_obs::global();
     let mut residual = f64::INFINITY;
     for round in 0..params.max_rounds {
         let before = actions.clone();
@@ -220,11 +221,17 @@ fn run_leaders<S: LeaderStage>(
             }
         }
         residual = mbm_numerics::max_abs_diff(&actions, &before);
+        // Per-round leader gap: the price displacement that Algorithms 1/2
+        // drive to zero. One trace point per round makes convergence slope
+        // regressions visible in TELEMETRY.json.
+        rec.trace("game.leader.residual", residual);
         if residual <= params.tol {
+            rec.solver("game.leader", (round + 1) as u64, residual);
             let payoffs = collect_payoffs(stage, &actions)?;
             return Ok(LeaderOutcome { actions, payoffs, rounds: round + 1, residual });
         }
     }
+    rec.solver_failure("game.leader", params.max_rounds as u64);
     Err(GameError::NoConvergence { iterations: params.max_rounds, residual })
 }
 
@@ -331,7 +338,8 @@ mod tests {
 
     #[test]
     fn sequential_finds_price_equilibrium() {
-        let out = leader_equilibrium(&PriceDuopoly, vec![0.1, 1.9], &LeaderParams::default()).unwrap();
+        let out =
+            leader_equilibrium(&PriceDuopoly, vec![0.1, 1.9], &LeaderParams::default()).unwrap();
         assert!((out.actions[0] - 2.0 / 3.0).abs() < 1e-4, "{:?}", out.actions);
         assert!((out.actions[1] - 2.0 / 3.0).abs() < 1e-4, "{:?}", out.actions);
         // Payoff at equilibrium: p(1 - p + 0.5p) = p(1 - 0.5p) = 2/3 * 2/3.
@@ -340,7 +348,8 @@ mod tests {
 
     #[test]
     fn simultaneous_matches_sequential() {
-        let seq = leader_equilibrium(&PriceDuopoly, vec![0.5, 0.5], &LeaderParams::default()).unwrap();
+        let seq =
+            leader_equilibrium(&PriceDuopoly, vec![0.5, 0.5], &LeaderParams::default()).unwrap();
         let sim = simultaneous_bargaining(
             &PriceDuopoly,
             vec![0.5, 0.5],
@@ -368,7 +377,8 @@ mod tests {
 
     #[test]
     fn cap_binds_when_profit_increasing_on_interval() {
-        let out = leader_equilibrium(&CappedMonopolist, vec![0.1], &LeaderParams::default()).unwrap();
+        let out =
+            leader_equilibrium(&CappedMonopolist, vec![0.1], &LeaderParams::default()).unwrap();
         assert!((out.actions[0] - 0.3).abs() < 1e-6, "{:?}", out.actions);
     }
 
@@ -413,7 +423,8 @@ mod tests {
 
     #[test]
     fn payoff_errors_abort_the_solve() {
-        let err = leader_equilibrium(&FailingStage, vec![0.5], &LeaderParams::default()).unwrap_err();
+        let err =
+            leader_equilibrium(&FailingStage, vec![0.5], &LeaderParams::default()).unwrap_err();
         assert!(matches!(err, GameError::InvalidGame(_)));
     }
 

@@ -136,14 +136,8 @@ mod tests {
 
     #[test]
     fn around_scales_with_center() {
-        let g = ActionGrid::around(
-            Request { edge: 1.0, cloud: 2.0 },
-            2.0,
-            3,
-            &prices(),
-            1e6,
-        )
-        .unwrap();
+        let g =
+            ActionGrid::around(Request { edge: 1.0, cloud: 2.0 }, 2.0, 3, &prices(), 1e6).unwrap();
         let max_e = g.actions().iter().map(|a| a.edge).fold(0.0, f64::max);
         let max_c = g.actions().iter().map(|a| a.cloud).fold(0.0, f64::max);
         assert!((max_e - 2.0).abs() < 1e-12);

@@ -42,7 +42,9 @@ impl QLearner {
             return Err(LearnError::invalid("QLearner: need at least one action"));
         }
         if !(0.0..=1.0).contains(&epsilon) {
-            return Err(LearnError::invalid(format!("QLearner: epsilon = {epsilon} not in [0, 1]")));
+            return Err(LearnError::invalid(format!(
+                "QLearner: epsilon = {epsilon} not in [0, 1]"
+            )));
         }
         if !(epsilon_decay > 0.0 && epsilon_decay <= 1.0) {
             return Err(LearnError::invalid(format!(

@@ -124,14 +124,33 @@ pub fn learn_on_grid(
         .collect::<Result<_, _>>()?;
     let mut chosen = vec![0usize; pool];
     let blocks = cfg.period_blocks * cfg.periods;
-    for _ in 0..blocks {
-        for (i, l) in learners.iter().enumerate() {
-            chosen[i] = l.select(&mut rng);
+    let rec = mbm_obs::global();
+    let telemetry = rec.enabled();
+    for _ in 0..cfg.periods {
+        let mut period_reward = 0.0;
+        let mut period_samples = 0usize;
+        for _ in 0..cfg.period_blocks {
+            for (i, l) in learners.iter().enumerate() {
+                chosen[i] = l.select(&mut rng);
+            }
+            let requests: Vec<Request> = chosen.iter().map(|&a| grid.action(a)).collect();
+            let outcome = env.play_block(&requests, &mut rng);
+            for (&i, &u) in outcome.participants.iter().zip(&outcome.utilities) {
+                learners[i].update(chosen[i], u);
+            }
+            if telemetry {
+                period_reward += outcome.utilities.iter().sum::<f64>();
+                period_samples += outcome.utilities.len();
+            }
         }
-        let requests: Vec<Request> = chosen.iter().map(|&a| grid.action(a)).collect();
-        let outcome = env.play_block(&requests, &mut rng);
-        for (&i, &u) in outcome.participants.iter().zip(&outcome.utilities) {
-            learners[i].update(chosen[i], u);
+        if telemetry {
+            rec.incr("learn.periods");
+            rec.add("learn.blocks", cfg.period_blocks as u64);
+            let mean = if period_samples > 0 { period_reward / period_samples as f64 } else { 0.0 };
+            rec.trace("learn.period_reward", mean);
+            if let Some(l) = learners.first() {
+                rec.trace("learn.epsilon", l.epsilon());
+            }
         }
     }
     let requests: Vec<Request> = learners.iter().map(|l| grid.action(l.best_action())).collect();
@@ -222,7 +241,8 @@ fn adapt_prices_impl(
             };
             let learned =
                 learn_miner_strategies(params, &candidate, budget, population, pool, cfg)?;
-            let demand = if leader == 0 { learned.aggregates.edge } else { learned.aggregates.cloud };
+            let demand =
+                if leader == 0 { learned.aggregates.edge } else { learned.aggregates.cloud };
             Ok(((p - cost) * demand, p))
         };
         let profits: Vec<Result<(f64, f64), LearnError>> = match exec {
@@ -402,8 +422,8 @@ mod tests {
         let budget = 300.0;
         let cfg = TrainConfig { periods: 120, ..Default::default() };
         let learned = learn_miner_strategies(&p, &pr, budget, &pop, 5, &cfg).unwrap();
-        let model = solve_symmetric_dynamic(&p, &pr, budget, &pop, &DynamicConfig::default())
-            .unwrap();
+        let model =
+            solve_symmetric_dynamic(&p, &pr, budget, &pop, &DynamicConfig::default()).unwrap();
         // The grid is coarse; agree within ~1.5 grid cells.
         let cell_e = model.edge * cfg.grid_spread / (cfg.grid_points - 1) as f64;
         let cell_c = model.cloud * cfg.grid_spread / (cfg.grid_points - 1) as f64;
@@ -435,18 +455,8 @@ mod tests {
         let p = params();
         let pop = Population::fixed(4).unwrap();
         let cfg = TrainConfig { periods: 30, ..Default::default() };
-        let out = full_loop(
-            &p,
-            &Prices::new(3.0, 1.5).unwrap(),
-            150.0,
-            &pop,
-            4,
-            &cfg,
-            6,
-            4,
-            0.3,
-        )
-        .unwrap();
+        let out = full_loop(&p, &Prices::new(3.0, 1.5).unwrap(), 150.0, &pop, 4, &cfg, 6, 4, 0.3)
+            .unwrap();
         assert!(out.rounds >= 1 && out.rounds <= 4);
         assert!(out.prices.edge > p.esp().cost() && out.prices.edge <= p.esp().price_cap());
         assert!(out.prices.cloud > p.csp().cost() && out.prices.cloud <= p.csp().price_cap());

@@ -129,10 +129,7 @@ impl DiscretePmf {
     /// Samples an outcome by inverse-CDF lookup.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         let u: f64 = rng.gen();
-        let idx = self
-            .cumulative
-            .partition_point(|&c| c < u)
-            .min(self.outcomes.len() - 1);
+        let idx = self.cumulative.partition_point(|&c| c < u).min(self.outcomes.len() - 1);
         self.outcomes[idx]
     }
 }

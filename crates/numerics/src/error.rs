@@ -50,14 +50,10 @@ impl fmt::Display for NumericsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NumericsError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
-            NumericsError::NoBracket { a, b, fa, fb } => write!(
-                f,
-                "interval [{a}, {b}] does not bracket a root (f(a) = {fa}, f(b) = {fb})"
-            ),
-            NumericsError::DidNotConverge {
-                iterations,
-                residual,
-            } => write!(
+            NumericsError::NoBracket { a, b, fa, fb } => {
+                write!(f, "interval [{a}, {b}] does not bracket a root (f(a) = {fa}, f(b) = {fb})")
+            }
+            NumericsError::DidNotConverge { iterations, residual } => write!(
                 f,
                 "did not converge after {iterations} iterations (residual {residual:.3e})"
             ),
@@ -100,18 +96,10 @@ mod tests {
         let e = NumericsError::invalid("x must be positive");
         assert_eq!(e.to_string(), "invalid input: x must be positive");
 
-        let e = NumericsError::NoBracket {
-            a: 0.0,
-            b: 1.0,
-            fa: 2.0,
-            fb: 3.0,
-        };
+        let e = NumericsError::NoBracket { a: 0.0, b: 1.0, fa: 2.0, fb: 3.0 };
         assert!(e.to_string().contains("does not bracket"));
 
-        let e = NumericsError::DidNotConverge {
-            iterations: 7,
-            residual: 1e-3,
-        };
+        let e = NumericsError::DidNotConverge { iterations: 7, residual: 1e-3 };
         assert!(e.to_string().contains("7 iterations"));
 
         let e = NumericsError::NonFiniteValue { at: 2.5 };

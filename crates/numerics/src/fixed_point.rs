@@ -51,7 +51,24 @@ pub struct FixedPointResult {
 ///   entries.
 /// * [`NumericsError::DidNotConverge`] if `max_iter` is exhausted; the error
 ///   carries the final residual so callers can decide whether to accept.
-pub fn iterate<T>(mut map: T, x0: &[f64], params: &FixedPointParams) -> Result<FixedPointResult, NumericsError>
+pub fn iterate<T>(
+    map: T,
+    x0: &[f64],
+    params: &FixedPointParams,
+) -> Result<FixedPointResult, NumericsError>
+where
+    T: FnMut(&[f64], &mut [f64]),
+{
+    let out = iterate_core(map, x0, params);
+    crate::telemetry::record("numerics.fixed_point", &out, |r| (r.iterations, r.residual));
+    out
+}
+
+fn iterate_core<T>(
+    mut map: T,
+    x0: &[f64],
+    params: &FixedPointParams,
+) -> Result<FixedPointResult, NumericsError>
 where
     T: FnMut(&[f64], &mut [f64]),
 {
@@ -94,12 +111,8 @@ mod tests {
     #[test]
     fn contraction_converges_undamped() {
         // T(x) = 0.5 x + 1 has fixed point 2.
-        let r = iterate(
-            |x, out| out[0] = 0.5 * x[0] + 1.0,
-            &[0.0],
-            &FixedPointParams::default(),
-        )
-        .unwrap();
+        let r = iterate(|x, out| out[0] = 0.5 * x[0] + 1.0, &[0.0], &FixedPointParams::default())
+            .unwrap();
         assert!((r.x[0] - 2.0).abs() < 1e-8);
         assert!(r.history.windows(2).all(|w| w[1] <= w[0] + 1e-15));
     }

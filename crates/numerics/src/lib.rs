@@ -55,6 +55,7 @@ pub mod quadrature;
 pub mod roots;
 pub mod sequence;
 pub mod stats;
+pub(crate) mod telemetry;
 pub mod vi;
 
 pub use error::NumericsError;
@@ -94,10 +95,7 @@ pub fn approx_eq(a: f64, b: f64, abs_tol: f64, rel_tol: f64) -> bool {
 #[must_use]
 pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "max_abs_diff: slice length mismatch");
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0, f64::max)
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
 }
 
 /// Euclidean norm of a slice.

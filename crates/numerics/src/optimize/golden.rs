@@ -37,7 +37,26 @@ pub struct GoldenResult {
 /// # Ok(())
 /// # }
 /// ```
-pub fn golden_section_max<F>(mut f: F, lo: f64, hi: f64, tol: f64) -> Result<GoldenResult, NumericsError>
+pub fn golden_section_max<F>(
+    f: F,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+) -> Result<GoldenResult, NumericsError>
+where
+    F: FnMut(f64) -> f64,
+{
+    let out = golden_section_max_core(f, lo, hi, tol);
+    crate::telemetry::record("numerics.golden", &out, |r| (r.evaluations, f64::NAN));
+    out
+}
+
+fn golden_section_max_core<F>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+) -> Result<GoldenResult, NumericsError>
 where
     F: FnMut(f64) -> f64,
 {

@@ -75,6 +75,23 @@ where
 /// As [`adaptive_grid_max`]; additionally [`NumericsError::InvalidInput`] if
 /// `eval_batch` returns a vector of the wrong length.
 pub fn adaptive_grid_max_batch<F>(
+    eval_batch: F,
+    lo: f64,
+    hi: f64,
+    points: usize,
+    rounds: usize,
+) -> Result<GridResult, NumericsError>
+where
+    F: FnMut(&[f64]) -> Vec<f64>,
+{
+    let out = adaptive_grid_max_batch_core(eval_batch, lo, hi, points, rounds);
+    // Grid search has no convergence residual; NaN keeps the iteration
+    // counters while skipping the residual histogram.
+    crate::telemetry::record("numerics.grid", &out, |r| (r.evaluations, f64::NAN));
+    out
+}
+
+fn adaptive_grid_max_batch_core<F>(
     mut eval_batch: F,
     lo: f64,
     hi: f64,
@@ -224,9 +241,7 @@ mod tests {
         let f = |x: f64| -(x - std::f64::consts::PI).powi(2);
         let coarse = adaptive_grid_max(f, 0.0, 10.0, 11, 1).unwrap();
         let fine = adaptive_grid_max(f, 0.0, 10.0, 11, 10).unwrap();
-        assert!(
-            (fine.x - std::f64::consts::PI).abs() < (coarse.x - std::f64::consts::PI).abs()
-        );
+        assert!((fine.x - std::f64::consts::PI).abs() < (coarse.x - std::f64::consts::PI).abs());
         assert!((fine.x - std::f64::consts::PI).abs() < 1e-6);
     }
 }

@@ -63,6 +63,23 @@ pub struct PgResult {
 ///   `params.tol`.
 pub fn projected_gradient_max<S, F, G>(
     set: &S,
+    f: F,
+    grad: G,
+    x0: &[f64],
+    params: &PgParams,
+) -> Result<PgResult, NumericsError>
+where
+    S: ConvexSet,
+    F: FnMut(&[f64]) -> f64,
+    G: FnMut(&[f64], &mut [f64]),
+{
+    let out = projected_gradient_max_core(set, f, grad, x0, params);
+    crate::telemetry::record("numerics.pg", &out, |r| (r.iterations, r.displacement));
+    out
+}
+
+fn projected_gradient_max_core<S, F, G>(
+    set: &S,
     mut f: F,
     mut grad: G,
     x0: &[f64],
@@ -119,7 +136,8 @@ where
             }
             set.project(&mut trial);
             let ft = f(&trial);
-            let gain: f64 = g.iter().zip(trial.iter().zip(&x)).map(|(gi, (ti, xi))| gi * (ti - xi)).sum();
+            let gain: f64 =
+                g.iter().zip(trial.iter().zip(&x)).map(|(gi, (ti, xi))| gi * (ti - xi)).sum();
             if ft.is_finite() && gain >= 0.0 && ft >= fx + SIGMA * gain {
                 x.copy_from_slice(&trial);
                 fx = ft;
@@ -203,13 +221,7 @@ mod tests {
     #[test]
     fn rejects_dimension_mismatch() {
         let set = BoxSet::nonnegative(2);
-        let r = projected_gradient_max(
-            &set,
-            |_| 0.0,
-            |_, _| {},
-            &[0.0],
-            &PgParams::default(),
-        );
+        let r = projected_gradient_max(&set, |_| 0.0, |_, _| {}, &[0.0], &PgParams::default());
         assert!(r.is_err());
     }
 
@@ -225,7 +237,13 @@ mod tests {
     #[test]
     fn non_finite_objective_is_reported() {
         let set = BoxSet::nonnegative(1);
-        let r = projected_gradient_max(&set, |_| f64::NAN, |_, g| g[0] = 0.0, &[1.0], &PgParams::default());
+        let r = projected_gradient_max(
+            &set,
+            |_| f64::NAN,
+            |_, g| g[0] = 0.0,
+            &[1.0],
+            &PgParams::default(),
+        );
         assert!(matches!(r, Err(NumericsError::NonFiniteValue { .. })));
     }
 

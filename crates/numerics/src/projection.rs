@@ -196,12 +196,8 @@ impl ConvexSet for BudgetSet {
         // decreasing. Walk segments until it crosses the budget.
         let mut mu = 0.0;
         let mut cost = self.cost(x);
-        let mut slope: f64 = x
-            .iter()
-            .zip(&self.prices)
-            .filter(|(&xi, _)| xi > 0.0)
-            .map(|(_, &pi)| pi * pi)
-            .sum();
+        let mut slope: f64 =
+            x.iter().zip(&self.prices).filter(|(&xi, _)| xi > 0.0).map(|(_, &pi)| pi * pi).sum();
         for &bp in &bps {
             let reach = cost - slope * (bp - mu);
             if reach <= self.budget {
@@ -211,7 +207,9 @@ impl ConvexSet for BudgetSet {
             let dropped: f64 = x
                 .iter()
                 .zip(&self.prices)
-                .filter(|(&xi, &pi)| xi > 0.0 && (xi / pi - bp).abs() <= f64::EPSILON * bp.abs().max(1.0))
+                .filter(|(&xi, &pi)| {
+                    xi > 0.0 && (xi / pi - bp).abs() <= f64::EPSILON * bp.abs().max(1.0)
+                })
                 .map(|(_, &pi)| pi * pi)
                 .sum();
             cost = reach;
@@ -342,13 +340,19 @@ pub fn dykstra<A: ConvexSet, B: ConvexSet>(
             q[i] = y[i] + q[i] - z[i];
             x[i] = z[i];
         }
-        if crate::max_abs_diff(x, &prev) < tol && a.contains(x, tol.sqrt()) && b.contains(x, tol.sqrt()) {
+        if crate::max_abs_diff(x, &prev) < tol
+            && a.contains(x, tol.sqrt())
+            && b.contains(x, tol.sqrt())
+        {
             return Ok(());
         }
         prev.copy_from_slice(x);
         let _ = iter;
     }
-    Err(NumericsError::DidNotConverge { iterations: max_iter, residual: crate::max_abs_diff(x, &prev) })
+    Err(NumericsError::DidNotConverge {
+        iterations: max_iter,
+        residual: crate::max_abs_diff(x, &prev),
+    })
 }
 
 #[cfg(test)]

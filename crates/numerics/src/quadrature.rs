@@ -203,10 +203,7 @@ mod tests {
         for n in [1, 2, 5, 10, 20, 40] {
             let gh = GaussHermite::new(n).unwrap();
             let total: f64 = gh.weights().iter().sum();
-            assert!(
-                (total - std::f64::consts::PI.sqrt()).abs() < 1e-10,
-                "n = {n}: {total}"
-            );
+            assert!((total - std::f64::consts::PI.sqrt()).abs() < 1e-10, "n = {n}: {total}");
         }
     }
 

@@ -81,7 +81,22 @@ pub struct Root {
 /// # Ok(())
 /// # }
 /// ```
-pub fn bisect<F>(mut f: F, bracket: Bracket, tol: f64, max_iter: usize) -> Result<Root, NumericsError>
+pub fn bisect<F>(f: F, bracket: Bracket, tol: f64, max_iter: usize) -> Result<Root, NumericsError>
+where
+    F: FnMut(f64) -> f64,
+{
+    let out = bisect_core(f, bracket, tol, max_iter);
+    crate::telemetry::observe("numerics.bisect.bracket_width", bracket.width());
+    crate::telemetry::record("numerics.bisect", &out, |r| (r.evaluations, r.f.abs()));
+    out
+}
+
+fn bisect_core<F>(
+    mut f: F,
+    bracket: Bracket,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Root, NumericsError>
 where
     F: FnMut(f64) -> f64,
 {
@@ -138,7 +153,22 @@ where
 /// # Ok(())
 /// # }
 /// ```
-pub fn brent<F>(mut f: F, bracket: Bracket, tol: f64, max_iter: usize) -> Result<Root, NumericsError>
+pub fn brent<F>(f: F, bracket: Bracket, tol: f64, max_iter: usize) -> Result<Root, NumericsError>
+where
+    F: FnMut(f64) -> f64,
+{
+    let out = brent_core(f, bracket, tol, max_iter);
+    crate::telemetry::observe("numerics.brent.bracket_width", bracket.width());
+    crate::telemetry::record("numerics.brent", &out, |r| (r.evaluations, r.f.abs()));
+    out
+}
+
+fn brent_core<F>(
+    mut f: F,
+    bracket: Bracket,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Root, NumericsError>
 where
     F: FnMut(f64) -> f64,
 {
@@ -246,6 +276,21 @@ where
 /// # }
 /// ```
 pub fn newton_bracketed<F>(
+    fdf: F,
+    bracket: Bracket,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Root, NumericsError>
+where
+    F: FnMut(f64) -> (f64, f64),
+{
+    let out = newton_bracketed_core(fdf, bracket, tol, max_iter);
+    crate::telemetry::observe("numerics.newton.bracket_width", bracket.width());
+    crate::telemetry::record("numerics.newton", &out, |r| (r.evaluations, r.f.abs()));
+    out
+}
+
+fn newton_bracketed_core<F>(
     mut fdf: F,
     bracket: Bracket,
     tol: f64,
@@ -288,11 +333,7 @@ where
         }
         let newton = x - fx / dfx;
         let inside = (newton - a) * (newton - b) < 0.0;
-        x = if dfx != 0.0 && newton.is_finite() && inside {
-            newton
-        } else {
-            0.5 * (a + b)
-        };
+        x = if dfx != 0.0 && newton.is_finite() && inside { newton } else { 0.5 * (a + b) };
         if (x - 0.5 * (a + b)).abs() < f64::EPSILON * x.abs() && (b - a).abs() < tol {
             let (fx, _) = fdf(x);
             return Ok(Root { x, f: fx, evaluations: evals + 1 });
@@ -393,7 +434,8 @@ mod tests {
 
     #[test]
     fn bisect_detects_no_bracket() {
-        let err = bisect(|x| x * x + 1.0, Bracket::new(-1.0, 1.0).unwrap(), 1e-12, 100).unwrap_err();
+        let err =
+            bisect(|x| x * x + 1.0, Bracket::new(-1.0, 1.0).unwrap(), 1e-12, 100).unwrap_err();
         assert!(matches!(err, NumericsError::NoBracket { .. }));
     }
 
@@ -417,7 +459,12 @@ mod tests {
         // the root exactly.
         let bi = bisect(cubic, Bracket::new(0.0, 1.7).unwrap(), 1e-13, 300).unwrap();
         let br = brent(cubic, Bracket::new(0.0, 1.7).unwrap(), 1e-13, 300).unwrap();
-        assert!(br.evaluations < bi.evaluations, "brent {} vs bisect {}", br.evaluations, bi.evaluations);
+        assert!(
+            br.evaluations < bi.evaluations,
+            "brent {} vs bisect {}",
+            br.evaluations,
+            bi.evaluations
+        );
     }
 
     #[test]

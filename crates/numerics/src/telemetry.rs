@@ -1,0 +1,44 @@
+//! Crate-internal bridge from solver entry points to the [`mbm_obs`] global
+//! recorder.
+//!
+//! Every public solver in this crate funnels its outcome through
+//! [`record`], which turns it into the standard event triple (`<name>.calls`,
+//! `<name>.iterations`, `<name>.residual`) plus `<name>.failures` /
+//! `<name>.errors` on the unhappy paths. Solver bodies stay untouched —
+//! instrumentation lives entirely in thin public wrappers — and when the
+//! global recorder is disabled the whole detour is one relaxed atomic load.
+
+use crate::error::NumericsError;
+use mbm_obs::global;
+
+/// Records one completed run of the solver `name`.
+///
+/// `metrics` extracts `(iterations, residual)` from a successful result; a
+/// non-finite residual (solvers without a natural residual pass `NaN`) is
+/// dropped by the histogram while the iteration counters still land.
+pub(crate) fn record<T>(
+    name: &str,
+    out: &Result<T, NumericsError>,
+    metrics: impl FnOnce(&T) -> (usize, f64),
+) {
+    let rec = global();
+    if !rec.enabled() {
+        return;
+    }
+    match out {
+        Ok(v) => {
+            let (iterations, residual) = metrics(v);
+            rec.solver(name, iterations as u64, residual);
+        }
+        Err(NumericsError::DidNotConverge { iterations, .. }) => {
+            rec.solver_failure(name, *iterations as u64);
+        }
+        // Input/domain errors are not convergence events; tally separately.
+        Err(_) => rec.incr(&format!("{name}.errors")),
+    }
+}
+
+/// Feeds a value into the histogram `name` (no-op while disabled).
+pub(crate) fn observe(name: &str, value: f64) {
+    global().observe(name, value);
+}

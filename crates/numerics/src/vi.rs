@@ -59,6 +59,21 @@ pub struct ViResult {
 ///   `params.tol`.
 pub fn extragradient<S, F>(
     set: &S,
+    operator: F,
+    x0: &[f64],
+    params: &ViParams,
+) -> Result<ViResult, NumericsError>
+where
+    S: ConvexSet,
+    F: FnMut(&[f64], &mut [f64]),
+{
+    let out = extragradient_core(set, operator, x0, params);
+    crate::telemetry::record("numerics.extragradient", &out, |r| (r.iterations, r.residual));
+    out
+}
+
+fn extragradient_core<S, F>(
+    set: &S,
     mut operator: F,
     x0: &[f64],
     params: &ViParams,
@@ -184,10 +199,16 @@ mod tests {
         // F_x = 0.7 - 0.3 >= 0 holds at the bound.
         assert!(r.x[0].abs() < 1e-6, "{:?}", r.x);
         assert!((r.x[1] - 0.7).abs() < 1e-6, "{:?}", r.x);
-        assert!(natural_residual(&set, |z, out| {
-            out[0] = z[1] + z[0] - 0.3;
-            out[1] = -z[0] + z[1] - 0.7;
-        }, &r.x) < 1e-5);
+        assert!(
+            natural_residual(
+                &set,
+                |z, out| {
+                    out[0] = z[1] + z[0] - 0.3;
+                    out[1] = -z[0] + z[1] - 0.7;
+                },
+                &r.x
+            ) < 1e-5
+        );
     }
 
     #[test]

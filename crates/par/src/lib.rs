@@ -1,8 +1,11 @@
 //! Deterministic parallel execution substrate for the workspace.
 //!
-//! Built entirely on `std::thread::scope` — no external dependencies — so it
-//! can parallelize over *borrowed* data (grid candidates, nonce ranges,
-//! episode seeds) without `'static` bounds or reference counting.
+//! Built entirely on `std::thread::scope` — no external dependencies beyond
+//! the std-only `mbm-obs` telemetry handle — so it can parallelize over
+//! *borrowed* data (grid candidates, nonce ranges, episode seeds) without
+//! `'static` bounds or reference counting. Fan-out occupancy (task count and
+//! engaged workers per call) is reported to [`mbm_obs::global`] when that
+//! recorder is enabled.
 //!
 //! # Determinism contract
 //!
@@ -90,6 +93,16 @@ impl Pool {
         F: Fn(usize) -> U + Sync,
     {
         let workers = self.threads.min(n);
+        // Fan-out occupancy telemetry: task count per call and workers
+        // actually engaged (clamped by the task count). Counters only — no
+        // per-task events — so the disabled path costs one atomic load.
+        let rec = mbm_obs::global();
+        if rec.enabled() {
+            rec.incr("par.calls");
+            rec.add("par.tasks", n as u64);
+            rec.observe("par.fan_out", n as f64);
+            rec.observe("par.workers", workers.max(1) as f64);
+        }
         if workers <= 1 {
             return (0..n).map(f).collect();
         }
@@ -183,6 +196,13 @@ impl Pool {
         F: Fn(usize) -> Option<R> + Sync,
     {
         let workers = self.threads.min(n_chunks);
+        let rec = mbm_obs::global();
+        if rec.enabled() {
+            rec.incr("par.scan.calls");
+            // Chunk count offered, not scanned: the scanned count varies
+            // with thread interleaving and is deliberately not a counter.
+            rec.observe("par.scan.chunks_offered", n_chunks as f64);
+        }
         if workers <= 1 {
             return (0..n_chunks).find_map(f);
         }
@@ -272,8 +292,8 @@ mod tests {
             .collect();
         let serial = terms.iter().fold(0.0, |a, b| a + b);
         for threads in [2, 5, 16] {
-            let got = Pool::new(threads)
-                .par_map_reduce(terms.len(), |i| terms[i], 0.0, |a, b| a + b);
+            let got =
+                Pool::new(threads).par_map_reduce(terms.len(), |i| terms[i], 0.0, |a, b| a + b);
             assert_eq!(serial.to_bits(), got.to_bits(), "threads = {threads}");
         }
     }

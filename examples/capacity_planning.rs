@@ -43,9 +43,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!();
-    println!(
-        "profit-maximizing deployment: E_max = {:.1} (profit {:.3})",
-        best.0, best.1
-    );
+    println!("profit-maximizing deployment: E_max = {:.1} (profit {:.3})", best.0, best.1);
     Ok(())
 }

@@ -20,11 +20,8 @@ use mobile_blockchain_mining::core::winning::w_full;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Equilibrium requests for a heterogeneous miner population.
-    let params = MarketParams::builder()
-        .reward(1000.0)
-        .fork_rate(0.2)
-        .edge_availability(0.8)
-        .build()?;
+    let params =
+        MarketParams::builder().reward(1000.0).fork_rate(0.2).edge_availability(0.8).build()?;
     let prices = Prices::new(4.0, 2.0)?;
     let budgets = [40.0, 80.0, 120.0, 160.0];
     let eq = solve_connected_miner_subgame(&params, &prices, &budgets, &SubgameConfig::default())?;

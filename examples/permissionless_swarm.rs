@@ -14,11 +14,8 @@ use mobile_blockchain_mining::core::subgame::dynamic::{
 use mobile_blockchain_mining::learn::trainer::{learn_miner_strategies, TrainConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let params = MarketParams::builder()
-        .reward(100.0)
-        .fork_rate(0.2)
-        .edge_availability(0.8)
-        .build()?;
+    let params =
+        MarketParams::builder().reward(100.0).fork_rate(0.2).edge_availability(0.8).build()?;
     let prices = Prices::new(4.0, 2.0)?;
     let budget = 500.0;
     let cfg = DynamicConfig::default();

@@ -22,13 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Standalone-mode bargaining in the well-posed parameter region.
     let params = presets::leader_ne_market()?;
-    let trace = algorithm2_price_bargaining(
-        &params,
-        population.clone(),
-        Mode::Standalone,
-        start,
-        &cfg,
-    )?;
+    let trace =
+        algorithm2_price_bargaining(&params, population.clone(), Mode::Standalone, start, &cfg)?;
     println!("Algorithm 2 (standalone, C_e = 7): converged = {}", trace.converged);
     println!("round   P_e      P_c      E        V_e      V_c");
     for (k, r) in trace.rounds.iter().enumerate() {

@@ -10,17 +10,14 @@
 use mobile_blockchain_mining::chain_sim::network::DelayModel;
 use mobile_blockchain_mining::chain_sim::sim::{simulate, SimConfig};
 use mobile_blockchain_mining::core::params::{MarketParams, Prices};
+use mobile_blockchain_mining::core::request::Request;
 use mobile_blockchain_mining::core::subgame::connected::solve_symmetric_connected;
 use mobile_blockchain_mining::core::subgame::SubgameConfig;
 use mobile_blockchain_mining::core::winning::w_full;
-use mobile_blockchain_mining::core::request::Request;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let params = MarketParams::builder()
-        .reward(100.0)
-        .fork_rate(0.2)
-        .edge_availability(0.8)
-        .build()?;
+    let params =
+        MarketParams::builder().reward(100.0).fork_rate(0.2).edge_availability(0.8).build()?;
     let n = 5;
     let budget = 200.0;
     let cfg = SubgameConfig::default();

@@ -105,10 +105,6 @@ fn uncertainty_premium_shows_up_in_races() {
     let report = run_roster_session(&pool, |rng| pmf.sample(rng) as usize, &cfg).unwrap();
     let rates = report.conditional_win_rates();
     let peers: f64 = rates[1..].iter().sum::<f64>() / (pool_size - 1) as f64;
-    assert!(
-        rates[0] > peers + 0.005,
-        "edge-heavy {:.4} vs cloud-heavy peers {peers:.4}",
-        rates[0]
-    );
+    assert!(rates[0] > peers + 0.005, "edge-heavy {:.4} vs cloud-heavy peers {peers:.4}", rates[0]);
     assert!(report.fork_rounds > 0);
 }

@@ -7,12 +7,7 @@ use mbm_core::subgame::dynamic::{solve_symmetric_dynamic, DynamicConfig, Populat
 use mbm_learn::trainer::{adapt_prices, learn_miner_strategies, TrainConfig};
 
 fn params() -> MarketParams {
-    MarketParams::builder()
-        .reward(100.0)
-        .fork_rate(0.2)
-        .edge_availability(0.8)
-        .build()
-        .unwrap()
+    MarketParams::builder().reward(100.0).fork_rate(0.2).edge_availability(0.8).build().unwrap()
 }
 
 #[test]
@@ -23,8 +18,8 @@ fn learners_find_the_dynamic_equilibrium() {
     let pop = Population::gaussian(5.0, 1.5).unwrap();
     let cfg = TrainConfig { periods: 200, ..Default::default() };
     let learned = learn_miner_strategies(&p, &prices, budget, &pop, 10, &cfg).unwrap();
-    let model = solve_symmetric_dynamic(&p, &prices, budget, &pop, &DynamicConfig::default())
-        .unwrap();
+    let model =
+        solve_symmetric_dynamic(&p, &prices, budget, &pop, &DynamicConfig::default()).unwrap();
     // Agreement within ~1.5 grid cells of the learner's action grid.
     let cell_e = model.edge * cfg.grid_spread / (cfg.grid_points - 1) as f64;
     let cell_c = model.cloud * cfg.grid_spread / (cfg.grid_points - 1) as f64;
@@ -52,8 +47,9 @@ fn uncertainty_effect_survives_learning() {
     let prices = Prices::new(4.0, 2.0).unwrap();
     let budget = 500.0;
     let cfg = TrainConfig { periods: 400, grid_points: 11, seed: 5, ..Default::default() };
-    let fixed = learn_miner_strategies(&p, &prices, budget, &Population::fixed(10).unwrap(), 18, &cfg)
-        .unwrap();
+    let fixed =
+        learn_miner_strategies(&p, &prices, budget, &Population::fixed(10).unwrap(), 18, &cfg)
+            .unwrap();
     let dynamic = learn_miner_strategies(
         &p,
         &prices,
@@ -89,14 +85,8 @@ fn adaptive_pricing_improves_provider_profit() {
 
     // Each provider's grid best response should not lose money relative to
     // the starting prices (allowing learning noise).
-    assert!(
-        esp_after >= esp_before * 0.8,
-        "ESP profit fell: {esp_after} vs {esp_before}"
-    );
-    assert!(
-        csp_after >= csp_before * 0.8,
-        "CSP profit fell: {csp_after} vs {csp_before}"
-    );
+    assert!(esp_after >= esp_before * 0.8, "ESP profit fell: {esp_after} vs {esp_before}");
+    assert!(csp_after >= csp_before * 0.8, "CSP profit fell: {csp_after} vs {csp_before}");
     // Prices stay within their admissible ranges.
     assert!(prices.edge > p.esp().cost() && prices.edge <= p.esp().price_cap());
     assert!(prices.cloud > p.csp().cost() && prices.cloud <= p.csp().price_cap());

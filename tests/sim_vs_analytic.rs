@@ -151,11 +151,7 @@ fn standalone_rejection_matches_eq8() {
     let analytic = w_standalone_rejected(0, &reqs, 0.0);
     assert!((analytic - 1.5 / 5.5).abs() < 1e-12);
     let freq = sim.win_frequencies();
-    assert!(
-        (freq[0] - analytic).abs() < 0.01,
-        "empirical {} vs analytic {analytic}",
-        freq[0]
-    );
+    assert!((freq[0] - analytic).abs() < 0.01, "empirical {} vs analytic {analytic}", freq[0]);
     assert_eq!(sim.degraded_rounds, ROUNDS as u64);
 }
 
@@ -181,9 +177,7 @@ fn fork_rate_tracks_calibration() {
     let total: f64 = reqs.iter().map(Request::total).sum();
     let expected: f64 = reqs
         .iter()
-        .map(|r| {
-            (r.cloud / total) * (1.0 - (-(total - r.cloud) * UNIT_RATE * delay).exp())
-        })
+        .map(|r| (r.cloud / total) * (1.0 - (-(total - r.cloud) * UNIT_RATE * delay).exp()))
         .sum();
     assert!(
         (sim.fork_rate() - expected).abs() < 0.01,

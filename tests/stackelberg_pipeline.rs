@@ -5,9 +5,7 @@
 use mbm_core::analysis::MarketReport;
 use mbm_core::params::{MarketParams, Prices, Provider};
 use mbm_core::sp::pricing::csp_best_response_budget_binding;
-use mbm_core::stackelberg::{
-    solve_connected, solve_standalone, LeaderSchedule, StackelbergConfig,
-};
+use mbm_core::stackelberg::{solve_connected, solve_standalone, LeaderSchedule, StackelbergConfig};
 use mbm_core::subgame::connected::ConnectedMinerGame;
 use mbm_core::table2::closed_forms;
 use mbm_game::nash::epsilon_equilibrium;
@@ -31,12 +29,8 @@ fn follower_stage_of_solution_is_a_nash_equilibrium() {
     let budgets = vec![200.0; 5];
     let sol = solve_connected(&p, &budgets, &StackelbergConfig::default()).unwrap();
     let game = ConnectedMinerGame::new(p, sol.prices, budgets).unwrap();
-    let blocks: Vec<Vec<f64>> = sol
-        .equilibrium
-        .requests
-        .iter()
-        .map(|r| vec![r.edge, r.cloud])
-        .collect();
+    let blocks: Vec<Vec<f64>> =
+        sol.equilibrium.requests.iter().map(|r| vec![r.edge, r.cloud]).collect();
     let profile = Profile::from_blocks(&blocks).unwrap();
     let report = epsilon_equilibrium(&game, &profile).unwrap();
     assert!(report.epsilon < 1e-4, "epsilon = {}", report.epsilon);

@@ -1,0 +1,94 @@
+//! CI gate: the deterministic telemetry of the reference pipeline must match
+//! the checked-in golden file byte for byte.
+//!
+//! The reference workload is one connected-mode Stackelberg solve —
+//! heterogeneous budgets, memo cache on, **one worker thread** — with the
+//! global recorder enabled. Its counters and gauges (solver calls, iteration
+//! totals, grid evaluations, cache hits/misses, leader rounds) are exact
+//! functions of the workload at a fixed thread count, so any drift is a real
+//! behavioural change in a solver: more Brent iterations, a different
+//! best-response path, a cache that stopped hitting. The gate turns that
+//! drift into a readable JSON diff instead of a silent perf loss.
+//!
+//! Knobs (used by `.github/workflows/ci.yml`):
+//!
+//! * `MBM_UPDATE_GOLDEN=1` — rewrite `tests/golden/telemetry_reference.json`
+//!   from the current run (commit the diff deliberately).
+//! * `MBM_TELEMETRY_PERTURB=1` — bump one iteration counter before the
+//!   comparison; CI runs this once and asserts the test FAILS, proving the
+//!   gate actually bites.
+//!
+//! This file must hold exactly one `#[test]`: the recorder is process-global,
+//! and a sibling test in the same binary would interleave its events into the
+//! snapshot.
+
+use std::path::PathBuf;
+
+use mbm_core::params::{MarketParams, Provider};
+use mbm_core::stackelberg::{solve_connected, ExecConfig, StackelbergConfig};
+
+fn reference_market() -> MarketParams {
+    MarketParams::builder()
+        .reward(100.0)
+        .fork_rate(0.2)
+        .edge_availability(0.8)
+        .e_max(5.0)
+        .esp(Provider::new(7.0, 15.0).unwrap())
+        .csp(Provider::new(1.0, 8.0).unwrap())
+        .build()
+        .unwrap()
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/telemetry_reference.json")
+}
+
+#[test]
+fn reference_pipeline_telemetry_matches_golden() {
+    let rec = mbm_obs::global();
+    rec.reset();
+    rec.set_enabled(true);
+    let cfg = StackelbergConfig {
+        exec: ExecConfig { threads: 1, cache_capacity: 1 << 16, telemetry: true },
+        ..StackelbergConfig::default()
+    };
+    let sol = solve_connected(&reference_market(), &[80.0, 140.0, 200.0], &cfg)
+        .expect("reference solve converges");
+    rec.set_enabled(false);
+    assert!(sol.esp_profit.is_finite() && sol.csp_profit.is_finite());
+
+    let mut snapshot = rec.snapshot();
+    assert!(
+        snapshot.counters.keys().any(|k| k.starts_with("numerics.")),
+        "solver instrumentation produced no numerics counters: {:?}",
+        snapshot.counters.keys().collect::<Vec<_>>()
+    );
+    assert!(snapshot.counters.contains_key("core.cache.hits"), "cache stats missing");
+
+    if std::env::var_os("MBM_TELEMETRY_PERTURB").is_some() {
+        // Simulate a solver regression: one extra iteration somewhere.
+        let (key, count) =
+            snapshot.counters.iter().next().map(|(k, v)| (k.clone(), *v)).expect("counters");
+        snapshot.counters.insert(key, count + 1);
+    }
+    let got = snapshot.deterministic_json();
+
+    let path = golden_path();
+    if std::env::var_os("MBM_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); generate it with \
+             MBM_UPDATE_GOLDEN=1 cargo test --test telemetry_regression",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "deterministic telemetry drifted from tests/golden/telemetry_reference.json. \
+         If the solver change is intentional, regenerate with \
+         MBM_UPDATE_GOLDEN=1 cargo test --test telemetry_regression and commit the diff."
+    );
+}

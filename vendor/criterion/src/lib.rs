@@ -122,9 +122,9 @@ fn fmt_time(secs: f64) -> String {
 #[doc(hidden)]
 #[must_use]
 pub fn invoked_as_test() -> bool {
-    std::env::args().skip(1).any(|a| {
-        a == "--test" || a == "--list" || a.starts_with("--format") || a == "--exact"
-    })
+    std::env::args()
+        .skip(1)
+        .any(|a| a == "--test" || a == "--list" || a.starts_with("--format") || a == "--exact")
 }
 
 /// Bundles benchmark functions into a group runner (criterion-compatible).
@@ -159,7 +159,11 @@ mod tests {
     fn trivial(c: &mut Criterion) {
         c.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
         c.bench_function("batched", |b| {
-            b.iter_batched(|| vec![1u8; 64], |v| v.iter().map(|&x| x as u64).sum::<u64>(), BatchSize::SmallInput)
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
         });
     }
 

@@ -61,8 +61,12 @@ pub mod uniform {
         /// Uniform sample from `[lo, hi)` (`inclusive = false`) or
         /// `[lo, hi]` (`inclusive = true`). Panics on an empty range, like
         /// upstream `rand`.
-        fn sample_between<R: Rng + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
-            -> Self;
+        fn sample_between<R: Rng + ?Sized>(
+            lo: Self,
+            hi: Self,
+            inclusive: bool,
+            rng: &mut R,
+        ) -> Self;
     }
 
     /// Range forms accepted by `Rng::gen_range`.
@@ -162,7 +166,12 @@ pub mod uniform {
     }
 
     impl SampleUniform for f64 {
-        fn sample_between<R: Rng + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+        fn sample_between<R: Rng + ?Sized>(
+            lo: Self,
+            hi: Self,
+            inclusive: bool,
+            rng: &mut R,
+        ) -> Self {
             let r = rng;
             assert!(lo < hi || (inclusive && lo == hi), "gen_range: empty range");
             let unit = (r.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
@@ -177,7 +186,12 @@ pub mod uniform {
     }
 
     impl SampleUniform for f32 {
-        fn sample_between<R: Rng + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+        fn sample_between<R: Rng + ?Sized>(
+            lo: Self,
+            hi: Self,
+            inclusive: bool,
+            rng: &mut R,
+        ) -> Self {
             f64::sample_between(lo as f64, hi as f64, inclusive, rng) as f32
         }
     }

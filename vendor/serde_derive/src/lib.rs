@@ -99,9 +99,7 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     };
     if let Some(TokenTree::Punct(p)) = tokens.peek() {
         if p.as_char() == '<' {
-            return Err(format!(
-                "serde derive (vendored): generic type `{name}` is not supported"
-            ));
+            return Err(format!("serde derive (vendored): generic type `{name}` is not supported"));
         }
     }
     match kind.as_str() {
@@ -138,8 +136,7 @@ fn parse_serde_attr(stream: TokenStream, skip: &mut bool, default_fn: &mut Optio
                             tokens.next();
                             if let Some(TokenTree::Literal(lit)) = tokens.next() {
                                 let raw = lit.to_string();
-                                *default_fn =
-                                    Some(raw.trim_matches('"').to_string());
+                                *default_fn = Some(raw.trim_matches('"').to_string());
                             }
                         }
                     }
@@ -301,9 +298,7 @@ fn count_top_level(stream: TokenStream) -> usize {
 fn gen_serialize(item: &Item) -> String {
     match item {
         Item::NamedStruct { name, fields } => {
-            let mut body = String::from(
-                "let mut __m: Vec<(String, serde::Value)> = Vec::new();\n",
-            );
+            let mut body = String::from("let mut __m: Vec<(String, serde::Value)> = Vec::new();\n");
             for f in fields.iter().filter(|f| !f.skip) {
                 body.push_str(&format!(
                     "__m.push((String::from({n:?}), serde::Serialize::to_value(&self.{n})));\n",
@@ -317,9 +312,8 @@ fn gen_serialize(item: &Item) -> String {
             let body = if *arity == 1 {
                 "serde::Serialize::to_value(&self.0)".to_string()
             } else {
-                let items: Vec<String> = (0..*arity)
-                    .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
-                    .collect();
+                let items: Vec<String> =
+                    (0..*arity).map(|i| format!("serde::Serialize::to_value(&self.{i})")).collect();
                 format!("serde::Value::Seq(vec![{}])", items.join(", "))
             };
             impl_serialize(name, &body)
@@ -334,8 +328,7 @@ fn gen_serialize(item: &Item) -> String {
                         v = v.name
                     )),
                     VariantKind::Tuple(arity) => {
-                        let binds: Vec<String> =
-                            (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
                         let inner = if *arity == 1 {
                             "serde::Serialize::to_value(__f0)".to_string()
                         } else {
@@ -352,8 +345,7 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     VariantKind::Struct(fields) => {
-                        let binds: Vec<&str> =
-                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         let mut inner = String::from(
                             "{ let mut __vm: Vec<(String, serde::Value)> = Vec::new();\n",
                         );
@@ -443,10 +435,7 @@ fn gen_deserialize(item: &Item) -> String {
                 let items: Vec<String> = (0..*arity)
                     .map(|i| format!("serde::Deserialize::from_value(&__s[{i}])?"))
                     .collect();
-                b.push_str(&format!(
-                    "::core::result::Result::Ok({name}({}))",
-                    items.join(", ")
-                ));
+                b.push_str(&format!("::core::result::Result::Ok({name}({}))", items.join(", ")));
                 b
             };
             impl_deserialize(name, &body)

@@ -204,10 +204,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(Error::msg(format!(
-                "expected `{}` at byte {}",
-                b as char, self.pos
-            )))
+            Err(Error::msg(format!("expected `{}` at byte {}", b as char, self.pos)))
         }
     }
 
