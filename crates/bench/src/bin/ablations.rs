@@ -1,165 +1,7 @@
-//! EXP-ABL — design-choice ablations called out in DESIGN.md.
-//!
-//! 1. Damping of best-response dynamics: sweeps per damping level.
-//! 2. Variational equilibrium vs naive clip-to-capacity in standalone mode.
-//! 3. Price-cap sensitivity of the leader equilibrium (Theorem 4's `p̄`).
-//! 4. Mixing weight ω of the dynamic-population utility (the paper fixes ½).
-
-use mbm_bench::{baseline_market, emit_table, leader_ne_market, BUDGET, N_MINERS};
-use mbm_core::params::{Prices, Provider};
-use mbm_core::request::Request;
-use mbm_core::stackelberg::{solve_connected, StackelbergConfig};
-use mbm_core::subgame::connected::{solve_connected_miner_subgame, ConnectedMinerGame};
-use mbm_core::subgame::dynamic::{solve_symmetric_dynamic, DynamicConfig, Population};
-use mbm_core::subgame::standalone::{solve_standalone_miner_subgame, standalone_residual};
-use mbm_core::subgame::SubgameConfig;
-use mbm_game::nash::{best_response_dynamics, BrParams, UpdateOrder};
-use mbm_game::profile::Profile;
+//! Thin entry point: the `ablations` experiment is declared in
+//! `mbm_exp::specs::ablations` and runs through the shared engine. Equivalent to
+//! `experiments --only ablations`.
 
 fn main() {
-    damping_ablation();
-    variational_vs_clip();
-    price_cap_sensitivity();
-    mixing_weight();
-    discretization_error();
-}
-
-/// ABL-1: sweeps-to-convergence of the connected NEP vs damping.
-fn damping_ablation() {
-    let params = baseline_market();
-    let prices = Prices::new(4.0, 2.0).expect("valid prices");
-    let budgets = vec![BUDGET; N_MINERS];
-    let game = ConnectedMinerGame::new(params, prices, budgets.clone()).expect("valid game");
-    let mut rows = Vec::new();
-    for damping in [0.2, 0.35, 0.5, 0.75, 1.0] {
-        let blocks: Vec<Vec<f64>> = budgets.iter().map(|&b| vec![b / 16.0, b / 8.0]).collect();
-        let init = Profile::from_blocks(&blocks).expect("valid profile");
-        let out = best_response_dynamics(
-            &game,
-            init,
-            &BrParams { order: UpdateOrder::Sequential, damping, tol: 1e-9, max_sweeps: 5000 },
-        );
-        match out {
-            Ok(o) => rows.push(vec![damping, o.sweeps as f64, o.residual]),
-            Err(_) => rows.push(vec![damping, f64::NAN, f64::NAN]),
-        }
-    }
-    emit_table(
-        "ABL-1: best-response dynamics sweeps vs damping (connected NEP, n = 5)",
-        &["damping", "sweeps", "final_residual"],
-        &rows,
-    );
-}
-
-/// ABL-2: the variational equilibrium against "solve unconstrained, then
-/// scale edge requests into capacity" — the naive alternative a simpler
-/// implementation might pick.
-fn variational_vs_clip() {
-    let params = baseline_market().with_e_max(2.0).expect("valid capacity");
-    let prices = Prices::new(4.0, 2.0).expect("valid prices");
-    let budgets = vec![BUDGET; N_MINERS];
-    let cfg = SubgameConfig::default();
-
-    let ve = solve_standalone_miner_subgame(&params, &prices, &budgets, &cfg).expect("VE solve");
-    let ve_res = standalone_residual(&params, &prices, &budgets, &ve.requests).unwrap_or(f64::NAN);
-
-    // Naive: h = 1 unconstrained NEP, then scale the edge coordinates.
-    let h1 = baseline_market().with_e_max(2.0).expect("valid capacity");
-    let unconstrained = {
-        let p = mbm_core::params::MarketParams::builder()
-            .reward(h1.reward())
-            .fork_rate(h1.fork_rate())
-            .edge_availability(1.0)
-            .esp(h1.esp())
-            .csp(h1.csp())
-            .e_max(1e9)
-            .build()
-            .expect("valid market");
-        solve_connected_miner_subgame(&p, &prices, &budgets, &cfg).expect("NEP solve")
-    };
-    let scale = (params.e_max() / unconstrained.aggregates.edge).min(1.0);
-    let clipped: Vec<Request> = unconstrained
-        .requests
-        .iter()
-        .map(|r| Request { edge: r.edge * scale, cloud: r.cloud })
-        .collect();
-    let clip_res = standalone_residual(&params, &prices, &budgets, &clipped).unwrap_or(f64::NAN);
-    let clip_e: f64 = clipped.iter().map(|r| r.edge).sum();
-
-    emit_table(
-        "ABL-2: variational equilibrium vs naive clip-to-capacity (standalone, E_max = 2)",
-        &["method", "E_total", "vi_residual"],
-        &[vec![0.0, ve.aggregates.edge, ve_res], vec![1.0, clip_e, clip_res]],
-    );
-    println!("# method 0 = variational equilibrium, 1 = naive clip\n");
-}
-
-/// ABL-3: leader equilibrium vs the ESP's price cap.
-fn price_cap_sensitivity() {
-    let mut rows = Vec::new();
-    for cap in [10.0, 12.0, 15.0, 20.0] {
-        let params = leader_ne_market().with_esp(Provider::new(7.0, cap).expect("valid provider"));
-        let sol = solve_connected(&params, &[BUDGET; N_MINERS], &StackelbergConfig::default());
-        match sol {
-            Ok(s) => {
-                rows.push(vec![cap, s.prices.edge, s.prices.cloud, s.esp_profit, s.csp_profit])
-            }
-            Err(_) => rows.push(vec![cap, f64::NAN, f64::NAN, f64::NAN, f64::NAN]),
-        }
-    }
-    emit_table(
-        "ABL-3: leader equilibrium vs ESP price cap (C_e = 7): the cap is the ESP's dominant strategy",
-        &["cap", "P_e_star", "P_c_star", "V_e", "V_c"],
-        &rows,
-    );
-}
-
-/// ABL-5: the paper's integer discretization `P(k) = Φ(k) − Φ(k−1)` versus
-/// the continuous Gaussian expectation (Gauss–Hermite): the discretization
-/// behaves like a continuous population with mean shifted by +½.
-fn discretization_error() {
-    use mbm_core::subgame::dynamic::solve_symmetric_continuous;
-    let params = baseline_market();
-    let prices = Prices::new(4.0, 2.0).expect("valid prices");
-    let budget = 500.0;
-    let cfg = DynamicConfig::default();
-    let mut rows = Vec::new();
-    for mu in [6.0, 10.0, 16.0] {
-        let pop = Population::gaussian(mu, 2.0).expect("valid population");
-        let discrete = solve_symmetric_dynamic(&params, &prices, budget, &pop, &cfg).ok();
-        let continuous = solve_symmetric_continuous(&params, &prices, budget, mu, 2.0, &cfg).ok();
-        let shifted =
-            solve_symmetric_continuous(&params, &prices, budget, mu + 0.5, 2.0, &cfg).ok();
-        rows.push(vec![
-            mu,
-            discrete.map_or(f64::NAN, |r| r.edge),
-            continuous.map_or(f64::NAN, |r| r.edge),
-            shifted.map_or(f64::NAN, |r| r.edge),
-        ]);
-    }
-    emit_table(
-        "ABL-5: discretized vs continuous population (sigma = 2): the paper's P(k) = Phi(k) - Phi(k-1) equals a continuous model shifted by +1/2",
-        &["mu", "e_discretized", "e_continuous_at_mu", "e_continuous_at_mu_plus_half"],
-        &rows,
-    );
-}
-
-/// ABL-4: the ω mixing weight of the dynamic-population utility.
-fn mixing_weight() {
-    let params = baseline_market();
-    let prices = Prices::new(4.0, 2.0).expect("valid prices");
-    let pop = Population::gaussian(10.0, 2.0).expect("valid population");
-    let mut rows = Vec::new();
-    for mixing in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let cfg = DynamicConfig { mixing, ..Default::default() };
-        match solve_symmetric_dynamic(&params, &prices, 500.0, &pop, &cfg) {
-            Ok(r) => rows.push(vec![mixing, r.edge, r.cloud]),
-            Err(_) => rows.push(vec![mixing, f64::NAN, f64::NAN]),
-        }
-    }
-    emit_table(
-        "ABL-4: dynamic-population equilibrium vs mixing weight omega (paper fixes 0.5)",
-        &["omega", "e_star", "c_star"],
-        &rows,
-    );
+    std::process::exit(mbm_exp::runner::run_bin("ablations"));
 }

@@ -1,292 +1,7 @@
-//! BENCH-1 — wall-clock speedup audit of the parallel execution substrate.
-//!
-//! Times three representative workloads serial vs parallel (at the global
-//! pool's thread count) and writes the measurements to `BENCH_1.json`:
-//!
-//! 1. a fixed heterogeneous-budget Stackelberg solve (parallel candidate
-//!    evaluation plus the quantized payoff cache),
-//! 2. the full Fig. 2 split-rate sweep, fanned per delay bin,
-//! 3. a proof-of-work nonce grind (chunked first-hit search).
-//!
-//! Every parallel path is bitwise-deterministic, so the parallel results are
-//! asserted equal to the serial ones before a timing is accepted. Usage:
-//! `cargo run --release -p mbm-bench --bin bench1 [output.json] [telemetry.json]`.
-//!
-//! Each record carries a `floor`: the minimum speedup CI accepts for it. The
-//! binary exits non-zero when any measured speedup lands below its floor, so
-//! the bench-smoke job fails on a real perf regression, not just a crash.
-//! Timing runs with the global recorder *disabled* (the zero-overhead
-//! configuration); afterwards one untimed telemetry pass re-runs the
-//! Stackelberg workload with the recorder on and writes the full snapshot —
-//! plus an `obs_overhead_on_vs_off` record comparing the two modes — to the
-//! second output path (default `TELEMETRY.json`).
-
-use std::time::Instant;
-
-use mbm_bench::{leader_ne_market, COLLISION_TAU};
-use mbm_chain_sim::pow::{Puzzle, Target};
-use mbm_core::sp::cache::CachedStage;
-use mbm_core::sp::stage::{Mode, ProviderStage};
-use mbm_core::sp::MinerPopulation;
-use mbm_core::stackelberg::{solve_connected, ExecConfig, StackelbergConfig};
-use mbm_core::subgame::SubgameConfig;
-use mbm_game::stackelberg::{leader_equilibrium, LeaderParams};
-use mbm_par::Pool;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct BenchRecord {
-    name: String,
-    serial_ms: f64,
-    parallel_ms: f64,
-    speedup: f64,
-    /// Minimum acceptable speedup; `0.0` marks an informational record
-    /// (parallel gains depend on the runner's core count, so only the
-    /// machine-independent memoization bench carries a hard floor).
-    floor: f64,
-}
-
-#[derive(Serialize)]
-struct BenchReport {
-    threads: usize,
-    benches: Vec<BenchRecord>,
-}
-
-fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let start = Instant::now();
-    let out = f();
-    (out, start.elapsed().as_secs_f64() * 1e3)
-}
-
-/// Best (smallest) wall-clock over `reps` runs — robust to scheduler noise.
-fn best_of<T>(reps: usize, mut f: impl FnMut() -> (T, f64)) -> (T, f64) {
-    let mut best: Option<(T, f64)> = None;
-    for _ in 0..reps {
-        let (out, ms) = f();
-        if best.as_ref().is_none_or(|&(_, b)| ms < b) {
-            best = Some((out, ms));
-        }
-    }
-    best.expect("reps > 0")
-}
-
-fn bench_stackelberg(threads: usize) -> BenchRecord {
-    let params = leader_ne_market();
-    // Distinct budgets force the full heterogeneous NEP solver inside every
-    // leader payoff evaluation — the expensive regime the substrate targets.
-    let budgets = [80.0, 120.0, 160.0, 200.0, 240.0];
-    // The high-accuracy reference profile re-queries converged price points
-    // across leader iterations — the regime the memo cache targets.
-    let serial_cfg =
-        StackelbergConfig { leader: LeaderParams::reference(), ..StackelbergConfig::default() };
-    let par_cfg = StackelbergConfig {
-        exec: ExecConfig { threads, cache_capacity: 1 << 16, telemetry: false },
-        ..serial_cfg
-    };
-    let (serial, serial_ms) =
-        best_of(2, || time_ms(|| solve_connected(&params, &budgets, &serial_cfg).ok()));
-    let (parallel, parallel_ms) =
-        best_of(2, || time_ms(|| solve_connected(&params, &budgets, &par_cfg).ok()));
-    // The cache quantizes prices below the solver's resolution; prices must
-    // agree to leader tolerance even though they are not bitwise equal here.
-    if let (Some(s), Some(p)) = (&serial, &parallel) {
-        assert!(
-            (s.prices.edge - p.prices.edge).abs() <= 10.0 * serial_cfg.leader.tol
-                && (s.prices.cloud - p.prices.cloud).abs() <= 10.0 * serial_cfg.leader.tol,
-            "accelerated solve diverged: {:?} vs {:?}",
-            s.prices,
-            p.prices
-        );
-    }
-    BenchRecord {
-        name: "stackelberg_fixed_heterogeneous".into(),
-        serial_ms,
-        parallel_ms,
-        speedup: serial_ms / parallel_ms,
-        floor: 0.0,
-    }
-}
-
-/// Multi-start robustness sweep: the leader game solved from 8 different
-/// price initializations of the same market, all sharing one payoff memo
-/// cache. Later starts re-traverse the converged region's quantized grid and
-/// hit heavily — the regime where memoization dominates (≈4× single-core).
-fn bench_multistart_memoized() -> BenchRecord {
-    let params = leader_ne_market();
-    let budgets = vec![80.0, 120.0, 160.0, 200.0, 240.0];
-    let population = MinerPopulation::Heterogeneous { budgets };
-    let stage = ProviderStage::new(params, population, Mode::Connected, SubgameConfig::default());
-    let leader = LeaderParams::reference();
-    let n_inits = 8;
-    let inits: Vec<Vec<f64>> = (0..n_inits)
-        .map(|i| {
-            let t = (i + 1) as f64 / (n_inits + 1) as f64;
-            vec![
-                params.esp().cost() + t * (params.esp().price_cap() - params.esp().cost()),
-                params.csp().cost() + t * (params.csp().price_cap() - params.csp().cost()),
-            ]
-        })
-        .collect();
-    fn solve_all<S: mbm_game::stackelberg::LeaderStage>(
-        stage: &S,
-        inits: &[Vec<f64>],
-        leader: &LeaderParams,
-    ) -> Vec<Option<Vec<f64>>> {
-        inits
-            .iter()
-            .map(|init| leader_equilibrium(stage, init.clone(), leader).map(|o| o.actions).ok())
-            .collect()
-    }
-    let (serial, serial_ms) = best_of(2, || time_ms(|| solve_all(&stage, &inits, &leader)));
-    let (memoized, memo_ms) = best_of(2, || {
-        let cached = CachedStage::new(&stage, leader.tol, 1 << 16);
-        time_ms(|| solve_all(&cached, &inits, &leader))
-    });
-    // Quantization moves prices below solver resolution; equilibria must
-    // still agree start-for-start to leader tolerance.
-    for (s, m) in serial.iter().zip(&memoized) {
-        if let (Some(s), Some(m)) = (s, m) {
-            assert!(
-                s.iter().zip(m).all(|(a, b)| (a - b).abs() <= 10.0 * leader.tol),
-                "memoized multi-start diverged: {s:?} vs {m:?}"
-            );
-        }
-    }
-    BenchRecord {
-        name: "stackelberg_multistart_memoized".into(),
-        serial_ms,
-        parallel_ms: memo_ms,
-        // Memoization gains are single-core and machine-independent (the
-        // multi-start workload re-traverses the converged grid), so this
-        // record carries the one hard floor of the suite.
-        speedup: serial_ms / memo_ms,
-        floor: 1.3,
-    }
-}
-
-fn bench_fig2_sweep(pool: &Pool) -> BenchRecord {
-    use mbm_chain_sim::fork::split_rate_curve;
-    let rate = 1.0 / COLLISION_TAU;
-    let delays: Vec<f64> = (0..=12).map(|i| 5.0 * i as f64).collect();
-    let samples = 200_000;
-    // One seeded Monte-Carlo run per delay bin; the fan preserves bin order
-    // and per-bin seeds, so serial and parallel sweeps are identical.
-    let run_bin = |i: usize| {
-        split_rate_curve(rate, &delays[i..=i], samples, 2027 + i as u64).expect("valid config")
-    };
-    let (serial, serial_ms) =
-        best_of(2, || time_ms(|| (0..delays.len()).map(run_bin).collect::<Vec<_>>()));
-    let (parallel, parallel_ms) = best_of(2, || time_ms(|| pool.par_eval(delays.len(), run_bin)));
-    assert_eq!(serial, parallel, "fig2 sweep must be bitwise deterministic");
-    BenchRecord {
-        name: "fig2_split_rate_sweep".into(),
-        serial_ms,
-        parallel_ms,
-        speedup: serial_ms / parallel_ms,
-        floor: 0.0,
-    }
-}
-
-fn bench_pow(pool: &Pool) -> BenchRecord {
-    let target = Target::from_success_probability(1.0 / 400_000.0).expect("valid target");
-    let headers: Vec<Puzzle> =
-        (0..4).map(|i| Puzzle::new(format!("bench1 header {i}").into_bytes(), target)).collect();
-    let budget = 40 * Puzzle::PAR_CHUNK;
-    let (serial, serial_ms) =
-        best_of(2, || time_ms(|| headers.iter().map(|p| p.solve(0, budget)).collect::<Vec<_>>()));
-    let (parallel, parallel_ms) = best_of(2, || {
-        time_ms(|| headers.iter().map(|p| p.solve_par(pool, 0, budget)).collect::<Vec<_>>())
-    });
-    assert_eq!(serial, parallel, "parallel PoW must return the serial-first solution");
-    BenchRecord {
-        name: "pow_grind".into(),
-        serial_ms,
-        parallel_ms,
-        speedup: serial_ms / parallel_ms,
-        floor: 0.0,
-    }
-}
-
-/// Recorder-enabled vs recorder-disabled wall clock of the same serial
-/// Stackelberg solve. `serial_ms` is the disabled run, `parallel_ms` the
-/// enabled run; `speedup` < 1 is the (tiny) cost of live telemetry. The
-/// floor guards against an instrumentation change turning the recorder into
-/// a hot-path cost: enabled may never be 2× slower than disabled.
-fn bench_obs_overhead() -> BenchRecord {
-    let params = leader_ne_market();
-    let budgets = [80.0, 120.0, 160.0, 200.0, 240.0];
-    let off_cfg = StackelbergConfig::default();
-    let on_cfg = StackelbergConfig { exec: off_cfg.exec.with_telemetry(), ..off_cfg };
-    let rec = mbm_obs::global();
-    let (off, off_ms) =
-        best_of(2, || time_ms(|| solve_connected(&params, &budgets, &off_cfg).ok()));
-    rec.set_enabled(true);
-    let (on, on_ms) = best_of(2, || time_ms(|| solve_connected(&params, &budgets, &on_cfg).ok()));
-    rec.set_enabled(false);
-    assert_eq!(off, on, "telemetry must never change results");
-    BenchRecord {
-        name: "obs_overhead_on_vs_off".into(),
-        serial_ms: off_ms,
-        parallel_ms: on_ms,
-        speedup: off_ms / on_ms,
-        floor: 0.5,
-    }
-}
-
-/// Untimed telemetry pass: re-runs the Stackelberg workload with the global
-/// recorder on so the written snapshot holds real solver counters, leader
-/// traces, cache stats, pool fan-out, and span timings.
-fn collect_telemetry(threads: usize) -> mbm_obs::Snapshot {
-    let rec = mbm_obs::global();
-    rec.reset();
-    rec.set_enabled(true);
-    let params = leader_ne_market();
-    let budgets = [80.0, 120.0, 160.0, 200.0, 240.0];
-    let cfg = StackelbergConfig {
-        exec: ExecConfig { threads, cache_capacity: 1 << 16, telemetry: true },
-        ..StackelbergConfig::default()
-    };
-    let _ = solve_connected(&params, &budgets, &cfg);
-    rec.set_enabled(false);
-    rec.snapshot()
-}
+//! Thin entry point: the BENCH-1 perf/telemetry audit now lives in
+//! `mbm_exp::benchrun` (it exercises the engine's dedup planner alongside
+//! the substrate benches). Usage: `bench1 [output.json] [telemetry.json]`.
 
 fn main() {
-    let pool = Pool::global();
-    let report = BenchReport {
-        threads: pool.threads(),
-        benches: vec![
-            bench_stackelberg(pool.threads()),
-            bench_multistart_memoized(),
-            bench_fig2_sweep(pool),
-            bench_pow(pool),
-            bench_obs_overhead(),
-        ],
-    };
-    let json = serde_json::to_string_pretty(&report).expect("serializable report");
-    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_1.json".into());
-    std::fs::write(&path, &json).expect("writable output path");
-    println!("{json}");
-    println!("wrote {path}");
-
-    let snapshot = collect_telemetry(pool.threads());
-    let doc = mbm_bench::telemetry::telemetry_document(
-        &snapshot,
-        vec![("threads".into(), serde::Value::U64(pool.threads() as u64))],
-    );
-    let telemetry_json = serde_json::to_string_pretty(&doc).expect("serializable telemetry");
-    let telemetry_path = std::env::args().nth(2).unwrap_or_else(|| "TELEMETRY.json".into());
-    std::fs::write(&telemetry_path, &telemetry_json).expect("writable telemetry path");
-    println!("wrote {telemetry_path}");
-
-    let mut failed = false;
-    for b in &report.benches {
-        if b.floor > 0.0 && b.speedup < b.floor {
-            eprintln!("FAIL: {} speedup {:.2} below floor {:.2}", b.name, b.speedup, b.floor);
-            failed = true;
-        }
-    }
-    if failed {
-        std::process::exit(1);
-    }
+    std::process::exit(mbm_exp::benchrun::main_bench1());
 }

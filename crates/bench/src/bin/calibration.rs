@@ -1,35 +1,7 @@
-//! EXP-CAL — closing the loop between the simulator and the game model:
-//! measure fork rates from Monte-Carlo collision experiments, fit the
-//! exponential fork model `β(D) = 1 − e^{−D/τ}`, and report the recovered
-//! mean collision time against the ground truth (the paper takes this
-//! pipeline from Bitcoin measurements; we regenerate it end to end).
-
-use mbm_bench::{emit_table, COLLISION_TAU};
-use mbm_chain_sim::fork::split_rate_curve;
-use mbm_core::calibration::ForkModel;
+//! Thin entry point: the `calibration` experiment is declared in
+//! `mbm_exp::specs::calibration` and runs through the shared engine. Equivalent to
+//! `experiments --only calibration`.
 
 fn main() {
-    let rate = 1.0 / COLLISION_TAU;
-    let delays: Vec<f64> = (1..=15).map(|i| 2.0 * i as f64).collect();
-    let curve = split_rate_curve(rate, &delays, 200_000, 404).expect("valid config");
-    let observations: Vec<(f64, f64)> = curve.iter().map(|p| (p.delay, p.fork_rate)).collect();
-    let model = ForkModel::fit(&observations).expect("fit");
-
-    let rows: Vec<Vec<f64>> =
-        observations.iter().map(|&(d, b)| vec![d, b, model.beta(d)]).collect();
-    emit_table(
-        "Calibration: observed fork rates vs fitted exponential model",
-        &["delay_s", "observed_beta", "fitted_beta"],
-        &rows,
-    );
-    emit_table(
-        "Calibration summary",
-        &["true_tau", "fitted_tau", "rmse"],
-        &[vec![COLLISION_TAU, model.tau(), model.rmse(&observations)]],
-    );
-
-    // Game-ready betas at representative delays.
-    let rows: Vec<Vec<f64>> =
-        [2.0, 5.0, 10.0, 20.0].iter().map(|&d| vec![d, model.beta(d)]).collect();
-    emit_table("Calibrated beta(D) for the game model", &["delay_s", "beta"], &rows);
+    std::process::exit(mbm_exp::runner::run_bin("calibration"));
 }

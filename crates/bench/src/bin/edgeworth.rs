@@ -1,76 +1,7 @@
-//! EXP-EDG — the Edgeworth price cycle (reproduction finding; see DESIGN.md
-//! §2 and the Fig. 8 notes in EXPERIMENTS.md).
-//!
-//! At the baseline costs (`C_e = 2 < ` CSP stationary price) the leader game
-//! has no pure equilibrium. This experiment (1) traces Algorithm 1 and
-//! detects the cycle, and (2) computes the mixed-strategy prediction via
-//! regret matching on the discretized price game.
-
-use mbm_bench::{baseline_market, emit_table, BUDGET, N_MINERS};
-use mbm_core::algorithms::{algorithm1_asynchronous_best_response, AlgorithmConfig};
-use mbm_core::params::Prices;
-use mbm_core::sp::mixed::{mixed_price_equilibrium, MixedPricingConfig};
-use mbm_core::sp::stage::Mode;
-use mbm_core::sp::MinerPopulation;
+//! Thin entry point: the `edgeworth` experiment is declared in
+//! `mbm_exp::specs::edgeworth` and runs through the shared engine. Equivalent to
+//! `experiments --only edgeworth`.
 
 fn main() {
-    let params = baseline_market();
-    let population = MinerPopulation::Homogeneous { budget: BUDGET, n: N_MINERS };
-
-    // 1. Trace the cycle.
-    let trace = algorithm1_asynchronous_best_response(
-        &params,
-        population.clone(),
-        Mode::Connected,
-        Prices::new(6.0, 3.0).expect("valid prices"),
-        &AlgorithmConfig { max_rounds: 30, ..Default::default() },
-    )
-    .expect("trace");
-    let rows: Vec<Vec<f64>> = trace
-        .rounds
-        .iter()
-        .enumerate()
-        .map(|(k, r)| vec![k as f64, r.prices.edge, r.prices.cloud, r.profits.0, r.profits.1])
-        .collect();
-    emit_table(
-        "Edgeworth cycle: Algorithm 1 price trajectory (C_e = 2, caps 10/8)",
-        &["round", "P_e", "P_c", "V_e", "V_c"],
-        &rows,
-    );
-    match trace.detect_cycle(0.05) {
-        Some(p) => {
-            println!("# detected price cycle of period {p}; converged = {}\n", trace.converged)
-        }
-        None => println!("# no cycle detected; converged = {}\n", trace.converged),
-    }
-
-    // 2. Mixed-strategy prediction over the discretized price game.
-    let mixed = mixed_price_equilibrium(
-        &params,
-        population,
-        Mode::Connected,
-        &MixedPricingConfig { grid_points: 12, iterations: 150_000, ..Default::default() },
-    )
-    .expect("mixed equilibrium");
-    let rows: Vec<Vec<f64>> =
-        mixed.edge_grid.iter().zip(&mixed.edge_strategy).map(|(&p, &w)| vec![p, w]).collect();
-    emit_table(
-        "ESP mixed price strategy (time-average of regret matching)",
-        &["P_e", "mass"],
-        &rows,
-    );
-    let rows: Vec<Vec<f64>> =
-        mixed.cloud_grid.iter().zip(&mixed.cloud_strategy).map(|(&p, &w)| vec![p, w]).collect();
-    emit_table("CSP mixed price strategy", &["P_c", "mass"], &rows);
-    emit_table(
-        "Mixed-equilibrium summary",
-        &["mean_P_e", "mean_P_c", "exploit_esp", "exploit_csp", "has_pure_ne"],
-        &[vec![
-            mixed.mean_prices.edge,
-            mixed.mean_prices.cloud,
-            mixed.exploitability.0,
-            mixed.exploitability.1,
-            if mixed.has_pure_equilibrium { 1.0 } else { 0.0 },
-        ]],
-    );
+    std::process::exit(mbm_exp::runner::run_bin("edgeworth"));
 }

@@ -1,33 +1,7 @@
-//! EXP-F2 — paper Fig. 2: block-collision PDF (a) and split-rate CDF (b)
-//! versus communication delay, regenerated by Monte-Carlo from the mining
-//! race model.
-
-use mbm_bench::{emit_table, COLLISION_TAU};
-use mbm_chain_sim::fork::{collision_pdf, split_rate_curve};
+//! Thin entry point: the `fig2` experiment is declared in
+//! `mbm_exp::specs::fig2` and runs through the shared engine. Equivalent to
+//! `experiments --only fig2`.
 
 fn main() {
-    let rate = 1.0 / COLLISION_TAU;
-
-    let pdf = collision_pdf(rate, 60.0, 30, 400_000, 2026).expect("valid config");
-    let rows: Vec<Vec<f64>> = pdf
-        .times
-        .iter()
-        .zip(pdf.density.iter().zip(&pdf.analytic))
-        .map(|(&t, (&d, &a))| vec![t, d, a])
-        .collect();
-    emit_table(
-        "Fig 2(a): block collision PDF vs delay (empirical vs exponential model)",
-        &["delay_s", "empirical_pdf", "analytic_pdf"],
-        &rows,
-    );
-
-    let delays: Vec<f64> = (0..=12).map(|i| 5.0 * i as f64).collect();
-    let curve = split_rate_curve(rate, &delays, 400_000, 2027).expect("valid config");
-    let rows: Vec<Vec<f64>> =
-        curve.iter().map(|p| vec![p.delay, p.fork_rate, p.analytic]).collect();
-    emit_table(
-        "Fig 2(b): split rate (fork CDF) vs delay — near-linear for small delay",
-        &["delay_s", "empirical_split_rate", "analytic_cdf"],
-        &rows,
-    );
+    std::process::exit(mbm_exp::runner::run_bin("fig2"));
 }

@@ -1,21 +1,7 @@
-//! EXP-F3 — paper Fig. 3: the discretized Gaussian miner-count toy example
-//! (`μ = 10`, `σ² = 4`): `P(N = k) = Φ(k) − Φ(k−1)`.
-
-use mbm_bench::emit_table;
-use mbm_numerics::distributions::Gaussian;
+//! Thin entry point: the `fig3` experiment is declared in
+//! `mbm_exp::specs::fig3` and runs through the shared engine. Equivalent to
+//! `experiments --only fig3`.
 
 fn main() {
-    let g = Gaussian::new(10.0, 2.0).expect("valid Gaussian");
-    let pmf = g.discretize(1, 20).expect("valid support");
-    let rows: Vec<Vec<f64>> = pmf.iter().map(|(k, p)| vec![k, p]).collect();
-    emit_table(
-        "Fig 3: miner-count pmf, N ~ Gaussian(mu = 10, sigma^2 = 4) discretized to [1, 20]",
-        &["k", "probability"],
-        &rows,
-    );
-    emit_table(
-        "Fig 3 summary",
-        &["mean", "variance", "mode"],
-        &[vec![pmf.mean(), pmf.variance(), pmf.mode()]],
-    );
+    std::process::exit(mbm_exp::runner::run_bin("fig3"));
 }

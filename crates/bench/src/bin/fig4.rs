@@ -1,52 +1,7 @@
-//! EXP-F4 — paper Fig. 4: miner-subgame equilibrium versus the CSP's unit
-//! price (connected mode, 5 homogeneous miners, `B = 200`, `P_e = 4`).
-//!
-//! Expected shape: raising `P_c` pushes miners toward the ESP (`e*` up,
-//! `c*` down) and raises ESP revenue.
-
-use mbm_bench::{baseline_market, emit_table, BUDGET, N_MINERS};
-use mbm_core::params::Prices;
-use mbm_core::subgame::connected::solve_symmetric_connected;
-use mbm_core::subgame::SubgameConfig;
+//! Thin entry point: the `fig4` experiment is declared in
+//! `mbm_exp::specs::fig4` and runs through the shared engine. Equivalent to
+//! `experiments --only fig4`.
 
 fn main() {
-    // Usage: fig4 [P_e] [budget]
-    let params = baseline_market();
-    let p_e = mbm_bench::arg_or(1, 4.0);
-    let budget = mbm_bench::arg_or(2, BUDGET);
-    let cfg = SubgameConfig::default();
-    let mut rows = Vec::new();
-    // The mixed-strategy region requires P_c < (1−β)P_e/(1−β+hβ)
-    // (= 10/3 at the default P_e = 4); sweep up to 96% of that bound.
-    let bound = (1.0 - params.fork_rate()) * p_e
-        / (1.0 - params.fork_rate() + params.edge_availability() * params.fork_rate());
-    let hi = 0.96 * bound;
-    let mut p_c = 0.15 * p_e;
-    let step = (hi - p_c) / 13.0;
-    while p_c <= hi + 1e-9 {
-        let prices = Prices::new(p_e, p_c).expect("valid prices");
-        match solve_symmetric_connected(&params, &prices, budget, N_MINERS, &cfg) {
-            Ok(r) => {
-                let n = N_MINERS as f64;
-                rows.push(vec![
-                    p_c,
-                    r.edge,
-                    r.cloud,
-                    n * r.edge,
-                    n * r.cloud,
-                    p_e * n * r.edge,  // ESP revenue
-                    p_c * n * r.cloud, // CSP revenue
-                ]);
-            }
-            Err(_) => {
-                rows.push(vec![p_c, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN])
-            }
-        }
-        p_c += step;
-    }
-    emit_table(
-        &format!("Fig 4: equilibrium requests & revenues vs CSP price P_c (P_e = {p_e}, B = {budget}, n = 5)"),
-        &["P_c", "e_star", "c_star", "E_total", "C_total", "esp_revenue", "csp_revenue"],
-        &rows,
-    );
+    std::process::exit(mbm_exp::runner::run_bin("fig4"));
 }

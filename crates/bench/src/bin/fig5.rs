@@ -1,36 +1,7 @@
-//! EXP-F5 — paper Fig. 5: effect of the fork rate β (the CSP's
-//! communication delay) on CSP demand/revenue, with the total SP revenue
-//! staying nearly constant (panel c).
-//!
-//! Analytically (sufficient budgets) total SP revenue is
-//! `R(n−1)(1 − β(1−h))/n`, which moves only a few percent over the whole β
-//! range — the paper's "remains almost unchanged".
-
-use mbm_bench::{baseline_market, emit_table, BUDGET, N_MINERS};
-use mbm_core::params::Prices;
-use mbm_core::subgame::connected::solve_symmetric_connected;
-use mbm_core::subgame::SubgameConfig;
+//! Thin entry point: the `fig5` experiment is declared in
+//! `mbm_exp::specs::fig5` and runs through the shared engine. Equivalent to
+//! `experiments --only fig5`.
 
 fn main() {
-    let prices = Prices::new(4.0, 2.0).expect("valid prices");
-    let cfg = SubgameConfig::default();
-    let mut rows = Vec::new();
-    for i in 0..=9 {
-        let beta = 0.05 + 0.05 * i as f64;
-        let params = baseline_market().with_fork_rate(beta).expect("valid beta");
-        match solve_symmetric_connected(&params, &prices, BUDGET, N_MINERS, &cfg) {
-            Ok(r) => {
-                let n = N_MINERS as f64;
-                let esp_rev = prices.edge * n * r.edge;
-                let csp_rev = prices.cloud * n * r.cloud;
-                rows.push(vec![beta, n * r.edge, n * r.cloud, esp_rev, csp_rev, esp_rev + csp_rev]);
-            }
-            Err(_) => rows.push(vec![beta, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN]),
-        }
-    }
-    emit_table(
-        "Fig 5: demand and revenues vs fork rate beta (P = (4, 2), B = 200, n = 5)",
-        &["beta", "E_total", "C_total", "esp_revenue", "csp_revenue", "total_sp_revenue"],
-        &rows,
-    );
+    std::process::exit(mbm_exp::runner::run_bin("fig5"));
 }

@@ -1,76 +1,7 @@
-//! EXP-F6 — paper Fig. 6: standalone mode.
-//!
-//! Panel 1: the ESP's capacity `E_max` is positively related to the miners'
-//! edge requests (until the unconstrained demand is reached), and the
-//! connected mode discourages edge purchases relative to standalone.
-//! Panel 2: the CSP's optimal price falls with the communication delay, and
-//! the standalone/connected curves cross.
-
-use mbm_bench::{baseline_market, emit_table, BUDGET, N_MINERS};
-use mbm_core::params::{MarketParams, Prices};
-use mbm_core::sp::stage::{Mode, ProviderStage};
-use mbm_core::sp::MinerPopulation;
-use mbm_core::subgame::connected::solve_symmetric_connected;
-use mbm_core::subgame::standalone::solve_symmetric_standalone;
-use mbm_core::subgame::SubgameConfig;
-use mbm_numerics::optimize::adaptive_grid_max;
+//! Thin entry point: the `fig6` experiment is declared in
+//! `mbm_exp::specs::fig6` and runs through the shared engine. Equivalent to
+//! `experiments --only fig6`.
 
 fn main() {
-    let prices = Prices::new(4.0, 2.0).expect("valid prices");
-    let cfg = SubgameConfig::default();
-    let n = N_MINERS as f64;
-
-    // Panel 1: edge demand vs capacity.
-    let mut rows = Vec::new();
-    let connected = solve_symmetric_connected(&baseline_market(), &prices, BUDGET, N_MINERS, &cfg)
-        .expect("connected equilibrium");
-    for e_max in [0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0] {
-        let params = baseline_market().with_e_max(e_max).expect("valid capacity");
-        match solve_symmetric_standalone(&params, &prices, BUDGET, N_MINERS, &cfg) {
-            Ok(r) => rows.push(vec![e_max, n * r.edge, n * r.cloud, n * connected.edge]),
-            Err(_) => rows.push(vec![e_max, f64::NAN, f64::NAN, n * connected.edge]),
-        }
-    }
-    emit_table(
-        "Fig 6 (demand): standalone edge demand vs capacity E_max (P = (4, 2)); connected shown for contrast",
-        &["E_max", "standalone_E", "standalone_C", "connected_E"],
-        &rows,
-    );
-
-    // Panel 2: CSP optimal price vs delay, per mode (P_e fixed at 4).
-    let mut rows = Vec::new();
-    for i in 0..=7 {
-        let delay = 1.0 + 2.0 * i as f64;
-        let beta = MarketParams::fork_rate_from_delay(delay, mbm_bench::COLLISION_TAU)
-            .expect("valid delay");
-        let params = baseline_market().with_fork_rate(beta.min(0.9)).expect("valid beta");
-        let conn = csp_optimal_price(&params, Mode::Connected, &cfg);
-        let stand = csp_optimal_price(&params, Mode::Standalone, &cfg);
-        rows.push(vec![delay, beta, conn, stand]);
-    }
-    emit_table(
-        "Fig 6 (pricing): CSP optimal price vs cloud delay, by edge mode (P_e = 4)",
-        &["delay_s", "beta", "csp_price_connected", "csp_price_standalone"],
-        &rows,
-    );
-}
-
-/// CSP profit-maximizing price given `P_e = 4`, by direct search over the
-/// follower equilibrium.
-fn csp_optimal_price(params: &MarketParams, mode: Mode, cfg: &SubgameConfig) -> f64 {
-    let stage = ProviderStage::new(
-        *params,
-        MinerPopulation::Homogeneous { budget: BUDGET, n: N_MINERS },
-        mode,
-        *cfg,
-    );
-    let profit = |p_c: f64| {
-        Prices::new(4.0, p_c)
-            .ok()
-            .and_then(|pr| stage.follower_demand(&pr))
-            .map_or(f64::NAN, |agg| (p_c - params.csp().cost()) * agg.cloud)
-    };
-    adaptive_grid_max(profit, params.csp().cost() + 1e-6, 3.9, 41, 6)
-        .map(|r| r.x)
-        .unwrap_or(f64::NAN)
+    std::process::exit(mbm_exp::runner::run_bin("fig6"));
 }

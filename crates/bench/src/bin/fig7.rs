@@ -1,47 +1,7 @@
-//! EXP-F7 — paper Fig. 7: heterogeneous budgets. Miner 1's budget sweeps
-//! from 20 to 200 (the other four fixed); its requests and utility rise
-//! with the budget and flatten once the budget stops binding, with similar
-//! total demand across different cloud delays.
-
-use mbm_bench::{emit_table, N_MINERS};
-use mbm_core::params::{MarketParams, Prices};
-use mbm_core::subgame::connected::solve_connected_miner_subgame;
-use mbm_core::subgame::SubgameConfig;
+//! Thin entry point: the `fig7` experiment is declared in
+//! `mbm_exp::specs::fig7` and runs through the shared engine. Equivalent to
+//! `experiments --only fig7`.
 
 fn main() {
-    let prices = Prices::new(4.0, 2.0).expect("valid prices");
-    let cfg = SubgameConfig::default();
-    for beta in [0.1, 0.3] {
-        // R = 1000 makes the unconstrained equilibrium spending (~150)
-        // exceed most of the budget sweep, so the budget genuinely binds —
-        // the regime the paper's Fig. 7 explores.
-        let params = MarketParams::builder()
-            .reward(1000.0)
-            .fork_rate(beta)
-            .edge_availability(0.8)
-            .build()
-            .expect("valid market");
-        // Ten independent budget bins, one NEP solve each: fan them across
-        // the global pool (rows come back in bin order regardless).
-        let rows = mbm_par::Pool::global().par_eval(10, |bin| {
-            let b1 = 20.0 * (bin + 1) as f64;
-            let mut budgets = vec![100.0, 120.0, 150.0, 180.0];
-            budgets.insert(0, b1);
-            debug_assert_eq!(budgets.len(), N_MINERS);
-            match solve_connected_miner_subgame(&params, &prices, &budgets, &cfg) {
-                Ok(eq) => {
-                    let r1 = eq.requests[0];
-                    vec![b1, r1.edge, r1.cloud, r1.total(), eq.utilities[0], r1.cost(&prices)]
-                }
-                Err(_) => vec![b1, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN],
-            }
-        });
-        emit_table(
-            &format!(
-                "Fig 7: miner 1 requests & utility vs its budget B_1 (beta = {beta}, others' budgets = 100/120/150/180)"
-            ),
-            &["B_1", "e_1", "c_1", "total_1", "utility_1", "spending_1"],
-            &rows,
-        );
-    }
+    std::process::exit(mbm_exp::runner::run_bin("fig7"));
 }

@@ -1,62 +1,7 @@
-//! EXP-F8 — paper Fig. 8: service providers' equilibrium prices versus the
-//! ESP's unit operating cost, in both edge operation modes.
-//!
-//! **Reproduction note (see EXPERIMENTS.md):** under Problem 2's profit
-//! functions the ESP's profit is monotone increasing in its own price
-//! whenever `C_e > P_c`, so its equilibrium price pins to the admissible
-//! cap `p̄_e` (Theorem 4's dominant strategy) and is *flat* in `C_e` — the
-//! paper's "increases linearly" is not derivable from its printed model.
-//! Below the region where `C_e` exceeds the CSP's stationary price the
-//! leader game has no pure equilibrium (Edgeworth cycle); those sweep points
-//! print `nan`.
-
-use mbm_bench::{emit_table, BUDGET, N_MINERS};
-use mbm_core::params::{MarketParams, Provider};
-use mbm_core::stackelberg::{solve_connected, solve_standalone, StackelbergConfig};
+//! Thin entry point: the `fig8` experiment is declared in
+//! `mbm_exp::specs::fig8` and runs through the shared engine. Equivalent to
+//! `experiments --only fig8`.
 
 fn main() {
-    let cfg = StackelbergConfig::default();
-    // Each cost bin runs two full Stackelberg solves; fan the bins across
-    // the global pool (rows come back in bin order regardless).
-    let rows = mbm_par::Pool::global().par_eval(7, |i| {
-        let c_e = 4.0 + i as f64;
-        let params = MarketParams::builder()
-            .reward(100.0)
-            .fork_rate(0.2)
-            .edge_availability(0.8)
-            .esp(Provider::new(c_e, 15.0).expect("valid provider"))
-            .csp(Provider::new(1.0, 8.0).expect("valid provider"))
-            .e_max(5.0)
-            .build()
-            .expect("valid market");
-        let budgets = vec![BUDGET; N_MINERS];
-        let conn = solve_connected(&params, &budgets, &cfg).ok();
-        let stand = solve_standalone(&params, &budgets, &cfg).ok();
-        vec![
-            c_e,
-            conn.as_ref().map_or(f64::NAN, |s| s.prices.edge),
-            conn.as_ref().map_or(f64::NAN, |s| s.prices.cloud),
-            conn.as_ref().map_or(f64::NAN, |s| s.esp_profit),
-            conn.as_ref().map_or(f64::NAN, |s| s.csp_profit),
-            stand.as_ref().map_or(f64::NAN, |s| s.prices.edge),
-            stand.as_ref().map_or(f64::NAN, |s| s.prices.cloud),
-            stand.as_ref().map_or(f64::NAN, |s| s.esp_profit),
-            stand.as_ref().map_or(f64::NAN, |s| s.csp_profit),
-        ]
-    });
-    emit_table(
-        "Fig 8: equilibrium prices & profits vs ESP unit cost C_e (caps 15/8; nan = no pure leader NE)",
-        &[
-            "C_e",
-            "conn_P_e",
-            "conn_P_c",
-            "conn_V_e",
-            "conn_V_c",
-            "stand_P_e",
-            "stand_P_c",
-            "stand_V_e",
-            "stand_V_c",
-        ],
-        &rows,
-    );
+    std::process::exit(mbm_exp::runner::run_bin("fig8"));
 }

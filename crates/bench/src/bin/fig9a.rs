@@ -1,66 +1,7 @@
-//! EXP-F9a — paper Fig. 9(a): each miner's ESP request under fixed versus
-//! dynamic population, model lines with reinforcement-learning points
-//! overlaid (the paper's unfilled markers).
-//!
-//! Expected shape: the dynamic (uncertain-population) curve lies above the
-//! fixed curve — uncertainty makes miners ESP-aggressive — and the RL points
-//! land on the model lines.
-
-use mbm_bench::{baseline_market, emit_table};
-use mbm_core::params::Prices;
-use mbm_core::subgame::dynamic::{solve_symmetric_dynamic, DynamicConfig, Population};
-use mbm_learn::trainer::{learn_miner_strategies, TrainConfig};
+//! Thin entry point: the `fig9a` experiment is declared in
+//! `mbm_exp::specs::fig9a` and runs through the shared engine. Equivalent to
+//! `experiments --only fig9a`.
 
 fn main() {
-    let params = baseline_market();
-    let budget = 500.0;
-    // Pool large enough that clamping participants to the pool does not
-    // truncate the Gaussian (mu + 4 sigma = 18).
-    let pool = 18;
-    let mu = 10.0;
-    let sd = 2.0;
-    // The paper's discretization P(k) = Φ(k) − Φ(k−1) shifts the mean up by
-    // exactly ½; shifting the Gaussian down by ½ mean-matches the dynamic
-    // population to the fixed baseline so the comparison isolates the
-    // *variance* effect the paper describes.
-    let dyn_pop = Population::gaussian(mu - 0.5, sd).expect("valid population");
-    let fixed_pop = Population::fixed(mu as usize).expect("valid population");
-    let cfg = DynamicConfig::default();
-
-    let mut rows = Vec::new();
-    for i in 0..=8 {
-        let p_e = 3.0 + 0.5 * i as f64;
-        let prices = Prices::new(p_e, 2.0).expect("valid prices");
-        let fixed = solve_symmetric_dynamic(&params, &prices, budget, &fixed_pop, &cfg).ok();
-        let dynamic = solve_symmetric_dynamic(&params, &prices, budget, &dyn_pop, &cfg).ok();
-        rows.push(vec![
-            p_e,
-            fixed.map_or(f64::NAN, |r| r.edge),
-            dynamic.map_or(f64::NAN, |r| r.edge),
-        ]);
-    }
-    emit_table(
-        "Fig 9(a) model lines: per-miner ESP request vs P_e (P_c = 2, B = 500, mu = 10, sigma = 2)",
-        &["P_e", "e_fixed", "e_dynamic"],
-        &rows,
-    );
-
-    // RL points at three sampled prices (the paper's unfilled markers).
-    let train = TrainConfig { periods: 400, grid_points: 11, ..Default::default() };
-    let mut rows = Vec::new();
-    for p_e in [3.0, 5.0, 7.0] {
-        let prices = Prices::new(p_e, 2.0).expect("valid prices");
-        let fixed_rl = learn_miner_strategies(&params, &prices, budget, &fixed_pop, pool, &train)
-            .map(|o| o.mean_request.edge)
-            .unwrap_or(f64::NAN);
-        let dyn_rl = learn_miner_strategies(&params, &prices, budget, &dyn_pop, pool, &train)
-            .map(|o| o.mean_request.edge)
-            .unwrap_or(f64::NAN);
-        rows.push(vec![p_e, fixed_rl, dyn_rl]);
-    }
-    emit_table(
-        "Fig 9(a) RL points: learned per-miner ESP request (pool of 18 Q-learners, T = 50 blocks/period)",
-        &["P_e", "e_fixed_rl", "e_dynamic_rl"],
-        &rows,
-    );
+    std::process::exit(mbm_exp::runner::run_bin("fig9a"));
 }

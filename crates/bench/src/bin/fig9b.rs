@@ -1,43 +1,7 @@
-//! EXP-F9b — paper Fig. 9(b): the effect of the population variance σ² on a
-//! miner's ESP request — a larger variance makes miners more ESP-prone.
-
-use mbm_bench::{baseline_market, emit_table};
-use mbm_core::params::Prices;
-use mbm_core::subgame::dynamic::{solve_symmetric_dynamic, DynamicConfig, Population};
-use mbm_learn::trainer::{learn_miner_strategies, TrainConfig};
+//! Thin entry point: the `fig9b` experiment is declared in
+//! `mbm_exp::specs::fig9b` and runs through the shared engine. Equivalent to
+//! `experiments --only fig9b`.
 
 fn main() {
-    // Usage: fig9b [mu] [budget]
-    let params = baseline_market();
-    let prices = Prices::new(4.0, 2.0).expect("valid prices");
-    let budget = mbm_bench::arg_or(2, 500.0);
-    let mu = mbm_bench::arg_or(1, 10.0);
-    let cfg = DynamicConfig::default();
-    let train = TrainConfig { periods: 400, grid_points: 11, ..Default::default() };
-
-    let mut rows = Vec::new();
-    for sigma2 in [0.25f64, 0.5, 1.0, 2.0, 4.0, 6.0, 9.0] {
-        let pop = Population::gaussian(mu, sigma2.sqrt()).expect("valid population");
-        let model = solve_symmetric_dynamic(&params, &prices, budget, &pop, &cfg).ok();
-        let rl = if sigma2 == 1.0 || sigma2 == 4.0 {
-            // RL check at two variances; the pool exceeds mu + 4 sigma so
-            // clamping does not truncate the population distribution.
-            learn_miner_strategies(&params, &prices, budget, &pop, 18, &train)
-                .map(|o| o.mean_request.edge)
-                .unwrap_or(f64::NAN)
-        } else {
-            f64::NAN
-        };
-        rows.push(vec![
-            sigma2,
-            model.map_or(f64::NAN, |r| r.edge),
-            model.map_or(f64::NAN, |r| r.cloud),
-            rl,
-        ]);
-    }
-    emit_table(
-        &format!("Fig 9(b): per-miner requests vs population variance (mu = {mu}, P = (4, 2), B = {budget})"),
-        &["sigma2", "e_model", "c_model", "e_rl"],
-        &rows,
-    );
+    std::process::exit(mbm_exp::runner::run_bin("fig9b"));
 }

@@ -1,74 +1,7 @@
-//! EXP-T2 — paper Table II: closed-form comparison of the two edge
-//! operation modes with sufficiently large budgets, plus the standalone
-//! closed-form prices.
-//!
-//! Headline checks: total demand `S` identical across modes; the standalone
-//! mode channels more units to the ESP (by the factor `1/h` when the
-//! capacity is slack).
-
-use mbm_bench::{baseline_market, emit_table, N_MINERS};
-use mbm_core::params::Prices;
-use mbm_core::sp::pricing::{standalone_csp_price, standalone_market_clearing_edge_price};
-use mbm_core::table2::closed_forms;
+//! Thin entry point: the `table2` experiment is declared in
+//! `mbm_exp::specs::table2` and runs through the shared engine. Equivalent to
+//! `experiments --only table2`.
 
 fn main() {
-    let prices = Prices::new(4.0, 2.0).expect("valid prices");
-    let mut rows = Vec::new();
-    for e_max in [2.0, 5.0, 50.0] {
-        let params = baseline_market().with_e_max(e_max).expect("valid capacity");
-        match closed_forms(&params, &prices, N_MINERS) {
-            Ok(t) => rows.push(vec![
-                e_max,
-                t.connected.edge_total,
-                t.connected.cloud_total,
-                t.connected.total,
-                t.standalone.edge_total,
-                t.standalone.cloud_total,
-                t.standalone.total,
-                if t.capacity_binds { 1.0 } else { 0.0 },
-            ]),
-            Err(_) => rows.push(vec![
-                e_max,
-                f64::NAN,
-                f64::NAN,
-                f64::NAN,
-                f64::NAN,
-                f64::NAN,
-                f64::NAN,
-                f64::NAN,
-            ]),
-        }
-    }
-    emit_table(
-        "Table II: closed-form aggregates, connected vs standalone (P = (4, 2), n = 5, sufficient budgets)",
-        &[
-            "E_max",
-            "conn_E",
-            "conn_C",
-            "conn_S",
-            "stand_E",
-            "stand_C",
-            "stand_S",
-            "capacity_binds",
-        ],
-        &rows,
-    );
-
-    // Standalone closed-form prices.
-    let mut rows = Vec::new();
-    for e_max in [2.0, 5.0, 10.0] {
-        let params = baseline_market().with_e_max(e_max).expect("valid capacity");
-        let p_c = standalone_csp_price(&params, N_MINERS).unwrap_or(f64::NAN);
-        let p_e = if p_c.is_nan() {
-            f64::NAN
-        } else {
-            standalone_market_clearing_edge_price(&params, p_c, N_MINERS).unwrap_or(f64::NAN)
-        };
-        rows.push(vec![e_max, p_c, p_e]);
-    }
-    emit_table(
-        "Table II (prices): standalone closed-form CSP price and market-clearing ESP price",
-        &["E_max", "P_c_star", "P_e_clearing"],
-        &rows,
-    );
+    std::process::exit(mbm_exp::runner::run_bin("table2"));
 }

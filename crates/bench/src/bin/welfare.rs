@@ -1,70 +1,7 @@
-//! EXP-WEL — welfare analysis (extension beyond the paper's figures):
-//! how much of the block reward does the mining competition burn on
-//! computing resources, across reward levels and budgets?
-//!
-//! The paper observes that "the SP-side welfare is bounded by the total
-//! miner budgets in the beginning \[and\] as the budgets increase ... the
-//! total welfare of these two SPs are positively related to the blockchain
-//! mining reward"; this experiment quantifies both regimes and adds the
-//! mining-efficiency measure.
-
-use mbm_bench::{baseline_market, emit_table, N_MINERS};
-use mbm_core::analysis::{mining_efficiency, welfare_upper_bound_connected, MarketReport};
-use mbm_core::params::{MarketParams, Prices};
-use mbm_core::subgame::connected::solve_connected_miner_subgame;
-use mbm_core::subgame::SubgameConfig;
+//! Thin entry point: the `welfare` experiment is declared in
+//! `mbm_exp::specs::welfare` and runs through the shared engine. Equivalent to
+//! `experiments --only welfare`.
 
 fn main() {
-    let prices = Prices::new(4.0, 2.0).expect("valid prices");
-    let cfg = SubgameConfig::default();
-
-    // Budget sweep at fixed reward: SP revenue saturates once budgets stop
-    // binding.
-    let params = baseline_market();
-    let mut rows = Vec::new();
-    for budget in [2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0] {
-        if let Ok(eq) = solve_connected_miner_subgame(&params, &prices, &[budget; N_MINERS], &cfg) {
-            let report = MarketReport::new(&params, &prices, &eq);
-            let ceiling = welfare_upper_bound_connected(&params);
-            rows.push(vec![
-                budget,
-                report.sp_revenue(),
-                report.sp_profit(),
-                report.total_welfare,
-                mining_efficiency(&report, ceiling),
-            ]);
-        }
-    }
-    emit_table(
-        "Welfare vs miner budget (R = 100): SP revenue saturates once budgets stop binding",
-        &["budget", "sp_revenue", "sp_profit", "total_welfare", "mining_efficiency"],
-        &rows,
-    );
-
-    // Reward sweep at a large budget: SP welfare scales with R.
-    let mut rows = Vec::new();
-    for reward in [50.0, 100.0, 200.0, 400.0, 800.0] {
-        let params = MarketParams::builder()
-            .reward(reward)
-            .fork_rate(0.2)
-            .edge_availability(0.8)
-            .build()
-            .expect("valid market");
-        if let Ok(eq) = solve_connected_miner_subgame(&params, &prices, &[1e6; N_MINERS], &cfg) {
-            let report = MarketReport::new(&params, &prices, &eq);
-            let ceiling = welfare_upper_bound_connected(&params);
-            rows.push(vec![
-                reward,
-                report.sp_revenue(),
-                report.sp_profit(),
-                report.total_welfare,
-                mining_efficiency(&report, ceiling),
-            ]);
-        }
-    }
-    emit_table(
-        "Welfare vs mining reward (sufficient budgets): SP welfare scales with R",
-        &["reward", "sp_revenue", "sp_profit", "total_welfare", "mining_efficiency"],
-        &rows,
-    );
+    std::process::exit(mbm_exp::runner::run_bin("welfare"));
 }

@@ -1,103 +1,19 @@
-//! Shared helpers for the experiment harness.
+//! Presentation layer of the experiment harness.
 //!
-//! Each paper table/figure has a dedicated binary in `src/bin/` (see
-//! `DESIGN.md` §3 for the experiment index); this library holds the common
-//! parameter sets and the TSV emitter they share. Run any experiment with
-//! `cargo run -p mbm-bench --bin <name>` — output is tab-separated so it
-//! can be piped straight into a plotting tool.
+//! Every paper table/figure binary in `src/bin/` is a one-line entry into
+//! the experiment engine ([`mbm_exp`]): the sweep definitions, market
+//! presets and TSV rendering all live there now (see DESIGN.md §8). This
+//! crate keeps the legacy binary names (`cargo run -p mbm-bench --bin
+//! fig4`) and re-exports the helpers downstream code imported from here, so
+//! existing invocations and `use mbm_bench::…` paths keep working.
 
-use mbm_core::params::MarketParams;
-use mbm_core::presets;
-
-pub mod telemetry;
-
-/// The baseline market of the paper's evaluation
-/// (see [`mbm_core::presets::paper_baseline`]).
-///
-/// # Panics
-///
-/// Never panics: the preset constants are valid by construction.
-#[must_use]
-pub fn baseline_market() -> MarketParams {
-    presets::paper_baseline().expect("valid baseline preset")
+/// Bridge between `mbm-obs` snapshots and the vendored serde shims
+/// (moved to [`mbm_exp::obs_bridge`]; re-exported for compatibility).
+pub mod telemetry {
+    pub use mbm_exp::obs_bridge::{snapshot_value, telemetry_document};
 }
 
-/// A market variant whose leader stage has a pure Nash equilibrium
-/// (see [`mbm_core::presets::leader_ne_market`] and DESIGN.md §2).
-///
-/// # Panics
-///
-/// Never panics: the preset constants are valid by construction.
-#[must_use]
-pub fn leader_ne_market() -> MarketParams {
-    presets::leader_ne_market().expect("valid leader-NE preset")
-}
-
-/// Number of miners in the paper's small evaluation network.
-pub const N_MINERS: usize = presets::PAPER_N_MINERS;
-
-/// The common miner budget of the paper's homogeneous experiments.
-pub const BUDGET: f64 = presets::PAPER_BUDGET;
-
-/// Bitcoin's mean block-collision time used by the Fig. 2 experiment
-/// (seconds; from the measurement study the paper cites).
-pub const COLLISION_TAU: f64 = presets::BITCOIN_COLLISION_TAU;
-
-/// Positional CLI override: returns argument `index` (1-based) parsed as
-/// `f64`, or `default` when absent. Unparseable values abort with a clear
-/// message rather than silently running the wrong sweep.
-///
-/// # Panics
-///
-/// Panics (with the offending text) if the argument exists but is not a
-/// number.
-#[must_use]
-pub fn arg_or(index: usize, default: f64) -> f64 {
-    match std::env::args().nth(index) {
-        None => default,
-        Some(s) => s.parse().unwrap_or_else(|_| panic!("argument {index} ({s:?}) is not a number")),
-    }
-}
-
-/// Prints a TSV table: a `# title` line, a header line, then one line per
-/// row with values formatted to six significant digits.
-pub fn emit_table(title: &str, headers: &[&str], rows: &[Vec<f64>]) {
-    println!("# {title}");
-    println!("{}", headers.join("\t"));
-    for row in rows {
-        let line: Vec<String> = row.iter().map(|v| format_cell(*v)).collect();
-        println!("{}", line.join("\t"));
-    }
-    println!();
-}
-
-fn format_cell(v: f64) -> String {
-    if v.is_nan() {
-        "nan".to_string()
-    } else if v == 0.0 || (v.abs() >= 1e-3 && v.abs() < 1e7) {
-        format!("{v:.6}")
-    } else {
-        format!("{v:.6e}")
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn baselines_are_valid() {
-        let b = baseline_market();
-        assert_eq!(b.reward(), 100.0);
-        let l = leader_ne_market();
-        assert!(l.esp().cost() > 5.6);
-    }
-
-    #[test]
-    fn format_cell_handles_extremes() {
-        assert_eq!(format_cell(0.0), "0.000000");
-        assert_eq!(format_cell(f64::NAN), "nan");
-        assert!(format_cell(1e-9).contains('e'));
-        assert!(format_cell(1.5).starts_with("1.5"));
-    }
-}
+pub use mbm_exp::market::{
+    arg_or, baseline_market, leader_ne_market, BUDGET, COLLISION_TAU, N_MINERS,
+};
+pub use mbm_exp::table::emit_table;

@@ -49,7 +49,9 @@ impl From<Request> for [f64; 2] {
     }
 }
 
-/// Aggregates `(E, C, S)` of a request profile.
+/// Aggregates `(E, C)` of a request profile; the paper's total network
+/// power `S = E + C` is derived, not stored — read it via
+/// [`Aggregates::total`].
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct Aggregates {
     /// Total edge demand `E = Σ e_i`.
@@ -62,10 +64,18 @@ impl Aggregates {
     /// Sums a request profile.
     #[must_use]
     pub fn of(requests: &[Request]) -> Self {
-        Aggregates {
-            edge: requests.iter().map(|r| r.edge).sum(),
-            cloud: requests.iter().map(|r| r.cloud).sum(),
-        }
+        Aggregates::of_iter(requests)
+    }
+
+    /// Sums requests straight off an iterator, without materializing a
+    /// profile slice first. The experiment engine's hot loop aggregates
+    /// synthetic symmetric profiles (`n` copies of one request) this way
+    /// instead of allocating a `Vec<Request>` per grid point.
+    pub fn of_iter<'a>(requests: impl IntoIterator<Item = &'a Request>) -> Self {
+        requests.into_iter().fold(Aggregates::default(), |acc, r| Aggregates {
+            edge: acc.edge + r.edge,
+            cloud: acc.cloud + r.cloud,
+        })
     }
 
     /// Total network power `S = E + C`.
@@ -103,5 +113,18 @@ mod tests {
         assert_eq!(agg.edge, 4.0);
         assert_eq!(agg.cloud, 6.0);
         assert_eq!(agg.total(), 10.0);
+    }
+
+    #[test]
+    fn of_iter_matches_of_without_a_profile_allocation() {
+        let r = Request::new(1.25, 0.75).unwrap();
+        // A symmetric profile summed off a repeat-iterator must agree
+        // bitwise with the slice-based sum.
+        let profile = vec![r; 7];
+        let from_slice = Aggregates::of(&profile);
+        let from_iter = Aggregates::of_iter(std::iter::repeat_n(&r, 7));
+        assert_eq!(from_slice.edge.to_bits(), from_iter.edge.to_bits());
+        assert_eq!(from_slice.cloud.to_bits(), from_iter.cloud.to_bits());
+        assert_eq!(Aggregates::of_iter(std::iter::empty::<&Request>()), Aggregates::default());
     }
 }

@@ -30,9 +30,9 @@ use crate::error::MiningGameError;
 use crate::params::{validate_budgets, MarketParams, Prices};
 use crate::request::{Aggregates, Request};
 use crate::stackelberg::{solve_connected, solve_standalone, StackelbergConfig};
-use crate::subgame::connected::solve_connected_miner_subgame;
+use crate::subgame::connected::{solve_connected_miner_subgame, solve_symmetric_connected};
 use crate::subgame::dynamic::{solve_symmetric_dynamic, DynamicConfig, Population};
-use crate::subgame::standalone::solve_standalone_miner_subgame;
+use crate::subgame::standalone::{solve_standalone_miner_subgame, solve_symmetric_standalone};
 use crate::subgame::MinerEquilibrium;
 
 /// Which edge operation mode the scenario runs.
@@ -165,6 +165,53 @@ impl Scenario {
         }
     }
 
+    /// Symmetric fast path: the per-miner equilibrium request of a
+    /// homogeneous fixed-price scenario, via the closed-form-assisted
+    /// symmetric solvers (paper Theorems 2–3) instead of the full NEP
+    /// iteration. This is the solve the figure sweeps (Figs. 4–6) run at
+    /// every grid point, so it skips the profile/report assembly of
+    /// [`Scenario::solve`].
+    ///
+    /// # Errors
+    ///
+    /// * [`MiningGameError::InvalidParameter`] unless the scenario has
+    ///   fixed prices and a homogeneous fixed population (equal budgets).
+    /// * Solver errors from the symmetric subgame.
+    pub fn solve_symmetric(self) -> Result<Request, MiningGameError> {
+        let prices = self.fixed_prices.ok_or_else(|| {
+            MiningGameError::invalid("Scenario: the symmetric fast path needs fixed prices")
+        })?;
+        let (budget, n) = match &self.population {
+            Some(PopulationSpec::Fixed(budgets))
+                if !budgets.is_empty() && budgets.iter().all(|b| *b == budgets[0]) =>
+            {
+                (budgets[0], budgets.len())
+            }
+            _ => {
+                return Err(MiningGameError::invalid(
+                    "Scenario: the symmetric fast path needs homogeneous miners \
+                     (use homogeneous_miners)",
+                ))
+            }
+        };
+        match self.operation {
+            EdgeOperation::Connected => solve_symmetric_connected(
+                &self.params,
+                &prices,
+                budget,
+                n,
+                &self.stackelberg.subgame,
+            ),
+            EdgeOperation::Standalone => solve_symmetric_standalone(
+                &self.params,
+                &prices,
+                budget,
+                n,
+                &self.stackelberg.subgame,
+            ),
+        }
+    }
+
     fn solve_fixed(&self, budgets: &[f64]) -> Result<ScenarioOutcome, MiningGameError> {
         validate_budgets(budgets)?;
         let (prices, equilibrium, endogenous) = match self.fixed_prices {
@@ -243,7 +290,9 @@ impl Scenario {
             })
             .collect();
         let equilibrium = MinerEquilibrium {
-            aggregates: Aggregates::of(&requests),
+            // `of_iter` keeps the aggregate pass allocation-free; the
+            // requests vector itself is still materialized for the report.
+            aggregates: Aggregates::of_iter(&requests),
             requests: requests.clone(),
             utilities,
             iterations: 0,
@@ -319,5 +368,39 @@ mod tests {
     #[test]
     fn missing_population_is_an_error() {
         assert!(Scenario::connected(params()).solve().is_err());
+    }
+
+    #[test]
+    fn symmetric_fast_path_matches_direct_solver_bitwise() {
+        let prices = Prices::new(4.0, 2.0).unwrap();
+        let via_scenario = Scenario::connected(params())
+            .homogeneous_miners(5, 200.0)
+            .with_prices(prices)
+            .solve_symmetric()
+            .unwrap();
+        let direct = solve_symmetric_connected(
+            &params(),
+            &prices,
+            200.0,
+            5,
+            &StackelbergConfig::default().subgame,
+        )
+        .unwrap();
+        assert_eq!(via_scenario.edge.to_bits(), direct.edge.to_bits());
+        assert_eq!(via_scenario.cloud.to_bits(), direct.cloud.to_bits());
+    }
+
+    #[test]
+    fn symmetric_fast_path_rejects_heterogeneous_or_priceless_scenarios() {
+        let prices = Prices::new(4.0, 2.0).unwrap();
+        assert!(Scenario::connected(params())
+            .miners(vec![100.0, 200.0])
+            .with_prices(prices)
+            .solve_symmetric()
+            .is_err());
+        assert!(Scenario::connected(params())
+            .homogeneous_miners(5, 200.0)
+            .solve_symmetric()
+            .is_err());
     }
 }

@@ -1,0 +1,410 @@
+//! BENCH-1 — wall-clock audit of the execution substrate *and* the
+//! experiment engine (moved here from the hand-rolled `bench1` driver).
+//!
+//! Times five representative workloads serial vs accelerated and writes the
+//! measurements to `BENCH_1.json`:
+//!
+//! 1. a fixed heterogeneous-budget Stackelberg solve (parallel candidate
+//!    evaluation plus the quantized payoff cache),
+//! 2. a multi-start leader sweep sharing one payoff memo cache,
+//! 3. the full Fig. 2 split-rate sweep, fanned per delay bin,
+//! 4. a proof-of-work nonce grind (chunked first-hit search),
+//! 5. **the engine record**: a batch of overlapping sweep specs solved
+//!    naively (every spec on its own) vs through the planner's cross-spec
+//!    dedup.
+//!
+//! Every accelerated path is bitwise-deterministic, so the accelerated
+//! results are asserted equal to the reference ones before a timing is
+//! accepted. Each record carries a `floor`: the minimum speedup CI accepts
+//! for it; the run exits non-zero when any measured speedup lands below its
+//! floor, or when the engine batch shows no cross-spec cache hits.
+//!
+//! Usage: `experiments-bench [output.json] [telemetry.json]` (also reachable
+//! as the legacy `bench1` binary).
+
+use std::time::Instant;
+
+use mbm_chain_sim::pow::{Puzzle, Target};
+use mbm_core::params::Prices;
+use mbm_core::scenario::EdgeOperation;
+use mbm_core::sp::cache::CachedStage;
+use mbm_core::sp::stage::{Mode, ProviderStage};
+use mbm_core::sp::MinerPopulation;
+use mbm_core::stackelberg::{solve_connected, ExecConfig, StackelbergConfig};
+use mbm_core::subgame::SubgameConfig;
+use mbm_game::stackelberg::{leader_equilibrium, LeaderParams};
+use mbm_par::Pool;
+use serde::Serialize;
+
+use crate::executor::execute;
+use crate::market::{leader_ne_market, COLLISION_TAU};
+use crate::obs_bridge::telemetry_document;
+use crate::planner::{plan, PlanStats, PlannedTask};
+use crate::task::{Task, TaskOutput};
+
+#[derive(Serialize)]
+struct BenchRecord {
+    name: String,
+    serial_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+    /// Minimum acceptable speedup; `0.0` marks an informational record
+    /// (parallel gains depend on the runner's core count, so only the
+    /// machine-independent memoization and dedup benches carry hard floors).
+    floor: f64,
+}
+
+/// The engine record's dedup accounting, published alongside the timings.
+#[derive(Serialize)]
+struct EngineStats {
+    specs: usize,
+    tasks_requested: usize,
+    tasks_unique: usize,
+    dedup_hits: usize,
+    cross_spec_hits: usize,
+    hit_rate: f64,
+    cross_spec_hit_rate: f64,
+}
+
+impl EngineStats {
+    fn from_plan(stats: &PlanStats) -> Self {
+        EngineStats {
+            specs: stats.specs,
+            tasks_requested: stats.requested,
+            tasks_unique: stats.unique,
+            dedup_hits: stats.dedup_hits,
+            cross_spec_hits: stats.cross_spec_hits,
+            hit_rate: stats.hit_rate(),
+            cross_spec_hit_rate: stats.cross_spec_hit_rate(),
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    threads: usize,
+    benches: Vec<BenchRecord>,
+    engine: EngineStats,
+}
+
+fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Best (smallest) wall-clock over `reps` runs — robust to scheduler noise.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> (T, f64)) -> (T, f64) {
+    let mut best: Option<(T, f64)> = None;
+    for _ in 0..reps {
+        let (out, ms) = f();
+        if best.as_ref().is_none_or(|&(_, b)| ms < b) {
+            best = Some((out, ms));
+        }
+    }
+    best.expect("reps > 0")
+}
+
+fn bench_stackelberg(threads: usize) -> BenchRecord {
+    let params = leader_ne_market();
+    // Distinct budgets force the full heterogeneous NEP solver inside every
+    // leader payoff evaluation — the expensive regime the substrate targets.
+    let budgets = [80.0, 120.0, 160.0, 200.0, 240.0];
+    // The high-accuracy reference profile re-queries converged price points
+    // across leader iterations — the regime the memo cache targets.
+    let serial_cfg =
+        StackelbergConfig { leader: LeaderParams::reference(), ..StackelbergConfig::default() };
+    let par_cfg = StackelbergConfig {
+        exec: ExecConfig { threads, cache_capacity: 1 << 16, telemetry: false },
+        ..serial_cfg
+    };
+    let (serial, serial_ms) =
+        best_of(2, || time_ms(|| solve_connected(&params, &budgets, &serial_cfg).ok()));
+    let (parallel, parallel_ms) =
+        best_of(2, || time_ms(|| solve_connected(&params, &budgets, &par_cfg).ok()));
+    // The cache quantizes prices below the solver's resolution; prices must
+    // agree to leader tolerance even though they are not bitwise equal here.
+    if let (Some(s), Some(p)) = (&serial, &parallel) {
+        assert!(
+            (s.prices.edge - p.prices.edge).abs() <= 10.0 * serial_cfg.leader.tol
+                && (s.prices.cloud - p.prices.cloud).abs() <= 10.0 * serial_cfg.leader.tol,
+            "accelerated solve diverged: {:?} vs {:?}",
+            s.prices,
+            p.prices
+        );
+    }
+    BenchRecord {
+        name: "stackelberg_fixed_heterogeneous".into(),
+        serial_ms,
+        parallel_ms,
+        speedup: serial_ms / parallel_ms,
+        floor: 0.0,
+    }
+}
+
+/// Multi-start robustness sweep: the leader game solved from 8 different
+/// price initializations of the same market, all sharing one payoff memo
+/// cache. Later starts re-traverse the converged region's quantized grid and
+/// hit heavily — the regime where memoization dominates (≈4× single-core).
+fn bench_multistart_memoized() -> BenchRecord {
+    let params = leader_ne_market();
+    let budgets = vec![80.0, 120.0, 160.0, 200.0, 240.0];
+    let population = MinerPopulation::Heterogeneous { budgets };
+    let stage = ProviderStage::new(params, population, Mode::Connected, SubgameConfig::default());
+    let leader = LeaderParams::reference();
+    let n_inits = 8;
+    let inits: Vec<Vec<f64>> = (0..n_inits)
+        .map(|i| {
+            let t = (i + 1) as f64 / (n_inits + 1) as f64;
+            vec![
+                params.esp().cost() + t * (params.esp().price_cap() - params.esp().cost()),
+                params.csp().cost() + t * (params.csp().price_cap() - params.csp().cost()),
+            ]
+        })
+        .collect();
+    fn solve_all<S: mbm_game::stackelberg::LeaderStage>(
+        stage: &S,
+        inits: &[Vec<f64>],
+        leader: &LeaderParams,
+    ) -> Vec<Option<Vec<f64>>> {
+        inits
+            .iter()
+            .map(|init| leader_equilibrium(stage, init.clone(), leader).map(|o| o.actions).ok())
+            .collect()
+    }
+    let (serial, serial_ms) = best_of(2, || time_ms(|| solve_all(&stage, &inits, &leader)));
+    let (memoized, memo_ms) = best_of(2, || {
+        let cached = CachedStage::new(&stage, leader.tol, 1 << 16);
+        time_ms(|| solve_all(&cached, &inits, &leader))
+    });
+    // Quantization moves prices below solver resolution; equilibria must
+    // still agree start-for-start to leader tolerance.
+    for (s, m) in serial.iter().zip(&memoized) {
+        if let (Some(s), Some(m)) = (s, m) {
+            assert!(
+                s.iter().zip(m).all(|(a, b)| (a - b).abs() <= 10.0 * leader.tol),
+                "memoized multi-start diverged: {s:?} vs {m:?}"
+            );
+        }
+    }
+    BenchRecord {
+        name: "stackelberg_multistart_memoized".into(),
+        serial_ms,
+        parallel_ms: memo_ms,
+        // Memoization gains are single-core and machine-independent (the
+        // multi-start workload re-traverses the converged grid), so this
+        // record carries a hard floor.
+        speedup: serial_ms / memo_ms,
+        floor: 1.3,
+    }
+}
+
+fn bench_fig2_sweep(pool: &Pool) -> BenchRecord {
+    use mbm_chain_sim::fork::split_rate_curve;
+    let rate = 1.0 / COLLISION_TAU;
+    let delays: Vec<f64> = (0..=12).map(|i| 5.0 * i as f64).collect();
+    let samples = 200_000;
+    // One seeded Monte-Carlo run per delay bin; the fan preserves bin order
+    // and per-bin seeds, so serial and parallel sweeps are identical.
+    let run_bin = |i: usize| {
+        split_rate_curve(rate, &delays[i..=i], samples, 2027 + i as u64).expect("valid config")
+    };
+    let (serial, serial_ms) =
+        best_of(2, || time_ms(|| (0..delays.len()).map(run_bin).collect::<Vec<_>>()));
+    let (parallel, parallel_ms) = best_of(2, || time_ms(|| pool.par_eval(delays.len(), run_bin)));
+    assert_eq!(serial, parallel, "fig2 sweep must be bitwise deterministic");
+    BenchRecord {
+        name: "fig2_split_rate_sweep".into(),
+        serial_ms,
+        parallel_ms,
+        speedup: serial_ms / parallel_ms,
+        floor: 0.0,
+    }
+}
+
+fn bench_pow(pool: &Pool) -> BenchRecord {
+    let target = Target::from_success_probability(1.0 / 400_000.0).expect("valid target");
+    let headers: Vec<Puzzle> =
+        (0..4).map(|i| Puzzle::new(format!("bench1 header {i}").into_bytes(), target)).collect();
+    let budget = 40 * Puzzle::PAR_CHUNK;
+    let (serial, serial_ms) =
+        best_of(2, || time_ms(|| headers.iter().map(|p| p.solve(0, budget)).collect::<Vec<_>>()));
+    let (parallel, parallel_ms) = best_of(2, || {
+        time_ms(|| headers.iter().map(|p| p.solve_par(pool, 0, budget)).collect::<Vec<_>>())
+    });
+    assert_eq!(serial, parallel, "parallel PoW must return the serial-first solution");
+    BenchRecord {
+        name: "pow_grind".into(),
+        serial_ms,
+        parallel_ms,
+        speedup: serial_ms / parallel_ms,
+        floor: 0.0,
+    }
+}
+
+/// Recorder-enabled vs recorder-disabled wall clock of the same serial
+/// Stackelberg solve. `serial_ms` is the disabled run, `parallel_ms` the
+/// enabled run; `speedup` < 1 is the (tiny) cost of live telemetry. The
+/// floor guards against an instrumentation change turning the recorder into
+/// a hot-path cost: enabled may never be 2× slower than disabled.
+fn bench_obs_overhead() -> BenchRecord {
+    let params = leader_ne_market();
+    let budgets = [80.0, 120.0, 160.0, 200.0, 240.0];
+    let off_cfg = StackelbergConfig::default();
+    let on_cfg = StackelbergConfig { exec: off_cfg.exec.with_telemetry(), ..off_cfg };
+    let rec = mbm_obs::global();
+    let (off, off_ms) =
+        best_of(2, || time_ms(|| solve_connected(&params, &budgets, &off_cfg).ok()));
+    rec.set_enabled(true);
+    let (on, on_ms) = best_of(2, || time_ms(|| solve_connected(&params, &budgets, &on_cfg).ok()));
+    rec.set_enabled(false);
+    assert_eq!(off, on, "telemetry must never change results");
+    BenchRecord {
+        name: "obs_overhead_on_vs_off".into(),
+        serial_ms: off_ms,
+        parallel_ms: on_ms,
+        speedup: off_ms / on_ms,
+        floor: 0.5,
+    }
+}
+
+/// The synthetic overlapping batch of the engine record: four NEP price
+/// sweeps on a shared dyadic `P_c` lattice, each spec shifted by one grid
+/// point, so consecutive specs request mostly identical solves (8/9
+/// overlap). Dyadic steps make equal grid points equal *in bits*, which is
+/// what the planner keys on.
+fn engine_batch() -> Vec<Vec<PlannedTask>> {
+    let params = leader_ne_market();
+    (0..4)
+        .map(|k| {
+            (0..9)
+                .map(|j| {
+                    let p_c = 1.0 + 0.25 * (k + j) as f64;
+                    PlannedTask::tolerant(Task::Nep {
+                        op: EdgeOperation::Connected,
+                        params,
+                        prices: Prices::new(6.0, p_c).expect("valid prices"),
+                        budgets: vec![80.0, 120.0, 160.0, 200.0, 240.0],
+                        cfg: SubgameConfig::default(),
+                    })
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Bit fingerprint of a task output, for naive-vs-engine comparison.
+fn fingerprint(out: &TaskOutput) -> Result<(u64, u64), String> {
+    match out {
+        TaskOutput::Market(Ok(o)) => {
+            Ok((o.report.edge_units.to_bits(), o.report.cloud_units.to_bits()))
+        }
+        TaskOutput::Market(Err(e)) => Err(e.clone()),
+        other => Err(format!("unexpected output kind {}", other.kind())),
+    }
+}
+
+/// The engine record: the hand-rolled path runs every spec's sweep
+/// independently (36 NEP solves); the engine plans the batch once and runs
+/// only the 12 unique solves. The speedup is a *work ratio* — cross-spec
+/// dedup, not parallelism — so the floor is machine-independent.
+fn bench_engine_batched(pool: &Pool) -> (BenchRecord, EngineStats) {
+    let specs = engine_batch();
+    let (naive, naive_ms) = best_of(2, || {
+        time_ms(|| {
+            specs
+                .iter()
+                .map(|tasks| tasks.iter().map(|p| p.task.run()).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        })
+    });
+    let (engine, engine_ms) = best_of(2, || time_ms(|| execute(&plan(&specs), pool)));
+    // Dedup must be invisible in the results: every reference reads output
+    // bitwise identical to its own naive solve.
+    for (spec, outs) in specs.iter().zip(&naive) {
+        for (planned, naive_out) in spec.iter().zip(outs) {
+            let engine_out = engine.output(&planned.task).expect("planned task present");
+            assert_eq!(fingerprint(naive_out), fingerprint(engine_out), "dedup changed a result");
+        }
+    }
+    let stats = plan(&specs).stats;
+    let record = BenchRecord {
+        name: "engine_batched_sweep_dedup".into(),
+        serial_ms: naive_ms,
+        parallel_ms: engine_ms,
+        speedup: naive_ms / engine_ms,
+        // 36 requested / 12 unique ≈ 3× less work; 1.5 leaves headroom for
+        // planner overhead while still failing if dedup silently breaks.
+        floor: 1.5,
+    };
+    (record, EngineStats::from_plan(&stats))
+}
+
+/// Untimed telemetry pass: re-runs the Stackelberg workload and the engine
+/// batch with the global recorder on so the written snapshot holds real
+/// solver counters, leader traces, cache stats, pool fan-out, span timings,
+/// and the engine's `exp.plan.*` dedup counters.
+fn collect_telemetry(threads: usize, pool: &Pool) -> mbm_obs::Snapshot {
+    let rec = mbm_obs::global();
+    rec.reset();
+    rec.set_enabled(true);
+    let params = leader_ne_market();
+    let budgets = [80.0, 120.0, 160.0, 200.0, 240.0];
+    let cfg = StackelbergConfig {
+        exec: ExecConfig { threads, cache_capacity: 1 << 16, telemetry: true },
+        ..StackelbergConfig::default()
+    };
+    let _ = solve_connected(&params, &budgets, &cfg);
+    let _ = execute(&plan(&engine_batch()), pool);
+    rec.set_enabled(false);
+    rec.snapshot()
+}
+
+/// Entry point of the bench binary; returns the process exit code.
+/// Usage: `[output.json] [telemetry.json]` (defaults `BENCH_1.json`,
+/// `TELEMETRY.json`).
+#[must_use]
+pub fn main_bench1() -> i32 {
+    let pool = Pool::global();
+    let (engine_record, engine_stats) = bench_engine_batched(pool);
+    let report = BenchReport {
+        threads: pool.threads(),
+        benches: vec![
+            bench_stackelberg(pool.threads()),
+            bench_multistart_memoized(),
+            bench_fig2_sweep(pool),
+            bench_pow(pool),
+            bench_obs_overhead(),
+            engine_record,
+        ],
+        engine: engine_stats,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializable report");
+    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_1.json".into());
+    std::fs::write(&path, &json).expect("writable output path");
+    println!("{json}");
+    println!("wrote {path}");
+
+    let snapshot = collect_telemetry(pool.threads(), pool);
+    let doc = telemetry_document(
+        &snapshot,
+        vec![("threads".into(), serde::Value::U64(pool.threads() as u64))],
+    );
+    let telemetry_json = serde_json::to_string_pretty(&doc).expect("serializable telemetry");
+    let telemetry_path = std::env::args().nth(2).unwrap_or_else(|| "TELEMETRY.json".into());
+    std::fs::write(&telemetry_path, &telemetry_json).expect("writable telemetry path");
+    println!("wrote {telemetry_path}");
+
+    let mut failed = false;
+    for b in &report.benches {
+        if b.floor > 0.0 && b.speedup < b.floor {
+            eprintln!("FAIL: {} speedup {:.2} below floor {:.2}", b.name, b.speedup, b.floor);
+            failed = true;
+        }
+    }
+    if report.engine.cross_spec_hits == 0 {
+        eprintln!("FAIL: engine batch recorded no cross-spec cache hits");
+        failed = true;
+    }
+    i32::from(failed)
+}

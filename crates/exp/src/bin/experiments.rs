@@ -1,0 +1,5 @@
+//! The unified experiment runner. See [`mbm_exp::runner`] for the CLI.
+
+fn main() {
+    std::process::exit(mbm_exp::runner::main_experiments());
+}

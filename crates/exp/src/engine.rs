@@ -1,0 +1,61 @@
+//! The engine facade: plan a batch of specs, execute it once, render all.
+
+use mbm_par::Pool;
+
+use crate::error::EngineError;
+use crate::executor::{execute, TaskFailure, TaskResults};
+use crate::planner::{plan, Plan, PlanStats, PlannedTask};
+use crate::spec::{ExperimentSpec, SpecCtx};
+use crate::table::ExperimentResult;
+
+/// One executed batch: per-spec results in registry order plus the plan's
+/// dedup accounting and any required-task failures.
+#[derive(Debug)]
+pub struct Batch {
+    /// Rendered results, one per spec, in input order.
+    pub results: Vec<ExperimentResult>,
+    /// Dedup accounting of the shared plan.
+    pub stats: PlanStats,
+    /// Required tasks that failed, annotated with the owning spec's name.
+    pub failures: Vec<(String, TaskFailure)>,
+}
+
+/// Plans all `specs` together (one shared dedup space), executes the
+/// unique batch on `pool`, and renders every spec.
+///
+/// # Errors
+///
+/// Propagates the first render error ([`EngineError::TaskFailed`] when a
+/// spec's required solve failed, or a spec-level render rejection). Solver
+/// failures of *tolerant* tasks are not errors — they render as NaN or
+/// skipped rows, exactly like the legacy drivers.
+pub fn run_batch(
+    specs: &[ExperimentSpec],
+    ctx: &SpecCtx,
+    pool: &Pool,
+) -> Result<Batch, EngineError> {
+    let spec_tasks: Vec<Vec<PlannedTask>> = specs.iter().map(|s| (s.tasks)(ctx)).collect();
+    let compiled: Plan = plan(&spec_tasks);
+    let results = execute(&compiled, pool);
+    let failures = results
+        .failures
+        .iter()
+        .map(|f| (specs[f.first_spec].name.to_string(), f.clone()))
+        .collect();
+    let mut rendered = Vec::with_capacity(specs.len());
+    for spec in specs {
+        rendered.push(ExperimentResult {
+            name: spec.name.to_string(),
+            tables: (spec.render)(ctx, &results)?,
+        });
+    }
+    Ok(Batch { results: rendered, stats: compiled.stats, failures })
+}
+
+/// Plans and executes a bare task list (no spec/render layer) — the entry
+/// point the integration tests and benches use to run one-off tasks
+/// through the same dedup + fan-out machinery.
+#[must_use]
+pub fn run_tasks(tasks: &[PlannedTask], pool: &Pool) -> TaskResults {
+    execute(&plan(&[tasks.to_vec()]), pool)
+}

@@ -1,0 +1,55 @@
+//! Engine-level errors: what can go wrong between a spec and its tables.
+
+use std::fmt;
+
+/// Failure modes of the plan → execute → render pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A spec asked the result set for a task the planner never saw —
+    /// a bug in the spec's `tasks`/`render` pairing, not a solver failure.
+    MissingTask {
+        /// The task's kind label.
+        kind: &'static str,
+    },
+    /// A spec read a task's output as the wrong kind.
+    KindMismatch {
+        /// What the spec asked for.
+        wanted: &'static str,
+        /// What the executor stored.
+        got: &'static str,
+    },
+    /// A task the spec marked *required* failed to solve; old drivers
+    /// panicked here, the engine reports the spec as failed instead.
+    TaskFailed {
+        /// The task's kind label.
+        kind: &'static str,
+        /// The solver's error rendering.
+        error: String,
+    },
+    /// A render function rejected its inputs (e.g. an invalid price grid).
+    Render(String),
+    /// The runner was asked for a spec name the registry does not contain.
+    UnknownSpec(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::MissingTask { kind } => {
+                write!(f, "spec requested unplanned task of kind {kind}")
+            }
+            EngineError::KindMismatch { wanted, got } => {
+                write!(f, "spec read task output as {wanted} but executor stored {got}")
+            }
+            EngineError::TaskFailed { kind, error } => {
+                write!(f, "required task {kind} failed: {error}")
+            }
+            EngineError::Render(msg) => write!(f, "render failed: {msg}"),
+            EngineError::UnknownSpec(name) => {
+                write!(f, "unknown experiment {name:?} (see `experiments --list`)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

@@ -1,0 +1,217 @@
+//! The executor: fans a compiled [`Plan`] across the parallel substrate
+//! and exposes the outputs behind typed, spec-friendly accessors.
+//!
+//! Execution uses [`mbm_par::Pool::par_eval`] over the unique task list in
+//! first-seen order; the pool's determinism contract (index-ordered
+//! results, bitwise identical at any thread count) plus each task's purity
+//! makes the whole batch thread-count invariant. Per-task telemetry
+//! (`exp.task.*` counters and spans, `exp.exec.*` totals) lands on the
+//! global recorder when enabled.
+
+use std::collections::HashMap;
+
+use mbm_core::request::Request;
+use mbm_core::scenario::ScenarioOutcome;
+use mbm_core::table2::Table2;
+use mbm_par::Pool;
+
+use crate::error::EngineError;
+use crate::planner::Plan;
+use crate::task::{RaceSummary, Task, TaskKey, TaskOutput};
+
+/// A required task that failed, reported per owning spec by the engine.
+#[derive(Debug, Clone)]
+pub struct TaskFailure {
+    /// Index of the spec that first planned the task.
+    pub first_spec: usize,
+    /// Task kind label.
+    pub kind: &'static str,
+    /// Solver error rendering.
+    pub error: String,
+}
+
+/// Executed outputs keyed by task identity.
+#[derive(Debug, Default)]
+pub struct TaskResults {
+    outputs: HashMap<TaskKey, TaskOutput>,
+    /// Required tasks that failed (render-independent; `--check` fails on
+    /// any entry).
+    pub failures: Vec<TaskFailure>,
+}
+
+/// Runs every unique task of the plan on `pool`.
+#[must_use]
+pub fn execute(plan: &Plan, pool: &Pool) -> TaskResults {
+    let rec = mbm_obs::global();
+    let outputs = pool.par_eval(plan.unique.len(), |i| {
+        let task = &plan.unique[i].task;
+        if rec.enabled() {
+            rec.incr("exp.exec.tasks_run");
+            let _span = rec.span(task.span_name());
+            task.run()
+        } else {
+            task.run()
+        }
+    });
+    let mut results = TaskResults::default();
+    for (entry, output) in plan.unique.iter().zip(outputs) {
+        if entry.required {
+            if let Some(error) = output.error() {
+                results.failures.push(TaskFailure {
+                    first_spec: entry.first_spec,
+                    kind: entry.task.kind(),
+                    error: error.to_string(),
+                });
+            }
+        }
+        results.outputs.insert(entry.task.canon(), output);
+    }
+    if rec.enabled() {
+        rec.add("exp.exec.failures", results.failures.len() as u64);
+    }
+    results
+}
+
+impl TaskResults {
+    /// Inserts one executed output (used by the naive no-dedup path of the
+    /// property tests and benches).
+    pub fn insert(&mut self, task: &Task, output: TaskOutput) {
+        self.outputs.insert(task.canon(), output);
+    }
+
+    /// Raw lookup; `Err` means the spec asked for a task it never planned.
+    pub fn output(&self, task: &Task) -> Result<&TaskOutput, EngineError> {
+        self.outputs.get(&task.canon()).ok_or(EngineError::MissingTask { kind: task.kind() })
+    }
+
+    fn mismatch(wanted: &'static str, got: &TaskOutput) -> EngineError {
+        EngineError::KindMismatch { wanted, got: got.kind() }
+    }
+
+    fn failed(task: &Task, error: &str) -> EngineError {
+        EngineError::TaskFailed { kind: task.kind(), error: error.to_string() }
+    }
+
+    /// Symmetric per-miner request; solver failure degrades to `None`.
+    pub fn sym_opt(&self, task: &Task) -> Result<Option<Request>, EngineError> {
+        match self.output(task)? {
+            TaskOutput::Sym(res) => Ok(res.as_ref().ok().copied()),
+            other => Err(Self::mismatch("sym", other)),
+        }
+    }
+
+    /// Symmetric per-miner request of a required task.
+    pub fn sym(&self, task: &Task) -> Result<Request, EngineError> {
+        match self.output(task)? {
+            TaskOutput::Sym(Ok(r)) => Ok(*r),
+            TaskOutput::Sym(Err(e)) => Err(Self::failed(task, e)),
+            other => Err(Self::mismatch("sym", other)),
+        }
+    }
+
+    /// Market outcome; solver failure degrades to `None`.
+    pub fn market_opt(&self, task: &Task) -> Result<Option<&ScenarioOutcome>, EngineError> {
+        match self.output(task)? {
+            TaskOutput::Market(res) => Ok(res.as_ref().ok().map(Box::as_ref)),
+            other => Err(Self::mismatch("market", other)),
+        }
+    }
+
+    /// Market outcome of a required task.
+    pub fn market(&self, task: &Task) -> Result<&ScenarioOutcome, EngineError> {
+        match self.output(task)? {
+            TaskOutput::Market(Ok(o)) => Ok(o),
+            TaskOutput::Market(Err(e)) => Err(Self::failed(task, e)),
+            other => Err(Self::mismatch("market", other)),
+        }
+    }
+
+    /// A scalar search result (already NaN-encoded on failure).
+    pub fn scalar(&self, task: &Task) -> Result<f64, EngineError> {
+        match self.output(task)? {
+            TaskOutput::Scalar(v) => Ok(*v),
+            other => Err(Self::mismatch("scalar", other)),
+        }
+    }
+
+    /// Table II closed forms; failure degrades to `None`.
+    pub fn closed_opt(&self, task: &Task) -> Result<Option<&Table2>, EngineError> {
+        match self.output(task)? {
+            TaskOutput::Closed(res) => Ok(res.as_ref().ok()),
+            other => Err(Self::mismatch("closed_forms", other)),
+        }
+    }
+
+    /// Standalone closed-form prices `(P_c*, P_e_clearing)` (NaN-encoded).
+    pub fn standalone_prices(&self, task: &Task) -> Result<(f64, f64), EngineError> {
+        match self.output(task)? {
+            TaskOutput::StandalonePrices { cloud, edge } => Ok((*cloud, *edge)),
+            other => Err(Self::mismatch("standalone_prices", other)),
+        }
+    }
+
+    /// Collision PDF of a required task.
+    pub fn pdf(&self, task: &Task) -> Result<&mbm_chain_sim::fork::CollisionPdf, EngineError> {
+        match self.output(task)? {
+            TaskOutput::Pdf(Ok(p)) => Ok(p),
+            TaskOutput::Pdf(Err(e)) => Err(Self::failed(task, e)),
+            other => Err(Self::mismatch("pdf", other)),
+        }
+    }
+
+    /// Split-rate curve of a required task.
+    pub fn curve(&self, task: &Task) -> Result<&[mbm_chain_sim::fork::ForkPoint], EngineError> {
+        match self.output(task)? {
+            TaskOutput::Curve(Ok(c)) => Ok(c),
+            TaskOutput::Curve(Err(e)) => Err(Self::failed(task, e)),
+            other => Err(Self::mismatch("curve", other)),
+        }
+    }
+
+    /// Best-response `(sweeps, residual)`; failure degrades to `None`.
+    pub fn br_opt(&self, task: &Task) -> Result<Option<(usize, f64)>, EngineError> {
+        match self.output(task)? {
+            TaskOutput::Br(res) => Ok(res.as_ref().ok().copied()),
+            other => Err(Self::mismatch("br", other)),
+        }
+    }
+
+    /// Algorithm 1 trace of a required task.
+    pub fn trace(&self, task: &Task) -> Result<&mbm_core::algorithms::PriceTrace, EngineError> {
+        match self.output(task)? {
+            TaskOutput::Trace(Ok(t)) => Ok(t),
+            TaskOutput::Trace(Err(e)) => Err(Self::failed(task, e)),
+            other => Err(Self::mismatch("trace", other)),
+        }
+    }
+
+    /// Mixed price equilibrium of a required task.
+    pub fn mixed(
+        &self,
+        task: &Task,
+    ) -> Result<&mbm_core::sp::mixed::MixedPriceEquilibrium, EngineError> {
+        match self.output(task)? {
+            TaskOutput::Mixed(Ok(m)) => Ok(m),
+            TaskOutput::Mixed(Err(e)) => Err(Self::failed(task, e)),
+            other => Err(Self::mismatch("mixed", other)),
+        }
+    }
+
+    /// Learned mean request; failure degrades to `None` (the figures print
+    /// NaN markers).
+    pub fn learned_opt(&self, task: &Task) -> Result<Option<Request>, EngineError> {
+        match self.output(task)? {
+            TaskOutput::Learned(res) => Ok(res.as_ref().ok().copied()),
+            other => Err(Self::mismatch("learned", other)),
+        }
+    }
+
+    /// Race summary of a required task.
+    pub fn race(&self, task: &Task) -> Result<&RaceSummary, EngineError> {
+        match self.output(task)? {
+            TaskOutput::Race(Ok(r)) => Ok(r),
+            TaskOutput::Race(Err(e)) => Err(Self::failed(task, e)),
+            other => Err(Self::mismatch("race", other)),
+        }
+    }
+}

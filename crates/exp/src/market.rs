@@ -1,0 +1,69 @@
+//! Shared market presets and CLI plumbing for the experiment specs.
+//!
+//! This used to live in `mbm-bench`; it moved here so the spec layer owns
+//! every input a sweep is built from (markets, constants, CLI overrides)
+//! and `mbm-bench` stays presentation-only.
+
+use mbm_core::params::MarketParams;
+use mbm_core::presets;
+
+/// The baseline market of the paper's evaluation
+/// (see [`mbm_core::presets::paper_baseline`]).
+///
+/// # Panics
+///
+/// Never panics: the preset constants are valid by construction.
+#[must_use]
+pub fn baseline_market() -> MarketParams {
+    presets::paper_baseline().expect("valid baseline preset")
+}
+
+/// A market variant whose leader stage has a pure Nash equilibrium
+/// (see [`mbm_core::presets::leader_ne_market`] and DESIGN.md §2).
+///
+/// # Panics
+///
+/// Never panics: the preset constants are valid by construction.
+#[must_use]
+pub fn leader_ne_market() -> MarketParams {
+    presets::leader_ne_market().expect("valid leader-NE preset")
+}
+
+/// Number of miners in the paper's small evaluation network.
+pub const N_MINERS: usize = presets::PAPER_N_MINERS;
+
+/// The common miner budget of the paper's homogeneous experiments.
+pub const BUDGET: f64 = presets::PAPER_BUDGET;
+
+/// Bitcoin's mean block-collision time used by the Fig. 2 experiment
+/// (seconds; from the measurement study the paper cites).
+pub const COLLISION_TAU: f64 = presets::BITCOIN_COLLISION_TAU;
+
+/// Positional CLI override: returns argument `index` (1-based) parsed as
+/// `f64`, or `default` when absent. Unparseable values abort with a clear
+/// message rather than silently running the wrong sweep.
+///
+/// # Panics
+///
+/// Panics (with the offending text) if the argument exists but is not a
+/// number.
+#[must_use]
+pub fn arg_or(index: usize, default: f64) -> f64 {
+    match std::env::args().nth(index) {
+        None => default,
+        Some(s) => s.parse().unwrap_or_else(|_| panic!("argument {index} ({s:?}) is not a number")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baselines_are_valid() {
+        let b = baseline_market();
+        assert_eq!(b.reward(), 100.0);
+        let l = leader_ne_market();
+        assert!(l.esp().cost() > 5.6);
+    }
+}

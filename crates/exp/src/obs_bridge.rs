@@ -1,0 +1,111 @@
+//! Bridge between [`mbm_obs`] snapshots and the vendored serde shims.
+//!
+//! `mbm-obs` is deliberately dependency-free and renders its own canonical
+//! JSON; the engine and bench binaries, however, already speak `serde_json`
+//! for their reports, and the `TELEMETRY.json` artifact wants run-side
+//! metadata (thread count, bench names) merged into the same document. This
+//! module converts a [`Snapshot`] into a [`serde::Value`] tree so the
+//! artifact is emitted through one serializer.
+
+use mbm_obs::Snapshot;
+use serde::Value;
+
+/// Converts a telemetry snapshot into a [`serde::Value`] tree mirroring the
+/// layout of [`Snapshot::to_json`]: `counters`, `gauges`, `histograms`,
+/// `traces`, and `timings_ns` maps, keys in sorted (BTreeMap) order.
+#[must_use]
+pub fn snapshot_value(snap: &Snapshot) -> Value {
+    let counters: Vec<(String, Value)> =
+        snap.counters.iter().map(|(k, &v)| (k.clone(), Value::U64(v))).collect();
+    let gauges: Vec<(String, Value)> =
+        snap.gauges.iter().map(|(k, &v)| (k.clone(), Value::U64(v))).collect();
+    let histograms: Vec<(String, Value)> = snap
+        .histograms
+        .iter()
+        .map(|(k, h)| {
+            (
+                k.clone(),
+                Value::Map(vec![
+                    ("count".into(), Value::U64(h.count)),
+                    ("sum".into(), Value::F64(h.sum)),
+                    ("min".into(), Value::F64(h.min)),
+                    ("max".into(), Value::F64(h.max)),
+                    ("mean".into(), Value::F64(h.mean())),
+                ]),
+            )
+        })
+        .collect();
+    let traces: Vec<(String, Value)> = snap
+        .traces
+        .iter()
+        .map(|(k, series)| (k.clone(), Value::Seq(series.iter().map(|&v| Value::F64(v)).collect())))
+        .collect();
+    let timings: Vec<(String, Value)> = snap
+        .timings
+        .iter()
+        .map(|(k, t)| {
+            (
+                k.clone(),
+                Value::Map(vec![
+                    ("count".into(), Value::U64(t.count)),
+                    ("total".into(), Value::U64(t.total_ns)),
+                    ("min".into(), Value::U64(t.min_ns)),
+                    ("max".into(), Value::U64(t.max_ns)),
+                ]),
+            )
+        })
+        .collect();
+    Value::Map(vec![
+        ("counters".into(), Value::Map(counters)),
+        ("gauges".into(), Value::Map(gauges)),
+        ("histograms".into(), Value::Map(histograms)),
+        ("traces".into(), Value::Map(traces)),
+        ("timings_ns".into(), Value::Map(timings)),
+    ])
+}
+
+/// A full `TELEMETRY.json` document: run-side metadata entries followed by
+/// the snapshot sections from [`snapshot_value`].
+#[must_use]
+pub fn telemetry_document(snap: &Snapshot, meta: Vec<(String, Value)>) -> Value {
+    let mut entries = meta;
+    match snapshot_value(snap) {
+        Value::Map(sections) => entries.extend(sections),
+        _ => unreachable!("snapshot_value always returns a map"),
+    }
+    Value::Map(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbm_obs::Recorder;
+
+    #[test]
+    fn snapshot_round_trips_through_the_shims() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        rec.add("a.calls", 3);
+        rec.gauge("threads", 4);
+        rec.observe("res", 0.5);
+        rec.trace("curve", 1.0);
+        rec.trace("curve", 2.0);
+        let value = snapshot_value(&rec.snapshot());
+        assert_eq!(value.get("counters").and_then(|c| c.get("a.calls")), Some(&Value::U64(3)));
+        assert_eq!(value.get("gauges").and_then(|g| g.get("threads")), Some(&Value::U64(4)));
+        let curve = value.get("traces").and_then(|t| t.get("curve")).and_then(Value::as_seq);
+        assert_eq!(curve, Some(&[Value::F64(1.0), Value::F64(2.0)][..]));
+        let json = serde_json::to_string_pretty(&value).unwrap();
+        assert!(json.contains("\"a.calls\": 3"), "{json}");
+    }
+
+    #[test]
+    fn document_prepends_metadata() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        rec.incr("c");
+        let doc = telemetry_document(&rec.snapshot(), vec![("threads".into(), Value::U64(8))]);
+        assert_eq!(doc.get("threads"), Some(&Value::U64(8)));
+        assert!(doc.get("counters").is_some());
+    }
+}

@@ -1,0 +1,188 @@
+//! The planner: compiles per-spec task lists into one deduplicated batch.
+//!
+//! Dedup is the engine's cross-spec memo cache: every task is keyed by the
+//! exact bit patterns of its inputs ([`crate::task::Task::canon`]), so a
+//! subgame solve requested by three specs (or three grid points) is planned
+//! — and later executed — exactly once, and each requester reads the same
+//! output object. Because keys are exact (no quantization at this layer),
+//! dedup is provably result-preserving: the batch output is bitwise
+//! identical to solving every spec naively on its own.
+
+use std::collections::HashMap;
+
+use crate::task::{Task, TaskKey};
+
+/// A task plus its failure policy within a spec.
+#[derive(Debug, Clone)]
+pub struct PlannedTask {
+    /// The work item.
+    pub task: Task,
+    /// `true` when the owning spec cannot render without this task (the
+    /// legacy drivers panicked here); `false` when a failure degrades to a
+    /// NaN/skipped row.
+    pub required: bool,
+}
+
+impl PlannedTask {
+    /// A task whose failure fails the whole spec.
+    #[must_use]
+    pub fn required(task: Task) -> Self {
+        PlannedTask { task, required: true }
+    }
+
+    /// A task whose failure degrades to NaN/skipped rows.
+    #[must_use]
+    pub fn tolerant(task: Task) -> Self {
+        PlannedTask { task, required: false }
+    }
+}
+
+/// One entry of the deduplicated batch.
+#[derive(Debug, Clone)]
+pub struct UniqueTask {
+    /// The work item (first-seen instance).
+    pub task: Task,
+    /// Index of the spec that first requested it (into the planner input).
+    pub first_spec: usize,
+    /// `true` if *any* requester marked it required.
+    pub required: bool,
+}
+
+/// Dedup accounting for one planned batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Specs planned.
+    pub specs: usize,
+    /// Task references across all specs (grid points included).
+    pub requested: usize,
+    /// Distinct tasks after dedup — the work actually executed.
+    pub unique: usize,
+    /// References resolved against an already-planned task.
+    pub dedup_hits: usize,
+    /// Dedup hits whose first requester was a *different* spec — the
+    /// cross-spec sharing the batched engine exists for.
+    pub cross_spec_hits: usize,
+}
+
+impl PlanStats {
+    /// Fraction of task references served from the shared plan instead of
+    /// fresh work, `dedup_hits / requested`.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.requested == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / self.requested as f64
+        }
+    }
+
+    /// Fraction of task references served by a solve another spec planned
+    /// first, `cross_spec_hits / requested`.
+    #[must_use]
+    pub fn cross_spec_hit_rate(&self) -> f64 {
+        if self.requested == 0 {
+            0.0
+        } else {
+            self.cross_spec_hits as f64 / self.requested as f64
+        }
+    }
+}
+
+/// A compiled batch: the unique tasks in first-seen order plus accounting.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Deduplicated tasks, ordered by first request (spec order, then task
+    /// order within a spec) — the executor fans this list out verbatim, so
+    /// execution order is deterministic.
+    pub unique: Vec<UniqueTask>,
+    /// Dedup accounting.
+    pub stats: PlanStats,
+}
+
+/// Compiles per-spec task lists into a deduplicated [`Plan`].
+///
+/// Publishes `exp.plan.*` counters and the cross-spec hit rate to the
+/// global recorder when telemetry is enabled.
+#[must_use]
+pub fn plan(spec_tasks: &[Vec<PlannedTask>]) -> Plan {
+    let mut unique: Vec<UniqueTask> = Vec::new();
+    let mut index: HashMap<TaskKey, usize> = HashMap::new();
+    let mut stats = PlanStats { specs: spec_tasks.len(), ..PlanStats::default() };
+    for (spec_idx, tasks) in spec_tasks.iter().enumerate() {
+        for planned in tasks {
+            stats.requested += 1;
+            match index.entry(planned.task.canon()) {
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    stats.dedup_hits += 1;
+                    let entry = &mut unique[*slot.get()];
+                    entry.required |= planned.required;
+                    if entry.first_spec != spec_idx {
+                        stats.cross_spec_hits += 1;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(unique.len());
+                    unique.push(UniqueTask {
+                        task: planned.task.clone(),
+                        first_spec: spec_idx,
+                        required: planned.required,
+                    });
+                }
+            }
+        }
+    }
+    stats.unique = unique.len();
+    publish(&stats);
+    Plan { unique, stats }
+}
+
+fn publish(stats: &PlanStats) {
+    let rec = mbm_obs::global();
+    if !rec.enabled() {
+        return;
+    }
+    rec.add("exp.plan.specs", stats.specs as u64);
+    rec.add("exp.plan.requested", stats.requested as u64);
+    rec.add("exp.plan.unique", stats.unique as u64);
+    rec.add("exp.plan.dedup_hits", stats.dedup_hits as u64);
+    rec.add("exp.plan.cross_spec_hits", stats.cross_spec_hits as u64);
+    rec.trace("exp.plan.hit_rate", stats.hit_rate());
+    rec.trace("exp.plan.cross_spec_hit_rate", stats.cross_spec_hit_rate());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::market::{baseline_market, BUDGET, N_MINERS};
+    use mbm_core::params::Prices;
+    use mbm_core::scenario::EdgeOperation;
+    use mbm_core::subgame::SubgameConfig;
+
+    fn sym(p_c: f64) -> Task {
+        Task::SymSubgame {
+            op: EdgeOperation::Connected,
+            params: baseline_market(),
+            prices: Prices::new(4.0, p_c).unwrap(),
+            budget: BUDGET,
+            n: N_MINERS,
+            cfg: SubgameConfig::default(),
+        }
+    }
+
+    #[test]
+    fn dedup_counts_within_and_across_specs() {
+        let spec_a = vec![PlannedTask::tolerant(sym(2.0)), PlannedTask::tolerant(sym(2.0))];
+        let spec_b = vec![PlannedTask::required(sym(2.0)), PlannedTask::tolerant(sym(2.5))];
+        let plan = plan(&[spec_a, spec_b]);
+        assert_eq!(plan.stats.requested, 4);
+        assert_eq!(plan.stats.unique, 2);
+        assert_eq!(plan.stats.dedup_hits, 2);
+        assert_eq!(plan.stats.cross_spec_hits, 1);
+        // First-seen order; a later required request upgrades the entry.
+        assert_eq!(plan.unique[0].first_spec, 0);
+        assert!(plan.unique[0].required);
+        assert!(!plan.unique[1].required);
+        assert!((plan.stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert!((plan.stats.cross_spec_hit_rate() - 0.25).abs() < 1e-12);
+    }
+}

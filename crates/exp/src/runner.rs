@@ -1,0 +1,256 @@
+//! The `experiments` CLI and the entry point behind every legacy binary.
+//!
+//! One runner serves all registered specs:
+//!
+//! ```text
+//! experiments --list
+//! experiments --all [--check] [--json DIR] [--telemetry PATH]
+//! experiments --only fig8[,fig9a] [--json DIR] [ARGS...]
+//! ```
+//!
+//! `--only <name>` at default resolution reproduces the legacy binary's
+//! stdout byte for byte (trailing positional `ARGS` are the old binaries'
+//! `arg_or` overrides). `--check` runs the reduced-resolution smoke sweep
+//! and exits non-zero when any required solve failed or a rendered table
+//! has no finite cell; diagnostics go to stderr. `--json DIR` writes one
+//! canonical `<name>.json` per spec plus a `batch.json` with the planner's
+//! dedup accounting; `--telemetry PATH` enables the global recorder and
+//! snapshots it (plan stats, per-task spans) after the run.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::Value;
+
+use crate::engine::{run_batch, Batch};
+use crate::obs_bridge::telemetry_document;
+use crate::spec::{find, registry, ExperimentSpec, Resolution, SpecCtx};
+
+/// Parsed CLI options of the `experiments` binary.
+#[derive(Debug, Default)]
+struct Options {
+    list: bool,
+    all: bool,
+    only: Vec<String>,
+    check: bool,
+    json: Option<PathBuf>,
+    telemetry: Option<PathBuf>,
+    /// Positional `arg_or` overrides (unparsable entries become NaN so
+    /// later slots keep their position, as the legacy binaries did).
+    args: Vec<f64>,
+}
+
+const USAGE: &str = "usage: experiments (--list | --all | --only NAME[,NAME...]) \
+[--check] [--json DIR] [--telemetry PATH] [ARGS...]";
+
+fn parse(argv: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => opts.list = true,
+            "--all" => opts.all = true,
+            "--check" => opts.check = true,
+            "--only" => {
+                let names = it.next().ok_or("--only needs a spec name")?;
+                opts.only.extend(names.split(',').map(|s| s.trim().to_string()));
+            }
+            "--json" => {
+                opts.json = Some(PathBuf::from(it.next().ok_or("--json needs a directory")?));
+            }
+            "--telemetry" => {
+                opts.telemetry = Some(PathBuf::from(it.next().ok_or("--telemetry needs a path")?));
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => opts.args.push(other.parse().unwrap_or(f64::NAN)),
+        }
+    }
+    if !opts.list && !opts.all && opts.only.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    Ok(opts)
+}
+
+/// Entry point of the `experiments` binary; returns the process exit code.
+#[must_use]
+pub fn main_experiments() -> i32 {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&argv) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    if opts.list {
+        for spec in registry() {
+            println!("{:<12} {}", spec.name, spec.summary);
+        }
+        return 0;
+    }
+
+    let specs: Vec<ExperimentSpec> = if opts.all {
+        registry()
+    } else {
+        let mut selected = Vec::new();
+        for name in &opts.only {
+            match find(name) {
+                Ok(s) => selected.push(s),
+                Err(e) => {
+                    eprintln!("experiments: {e}");
+                    return 2;
+                }
+            }
+        }
+        selected
+    };
+    let ctx = SpecCtx {
+        resolution: if opts.check { Resolution::Check } else { Resolution::Full },
+        args: opts.args.clone(),
+    };
+    if opts.telemetry.is_some() {
+        mbm_obs::global().set_enabled(true);
+    }
+
+    let batch = match run_batch(&specs, &ctx, mbm_par::Pool::global()) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("experiments: {e}");
+            return 1;
+        }
+    };
+    for result in &batch.results {
+        print!("{}", result.render());
+    }
+
+    let mut code = 0;
+    if opts.check {
+        code = check_batch(&batch);
+    }
+    if let Some(dir) = &opts.json {
+        if let Err(e) = write_json(dir, &batch) {
+            eprintln!("experiments: --json: {e}");
+            code = 1;
+        }
+    }
+    if let Some(path) = &opts.telemetry {
+        if let Err(e) = write_telemetry(path, &batch, &ctx) {
+            eprintln!("experiments: --telemetry: {e}");
+            code = 1;
+        }
+    }
+    code
+}
+
+/// `--check` policy: every required solve must succeed and every rendered
+/// table must contain at least one finite data cell.
+fn check_batch(batch: &Batch) -> i32 {
+    let mut code = 0;
+    for (spec, failure) in &batch.failures {
+        eprintln!(
+            "experiments: check: {spec}: required {} solve failed: {}",
+            failure.kind, failure.error
+        );
+        code = 1;
+    }
+    for result in &batch.results {
+        for table in &result.tables {
+            if !table.has_finite_cell() {
+                eprintln!(
+                    "experiments: check: {}: table {:?} has no finite cell",
+                    result.name, table.title
+                );
+                code = 1;
+            }
+        }
+    }
+    code
+}
+
+fn write_json(dir: &Path, batch: &Batch) -> Result<(), String> {
+    fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    for result in &batch.results {
+        let json = serde_json::to_string_pretty(result).map_err(|e| e.to_string())?;
+        fs::write(dir.join(format!("{}.json", result.name)), json + "\n")
+            .map_err(|e| e.to_string())?;
+    }
+    let stats = &batch.stats;
+    let summary = Value::Map(vec![
+        ("specs".into(), Value::U64(stats.specs as u64)),
+        ("tasks_requested".into(), Value::U64(stats.requested as u64)),
+        ("tasks_unique".into(), Value::U64(stats.unique as u64)),
+        ("dedup_hits".into(), Value::U64(stats.dedup_hits as u64)),
+        ("cross_spec_hits".into(), Value::U64(stats.cross_spec_hits as u64)),
+        ("hit_rate".into(), Value::F64(stats.hit_rate())),
+        ("cross_spec_hit_rate".into(), Value::F64(stats.cross_spec_hit_rate())),
+        ("failures".into(), Value::U64(batch.failures.len() as u64)),
+    ]);
+    let json = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
+    fs::write(dir.join("batch.json"), json + "\n").map_err(|e| e.to_string())
+}
+
+fn write_telemetry(path: &Path, batch: &Batch, ctx: &SpecCtx) -> Result<(), String> {
+    let meta = vec![
+        (
+            "resolution".into(),
+            Value::Str(if ctx.resolution == Resolution::Check { "check" } else { "full" }.into()),
+        ),
+        ("specs".into(), Value::U64(batch.stats.specs as u64)),
+        ("tasks_unique".into(), Value::U64(batch.stats.unique as u64)),
+        ("cross_spec_hit_rate".into(), Value::F64(batch.stats.cross_spec_hit_rate())),
+    ];
+    let doc = telemetry_document(&mbm_obs::global().snapshot(), meta);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+        }
+    }
+    let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+    fs::write(path, json + "\n").map_err(|e| e.to_string())
+}
+
+/// Entry point of every legacy figure/table binary: runs one spec at full
+/// resolution with the binary's positional `arg_or` overrides and prints
+/// its tables — byte-identical to the old hand-rolled driver.
+#[must_use]
+pub fn run_bin(name: &str) -> i32 {
+    let args: Vec<f64> = std::env::args().skip(1).map(|s| s.parse().unwrap_or(f64::NAN)).collect();
+    let spec = match find(name) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            return 2;
+        }
+    };
+    let ctx = SpecCtx { resolution: Resolution::Full, args };
+    match run_batch(&[spec], &ctx, mbm_par::Pool::global()) {
+        Ok(batch) => {
+            for result in &batch.results {
+                print!("{}", result.render());
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_handles_the_documented_flags() {
+        let argv: Vec<String> =
+            ["--only", "fig4,fig5", "--json", "out", "4.5", "200"].map(String::from).to_vec();
+        let opts = parse(&argv).unwrap();
+        assert_eq!(opts.only, vec!["fig4", "fig5"]);
+        assert_eq!(opts.json.as_deref(), Some(Path::new("out")));
+        assert_eq!(opts.args, vec![4.5, 200.0]);
+        assert!(!opts.check);
+        assert!(parse(&["--bogus".to_string()]).is_err());
+        assert!(parse(&[]).is_err());
+    }
+}

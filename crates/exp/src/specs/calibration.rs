@@ -1,0 +1,65 @@
+//! EXP-CAL — closing the loop between the simulator and the game model:
+//! measure fork rates from Monte-Carlo collision experiments, fit the
+//! exponential fork model `β(D) = 1 − e^{−D/τ}`, and report the recovered
+//! mean collision time against the ground truth (the paper takes this
+//! pipeline from Bitcoin measurements; we regenerate it end to end).
+
+use mbm_core::calibration::ForkModel;
+
+use crate::error::EngineError;
+use crate::executor::TaskResults;
+use crate::market::COLLISION_TAU;
+use crate::planner::PlannedTask;
+use crate::spec::{ExperimentSpec, SpecCtx};
+use crate::table::SweepTable;
+use crate::task::Task;
+
+/// The calibration spec.
+#[must_use]
+pub fn spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "calibration",
+        summary: "fit the exponential fork model to Monte-Carlo fork rates",
+        tasks,
+        render,
+    }
+}
+
+fn curve_task(ctx: &SpecCtx) -> Task {
+    Task::SplitRate {
+        rate: 1.0 / COLLISION_TAU,
+        delays: (1..=15).map(|i| 2.0 * i as f64).collect(),
+        samples: ctx.pick(200_000, 20_000),
+        seed: 404,
+    }
+}
+
+fn tasks(ctx: &SpecCtx) -> Vec<PlannedTask> {
+    vec![PlannedTask::required(curve_task(ctx))]
+}
+
+fn render(ctx: &SpecCtx, results: &TaskResults) -> Result<Vec<SweepTable>, EngineError> {
+    let curve = results.curve(&curve_task(ctx))?;
+    let observations: Vec<(f64, f64)> = curve.iter().map(|p| (p.delay, p.fork_rate)).collect();
+    let model = ForkModel::fit(&observations).map_err(|e| EngineError::Render(e.to_string()))?;
+
+    let rows: Vec<Vec<f64>> =
+        observations.iter().map(|&(d, b)| vec![d, b, model.beta(d)]).collect();
+    let fit = SweepTable::new(
+        "Calibration: observed fork rates vs fitted exponential model",
+        &["delay_s", "observed_beta", "fitted_beta"],
+        rows,
+    );
+    let summary = SweepTable::new(
+        "Calibration summary",
+        &["true_tau", "fitted_tau", "rmse"],
+        vec![vec![COLLISION_TAU, model.tau(), model.rmse(&observations)]],
+    );
+
+    // Game-ready betas at representative delays.
+    let rows: Vec<Vec<f64>> =
+        [2.0, 5.0, 10.0, 20.0].iter().map(|&d| vec![d, model.beta(d)]).collect();
+    let betas =
+        SweepTable::new("Calibrated beta(D) for the game model", &["delay_s", "beta"], rows);
+    Ok(vec![fit, summary, betas])
+}

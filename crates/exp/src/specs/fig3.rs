@@ -1,0 +1,46 @@
+//! EXP-F3 — paper Fig. 3: the discretized Gaussian miner-count toy example
+//! (`μ = 10`, `σ² = 4`): `P(N = k) = Φ(k) − Φ(k−1)`.
+//!
+//! Pure closed-form arithmetic — no solver tasks, everything renders
+//! directly (the planner happily accepts an empty task list).
+
+use mbm_numerics::distributions::Gaussian;
+
+use crate::error::EngineError;
+use crate::executor::TaskResults;
+use crate::planner::PlannedTask;
+use crate::spec::{ExperimentSpec, SpecCtx};
+use crate::table::SweepTable;
+
+/// The Fig. 3 spec.
+#[must_use]
+pub fn spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "fig3",
+        summary: "discretized Gaussian miner-count pmf (mu = 10, sigma^2 = 4)",
+        tasks,
+        render,
+    }
+}
+
+fn tasks(_ctx: &SpecCtx) -> Vec<PlannedTask> {
+    Vec::new()
+}
+
+fn render(_ctx: &SpecCtx, _results: &TaskResults) -> Result<Vec<SweepTable>, EngineError> {
+    let g = Gaussian::new(10.0, 2.0).expect("valid Gaussian");
+    let pmf = g.discretize(1, 20).expect("valid support");
+    let rows: Vec<Vec<f64>> = pmf.iter().map(|(k, p)| vec![k, p]).collect();
+    Ok(vec![
+        SweepTable::new(
+            "Fig 3: miner-count pmf, N ~ Gaussian(mu = 10, sigma^2 = 4) discretized to [1, 20]",
+            &["k", "probability"],
+            rows,
+        ),
+        SweepTable::new(
+            "Fig 3 summary",
+            &["mean", "variance", "mode"],
+            vec![vec![pmf.mean(), pmf.variance(), pmf.mode()]],
+        ),
+    ])
+}

@@ -1,0 +1,94 @@
+//! EXP-F4 — paper Fig. 4: miner-subgame equilibrium versus the CSP's unit
+//! price (connected mode, 5 homogeneous miners, `B = 200`, `P_e = 4`).
+//!
+//! The float-accumulated `P_c` grid (`p_c += step`) is replicated exactly;
+//! changing it to lattice multiplication would move grid points by ulps
+//! and break byte-compatibility with the legacy driver.
+
+use mbm_core::params::Prices;
+use mbm_core::scenario::EdgeOperation;
+use mbm_core::subgame::SubgameConfig;
+
+use crate::error::EngineError;
+use crate::executor::TaskResults;
+use crate::market::{baseline_market, BUDGET, N_MINERS};
+use crate::planner::PlannedTask;
+use crate::spec::{ExperimentSpec, SpecCtx};
+use crate::table::SweepTable;
+use crate::task::Task;
+
+/// The Fig. 4 spec. CLI overrides: `[P_e] [budget]`.
+#[must_use]
+pub fn spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "fig4",
+        summary: "equilibrium requests & revenues vs CSP price P_c",
+        tasks,
+        render,
+    }
+}
+
+fn grid(ctx: &SpecCtx) -> (f64, f64, Vec<(f64, Task)>) {
+    let params = baseline_market();
+    let p_e = ctx.arg_or(1, 4.0);
+    let budget = ctx.arg_or(2, BUDGET);
+    // The mixed-strategy region requires P_c < (1−β)P_e/(1−β+hβ)
+    // (= 10/3 at the default P_e = 4); sweep up to 96% of that bound.
+    let bound = (1.0 - params.fork_rate()) * p_e
+        / (1.0 - params.fork_rate() + params.edge_availability() * params.fork_rate());
+    let hi = 0.96 * bound;
+    let mut p_c = 0.15 * p_e;
+    let step = (hi - p_c) / 13.0;
+    let mut points = Vec::new();
+    while p_c <= hi + 1e-9 {
+        let prices = Prices::new(p_e, p_c).expect("valid prices");
+        points.push((
+            p_c,
+            Task::SymSubgame {
+                op: EdgeOperation::Connected,
+                params,
+                prices,
+                budget,
+                n: N_MINERS,
+                cfg: SubgameConfig::default(),
+            },
+        ));
+        p_c += step;
+    }
+    (p_e, budget, points)
+}
+
+fn tasks(ctx: &SpecCtx) -> Vec<PlannedTask> {
+    grid(ctx).2.into_iter().map(|(_, t)| PlannedTask::tolerant(t)).collect()
+}
+
+fn render(ctx: &SpecCtx, results: &TaskResults) -> Result<Vec<SweepTable>, EngineError> {
+    let (p_e, budget, points) = grid(ctx);
+    let mut rows = Vec::new();
+    for (p_c, task) in points {
+        match results.sym_opt(&task)? {
+            Some(r) => {
+                let n = N_MINERS as f64;
+                rows.push(vec![
+                    p_c,
+                    r.edge,
+                    r.cloud,
+                    n * r.edge,
+                    n * r.cloud,
+                    p_e * n * r.edge,  // ESP revenue
+                    p_c * n * r.cloud, // CSP revenue
+                ]);
+            }
+            None => {
+                rows.push(vec![p_c, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN]);
+            }
+        }
+    }
+    Ok(vec![SweepTable::new(
+        format!(
+            "Fig 4: equilibrium requests & revenues vs CSP price P_c (P_e = {p_e}, B = {budget}, n = 5)"
+        ),
+        &["P_c", "e_star", "c_star", "E_total", "C_total", "esp_revenue", "csp_revenue"],
+        rows,
+    )])
+}

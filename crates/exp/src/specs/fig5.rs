@@ -1,0 +1,67 @@
+//! EXP-F5 — paper Fig. 5: effect of the fork rate β (the CSP's
+//! communication delay) on CSP demand/revenue, with the total SP revenue
+//! staying nearly constant (panel c).
+
+use mbm_core::params::Prices;
+use mbm_core::scenario::EdgeOperation;
+use mbm_core::subgame::SubgameConfig;
+
+use crate::error::EngineError;
+use crate::executor::TaskResults;
+use crate::market::{baseline_market, BUDGET, N_MINERS};
+use crate::planner::PlannedTask;
+use crate::spec::{ExperimentSpec, SpecCtx};
+use crate::table::SweepTable;
+use crate::task::Task;
+
+/// The Fig. 5 spec.
+#[must_use]
+pub fn spec() -> ExperimentSpec {
+    ExperimentSpec { name: "fig5", summary: "demand and revenues vs fork rate beta", tasks, render }
+}
+
+fn grid() -> Vec<(f64, Task)> {
+    let prices = Prices::new(4.0, 2.0).expect("valid prices");
+    (0..=9)
+        .map(|i| {
+            let beta = 0.05 + 0.05 * i as f64;
+            let params = baseline_market().with_fork_rate(beta).expect("valid beta");
+            (
+                beta,
+                Task::SymSubgame {
+                    op: EdgeOperation::Connected,
+                    params,
+                    prices,
+                    budget: BUDGET,
+                    n: N_MINERS,
+                    cfg: SubgameConfig::default(),
+                },
+            )
+        })
+        .collect()
+}
+
+fn tasks(_ctx: &SpecCtx) -> Vec<PlannedTask> {
+    grid().into_iter().map(|(_, t)| PlannedTask::tolerant(t)).collect()
+}
+
+fn render(_ctx: &SpecCtx, results: &TaskResults) -> Result<Vec<SweepTable>, EngineError> {
+    let prices = Prices::new(4.0, 2.0).expect("valid prices");
+    let mut rows = Vec::new();
+    for (beta, task) in grid() {
+        match results.sym_opt(&task)? {
+            Some(r) => {
+                let n = N_MINERS as f64;
+                let esp_rev = prices.edge * n * r.edge;
+                let csp_rev = prices.cloud * n * r.cloud;
+                rows.push(vec![beta, n * r.edge, n * r.cloud, esp_rev, csp_rev, esp_rev + csp_rev]);
+            }
+            None => rows.push(vec![beta, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN]),
+        }
+    }
+    Ok(vec![SweepTable::new(
+        "Fig 5: demand and revenues vs fork rate beta (P = (4, 2), B = 200, n = 5)",
+        &["beta", "E_total", "C_total", "esp_revenue", "csp_revenue", "total_sp_revenue"],
+        rows,
+    )])
+}

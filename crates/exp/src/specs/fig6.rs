@@ -1,0 +1,114 @@
+//! EXP-F6 — paper Fig. 6: standalone mode. Panel 1 sweeps the ESP capacity
+//! `E_max` (standalone demand vs the connected contrast line); panel 2
+//! sweeps the cloud delay and searches the CSP's optimal price per mode.
+
+use mbm_core::params::{MarketParams, Prices};
+use mbm_core::scenario::EdgeOperation;
+use mbm_core::subgame::SubgameConfig;
+
+use crate::error::EngineError;
+use crate::executor::TaskResults;
+use crate::market::{baseline_market, BUDGET, COLLISION_TAU, N_MINERS};
+use crate::planner::PlannedTask;
+use crate::spec::{ExperimentSpec, SpecCtx};
+use crate::table::SweepTable;
+use crate::task::Task;
+
+const E_MAX_GRID: [f64; 10] = [0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0];
+
+/// The Fig. 6 spec.
+#[must_use]
+pub fn spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "fig6",
+        summary: "standalone demand vs capacity; CSP optimal price vs delay",
+        tasks,
+        render,
+    }
+}
+
+fn connected_task() -> Task {
+    Task::SymSubgame {
+        op: EdgeOperation::Connected,
+        params: baseline_market(),
+        prices: Prices::new(4.0, 2.0).expect("valid prices"),
+        budget: BUDGET,
+        n: N_MINERS,
+        cfg: SubgameConfig::default(),
+    }
+}
+
+fn standalone_task(e_max: f64) -> Task {
+    Task::SymSubgame {
+        op: EdgeOperation::Standalone,
+        params: baseline_market().with_e_max(e_max).expect("valid capacity"),
+        prices: Prices::new(4.0, 2.0).expect("valid prices"),
+        budget: BUDGET,
+        n: N_MINERS,
+        cfg: SubgameConfig::default(),
+    }
+}
+
+fn delay_grid() -> Vec<(f64, f64, MarketParams)> {
+    (0..=7)
+        .map(|i| {
+            let delay = 1.0 + 2.0 * i as f64;
+            let beta =
+                MarketParams::fork_rate_from_delay(delay, COLLISION_TAU).expect("valid delay");
+            let params = baseline_market().with_fork_rate(beta.min(0.9)).expect("valid beta");
+            (delay, beta, params)
+        })
+        .collect()
+}
+
+fn price_task(params: MarketParams, op: EdgeOperation) -> Task {
+    Task::CspOptimalPrice {
+        params,
+        op,
+        edge_price: 4.0,
+        budget: BUDGET,
+        n: N_MINERS,
+        cfg: SubgameConfig::default(),
+    }
+}
+
+fn tasks(_ctx: &SpecCtx) -> Vec<PlannedTask> {
+    let mut out = vec![PlannedTask::required(connected_task())];
+    out.extend(E_MAX_GRID.iter().map(|&e| PlannedTask::tolerant(standalone_task(e))));
+    for (_, _, params) in delay_grid() {
+        out.push(PlannedTask::required(price_task(params, EdgeOperation::Connected)));
+        out.push(PlannedTask::required(price_task(params, EdgeOperation::Standalone)));
+    }
+    out
+}
+
+fn render(_ctx: &SpecCtx, results: &TaskResults) -> Result<Vec<SweepTable>, EngineError> {
+    let n = N_MINERS as f64;
+    let connected = results.sym(&connected_task())?;
+
+    let mut rows = Vec::new();
+    for e_max in E_MAX_GRID {
+        match results.sym_opt(&standalone_task(e_max))? {
+            Some(r) => rows.push(vec![e_max, n * r.edge, n * r.cloud, n * connected.edge]),
+            None => rows.push(vec![e_max, f64::NAN, f64::NAN, n * connected.edge]),
+        }
+    }
+    let demand = SweepTable::new(
+        "Fig 6 (demand): standalone edge demand vs capacity E_max (P = (4, 2)); connected shown for contrast",
+        &["E_max", "standalone_E", "standalone_C", "connected_E"],
+        rows,
+    );
+
+    let mut rows = Vec::new();
+    for (delay, beta, params) in delay_grid() {
+        let conn = results.scalar(&price_task(params, EdgeOperation::Connected))?;
+        let stand = results.scalar(&price_task(params, EdgeOperation::Standalone))?;
+        rows.push(vec![delay, beta, conn, stand]);
+    }
+    let pricing = SweepTable::new(
+        "Fig 6 (pricing): CSP optimal price vs cloud delay, by edge mode (P_e = 4)",
+        &["delay_s", "beta", "csp_price_connected", "csp_price_standalone"],
+        rows,
+    );
+    Ok(vec![demand, pricing])
+}

@@ -1,0 +1,99 @@
+//! EXP-F7 — paper Fig. 7: heterogeneous budgets. Miner 1's budget sweeps
+//! from 20 to 200 (the other four fixed); its requests and utility rise
+//! with the budget and flatten once the budget stops binding.
+
+use mbm_core::params::{MarketParams, Prices};
+use mbm_core::scenario::EdgeOperation;
+use mbm_core::subgame::SubgameConfig;
+
+use crate::error::EngineError;
+use crate::executor::TaskResults;
+use crate::market::N_MINERS;
+use crate::planner::PlannedTask;
+use crate::spec::{ExperimentSpec, SpecCtx};
+use crate::table::SweepTable;
+use crate::task::Task;
+
+const BETAS: [f64; 2] = [0.1, 0.3];
+
+/// The Fig. 7 spec.
+#[must_use]
+pub fn spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "fig7",
+        summary: "miner 1 requests & utility vs its budget (heterogeneous NEP)",
+        tasks,
+        render,
+    }
+}
+
+fn params_for(beta: f64) -> MarketParams {
+    // R = 1000 makes the unconstrained equilibrium spending (~150) exceed
+    // most of the budget sweep, so the budget genuinely binds — the regime
+    // the paper's Fig. 7 explores.
+    MarketParams::builder()
+        .reward(1000.0)
+        .fork_rate(beta)
+        .edge_availability(0.8)
+        .build()
+        .expect("valid market")
+}
+
+fn bin_task(beta: f64, bin: usize) -> (f64, Task) {
+    let b1 = 20.0 * (bin + 1) as f64;
+    let mut budgets = vec![100.0, 120.0, 150.0, 180.0];
+    budgets.insert(0, b1);
+    debug_assert_eq!(budgets.len(), N_MINERS);
+    (
+        b1,
+        Task::Nep {
+            op: EdgeOperation::Connected,
+            params: params_for(beta),
+            prices: Prices::new(4.0, 2.0).expect("valid prices"),
+            budgets,
+            cfg: SubgameConfig::default(),
+        },
+    )
+}
+
+fn tasks(_ctx: &SpecCtx) -> Vec<PlannedTask> {
+    BETAS
+        .iter()
+        .flat_map(|&beta| (0..10).map(move |bin| PlannedTask::tolerant(bin_task(beta, bin).1)))
+        .collect()
+}
+
+fn render(_ctx: &SpecCtx, results: &TaskResults) -> Result<Vec<SweepTable>, EngineError> {
+    let prices = Prices::new(4.0, 2.0).expect("valid prices");
+    let mut tables = Vec::new();
+    for beta in BETAS {
+        let mut rows = Vec::new();
+        for bin in 0..10 {
+            let (b1, task) = bin_task(beta, bin);
+            match results.market_opt(&task)? {
+                Some(out) => {
+                    let r1 = out.requests[0];
+                    rows.push(vec![
+                        b1,
+                        r1.edge,
+                        r1.cloud,
+                        r1.total(),
+                        out.report.miner_utilities[0],
+                        r1.cost(&prices),
+                    ]);
+                }
+                None => {
+                    rows.push(vec![b1, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN]);
+                }
+            }
+        }
+        tables.push(SweepTable::new(
+            format!(
+                "Fig 7: miner 1 requests & utility vs its budget B_1 (beta = {beta}, others' budgets = 100/120/150/180)"
+            ),
+            &["B_1", "e_1", "c_1", "total_1", "utility_1", "spending_1"],
+            rows,
+        ));
+    }
+    Ok(tables)
+}

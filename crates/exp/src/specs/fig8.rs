@@ -1,0 +1,96 @@
+//! EXP-F8 — paper Fig. 8: service providers' equilibrium prices versus the
+//! ESP's unit operating cost, in both edge operation modes.
+//!
+//! **Reproduction note (see EXPERIMENTS.md):** under Problem 2's profit
+//! functions the ESP's profit is monotone increasing in its own price
+//! whenever `C_e > P_c`, so its equilibrium price pins to the admissible
+//! cap `p̄_e` (Theorem 4's dominant strategy) and is *flat* in `C_e` — the
+//! paper's "increases linearly" is not derivable from its printed model.
+//! Below the region where `C_e` exceeds the CSP's stationary price the
+//! leader game has no pure equilibrium (Edgeworth cycle); those sweep points
+//! print `nan`.
+
+use mbm_core::params::{MarketParams, Provider};
+use mbm_core::scenario::EdgeOperation;
+use mbm_core::stackelberg::StackelbergConfig;
+
+use crate::error::EngineError;
+use crate::executor::TaskResults;
+use crate::market::{BUDGET, N_MINERS};
+use crate::planner::PlannedTask;
+use crate::spec::{ExperimentSpec, SpecCtx};
+use crate::table::SweepTable;
+use crate::task::Task;
+
+/// The Fig. 8 spec.
+#[must_use]
+pub fn spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "fig8",
+        summary: "equilibrium prices & profits vs ESP unit cost (both modes)",
+        tasks,
+        render,
+    }
+}
+
+fn cost_task(c_e: f64, op: EdgeOperation) -> Task {
+    let params = MarketParams::builder()
+        .reward(100.0)
+        .fork_rate(0.2)
+        .edge_availability(0.8)
+        .esp(Provider::new(c_e, 15.0).expect("valid provider"))
+        .csp(Provider::new(1.0, 8.0).expect("valid provider"))
+        .e_max(5.0)
+        .build()
+        .expect("valid market");
+    Task::Leader { op, params, budgets: vec![BUDGET; N_MINERS], cfg: StackelbergConfig::default() }
+}
+
+fn costs() -> impl Iterator<Item = f64> {
+    (0..7).map(|i| 4.0 + i as f64)
+}
+
+fn tasks(_ctx: &SpecCtx) -> Vec<PlannedTask> {
+    costs()
+        .flat_map(|c_e| {
+            [
+                PlannedTask::tolerant(cost_task(c_e, EdgeOperation::Connected)),
+                PlannedTask::tolerant(cost_task(c_e, EdgeOperation::Standalone)),
+            ]
+        })
+        .collect()
+}
+
+fn render(_ctx: &SpecCtx, results: &TaskResults) -> Result<Vec<SweepTable>, EngineError> {
+    let mut rows = Vec::new();
+    for c_e in costs() {
+        let conn = results.market_opt(&cost_task(c_e, EdgeOperation::Connected))?;
+        let stand = results.market_opt(&cost_task(c_e, EdgeOperation::Standalone))?;
+        rows.push(vec![
+            c_e,
+            conn.map_or(f64::NAN, |s| s.prices.edge),
+            conn.map_or(f64::NAN, |s| s.prices.cloud),
+            conn.map_or(f64::NAN, |s| s.report.esp_profit),
+            conn.map_or(f64::NAN, |s| s.report.csp_profit),
+            stand.map_or(f64::NAN, |s| s.prices.edge),
+            stand.map_or(f64::NAN, |s| s.prices.cloud),
+            stand.map_or(f64::NAN, |s| s.report.esp_profit),
+            stand.map_or(f64::NAN, |s| s.report.csp_profit),
+        ]);
+    }
+    Ok(vec![SweepTable::new(
+        "Fig 8: equilibrium prices & profits vs ESP unit cost C_e (caps 15/8; nan = no pure leader NE)",
+        &[
+            "C_e",
+            "conn_P_e",
+            "conn_P_c",
+            "conn_V_e",
+            "conn_V_c",
+            "stand_P_e",
+            "stand_P_c",
+            "stand_V_e",
+            "stand_V_c",
+        ],
+        rows,
+    )])
+}

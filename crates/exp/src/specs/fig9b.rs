@@ -1,0 +1,96 @@
+//! EXP-F9b — paper Fig. 9(b): the effect of the population variance σ² on a
+//! miner's ESP request — a larger variance makes miners more ESP-prone.
+
+use mbm_core::params::Prices;
+use mbm_core::subgame::dynamic::DynamicConfig;
+use mbm_learn::trainer::TrainConfig;
+
+use crate::error::EngineError;
+use crate::executor::TaskResults;
+use crate::market::baseline_market;
+use crate::planner::PlannedTask;
+use crate::spec::{ExperimentSpec, SpecCtx};
+use crate::table::SweepTable;
+use crate::task::{PopSpec, Task};
+
+const SIGMA2_GRID: [f64; 7] = [0.25, 0.5, 1.0, 2.0, 4.0, 6.0, 9.0];
+
+/// The Fig. 9(b) spec. CLI overrides: `[mu] [budget]`.
+#[must_use]
+pub fn spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "fig9b",
+        summary: "per-miner requests vs population variance (+RL checks)",
+        tasks,
+        render,
+    }
+}
+
+fn pop_for(ctx: &SpecCtx, sigma2: f64) -> PopSpec {
+    PopSpec::Gaussian { mean: ctx.arg_or(1, 10.0), sd: sigma2.sqrt() }
+}
+
+fn model_task(ctx: &SpecCtx, sigma2: f64) -> Task {
+    Task::SymDynamic {
+        params: baseline_market(),
+        prices: Prices::new(4.0, 2.0).expect("valid prices"),
+        budget: ctx.arg_or(2, 500.0),
+        pop: pop_for(ctx, sigma2),
+        cfg: DynamicConfig::default(),
+    }
+}
+
+fn rl_task(ctx: &SpecCtx, sigma2: f64) -> Task {
+    // RL check at two variances; the pool exceeds mu + 4 sigma so clamping
+    // does not truncate the population distribution.
+    Task::RlTrain {
+        params: baseline_market(),
+        prices: Prices::new(4.0, 2.0).expect("valid prices"),
+        budget: ctx.arg_or(2, 500.0),
+        pop: pop_for(ctx, sigma2),
+        pool: 18,
+        cfg: TrainConfig { periods: ctx.pick(400, 80), grid_points: 11, ..TrainConfig::default() },
+    }
+}
+
+fn has_rl(sigma2: f64) -> bool {
+    sigma2 == 1.0 || sigma2 == 4.0
+}
+
+fn tasks(ctx: &SpecCtx) -> Vec<PlannedTask> {
+    let mut out = Vec::new();
+    for sigma2 in SIGMA2_GRID {
+        out.push(PlannedTask::tolerant(model_task(ctx, sigma2)));
+        if has_rl(sigma2) {
+            out.push(PlannedTask::tolerant(rl_task(ctx, sigma2)));
+        }
+    }
+    out
+}
+
+fn render(ctx: &SpecCtx, results: &TaskResults) -> Result<Vec<SweepTable>, EngineError> {
+    let mu = ctx.arg_or(1, 10.0);
+    let budget = ctx.arg_or(2, 500.0);
+    let mut rows = Vec::new();
+    for sigma2 in SIGMA2_GRID {
+        let model = results.market_opt(&model_task(ctx, sigma2))?;
+        let rl = if has_rl(sigma2) {
+            results.learned_opt(&rl_task(ctx, sigma2))?.map_or(f64::NAN, |r| r.edge)
+        } else {
+            f64::NAN
+        };
+        rows.push(vec![
+            sigma2,
+            model.map_or(f64::NAN, |o| o.requests[0].edge),
+            model.map_or(f64::NAN, |o| o.requests[0].cloud),
+            rl,
+        ]);
+    }
+    Ok(vec![SweepTable::new(
+        format!(
+            "Fig 9(b): per-miner requests vs population variance (mu = {mu}, P = (4, 2), B = {budget})"
+        ),
+        &["sigma2", "e_model", "c_model", "e_rl"],
+        rows,
+    )])
+}

@@ -1,0 +1,22 @@
+//! One module per paper artifact, each a declarative [`crate::spec::ExperimentSpec`].
+//!
+//! Every module replicates its legacy driver's sweep *exactly* — including
+//! float-accumulated grids and hard-coded constants — so the engine's
+//! `Full`-resolution output is byte-for-byte identical to the old binaries.
+//! Grid construction lives in one shared helper per module, called by both
+//! `tasks` and `render`, so the two can never drift.
+
+pub mod ablations;
+pub mod calibration;
+pub mod edgeworth;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9a;
+pub mod fig9b;
+pub mod table2;
+pub mod welfare;

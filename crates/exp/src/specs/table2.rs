@@ -1,0 +1,108 @@
+//! EXP-T2 — paper Table II: closed-form comparison of the two edge
+//! operation modes with sufficiently large budgets, plus the standalone
+//! closed-form prices.
+//!
+//! Headline checks: total demand `S` identical across modes; the standalone
+//! mode channels more units to the ESP (by the factor `1/h` when the
+//! capacity is slack).
+
+use mbm_core::params::Prices;
+
+use crate::error::EngineError;
+use crate::executor::TaskResults;
+use crate::market::{baseline_market, N_MINERS};
+use crate::planner::PlannedTask;
+use crate::spec::{ExperimentSpec, SpecCtx};
+use crate::table::SweepTable;
+use crate::task::Task;
+
+const CLOSED_GRID: [f64; 3] = [2.0, 5.0, 50.0];
+const PRICE_GRID: [f64; 3] = [2.0, 5.0, 10.0];
+
+/// The Table II spec.
+#[must_use]
+pub fn spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "table2",
+        summary: "closed-form aggregates and standalone prices",
+        tasks,
+        render,
+    }
+}
+
+fn closed_task(e_max: f64) -> Task {
+    Task::ClosedForms {
+        params: baseline_market().with_e_max(e_max).expect("valid capacity"),
+        prices: Prices::new(4.0, 2.0).expect("valid prices"),
+        n: N_MINERS,
+    }
+}
+
+fn price_task(e_max: f64) -> Task {
+    Task::StandalonePrices {
+        params: baseline_market().with_e_max(e_max).expect("valid capacity"),
+        n: N_MINERS,
+    }
+}
+
+fn tasks(_ctx: &SpecCtx) -> Vec<PlannedTask> {
+    CLOSED_GRID
+        .iter()
+        .map(|&e| PlannedTask::tolerant(closed_task(e)))
+        .chain(PRICE_GRID.iter().map(|&e| PlannedTask::tolerant(price_task(e))))
+        .collect()
+}
+
+fn render(_ctx: &SpecCtx, results: &TaskResults) -> Result<Vec<SweepTable>, EngineError> {
+    let mut rows = Vec::new();
+    for e_max in CLOSED_GRID {
+        match results.closed_opt(&closed_task(e_max))? {
+            Some(t) => rows.push(vec![
+                e_max,
+                t.connected.edge_total,
+                t.connected.cloud_total,
+                t.connected.total,
+                t.standalone.edge_total,
+                t.standalone.cloud_total,
+                t.standalone.total,
+                if t.capacity_binds { 1.0 } else { 0.0 },
+            ]),
+            None => rows.push(vec![
+                e_max,
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+            ]),
+        }
+    }
+    let closed = SweepTable::new(
+        "Table II: closed-form aggregates, connected vs standalone (P = (4, 2), n = 5, sufficient budgets)",
+        &[
+            "E_max",
+            "conn_E",
+            "conn_C",
+            "conn_S",
+            "stand_E",
+            "stand_C",
+            "stand_S",
+            "capacity_binds",
+        ],
+        rows,
+    );
+
+    let mut rows = Vec::new();
+    for e_max in PRICE_GRID {
+        let (p_c, p_e) = results.standalone_prices(&price_task(e_max))?;
+        rows.push(vec![e_max, p_c, p_e]);
+    }
+    let prices = SweepTable::new(
+        "Table II (prices): standalone closed-form CSP price and market-clearing ESP price",
+        &["E_max", "P_c_star", "P_e_clearing"],
+        rows,
+    );
+    Ok(vec![closed, prices])
+}

@@ -1,0 +1,118 @@
+//! EXP-WEL — welfare analysis (extension beyond the paper's figures):
+//! how much of the block reward does the mining competition burn on
+//! computing resources, across reward levels and budgets?
+//!
+//! The paper observes that "the SP-side welfare is bounded by the total
+//! miner budgets in the beginning \[and\] as the budgets increase ... the
+//! total welfare of these two SPs are positively related to the blockchain
+//! mining reward"; this experiment quantifies both regimes and adds the
+//! mining-efficiency measure.
+
+use mbm_core::analysis::{mining_efficiency, welfare_upper_bound_connected};
+use mbm_core::params::{MarketParams, Prices};
+use mbm_core::scenario::EdgeOperation;
+use mbm_core::subgame::SubgameConfig;
+
+use crate::error::EngineError;
+use crate::executor::TaskResults;
+use crate::market::{baseline_market, N_MINERS};
+use crate::planner::PlannedTask;
+use crate::spec::{ExperimentSpec, SpecCtx};
+use crate::table::SweepTable;
+use crate::task::Task;
+
+const BUDGETS: [f64; 7] = [2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0];
+const REWARDS: [f64; 5] = [50.0, 100.0, 200.0, 400.0, 800.0];
+
+/// The welfare spec.
+#[must_use]
+pub fn spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "welfare",
+        summary: "SP welfare vs miner budgets and mining reward",
+        tasks,
+        render,
+    }
+}
+
+fn budget_task(budget: f64) -> Task {
+    Task::Nep {
+        op: EdgeOperation::Connected,
+        params: baseline_market(),
+        prices: Prices::new(4.0, 2.0).expect("valid prices"),
+        budgets: vec![budget; N_MINERS],
+        cfg: SubgameConfig::default(),
+    }
+}
+
+fn reward_params(reward: f64) -> MarketParams {
+    MarketParams::builder()
+        .reward(reward)
+        .fork_rate(0.2)
+        .edge_availability(0.8)
+        .build()
+        .expect("valid market")
+}
+
+fn reward_task(reward: f64) -> Task {
+    Task::Nep {
+        op: EdgeOperation::Connected,
+        params: reward_params(reward),
+        prices: Prices::new(4.0, 2.0).expect("valid prices"),
+        budgets: vec![1e6; N_MINERS],
+        cfg: SubgameConfig::default(),
+    }
+}
+
+fn tasks(_ctx: &SpecCtx) -> Vec<PlannedTask> {
+    BUDGETS
+        .iter()
+        .map(|&b| PlannedTask::tolerant(budget_task(b)))
+        .chain(REWARDS.iter().map(|&r| PlannedTask::tolerant(reward_task(r))))
+        .collect()
+}
+
+fn render(_ctx: &SpecCtx, results: &TaskResults) -> Result<Vec<SweepTable>, EngineError> {
+    // Budget sweep at fixed reward: SP revenue saturates once budgets stop
+    // binding. Failed points are skipped (not NaN rows), as the legacy
+    // driver did.
+    let mut rows = Vec::new();
+    for budget in BUDGETS {
+        if let Some(out) = results.market_opt(&budget_task(budget))? {
+            let ceiling = welfare_upper_bound_connected(&baseline_market());
+            rows.push(vec![
+                budget,
+                out.report.sp_revenue(),
+                out.report.sp_profit(),
+                out.report.total_welfare,
+                mining_efficiency(&out.report, ceiling),
+            ]);
+        }
+    }
+    let by_budget = SweepTable::new(
+        "Welfare vs miner budget (R = 100): SP revenue saturates once budgets stop binding",
+        &["budget", "sp_revenue", "sp_profit", "total_welfare", "mining_efficiency"],
+        rows,
+    );
+
+    // Reward sweep at a large budget: SP welfare scales with R.
+    let mut rows = Vec::new();
+    for reward in REWARDS {
+        if let Some(out) = results.market_opt(&reward_task(reward))? {
+            let ceiling = welfare_upper_bound_connected(&reward_params(reward));
+            rows.push(vec![
+                reward,
+                out.report.sp_revenue(),
+                out.report.sp_profit(),
+                out.report.total_welfare,
+                mining_efficiency(&out.report, ceiling),
+            ]);
+        }
+    }
+    let by_reward = SweepTable::new(
+        "Welfare vs mining reward (sufficient budgets): SP welfare scales with R",
+        &["reward", "sp_revenue", "sp_profit", "total_welfare", "mining_efficiency"],
+        rows,
+    );
+    Ok(vec![by_budget, by_reward])
+}

@@ -1,0 +1,127 @@
+//! Typed sweep output: [`SweepTable`] rows plus the canonical TSV emitter
+//! every driver used to hand-roll, and the serde document the `--json`
+//! output writes.
+
+use serde::Serialize;
+
+/// One rendered table of an experiment: a title, column headers, numeric
+/// rows, and trailing `#`-prefixed notes (cycle diagnostics, legends).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SweepTable {
+    /// Human title, printed as the `# title` line.
+    pub title: String,
+    /// Column names.
+    pub headers: Vec<String>,
+    /// Numeric rows; `NaN` renders as `nan` (a failed sweep point).
+    pub rows: Vec<Vec<f64>>,
+    /// `#`-prefixed trailer lines printed after the table body.
+    pub notes: Vec<String>,
+}
+
+impl SweepTable {
+    /// Builds a table with no trailing notes.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str], rows: Vec<Vec<f64>>) -> Self {
+        SweepTable {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_string()).collect(),
+            rows,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a trailer note (rendered as `# note` by the old drivers;
+    /// callers pass the full line including any leading `#`).
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders the table exactly as the legacy drivers printed it: a
+    /// `# title` line, tab-joined headers, one line per row with
+    /// [`format_cell`] values, a trailing blank line, then each note
+    /// followed by its own blank line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        out.push_str(&format!("{}\n", self.headers.join("\t")));
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(|v| format_cell(*v)).collect();
+            out.push_str(&format!("{}\n", line.join("\t")));
+        }
+        out.push('\n');
+        for note in &self.notes {
+            out.push_str(&format!("{note}\n\n"));
+        }
+        out
+    }
+
+    /// True when at least one data cell is finite — the generic sanity
+    /// check `experiments --check` applies to every rendered table.
+    #[must_use]
+    pub fn has_finite_cell(&self) -> bool {
+        self.rows.iter().flatten().any(|v| v.is_finite())
+    }
+}
+
+/// Prints a TSV table to stdout (the legacy `emit_table` behavior).
+pub fn emit_table(title: &str, headers: &[&str], rows: &[Vec<f64>]) {
+    print!("{}", SweepTable::new(title, headers, rows.to_vec()).render());
+}
+
+/// One executed experiment: its registry name and rendered tables, in
+/// order. Serialization is canonical: field and row order are fixed by the
+/// spec's render function, never by map iteration.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ExperimentResult {
+    /// Registry name (`fig4`, `welfare`, …).
+    pub name: String,
+    /// Rendered tables in print order.
+    pub tables: Vec<SweepTable>,
+}
+
+impl ExperimentResult {
+    /// Renders all tables as the legacy driver's full stdout.
+    #[must_use]
+    pub fn render(&self) -> String {
+        self.tables.iter().map(SweepTable::render).collect()
+    }
+}
+
+/// Formats one cell to six significant digits, `nan` for failed points
+/// (legacy `format_cell`, byte-identical).
+#[must_use]
+pub fn format_cell(v: f64) -> String {
+    if v.is_nan() {
+        "nan".to_string()
+    } else if v == 0.0 || (v.abs() >= 1e-3 && v.abs() < 1e7) {
+        format!("{v:.6}")
+    } else {
+        format!("{v:.6e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_cell_handles_extremes() {
+        assert_eq!(format_cell(0.0), "0.000000");
+        assert_eq!(format_cell(f64::NAN), "nan");
+        assert!(format_cell(1e-9).contains('e'));
+        assert!(format_cell(1.5).starts_with("1.5"));
+    }
+
+    #[test]
+    fn render_matches_the_legacy_driver_layout() {
+        let t =
+            SweepTable::new("demo", &["a", "b"], vec![vec![1.0, f64::NAN]]).with_note("# legend");
+        assert_eq!(t.render(), "# demo\na\tb\n1.000000\tnan\n\n# legend\n\n");
+        assert!(t.has_finite_cell());
+        let empty = SweepTable::new("x", &["a"], vec![vec![f64::NAN]]);
+        assert!(!empty.has_finite_cell());
+    }
+}

@@ -2,44 +2,71 @@
 //!
 //! A standalone ESP must choose how many computing units `E_max` to deploy.
 //! Too little capacity forgoes demand; too much competes the market-clearing
-//! price down. This example sweeps capacities, solving the standalone
-//! Stackelberg game at each, and reports the profit-maximizing deployment.
+//! price down. This example declares the capacity sweep as one experiment-
+//! engine batch — a full standalone Stackelberg solve plus the closed-form
+//! clearing price at each deployment — and reports the profit-maximizing
+//! capacity.
 //!
 //! Run with `cargo run --example capacity_planning`.
 
 use mobile_blockchain_mining::core::params::{MarketParams, Provider};
-use mobile_blockchain_mining::core::sp::pricing::{
-    standalone_csp_price, standalone_market_clearing_edge_price,
-};
-use mobile_blockchain_mining::core::stackelberg::{solve_standalone, StackelbergConfig};
+use mobile_blockchain_mining::core::scenario::EdgeOperation;
+use mobile_blockchain_mining::core::stackelberg::StackelbergConfig;
+use mobile_blockchain_mining::exp::planner::PlannedTask;
+use mobile_blockchain_mining::exp::{run_tasks, Task};
+
+const CAPACITIES: [f64; 7] = [0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 12.0];
+
+fn market(e_max: f64) -> MarketParams {
+    MarketParams::builder()
+        .reward(100.0)
+        .fork_rate(0.2)
+        .edge_availability(0.8)
+        .esp(Provider::new(7.0, 15.0).unwrap())
+        .csp(Provider::new(1.0, 8.0).unwrap())
+        .e_max(e_max)
+        .build()
+        .unwrap()
+}
+
+fn leader_task(e_max: f64, budgets: &[f64]) -> Task {
+    Task::Leader {
+        op: EdgeOperation::Standalone,
+        params: market(e_max),
+        budgets: budgets.to_vec(),
+        cfg: StackelbergConfig::default(),
+    }
+}
+
+fn clearing_task(e_max: f64, n: usize) -> Task {
+    Task::StandalonePrices { params: market(e_max), n }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let budgets = vec![200.0; 5];
-    let cfg = StackelbergConfig::default();
+
+    // One batch: every capacity's Stackelberg solve and its closed-form
+    // cross-check, fanned out together.
+    let mut tasks = Vec::new();
+    for &e_max in &CAPACITIES {
+        tasks.push(PlannedTask::required(leader_task(e_max, &budgets)));
+        tasks.push(PlannedTask::tolerant(clearing_task(e_max, budgets.len())));
+    }
+    let results = run_tasks(&tasks, mbm_par::Pool::global());
 
     println!("capacity  P_e*    P_c*    E_sold  ESP_profit  (closed-form clearing price)");
     let mut best = (0.0, f64::NEG_INFINITY);
-    for e_max in [0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 12.0] {
-        let params = MarketParams::builder()
-            .reward(100.0)
-            .fork_rate(0.2)
-            .edge_availability(0.8)
-            .esp(Provider::new(7.0, 15.0)?)
-            .csp(Provider::new(1.0, 8.0)?)
-            .e_max(e_max)
-            .build()?;
-        let sol = solve_standalone(&params, &budgets, &cfg)?;
+    for &e_max in &CAPACITIES {
+        let sol = results.market(&leader_task(e_max, &budgets))?;
         // Closed-form cross-check: the market-clearing edge price at the
         // CSP's Table-II price.
-        let clearing = standalone_csp_price(&params, budgets.len())
-            .and_then(|pc| standalone_market_clearing_edge_price(&params, pc, budgets.len()))
-            .unwrap_or(f64::NAN);
+        let (_, clearing) = results.standalone_prices(&clearing_task(e_max, budgets.len()))?;
         println!(
             "{e_max:>7.1}  {:>6.3}  {:>6.3}  {:>6.3}  {:>10.3}  ({clearing:.3})",
-            sol.prices.edge, sol.prices.cloud, sol.equilibrium.aggregates.edge, sol.esp_profit
+            sol.prices.edge, sol.prices.cloud, sol.report.edge_units, sol.report.esp_profit
         );
-        if sol.esp_profit > best.1 {
-            best = (e_max, sol.esp_profit);
+        if sol.report.esp_profit > best.1 {
+            best = (e_max, sol.report.esp_profit);
         }
     }
     println!();

@@ -2,10 +2,12 @@
 
 //! A full ledger-backed mining session at the game's equilibrium.
 //!
-//! Solves the miner subgame, runs thousands of PoW races writing real
-//! (SHA-256-hashed, parent-linked) blocks into a ledger, and checks that
-//! the realized main-chain reward shares converge to the analytic winning
-//! probabilities — and, for flavour, mines one block at the hash level.
+//! Solves the miner subgame (through the experiment engine's [`Task::Nep`],
+//! i.e. the `Scenario` solve path), runs thousands of PoW races writing
+//! real (SHA-256-hashed, parent-linked) blocks into a ledger, and checks
+//! that the realized main-chain reward shares converge to the analytic
+//! winning probabilities — and, for flavour, mines one block at the hash
+//! level.
 //!
 //! Run with `cargo run --release --example ledger_session`.
 
@@ -14,17 +16,26 @@ use mobile_blockchain_mining::chain_sim::pow::{Puzzle, Target};
 use mobile_blockchain_mining::chain_sim::session::run_session;
 use mobile_blockchain_mining::chain_sim::sim::SimConfig;
 use mobile_blockchain_mining::core::params::{MarketParams, Prices};
-use mobile_blockchain_mining::core::subgame::connected::solve_connected_miner_subgame;
+use mobile_blockchain_mining::core::scenario::EdgeOperation;
 use mobile_blockchain_mining::core::subgame::SubgameConfig;
 use mobile_blockchain_mining::core::winning::w_full;
+use mobile_blockchain_mining::exp::planner::PlannedTask;
+use mobile_blockchain_mining::exp::{run_tasks, Task};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Equilibrium requests for a heterogeneous miner population.
     let params =
         MarketParams::builder().reward(1000.0).fork_rate(0.2).edge_availability(0.8).build()?;
     let prices = Prices::new(4.0, 2.0)?;
-    let budgets = [40.0, 80.0, 120.0, 160.0];
-    let eq = solve_connected_miner_subgame(&params, &prices, &budgets, &SubgameConfig::default())?;
+    let task = Task::Nep {
+        op: EdgeOperation::Connected,
+        params,
+        prices,
+        budgets: vec![40.0, 80.0, 120.0, 160.0],
+        cfg: SubgameConfig::default(),
+    };
+    let results = run_tasks(&[PlannedTask::required(task.clone())], mbm_par::Pool::global());
+    let eq = results.market(&task)?;
     println!("equilibrium requests:");
     for (i, r) in eq.requests.iter().enumerate() {
         println!("  miner {i}: e = {:.3}, c = {:.3}", r.edge, r.cloud);

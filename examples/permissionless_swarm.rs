@@ -3,15 +3,21 @@
 //! Models miners who can join or leave at will (`N ~ Gaussian(μ, σ²)`),
 //! compares the equilibrium against a permissioned (fixed-`N`) network, and
 //! lets a pool of Q-learning miners rediscover the equilibrium from raw
-//! experience — the paper's Section V / VI-C pipeline end to end.
+//! experience — the paper's Section V / VI-C pipeline end to end, declared
+//! as one experiment-engine batch (model solves and RL training fan out
+//! together; the σ = 2 solve is shared by the comparison and the
+//! validation via the planner's dedup).
 //!
 //! Run with `cargo run --release --example permissionless_swarm`.
 
 use mobile_blockchain_mining::core::params::{MarketParams, Prices};
-use mobile_blockchain_mining::core::subgame::dynamic::{
-    solve_symmetric_dynamic, DynamicConfig, Population,
-};
-use mobile_blockchain_mining::learn::trainer::{learn_miner_strategies, TrainConfig};
+use mobile_blockchain_mining::core::subgame::dynamic::DynamicConfig;
+use mobile_blockchain_mining::exp::planner::PlannedTask;
+use mobile_blockchain_mining::exp::task::PopSpec;
+use mobile_blockchain_mining::exp::{run_tasks, Task};
+use mobile_blockchain_mining::learn::trainer::TrainConfig;
+
+const SIGMAS: [f64; 3] = [1.0, 2.0, 3.0];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params =
@@ -20,14 +26,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let budget = 500.0;
     let cfg = DynamicConfig::default();
 
+    let dynamic = |pop: PopSpec| Task::SymDynamic { params, prices, budget, pop, cfg };
+    let fixed_task = dynamic(PopSpec::Fixed(10));
+    // Mean-matched permissionless populations (+0.5 shift).
+    let gaussian = |sd: f64| dynamic(PopSpec::Gaussian { mean: 9.5, sd });
+    // Learning validation: 18 Q-learners against the sigma = 2 population.
+    let rl_task = Task::RlTrain {
+        params,
+        prices,
+        budget,
+        pop: PopSpec::Gaussian { mean: 9.5, sd: 2.0 },
+        pool: 18,
+        cfg: TrainConfig { periods: 300, ..Default::default() },
+    };
+
+    // One batch: the fixed baseline, every churn level, and the RL run.
+    // The sigma = 2 model solve appears twice below but is planned once.
+    let mut tasks = vec![PlannedTask::required(fixed_task.clone())];
+    tasks.extend(SIGMAS.iter().map(|&sd| PlannedTask::required(gaussian(sd))));
+    tasks.push(PlannedTask::required(gaussian(2.0)));
+    tasks.push(PlannedTask::required(rl_task.clone()));
+    let results = run_tasks(&tasks, mbm_par::Pool::global());
+
     // Permissioned baseline: exactly 10 miners.
-    let fixed = solve_symmetric_dynamic(&params, &prices, budget, &Population::fixed(10)?, &cfg)?;
+    let fixed = results.market(&fixed_task)?.requests[0];
     println!("permissioned (N = 10):        e* = {:.4}, c* = {:.4}", fixed.edge, fixed.cloud);
 
     // Permissionless: same expected population, growing churn.
-    for sd in [1.0, 2.0, 3.0] {
-        let pop = Population::gaussian(9.5, sd)?; // mean-matched (+0.5 shift)
-        let eq = solve_symmetric_dynamic(&params, &prices, budget, &pop, &cfg)?;
+    for &sd in &SIGMAS {
+        let eq = results.market(&gaussian(sd))?.requests[0];
         println!(
             "permissionless (sigma = {sd}):   e* = {:.4}, c* = {:.4}   (edge demand {:+.1}% vs fixed)",
             eq.edge,
@@ -36,23 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // Learning validation: can 18 Q-learners find the sigma = 2 equilibrium
-    // from raw block rewards?
-    let pop = Population::gaussian(9.5, 2.0)?;
-    let model = solve_symmetric_dynamic(&params, &prices, budget, &pop, &cfg)?;
-    let learned = learn_miner_strategies(
-        &params,
-        &prices,
-        budget,
-        &pop,
-        18,
-        &TrainConfig { periods: 300, ..Default::default() },
-    )?;
+    // Can the Q-learners find the sigma = 2 equilibrium from raw rewards?
+    let model = results.market(&gaussian(2.0))?.requests[0];
+    let learned = results.learned_opt(&rl_task)?.ok_or("RL training failed")?;
     println!();
     println!("model equilibrium:   e* = {:.4}, c* = {:.4}", model.edge, model.cloud);
-    println!(
-        "learned (RL, {} blocks): e = {:.4}, c = {:.4}",
-        learned.blocks, learned.mean_request.edge, learned.mean_request.cloud
-    );
+    println!("learned (RL, 300 periods): e = {:.4}, c = {:.4}", learned.edge, learned.cloud);
     Ok(())
 }

@@ -4,23 +4,27 @@
 //! both providers simultaneously re-price — and prints the round-by-round
 //! trajectory; then shows the same machinery *failing honestly* in the
 //! Edgeworth-cycle parameter region, where the detector names the cycle.
+//! The cycling Algorithm 1 run goes through the experiment engine, the
+//! same [`Task::Algorithm1`] the `edgeworth` experiment plans.
 //!
 //! Run with `cargo run --release --example price_bargaining`.
 
-use mobile_blockchain_mining::core::algorithms::{
-    algorithm1_asynchronous_best_response, algorithm2_price_bargaining, AlgorithmConfig,
-};
+use mobile_blockchain_mining::core::algorithms::{algorithm2_price_bargaining, AlgorithmConfig};
 use mobile_blockchain_mining::core::params::Prices;
 use mobile_blockchain_mining::core::presets;
+use mobile_blockchain_mining::core::scenario::EdgeOperation;
 use mobile_blockchain_mining::core::sp::stage::Mode;
 use mobile_blockchain_mining::core::sp::MinerPopulation;
+use mobile_blockchain_mining::exp::planner::PlannedTask;
+use mobile_blockchain_mining::exp::{run_tasks, Task};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let population = MinerPopulation::Homogeneous { budget: 200.0, n: 5 };
     let start = Prices::new(10.0, 4.0)?;
     let cfg = AlgorithmConfig::default();
 
-    // 1. Standalone-mode bargaining in the well-posed parameter region.
+    // 1. Standalone-mode bargaining in the well-posed parameter region
+    //    (the traced diagnostic itself; not a market solve).
     let params = presets::leader_ne_market()?;
     let trace =
         algorithm2_price_bargaining(&params, population.clone(), Mode::Standalone, start, &cfg)?;
@@ -33,15 +37,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 2. The same loop at the baseline costs: an honest non-convergence.
-    let cycling = presets::paper_baseline()?;
-    let trace = algorithm1_asynchronous_best_response(
-        &cycling,
-        population,
-        Mode::Connected,
-        Prices::new(6.0, 3.0)?,
-        &AlgorithmConfig { max_rounds: 24, ..cfg },
-    )?;
+    // 2. The same loop at the baseline costs: an honest non-convergence,
+    //    run as an engine task.
+    let task = Task::Algorithm1 {
+        params: presets::paper_baseline()?,
+        op: EdgeOperation::Connected,
+        budget: 200.0,
+        n: 5,
+        init: Prices::new(6.0, 3.0)?,
+        max_rounds: 24,
+    };
+    let results = run_tasks(&[PlannedTask::required(task.clone())], mbm_par::Pool::global());
+    let trace = results.trace(&task)?;
     println!();
     println!(
         "Algorithm 1 (connected, C_e = 2): converged = {} after {} rounds",

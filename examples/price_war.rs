@@ -3,29 +3,51 @@
 //!
 //! As the CSP undercuts, miners drift to the cloud; the analytic winning
 //! probabilities driving those decisions are validated against the
-//! discrete-event mining simulator at one operating point.
+//! discrete-event mining simulator at one operating point. The whole sweep
+//! is declared as one experiment-engine batch — the planner dedups the
+//! repeated operating point, the executor solves everything in one fan-out.
 //!
 //! Run with `cargo run --release --example price_war`.
 
-use mobile_blockchain_mining::chain_sim::network::DelayModel;
-use mobile_blockchain_mining::chain_sim::sim::{simulate, SimConfig};
 use mobile_blockchain_mining::core::params::{MarketParams, Prices};
 use mobile_blockchain_mining::core::request::Request;
-use mobile_blockchain_mining::core::subgame::connected::solve_symmetric_connected;
+use mobile_blockchain_mining::core::scenario::EdgeOperation;
 use mobile_blockchain_mining::core::subgame::SubgameConfig;
 use mobile_blockchain_mining::core::winning::w_full;
+use mobile_blockchain_mining::exp::planner::PlannedTask;
+use mobile_blockchain_mining::exp::task::RaceModeSpec;
+use mobile_blockchain_mining::exp::{run_tasks, Task};
+
+const ROUNDS: usize = 200_000;
+
+fn sym_task(params: MarketParams, pc: f64, budget: f64, n: usize) -> Task {
+    Task::SymSubgame {
+        op: EdgeOperation::Connected,
+        params,
+        prices: Prices::new(4.0, pc).unwrap(),
+        budget,
+        n,
+        cfg: SubgameConfig::default(),
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params =
         MarketParams::builder().reward(100.0).fork_rate(0.2).edge_availability(0.8).build()?;
     let n = 5;
     let budget = 200.0;
-    let cfg = SubgameConfig::default();
+    let war_prices = [3.0, 2.5, 2.0, 1.5, 1.0];
+
+    // Declare the whole price-war sweep as one batch of tasks.
+    let tasks: Vec<PlannedTask> = war_prices
+        .iter()
+        .map(|&pc| PlannedTask::required(sym_task(params, pc, budget, n)))
+        .collect();
+    let results = run_tasks(&tasks, mbm_par::Pool::global());
 
     println!("CSP price  e* per miner  c* per miner  edge share of demand");
-    for pc in [3.0, 2.5, 2.0, 1.5, 1.0] {
-        let prices = Prices::new(4.0, pc)?;
-        let r = solve_symmetric_connected(&params, &prices, budget, n, &cfg)?;
+    for &pc in &war_prices {
+        let r = results.sym(&sym_task(params, pc, budget, n))?;
         println!(
             "{pc:>9.1}  {:>12.4}  {:>12.4}  {:>19.1}%",
             r.edge,
@@ -36,30 +58,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Monte-Carlo check: at P = (4, 2), do the analytic winning
     // probabilities match empirical win frequencies from the race model?
-    let prices = Prices::new(4.0, 2.0)?;
-    let eq = solve_symmetric_connected(&params, &prices, budget, n, &cfg)?;
+    // The equilibrium is read back from the batch above (no re-solve).
+    let eq = results.sym(&sym_task(params, 2.0, budget, n))?;
     let requests: Vec<Request> = vec![eq; n];
     // Calibrate the fork rate: with total edge rate E·r and cloud delay D,
     // beta = 1 − exp(−E·r·D) matches the generative race model.
     let unit_rate = 0.01;
     let total_edge: f64 = requests.iter().map(|r| r.edge).sum();
     let delay = -(1.0 - params.fork_rate()).ln() / (total_edge * unit_rate);
-    let sim = simulate(
-        &requests.iter().map(|r| (r.edge, r.cloud)).collect::<Vec<_>>(),
-        &SimConfig {
-            unit_rate,
-            delays: DelayModel::new(delay, 0.0)?,
-            mode: None,
-            rounds: 200_000,
-            seed: 7,
-        },
-    )?;
+    let race = Task::RaceSim {
+        requests: requests.iter().map(|r| (r.edge, r.cloud)).collect(),
+        unit_rate,
+        delay,
+        broadcast_delay: 0.0,
+        mode: RaceModeSpec::Free,
+        rounds: ROUNDS,
+        seed: 7,
+    };
+    let sim_results = run_tasks(&[PlannedTask::required(race.clone())], mbm_par::Pool::global());
+    let sim = sim_results.race(&race)?;
     let analytic = w_full(0, &requests, params.fork_rate());
-    let empirical = sim.win_frequencies()[0];
+    let empirical = sim.win_frequencies[0];
     println!();
     println!("Monte-Carlo validation at P = (4, 2):");
     println!("  analytic  W_i = {analytic:.4}");
-    println!("  empirical W_i = {empirical:.4}  ({} races)", sim.rounds);
-    println!("  empirical fork rate = {:.4}", sim.fork_rate());
+    println!("  empirical W_i = {empirical:.4}  ({ROUNDS} races)");
+    println!("  empirical fork rate = {:.4}", sim.fork_rate);
     Ok(())
 }

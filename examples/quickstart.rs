@@ -3,9 +3,8 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use mobile_blockchain_mining::core::analysis::MarketReport;
 use mobile_blockchain_mining::core::params::{MarketParams, Provider};
-use mobile_blockchain_mining::core::stackelberg::{solve_connected, StackelbergConfig};
+use mobile_blockchain_mining::core::scenario::Scenario;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A mobile blockchain mining market: reward 100 per block, 20% fork
@@ -19,36 +18,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .csp(Provider::new(1.0, 8.0)?)
         .build()?;
 
-    // Five miners with a common budget of 200.
-    let budgets = vec![200.0; 5];
-    let solution = solve_connected(&params, &budgets, &StackelbergConfig::default())?;
+    // Five miners with a common budget of 200, solved through the Scenario
+    // facade — the one solve path everything in this workspace routes
+    // through (the `experiments` runner included).
+    let outcome = Scenario::connected(params).homogeneous_miners(5, 200.0).solve()?;
 
     println!("Stackelberg equilibrium (connected mode)");
-    println!("  ESP price P_e* = {:.3}", solution.prices.edge);
-    println!("  CSP price P_c* = {:.3}", solution.prices.cloud);
-    println!("  leader rounds  = {}", solution.leader_rounds);
+    println!("  ESP price P_e* = {:.3}", outcome.prices.edge);
+    println!("  CSP price P_c* = {:.3}", outcome.prices.cloud);
+    println!("  prices endogenous = {}", outcome.prices_endogenous);
     println!();
     println!("Miner equilibrium:");
-    for (i, r) in solution.equilibrium.requests.iter().enumerate() {
+    for (i, r) in outcome.requests.iter().enumerate() {
         println!(
             "  miner {i}: e = {:.4}, c = {:.4}, utility = {:.4}",
-            r.edge, r.cloud, solution.equilibrium.utilities[i]
+            r.edge, r.cloud, outcome.report.miner_utilities[i]
         );
     }
     println!();
-    let report = MarketReport::new(&params, &solution.prices, &solution.equilibrium);
     println!("Provider outcomes:");
+    let report = &outcome.report;
     println!("  ESP: {:.3} units sold, profit {:.3}", report.edge_units, report.esp_profit);
     println!("  CSP: {:.3} units sold, profit {:.3}", report.cloud_units, report.csp_profit);
     println!("  total welfare = {:.3}", report.total_welfare);
 
-    // The same solve through the high-level Scenario facade:
-    use mobile_blockchain_mining::core::scenario::Scenario;
-    let outcome = Scenario::connected(params).homogeneous_miners(5, 200.0).solve()?;
+    // The same solve as a declarative experiment-engine task: the planner
+    // dedups identical solves across a batch and the executor fans them
+    // out, which is how `experiments --all` shares work between figures.
+    use mobile_blockchain_mining::exp::planner::PlannedTask;
+    use mobile_blockchain_mining::exp::{run_tasks, Task};
+    let task = Task::Leader {
+        op: mobile_blockchain_mining::core::scenario::EdgeOperation::Connected,
+        params,
+        budgets: vec![200.0; 5],
+        cfg: Default::default(),
+    };
+    let results = run_tasks(&[PlannedTask::required(task.clone())], mbm_par::Pool::global());
+    let engine = results.market(&task)?;
     println!();
     println!(
-        "Scenario facade agrees: P_e* = {:.3}, P_c* = {:.3} (endogenous: {})",
-        outcome.prices.edge, outcome.prices.cloud, outcome.prices_endogenous
+        "Experiment engine agrees: P_e* = {:.3}, P_c* = {:.3}",
+        engine.prices.edge, engine.prices.cloud
     );
     Ok(())
 }

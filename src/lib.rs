@@ -8,9 +8,12 @@
 //! * [`chain_sim`] — discrete-event mobile blockchain mining simulator.
 //! * [`core`] — the hierarchical edge-cloud mining game itself.
 //! * [`learn`] — the reinforcement-learning validation framework.
+//! * [`exp`] — the declarative experiment engine behind the `experiments`
+//!   runner (sweep specs, dedup planner, shared executor).
 
 pub use mbm_chain_sim as chain_sim;
 pub use mbm_core as core;
+pub use mbm_exp as exp;
 pub use mbm_game as game;
 pub use mbm_learn as learn;
 pub use mbm_numerics as numerics;

@@ -10,17 +10,39 @@
 //! `β = 1 − exp(−E·r·D)` (the probability that some edge block lands inside
 //! a cloud block's propagation window), empirical win frequencies must match
 //! the analytic `W_i` up to the paper's own approximation error.
+//!
+//! Simulations run as [`Task::RaceSim`] entries through the experiment
+//! engine (`mbm_exp::run_tasks`), the same plan/execute pipeline the
+//! `experiments` runner uses; the task key includes the seed, so every run
+//! here is exactly reproducible.
 
-use mbm_chain_sim::network::DelayModel;
-use mbm_chain_sim::sim::{simulate, EdgeMode, SimConfig};
 use mbm_core::request::Request;
 use mbm_core::winning::{w_connected_expected, w_full, w_standalone_rejected};
+use mbm_exp::planner::PlannedTask;
+use mbm_exp::task::{RaceModeSpec, RaceSummary};
+use mbm_exp::{run_tasks, Task};
+use mbm_par::Pool;
 
 const UNIT_RATE: f64 = 0.01;
 const ROUNDS: usize = 400_000;
 
 fn requests(v: &[(f64, f64)]) -> Vec<Request> {
     v.iter().map(|&(e, c)| Request::new(e, c).unwrap()).collect()
+}
+
+/// Runs one mining race through the engine's plan/execute pipeline.
+fn race(reqs: &[Request], delay: f64, mode: RaceModeSpec, seed: u64) -> RaceSummary {
+    let task = Task::RaceSim {
+        requests: reqs.iter().map(|r| (r.edge, r.cloud)).collect(),
+        unit_rate: UNIT_RATE,
+        delay,
+        broadcast_delay: 0.0,
+        mode,
+        rounds: ROUNDS,
+        seed,
+    };
+    let results = run_tasks(&[PlannedTask::required(task.clone())], Pool::global());
+    results.race(&task).unwrap().clone()
 }
 
 /// β calibrated to the generative model: an edge block overtakes a cloud
@@ -36,18 +58,8 @@ fn full_satisfaction_matches_eq6_for_asymmetric_miners() {
     let reqs = requests(&[(3.0, 1.0), (0.5, 4.0), (1.5, 2.0)]);
     let delay = 8.0;
     let beta = calibrated_beta(&reqs, delay);
-    let sim = simulate(
-        &reqs.iter().map(|r| (r.edge, r.cloud)).collect::<Vec<_>>(),
-        &SimConfig {
-            unit_rate: UNIT_RATE,
-            delays: DelayModel::new(delay, 0.0).unwrap(),
-            mode: None,
-            rounds: ROUNDS,
-            seed: 11,
-        },
-    )
-    .unwrap();
-    let freq = sim.win_frequencies();
+    let sim = race(&reqs, delay, RaceModeSpec::Free, 11);
+    let freq = &sim.win_frequencies;
     for i in 0..reqs.len() {
         let analytic = w_full(i, &reqs, beta);
         // The paper's W_i is a first-order approximation of the race
@@ -68,18 +80,8 @@ fn small_beta_agreement_is_tight() {
     let delay = 1.5;
     let beta = calibrated_beta(&reqs, delay);
     assert!(beta < 0.11, "calibration: beta = {beta}");
-    let sim = simulate(
-        &reqs.iter().map(|r| (r.edge, r.cloud)).collect::<Vec<_>>(),
-        &SimConfig {
-            unit_rate: UNIT_RATE,
-            delays: DelayModel::new(delay, 0.0).unwrap(),
-            mode: None,
-            rounds: ROUNDS,
-            seed: 13,
-        },
-    )
-    .unwrap();
-    let freq = sim.win_frequencies();
+    let sim = race(&reqs, delay, RaceModeSpec::Free, 13);
+    let freq = &sim.win_frequencies;
     for i in 0..reqs.len() {
         let analytic = w_full(i, &reqs, beta);
         assert!(
@@ -98,18 +100,8 @@ fn connected_transfers_match_eq9() {
     let delay = 5.0;
     let h = 0.7;
     let beta = calibrated_beta(&reqs, delay);
-    let sim = simulate(
-        &reqs.iter().map(|r| (r.edge, r.cloud)).collect::<Vec<_>>(),
-        &SimConfig {
-            unit_rate: UNIT_RATE,
-            delays: DelayModel::new(delay, 0.0).unwrap(),
-            mode: Some(EdgeMode::Connected { h }),
-            rounds: ROUNDS,
-            seed: 17,
-        },
-    )
-    .unwrap();
-    let freq = sim.win_frequencies();
+    let sim = race(&reqs, delay, RaceModeSpec::Connected { h }, 17);
+    let freq = &sim.win_frequencies;
     for i in 0..reqs.len() {
         let analytic = w_connected_expected(i, &reqs, beta, h);
         // Eq. 9 evaluates beta at the nominal profile, but realized
@@ -134,23 +126,13 @@ fn standalone_rejection_matches_eq8() {
     // After rejection the network is all-cloud except... no edge at all:
     // forks never happen, so Eq. 8's beta multiplies nothing here; use the
     // pre-rejection beta for the formula's argument as the paper does.
-    let sim = simulate(
-        &reqs.iter().map(|r| (r.edge, r.cloud)).collect::<Vec<_>>(),
-        &SimConfig {
-            unit_rate: UNIT_RATE,
-            delays: DelayModel::new(delay, 0.0).unwrap(),
-            mode: Some(EdgeMode::Standalone { e_max: 2.0 }),
-            rounds: ROUNDS,
-            seed: 19,
-        },
-    )
-    .unwrap();
+    let sim = race(&reqs, delay, RaceModeSpec::Standalone { e_max: 2.0 }, 19);
     // Post-rejection the line-up is (0, 1.5) vs (0, 4): all-cloud, equal
     // delay, so W_0 = 1.5/5.5. Eq. 8 with beta = 0 (no surviving edge
     // power) gives exactly c_i/(S − e_i).
     let analytic = w_standalone_rejected(0, &reqs, 0.0);
     assert!((analytic - 1.5 / 5.5).abs() < 1e-12);
-    let freq = sim.win_frequencies();
+    let freq = &sim.win_frequencies;
     assert!((freq[0] - analytic).abs() < 0.01, "empirical {} vs analytic {analytic}", freq[0]);
     assert_eq!(sim.degraded_rounds, ROUNDS as u64);
 }
@@ -159,17 +141,7 @@ fn standalone_rejection_matches_eq8() {
 fn fork_rate_tracks_calibration() {
     let reqs = requests(&[(2.0, 1.0), (2.0, 3.0)]);
     let delay = 10.0;
-    let sim = simulate(
-        &[(2.0, 1.0), (2.0, 3.0)],
-        &SimConfig {
-            unit_rate: UNIT_RATE,
-            delays: DelayModel::new(delay, 0.0).unwrap(),
-            mode: None,
-            rounds: ROUNDS,
-            seed: 23,
-        },
-    )
-    .unwrap();
+    let sim = race(&reqs, delay, RaceModeSpec::Free, 23);
     // A fork happens when a cloud process fires first and any *other*
     // process fires inside its propagation window (the winner's own process
     // cannot conflict with itself — only first arrivals race):
@@ -180,8 +152,8 @@ fn fork_rate_tracks_calibration() {
         .map(|r| (r.cloud / total) * (1.0 - (-(total - r.cloud) * UNIT_RATE * delay).exp()))
         .sum();
     assert!(
-        (sim.fork_rate() - expected).abs() < 0.01,
+        (sim.fork_rate - expected).abs() < 0.01,
         "fork rate {} vs estimate {expected}",
-        sim.fork_rate()
+        sim.fork_rate
     );
 }
