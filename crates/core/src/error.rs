@@ -68,6 +68,24 @@ impl MiningGameError {
     pub fn outside(msg: impl Into<String>) -> Self {
         MiningGameError::OutsideValidityRegion(msg.into())
     }
+
+    /// Whether the error means "an iterative solver ran out of budget", as
+    /// opposed to a structural problem with the inputs.
+    ///
+    /// The tiered [`crate::solver::FollowerSolver`] chain escalates to its
+    /// next tier only on convergence failures; validation errors
+    /// ([`MiningGameError::InvalidParameter`], malformed games, bad brackets,
+    /// closed forms outside their region) propagate immediately, so callers
+    /// that test input rejection still see the original error.
+    #[must_use]
+    pub fn is_convergence_failure(&self) -> bool {
+        matches!(
+            self,
+            MiningGameError::Game(GameError::NoConvergence { .. })
+                | MiningGameError::Game(GameError::Numerics(NumericsError::DidNotConverge { .. }))
+                | MiningGameError::Numerics(NumericsError::DidNotConverge { .. })
+        )
+    }
 }
 
 #[cfg(test)]

@@ -68,6 +68,7 @@ pub mod params;
 pub mod presets;
 pub mod request;
 pub mod scenario;
+pub mod solver;
 pub mod sp;
 pub mod stackelberg;
 pub mod subgame;

@@ -29,10 +29,12 @@ use crate::analysis::MarketReport;
 use crate::error::MiningGameError;
 use crate::params::{validate_budgets, MarketParams, Prices};
 use crate::request::{Aggregates, Request};
+use crate::solver::{
+    solve_connected_reported, solve_standalone_reported, solve_symmetric_connected_reported,
+    solve_symmetric_dynamic_reported, solve_symmetric_standalone_reported, SolveReport,
+};
 use crate::stackelberg::{solve_connected, solve_standalone, StackelbergConfig};
-use crate::subgame::connected::{solve_connected_miner_subgame, solve_symmetric_connected};
-use crate::subgame::dynamic::{solve_symmetric_dynamic, DynamicConfig, Population};
-use crate::subgame::standalone::{solve_standalone_miner_subgame, solve_symmetric_standalone};
+use crate::subgame::dynamic::{DynamicConfig, Population};
 use crate::subgame::MinerEquilibrium;
 
 /// Which edge operation mode the scenario runs.
@@ -165,6 +167,61 @@ impl Scenario {
         }
     }
 
+    /// Like [`Scenario::solve`], but also returns the [`SolveReport`] of
+    /// the follower solve that produced the outcome's requests (for
+    /// endogenous prices, the follower solve at the equilibrium prices).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scenario::solve`].
+    pub fn solve_reported(self) -> Result<(ScenarioOutcome, SolveReport), MiningGameError> {
+        let population = self
+            .population
+            .clone()
+            .ok_or_else(|| MiningGameError::invalid("Scenario: choose a miner population first"))?;
+        match population {
+            PopulationSpec::Fixed(budgets) => {
+                validate_budgets(&budgets)?;
+                let (prices, endogenous) = match self.fixed_prices {
+                    Some(prices) => (prices, false),
+                    None => {
+                        let sol = match self.operation {
+                            EdgeOperation::Connected => {
+                                solve_connected(&self.params, &budgets, &self.stackelberg)?
+                            }
+                            EdgeOperation::Standalone => {
+                                solve_standalone(&self.params, &budgets, &self.stackelberg)?
+                            }
+                        };
+                        (sol.prices, true)
+                    }
+                };
+                let (equilibrium, report) = self.follower_solve_reported(&prices, &budgets)?;
+                let market = MarketReport::new(&self.params, &prices, &equilibrium);
+                Ok((
+                    ScenarioOutcome {
+                        prices,
+                        requests: equilibrium.requests,
+                        report: market,
+                        prices_endogenous: endogenous,
+                    },
+                    report,
+                ))
+            }
+            PopulationSpec::Dynamic { budget, ref population } => {
+                let prices = self.dynamic_prices()?;
+                let (per_miner, report) = solve_symmetric_dynamic_reported(
+                    &self.params,
+                    &prices,
+                    budget,
+                    population,
+                    &self.dynamic,
+                )?;
+                Ok((self.dynamic_outcome(prices, per_miner, population), report))
+            }
+        }
+    }
+
     /// Symmetric fast path: the per-miner equilibrium request of a
     /// homogeneous fixed-price scenario, via the closed-form-assisted
     /// symmetric solvers (paper Theorems 2–3) instead of the full NEP
@@ -178,6 +235,16 @@ impl Scenario {
     ///   fixed prices and a homogeneous fixed population (equal budgets).
     /// * Solver errors from the symmetric subgame.
     pub fn solve_symmetric(self) -> Result<Request, MiningGameError> {
+        self.solve_symmetric_reported().map(|(r, _)| r)
+    }
+
+    /// Like [`Scenario::solve_symmetric`], but also returns the
+    /// [`SolveReport`] (method used, fallback hops, residuals).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scenario::solve_symmetric`].
+    pub fn solve_symmetric_reported(self) -> Result<(Request, SolveReport), MiningGameError> {
         let prices = self.fixed_prices.ok_or_else(|| {
             MiningGameError::invalid("Scenario: the symmetric fast path needs fixed prices")
         })?;
@@ -195,14 +262,14 @@ impl Scenario {
             }
         };
         match self.operation {
-            EdgeOperation::Connected => solve_symmetric_connected(
+            EdgeOperation::Connected => solve_symmetric_connected_reported(
                 &self.params,
                 &prices,
                 budget,
                 n,
                 &self.stackelberg.subgame,
             ),
-            EdgeOperation::Standalone => solve_symmetric_standalone(
+            EdgeOperation::Standalone => solve_symmetric_standalone_reported(
                 &self.params,
                 &prices,
                 budget,
@@ -245,20 +312,31 @@ impl Scenario {
         prices: &Prices,
         budgets: &[f64],
     ) -> Result<MinerEquilibrium, MiningGameError> {
+        self.follower_solve_reported(prices, budgets).map(|(eq, _)| eq)
+    }
+
+    fn follower_solve_reported(
+        &self,
+        prices: &Prices,
+        budgets: &[f64],
+    ) -> Result<(MinerEquilibrium, SolveReport), MiningGameError> {
         match self.operation {
-            EdgeOperation::Connected => solve_connected_miner_subgame(
-                &self.params,
-                prices,
-                budgets,
-                &self.stackelberg.subgame,
-            ),
-            EdgeOperation::Standalone => solve_standalone_miner_subgame(
-                &self.params,
-                prices,
-                budgets,
-                &self.stackelberg.subgame,
-            ),
+            EdgeOperation::Connected => {
+                solve_connected_reported(&self.params, prices, budgets, &self.stackelberg.subgame)
+            }
+            EdgeOperation::Standalone => {
+                solve_standalone_reported(&self.params, prices, budgets, &self.stackelberg.subgame)
+            }
         }
+    }
+
+    fn dynamic_prices(&self) -> Result<Prices, MiningGameError> {
+        self.fixed_prices.ok_or_else(|| {
+            MiningGameError::invalid(
+                "Scenario: the dynamic-population scenario needs fixed prices (the paper's \
+                 Section V analyzes price-taking miners under uncertainty)",
+            )
+        })
     }
 
     fn solve_dynamic(
@@ -266,14 +344,23 @@ impl Scenario {
         budget: f64,
         population: &Population,
     ) -> Result<ScenarioOutcome, MiningGameError> {
-        let prices = self.fixed_prices.ok_or_else(|| {
-            MiningGameError::invalid(
-                "Scenario: the dynamic-population scenario needs fixed prices (the paper's \
-                 Section V analyzes price-taking miners under uncertainty)",
-            )
-        })?;
-        let per_miner =
-            solve_symmetric_dynamic(&self.params, &prices, budget, population, &self.dynamic)?;
+        let prices = self.dynamic_prices()?;
+        let (per_miner, _) = solve_symmetric_dynamic_reported(
+            &self.params,
+            &prices,
+            budget,
+            population,
+            &self.dynamic,
+        )?;
+        Ok(self.dynamic_outcome(prices, per_miner, population))
+    }
+
+    fn dynamic_outcome(
+        &self,
+        prices: Prices,
+        per_miner: Request,
+        population: &Population,
+    ) -> ScenarioOutcome {
         // Report at the expected roster size (the discretized mean).
         let n_expected = population.pmf().mean().round().max(2.0) as usize;
         let requests = vec![per_miner; n_expected];
@@ -299,7 +386,7 @@ impl Scenario {
             residual: 0.0,
         };
         let report = MarketReport::new(&self.params, &prices, &equilibrium);
-        Ok(ScenarioOutcome { prices, requests, report, prices_endogenous: false })
+        ScenarioOutcome { prices, requests, report, prices_endogenous: false }
     }
 }
 
@@ -307,6 +394,7 @@ impl Scenario {
 mod tests {
     use super::*;
     use crate::params::Provider;
+    use crate::subgame::connected::solve_symmetric_connected;
 
     fn params() -> MarketParams {
         MarketParams::builder()

@@ -1,0 +1,913 @@
+//! The unified follower-solver core.
+//!
+//! Every miner-subgame solve in the crate — connected NEP, standalone GNEP,
+//! the symmetric fast paths, the homogeneous closed forms and the dynamic
+//! population fixed point — routes through one abstraction: a
+//! [`FollowerSolver`] built as a [`TieredSolver`] chain. Tier 1 reproduces
+//! the historical solver for the mode **bitwise** (same arithmetic, same
+//! iteration order); later tiers are escalation fallbacks that fire only on
+//! convergence failures, where the historical behaviour was to give up:
+//!
+//! | chain                | tier 1                  | tier 2                | tier 3       |
+//! |----------------------|-------------------------|-----------------------|--------------|
+//! | connected            | BR dynamics             | extragradient         | —            |
+//! | standalone           | extragradient           | BR dynamics           | —            |
+//! | symmetric connected  | symmetric fixed point   | BR dynamics (boosted) | extragradient|
+//! | symmetric standalone | symmetric fixed point   | extragradient         | BR dynamics  |
+//! | homogeneous          | closed form             | —                     | —            |
+//! | dynamic / continuous | damped expectation FP   | same, ω/2 + boosted   | —            |
+//!
+//! Validation errors (bad budgets, too few miners, closed forms outside
+//! their region) never escalate — they propagate unchanged, so input
+//! rejection is exactly as strict as before.
+//!
+//! Every solve fills a caller-provided [`SolveWorkspace`] (no per-solve
+//! heap allocation on the symmetric hot paths) and returns a [`Solved`]
+//! carrying a structured [`SolveReport`]: method actually used, fallback
+//! hops, iterations, residual, certificate residual and any
+//! [`SubgameConfig`] values the chain clamped.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod report;
+pub mod workspace;
+
+pub use report::{ConfigOverride, FallbackHop, Overrides, SolveMethod, SolveMode, SolveReport};
+pub use workspace::SolveWorkspace;
+
+use mbm_game::gnep::{gnep_residual_in, variational_equilibrium_in, ProductSet};
+use mbm_game::nash::{best_response_dynamics_in, BrParams, UpdateOrder};
+use mbm_numerics::projection::{BudgetSet, ConvexSet};
+use mbm_numerics::vi::ViParams;
+
+use crate::error::MiningGameError;
+use crate::params::{MarketParams, Prices};
+use crate::request::{Aggregates, Request};
+use crate::subgame::connected::{symmetric_connected_core, ConnectedMinerGame};
+use crate::subgame::dynamic::{
+    symmetric_continuous_core, symmetric_dynamic_core, validate_continuous, validate_dynamic,
+    DynamicConfig, FixedPointBudget, Population,
+};
+use crate::subgame::homogeneous::{homogeneous_core, Regime};
+use crate::subgame::standalone::{symmetric_standalone_core, StandaloneMinerGame};
+use crate::subgame::{initial_profile_into, MinerEquilibrium, SubgameConfig};
+use crate::winning::{utility_connected, utility_standalone};
+use workspace::ensure_pairs;
+
+/// A follower-subgame solution strategy.
+///
+/// Implementors solve "their" subgame into a caller-provided workspace and
+/// return the scalar summary plus a [`SolveReport`]. [`TieredSolver`] is
+/// the implementation everything in this crate uses.
+pub trait FollowerSolver {
+    /// Solves the subgame. Per-miner data (requests, utilities) lands in
+    /// `ws`; the scalar summary and report come back by value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the terminal error when every applicable tier fails, or the
+    /// original error immediately for non-convergence failures.
+    fn solve(&self, ws: &mut SolveWorkspace) -> Result<Solved, MiningGameError>;
+}
+
+/// Scalar outcome of a successful follower solve. Per-miner vectors live in
+/// the [`SolveWorkspace`] the solve filled (heterogeneous chains only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solved {
+    /// Equilibrium aggregates `(E, C)`.
+    pub aggregates: Aggregates,
+    /// Number of miners (expected count for dynamic populations).
+    pub n: usize,
+    /// Iterations used by the successful tier.
+    pub iterations: usize,
+    /// Final residual of the successful tier.
+    pub residual: f64,
+    /// The symmetric per-miner request (symmetric, closed-form and dynamic
+    /// chains; `None` for heterogeneous solves — read the workspace).
+    pub per_miner: Option<Request>,
+    /// Closed-form regime, when the closed-form tier produced the answer.
+    pub regime: Option<Regime>,
+    /// What the solver actually did.
+    pub report: SolveReport,
+}
+
+/// Intermediate result of one tier run.
+struct TierRun {
+    aggregates: Aggregates,
+    n: usize,
+    iterations: usize,
+    residual: f64,
+    per_miner: Option<Request>,
+    regime: Option<Regime>,
+    certificate: Option<f64>,
+}
+
+/// One tier of a chain. `boosted` tiers run at the effective
+/// (clamped-upward) solver budgets since they only fire after a cheaper
+/// tier already failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TierSpec {
+    ConnectedBr { boosted: bool },
+    ConnectedVi,
+    StandaloneVi,
+    StandaloneBr,
+    SymConnected,
+    SymStandalone,
+    ClosedForm,
+    DynamicFp { boosted: bool },
+    ContinuousFp { boosted: bool },
+}
+
+impl TierSpec {
+    fn method(self) -> SolveMethod {
+        match self {
+            TierSpec::ConnectedBr { .. } | TierSpec::StandaloneBr => {
+                SolveMethod::BestResponseDynamics
+            }
+            TierSpec::ConnectedVi | TierSpec::StandaloneVi => SolveMethod::Extragradient,
+            TierSpec::SymConnected | TierSpec::SymStandalone => SolveMethod::SymmetricFixedPoint,
+            TierSpec::ClosedForm => SolveMethod::ClosedForm,
+            TierSpec::DynamicFp { .. } | TierSpec::ContinuousFp { .. } => {
+                SolveMethod::DampedExpectationFixedPoint
+            }
+        }
+    }
+}
+
+/// The follower subgame a [`TieredSolver`] is pointed at.
+enum FollowerProblem<'a> {
+    Connected { budgets: &'a [f64], cfg: SubgameConfig },
+    Standalone { budgets: &'a [f64], cfg: SubgameConfig },
+    SymmetricConnected { budget: f64, n: usize, cfg: SubgameConfig },
+    SymmetricStandalone { budget: f64, n: usize, cfg: SubgameConfig },
+    Homogeneous { budget: f64, n: usize },
+    Dynamic { budget: f64, pop: &'a Population, cfg: &'a DynamicConfig },
+    Continuous { budget: f64, mean: f64, sd: f64, cfg: &'a DynamicConfig },
+}
+
+/// The tiered follower solver: the [`FollowerSolver`] used by every solve
+/// path in the crate. Construct one per problem via the mode constructors
+/// ([`TieredSolver::connected`], [`TieredSolver::symmetric_standalone`],
+/// …) and call [`FollowerSolver::solve`] with a (reusable) workspace.
+pub struct TieredSolver<'a> {
+    params: &'a MarketParams,
+    prices: &'a Prices,
+    problem: FollowerProblem<'a>,
+}
+
+impl<'a> TieredSolver<'a> {
+    /// Heterogeneous connected-mode chain (BR dynamics → extragradient).
+    #[must_use]
+    pub fn connected(
+        params: &'a MarketParams,
+        prices: &'a Prices,
+        budgets: &'a [f64],
+        cfg: &SubgameConfig,
+    ) -> Self {
+        TieredSolver { params, prices, problem: FollowerProblem::Connected { budgets, cfg: *cfg } }
+    }
+
+    /// Heterogeneous standalone-mode chain (extragradient → BR dynamics).
+    #[must_use]
+    pub fn standalone(
+        params: &'a MarketParams,
+        prices: &'a Prices,
+        budgets: &'a [f64],
+        cfg: &SubgameConfig,
+    ) -> Self {
+        TieredSolver { params, prices, problem: FollowerProblem::Standalone { budgets, cfg: *cfg } }
+    }
+
+    /// Symmetric connected fast path with full-solve escalation.
+    #[must_use]
+    pub fn symmetric_connected(
+        params: &'a MarketParams,
+        prices: &'a Prices,
+        budget: f64,
+        n: usize,
+        cfg: &SubgameConfig,
+    ) -> Self {
+        TieredSolver {
+            params,
+            prices,
+            problem: FollowerProblem::SymmetricConnected { budget, n, cfg: *cfg },
+        }
+    }
+
+    /// Symmetric standalone fast path with full-solve escalation.
+    #[must_use]
+    pub fn symmetric_standalone(
+        params: &'a MarketParams,
+        prices: &'a Prices,
+        budget: f64,
+        n: usize,
+        cfg: &SubgameConfig,
+    ) -> Self {
+        TieredSolver {
+            params,
+            prices,
+            problem: FollowerProblem::SymmetricStandalone { budget, n, cfg: *cfg },
+        }
+    }
+
+    /// Theorem 3 / Corollary 1 closed-form chain.
+    #[must_use]
+    pub fn homogeneous(
+        params: &'a MarketParams,
+        prices: &'a Prices,
+        budget: f64,
+        n: usize,
+    ) -> Self {
+        TieredSolver { params, prices, problem: FollowerProblem::Homogeneous { budget, n } }
+    }
+
+    /// Dynamic (discrete random population) chain.
+    #[must_use]
+    pub fn dynamic(
+        params: &'a MarketParams,
+        prices: &'a Prices,
+        budget: f64,
+        pop: &'a Population,
+        cfg: &'a DynamicConfig,
+    ) -> Self {
+        TieredSolver { params, prices, problem: FollowerProblem::Dynamic { budget, pop, cfg } }
+    }
+
+    /// Dynamic chain over a continuous Gaussian population.
+    #[must_use]
+    pub fn continuous(
+        params: &'a MarketParams,
+        prices: &'a Prices,
+        budget: f64,
+        mean: f64,
+        sd: f64,
+        cfg: &'a DynamicConfig,
+    ) -> Self {
+        TieredSolver {
+            params,
+            prices,
+            problem: FollowerProblem::Continuous { budget, mean, sd, cfg },
+        }
+    }
+
+    fn tiers(&self) -> &'static [TierSpec] {
+        match self.problem {
+            FollowerProblem::Connected { .. } => {
+                &[TierSpec::ConnectedBr { boosted: false }, TierSpec::ConnectedVi]
+            }
+            FollowerProblem::Standalone { .. } => &[TierSpec::StandaloneVi, TierSpec::StandaloneBr],
+            FollowerProblem::SymmetricConnected { .. } => &[
+                TierSpec::SymConnected,
+                TierSpec::ConnectedBr { boosted: true },
+                TierSpec::ConnectedVi,
+            ],
+            FollowerProblem::SymmetricStandalone { .. } => {
+                &[TierSpec::SymStandalone, TierSpec::StandaloneVi, TierSpec::StandaloneBr]
+            }
+            FollowerProblem::Homogeneous { .. } => &[TierSpec::ClosedForm],
+            FollowerProblem::Dynamic { .. } => {
+                &[TierSpec::DynamicFp { boosted: false }, TierSpec::DynamicFp { boosted: true }]
+            }
+            FollowerProblem::Continuous { .. } => &[
+                TierSpec::ContinuousFp { boosted: false },
+                TierSpec::ContinuousFp { boosted: true },
+            ],
+        }
+    }
+
+    fn mode_sym(&self) -> (SolveMode, bool) {
+        match self.problem {
+            FollowerProblem::Connected { .. } => (SolveMode::Connected, false),
+            FollowerProblem::SymmetricConnected { .. } => (SolveMode::Connected, true),
+            FollowerProblem::Standalone { .. } => (SolveMode::Standalone, false),
+            FollowerProblem::SymmetricStandalone { .. } => (SolveMode::Standalone, true),
+            FollowerProblem::Homogeneous { .. } => (SolveMode::Homogeneous, true),
+            FollowerProblem::Dynamic { .. } | FollowerProblem::Continuous { .. } => {
+                (SolveMode::Dynamic, true)
+            }
+        }
+    }
+
+    fn telemetry_name(&self) -> &'static str {
+        match self.problem {
+            FollowerProblem::Connected { .. } => "core.solver.connected",
+            FollowerProblem::SymmetricConnected { .. } => "core.solver.connected_sym",
+            FollowerProblem::Standalone { .. } => "core.solver.standalone",
+            FollowerProblem::SymmetricStandalone { .. } => "core.solver.standalone_sym",
+            FollowerProblem::Homogeneous { .. } => "core.solver.homogeneous",
+            FollowerProblem::Dynamic { .. } => "core.solver.dynamic",
+            FollowerProblem::Continuous { .. } => "core.solver.dynamic_continuous",
+        }
+    }
+
+    fn validate(&self) -> Result<(), MiningGameError> {
+        match &self.problem {
+            FollowerProblem::SymmetricConnected { n, .. }
+            | FollowerProblem::SymmetricStandalone { n, .. } => {
+                if *n < 2 {
+                    return Err(MiningGameError::invalid("need at least two miners"));
+                }
+                Ok(())
+            }
+            FollowerProblem::Dynamic { budget, cfg, .. } => validate_dynamic(*budget, cfg),
+            FollowerProblem::Continuous { mean, sd, .. } => validate_continuous(*mean, *sd),
+            _ => Ok(()),
+        }
+    }
+
+    fn run_tier(
+        &self,
+        spec: TierSpec,
+        ws: &mut SolveWorkspace,
+        overrides: &mut Overrides,
+    ) -> Result<TierRun, MiningGameError> {
+        let params = self.params;
+        let prices = self.prices;
+        match (&self.problem, spec) {
+            (FollowerProblem::Connected { budgets, cfg }, TierSpec::ConnectedBr { boosted }) => {
+                run_connected_br(params, prices, budgets, cfg, boosted, overrides, ws)
+            }
+            (FollowerProblem::Connected { budgets, cfg }, TierSpec::ConnectedVi) => {
+                run_connected_vi(params, prices, budgets, cfg, ws)
+            }
+            (FollowerProblem::Standalone { budgets, cfg }, TierSpec::StandaloneVi) => {
+                run_standalone_vi(params, prices, budgets, cfg, overrides, ws)
+            }
+            (FollowerProblem::Standalone { budgets, cfg }, TierSpec::StandaloneBr) => {
+                run_standalone_br(params, prices, budgets, cfg, ws)
+            }
+            (FollowerProblem::SymmetricConnected { budget, n, cfg }, TierSpec::SymConnected) => {
+                let omega = cfg.effective_damping_symmetric_connected(*n);
+                if omega != cfg.damping {
+                    overrides.damping =
+                        Some(ConfigOverride { requested: cfg.damping, effective: omega });
+                }
+                let run = symmetric_connected_core(
+                    params,
+                    prices,
+                    *budget,
+                    *n,
+                    omega,
+                    cfg.tol,
+                    cfg.max_iter,
+                )?;
+                ws.requests.clear();
+                ws.utilities.clear();
+                Ok(sym_tier_run(run.x, *n, run.iterations, run.residual))
+            }
+            (FollowerProblem::SymmetricStandalone { budget, n, cfg }, TierSpec::SymStandalone) => {
+                let omega = cfg.effective_damping_symmetric_standalone(*n);
+                if omega != cfg.damping {
+                    overrides.damping =
+                        Some(ConfigOverride { requested: cfg.damping, effective: omega });
+                }
+                let run = symmetric_standalone_core(
+                    params,
+                    prices,
+                    *budget,
+                    *n,
+                    omega,
+                    cfg.tol,
+                    cfg.max_iter,
+                )?;
+                ws.requests.clear();
+                ws.utilities.clear();
+                Ok(sym_tier_run(run.x, *n, run.iterations, run.residual))
+            }
+            // Symmetric chains escalate to the full N-miner solvers on a
+            // uniform budget vector (cold path — the local vec is fine).
+            (
+                FollowerProblem::SymmetricConnected { budget, n, cfg },
+                TierSpec::ConnectedBr { boosted },
+            ) => {
+                let budgets = vec![*budget; *n];
+                let mut run =
+                    run_connected_br(params, prices, &budgets, cfg, boosted, overrides, ws)?;
+                run.per_miner = ws.requests.first().copied();
+                Ok(run)
+            }
+            (FollowerProblem::SymmetricConnected { budget, n, cfg }, TierSpec::ConnectedVi) => {
+                let budgets = vec![*budget; *n];
+                let mut run = run_connected_vi(params, prices, &budgets, cfg, ws)?;
+                run.per_miner = ws.requests.first().copied();
+                Ok(run)
+            }
+            (FollowerProblem::SymmetricStandalone { budget, n, cfg }, TierSpec::StandaloneVi) => {
+                let budgets = vec![*budget; *n];
+                let mut run = run_standalone_vi(params, prices, &budgets, cfg, overrides, ws)?;
+                run.per_miner = ws.requests.first().copied();
+                Ok(run)
+            }
+            (FollowerProblem::SymmetricStandalone { budget, n, cfg }, TierSpec::StandaloneBr) => {
+                let budgets = vec![*budget; *n];
+                let mut run = run_standalone_br(params, prices, &budgets, cfg, ws)?;
+                run.per_miner = ws.requests.first().copied();
+                Ok(run)
+            }
+            (FollowerProblem::Homogeneous { budget, n }, TierSpec::ClosedForm) => {
+                let (x, regime) = homogeneous_core(params, prices, *budget, *n)?;
+                ws.requests.clear();
+                ws.utilities.clear();
+                let mut run = sym_tier_run(x, *n, 0, 0.0);
+                run.regime = Some(regime);
+                Ok(run)
+            }
+            (FollowerProblem::Dynamic { budget, pop, cfg }, TierSpec::DynamicFp { boosted }) => {
+                let sub = cfg.subgame;
+                let omega0 = sub.effective_damping_dynamic(pop.mean());
+                let tol = sub.effective_tol_dynamic();
+                if !boosted {
+                    if omega0 != sub.damping {
+                        overrides.damping =
+                            Some(ConfigOverride { requested: sub.damping, effective: omega0 });
+                    }
+                    if tol != sub.tol {
+                        overrides.tol = Some(ConfigOverride { requested: sub.tol, effective: tol });
+                    }
+                }
+                let (omega, max_iter) = if boosted {
+                    (0.5 * omega0, sub.effective_max_iter())
+                } else {
+                    (omega0, sub.max_iter)
+                };
+                let run = symmetric_dynamic_core(
+                    params,
+                    prices,
+                    *budget,
+                    pop,
+                    FixedPointBudget { mixing: cfg.mixing, omega, tol, max_iter },
+                )?;
+                ws.requests.clear();
+                ws.utilities.clear();
+                let n = pop.mean().round().max(2.0) as usize;
+                Ok(sym_tier_run(run.x, n, run.iterations, run.residual))
+            }
+            (
+                FollowerProblem::Continuous { budget, mean, sd, cfg },
+                TierSpec::ContinuousFp { boosted },
+            ) => {
+                let sub = cfg.subgame;
+                let omega0 = sub.effective_damping_dynamic(*mean);
+                let tol = sub.effective_tol_dynamic();
+                if !boosted {
+                    if omega0 != sub.damping {
+                        overrides.damping =
+                            Some(ConfigOverride { requested: sub.damping, effective: omega0 });
+                    }
+                    if tol != sub.tol {
+                        overrides.tol = Some(ConfigOverride { requested: sub.tol, effective: tol });
+                    }
+                }
+                let (omega, max_iter) = if boosted {
+                    (0.5 * omega0, sub.effective_max_iter())
+                } else {
+                    (omega0, sub.max_iter)
+                };
+                let run = symmetric_continuous_core(
+                    params,
+                    prices,
+                    *budget,
+                    *mean,
+                    *sd,
+                    FixedPointBudget { mixing: cfg.mixing, omega, tol, max_iter },
+                )?;
+                ws.requests.clear();
+                ws.utilities.clear();
+                let n = mean.round().max(2.0) as usize;
+                Ok(sym_tier_run(run.x, n, run.iterations, run.residual))
+            }
+            _ => Err(MiningGameError::invalid("tier does not apply to this problem")),
+        }
+    }
+}
+
+impl FollowerSolver for TieredSolver<'_> {
+    fn solve(&self, ws: &mut SolveWorkspace) -> Result<Solved, MiningGameError> {
+        self.validate()?;
+        let tiers = self.tiers();
+        let (mode, symmetric) = self.mode_sym();
+        let name = self.telemetry_name();
+        let rec = mbm_obs::global();
+        let mut hops: Vec<FallbackHop> = Vec::new();
+        let mut overrides = Overrides::default();
+        for (idx, &spec) in tiers.iter().enumerate() {
+            match self.run_tier(spec, ws, &mut overrides) {
+                Ok(run) => {
+                    if rec.enabled() {
+                        rec.solver(name, run.iterations as u64, run.residual);
+                        rec.incr(method_counter(spec.method()));
+                        if !hops.is_empty() {
+                            rec.add("core.solver.fallback_hops", hops.len() as u64);
+                        }
+                        if !overrides.is_empty() {
+                            rec.add("core.solver.config_override", overrides.count() as u64);
+                        }
+                    }
+                    let report = SolveReport {
+                        mode,
+                        symmetric,
+                        method: spec.method(),
+                        fallback_hops: hops,
+                        iterations: run.iterations,
+                        residual: run.residual,
+                        certificate: run.certificate,
+                        overrides,
+                    };
+                    return Ok(Solved {
+                        aggregates: run.aggregates,
+                        n: run.n,
+                        iterations: run.iterations,
+                        residual: run.residual,
+                        per_miner: run.per_miner,
+                        regime: run.regime,
+                        report,
+                    });
+                }
+                Err(e) if idx + 1 < tiers.len() && e.is_convergence_failure() => {
+                    hops.push(FallbackHop { method: spec.method(), error: e.to_string() });
+                }
+                Err(e) => {
+                    if rec.enabled() {
+                        rec.solver_failure(name, error_iterations(&e));
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Err(MiningGameError::invalid("follower solver chain has no tiers"))
+    }
+}
+
+fn method_counter(m: SolveMethod) -> &'static str {
+    match m {
+        SolveMethod::ClosedForm => "core.solver.method.closed_form",
+        SolveMethod::SymmetricFixedPoint => "core.solver.method.symmetric_fixed_point",
+        SolveMethod::BestResponseDynamics => "core.solver.method.best_response_dynamics",
+        SolveMethod::Extragradient => "core.solver.method.extragradient",
+        SolveMethod::DampedExpectationFixedPoint => {
+            "core.solver.method.damped_expectation_fixed_point"
+        }
+    }
+}
+
+fn error_iterations(e: &MiningGameError) -> u64 {
+    match e {
+        MiningGameError::Game(mbm_game::GameError::NoConvergence { iterations, .. })
+        | MiningGameError::Game(mbm_game::GameError::Numerics(
+            mbm_numerics::NumericsError::DidNotConverge { iterations, .. },
+        ))
+        | MiningGameError::Numerics(mbm_numerics::NumericsError::DidNotConverge {
+            iterations,
+            ..
+        }) => *iterations as u64,
+        _ => 0,
+    }
+}
+
+fn sym_tier_run(x: Request, n: usize, iterations: usize, residual: f64) -> TierRun {
+    let nf = n as f64;
+    TierRun {
+        aggregates: Aggregates { edge: nf * x.edge, cloud: nf * x.cloud },
+        n,
+        iterations,
+        residual,
+        per_miner: Some(x),
+        regime: None,
+        certificate: None,
+    }
+}
+
+fn fill_requests_from_pairs(requests: &mut Vec<Request>, flat: &[f64]) {
+    requests.clear();
+    requests.extend(
+        flat.chunks_exact(2).map(|p| Request { edge: p[0].max(0.0), cloud: p[1].max(0.0) }),
+    );
+}
+
+fn run_connected_br(
+    params: &MarketParams,
+    prices: &Prices,
+    budgets: &[f64],
+    cfg: &SubgameConfig,
+    boosted: bool,
+    overrides: &mut Overrides,
+    ws: &mut SolveWorkspace,
+) -> Result<TierRun, MiningGameError> {
+    let game = ConnectedMinerGame::new(*params, *prices, budgets.to_vec())?;
+    let SolveWorkspace { br, init, flat, requests, utilities, .. } = ws;
+    initial_profile_into(budgets, prices, None, flat)?;
+    let start = ensure_pairs(init, flat)?;
+    let (tol, max_sweeps) = if boosted {
+        let (t, m) = (cfg.effective_tol(), cfg.effective_max_iter());
+        if t != cfg.tol {
+            overrides.tol = Some(ConfigOverride { requested: cfg.tol, effective: t });
+        }
+        if m != cfg.max_iter {
+            overrides.max_iter =
+                Some(ConfigOverride { requested: cfg.max_iter as f64, effective: m as f64 });
+        }
+        (t, m)
+    } else {
+        (cfg.tol, cfg.max_iter)
+    };
+    let run = best_response_dynamics_in(
+        &game,
+        start,
+        &BrParams { order: UpdateOrder::Sequential, damping: cfg.damping, tol, max_sweeps },
+        br,
+    )
+    .map_err(MiningGameError::from)?;
+    fill_requests_from_pairs(requests, br.profile().as_slice());
+    utilities.clear();
+    for i in 0..budgets.len() {
+        utilities.push(utility_connected(i, requests, prices, params));
+    }
+    Ok(TierRun {
+        aggregates: Aggregates::of(requests),
+        n: budgets.len(),
+        iterations: run.sweeps,
+        residual: run.residual,
+        per_miner: None,
+        regime: None,
+        certificate: None,
+    })
+}
+
+fn run_connected_vi(
+    params: &MarketParams,
+    prices: &Prices,
+    budgets: &[f64],
+    cfg: &SubgameConfig,
+    ws: &mut SolveWorkspace,
+) -> Result<TierRun, MiningGameError> {
+    let game = ConnectedMinerGame::new(*params, *prices, budgets.to_vec())?;
+    let sets: Vec<Box<dyn ConvexSet + Send + Sync>> = budgets
+        .iter()
+        .map(|&b| {
+            Ok(Box::new(BudgetSet::new(vec![prices.edge, prices.cloud], b)?)
+                as Box<dyn ConvexSet + Send + Sync>)
+        })
+        .collect::<Result<_, MiningGameError>>()?;
+    let product = ProductSet::new(sets)?;
+    let SolveWorkspace { gnep, init, flat, requests, utilities, .. } = ws;
+    initial_profile_into(budgets, prices, None, flat)?;
+    let start = ensure_pairs(init, flat)?;
+    let vi = ViParams {
+        tol: cfg.effective_tol(),
+        max_iter: cfg.effective_max_iter(),
+        ..Default::default()
+    };
+    let run = variational_equilibrium_in(&game, &product, start, &vi, gnep)
+        .map_err(MiningGameError::from)?;
+    flat.clear();
+    flat.extend_from_slice(gnep.solution());
+    let sol = ensure_pairs(init, flat)?;
+    let cert = gnep_residual_in(&game, &product, sol, gnep);
+    fill_requests_from_pairs(requests, sol.as_slice());
+    utilities.clear();
+    for i in 0..budgets.len() {
+        utilities.push(utility_connected(i, requests, prices, params));
+    }
+    Ok(TierRun {
+        aggregates: Aggregates::of(requests),
+        n: budgets.len(),
+        iterations: run.iterations,
+        residual: run.residual,
+        per_miner: None,
+        regime: None,
+        certificate: Some(cert),
+    })
+}
+
+fn run_standalone_vi(
+    params: &MarketParams,
+    prices: &Prices,
+    budgets: &[f64],
+    cfg: &SubgameConfig,
+    overrides: &mut Overrides,
+    ws: &mut SolveWorkspace,
+) -> Result<TierRun, MiningGameError> {
+    let game = StandaloneMinerGame::new(*params, *prices, budgets.to_vec())?;
+    let shared = game.shared_set()?;
+    let SolveWorkspace { gnep, init, flat, requests, utilities, .. } = ws;
+    initial_profile_into(budgets, prices, Some(params.e_max()), flat)?;
+    let start = ensure_pairs(init, flat)?;
+    let vi = ViParams {
+        tol: cfg.effective_tol(),
+        max_iter: cfg.effective_max_iter(),
+        ..Default::default()
+    };
+    if vi.tol != cfg.tol {
+        overrides.tol = Some(ConfigOverride { requested: cfg.tol, effective: vi.tol });
+    }
+    if vi.max_iter != cfg.max_iter {
+        overrides.max_iter =
+            Some(ConfigOverride { requested: cfg.max_iter as f64, effective: vi.max_iter as f64 });
+    }
+    let run = variational_equilibrium_in(&game, &shared, start, &vi, gnep)
+        .map_err(MiningGameError::from)?;
+    flat.clear();
+    flat.extend_from_slice(gnep.solution());
+    let sol = ensure_pairs(init, flat)?;
+    let cert = gnep_residual_in(&game, &shared, sol, gnep);
+    fill_requests_from_pairs(requests, sol.as_slice());
+    utilities.clear();
+    for i in 0..budgets.len() {
+        utilities.push(utility_standalone(i, requests, prices, params));
+    }
+    Ok(TierRun {
+        aggregates: Aggregates::of(requests),
+        n: budgets.len(),
+        iterations: run.iterations,
+        residual: run.residual,
+        per_miner: None,
+        regime: None,
+        certificate: Some(cert),
+    })
+}
+
+fn run_standalone_br(
+    params: &MarketParams,
+    prices: &Prices,
+    budgets: &[f64],
+    cfg: &SubgameConfig,
+    ws: &mut SolveWorkspace,
+) -> Result<TierRun, MiningGameError> {
+    let game = StandaloneMinerGame::new(*params, *prices, budgets.to_vec())?;
+    let shared = game.shared_set()?;
+    let SolveWorkspace { br, gnep, init, flat, requests, utilities, .. } = ws;
+    initial_profile_into(budgets, prices, Some(params.e_max()), flat)?;
+    let start = ensure_pairs(init, flat)?;
+    let run = best_response_dynamics_in(
+        &game,
+        start,
+        &BrParams {
+            order: UpdateOrder::Sequential,
+            damping: cfg.damping,
+            tol: cfg.effective_tol(),
+            max_sweeps: cfg.effective_max_iter(),
+        },
+        br,
+    )
+    .map_err(MiningGameError::from)?;
+    flat.clear();
+    flat.extend_from_slice(br.profile().as_slice());
+    let sol = ensure_pairs(init, flat)?;
+    let cert = gnep_residual_in(&game, &shared, sol, gnep);
+    fill_requests_from_pairs(requests, sol.as_slice());
+    utilities.clear();
+    for i in 0..budgets.len() {
+        utilities.push(utility_standalone(i, requests, prices, params));
+    }
+    Ok(TierRun {
+        aggregates: Aggregates::of(requests),
+        n: budgets.len(),
+        iterations: run.sweeps,
+        residual: run.residual,
+        per_miner: None,
+        regime: None,
+        certificate: Some(cert),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Reported entry points: the thin consumers the legacy free functions and
+// the scenario facade delegate to. All reuse the thread-local workspace.
+// ---------------------------------------------------------------------------
+
+/// Solves the heterogeneous connected subgame, returning the equilibrium
+/// and the solve report.
+///
+/// # Errors
+///
+/// Propagates parameter and (terminal) convergence errors.
+pub fn solve_connected_reported(
+    params: &MarketParams,
+    prices: &Prices,
+    budgets: &[f64],
+    cfg: &SubgameConfig,
+) -> Result<(MinerEquilibrium, SolveReport), MiningGameError> {
+    SolveWorkspace::with_thread_local(|ws| {
+        let solved = TieredSolver::connected(params, prices, budgets, cfg).solve(ws)?;
+        Ok((ws.equilibrium(&solved), solved.report))
+    })
+}
+
+/// Solves the heterogeneous standalone subgame, returning the equilibrium
+/// and the solve report.
+///
+/// # Errors
+///
+/// Propagates parameter and (terminal) convergence errors.
+pub fn solve_standalone_reported(
+    params: &MarketParams,
+    prices: &Prices,
+    budgets: &[f64],
+    cfg: &SubgameConfig,
+) -> Result<(MinerEquilibrium, SolveReport), MiningGameError> {
+    SolveWorkspace::with_thread_local(|ws| {
+        let solved = TieredSolver::standalone(params, prices, budgets, cfg).solve(ws)?;
+        Ok((ws.equilibrium(&solved), solved.report))
+    })
+}
+
+/// Symmetric connected fast path with report.
+///
+/// # Errors
+///
+/// Propagates parameter and (terminal) convergence errors.
+pub fn solve_symmetric_connected_reported(
+    params: &MarketParams,
+    prices: &Prices,
+    budget: f64,
+    n: usize,
+    cfg: &SubgameConfig,
+) -> Result<(Request, SolveReport), MiningGameError> {
+    SolveWorkspace::with_thread_local(|ws| {
+        let solved = TieredSolver::symmetric_connected(params, prices, budget, n, cfg).solve(ws)?;
+        Ok((per_miner_of(&solved, ws), solved.report))
+    })
+}
+
+/// Symmetric standalone fast path with report.
+///
+/// # Errors
+///
+/// Propagates parameter and (terminal) convergence errors.
+pub fn solve_symmetric_standalone_reported(
+    params: &MarketParams,
+    prices: &Prices,
+    budget: f64,
+    n: usize,
+    cfg: &SubgameConfig,
+) -> Result<(Request, SolveReport), MiningGameError> {
+    SolveWorkspace::with_thread_local(|ws| {
+        let solved =
+            TieredSolver::symmetric_standalone(params, prices, budget, n, cfg).solve(ws)?;
+        Ok((per_miner_of(&solved, ws), solved.report))
+    })
+}
+
+/// Theorem 3 / Corollary 1 closed form with report.
+///
+/// # Errors
+///
+/// Propagates validity-region and parameter errors.
+pub fn solve_homogeneous_reported(
+    params: &MarketParams,
+    prices: &Prices,
+    budget: f64,
+    n: usize,
+) -> Result<(Request, Regime, SolveReport), MiningGameError> {
+    SolveWorkspace::with_thread_local(|ws| {
+        let solved = TieredSolver::homogeneous(params, prices, budget, n).solve(ws)?;
+        let regime = solved
+            .regime
+            .ok_or_else(|| MiningGameError::invalid("closed-form tier did not report a regime"))?;
+        Ok((per_miner_of(&solved, ws), regime, solved.report))
+    })
+}
+
+/// Dynamic (discrete population) fixed point with report.
+///
+/// # Errors
+///
+/// Propagates parameter and (terminal) convergence errors.
+pub fn solve_symmetric_dynamic_reported(
+    params: &MarketParams,
+    prices: &Prices,
+    budget: f64,
+    pop: &Population,
+    cfg: &DynamicConfig,
+) -> Result<(Request, SolveReport), MiningGameError> {
+    SolveWorkspace::with_thread_local(|ws| {
+        let solved = TieredSolver::dynamic(params, prices, budget, pop, cfg).solve(ws)?;
+        Ok((per_miner_of(&solved, ws), solved.report))
+    })
+}
+
+/// Continuous-population fixed point with report.
+///
+/// # Errors
+///
+/// Propagates parameter and (terminal) convergence errors.
+pub fn solve_symmetric_continuous_reported(
+    params: &MarketParams,
+    prices: &Prices,
+    budget: f64,
+    mean: f64,
+    sd: f64,
+    cfg: &DynamicConfig,
+) -> Result<(Request, SolveReport), MiningGameError> {
+    SolveWorkspace::with_thread_local(|ws| {
+        let solved = TieredSolver::continuous(params, prices, budget, mean, sd, cfg).solve(ws)?;
+        Ok((per_miner_of(&solved, ws), solved.report))
+    })
+}
+
+/// The symmetric per-miner request of a solve: directly from symmetric
+/// tiers, or the first miner's request when a full-solve escalation tier
+/// produced the answer.
+fn per_miner_of(solved: &Solved, ws: &SolveWorkspace) -> Request {
+    solved.per_miner.or_else(|| ws.requests.first().copied()).unwrap_or_default()
+}

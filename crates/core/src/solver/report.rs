@@ -1,0 +1,175 @@
+//! Structured solve reports: what the tiered follower solver actually did.
+//!
+//! Every follower-subgame solve — heterogeneous, symmetric fast path,
+//! closed form or dynamic — returns a [`SolveReport`] describing the method
+//! that produced the answer, the fallback hops taken to get there, the
+//! iteration/residual bookkeeping, and any solver-budget values that were
+//! clamped away from what the caller requested. Reports flow into `mbm-obs`
+//! telemetry (`core.solver.*` counters) and the experiment engine's
+//! per-task records.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use serde::{Deserialize, Serialize};
+
+/// Which follower subgame was solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolveMode {
+    /// Problem 1a: connected-mode NEP.
+    Connected,
+    /// Problem 1c: standalone-mode GNEP under shared edge capacity.
+    Standalone,
+    /// Theorem 3 / Corollary 1 closed forms for identical miners.
+    Homogeneous,
+    /// Problem 1d: random miner population.
+    Dynamic,
+}
+
+/// The algorithm that produced the reported equilibrium.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolveMethod {
+    /// Theorem 3 / Corollary 1 closed form.
+    ClosedForm,
+    /// Symmetric damped fixed point of the analytic best response.
+    SymmetricFixedPoint,
+    /// Damped sequential best-response dynamics on the full N-miner game.
+    BestResponseDynamics,
+    /// Extragradient method on the variational-inequality formulation.
+    Extragradient,
+    /// Damped fixed point over population-expectation best responses.
+    DampedExpectationFixedPoint,
+}
+
+impl SolveMethod {
+    /// Stable kebab-case name (used in telemetry counter names).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SolveMethod::ClosedForm => "closed_form",
+            SolveMethod::SymmetricFixedPoint => "symmetric_fixed_point",
+            SolveMethod::BestResponseDynamics => "best_response_dynamics",
+            SolveMethod::Extragradient => "extragradient",
+            SolveMethod::DampedExpectationFixedPoint => "damped_expectation_fixed_point",
+        }
+    }
+}
+
+/// One solver-budget value the chain rewrote: what the caller asked for and
+/// what was actually used. Integer budgets (iteration caps) are carried as
+/// `f64`, which is exact for every realistic cap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfigOverride {
+    /// The value the caller configured.
+    pub requested: f64,
+    /// The value the solver actually used.
+    pub effective: f64,
+}
+
+/// The set of [`SubgameConfig`](crate::subgame::SubgameConfig) values the
+/// chain clamped on this solve. Fixed-size (no heap) so the hot path can
+/// record overrides without allocating; `None` means the user value was
+/// used verbatim.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Overrides {
+    /// Convergence tolerance (`effective_tol` / `effective_tol_dynamic`).
+    pub tol: Option<ConfigOverride>,
+    /// Iteration cap (`effective_max_iter`).
+    pub max_iter: Option<ConfigOverride>,
+    /// Fixed-point damping (the per-mode stability clamps).
+    pub damping: Option<ConfigOverride>,
+}
+
+impl Overrides {
+    /// Number of values that were rewritten.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        usize::from(self.tol.is_some())
+            + usize::from(self.max_iter.is_some())
+            + usize::from(self.damping.is_some())
+    }
+
+    /// Whether every requested value was used verbatim.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+}
+
+/// One failed tier the chain fell through on its way to the answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FallbackHop {
+    /// The method that failed.
+    pub method: SolveMethod,
+    /// Its convergence error, rendered.
+    pub error: String,
+}
+
+/// What a follower-subgame solve actually did.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveReport {
+    /// Which subgame was solved.
+    pub mode: SolveMode,
+    /// Whether the symmetric (per-miner) fast path was requested.
+    pub symmetric: bool,
+    /// The method that produced the reported equilibrium.
+    pub method: SolveMethod,
+    /// Tiers that failed before `method` succeeded (empty on the happy
+    /// path — no allocation).
+    pub fallback_hops: Vec<FallbackHop>,
+    /// Iterations/sweeps used by the successful tier.
+    pub iterations: usize,
+    /// Final residual of the successful tier (displacement or VI residual).
+    pub residual: f64,
+    /// Independent equilibrium certificate, where one is computed (the VI
+    /// natural residual on standalone solves).
+    pub certificate: Option<f64>,
+    /// Solver-budget values the chain clamped on this solve.
+    pub overrides: Overrides,
+}
+
+impl SolveReport {
+    /// Number of fallback hops taken before the successful tier.
+    #[must_use]
+    pub fn hops(&self) -> usize {
+        self.fallback_hops.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overrides_count_and_empty() {
+        let mut o = Overrides::default();
+        assert!(o.is_empty());
+        o.max_iter = Some(ConfigOverride { requested: 5000.0, effective: 20_000.0 });
+        assert_eq!(o.count(), 1);
+        assert!(!o.is_empty());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = SolveReport {
+            mode: SolveMode::Standalone,
+            symmetric: false,
+            method: SolveMethod::Extragradient,
+            fallback_hops: vec![FallbackHop {
+                method: SolveMethod::BestResponseDynamics,
+                error: "did not converge".into(),
+            }],
+            iterations: 1234,
+            residual: 3.2e-11,
+            certificate: Some(1.1e-9),
+            overrides: Overrides {
+                tol: None,
+                max_iter: Some(ConfigOverride { requested: 5000.0, effective: 20_000.0 }),
+                damping: None,
+            },
+        };
+        let s = serde_json::to_string(&r).unwrap();
+        let back: SolveReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.hops(), 1);
+    }
+}

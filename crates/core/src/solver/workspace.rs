@@ -1,0 +1,150 @@
+//! Reusable scratch buffers for follower-subgame solves.
+//!
+//! The leader price search evaluates thousands of follower equilibria; a
+//! [`SolveWorkspace`] owns every temporary those solves need (best-response
+//! profiles, extragradient iterates, request/utility views, the stacked
+//! feasible start), so repeated solves reuse capacity instead of touching
+//! the heap. [`SolveWorkspace::footprint`] reports the reserved bytes,
+//! which the benches assert stop growing after warmup.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use std::cell::RefCell;
+
+use mbm_game::nash::BrWorkspace;
+use mbm_game::profile::Profile;
+
+use crate::error::MiningGameError;
+use crate::request::Request;
+use crate::subgame::MinerEquilibrium;
+
+use super::Solved;
+
+/// Scratch buffers threaded through every tier of the follower solver.
+///
+/// All buffers grow to the largest problem seen and are then reused; a
+/// workspace is cheap to create but worth keeping across solves on hot
+/// paths (see [`SolveWorkspace::with_thread_local`]).
+#[derive(Debug, Default)]
+pub struct SolveWorkspace {
+    /// Best-response dynamics scratch (profiles, per-player BR buffer).
+    pub(crate) br: BrWorkspace,
+    /// Extragradient / VI scratch (iterates, operator values).
+    pub(crate) gnep: mbm_game::gnep::GnepWorkspace,
+    /// Stacked profile slot for feasible starts and certificate evaluation.
+    pub(crate) init: Option<Profile>,
+    /// Flat staging buffer for profile data.
+    pub(crate) flat: Vec<f64>,
+    /// Per-miner equilibrium requests of the last heterogeneous solve.
+    pub requests: Vec<Request>,
+    /// Per-miner equilibrium utilities of the last heterogeneous solve.
+    pub utilities: Vec<f64>,
+}
+
+thread_local! {
+    static TLS_WORKSPACE: RefCell<SolveWorkspace> = RefCell::new(SolveWorkspace::new());
+}
+
+impl SolveWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        SolveWorkspace::default()
+    }
+
+    /// Runs `f` with this thread's shared workspace. The hot leader-search
+    /// path uses this so every follower solve on a worker thread reuses one
+    /// set of buffers; workspace contents never influence solve *values*
+    /// (only allocation behaviour), so parallel determinism is unaffected.
+    pub fn with_thread_local<R>(f: impl FnOnce(&mut SolveWorkspace) -> R) -> R {
+        TLS_WORKSPACE.with(|ws| f(&mut ws.borrow_mut()))
+    }
+
+    /// Heap bytes currently reserved across all buffers (capacity, not
+    /// length). Steady-state solves must not grow this.
+    #[must_use]
+    pub fn footprint(&self) -> usize {
+        self.br.footprint()
+            + self.gnep.footprint()
+            + self.init.as_ref().map_or(0, Profile::heap_bytes)
+            + self.flat.capacity() * std::mem::size_of::<f64>()
+            + self.requests.capacity() * std::mem::size_of::<Request>()
+            + self.utilities.capacity() * std::mem::size_of::<f64>()
+    }
+
+    /// Clones the per-miner data of the last heterogeneous solve into an
+    /// owned [`MinerEquilibrium`]. Only meaningful directly after a
+    /// successful heterogeneous solve with this workspace (symmetric and
+    /// closed-form tiers clear the per-miner buffers instead of filling
+    /// them).
+    #[must_use]
+    pub fn equilibrium(&self, solved: &Solved) -> MinerEquilibrium {
+        MinerEquilibrium {
+            requests: self.requests.clone(),
+            aggregates: solved.aggregates,
+            utilities: self.utilities.clone(),
+            iterations: solved.iterations,
+            residual: solved.residual,
+        }
+    }
+}
+
+/// Ensures `slot` holds an `n`-player profile of 2-dimensional blocks
+/// matching `flat` (`[e_0, c_0, e_1, c_1, …]`), reusing the existing
+/// allocation when the shape already fits.
+pub(crate) fn ensure_pairs<'a>(
+    slot: &'a mut Option<Profile>,
+    flat: &[f64],
+) -> Result<&'a mut Profile, MiningGameError> {
+    let n = flat.len() / 2;
+    let fits = slot.as_ref().is_some_and(|p| p.num_players() == n && p.total_dim() == flat.len());
+    if !fits {
+        let dims = vec![2usize; n];
+        *slot = Some(Profile::uniform(&dims, 0.0)?);
+    }
+    match slot.as_mut() {
+        Some(p) => {
+            p.copy_from(flat);
+            Ok(p)
+        }
+        None => Err(MiningGameError::invalid("workspace profile slot empty")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_pairs_reuses_allocation_for_same_shape() {
+        let mut slot = None;
+        let flat = [1.0, 2.0, 3.0, 4.0];
+        {
+            let p = ensure_pairs(&mut slot, &flat).unwrap();
+            assert_eq!(p.num_players(), 2);
+            assert_eq!(p.as_slice(), &flat);
+        }
+        let bytes = slot.as_ref().unwrap().heap_bytes();
+        let flat2 = [5.0, 6.0, 7.0, 8.0];
+        ensure_pairs(&mut slot, &flat2).unwrap();
+        assert_eq!(slot.as_ref().unwrap().heap_bytes(), bytes);
+        assert_eq!(slot.as_ref().unwrap().as_slice(), &flat2);
+    }
+
+    #[test]
+    fn ensure_pairs_reshapes_when_player_count_changes() {
+        let mut slot = None;
+        ensure_pairs(&mut slot, &[1.0, 2.0]).unwrap();
+        let p = ensure_pairs(&mut slot, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(p.num_players(), 3);
+    }
+
+    #[test]
+    fn footprint_starts_at_zero_and_grows_with_use() {
+        let mut ws = SolveWorkspace::new();
+        assert_eq!(ws.footprint(), 0);
+        ws.flat.extend_from_slice(&[0.0; 8]);
+        ws.requests.push(Request::default());
+        assert!(ws.footprint() > 0);
+    }
+}

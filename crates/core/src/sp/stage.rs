@@ -3,19 +3,21 @@
 //!
 //! Leader 0 is the ESP, leader 1 the CSP; actions are unit prices bounded by
 //! `(cost, price_cap]`. Evaluating a payoff solves the follower stage at the
-//! candidate price pair — the homogeneous populations use the symmetric
-//! fast-path solvers, heterogeneous ones the full NEP/GNEP solvers. Price
-//! pairs at which the follower stage fails to converge are reported as `NaN`
-//! (infeasible), which the leader search skips.
+//! candidate price pair through the tiered
+//! [`FollowerSolver`](crate::solver::FollowerSolver) chain for the
+//! population/mode pair, reusing the thread-local
+//! [`SolveWorkspace`](crate::solver::SolveWorkspace) so the search performs
+//! no per-evaluation allocation on the symmetric paths. Price pairs at
+//! which every tier of the follower chain fails to converge are reported as
+//! `NaN` (infeasible), which the leader search skips.
 
 use mbm_game::stackelberg::LeaderStage;
 use mbm_game::GameError;
 
 use crate::params::{MarketParams, Prices};
 use crate::request::Aggregates;
+use crate::solver::{FollowerSolver, SolveWorkspace, TieredSolver};
 use crate::sp::MinerPopulation;
-use crate::subgame::connected::{solve_connected_miner_subgame, solve_symmetric_connected};
-use crate::subgame::standalone::{solve_standalone_miner_subgame, solve_symmetric_standalone};
 use crate::subgame::SubgameConfig;
 
 /// Which edge operation mode the follower stage runs in.
@@ -54,32 +56,32 @@ impl ProviderStage {
         &self.params
     }
 
-    /// Aggregate follower demand at the given prices, or `None` if the
-    /// follower solve does not converge there.
-    #[must_use]
-    pub fn follower_demand(&self, prices: &Prices) -> Option<Aggregates> {
+    /// The tiered follower chain for this population/mode at `prices`.
+    fn follower_chain<'a>(&'a self, prices: &'a Prices) -> TieredSolver<'a> {
         match (&self.population, self.mode) {
             (MinerPopulation::Homogeneous { budget, n }, Mode::Connected) => {
-                solve_symmetric_connected(&self.params, prices, *budget, *n, &self.subgame)
-                    .ok()
-                    .map(|r| Aggregates { edge: *n as f64 * r.edge, cloud: *n as f64 * r.cloud })
+                TieredSolver::symmetric_connected(&self.params, prices, *budget, *n, &self.subgame)
             }
             (MinerPopulation::Homogeneous { budget, n }, Mode::Standalone) => {
-                solve_symmetric_standalone(&self.params, prices, *budget, *n, &self.subgame)
-                    .ok()
-                    .map(|r| Aggregates { edge: *n as f64 * r.edge, cloud: *n as f64 * r.cloud })
+                TieredSolver::symmetric_standalone(&self.params, prices, *budget, *n, &self.subgame)
             }
             (MinerPopulation::Heterogeneous { budgets }, Mode::Connected) => {
-                solve_connected_miner_subgame(&self.params, prices, budgets, &self.subgame)
-                    .ok()
-                    .map(|eq| eq.aggregates)
+                TieredSolver::connected(&self.params, prices, budgets, &self.subgame)
             }
             (MinerPopulation::Heterogeneous { budgets }, Mode::Standalone) => {
-                solve_standalone_miner_subgame(&self.params, prices, budgets, &self.subgame)
-                    .ok()
-                    .map(|eq| eq.aggregates)
+                TieredSolver::standalone(&self.params, prices, budgets, &self.subgame)
             }
         }
+    }
+
+    /// Aggregate follower demand at the given prices, or `None` if the
+    /// follower chain does not converge there. Reuses the thread-local
+    /// solve workspace and reads only the aggregates, so the leader search
+    /// never clones per-miner vectors.
+    #[must_use]
+    pub fn follower_demand(&self, prices: &Prices) -> Option<Aggregates> {
+        let chain = self.follower_chain(prices);
+        SolveWorkspace::with_thread_local(|ws| chain.solve(ws)).ok().map(|s| s.aggregates)
     }
 }
 

@@ -17,16 +17,19 @@
 //! dominated (`P_e ≤ P_c`), `c_i = 0` forced, optional edge caps — fall back
 //! to one-dimensional root finds on the combined first-order condition.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use std::cell::RefCell;
+
 use mbm_game::game::Game;
-use mbm_game::nash::{best_response_dynamics, BrParams, UpdateOrder};
 use mbm_game::profile::Profile;
 use mbm_numerics::projection::{BudgetSet, ConvexSet};
 use mbm_numerics::roots::{brent, expand_bracket};
 
 use crate::error::MiningGameError;
 use crate::params::{validate_budgets, MarketParams, Prices};
-use crate::request::{Aggregates, Request};
-use crate::subgame::{MinerEquilibrium, SubgameConfig};
+use crate::request::Request;
+use crate::subgame::{MinerEquilibrium, SubgameConfig, SymRun};
 use crate::winning::{utility_connected, utility_gradient};
 
 /// Inputs of the analytic best response, independent of the game wiring.
@@ -176,11 +179,19 @@ fn clamp_cap(e: f64, cap: Option<f64>) -> f64 {
 }
 
 /// The connected-mode miner subgame as an [`mbm_game::game::Game`].
+///
+/// Per-miner budget sets are prebuilt at construction and profile→request
+/// conversions go through an interior scratch buffer, so the [`Game`]
+/// callbacks on the solver hot path never touch the heap. The scratch
+/// `RefCell` keeps the game `!Sync`; every solve path constructs its game
+/// locally, so nothing is shared across threads.
 #[derive(Debug, Clone)]
 pub struct ConnectedMinerGame {
     params: MarketParams,
     prices: Prices,
     budgets: Vec<f64>,
+    sets: Vec<BudgetSet>,
+    scratch: RefCell<Vec<Request>>,
 }
 
 impl ConnectedMinerGame {
@@ -195,7 +206,11 @@ impl ConnectedMinerGame {
         budgets: Vec<f64>,
     ) -> Result<Self, MiningGameError> {
         validate_budgets(&budgets)?;
-        Ok(ConnectedMinerGame { params, prices, budgets })
+        let sets = budgets
+            .iter()
+            .map(|&b| BudgetSet::new(vec![prices.edge, prices.cloud], b))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ConnectedMinerGame { params, prices, budgets, sets, scratch: RefCell::new(Vec::new()) })
     }
 
     /// Announced prices.
@@ -210,13 +225,15 @@ impl ConnectedMinerGame {
         &self.budgets
     }
 
-    fn requests_of(profile: &Profile) -> Vec<Request> {
-        (0..profile.num_players())
-            .map(|i| {
-                let b = profile.block(i);
-                Request { edge: b[0].max(0.0), cloud: b[1].max(0.0) }
-            })
-            .collect()
+    /// Runs `f` on the profile's request view, reusing the scratch buffer.
+    fn with_requests<R>(&self, profile: &Profile, f: impl FnOnce(&[Request]) -> R) -> R {
+        let mut scratch = self.scratch.borrow_mut();
+        scratch.clear();
+        scratch.extend((0..profile.num_players()).map(|i| {
+            let b = profile.block(i);
+            Request { edge: b[0].max(0.0), cloud: b[1].max(0.0) }
+        }));
+        f(&scratch)
     }
 }
 
@@ -230,44 +247,67 @@ impl Game for ConnectedMinerGame {
     }
 
     fn utility(&self, i: usize, profile: &Profile) -> f64 {
-        let requests = Self::requests_of(profile);
-        utility_connected(i, &requests, &self.prices, &self.params)
+        self.with_requests(profile, |requests| {
+            utility_connected(i, requests, &self.prices, &self.params)
+        })
     }
 
     fn project(&self, i: usize, strategy: &mut [f64], _profile: &Profile) {
-        let set = BudgetSet::new(vec![self.prices.edge, self.prices.cloud], self.budgets[i])
-            .expect("prices validated at construction");
-        set.project(strategy);
+        self.sets[i].project(strategy);
     }
 
     fn gradient(&self, i: usize, profile: &Profile, out: &mut [f64]) {
-        let requests = Self::requests_of(profile);
-        let g = utility_gradient(
-            i,
-            &requests,
-            &self.prices,
-            &self.params,
-            self.params.edge_availability(),
-        );
+        let g = self.with_requests(profile, |requests| {
+            utility_gradient(
+                i,
+                requests,
+                &self.prices,
+                &self.params,
+                self.params.edge_availability(),
+            )
+        });
         out.copy_from_slice(&g);
     }
 
     fn best_response(&self, i: usize, profile: &Profile) -> Result<Vec<f64>, mbm_game::GameError> {
-        let requests = Self::requests_of(profile);
-        let agg = Aggregates::of(&requests);
+        let mut out = vec![0.0; 2];
+        self.best_response_into(i, profile, &mut out)?;
+        Ok(out)
+    }
+
+    fn best_response_into(
+        &self,
+        i: usize,
+        profile: &Profile,
+        out: &mut [f64],
+    ) -> Result<(), mbm_game::GameError> {
+        // Aggregate in player order (matching `Aggregates::of`, so the result
+        // is bitwise identical to the allocating formulation) without
+        // materializing the request view.
+        let mut edge_sum = 0.0;
+        let mut cloud_sum = 0.0;
+        for j in 0..profile.num_players() {
+            let b = profile.block(j);
+            edge_sum += b[0].max(0.0);
+            cloud_sum += b[1].max(0.0);
+        }
+        let b_i = profile.block(i);
+        let (e_i, c_i) = (b_i[0].max(0.0), b_i[1].max(0.0));
         let inp = BestResponseInputs {
             reward: self.params.reward(),
             beta: self.params.fork_rate(),
             h: self.params.edge_availability(),
             prices: self.prices,
             budget: self.budgets[i],
-            e_others: agg.edge - requests[i].edge,
-            s_others: agg.total() - requests[i].total(),
+            e_others: edge_sum - e_i,
+            s_others: (edge_sum + cloud_sum) - (e_i + c_i),
             edge_cap: None,
         };
         let r = analytic_best_response(&inp)
             .map_err(|e| mbm_game::GameError::invalid(e.to_string()))?;
-        Ok(vec![r.edge, r.cloud])
+        out[0] = r.edge;
+        out[1] = r.cloud;
+        Ok(())
     }
 }
 
@@ -283,31 +323,7 @@ pub fn solve_connected_miner_subgame(
     budgets: &[f64],
     cfg: &SubgameConfig,
 ) -> Result<MinerEquilibrium, MiningGameError> {
-    let game = ConnectedMinerGame::new(*params, *prices, budgets.to_vec())?;
-    let n = budgets.len();
-    // A feasible interior start: each miner spreads half its budget.
-    let blocks: Vec<Vec<f64>> =
-        budgets.iter().map(|&b| vec![b / (4.0 * prices.edge), b / (4.0 * prices.cloud)]).collect();
-    let init = Profile::from_blocks(&blocks).map_err(MiningGameError::from)?;
-    let out = best_response_dynamics(
-        &game,
-        init,
-        &BrParams {
-            order: UpdateOrder::Sequential,
-            damping: cfg.damping,
-            tol: cfg.tol,
-            max_sweeps: cfg.max_iter,
-        },
-    )?;
-    let requests = ConnectedMinerGame::requests_of(&out.profile);
-    let utilities = (0..n).map(|i| utility_connected(i, &requests, prices, params)).collect();
-    Ok(MinerEquilibrium {
-        aggregates: Aggregates::of(&requests),
-        requests,
-        utilities,
-        iterations: out.sweeps,
-        residual: out.residual,
-    })
+    crate::solver::solve_connected_reported(params, prices, budgets, cfg).map(|(eq, _)| eq)
 }
 
 /// Fast path for homogeneous miners: the symmetric equilibrium as a damped
@@ -325,18 +341,31 @@ pub fn solve_symmetric_connected(
     n: usize,
     cfg: &SubgameConfig,
 ) -> Result<Request, MiningGameError> {
-    if n < 2 {
-        return Err(MiningGameError::invalid("need at least two miners"));
-    }
+    crate::solver::solve_symmetric_connected_reported(params, prices, budget, n, cfg)
+        .map(|(r, _)| r)
+}
+
+/// The symmetric connected fixed point itself: tier 1 of the symmetric
+/// chain. `omega` is the *effective* damping
+/// ([`SubgameConfig::effective_damping_symmetric_connected`]); the
+/// `3/(n + 2)` clamp exists because the symmetric best-response map has
+/// slope ≈ `1 − n/2` at the fixed point (the √-shaped KKT targets), so
+/// stability requires damping below ~`4/n` and `3/(n + 2)` keeps a
+/// contraction factor ≈ 1/2 at every `n`.
+pub(crate) fn symmetric_connected_core(
+    params: &MarketParams,
+    prices: &Prices,
+    budget: f64,
+    n: usize,
+    omega: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<SymRun, MiningGameError> {
     let mut x =
         Request { edge: budget / (4.0 * prices.edge), cloud: budget / (4.0 * prices.cloud) };
     let m = (n - 1) as f64;
-    // The symmetric best-response map has slope ≈ 1 − n/2 at the fixed
-    // point (the √-shaped KKT targets), so stability requires damping
-    // below ~4/n; 3/(n+2) keeps a contraction factor ≈ 1/2 at every n.
-    let omega = cfg.damping.min(3.0 / (n as f64 + 2.0));
     let mut residual = f64::INFINITY;
-    for _ in 0..cfg.max_iter {
+    for k in 0..max_iter {
         let inp = BestResponseInputs {
             reward: params.reward(),
             beta: params.fork_rate(),
@@ -354,12 +383,12 @@ pub fn solve_symmetric_connected(
         };
         residual = (next.edge - x.edge).abs().max((next.cloud - x.cloud).abs());
         x = next;
-        if residual <= cfg.tol {
-            return Ok(x);
+        if residual <= tol {
+            return Ok(SymRun { x, iterations: k + 1, residual });
         }
     }
     Err(MiningGameError::Game(mbm_game::GameError::NoConvergence {
-        iterations: cfg.max_iter,
+        iterations: max_iter,
         residual,
     }))
 }

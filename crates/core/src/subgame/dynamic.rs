@@ -18,6 +18,8 @@
 //! the symmetric equilibrium by a damped fixed point over numeric best
 //! responses.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use mbm_numerics::distributions::{DiscretePmf, Gaussian};
 use mbm_numerics::optimize::golden_section_max;
 use serde::{Deserialize, Serialize};
@@ -25,7 +27,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::MiningGameError;
 use crate::params::{MarketParams, Prices};
 use crate::request::Request;
-use crate::subgame::SubgameConfig;
+use crate::subgame::{SubgameConfig, SymRun};
 
 /// A discretized random miner population.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -294,18 +296,50 @@ pub fn solve_symmetric_continuous(
     sd: f64,
     cfg: &DynamicConfig,
 ) -> Result<Request, MiningGameError> {
+    crate::solver::solve_symmetric_continuous_reported(params, prices, budget, mean, sd, cfg)
+        .map(|(r, _)| r)
+}
+
+/// Validation shared by the continuous chain entry: Gaussian population
+/// moments must describe at least two expected miners.
+pub(crate) fn validate_continuous(mean: f64, sd: f64) -> Result<(), MiningGameError> {
     if !(mean >= 2.0 && sd > 0.0) {
         return Err(MiningGameError::invalid(format!(
             "continuous population needs mean >= 2 (got {mean}) and sd > 0 (got {sd})"
         )));
     }
+    Ok(())
+}
+
+/// Effective iteration controls of the damped expectation fixed point:
+/// the belief-mixing weight plus the *effective* damping/tolerance/cap
+/// budgets ([`SubgameConfig::effective_damping_dynamic`] and
+/// [`SubgameConfig::effective_tol_dynamic`]) the tier resolved for this
+/// solve.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FixedPointBudget {
+    pub mixing: f64,
+    pub omega: f64,
+    pub tol: f64,
+    pub max_iter: usize,
+}
+
+/// The continuous-population damped fixed point itself: tier 1 of the
+/// continuous dynamic chain.
+pub(crate) fn symmetric_continuous_core(
+    params: &MarketParams,
+    prices: &Prices,
+    budget: f64,
+    mean: f64,
+    sd: f64,
+    fp: FixedPointBudget,
+) -> Result<SymRun, MiningGameError> {
+    let FixedPointBudget { mixing, omega, tol, max_iter } = fp;
     let gh = mbm_numerics::quadrature::GaussHermite::new(40)?;
     let mut x =
         Request { edge: budget / (4.0 * prices.edge), cloud: budget / (4.0 * prices.cloud) };
-    let sub = cfg.subgame;
-    let omega = sub.damping.min(3.0 / (mean + 2.0));
     let mut residual = f64::INFINITY;
-    for _ in 0..sub.max_iter {
+    for k in 0..max_iter {
         let br = best_response_to_objective(
             |e, c| {
                 expected_utility_continuous(
@@ -316,7 +350,7 @@ pub fn solve_symmetric_continuous(
                     &gh,
                     params,
                     prices,
-                    cfg.mixing,
+                    mixing,
                 )
             },
             budget,
@@ -329,12 +363,12 @@ pub fn solve_symmetric_continuous(
         };
         residual = (next.edge - x.edge).abs().max((next.cloud - x.cloud).abs());
         x = next;
-        if residual <= sub.tol.max(1e-8) {
-            return Ok(x);
+        if residual <= tol {
+            return Ok(SymRun { x, iterations: k + 1, residual });
         }
     }
     Err(MiningGameError::Game(mbm_game::GameError::NoConvergence {
-        iterations: sub.max_iter,
+        iterations: max_iter,
         residual,
     }))
 }
@@ -352,6 +386,13 @@ pub fn solve_symmetric_dynamic(
     pop: &Population,
     cfg: &DynamicConfig,
 ) -> Result<Request, MiningGameError> {
+    crate::solver::solve_symmetric_dynamic_reported(params, prices, budget, pop, cfg)
+        .map(|(r, _)| r)
+}
+
+/// Validation shared by the dynamic chain entry: positive budget, mixing
+/// weight in `[0, 1]`.
+pub(crate) fn validate_dynamic(budget: f64, cfg: &DynamicConfig) -> Result<(), MiningGameError> {
     if !(budget.is_finite() && budget > 0.0) {
         return Err(MiningGameError::invalid(format!("budget = {budget} must be > 0")));
     }
@@ -361,27 +402,38 @@ pub fn solve_symmetric_dynamic(
             cfg.mixing
         )));
     }
+    Ok(())
+}
+
+/// The discrete-population damped fixed point itself: tier 1 of the dynamic
+/// chain. The `3/(μ + 2)` clamp behind the `omega` argument exists because
+/// the symmetric BR map steepens with the (expected) population size — see
+/// `symmetric_connected_core` — so the damping shrinks like `1/μ`.
+pub(crate) fn symmetric_dynamic_core(
+    params: &MarketParams,
+    prices: &Prices,
+    budget: f64,
+    pop: &Population,
+    fp: FixedPointBudget,
+) -> Result<SymRun, MiningGameError> {
+    let FixedPointBudget { mixing, omega, tol, max_iter } = fp;
     let mut x =
         Request { edge: budget / (4.0 * prices.edge), cloud: budget / (4.0 * prices.cloud) };
-    let sub = cfg.subgame;
-    // The symmetric BR map steepens with the (expected) population size —
-    // see solve_symmetric_connected — so the damping shrinks like 1/μ.
-    let omega = sub.damping.min(3.0 / (pop.mean() + 2.0));
     let mut residual = f64::INFINITY;
-    for _ in 0..sub.max_iter {
-        let br = best_response(x, budget, pop, params, prices, cfg.mixing, x)?;
+    for k in 0..max_iter {
+        let br = best_response(x, budget, pop, params, prices, mixing, x)?;
         let next = Request {
             edge: (1.0 - omega) * x.edge + omega * br.edge,
             cloud: (1.0 - omega) * x.cloud + omega * br.cloud,
         };
         residual = (next.edge - x.edge).abs().max((next.cloud - x.cloud).abs());
         x = next;
-        if residual <= sub.tol.max(1e-8) {
-            return Ok(x);
+        if residual <= tol {
+            return Ok(SymRun { x, iterations: k + 1, residual });
         }
     }
     Err(MiningGameError::Game(mbm_game::GameError::NoConvergence {
-        iterations: sub.max_iter,
+        iterations: max_iter,
         residual,
     }))
 }

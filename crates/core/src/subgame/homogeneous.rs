@@ -17,6 +17,8 @@
 //! `P_c < (1−β) P_e / (1−β+hβ)` — otherwise the cloud is not worth buying
 //! and the equilibrium is a corner.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use serde::{Deserialize, Serialize};
 
 use crate::error::MiningGameError;
@@ -108,10 +110,26 @@ pub fn corollary1_request(
 /// symmetric equilibrium: Corollary 1 if its spending fits the budget,
 /// Theorem 3 otherwise.
 ///
+/// Routes through the unified solver core so the solve is recorded in
+/// telemetry; use
+/// [`solve_homogeneous_reported`](crate::solver::solve_homogeneous_reported)
+/// to also get the [`SolveReport`](crate::solver::SolveReport).
+///
 /// # Errors
 ///
 /// Propagates the validity-region and parameter errors of the two forms.
 pub fn homogeneous_equilibrium(
+    params: &MarketParams,
+    prices: &Prices,
+    budget: f64,
+    n: usize,
+) -> Result<(Request, Regime), MiningGameError> {
+    crate::solver::solve_homogeneous_reported(params, prices, budget, n)
+        .map(|(r, regime, _)| (r, regime))
+}
+
+/// The raw regime selection (tier body of the closed-form chain).
+pub(crate) fn homogeneous_core(
     params: &MarketParams,
     prices: &Prices,
     budget: f64,

@@ -18,6 +18,8 @@ pub mod standalone;
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::MiningGameError;
+use crate::params::Prices;
 use crate::request::{Aggregates, Request};
 
 /// Configuration shared by the miner-subgame solvers.
@@ -35,6 +37,119 @@ impl Default for SubgameConfig {
     fn default() -> Self {
         SubgameConfig { damping: 0.5, tol: 1e-9, max_iter: 5000 }
     }
+}
+
+impl SubgameConfig {
+    /// Tolerance actually handed to the extragradient solver on the
+    /// standalone (GNEP) path.
+    ///
+    /// The VI natural residual is a coarser convergence measure than the
+    /// best-response displacement, so tolerances below `1e-10` are clamped;
+    /// historically this happened silently inside the solver — it is now an
+    /// explicit policy, recorded as a [`crate::solver::ConfigOverride`] in
+    /// the [`crate::solver::SolveReport`] whenever it rewrites a user value.
+    #[must_use]
+    pub fn effective_tol(&self) -> f64 {
+        self.tol.max(1e-10)
+    }
+
+    /// Iteration cap actually handed to the extragradient solver (and to
+    /// escalation tiers). Extragradient steps are much cheaper than
+    /// best-response sweeps, so caps below `20_000` are raised.
+    #[must_use]
+    pub fn effective_max_iter(&self) -> usize {
+        self.max_iter.max(20_000)
+    }
+
+    /// Damping actually used by the symmetric connected fixed point: the
+    /// synchronous update is contracting only for `ω ≲ 3/(n + 2)`, so larger
+    /// requested dampings are clamped.
+    #[must_use]
+    pub fn effective_damping_symmetric_connected(&self, n: usize) -> f64 {
+        self.damping.min(3.0 / (n as f64 + 2.0))
+    }
+
+    /// Damping actually used by the symmetric standalone fixed point (the
+    /// shared capacity coupling needs the tighter `1.2/(n + 1)` clamp).
+    #[must_use]
+    pub fn effective_damping_symmetric_standalone(&self, n: usize) -> f64 {
+        self.damping.min(1.2 / (n as f64 + 1.0))
+    }
+
+    /// Damping actually used by the dynamic (population-expectation) fixed
+    /// point, clamped by the expected population size.
+    #[must_use]
+    pub fn effective_damping_dynamic(&self, mean_n: f64) -> f64 {
+        self.damping.min(3.0 / (mean_n + 2.0))
+    }
+
+    /// Stopping tolerance actually used by the dynamic fixed point — the
+    /// Gauss–Hermite expectation is itself only accurate to ~`1e-8`, so
+    /// tighter requests are clamped.
+    #[must_use]
+    pub fn effective_tol_dynamic(&self) -> f64 {
+        self.tol.max(1e-8)
+    }
+}
+
+/// The shared feasible starting request `(b/(4 P_e), b/(4 P_c))` — an
+/// interior point spending half the budget, used by every subgame solver.
+///
+/// # Errors
+///
+/// Returns [`MiningGameError::InvalidParameter`] if the budget is not
+/// strictly positive (prices are validated by [`Prices`] construction).
+pub fn initial_request(budget: f64, prices: &Prices) -> Result<Request, MiningGameError> {
+    if !(budget.is_finite() && budget > 0.0) {
+        return Err(MiningGameError::invalid(format!("budget {budget} must be > 0")));
+    }
+    Ok(Request { edge: budget / (4.0 * prices.edge), cloud: budget / (4.0 * prices.cloud) })
+}
+
+/// Writes the stacked feasible start for an `n`-miner profile into `out`
+/// (flat `[e_0, c_0, e_1, c_1, …]`), spreading each budget as
+/// [`initial_request`] does and — when a shared edge capacity `e_max` is
+/// given — rescaling the edge coordinates to `0.95 · e_max / Σeᵢ` if the
+/// start violates the capacity, exactly as the standalone solver always has.
+///
+/// # Errors
+///
+/// Returns [`MiningGameError::InvalidParameter`] if any budget is invalid.
+pub fn initial_profile_into(
+    budgets: &[f64],
+    prices: &Prices,
+    e_max: Option<f64>,
+    out: &mut Vec<f64>,
+) -> Result<(), MiningGameError> {
+    out.clear();
+    for &b in budgets {
+        let r = initial_request(b, prices)?;
+        out.push(r.edge);
+        out.push(r.cloud);
+    }
+    if let Some(e_max) = e_max {
+        let e_total: f64 = out.iter().step_by(2).sum();
+        if e_total > e_max {
+            let scale = e_max / e_total * 0.95;
+            for e in out.iter_mut().step_by(2) {
+                *e *= scale;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of one symmetric fixed-point run (tier 1 of the symmetric solver
+/// chains): the per-miner request plus the iteration/residual bookkeeping
+/// the [`crate::solver::SolveReport`] needs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SymRun {
+    /// The symmetric per-miner request at the fixed point.
+    pub x: Request,
+    /// Fixed-point iterations used.
+    pub iterations: usize,
+    /// Final displacement residual.
+    pub residual: f64,
 }
 
 /// A solved miner subgame.

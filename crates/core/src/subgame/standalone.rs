@@ -8,17 +8,20 @@
 //! compute the **variational equilibrium** (equal shadow price on the shared
 //! capacity), which is what the paper's Algorithm 2 converges to.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use std::cell::RefCell;
+
 use mbm_game::game::Game;
-use mbm_game::gnep::{gnep_residual, variational_equilibrium, IntersectionSet, ProductSet};
+use mbm_game::gnep::{gnep_residual, IntersectionSet, ProductSet};
 use mbm_game::profile::Profile;
 use mbm_numerics::projection::{BudgetSet, ConvexSet, Halfspace};
-use mbm_numerics::vi::ViParams;
 
 use crate::error::MiningGameError;
 use crate::params::{validate_budgets, MarketParams, Prices};
-use crate::request::{Aggregates, Request};
+use crate::request::Request;
 use crate::subgame::connected::{analytic_best_response, BestResponseInputs};
-use crate::subgame::{MinerEquilibrium, SubgameConfig};
+use crate::subgame::{MinerEquilibrium, SubgameConfig, SymRun};
 use crate::winning::{utility_gradient, utility_standalone};
 
 /// The standalone-mode miner subgame as an [`mbm_game::game::Game`].
@@ -32,6 +35,8 @@ pub struct StandaloneMinerGame {
     params: MarketParams,
     prices: Prices,
     budgets: Vec<f64>,
+    sets: Vec<BudgetSet>,
+    scratch: RefCell<Vec<Request>>,
 }
 
 impl StandaloneMinerGame {
@@ -46,16 +51,28 @@ impl StandaloneMinerGame {
         budgets: Vec<f64>,
     ) -> Result<Self, MiningGameError> {
         validate_budgets(&budgets)?;
-        Ok(StandaloneMinerGame { params, prices, budgets })
+        let sets = budgets
+            .iter()
+            .map(|&b| BudgetSet::new(vec![prices.edge, prices.cloud], b))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(StandaloneMinerGame { params, prices, budgets, sets, scratch: RefCell::new(Vec::new()) })
     }
 
-    fn requests_of(profile: &Profile) -> Vec<Request> {
-        (0..profile.num_players())
-            .map(|i| {
-                let b = profile.block(i);
-                Request { edge: b[0].max(0.0), cloud: b[1].max(0.0) }
-            })
-            .collect()
+    /// Runs `f` on the profile's request view (optionally edge-floored),
+    /// reusing the scratch buffer.
+    fn with_requests<R>(
+        &self,
+        profile: &Profile,
+        edge_floor: f64,
+        f: impl FnOnce(&[Request]) -> R,
+    ) -> R {
+        let mut scratch = self.scratch.borrow_mut();
+        scratch.clear();
+        scratch.extend((0..profile.num_players()).map(|i| {
+            let b = profile.block(i);
+            Request { edge: b[0].max(0.0).max(edge_floor), cloud: b[1].max(0.0) }
+        }));
+        f(&scratch)
     }
 
     /// The shared feasible set: every miner within budget, total edge demand
@@ -95,19 +112,23 @@ impl Game for StandaloneMinerGame {
     }
 
     fn utility(&self, i: usize, profile: &Profile) -> f64 {
-        let requests = Self::requests_of(profile);
-        utility_standalone(i, &requests, &self.prices, &self.params)
+        self.with_requests(profile, 0.0, |requests| {
+            utility_standalone(i, requests, &self.prices, &self.params)
+        })
     }
 
     fn project(&self, i: usize, strategy: &mut [f64], profile: &Profile) {
         // Individual projection: own budget plus the residual capacity left
         // by the other miners (the generalized feasible set K_i(r_{-i})).
-        let set = BudgetSet::new(vec![self.prices.edge, self.prices.cloud], self.budgets[i])
-            .expect("prices validated at construction");
-        set.project(strategy);
-        let requests = Self::requests_of(profile);
-        let e_others: f64 =
-            requests.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, r)| r.edge).sum();
+        self.sets[i].project(strategy);
+        // Sum the other miners' edge demand in player order (bitwise
+        // identical to the allocating request-view formulation).
+        let mut e_others = 0.0;
+        for j in 0..profile.num_players() {
+            if j != i {
+                e_others += profile.block(j)[0].max(0.0);
+            }
+        }
         let residual = (self.params.e_max() - e_others).max(0.0);
         if strategy[0] > residual {
             strategy[0] = residual;
@@ -123,18 +144,34 @@ impl Game for StandaloneMinerGame {
         // profiles keeps the escape direction visible while perturbing
         // genuine equilibria by at most the floor.
         const EDGE_FLOOR: f64 = 1e-7;
-        let mut requests = Self::requests_of(profile);
-        for r in &mut requests {
-            r.edge = r.edge.max(EDGE_FLOOR);
-        }
-        let g = utility_gradient(i, &requests, &self.prices, &self.params, 1.0);
+        let g = self.with_requests(profile, EDGE_FLOOR, |requests| {
+            utility_gradient(i, requests, &self.prices, &self.params, 1.0)
+        });
         out.copy_from_slice(&g);
     }
 
     fn best_response(&self, i: usize, profile: &Profile) -> Result<Vec<f64>, mbm_game::GameError> {
-        let requests = Self::requests_of(profile);
-        let agg = Aggregates::of(&requests);
-        let e_others = agg.edge - requests[i].edge;
+        let mut out = vec![0.0; 2];
+        self.best_response_into(i, profile, &mut out)?;
+        Ok(out)
+    }
+
+    fn best_response_into(
+        &self,
+        i: usize,
+        profile: &Profile,
+        out: &mut [f64],
+    ) -> Result<(), mbm_game::GameError> {
+        let mut edge_sum = 0.0;
+        let mut cloud_sum = 0.0;
+        for j in 0..profile.num_players() {
+            let b = profile.block(j);
+            edge_sum += b[0].max(0.0);
+            cloud_sum += b[1].max(0.0);
+        }
+        let b_i = profile.block(i);
+        let (e_i, c_i) = (b_i[0].max(0.0), b_i[1].max(0.0));
+        let e_others = edge_sum - e_i;
         let inp = BestResponseInputs {
             reward: self.params.reward(),
             beta: self.params.fork_rate(),
@@ -142,12 +179,14 @@ impl Game for StandaloneMinerGame {
             prices: self.prices,
             budget: self.budgets[i],
             e_others,
-            s_others: agg.total() - requests[i].total(),
+            s_others: (edge_sum + cloud_sum) - (e_i + c_i),
             edge_cap: Some((self.params.e_max() - e_others).max(0.0)),
         };
         let r = analytic_best_response(&inp)
             .map_err(|e| mbm_game::GameError::invalid(e.to_string()))?;
-        Ok(vec![r.edge, r.cloud])
+        out[0] = r.edge;
+        out[1] = r.cloud;
+        Ok(())
     }
 }
 
@@ -163,36 +202,7 @@ pub fn solve_standalone_miner_subgame(
     budgets: &[f64],
     cfg: &SubgameConfig,
 ) -> Result<MinerEquilibrium, MiningGameError> {
-    let game = StandaloneMinerGame::new(*params, *prices, budgets.to_vec())?;
-    let shared = game.shared_set()?;
-    let n = budgets.len();
-    // Feasible interior start: spread half the budget, then scale edge into
-    // capacity.
-    let mut blocks: Vec<Vec<f64>> =
-        budgets.iter().map(|&b| vec![b / (4.0 * prices.edge), b / (4.0 * prices.cloud)]).collect();
-    let e_total: f64 = blocks.iter().map(|b| b[0]).sum();
-    if e_total > params.e_max() {
-        let scale = params.e_max() / e_total * 0.95;
-        for b in &mut blocks {
-            b[0] *= scale;
-        }
-    }
-    let init = Profile::from_blocks(&blocks)?;
-    let vi = ViParams {
-        tol: cfg.tol.max(1e-10),
-        max_iter: cfg.max_iter.max(20_000),
-        ..Default::default()
-    };
-    let out = variational_equilibrium(&game, &shared, &init, &vi)?;
-    let requests = StandaloneMinerGame::requests_of(&out.profile);
-    let utilities = (0..n).map(|i| utility_standalone(i, &requests, prices, params)).collect();
-    Ok(MinerEquilibrium {
-        aggregates: Aggregates::of(&requests),
-        requests,
-        utilities,
-        iterations: out.iterations,
-        residual: out.residual,
-    })
+    crate::solver::solve_standalone_reported(params, prices, budgets, cfg).map(|(eq, _)| eq)
 }
 
 /// VI natural-residual certificate for a candidate standalone equilibrium.
@@ -228,21 +238,33 @@ pub fn solve_symmetric_standalone(
     n: usize,
     cfg: &SubgameConfig,
 ) -> Result<Request, MiningGameError> {
-    if n < 2 {
-        return Err(MiningGameError::invalid("need at least two miners"));
-    }
+    crate::solver::solve_symmetric_standalone_reported(params, prices, budget, n, cfg)
+        .map(|(r, _)| r)
+}
+
+/// The symmetric standalone fixed point itself: tier 1 of the symmetric
+/// standalone chain. `omega` is the *effective* damping
+/// ([`SubgameConfig::effective_damping_symmetric_standalone`]); see
+/// `symmetric_connected_core` for the 1/n damping rationale — the
+/// standalone map is steeper still (in the capacity-binding branch
+/// `e_i = E_max − (n−1)ē` has slope `−(n−1)`), so the damping must stay
+/// below `2/n` and `1.2/(n+1)` keeps a safety margin at every `n`.
+pub(crate) fn symmetric_standalone_core(
+    params: &MarketParams,
+    prices: &Prices,
+    budget: f64,
+    n: usize,
+    omega: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<SymRun, MiningGameError> {
     let m = (n - 1) as f64;
     let mut x = Request {
         edge: (budget / (4.0 * prices.edge)).min(params.e_max() / n as f64),
         cloud: budget / (4.0 * prices.cloud),
     };
-    // See solve_symmetric_connected for the 1/n damping rationale; the
-    // standalone map is steeper still — in the capacity-binding branch
-    // `e_i = E_max − (n−1)ē` has slope −(n−1) — so the damping must stay
-    // below 2/n. 1.2/(n+1) keeps a safety margin at every n.
-    let omega = cfg.damping.min(1.2 / (n as f64 + 1.0));
     let mut residual = f64::INFINITY;
-    for _ in 0..cfg.max_iter {
+    for k in 0..max_iter {
         let e_others = m * x.edge;
         let inp = BestResponseInputs {
             reward: params.reward(),
@@ -261,12 +283,12 @@ pub fn solve_symmetric_standalone(
         };
         residual = (next.edge - x.edge).abs().max((next.cloud - x.cloud).abs());
         x = next;
-        if residual <= cfg.tol {
-            return Ok(x);
+        if residual <= tol {
+            return Ok(SymRun { x, iterations: k + 1, residual });
         }
     }
     Err(MiningGameError::Game(mbm_game::GameError::NoConvergence {
-        iterations: cfg.max_iter,
+        iterations: max_iter,
         residual,
     }))
 }

@@ -26,7 +26,9 @@ use std::time::Instant;
 
 use mbm_chain_sim::pow::{Puzzle, Target};
 use mbm_core::params::Prices;
+use mbm_core::request::Aggregates;
 use mbm_core::scenario::EdgeOperation;
+use mbm_core::solver::{FollowerSolver, SolveWorkspace, TieredSolver};
 use mbm_core::sp::cache::CachedStage;
 use mbm_core::sp::stage::{Mode, ProviderStage};
 use mbm_core::sp::MinerPopulation;
@@ -242,6 +244,88 @@ fn bench_pow(pool: &Pool) -> BenchRecord {
     }
 }
 
+/// Workspace-reuse record: a leader-search-shaped price sweep over the
+/// heterogeneous connected NEP, solved (a) legacy-style — a fresh
+/// [`SolveWorkspace`] per evaluation plus a cloned-out `MinerEquilibrium`,
+/// the allocation profile of the pre-workspace solver — and (b) hot-path
+/// style — one reused workspace, aggregates read in place. Workspace reuse
+/// must never change values (aggregates are asserted bitwise equal) and the
+/// reused workspace must stop growing after the first solve (steady-state
+/// zero allocation), which is asserted on
+/// [`SolveWorkspace::footprint`].
+fn bench_workspace_reuse_leader_search() -> BenchRecord {
+    let params = leader_ne_market();
+    let budgets = vec![80.0, 120.0, 160.0, 200.0, 240.0];
+    let cfg = SubgameConfig::default();
+    // A dyadic 12×12 price lattice shaped like the leader grid stage.
+    let grid: Vec<Prices> = (0..12)
+        .flat_map(|i| {
+            (0..12).map(move |j| {
+                Prices::new(4.5 + 0.125 * i as f64, 1.25 + 0.0625 * j as f64).expect("valid prices")
+            })
+        })
+        .collect();
+
+    let solve_fresh = |prices: &Prices| -> Option<Aggregates> {
+        let mut ws = SolveWorkspace::new();
+        let solved =
+            TieredSolver::connected(&params, prices, &budgets, &cfg).solve(&mut ws).ok()?;
+        // Legacy consumers cloned the full per-miner equilibrium out of
+        // every solve; keep that cost in the baseline.
+        let eq = ws.equilibrium(&solved);
+        Some(eq.aggregates)
+    };
+    let (fresh, fresh_ms) =
+        best_of(3, || time_ms(|| grid.iter().map(solve_fresh).collect::<Vec<_>>()));
+
+    let run_reused = || {
+        let mut ws = SolveWorkspace::new();
+        let mut out = Vec::with_capacity(grid.len());
+        let mut warm_footprint = None;
+        for prices in &grid {
+            let agg = TieredSolver::connected(&params, prices, &budgets, &cfg)
+                .solve(&mut ws)
+                .ok()
+                .map(|s| s.aggregates);
+            match warm_footprint {
+                None => warm_footprint = Some(ws.footprint()),
+                Some(bytes) => assert_eq!(
+                    ws.footprint(),
+                    bytes,
+                    "solve workspace grew after warmup: steady-state solves must not allocate"
+                ),
+            }
+            out.push(agg);
+        }
+        out
+    };
+    let (reused, reused_ms) = best_of(3, || time_ms(run_reused));
+
+    for (a, b) in fresh.iter().zip(&reused) {
+        let same = match (a, b) {
+            (Some(x), Some(y)) => {
+                x.edge.to_bits() == y.edge.to_bits() && x.cloud.to_bits() == y.cloud.to_bits()
+            }
+            (None, None) => true,
+            _ => false,
+        };
+        assert!(same, "workspace reuse changed a result: {a:?} vs {b:?}");
+    }
+    BenchRecord {
+        name: "workspace_reuse_leader_search".into(),
+        serial_ms: fresh_ms,
+        parallel_ms: reused_ms,
+        speedup: fresh_ms / reused_ms,
+        // The gain is allocation/copy overhead only (the solve arithmetic is
+        // identical) and sits within timer noise on fast machines, so —
+        // like the obs_overhead record — the floor is a sanity bound: reuse
+        // may never make the sweep markedly *slower* than per-solve
+        // allocation. The record's hard teeth are the bitwise-equality and
+        // zero-footprint-growth assertions above.
+        floor: 0.9,
+    }
+}
+
 /// Recorder-enabled vs recorder-disabled wall clock of the same serial
 /// Stackelberg solve. `serial_ms` is the disabled run, `parallel_ms` the
 /// enabled run; `speedup` < 1 is the (tiny) cost of live telemetry. The
@@ -374,6 +458,7 @@ pub fn main_bench1() -> i32 {
             bench_multistart_memoized(),
             bench_fig2_sweep(pool),
             bench_pow(pool),
+            bench_workspace_reuse_leader_search(),
             bench_obs_overhead(),
             engine_record,
         ],

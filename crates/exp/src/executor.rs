@@ -12,6 +12,7 @@ use std::collections::HashMap;
 
 use mbm_core::request::Request;
 use mbm_core::scenario::ScenarioOutcome;
+use mbm_core::solver::SolveReport;
 use mbm_core::table2::Table2;
 use mbm_par::Pool;
 
@@ -34,6 +35,10 @@ pub struct TaskFailure {
 #[derive(Debug, Default)]
 pub struct TaskResults {
     outputs: HashMap<TaskKey, TaskOutput>,
+    /// Solve reports of the market tasks that route through the tiered
+    /// follower solver (method used, fallback hops, residuals), keyed like
+    /// `outputs`.
+    reports: HashMap<TaskKey, SolveReport>,
     /// Required tasks that failed (render-independent; `--check` fails on
     /// any entry).
     pub failures: Vec<TaskFailure>,
@@ -48,13 +53,13 @@ pub fn execute(plan: &Plan, pool: &Pool) -> TaskResults {
         if rec.enabled() {
             rec.incr("exp.exec.tasks_run");
             let _span = rec.span(task.span_name());
-            task.run()
+            task.run_reported()
         } else {
-            task.run()
+            task.run_reported()
         }
     });
     let mut results = TaskResults::default();
-    for (entry, output) in plan.unique.iter().zip(outputs) {
+    for (entry, (output, report)) in plan.unique.iter().zip(outputs) {
         if entry.required {
             if let Some(error) = output.error() {
                 results.failures.push(TaskFailure {
@@ -64,10 +69,18 @@ pub fn execute(plan: &Plan, pool: &Pool) -> TaskResults {
                 });
             }
         }
-        results.outputs.insert(entry.task.canon(), output);
+        let key = entry.task.canon();
+        if let Some(report) = report {
+            if rec.enabled() && report.hops() > 0 {
+                rec.incr("exp.exec.fallback_solves");
+            }
+            results.reports.insert(key.clone(), report);
+        }
+        results.outputs.insert(key, output);
     }
     if rec.enabled() {
         rec.add("exp.exec.failures", results.failures.len() as u64);
+        rec.add("exp.exec.reported_solves", results.reports.len() as u64);
     }
     results
 }
@@ -82,6 +95,19 @@ impl TaskResults {
     /// Raw lookup; `Err` means the spec asked for a task it never planned.
     pub fn output(&self, task: &Task) -> Result<&TaskOutput, EngineError> {
         self.outputs.get(&task.canon()).ok_or(EngineError::MissingTask { kind: task.kind() })
+    }
+
+    /// The follower-solver report behind a market task's output, if the
+    /// task routes through the tiered solver and succeeded.
+    #[must_use]
+    pub fn report(&self, task: &Task) -> Option<&SolveReport> {
+        self.reports.get(&task.canon())
+    }
+
+    /// Every stored solve report (telemetry rendering iterates these).
+    #[must_use]
+    pub fn reports(&self) -> &HashMap<TaskKey, SolveReport> {
+        &self.reports
     }
 
     fn mismatch(wanted: &'static str, got: &TaskOutput) -> EngineError {

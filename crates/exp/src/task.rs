@@ -20,6 +20,7 @@ use mbm_core::algorithms::{algorithm1_asynchronous_best_response, AlgorithmConfi
 use mbm_core::params::{MarketParams, Prices};
 use mbm_core::request::Request;
 use mbm_core::scenario::{EdgeOperation, Scenario, ScenarioOutcome};
+use mbm_core::solver::{solve_symmetric_continuous_reported, SolveReport};
 use mbm_core::sp::mixed::{mixed_price_equilibrium, MixedPriceEquilibrium, MixedPricingConfig};
 use mbm_core::sp::pricing::{standalone_csp_price, standalone_market_clearing_edge_price};
 use mbm_core::sp::stage::{Mode, ProviderStage};
@@ -633,6 +634,76 @@ impl Task {
             }
         }
         k.0
+    }
+
+    /// Executes the task and, for the market solves that route through the
+    /// tiered follower solver (`sym_subgame`, `nep`, `leader`,
+    /// `sym_dynamic`, `sym_continuous`), also returns the [`SolveReport`]
+    /// of the follower solve behind the output. Diagnostic tasks return
+    /// `None`. The `TaskOutput` is bitwise identical to [`Task::run`].
+    #[must_use]
+    pub fn run_reported(&self) -> (TaskOutput, Option<SolveReport>) {
+        match self {
+            Task::SymSubgame { op, params, prices, budget, n, cfg } => {
+                match scenario(*op, params)
+                    .homogeneous_miners(*n, *budget)
+                    .with_prices(*prices)
+                    .with_stackelberg_config(StackelbergConfig {
+                        subgame: *cfg,
+                        ..StackelbergConfig::default()
+                    })
+                    .solve_symmetric_reported()
+                {
+                    Ok((r, rep)) => (TaskOutput::Sym(Ok(r)), Some(rep)),
+                    Err(e) => (TaskOutput::Sym(Err(e.to_string())), None),
+                }
+            }
+            Task::Nep { op, params, prices, budgets, cfg } => {
+                match scenario(*op, params)
+                    .miners(budgets.clone())
+                    .with_prices(*prices)
+                    .with_stackelberg_config(StackelbergConfig {
+                        subgame: *cfg,
+                        ..StackelbergConfig::default()
+                    })
+                    .solve_reported()
+                {
+                    Ok((out, rep)) => (TaskOutput::Market(Ok(Box::new(out))), Some(rep)),
+                    Err(e) => (TaskOutput::Market(Err(e.to_string())), None),
+                }
+            }
+            Task::Leader { op, params, budgets, cfg } => {
+                match scenario(*op, params)
+                    .miners(budgets.clone())
+                    .with_stackelberg_config(*cfg)
+                    .solve_reported()
+                {
+                    Ok((out, rep)) => (TaskOutput::Market(Ok(Box::new(out))), Some(rep)),
+                    Err(e) => (TaskOutput::Market(Err(e.to_string())), None),
+                }
+            }
+            Task::SymDynamic { params, prices, budget, pop, cfg } => {
+                let solved = pop.to_population().and_then(|population| {
+                    Scenario::connected(*params)
+                        .dynamic_population(population, *budget)
+                        .with_prices(*prices)
+                        .with_dynamic_config(*cfg)
+                        .solve_reported()
+                        .map_err(|e| e.to_string())
+                });
+                match solved {
+                    Ok((out, rep)) => (TaskOutput::Market(Ok(Box::new(out))), Some(rep)),
+                    Err(e) => (TaskOutput::Market(Err(e)), None),
+                }
+            }
+            Task::SymContinuous { params, prices, budget, mu, sd, cfg } => {
+                match solve_symmetric_continuous_reported(params, prices, *budget, *mu, *sd, cfg) {
+                    Ok((r, rep)) => (TaskOutput::Sym(Ok(r)), Some(rep)),
+                    Err(e) => (TaskOutput::Sym(Err(e.to_string())), None),
+                }
+            }
+            _ => (self.run(), None),
+        }
     }
 
     /// Executes the task. Pure: the same task always returns bitwise

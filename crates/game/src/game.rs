@@ -88,6 +88,41 @@ pub trait Game {
         )?;
         Ok(r.x)
     }
+
+    /// Best response of player `i`, written into `out` (length `dim(i)`).
+    ///
+    /// The default delegates to [`Game::best_response`] and copies; games on
+    /// the hot solve path override this with an allocation-free computation.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Game::best_response`].
+    fn best_response_into(
+        &self,
+        i: usize,
+        profile: &Profile,
+        out: &mut [f64],
+    ) -> Result<(), GameError> {
+        let br = self.best_response(i, profile)?;
+        out.copy_from_slice(&br);
+        Ok(())
+    }
+
+    /// Stacked pseudo-gradient: `out` receives every player's own-block
+    /// utility gradient, in block order (`out.len()` must equal the total
+    /// profile dimension).
+    ///
+    /// This is the operator (negated) that the variational-inequality
+    /// formulation of the Nash/GNEP problem hands to the extragradient
+    /// solver.
+    fn pseudo_gradient(&self, profile: &Profile, out: &mut [f64]) {
+        let mut off = 0;
+        for i in 0..self.num_players() {
+            let d = self.dim(i);
+            self.gradient(i, profile, &mut out[off..off + d]);
+            off += d;
+        }
+    }
 }
 
 /// Adapter presenting a single player's feasible set (conditioned on the

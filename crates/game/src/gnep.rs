@@ -11,7 +11,7 @@
 //! module builds that VI and solves it with the extragradient method.
 
 use mbm_numerics::projection::ConvexSet;
-use mbm_numerics::vi::{extragradient, natural_residual, ViParams};
+use mbm_numerics::vi::{extragradient_in, natural_residual_in, ViParams, ViRun, ViWorkspace};
 
 use crate::error::GameError;
 use crate::game::Game;
@@ -22,6 +22,7 @@ use crate::profile::Profile;
 pub struct ProductSet {
     sets: Vec<Box<dyn ConvexSet + Send + Sync>>,
     offsets: Vec<usize>,
+    total_dim: usize,
 }
 
 impl ProductSet {
@@ -35,17 +36,19 @@ impl ProductSet {
             return Err(GameError::invalid("ProductSet: need at least one factor"));
         }
         let mut offsets = Vec::with_capacity(sets.len() + 1);
+        let mut total_dim = 0;
         offsets.push(0);
         for s in &sets {
-            offsets.push(offsets.last().unwrap() + s.dim());
+            total_dim += s.dim();
+            offsets.push(total_dim);
         }
-        Ok(ProductSet { sets, offsets })
+        Ok(ProductSet { sets, offsets, total_dim })
     }
 }
 
 impl ConvexSet for ProductSet {
     fn dim(&self) -> usize {
-        *self.offsets.last().unwrap()
+        self.total_dim
     }
 
     fn project(&self, x: &mut [f64]) {
@@ -127,12 +130,56 @@ pub struct GnepOutcome {
     pub iterations: usize,
 }
 
+/// Reusable scratch buffers for [`variational_equilibrium_in`] and
+/// [`gnep_residual_in`]: the extragradient workspace plus a profile used to
+/// evaluate the pseudo-gradient at arbitrary stacked vectors.
+#[derive(Debug, Default, Clone)]
+pub struct GnepWorkspace {
+    vi: ViWorkspace,
+    work: Option<Profile>,
+}
+
+impl GnepWorkspace {
+    /// An empty workspace (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The equilibrium stacked vector left behind by a successful
+    /// [`variational_equilibrium_in`] run.
+    #[must_use]
+    pub fn solution(&self) -> &[f64] {
+        &self.vi.x
+    }
+
+    /// Heap bytes currently reserved by the scratch buffers (capacity, not
+    /// length) — the bench harness asserts this stops growing after warmup.
+    #[must_use]
+    pub fn footprint(&self) -> usize {
+        self.vi.footprint() + self.work.as_ref().map_or(0, Profile::heap_bytes)
+    }
+}
+
+fn negated_pseudo_gradient<'a, G: Game>(
+    game: &'a G,
+    work: &'a mut Profile,
+) -> impl FnMut(&[f64], &mut [f64]) + 'a {
+    move |x: &[f64], out: &mut [f64]| {
+        work.copy_from(x);
+        game.pseudo_gradient(work, out);
+        for v in out.iter_mut() {
+            *v = -*v;
+        }
+    }
+}
+
 /// Computes the variational equilibrium of the jointly convex GNEP formed by
 /// `game`'s utilities over the shared feasible set `shared` (a convex set in
 /// the stacked profile space).
 ///
 /// The VI operator is the negated pseudo-gradient `F(x) = (−∇ᵢUᵢ(x))ᵢ`,
-/// assembled from [`Game::gradient`].
+/// assembled from [`Game::pseudo_gradient`].
 ///
 /// # Errors
 ///
@@ -144,48 +191,62 @@ pub fn variational_equilibrium<G: Game, S: ConvexSet>(
     init: &Profile,
     params: &ViParams,
 ) -> Result<GnepOutcome, GameError> {
-    let total: usize = game.dims().iter().sum();
+    let mut ws = GnepWorkspace::new();
+    let run = variational_equilibrium_in(game, shared, init, params, &mut ws)?;
+    let mut profile = init.clone();
+    profile.copy_from(ws.solution());
+    Ok(GnepOutcome { profile, residual: run.residual, iterations: run.iterations })
+}
+
+/// [`variational_equilibrium`] over caller-owned scratch buffers: the
+/// equilibrium stacked vector stays in `ws` (read it via
+/// [`GnepWorkspace::solution`]) and a warmed-up workspace performs no heap
+/// allocation.
+///
+/// # Errors
+///
+/// Same contract as [`variational_equilibrium`].
+pub fn variational_equilibrium_in<G: Game, S: ConvexSet>(
+    game: &G,
+    shared: &S,
+    init: &Profile,
+    params: &ViParams,
+    ws: &mut GnepWorkspace,
+) -> Result<ViRun, GameError> {
+    let total: usize = (0..game.num_players()).map(|i| game.dim(i)).sum();
     if shared.dim() != total || init.total_dim() != total {
         return Err(GameError::invalid("variational_equilibrium: dimension mismatch"));
     }
-    let mut work = init.clone();
-    let operator = |x: &[f64], out: &mut [f64]| {
-        work.copy_from(x);
-        let mut off = 0;
-        for i in 0..game.num_players() {
-            let d = game.dim(i);
-            game.gradient(i, &work, &mut out[off..off + d]);
-            off += d;
-        }
-        for v in out.iter_mut() {
-            *v = -*v;
-        }
-    };
-    let r = extragradient(shared, operator, init.as_slice(), params)?;
-    let mut profile = init.clone();
-    profile.copy_from(&r.x);
-    Ok(GnepOutcome { profile, residual: r.residual, iterations: r.iterations })
+    match &mut ws.work {
+        Some(p) => p.clone_from(init),
+        None => ws.work = Some(init.clone()),
+    }
+    let GnepWorkspace { vi, work } = ws;
+    let work = work.as_mut().expect("GnepWorkspace: work profile just synced");
+    let operator = negated_pseudo_gradient(game, work);
+    Ok(extragradient_in(shared, operator, init.as_slice(), params, vi)?)
 }
 
 /// Natural-residual certificate for a candidate GNEP variational solution.
 pub fn gnep_residual<G: Game, S: ConvexSet>(game: &G, shared: &S, profile: &Profile) -> f64 {
-    let mut work = profile.clone();
-    natural_residual(
-        shared,
-        |x: &[f64], out: &mut [f64]| {
-            work.copy_from(x);
-            let mut off = 0;
-            for i in 0..game.num_players() {
-                let d = game.dim(i);
-                game.gradient(i, &work, &mut out[off..off + d]);
-                off += d;
-            }
-            for v in out.iter_mut() {
-                *v = -*v;
-            }
-        },
-        profile.as_slice(),
-    )
+    gnep_residual_in(game, shared, profile, &mut GnepWorkspace::new())
+}
+
+/// [`gnep_residual`] over caller-owned scratch buffers.
+pub fn gnep_residual_in<G: Game, S: ConvexSet>(
+    game: &G,
+    shared: &S,
+    profile: &Profile,
+    ws: &mut GnepWorkspace,
+) -> f64 {
+    match &mut ws.work {
+        Some(p) => p.clone_from(profile),
+        None => ws.work = Some(profile.clone()),
+    }
+    let GnepWorkspace { vi, work } = ws;
+    let work = work.as_mut().expect("GnepWorkspace: work profile just synced");
+    let operator = negated_pseudo_gradient(game, work);
+    natural_residual_in(shared, operator, profile.as_slice(), vi)
 }
 
 #[cfg(test)]

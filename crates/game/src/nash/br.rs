@@ -65,6 +65,80 @@ pub struct NashOutcome {
     pub history: Vec<f64>,
 }
 
+/// Iteration summary of an in-place run; the equilibrium profile stays in
+/// the workspace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrRun {
+    /// Sweeps performed.
+    pub sweeps: usize,
+    /// Final per-sweep displacement.
+    pub residual: f64,
+}
+
+/// Reusable scratch buffers for [`best_response_dynamics_in`].
+///
+/// Buffers grow to the largest game seen and are then reused, so repeated
+/// solves (one per leader price evaluation) stay off the heap.
+#[derive(Debug, Default, Clone)]
+pub struct BrWorkspace {
+    profile: Option<Profile>,
+    before: Option<Profile>,
+    snapshot: Option<Profile>,
+    sweep_base: Option<Profile>,
+    br: Vec<f64>,
+    order: Vec<usize>,
+    /// Per-sweep displacement history of the most recent run.
+    pub history: Vec<f64>,
+}
+
+impl BrWorkspace {
+    /// An empty workspace (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The working profile of the most recent run (the equilibrium after a
+    /// successful [`best_response_dynamics_in`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no run has populated the workspace yet.
+    #[must_use]
+    pub fn profile(&self) -> &Profile {
+        self.profile.as_ref().expect("BrWorkspace::profile: no run recorded")
+    }
+
+    /// Moves the working profile out of the workspace (the next run
+    /// re-populates it, allocating anew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no run has populated the workspace yet.
+    #[must_use]
+    pub fn take_profile(&mut self) -> Profile {
+        self.profile.take().expect("BrWorkspace::take_profile: no run recorded")
+    }
+
+    /// Heap bytes currently reserved by the scratch buffers (capacity, not
+    /// length) — the bench harness asserts this stops growing after warmup.
+    #[must_use]
+    pub fn footprint(&self) -> usize {
+        let profiles = [&self.profile, &self.before, &self.snapshot, &self.sweep_base];
+        profiles.iter().filter_map(|p| p.as_ref()).map(Profile::heap_bytes).sum::<usize>()
+            + self.br.capacity() * std::mem::size_of::<f64>()
+            + self.order.capacity() * std::mem::size_of::<usize>()
+            + self.history.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+fn sync_profile(slot: &mut Option<Profile>, src: &Profile) {
+    match slot {
+        Some(p) => p.clone_from(src),
+        None => *slot = Some(src.clone()),
+    }
+}
+
 /// Runs best-response dynamics on `game` from `init` until the profile stops
 /// moving.
 ///
@@ -79,6 +153,29 @@ pub fn best_response_dynamics<G: Game>(
     init: Profile,
     params: &BrParams,
 ) -> Result<NashOutcome, GameError> {
+    let mut ws = BrWorkspace::new();
+    let run = best_response_dynamics_in(game, &init, params, &mut ws)?;
+    Ok(NashOutcome {
+        profile: ws.take_profile(),
+        sweeps: run.sweeps,
+        residual: run.residual,
+        history: std::mem::take(&mut ws.history),
+    })
+}
+
+/// [`best_response_dynamics`] over caller-owned scratch buffers: the
+/// equilibrium profile stays in `ws` (read it via [`BrWorkspace::profile`])
+/// and a warmed-up workspace performs no heap allocation.
+///
+/// # Errors
+///
+/// Same contract as [`best_response_dynamics`].
+pub fn best_response_dynamics_in<G: Game>(
+    game: &G,
+    init: &Profile,
+    params: &BrParams,
+    ws: &mut BrWorkspace,
+) -> Result<BrRun, GameError> {
     let n = game.num_players();
     if init.num_players() != n {
         return Err(GameError::invalid(
@@ -96,47 +193,58 @@ pub fn best_response_dynamics<G: Game>(
         return Err(GameError::invalid("best_response_dynamics: damping must be in (0, 1]"));
     }
 
-    let mut profile = init;
+    sync_profile(&mut ws.profile, init);
+    let BrWorkspace { profile, before, snapshot, sweep_base, br, order, history } = ws;
+    let profile = profile.as_mut().expect("BrWorkspace: profile just synced");
+    history.clear();
     // Start from a feasible point.
     for i in 0..n {
-        let snapshot = profile.clone();
-        game.project(i, profile.block_mut(i), &snapshot);
+        sync_profile(snapshot, profile);
+        let snap = snapshot.as_ref().expect("BrWorkspace: snapshot just synced");
+        game.project(i, profile.block_mut(i), snap);
     }
-    let mut order: Vec<usize> = (0..n).collect();
+    order.clear();
+    order.extend(0..n);
     let mut rng = match params.order {
         UpdateOrder::RandomizedSweep { seed } => Some(StdRng::seed_from_u64(seed)),
         _ => None,
     };
-    let mut history = Vec::new();
 
     for sweep in 0..params.max_sweeps {
-        let before = profile.clone();
+        sync_profile(before, profile);
         match params.order {
             UpdateOrder::Simultaneous => {
-                let snapshot = profile.clone();
+                sync_profile(sweep_base, profile);
+                let base = sweep_base.as_ref().expect("BrWorkspace: sweep base just synced");
                 for i in 0..n {
-                    let br = game.best_response(i, &snapshot)?;
-                    damp_into(profile.block_mut(i), &br, params.damping);
-                    let snap2 = profile.clone();
-                    game.project(i, profile.block_mut(i), &snap2);
+                    br.clear();
+                    br.resize(game.dim(i), 0.0);
+                    game.best_response_into(i, base, br)?;
+                    damp_into(profile.block_mut(i), br, params.damping);
+                    sync_profile(snapshot, profile);
+                    let snap = snapshot.as_ref().expect("BrWorkspace: snapshot just synced");
+                    game.project(i, profile.block_mut(i), snap);
                 }
             }
             UpdateOrder::Sequential | UpdateOrder::RandomizedSweep { .. } => {
                 if let Some(r) = rng.as_mut() {
                     order.shuffle(r);
                 }
-                for &i in &order {
-                    let br = game.best_response(i, &profile)?;
-                    damp_into(profile.block_mut(i), &br, params.damping);
-                    let snap = profile.clone();
-                    game.project(i, profile.block_mut(i), &snap);
+                for &i in order.iter() {
+                    br.clear();
+                    br.resize(game.dim(i), 0.0);
+                    game.best_response_into(i, profile, br)?;
+                    damp_into(profile.block_mut(i), br, params.damping);
+                    sync_profile(snapshot, profile);
+                    let snap = snapshot.as_ref().expect("BrWorkspace: snapshot just synced");
+                    game.project(i, profile.block_mut(i), snap);
                 }
             }
         }
-        let residual = profile.max_abs_diff(&before);
+        let residual = profile.max_abs_diff(before.as_ref().expect("BrWorkspace: before synced"));
         history.push(residual);
         if residual <= params.tol {
-            return Ok(NashOutcome { profile, sweeps: sweep + 1, residual, history });
+            return Ok(BrRun { sweeps: sweep + 1, residual });
         }
     }
     let residual = history.last().copied().unwrap_or(f64::INFINITY);

@@ -4,5 +4,8 @@
 pub mod br;
 pub mod verify;
 
-pub use br::{best_response_dynamics, BrParams, NashOutcome, UpdateOrder};
+pub use br::{
+    best_response_dynamics, best_response_dynamics_in, BrParams, BrRun, BrWorkspace, NashOutcome,
+    UpdateOrder,
+};
 pub use verify::{epsilon_equilibrium, DeviationReport};

@@ -10,10 +10,23 @@ use crate::error::GameError;
 
 /// All players' strategies stacked into one vector, with per-player block
 /// boundaries.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Profile {
     offsets: Vec<usize>, // offsets[i]..offsets[i+1] is player i's block
     data: Vec<f64>,
+}
+
+impl Clone for Profile {
+    fn clone(&self) -> Self {
+        Profile { offsets: self.offsets.clone(), data: self.data.clone() }
+    }
+
+    /// Reuses the existing buffers (`Vec::clone_from` keeps capacity), so
+    /// solver workspaces can refresh snapshots without touching the heap.
+    fn clone_from(&mut self, other: &Self) {
+        self.offsets.clone_from(&other.offsets);
+        self.data.clone_from(&other.data);
+    }
 }
 
 impl Profile {
@@ -143,6 +156,14 @@ impl Profile {
                 b[k]
             })
             .sum()
+    }
+
+    /// Heap bytes currently reserved by the profile's buffers (capacity, not
+    /// length) — used by workspace-growth assertions in the benches.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<usize>()
+            + self.data.capacity() * std::mem::size_of::<f64>()
     }
 
     /// Maximum absolute difference with another profile of identical shape.

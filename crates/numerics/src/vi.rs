@@ -45,6 +45,58 @@ pub struct ViResult {
     pub iterations: usize,
 }
 
+/// Iteration summary of an in-place run; the solution stays in the
+/// workspace's `x` buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViRun {
+    /// Natural residual at the final iterate.
+    pub residual: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+/// Reusable scratch buffers for [`extragradient_in`].
+///
+/// One workspace serves any problem size: buffers grow to the largest
+/// dimension seen and are then reused without further allocation, which is
+/// what keeps repeated solves (the leader price search) off the heap.
+#[derive(Debug, Default, Clone)]
+pub struct ViWorkspace {
+    /// Current iterate; holds the solution after a successful run.
+    pub x: Vec<f64>,
+    fx: Vec<f64>,
+    y: Vec<f64>,
+    fy: Vec<f64>,
+}
+
+impl ViWorkspace {
+    /// An empty workspace (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn prepare(&mut self, x0: &[f64]) {
+        self.x.clear();
+        self.x.extend_from_slice(x0);
+        let n = x0.len();
+        self.fx.clear();
+        self.fx.resize(n, 0.0);
+        self.y.clear();
+        self.y.resize(n, 0.0);
+        self.fy.clear();
+        self.fy.resize(n, 0.0);
+    }
+
+    /// Heap bytes currently reserved by the scratch buffers (capacity, not
+    /// length) — the bench harness asserts this stops growing after warmup.
+    #[must_use]
+    pub fn footprint(&self) -> usize {
+        (self.x.capacity() + self.fx.capacity() + self.y.capacity() + self.fy.capacity())
+            * std::mem::size_of::<f64>()
+    }
+}
+
 /// Solves VI(K, F) by the extragradient method with adaptive step size.
 ///
 /// `operator(x, out)` writes `F(x)` into `out`. For a game, pass the negated
@@ -67,7 +119,34 @@ where
     S: ConvexSet,
     F: FnMut(&[f64], &mut [f64]),
 {
-    let out = extragradient_core(set, operator, x0, params);
+    let mut ws = ViWorkspace::new();
+    let run = extragradient_in(set, operator, x0, params, &mut ws)?;
+    Ok(ViResult {
+        x: std::mem::take(&mut ws.x),
+        residual: run.residual,
+        iterations: run.iterations,
+    })
+}
+
+/// [`extragradient`] over caller-owned scratch buffers: the solution is left
+/// in `ws.x` and no heap allocation happens once `ws` has warmed up to the
+/// problem dimension.
+///
+/// # Errors
+///
+/// Same contract as [`extragradient`].
+pub fn extragradient_in<S, F>(
+    set: &S,
+    operator: F,
+    x0: &[f64],
+    params: &ViParams,
+    ws: &mut ViWorkspace,
+) -> Result<ViRun, NumericsError>
+where
+    S: ConvexSet,
+    F: FnMut(&[f64], &mut [f64]),
+{
+    let out = extragradient_core(set, operator, x0, params, ws);
     crate::telemetry::record("numerics.extragradient", &out, |r| (r.iterations, r.residual));
     out
 }
@@ -77,7 +156,8 @@ fn extragradient_core<S, F>(
     mut operator: F,
     x0: &[f64],
     params: &ViParams,
-) -> Result<ViResult, NumericsError>
+    ws: &mut ViWorkspace,
+) -> Result<ViRun, NumericsError>
 where
     S: ConvexSet,
     F: FnMut(&[f64], &mut [f64]),
@@ -89,32 +169,30 @@ where
     if !(params.step > 0.0) || !(params.shrink > 0.0 && params.shrink < 1.0) {
         return Err(NumericsError::invalid("extragradient: bad step parameters"));
     }
-    let mut x = x0.to_vec();
-    set.project(&mut x);
-    let mut fx = vec![0.0; n];
-    let mut y = vec![0.0; n];
-    let mut fy = vec![0.0; n];
+    ws.prepare(x0);
+    let ViWorkspace { x, fx, y, fy } = ws;
+    set.project(x);
     let mut step = params.step;
     let mut residual = f64::INFINITY;
 
     for iter in 0..params.max_iter {
-        operator(&x, &mut fx);
-        ensure_finite_slice(&fx, &x)?;
+        operator(x, fx);
+        ensure_finite_slice(fx, x)?;
         // Predictor: y = P_K(x - step * F(x)).
         for i in 0..n {
             y[i] = x[i] - step * fx[i];
         }
-        set.project(&mut y);
-        residual = crate::max_abs_diff(&y, &x) / step;
+        set.project(y);
+        residual = crate::max_abs_diff(y, x) / step;
         if residual <= params.tol {
-            return Ok(ViResult { x, residual, iterations: iter + 1 });
+            return Ok(ViRun { residual, iterations: iter + 1 });
         }
-        operator(&y, &mut fy);
-        ensure_finite_slice(&fy, &y)?;
+        operator(y, fy);
+        ensure_finite_slice(fy, y)?;
         // Adaptive step safeguard (Khobotov): require
         // step * ||F(x) - F(y)|| <= (1/sqrt 2) ||x - y||, else shrink and retry.
-        let num = crate::max_abs_diff(&fx, &fy);
-        let den = crate::max_abs_diff(&x, &y);
+        let num = crate::max_abs_diff(fx, fy);
+        let den = crate::max_abs_diff(x, y);
         if den > 0.0 && step * num > std::f64::consts::FRAC_1_SQRT_2 * den {
             step *= params.shrink;
             continue;
@@ -123,10 +201,10 @@ where
         for i in 0..n {
             x[i] -= step * fy[i];
         }
-        set.project(&mut x);
+        set.project(x);
     }
     if residual <= params.tol.sqrt() {
-        return Ok(ViResult { x, residual, iterations: params.max_iter });
+        return Ok(ViRun { residual, iterations: params.max_iter });
     }
     Err(NumericsError::DidNotConverge { iterations: params.max_iter, residual })
 }
@@ -135,16 +213,34 @@ where
 ///
 /// Zero exactly at VI solutions; downstream crates report it as the
 /// equilibrium quality measure.
-pub fn natural_residual<S, F>(set: &S, mut operator: F, x: &[f64]) -> f64
+pub fn natural_residual<S, F>(set: &S, operator: F, x: &[f64]) -> f64
 where
     S: ConvexSet,
     F: FnMut(&[f64], &mut [f64]),
 {
-    let mut fx = vec![0.0; x.len()];
-    operator(x, &mut fx);
-    let mut y: Vec<f64> = x.iter().zip(&fx).map(|(xi, fi)| xi - fi).collect();
-    set.project(&mut y);
-    crate::max_abs_diff(&y, x)
+    natural_residual_in(set, operator, x, &mut ViWorkspace::new())
+}
+
+/// [`natural_residual`] over caller-owned scratch buffers.
+///
+/// `x` must not alias the workspace's own `x` buffer (the borrow checker
+/// enforces this); pass the iterate from wherever the solution was copied to.
+pub fn natural_residual_in<S, F>(set: &S, mut operator: F, x: &[f64], ws: &mut ViWorkspace) -> f64
+where
+    S: ConvexSet,
+    F: FnMut(&[f64], &mut [f64]),
+{
+    let n = x.len();
+    ws.fx.clear();
+    ws.fx.resize(n, 0.0);
+    ws.y.clear();
+    ws.y.resize(n, 0.0);
+    operator(x, &mut ws.fx);
+    for i in 0..n {
+        ws.y[i] = x[i] - ws.fx[i];
+    }
+    set.project(&mut ws.y);
+    crate::max_abs_diff(&ws.y, x)
 }
 
 fn ensure_finite_slice(v: &[f64], at: &[f64]) -> Result<(), NumericsError> {

@@ -1,0 +1,165 @@
+//! Integration tests of the unified follower-solver core: tiered fallback,
+//! structured `SolveReport`s, and symmetric-vs-full agreement.
+
+use proptest::prelude::*;
+
+use mbm_core::params::{MarketParams, Prices};
+use mbm_core::solver::{
+    solve_connected_reported, solve_standalone_reported, solve_symmetric_connected_reported,
+    solve_symmetric_standalone_reported, SolveMethod, SolveMode,
+};
+use mbm_core::subgame::SubgameConfig;
+
+fn market() -> MarketParams {
+    MarketParams::builder()
+        .reward(100.0)
+        .fork_rate(0.2)
+        .edge_availability(0.8)
+        .e_max(5.0)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn connected_fast_path_reports_symmetric_method_and_no_hops() {
+    let prices = Prices::new(4.0, 2.0).unwrap();
+    let (r, report) =
+        solve_symmetric_connected_reported(&market(), &prices, 200.0, 5, &SubgameConfig::default())
+            .unwrap();
+    assert!(r.edge > 0.0 && r.cloud > 0.0);
+    assert_eq!(report.mode, SolveMode::Connected);
+    assert!(report.symmetric);
+    assert_eq!(report.method, SolveMethod::SymmetricFixedPoint);
+    assert_eq!(report.hops(), 0);
+    assert!(report.residual <= SubgameConfig::default().tol);
+    // The default damping 0.5 is clamped to 3/(n+2) for stability — the
+    // formerly silent policy is now visible in the report.
+    let damping = report.overrides.damping.expect("damping clamp recorded");
+    assert_eq!(damping.requested, 0.5);
+    assert!((damping.effective - 3.0 / 7.0).abs() < 1e-12);
+}
+
+/// Forcing the symmetric fixed point to fail (1-iteration cap) escalates
+/// down the chain; the report shows the hop sequence and the escalated
+/// answer matches the unconstrained fast path within tolerance.
+#[test]
+fn connected_escalation_reaches_the_same_equilibrium() {
+    let prices = Prices::new(4.0, 2.0).unwrap();
+    let relaxed = SubgameConfig::default();
+    let (reference, _) =
+        solve_symmetric_connected_reported(&market(), &prices, 200.0, 5, &relaxed).unwrap();
+
+    let tight = SubgameConfig { max_iter: 1, ..relaxed };
+    let (escalated, report) =
+        solve_symmetric_connected_reported(&market(), &prices, 200.0, 5, &tight).unwrap();
+
+    assert_eq!(report.method, SolveMethod::BestResponseDynamics);
+    assert_eq!(report.hops(), 1);
+    assert_eq!(report.fallback_hops[0].method, SolveMethod::SymmetricFixedPoint);
+    assert!(
+        report.fallback_hops[0].error.contains("converge"),
+        "hop error should render the convergence failure: {}",
+        report.fallback_hops[0].error
+    );
+    // The boosted tier ran at the effective iteration cap, and says so.
+    let cap = report.overrides.max_iter.expect("boosted tier records the cap rewrite");
+    assert_eq!(cap.requested, 1.0);
+    assert_eq!(cap.effective, 20_000.0);
+
+    assert!(
+        (escalated.edge - reference.edge).abs() < 1e-5
+            && (escalated.cloud - reference.cloud).abs() < 1e-5,
+        "escalated {escalated:?} vs fast path {reference:?}"
+    );
+}
+
+#[test]
+fn standalone_escalation_reaches_the_same_equilibrium() {
+    let prices = Prices::new(4.0, 2.0).unwrap();
+    let relaxed = SubgameConfig::default();
+    let (reference, _) =
+        solve_symmetric_standalone_reported(&market(), &prices, 200.0, 5, &relaxed).unwrap();
+
+    let tight = SubgameConfig { max_iter: 1, ..relaxed };
+    let (escalated, report) =
+        solve_symmetric_standalone_reported(&market(), &prices, 200.0, 5, &tight).unwrap();
+
+    assert_eq!(report.mode, SolveMode::Standalone);
+    assert_eq!(report.method, SolveMethod::Extragradient);
+    assert_eq!(report.fallback_hops[0].method, SolveMethod::SymmetricFixedPoint);
+    // The GNEP escalation tier carries an independent equilibrium
+    // certificate (VI natural residual).
+    let cert = report.certificate.expect("VI tier computes a certificate");
+    assert!(cert < 1e-6, "certificate residual {cert}");
+
+    assert!(
+        (escalated.edge - reference.edge).abs() < 1e-4
+            && (escalated.cloud - reference.cloud).abs() < 1e-4,
+        "escalated {escalated:?} vs fast path {reference:?}"
+    );
+}
+
+/// The formerly-silent floors of the standalone GNEP solve
+/// (`tol.max(1e-10)`, `max_iter.max(20_000)`) are applied explicitly and
+/// recorded in the report when they rewrite a user value.
+#[test]
+fn standalone_config_floors_are_recorded_not_silent() {
+    let prices = Prices::new(4.0, 2.0).unwrap();
+    let cfg = SubgameConfig { tol: 1e-12, max_iter: 100, ..SubgameConfig::default() };
+    let (_, report) = solve_standalone_reported(&market(), &prices, &[200.0; 4], &cfg).unwrap();
+    let tol = report.overrides.tol.expect("tol floor recorded");
+    assert_eq!(tol.requested, 1e-12);
+    assert_eq!(tol.effective, 1e-10);
+    let cap = report.overrides.max_iter.expect("iteration floor recorded");
+    assert_eq!(cap.requested, 100.0);
+    assert_eq!(cap.effective, 20_000.0);
+
+    // Values inside the floors pass through untouched. (The *default*
+    // config's max_iter of 5000 is itself below the 20k floor, so it is
+    // honestly reported as rewritten — hence the explicit values here.)
+    let roomy = SubgameConfig { tol: 1e-9, max_iter: 30_000, ..SubgameConfig::default() };
+    let (_, clean) = solve_standalone_reported(&market(), &prices, &[200.0; 4], &roomy).unwrap();
+    assert!(clean.overrides.tol.is_none());
+    assert!(clean.overrides.max_iter.is_none());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The symmetric fast path and the full N-miner heterogeneous solver
+    /// (on a uniform budget vector) agree, in both modes, for N in 2..=16.
+    #[test]
+    fn symmetric_fast_path_agrees_with_full_solver(
+        n in 2usize..=16,
+        budget in 60.0f64..400.0,
+        edge in 3.6f64..5.5,
+        cloud in 1.7f64..2.3,
+    ) {
+        let params = market();
+        let prices = Prices::new(edge, cloud).unwrap();
+        let cfg = SubgameConfig::default();
+
+        let (sym_c, rep_c) =
+            solve_symmetric_connected_reported(&params, &prices, budget, n, &cfg).unwrap();
+        let (full_c, _) =
+            solve_connected_reported(&params, &prices, &vec![budget; n], &cfg).unwrap();
+        prop_assert_eq!(rep_c.mode, SolveMode::Connected);
+        for r in &full_c.requests {
+            prop_assert!(
+                (r.edge - sym_c.edge).abs() < 2e-4 && (r.cloud - sym_c.cloud).abs() < 2e-4,
+                "connected n={} sym {:?} vs full {:?}", n, sym_c, r
+            );
+        }
+
+        let (sym_s, _) =
+            solve_symmetric_standalone_reported(&params, &prices, budget, n, &cfg).unwrap();
+        let (full_s, _) =
+            solve_standalone_reported(&params, &prices, &vec![budget; n], &cfg).unwrap();
+        for r in &full_s.requests {
+            prop_assert!(
+                (r.edge - sym_s.edge).abs() < 5e-3 && (r.cloud - sym_s.cloud).abs() < 5e-3,
+                "standalone n={} sym {:?} vs full {:?}", n, sym_s, r
+            );
+        }
+    }
+}
