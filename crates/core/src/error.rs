@@ -1,5 +1,7 @@
 //! Error type for the mining game.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use std::error::Error;
 use std::fmt;
 
@@ -85,6 +87,37 @@ impl MiningGameError {
                 | MiningGameError::Game(GameError::Numerics(NumericsError::DidNotConverge { .. }))
                 | MiningGameError::Numerics(NumericsError::DidNotConverge { .. })
         )
+    }
+
+    /// Downgrades into a [`GameError`] for game-trait adapters (best-response
+    /// callbacks must return `GameError`). Game and numerics payloads pass
+    /// through unchanged so convergence failures and interruptions keep
+    /// their classification — collapsing them to `InvalidGame` would stop
+    /// the tiered solver from escalating, retrying, or degrading on an
+    /// inner kernel failure. Validation errors become `InvalidGame`.
+    #[must_use]
+    pub fn into_game_error(self) -> GameError {
+        match self {
+            MiningGameError::Game(e) => e,
+            MiningGameError::Numerics(e) => GameError::Numerics(e),
+            e => GameError::invalid(e.to_string()),
+        }
+    }
+
+    /// Whether the error is a supervision interruption (deadline expiry or
+    /// cooperative cancellation) rather than a numerical failure.
+    ///
+    /// Interruptions terminate a tiered solve immediately — escalating to a
+    /// heavier tier after the budget is already spent would only blow
+    /// further past it — but still leave a salvageable best-so-far iterate
+    /// for [`DegradeMode::BestEffort`](crate::solver::DegradeMode) policies.
+    #[must_use]
+    pub fn is_interruption(&self) -> bool {
+        match self {
+            MiningGameError::Numerics(e) => e.is_interruption(),
+            MiningGameError::Game(e) => e.is_interruption(),
+            _ => false,
+        }
     }
 }
 

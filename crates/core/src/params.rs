@@ -12,6 +12,8 @@
 //! is only well-posed with a maximum admissible price — a regulatory cap or
 //! the miners' outside option. We make that `p̄` explicit per provider.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use serde::{Deserialize, Serialize};
 
 use crate::error::MiningGameError;
@@ -72,13 +74,30 @@ impl Prices {
     /// Returns [`MiningGameError::InvalidParameter`] unless both prices are
     /// finite and strictly positive.
     pub fn new(edge: f64, cloud: f64) -> Result<Self, MiningGameError> {
-        if !(edge.is_finite() && edge > 0.0) || !(cloud.is_finite() && cloud > 0.0) {
-            return Err(MiningGameError::invalid(format!(
-                "prices (edge = {edge}, cloud = {cloud}) must be finite and > 0"
-            )));
-        }
-        Ok(Prices { edge, cloud })
+        let prices = Prices { edge, cloud };
+        validate_prices(&prices)?;
+        Ok(prices)
     }
+}
+
+/// Validates an announced price pair (both finite and strictly positive).
+///
+/// The fields of [`Prices`] are public, so a pair that bypassed
+/// [`Prices::new`] can carry NaN/Inf/non-positive entries; every follower
+/// solve re-checks at its API boundary so no non-finite price reaches a
+/// solver tier.
+///
+/// # Errors
+///
+/// Returns [`MiningGameError::InvalidParameter`] on violation.
+pub fn validate_prices(prices: &Prices) -> Result<(), MiningGameError> {
+    let Prices { edge, cloud } = *prices;
+    if !(edge.is_finite() && edge > 0.0) || !(cloud.is_finite() && cloud > 0.0) {
+        return Err(MiningGameError::invalid(format!(
+            "prices (edge = {edge}, cloud = {cloud}) must be finite and > 0"
+        )));
+    }
+    Ok(())
 }
 
 /// Full market description: reward, network, and the two providers.

@@ -29,10 +29,14 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod policy;
 pub mod report;
 pub mod workspace;
 
-pub use report::{ConfigOverride, FallbackHop, Overrides, SolveMethod, SolveMode, SolveReport};
+pub use policy::{DegradeMode, SolvePolicy};
+pub use report::{
+    ConfigOverride, FallbackHop, Overrides, SolveMethod, SolveMode, SolveReport, SolveStatus,
+};
 pub use workspace::SolveWorkspace;
 
 use mbm_game::gnep::{gnep_residual_in, variational_equilibrium_in, ProductSet};
@@ -41,7 +45,7 @@ use mbm_numerics::projection::{BudgetSet, ConvexSet};
 use mbm_numerics::vi::ViParams;
 
 use crate::error::MiningGameError;
-use crate::params::{MarketParams, Prices};
+use crate::params::{validate_budgets, validate_prices, MarketParams, Prices};
 use crate::request::{Aggregates, Request};
 use crate::subgame::connected::{symmetric_connected_core, ConnectedMinerGame};
 use crate::subgame::dynamic::{
@@ -300,18 +304,28 @@ impl<'a> TieredSolver<'a> {
         }
     }
 
+    /// API-boundary input validation: rejects NaN/Inf/non-positive prices
+    /// and budgets, empty or undersized budget sets and degenerate miner
+    /// counts with a typed [`MiningGameError::InvalidParameter`] *before*
+    /// any tier runs, so no non-finite input ever reaches a solver kernel.
     fn validate(&self) -> Result<(), MiningGameError> {
+        validate_prices(self.prices)?;
         match &self.problem {
-            FollowerProblem::SymmetricConnected { n, .. }
-            | FollowerProblem::SymmetricStandalone { n, .. } => {
+            FollowerProblem::Connected { budgets, .. }
+            | FollowerProblem::Standalone { budgets, .. } => validate_budgets(budgets),
+            FollowerProblem::SymmetricConnected { budget, n, .. }
+            | FollowerProblem::SymmetricStandalone { budget, n, .. }
+            | FollowerProblem::Homogeneous { budget, n } => {
                 if *n < 2 {
                     return Err(MiningGameError::invalid("need at least two miners"));
                 }
-                Ok(())
+                validate_symmetric_budget(*budget)
             }
             FollowerProblem::Dynamic { budget, cfg, .. } => validate_dynamic(*budget, cfg),
-            FollowerProblem::Continuous { mean, sd, .. } => validate_continuous(*mean, *sd),
-            _ => Ok(()),
+            FollowerProblem::Continuous { budget, mean, sd, cfg } => {
+                validate_dynamic(*budget, cfg)?;
+                validate_continuous(*mean, *sd)
+            }
         }
     }
 
@@ -320,29 +334,51 @@ impl<'a> TieredSolver<'a> {
         spec: TierSpec,
         ws: &mut SolveWorkspace,
         overrides: &mut Overrides,
+        damping_scale: f64,
+        salvage: &mut Option<TierRun>,
     ) -> Result<TierRun, MiningGameError> {
         let params = self.params;
         let prices = self.prices;
         match (&self.problem, spec) {
             (FollowerProblem::Connected { budgets, cfg }, TierSpec::ConnectedBr { boosted }) => {
-                run_connected_br(params, prices, budgets, cfg, boosted, overrides, ws)
+                run_connected_br(
+                    params,
+                    prices,
+                    budgets,
+                    cfg,
+                    boosted,
+                    damping_scale,
+                    overrides,
+                    ws,
+                    salvage,
+                )
             }
             (FollowerProblem::Connected { budgets, cfg }, TierSpec::ConnectedVi) => {
-                run_connected_vi(params, prices, budgets, cfg, ws)
+                run_connected_vi(params, prices, budgets, cfg, ws, salvage)
             }
             (FollowerProblem::Standalone { budgets, cfg }, TierSpec::StandaloneVi) => {
-                run_standalone_vi(params, prices, budgets, cfg, overrides, ws)
+                run_standalone_vi(params, prices, budgets, cfg, overrides, ws, salvage)
             }
             (FollowerProblem::Standalone { budgets, cfg }, TierSpec::StandaloneBr) => {
-                run_standalone_br(params, prices, budgets, cfg, ws)
+                run_standalone_br(
+                    params,
+                    prices,
+                    budgets,
+                    cfg,
+                    damping_scale,
+                    overrides,
+                    ws,
+                    salvage,
+                )
             }
             (FollowerProblem::SymmetricConnected { budget, n, cfg }, TierSpec::SymConnected) => {
-                let omega = cfg.effective_damping_symmetric_connected(*n);
+                let omega = cfg.effective_damping_symmetric_connected(*n) * damping_scale;
                 if omega != cfg.damping {
                     overrides.damping =
                         Some(ConfigOverride { requested: cfg.damping, effective: omega });
                 }
-                let run = symmetric_connected_core(
+                let mut best = None;
+                let run = match symmetric_connected_core(
                     params,
                     prices,
                     *budget,
@@ -350,18 +386,28 @@ impl<'a> TieredSolver<'a> {
                     omega,
                     cfg.tol,
                     cfg.max_iter,
-                )?;
+                    &mut best,
+                ) {
+                    Ok(run) => run,
+                    Err(e) => {
+                        if let Some(s) = best {
+                            *salvage = Some(sym_tier_run(s.x, *n, s.iterations, s.residual));
+                        }
+                        return Err(e);
+                    }
+                };
                 ws.requests.clear();
                 ws.utilities.clear();
                 Ok(sym_tier_run(run.x, *n, run.iterations, run.residual))
             }
             (FollowerProblem::SymmetricStandalone { budget, n, cfg }, TierSpec::SymStandalone) => {
-                let omega = cfg.effective_damping_symmetric_standalone(*n);
+                let omega = cfg.effective_damping_symmetric_standalone(*n) * damping_scale;
                 if omega != cfg.damping {
                     overrides.damping =
                         Some(ConfigOverride { requested: cfg.damping, effective: omega });
                 }
-                let run = symmetric_standalone_core(
+                let mut best = None;
+                let run = match symmetric_standalone_core(
                     params,
                     prices,
                     *budget,
@@ -369,7 +415,16 @@ impl<'a> TieredSolver<'a> {
                     omega,
                     cfg.tol,
                     cfg.max_iter,
-                )?;
+                    &mut best,
+                ) {
+                    Ok(run) => run,
+                    Err(e) => {
+                        if let Some(s) = best {
+                            *salvage = Some(sym_tier_run(s.x, *n, s.iterations, s.residual));
+                        }
+                        return Err(e);
+                    }
+                };
                 ws.requests.clear();
                 ws.utilities.clear();
                 Ok(sym_tier_run(run.x, *n, run.iterations, run.residual))
@@ -381,26 +436,45 @@ impl<'a> TieredSolver<'a> {
                 TierSpec::ConnectedBr { boosted },
             ) => {
                 let budgets = vec![*budget; *n];
-                let mut run =
-                    run_connected_br(params, prices, &budgets, cfg, boosted, overrides, ws)?;
+                let mut run = run_connected_br(
+                    params,
+                    prices,
+                    &budgets,
+                    cfg,
+                    boosted,
+                    damping_scale,
+                    overrides,
+                    ws,
+                    salvage,
+                )?;
                 run.per_miner = ws.requests.first().copied();
                 Ok(run)
             }
             (FollowerProblem::SymmetricConnected { budget, n, cfg }, TierSpec::ConnectedVi) => {
                 let budgets = vec![*budget; *n];
-                let mut run = run_connected_vi(params, prices, &budgets, cfg, ws)?;
+                let mut run = run_connected_vi(params, prices, &budgets, cfg, ws, salvage)?;
                 run.per_miner = ws.requests.first().copied();
                 Ok(run)
             }
             (FollowerProblem::SymmetricStandalone { budget, n, cfg }, TierSpec::StandaloneVi) => {
                 let budgets = vec![*budget; *n];
-                let mut run = run_standalone_vi(params, prices, &budgets, cfg, overrides, ws)?;
+                let mut run =
+                    run_standalone_vi(params, prices, &budgets, cfg, overrides, ws, salvage)?;
                 run.per_miner = ws.requests.first().copied();
                 Ok(run)
             }
             (FollowerProblem::SymmetricStandalone { budget, n, cfg }, TierSpec::StandaloneBr) => {
                 let budgets = vec![*budget; *n];
-                let mut run = run_standalone_br(params, prices, &budgets, cfg, ws)?;
+                let mut run = run_standalone_br(
+                    params,
+                    prices,
+                    &budgets,
+                    cfg,
+                    damping_scale,
+                    overrides,
+                    ws,
+                    salvage,
+                )?;
                 run.per_miner = ws.requests.first().copied();
                 Ok(run)
             }
@@ -430,16 +504,31 @@ impl<'a> TieredSolver<'a> {
                 } else {
                     (omega0, sub.max_iter)
                 };
-                let run = symmetric_dynamic_core(
+                let omega = omega * damping_scale;
+                if damping_scale != 1.0 {
+                    overrides.damping =
+                        Some(ConfigOverride { requested: sub.damping, effective: omega });
+                }
+                let mut best = None;
+                let n = pop.mean().round().max(2.0) as usize;
+                let run = match symmetric_dynamic_core(
                     params,
                     prices,
                     *budget,
                     pop,
                     FixedPointBudget { mixing: cfg.mixing, omega, tol, max_iter },
-                )?;
+                    &mut best,
+                ) {
+                    Ok(run) => run,
+                    Err(e) => {
+                        if let Some(s) = best {
+                            *salvage = Some(sym_tier_run(s.x, n, s.iterations, s.residual));
+                        }
+                        return Err(e);
+                    }
+                };
                 ws.requests.clear();
                 ws.utilities.clear();
-                let n = pop.mean().round().max(2.0) as usize;
                 Ok(sym_tier_run(run.x, n, run.iterations, run.residual))
             }
             (
@@ -463,17 +552,32 @@ impl<'a> TieredSolver<'a> {
                 } else {
                     (omega0, sub.max_iter)
                 };
-                let run = symmetric_continuous_core(
+                let omega = omega * damping_scale;
+                if damping_scale != 1.0 {
+                    overrides.damping =
+                        Some(ConfigOverride { requested: sub.damping, effective: omega });
+                }
+                let mut best = None;
+                let n = mean.round().max(2.0) as usize;
+                let run = match symmetric_continuous_core(
                     params,
                     prices,
                     *budget,
                     *mean,
                     *sd,
                     FixedPointBudget { mixing: cfg.mixing, omega, tol, max_iter },
-                )?;
+                    &mut best,
+                ) {
+                    Ok(run) => run,
+                    Err(e) => {
+                        if let Some(s) = best {
+                            *salvage = Some(sym_tier_run(s.x, n, s.iterations, s.residual));
+                        }
+                        return Err(e);
+                    }
+                };
                 ws.requests.clear();
                 ws.utilities.clear();
-                let n = mean.round().max(2.0) as usize;
                 Ok(sym_tier_run(run.x, n, run.iterations, run.residual))
             }
             _ => Err(MiningGameError::invalid("tier does not apply to this problem")),
@@ -484,57 +588,143 @@ impl<'a> TieredSolver<'a> {
 impl FollowerSolver for TieredSolver<'_> {
     fn solve(&self, ws: &mut SolveWorkspace) -> Result<Solved, MiningGameError> {
         self.validate()?;
+        let policy = ws.policy;
         let tiers = self.tiers();
         let (mode, symmetric) = self.mode_sym();
         let name = self.telemetry_name();
         let rec = mbm_obs::global();
+        // Arm the per-solve wall-clock budget (if any) so every
+        // probe-instrumented kernel underneath observes it.
+        let _deadline = policy.deadline.map(|d| mbm_faults::Supervision::with_deadline(d).enter());
         let mut hops: Vec<FallbackHop> = Vec::new();
         let mut overrides = Overrides::default();
-        for (idx, &spec) in tiers.iter().enumerate() {
-            match self.run_tier(spec, ws, &mut overrides) {
-                Ok(run) => {
-                    if rec.enabled() {
-                        rec.solver(name, run.iterations as u64, run.residual);
-                        rec.incr(method_counter(spec.method()));
-                        if !hops.is_empty() {
-                            rec.add("core.solver.fallback_hops", hops.len() as u64);
-                        }
-                        if !overrides.is_empty() {
-                            rec.add("core.solver.config_override", overrides.count() as u64);
-                        }
-                    }
-                    let report = SolveReport {
-                        mode,
-                        symmetric,
-                        method: spec.method(),
-                        fallback_hops: hops,
-                        iterations: run.iterations,
-                        residual: run.residual,
-                        certificate: run.certificate,
-                        overrides,
-                    };
-                    return Ok(Solved {
-                        aggregates: run.aggregates,
-                        n: run.n,
-                        iterations: run.iterations,
-                        residual: run.residual,
-                        per_miner: run.per_miner,
-                        regime: run.regime,
-                        report,
-                    });
+        // Best-so-far candidate across tiers and attempts: last salvage wins
+        // so the workspace per-miner buffers always match the candidate.
+        let mut salvage: Option<(SolveMethod, TierRun)> = None;
+        let max_attempts = policy.max_attempts.max(1);
+        let mut attempts = 0usize;
+        let mut terminal: Option<MiningGameError> = None;
+        'attempts: for attempt in 1..=max_attempts {
+            attempts = attempt;
+            let scale = policy.damping_scale(attempt);
+            for (idx, &spec) in tiers.iter().enumerate() {
+                let mut tier_salvage: Option<TierRun> = None;
+                let outcome = mbm_numerics::supervision::checkpoint(
+                    mbm_faults::sites::SOLVER_TIER,
+                    idx,
+                    tiers.len(),
+                    f64::INFINITY,
+                )
+                .map_err(MiningGameError::from)
+                .and_then(|()| self.run_tier(spec, ws, &mut overrides, scale, &mut tier_salvage));
+                if let Some(run) = tier_salvage.take() {
+                    salvage = Some((spec.method(), run));
                 }
-                Err(e) if idx + 1 < tiers.len() && e.is_convergence_failure() => {
-                    hops.push(FallbackHop { method: spec.method(), error: e.to_string() });
-                }
-                Err(e) => {
-                    if rec.enabled() {
-                        rec.solver_failure(name, error_iterations(&e));
+                match outcome {
+                    Ok(run) => {
+                        if rec.enabled() {
+                            rec.solver(name, run.iterations as u64, run.residual);
+                            rec.incr(method_counter(spec.method()));
+                            if !hops.is_empty() {
+                                rec.add("core.solver.fallback_hops", hops.len() as u64);
+                            }
+                            if !overrides.is_empty() {
+                                rec.add("core.solver.config_override", overrides.count() as u64);
+                            }
+                            if attempt > 1 {
+                                rec.add("core.solver.retries", (attempt - 1) as u64);
+                            }
+                        }
+                        let report = SolveReport {
+                            mode,
+                            status: SolveStatus::Converged,
+                            symmetric,
+                            method: spec.method(),
+                            fallback_hops: hops,
+                            iterations: run.iterations,
+                            residual: run.residual,
+                            certificate: run.certificate,
+                            overrides,
+                            retries: attempt - 1,
+                        };
+                        return Ok(Solved {
+                            aggregates: run.aggregates,
+                            n: run.n,
+                            iterations: run.iterations,
+                            residual: run.residual,
+                            per_miner: run.per_miner,
+                            regime: run.regime,
+                            report,
+                        });
                     }
-                    return Err(e);
+                    Err(e) if idx + 1 < tiers.len() && e.is_convergence_failure() => {
+                        hops.push(FallbackHop { method: spec.method(), error: e.to_string() });
+                    }
+                    Err(e) => {
+                        // Interruptions (deadline, cancellation) and
+                        // non-convergence errors end the solve; convergence
+                        // failure on the last tier may earn another chain
+                        // attempt at heavier damping.
+                        let retry = e.is_convergence_failure() && attempt < max_attempts;
+                        terminal = Some(e);
+                        if retry {
+                            continue 'attempts;
+                        }
+                        break 'attempts;
+                    }
                 }
             }
+            terminal = Some(MiningGameError::invalid("follower solver chain has no tiers"));
+            break 'attempts;
         }
-        Err(MiningGameError::invalid("follower solver chain has no tiers"))
+        let err = match terminal {
+            Some(e) => e,
+            None => MiningGameError::invalid("follower solver chain has no tiers"),
+        };
+        // Graceful degradation: hand back the certified best-so-far iterate
+        // instead of the terminal error. Validation errors never degrade.
+        if policy.degrade == DegradeMode::BestEffort
+            && (err.is_convergence_failure() || err.is_interruption())
+        {
+            if let Some((method, run)) = salvage {
+                if run.per_miner.is_some() {
+                    // Symmetric candidate: the per-miner buffers describe
+                    // whatever tier last wrote them, not this answer.
+                    ws.requests.clear();
+                    ws.utilities.clear();
+                }
+                hops.push(FallbackHop { method, error: err.to_string() });
+                if rec.enabled() {
+                    rec.incr("core.solver.degraded");
+                    rec.add("core.solver.fallback_hops", hops.len() as u64);
+                }
+                let report = SolveReport {
+                    mode,
+                    status: SolveStatus::Degraded,
+                    symmetric,
+                    method,
+                    fallback_hops: hops,
+                    iterations: run.iterations,
+                    residual: run.residual,
+                    certificate: run.certificate,
+                    overrides,
+                    retries: attempts.saturating_sub(1),
+                };
+                return Ok(Solved {
+                    aggregates: run.aggregates,
+                    n: run.n,
+                    iterations: run.iterations,
+                    residual: run.residual,
+                    per_miner: run.per_miner,
+                    regime: run.regime,
+                    report,
+                });
+            }
+        }
+        if rec.enabled() {
+            rec.solver_failure(name, error_iterations(&err));
+        }
+        Err(err)
     }
 }
 
@@ -564,6 +754,35 @@ fn error_iterations(e: &MiningGameError) -> u64 {
     }
 }
 
+fn error_residual(e: &MiningGameError) -> f64 {
+    match e {
+        MiningGameError::Game(mbm_game::GameError::NoConvergence { residual, .. })
+        | MiningGameError::Game(mbm_game::GameError::Numerics(
+            mbm_numerics::NumericsError::DidNotConverge { residual, .. },
+        ))
+        | MiningGameError::Numerics(mbm_numerics::NumericsError::DidNotConverge {
+            residual, ..
+        }) => *residual,
+        _ => f64::NAN,
+    }
+}
+
+/// Whether a tier failure leaves a meaningful best-so-far iterate behind
+/// (convergence failures and interruptions do; validation errors do not).
+fn salvageable(e: &MiningGameError) -> bool {
+    e.is_convergence_failure() || e.is_interruption()
+}
+
+/// Shared-budget check of the symmetric/homogeneous chains (the
+/// heterogeneous chains validate their budget vectors via
+/// [`validate_budgets`] instead).
+fn validate_symmetric_budget(budget: f64) -> Result<(), MiningGameError> {
+    if !(budget.is_finite() && budget > 0.0) {
+        return Err(MiningGameError::invalid(format!("budget = {budget} must be > 0")));
+    }
+    Ok(())
+}
+
 fn sym_tier_run(x: Request, n: usize, iterations: usize, residual: f64) -> TierRun {
     let nf = n as f64;
     TierRun {
@@ -584,14 +803,17 @@ fn fill_requests_from_pairs(requests: &mut Vec<Request>, flat: &[f64]) {
     );
 }
 
+#[allow(clippy::too_many_arguments)] // the tier-call surface: config + supervision + salvage slots
 fn run_connected_br(
     params: &MarketParams,
     prices: &Prices,
     budgets: &[f64],
     cfg: &SubgameConfig,
     boosted: bool,
+    damping_scale: f64,
     overrides: &mut Overrides,
     ws: &mut SolveWorkspace,
+    salvage: &mut Option<TierRun>,
 ) -> Result<TierRun, MiningGameError> {
     let game = ConnectedMinerGame::new(*params, *prices, budgets.to_vec())?;
     let SolveWorkspace { br, init, flat, requests, utilities, .. } = ws;
@@ -610,13 +832,38 @@ fn run_connected_br(
     } else {
         (cfg.tol, cfg.max_iter)
     };
-    let run = best_response_dynamics_in(
+    let damping = cfg.damping * damping_scale;
+    if damping_scale != 1.0 {
+        overrides.damping = Some(ConfigOverride { requested: cfg.damping, effective: damping });
+    }
+    let run = match best_response_dynamics_in(
         &game,
         start,
-        &BrParams { order: UpdateOrder::Sequential, damping: cfg.damping, tol, max_sweeps },
+        &BrParams { order: UpdateOrder::Sequential, damping, tol, max_sweeps },
         br,
-    )
-    .map_err(MiningGameError::from)?;
+    ) {
+        Ok(run) => run,
+        Err(e) => {
+            let e = MiningGameError::from(e);
+            if salvageable(&e) {
+                fill_requests_from_pairs(requests, br.profile().as_slice());
+                utilities.clear();
+                for i in 0..budgets.len() {
+                    utilities.push(utility_connected(i, requests, prices, params));
+                }
+                *salvage = Some(TierRun {
+                    aggregates: Aggregates::of(requests),
+                    n: budgets.len(),
+                    iterations: error_iterations(&e) as usize,
+                    residual: error_residual(&e),
+                    per_miner: None,
+                    regime: None,
+                    certificate: None,
+                });
+            }
+            return Err(e);
+        }
+    };
     fill_requests_from_pairs(requests, br.profile().as_slice());
     utilities.clear();
     for i in 0..budgets.len() {
@@ -639,6 +886,7 @@ fn run_connected_vi(
     budgets: &[f64],
     cfg: &SubgameConfig,
     ws: &mut SolveWorkspace,
+    salvage: &mut Option<TierRun>,
 ) -> Result<TierRun, MiningGameError> {
     let game = ConnectedMinerGame::new(*params, *prices, budgets.to_vec())?;
     let sets: Vec<Box<dyn ConvexSet + Send + Sync>> = budgets
@@ -657,8 +905,17 @@ fn run_connected_vi(
         max_iter: cfg.effective_max_iter(),
         ..Default::default()
     };
-    let run = variational_equilibrium_in(&game, &product, start, &vi, gnep)
-        .map_err(MiningGameError::from)?;
+    let (iterations, residual, run_err) =
+        match variational_equilibrium_in(&game, &product, start, &vi, gnep) {
+            Ok(run) => (run.iterations, run.residual, None),
+            Err(e) => {
+                let e = MiningGameError::from(e);
+                if !salvageable(&e) {
+                    return Err(e);
+                }
+                (error_iterations(&e) as usize, error_residual(&e), Some(e))
+            }
+        };
     flat.clear();
     flat.extend_from_slice(gnep.solution());
     let sol = ensure_pairs(init, flat)?;
@@ -668,15 +925,22 @@ fn run_connected_vi(
     for i in 0..budgets.len() {
         utilities.push(utility_connected(i, requests, prices, params));
     }
-    Ok(TierRun {
+    let run = TierRun {
         aggregates: Aggregates::of(requests),
         n: budgets.len(),
-        iterations: run.iterations,
-        residual: run.residual,
+        iterations,
+        residual,
         per_miner: None,
         regime: None,
         certificate: Some(cert),
-    })
+    };
+    match run_err {
+        None => Ok(run),
+        Some(e) => {
+            *salvage = Some(run);
+            Err(e)
+        }
+    }
 }
 
 fn run_standalone_vi(
@@ -686,6 +950,7 @@ fn run_standalone_vi(
     cfg: &SubgameConfig,
     overrides: &mut Overrides,
     ws: &mut SolveWorkspace,
+    salvage: &mut Option<TierRun>,
 ) -> Result<TierRun, MiningGameError> {
     let game = StandaloneMinerGame::new(*params, *prices, budgets.to_vec())?;
     let shared = game.shared_set()?;
@@ -704,8 +969,17 @@ fn run_standalone_vi(
         overrides.max_iter =
             Some(ConfigOverride { requested: cfg.max_iter as f64, effective: vi.max_iter as f64 });
     }
-    let run = variational_equilibrium_in(&game, &shared, start, &vi, gnep)
-        .map_err(MiningGameError::from)?;
+    let (iterations, residual, run_err) =
+        match variational_equilibrium_in(&game, &shared, start, &vi, gnep) {
+            Ok(run) => (run.iterations, run.residual, None),
+            Err(e) => {
+                let e = MiningGameError::from(e);
+                if !salvageable(&e) {
+                    return Err(e);
+                }
+                (error_iterations(&e) as usize, error_residual(&e), Some(e))
+            }
+        };
     flat.clear();
     flat.extend_from_slice(gnep.solution());
     let sol = ensure_pairs(init, flat)?;
@@ -715,41 +989,64 @@ fn run_standalone_vi(
     for i in 0..budgets.len() {
         utilities.push(utility_standalone(i, requests, prices, params));
     }
-    Ok(TierRun {
+    let run = TierRun {
         aggregates: Aggregates::of(requests),
         n: budgets.len(),
-        iterations: run.iterations,
-        residual: run.residual,
+        iterations,
+        residual,
         per_miner: None,
         regime: None,
         certificate: Some(cert),
-    })
+    };
+    match run_err {
+        None => Ok(run),
+        Some(e) => {
+            *salvage = Some(run);
+            Err(e)
+        }
+    }
 }
 
+#[allow(clippy::too_many_arguments)] // the tier-call surface: config + supervision + salvage slots
 fn run_standalone_br(
     params: &MarketParams,
     prices: &Prices,
     budgets: &[f64],
     cfg: &SubgameConfig,
+    damping_scale: f64,
+    overrides: &mut Overrides,
     ws: &mut SolveWorkspace,
+    salvage: &mut Option<TierRun>,
 ) -> Result<TierRun, MiningGameError> {
     let game = StandaloneMinerGame::new(*params, *prices, budgets.to_vec())?;
     let shared = game.shared_set()?;
     let SolveWorkspace { br, gnep, init, flat, requests, utilities, .. } = ws;
     initial_profile_into(budgets, prices, Some(params.e_max()), flat)?;
     let start = ensure_pairs(init, flat)?;
-    let run = best_response_dynamics_in(
+    let damping = cfg.damping * damping_scale;
+    if damping_scale != 1.0 {
+        overrides.damping = Some(ConfigOverride { requested: cfg.damping, effective: damping });
+    }
+    let (iterations, residual, run_err) = match best_response_dynamics_in(
         &game,
         start,
         &BrParams {
             order: UpdateOrder::Sequential,
-            damping: cfg.damping,
+            damping,
             tol: cfg.effective_tol(),
             max_sweeps: cfg.effective_max_iter(),
         },
         br,
-    )
-    .map_err(MiningGameError::from)?;
+    ) {
+        Ok(run) => (run.sweeps, run.residual, None),
+        Err(e) => {
+            let e = MiningGameError::from(e);
+            if !salvageable(&e) {
+                return Err(e);
+            }
+            (error_iterations(&e) as usize, error_residual(&e), Some(e))
+        }
+    };
     flat.clear();
     flat.extend_from_slice(br.profile().as_slice());
     let sol = ensure_pairs(init, flat)?;
@@ -759,15 +1056,22 @@ fn run_standalone_br(
     for i in 0..budgets.len() {
         utilities.push(utility_standalone(i, requests, prices, params));
     }
-    Ok(TierRun {
+    let run = TierRun {
         aggregates: Aggregates::of(requests),
         n: budgets.len(),
-        iterations: run.sweeps,
-        residual: run.residual,
+        iterations,
+        residual,
         per_miner: None,
         regime: None,
         certificate: Some(cert),
-    })
+    };
+    match run_err {
+        None => Ok(run),
+        Some(e) => {
+            *salvage = Some(run);
+            Err(e)
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,104 @@
+//! Solve supervision policy: retries, degradation, and deadlines.
+//!
+//! A [`SolvePolicy`] rides on the [`SolveWorkspace`](super::SolveWorkspace)
+//! handed to every [`FollowerSolver`](super::FollowerSolver) call and
+//! governs what the tiered chain does when its last tier fails:
+//!
+//! * **retries** — re-run the whole chain up to `max_attempts` times,
+//!   multiplying every fixed-point/BR damping by `backoff` per extra
+//!   attempt (recorded in the report's `overrides.damping` and `retries`);
+//! * **degradation** — with [`DegradeMode::BestEffort`], a chain whose
+//!   attempts are all spent returns the best-so-far iterate with
+//!   [`SolveStatus::Degraded`](super::SolveStatus) and its residual (plus
+//!   GNEP/VI certificate where available) instead of an error;
+//! * **deadline** — an optional per-solve wall-clock bound, armed as an
+//!   [`mbm_faults::Supervision`] for the duration of the solve so every
+//!   probe-instrumented kernel underneath observes it.
+//!
+//! The default policy is **exactly the pre-supervision behaviour**: one
+//! attempt, no degradation, no deadline. Every solve under a default policy
+//! is bitwise identical to the unsupervised solver, which is what the
+//! experiment determinism gates rely on.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use std::time::Duration;
+
+/// What to do when every tier (and retry) of a chain has failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradeMode {
+    /// Propagate the terminal error (historical behaviour, the default).
+    #[default]
+    Never,
+    /// Return the best-so-far iterate as a
+    /// [`SolveStatus::Degraded`](super::SolveStatus) answer when one exists;
+    /// errors only when there is no iterate to salvage (validation errors,
+    /// failures before the first iteration).
+    BestEffort,
+}
+
+/// Supervision policy for follower solves; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolvePolicy {
+    /// Degradation behaviour when the chain is exhausted.
+    pub degrade: DegradeMode,
+    /// Total chain attempts (≥ 1). `1` means no retries.
+    pub max_attempts: usize,
+    /// Damping multiplier applied per extra attempt (attempt `k` runs at
+    /// `backoff^(k-1)` times the chain's damping). Must be in `(0, 1]`.
+    pub backoff: f64,
+    /// Optional wall-clock budget for the whole solve (all attempts).
+    pub deadline: Option<Duration>,
+}
+
+impl Default for SolvePolicy {
+    fn default() -> Self {
+        SolvePolicy { degrade: DegradeMode::Never, max_attempts: 1, backoff: 0.5, deadline: None }
+    }
+}
+
+impl SolvePolicy {
+    /// The historical no-supervision policy (also [`Default`]).
+    #[must_use]
+    pub fn strict() -> Self {
+        SolvePolicy::default()
+    }
+
+    /// A policy that retries once with halved damping and then degrades
+    /// gracefully — the executor's choice when fault tolerance is requested.
+    #[must_use]
+    pub fn resilient(deadline: Option<Duration>) -> Self {
+        SolvePolicy { degrade: DegradeMode::BestEffort, max_attempts: 2, backoff: 0.5, deadline }
+    }
+
+    /// Whether this policy can change behaviour relative to the default
+    /// (used to skip supervision bookkeeping entirely on the hot path).
+    #[must_use]
+    pub fn is_strict(&self) -> bool {
+        self.degrade == DegradeMode::Never && self.max_attempts <= 1 && self.deadline.is_none()
+    }
+
+    /// Damping multiplier for attempt `attempt` (1-based).
+    #[must_use]
+    pub fn damping_scale(&self, attempt: usize) -> f64 {
+        self.backoff.powi(attempt.saturating_sub(1) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_strict_and_backoff_scales() {
+        let p = SolvePolicy::default();
+        assert!(p.is_strict());
+        assert_eq!(p.damping_scale(1), 1.0);
+        assert_eq!(p.damping_scale(3), 0.25);
+
+        let r = SolvePolicy::resilient(Some(Duration::from_secs(1)));
+        assert!(!r.is_strict());
+        assert_eq!(r.degrade, DegradeMode::BestEffort);
+        assert_eq!(r.damping_scale(2), 0.5);
+    }
+}

@@ -12,6 +12,28 @@
 
 use serde::{Deserialize, Serialize};
 
+/// How trustworthy the reported equilibrium is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolveStatus {
+    /// The reporting tier converged to its tolerance: the answer is an
+    /// equilibrium up to `residual`.
+    Converged,
+    /// Every applicable tier (or the runtime budget) was exhausted and the
+    /// solver returned its **best-so-far** iterate instead of failing. The
+    /// report's `residual` (and `certificate`, where one is computed) bound
+    /// how far from equilibrium the answer may be — consumers must treat
+    /// the value as approximate and propagate the flag.
+    Degraded,
+}
+
+impl SolveStatus {
+    /// Whether this is [`SolveStatus::Degraded`].
+    #[must_use]
+    pub fn is_degraded(self) -> bool {
+        matches!(self, SolveStatus::Degraded)
+    }
+}
+
 /// Which follower subgame was solved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SolveMode {
@@ -109,6 +131,8 @@ pub struct FallbackHop {
 pub struct SolveReport {
     /// Which subgame was solved.
     pub mode: SolveMode,
+    /// Whether the answer converged or is a certified best-so-far.
+    pub status: SolveStatus,
     /// Whether the symmetric (per-miner) fast path was requested.
     pub symmetric: bool,
     /// The method that produced the reported equilibrium.
@@ -125,6 +149,9 @@ pub struct SolveReport {
     pub certificate: Option<f64>,
     /// Solver-budget values the chain clamped on this solve.
     pub overrides: Overrides,
+    /// Full chain re-runs taken beyond the first attempt (the retry policy's
+    /// damping backoff lands in `overrides.damping`).
+    pub retries: usize,
 }
 
 impl SolveReport {
@@ -132,6 +159,13 @@ impl SolveReport {
     #[must_use]
     pub fn hops(&self) -> usize {
         self.fallback_hops.len()
+    }
+
+    /// Whether the answer is a best-so-far rather than a converged
+    /// equilibrium.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.status.is_degraded()
     }
 }
 
@@ -152,6 +186,7 @@ mod tests {
     fn report_round_trips_through_json() {
         let r = SolveReport {
             mode: SolveMode::Standalone,
+            status: SolveStatus::Degraded,
             symmetric: false,
             method: SolveMethod::Extragradient,
             fallback_hops: vec![FallbackHop {
@@ -166,10 +201,13 @@ mod tests {
                 max_iter: Some(ConfigOverride { requested: 5000.0, effective: 20_000.0 }),
                 damping: None,
             },
+            retries: 1,
         };
         let s = serde_json::to_string(&r).unwrap();
         let back: SolveReport = serde_json::from_str(&s).unwrap();
         assert_eq!(back, r);
         assert_eq!(back.hops(), 1);
+        assert!(back.is_degraded());
+        assert_eq!(back.retries, 1);
     }
 }

@@ -18,6 +18,7 @@ use crate::error::MiningGameError;
 use crate::request::Request;
 use crate::subgame::MinerEquilibrium;
 
+use super::policy::SolvePolicy;
 use super::Solved;
 
 /// Scratch buffers threaded through every tier of the follower solver.
@@ -39,6 +40,9 @@ pub struct SolveWorkspace {
     pub requests: Vec<Request>,
     /// Per-miner equilibrium utilities of the last heterogeneous solve.
     pub utilities: Vec<f64>,
+    /// Supervision policy for solves using this workspace (retries,
+    /// degradation, deadline). Defaults to the strict historical behaviour.
+    pub policy: SolvePolicy,
 }
 
 thread_local! {
@@ -58,6 +62,15 @@ impl SolveWorkspace {
     /// (only allocation behaviour), so parallel determinism is unaffected.
     pub fn with_thread_local<R>(f: impl FnOnce(&mut SolveWorkspace) -> R) -> R {
         TLS_WORKSPACE.with(|ws| f(&mut ws.borrow_mut()))
+    }
+
+    /// Sets the supervision policy of this thread's shared workspace.
+    /// Executors call this once per worker so every solve routed through
+    /// [`SolveWorkspace::with_thread_local`] — including solves buried
+    /// inside leader searches — picks up the batch policy. Returns the
+    /// previous policy so callers can restore it.
+    pub fn set_thread_policy(policy: SolvePolicy) -> SolvePolicy {
+        TLS_WORKSPACE.with(|ws| std::mem::replace(&mut ws.borrow_mut().policy, policy))
     }
 
     /// Heap bytes currently reserved across all buffers (capacity, not

@@ -303,8 +303,7 @@ impl Game for ConnectedMinerGame {
             s_others: (edge_sum + cloud_sum) - (e_i + c_i),
             edge_cap: None,
         };
-        let r = analytic_best_response(&inp)
-            .map_err(|e| mbm_game::GameError::invalid(e.to_string()))?;
+        let r = analytic_best_response(&inp).map_err(MiningGameError::into_game_error)?;
         out[0] = r.edge;
         out[1] = r.cloud;
         Ok(())
@@ -352,6 +351,7 @@ pub fn solve_symmetric_connected(
 /// slope ≈ `1 − n/2` at the fixed point (the √-shaped KKT targets), so
 /// stability requires damping below ~`4/n` and `3/(n + 2)` keeps a
 /// contraction factor ≈ 1/2 at every `n`.
+#[allow(clippy::too_many_arguments)] // iteration budget plus the supervision salvage slot
 pub(crate) fn symmetric_connected_core(
     params: &MarketParams,
     prices: &Prices,
@@ -360,12 +360,20 @@ pub(crate) fn symmetric_connected_core(
     omega: f64,
     tol: f64,
     max_iter: usize,
+    salvage: &mut Option<SymRun>,
 ) -> Result<SymRun, MiningGameError> {
     let mut x =
         Request { edge: budget / (4.0 * prices.edge), cloud: budget / (4.0 * prices.cloud) };
     let m = (n - 1) as f64;
     let mut residual = f64::INFINITY;
     for k in 0..max_iter {
+        *salvage = Some(SymRun { x, iterations: k, residual });
+        mbm_numerics::supervision::checkpoint(
+            mbm_faults::sites::SYMMETRIC_FP,
+            k,
+            max_iter,
+            residual,
+        )?;
         let inp = BestResponseInputs {
             reward: params.reward(),
             beta: params.fork_rate(),
@@ -387,6 +395,7 @@ pub(crate) fn symmetric_connected_core(
             return Ok(SymRun { x, iterations: k + 1, residual });
         }
     }
+    *salvage = Some(SymRun { x, iterations: max_iter, residual });
     Err(MiningGameError::Game(mbm_game::GameError::NoConvergence {
         iterations: max_iter,
         residual,

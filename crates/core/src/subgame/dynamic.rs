@@ -333,6 +333,7 @@ pub(crate) fn symmetric_continuous_core(
     mean: f64,
     sd: f64,
     fp: FixedPointBudget,
+    salvage: &mut Option<SymRun>,
 ) -> Result<SymRun, MiningGameError> {
     let FixedPointBudget { mixing, omega, tol, max_iter } = fp;
     let gh = mbm_numerics::quadrature::GaussHermite::new(40)?;
@@ -340,6 +341,13 @@ pub(crate) fn symmetric_continuous_core(
         Request { edge: budget / (4.0 * prices.edge), cloud: budget / (4.0 * prices.cloud) };
     let mut residual = f64::INFINITY;
     for k in 0..max_iter {
+        *salvage = Some(SymRun { x, iterations: k, residual });
+        mbm_numerics::supervision::checkpoint(
+            mbm_faults::sites::SYMMETRIC_FP,
+            k,
+            max_iter,
+            residual,
+        )?;
         let br = best_response_to_objective(
             |e, c| {
                 expected_utility_continuous(
@@ -367,6 +375,7 @@ pub(crate) fn symmetric_continuous_core(
             return Ok(SymRun { x, iterations: k + 1, residual });
         }
     }
+    *salvage = Some(SymRun { x, iterations: max_iter, residual });
     Err(MiningGameError::Game(mbm_game::GameError::NoConvergence {
         iterations: max_iter,
         residual,
@@ -415,12 +424,20 @@ pub(crate) fn symmetric_dynamic_core(
     budget: f64,
     pop: &Population,
     fp: FixedPointBudget,
+    salvage: &mut Option<SymRun>,
 ) -> Result<SymRun, MiningGameError> {
     let FixedPointBudget { mixing, omega, tol, max_iter } = fp;
     let mut x =
         Request { edge: budget / (4.0 * prices.edge), cloud: budget / (4.0 * prices.cloud) };
     let mut residual = f64::INFINITY;
     for k in 0..max_iter {
+        *salvage = Some(SymRun { x, iterations: k, residual });
+        mbm_numerics::supervision::checkpoint(
+            mbm_faults::sites::SYMMETRIC_FP,
+            k,
+            max_iter,
+            residual,
+        )?;
         let br = best_response(x, budget, pop, params, prices, mixing, x)?;
         let next = Request {
             edge: (1.0 - omega) * x.edge + omega * br.edge,
@@ -432,6 +449,7 @@ pub(crate) fn symmetric_dynamic_core(
             return Ok(SymRun { x, iterations: k + 1, residual });
         }
     }
+    *salvage = Some(SymRun { x, iterations: max_iter, residual });
     Err(MiningGameError::Game(mbm_game::GameError::NoConvergence {
         iterations: max_iter,
         residual,

@@ -182,8 +182,7 @@ impl Game for StandaloneMinerGame {
             s_others: (edge_sum + cloud_sum) - (e_i + c_i),
             edge_cap: Some((self.params.e_max() - e_others).max(0.0)),
         };
-        let r = analytic_best_response(&inp)
-            .map_err(|e| mbm_game::GameError::invalid(e.to_string()))?;
+        let r = analytic_best_response(&inp).map_err(MiningGameError::into_game_error)?;
         out[0] = r.edge;
         out[1] = r.cloud;
         Ok(())
@@ -249,6 +248,7 @@ pub fn solve_symmetric_standalone(
 /// standalone map is steeper still (in the capacity-binding branch
 /// `e_i = E_max − (n−1)ē` has slope `−(n−1)`), so the damping must stay
 /// below `2/n` and `1.2/(n+1)` keeps a safety margin at every `n`.
+#[allow(clippy::too_many_arguments)] // iteration budget plus the supervision salvage slot
 pub(crate) fn symmetric_standalone_core(
     params: &MarketParams,
     prices: &Prices,
@@ -257,6 +257,7 @@ pub(crate) fn symmetric_standalone_core(
     omega: f64,
     tol: f64,
     max_iter: usize,
+    salvage: &mut Option<SymRun>,
 ) -> Result<SymRun, MiningGameError> {
     let m = (n - 1) as f64;
     let mut x = Request {
@@ -265,6 +266,13 @@ pub(crate) fn symmetric_standalone_core(
     };
     let mut residual = f64::INFINITY;
     for k in 0..max_iter {
+        *salvage = Some(SymRun { x, iterations: k, residual });
+        mbm_numerics::supervision::checkpoint(
+            mbm_faults::sites::SYMMETRIC_FP,
+            k,
+            max_iter,
+            residual,
+        )?;
         let e_others = m * x.edge;
         let inp = BestResponseInputs {
             reward: params.reward(),
@@ -287,6 +295,7 @@ pub(crate) fn symmetric_standalone_core(
             return Ok(SymRun { x, iterations: k + 1, residual });
         }
     }
+    *salvage = Some(SymRun { x, iterations: max_iter, residual });
     Err(MiningGameError::Game(mbm_game::GameError::NoConvergence {
         iterations: max_iter,
         residual,

@@ -1,12 +1,30 @@
 //! The engine facade: plan a batch of specs, execute it once, render all.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use mbm_core::solver::{SolvePolicy, SolveReport};
 use mbm_par::Pool;
+use serde::Serialize;
 
 use crate::error::EngineError;
-use crate::executor::{execute, TaskFailure, TaskResults};
+use crate::executor::{execute, execute_supervised, TaskFailure, TaskResults};
 use crate::planner::{plan, Plan, PlanStats, PlannedTask};
 use crate::spec::{ExperimentSpec, SpecCtx};
 use crate::table::ExperimentResult;
+
+/// One persisted solve report with its task identity: what the runner
+/// serializes to `reports.json` next to the per-spec tables.
+#[derive(Debug, Clone, Serialize)]
+pub struct BatchReport {
+    /// Hex rendering of the task's bit-exact canonical key.
+    pub key: String,
+    /// Output kind label of the owning task.
+    pub task: String,
+    /// Whether the solve returned a degraded (best-so-far) answer.
+    pub degraded: bool,
+    /// The full follower-solver report.
+    pub report: SolveReport,
+}
 
 /// One executed batch: per-spec results in registry order plus the plan's
 /// dedup accounting and any required-task failures.
@@ -18,6 +36,17 @@ pub struct Batch {
     pub stats: PlanStats,
     /// Required tasks that failed, annotated with the owning spec's name.
     pub failures: Vec<(String, TaskFailure)>,
+    /// Every follower-solve report of the batch, in deterministic
+    /// (sorted-key) order; degraded entries flag best-so-far answers.
+    pub reports: Vec<BatchReport>,
+}
+
+impl Batch {
+    /// Number of solves in the batch that degraded to best-so-far answers.
+    #[must_use]
+    pub fn degraded_count(&self) -> usize {
+        self.reports.iter().filter(|r| r.degraded).count()
+    }
 }
 
 /// Plans all `specs` together (one shared dedup space), executes the
@@ -34,13 +63,40 @@ pub fn run_batch(
     ctx: &SpecCtx,
     pool: &Pool,
 ) -> Result<Batch, EngineError> {
+    run_batch_supervised(specs, ctx, pool, SolvePolicy::strict())
+}
+
+/// [`run_batch`] under an explicit [`SolvePolicy`]: per-solve deadlines,
+/// retry-with-backoff and graceful degradation for every follower solve of
+/// the batch. With [`SolvePolicy::strict`] the outputs are bitwise
+/// identical to [`run_batch`].
+///
+/// # Errors
+///
+/// Same contract as [`run_batch`].
+pub fn run_batch_supervised(
+    specs: &[ExperimentSpec],
+    ctx: &SpecCtx,
+    pool: &Pool,
+    policy: SolvePolicy,
+) -> Result<Batch, EngineError> {
     let spec_tasks: Vec<Vec<PlannedTask>> = specs.iter().map(|s| (s.tasks)(ctx)).collect();
     let compiled: Plan = plan(&spec_tasks);
-    let results = execute(&compiled, pool);
+    let results = execute_supervised(&compiled, pool, policy);
     let failures = results
         .failures
         .iter()
         .map(|f| (specs[f.first_spec].name.to_string(), f.clone()))
+        .collect();
+    let reports = results
+        .report_entries()
+        .into_iter()
+        .map(|(key, task, report)| BatchReport {
+            key,
+            task: task.to_string(),
+            degraded: report.is_degraded(),
+            report: report.clone(),
+        })
         .collect();
     let mut rendered = Vec::with_capacity(specs.len());
     for spec in specs {
@@ -49,7 +105,7 @@ pub fn run_batch(
             tables: (spec.render)(ctx, &results)?,
         });
     }
-    Ok(Batch { results: rendered, stats: compiled.stats, failures })
+    Ok(Batch { results: rendered, stats: compiled.stats, failures, reports })
 }
 
 /// Plans and executes a bare task list (no spec/render layer) — the entry

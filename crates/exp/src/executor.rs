@@ -1,24 +1,63 @@
 //! The executor: fans a compiled [`Plan`] across the parallel substrate
 //! and exposes the outputs behind typed, spec-friendly accessors.
 //!
-//! Execution uses [`mbm_par::Pool::par_eval`] over the unique task list in
-//! first-seen order; the pool's determinism contract (index-ordered
+//! Execution uses [`mbm_par::Pool::try_par_eval`] over the unique task list
+//! in first-seen order; the pool's determinism contract (index-ordered
 //! results, bitwise identical at any thread count) plus each task's purity
 //! makes the whole batch thread-count invariant. Per-task telemetry
 //! (`exp.task.*` counters and spans, `exp.exec.*` totals) lands on the
 //! global recorder when enabled.
+//!
+//! # Fault tolerance
+//!
+//! Every task runs inside an [`mbm_faults::scope`] keyed by its canonical
+//! identity, so installed fault plans fire on a schedule that is a pure
+//! function of the task — independent of thread count, batch composition
+//! and execution order. A worker panic (injected or real) is isolated to
+//! its task: the task records a kind-appropriate failure output and the
+//! rest of the batch completes (`exp.exec.panics_isolated` counts them).
+//! [`execute_supervised`] additionally applies a [`SolvePolicy`] (deadline,
+//! retries, graceful degradation) to every follower solve in the batch.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use std::collections::HashMap;
 
 use mbm_core::request::Request;
 use mbm_core::scenario::ScenarioOutcome;
-use mbm_core::solver::SolveReport;
+use mbm_core::solver::{SolvePolicy, SolveReport, SolveWorkspace};
 use mbm_core::table2::Table2;
 use mbm_par::Pool;
 
 use crate::error::EngineError;
 use crate::planner::Plan;
 use crate::task::{RaceSummary, Task, TaskKey, TaskOutput};
+
+/// Deterministic per-task fault-scope key: an FNV-style fold of the task's
+/// bit-exact canonical key.
+fn scope_key(canon: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &w in canon {
+        h = (h ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Restores the worker thread's solve policy on drop — including during the
+/// unwind of an isolated task panic.
+struct PolicyGuard(SolvePolicy);
+
+impl PolicyGuard {
+    fn set(policy: SolvePolicy) -> Self {
+        PolicyGuard(SolveWorkspace::set_thread_policy(policy))
+    }
+}
+
+impl Drop for PolicyGuard {
+    fn drop(&mut self) {
+        SolveWorkspace::set_thread_policy(self.0);
+    }
+}
 
 /// A required task that failed, reported per owning spec by the engine.
 #[derive(Debug, Clone)]
@@ -44,12 +83,30 @@ pub struct TaskResults {
     pub failures: Vec<TaskFailure>,
 }
 
-/// Runs every unique task of the plan on `pool`.
+/// Runs every unique task of the plan on `pool` under the strict
+/// (historical) solve policy.
 #[must_use]
 pub fn execute(plan: &Plan, pool: &Pool) -> TaskResults {
+    execute_supervised(plan, pool, SolvePolicy::strict())
+}
+
+/// Runs every unique task of the plan on `pool`, applying `policy` to every
+/// follower solve (deadline, retries, graceful degradation). Worker panics
+/// are isolated per task; task-level injected faults (`exp.task` site) fail
+/// the individual task. With [`SolvePolicy::strict`] this is bitwise
+/// identical to the historical executor.
+#[must_use]
+pub fn execute_supervised(plan: &Plan, pool: &Pool, policy: SolvePolicy) -> TaskResults {
     let rec = mbm_obs::global();
-    let outputs = pool.par_eval(plan.unique.len(), |i| {
+    let outputs = pool.try_par_eval(plan.unique.len(), |i| {
         let task = &plan.unique[i].task;
+        let _scope = mbm_faults::scope(scope_key(&task.canon()));
+        let _policy = PolicyGuard::set(policy);
+        if let Some(interrupt) = mbm_faults::probe(mbm_faults::sites::EXP_TASK) {
+            // An injected `panic` kind unwinds inside the probe (and is
+            // isolated below); every other interrupt fails just this task.
+            return (task.failed_output(&format!("injected task fault: {interrupt}")), None);
+        }
         if rec.enabled() {
             rec.incr("exp.exec.tasks_run");
             let _span = rec.span(task.span_name());
@@ -59,7 +116,17 @@ pub fn execute(plan: &Plan, pool: &Pool) -> TaskResults {
         }
     });
     let mut results = TaskResults::default();
-    for (entry, (output, report)) in plan.unique.iter().zip(outputs) {
+    for (entry, slot) in plan.unique.iter().zip(outputs) {
+        let (output, report, panicked) = match slot {
+            Ok((output, report)) => (output, report, false),
+            Err(panic) => {
+                if rec.enabled() {
+                    rec.incr("exp.exec.panics_isolated");
+                }
+                let error = format!("worker panic isolated: {}", panic.message);
+                (entry.task.failed_output(&error), None, true)
+            }
+        };
         if entry.required {
             if let Some(error) = output.error() {
                 results.failures.push(TaskFailure {
@@ -67,12 +134,25 @@ pub fn execute(plan: &Plan, pool: &Pool) -> TaskResults {
                     kind: entry.task.kind(),
                     error: error.to_string(),
                 });
+            } else if panicked {
+                // Scalar kinds NaN-encode failure; a panic there must still
+                // register against the owning spec.
+                results.failures.push(TaskFailure {
+                    first_spec: entry.first_spec,
+                    kind: entry.task.kind(),
+                    error: "worker panic isolated (NaN-encoded output)".to_string(),
+                });
             }
         }
         let key = entry.task.canon();
         if let Some(report) = report {
-            if rec.enabled() && report.hops() > 0 {
-                rec.incr("exp.exec.fallback_solves");
+            if rec.enabled() {
+                if report.hops() > 0 {
+                    rec.incr("exp.exec.fallback_solves");
+                }
+                if report.is_degraded() {
+                    rec.incr("exp.exec.degraded_solves");
+                }
             }
             results.reports.insert(key.clone(), report);
         }
@@ -108,6 +188,29 @@ impl TaskResults {
     #[must_use]
     pub fn reports(&self) -> &HashMap<TaskKey, SolveReport> {
         &self.reports
+    }
+
+    /// Number of solves that returned a degraded (best-so-far) answer.
+    #[must_use]
+    pub fn degraded_count(&self) -> usize {
+        self.reports.values().filter(|r| r.is_degraded()).count()
+    }
+
+    /// All solve reports in a deterministic order (sorted by canonical task
+    /// key), each with the hex rendering of its key and the kind label of
+    /// the output it belongs to — the persistence layer serializes these
+    /// next to the per-spec tables.
+    #[must_use]
+    pub fn report_entries(&self) -> Vec<(String, &'static str, &SolveReport)> {
+        let mut keys: Vec<&TaskKey> = self.reports.keys().collect();
+        keys.sort();
+        keys.into_iter()
+            .map(|key| {
+                let hex: String = key.iter().map(|w| format!("{w:016x}")).collect();
+                let kind = self.outputs.get(key).map_or("unknown", TaskOutput::kind);
+                (hex, kind, &self.reports[key])
+            })
+            .collect()
     }
 
     fn mismatch(wanted: &'static str, got: &TaskOutput) -> EngineError {

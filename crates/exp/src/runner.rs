@@ -14,15 +14,31 @@
 //! and exits non-zero when any required solve failed or a rendered table
 //! has no finite cell; diagnostics go to stderr. `--json DIR` writes one
 //! canonical `<name>.json` per spec plus a `batch.json` with the planner's
-//! dedup accounting; `--telemetry PATH` enables the global recorder and
-//! snapshots it (plan stats, per-task spans) after the run.
+//! dedup accounting and a `reports.json` with every follower-solve report
+//! (including degraded cells); `--telemetry PATH` enables the global
+//! recorder and snapshots it (plan stats, per-task spans) after the run.
+//!
+//! # Fault-tolerance knobs
+//!
+//! * `--fault-plan SPEC` installs a deterministic [`mbm_faults::FaultPlan`]
+//!   (`seed=42;site:kind@rate;...`) for the whole run; without the flag a
+//!   non-empty `MBM_FAULT_PLAN` environment variable is honoured instead,
+//!   and a malformed plan from either source aborts with exit code 2.
+//! * `--deadline-ms N` bounds each follower solve's wall clock.
+//! * `--degrade` switches every solve to best-effort supervision (one
+//!   retry at halved damping, then the best-so-far iterate is returned as
+//!   a `Degraded` report instead of an error).
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
+use mbm_core::solver::{DegradeMode, SolvePolicy};
 use serde::Value;
 
-use crate::engine::{run_batch, Batch};
+use crate::engine::{run_batch, run_batch_supervised, Batch};
 use crate::obs_bridge::telemetry_document;
 use crate::spec::{find, registry, ExperimentSpec, Resolution, SpecCtx};
 
@@ -35,13 +51,30 @@ struct Options {
     check: bool,
     json: Option<PathBuf>,
     telemetry: Option<PathBuf>,
+    fault_plan: Option<String>,
+    deadline_ms: Option<u64>,
+    degrade: bool,
     /// Positional `arg_or` overrides (unparsable entries become NaN so
     /// later slots keep their position, as the legacy binaries did).
     args: Vec<f64>,
 }
 
+impl Options {
+    /// Supervision policy implied by the fault-tolerance flags; the flagless
+    /// default is the strict (bitwise-historical) policy.
+    fn policy(&self) -> SolvePolicy {
+        SolvePolicy {
+            degrade: if self.degrade { DegradeMode::BestEffort } else { DegradeMode::Never },
+            max_attempts: if self.degrade { 2 } else { 1 },
+            backoff: 0.5,
+            deadline: self.deadline_ms.map(Duration::from_millis),
+        }
+    }
+}
+
 const USAGE: &str = "usage: experiments (--list | --all | --only NAME[,NAME...]) \
-[--check] [--json DIR] [--telemetry PATH] [ARGS...]";
+[--check] [--json DIR] [--telemetry PATH] [--fault-plan SPEC] [--deadline-ms N] \
+[--degrade] [ARGS...]";
 
 fn parse(argv: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
@@ -61,6 +94,20 @@ fn parse(argv: &[String]) -> Result<Options, String> {
             "--telemetry" => {
                 opts.telemetry = Some(PathBuf::from(it.next().ok_or("--telemetry needs a path")?));
             }
+            "--fault-plan" => {
+                opts.fault_plan = Some(it.next().ok_or("--fault-plan needs a plan spec")?.clone());
+            }
+            "--deadline-ms" => {
+                let raw = it.next().ok_or("--deadline-ms needs a positive integer")?;
+                let ms: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("--deadline-ms: not a positive integer: {raw}"))?;
+                if ms == 0 {
+                    return Err("--deadline-ms must be positive".to_string());
+                }
+                opts.deadline_ms = Some(ms);
+            }
+            "--degrade" => opts.degrade = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => opts.args.push(other.parse().unwrap_or(f64::NAN)),
         }
@@ -112,7 +159,28 @@ pub fn main_experiments() -> i32 {
         mbm_obs::global().set_enabled(true);
     }
 
-    let batch = match run_batch(&specs, &ctx, mbm_par::Pool::global()) {
+    // Deterministic fault injection: an explicit --fault-plan wins over the
+    // MBM_FAULT_PLAN environment variable; a typo in either is a hard error
+    // rather than a silently fault-free run.
+    let plan = match &opts.fault_plan {
+        Some(spec) => match mbm_faults::FaultPlan::parse(spec) {
+            Ok(plan) => Some(plan),
+            Err(e) => {
+                eprintln!("experiments: --fault-plan: {e}");
+                return 2;
+            }
+        },
+        None => match mbm_faults::FaultPlan::from_env() {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("experiments: MBM_FAULT_PLAN: {e}");
+                return 2;
+            }
+        },
+    };
+    let _fault_guard = plan.map(mbm_faults::install);
+
+    let batch = match run_batch_supervised(&specs, &ctx, mbm_par::Pool::global(), opts.policy()) {
         Ok(b) => b,
         Err(e) => {
             eprintln!("experiments: {e}");
@@ -143,9 +211,15 @@ pub fn main_experiments() -> i32 {
 }
 
 /// `--check` policy: every required solve must succeed and every rendered
-/// table must contain at least one finite data cell.
+/// table must contain at least one finite data cell. Degraded solves are
+/// reported on stderr but do not fail the check — a best-so-far answer with
+/// a residual certificate is an acceptable outcome under fault injection.
 fn check_batch(batch: &Batch) -> i32 {
     let mut code = 0;
+    let degraded = batch.degraded_count();
+    if degraded > 0 {
+        eprintln!("experiments: check: {degraded} degraded solve(s) returned best-so-far answers");
+    }
     for (spec, failure) in &batch.failures {
         eprintln!(
             "experiments: check: {spec}: required {} solve failed: {}",
@@ -184,9 +258,13 @@ fn write_json(dir: &Path, batch: &Batch) -> Result<(), String> {
         ("hit_rate".into(), Value::F64(stats.hit_rate())),
         ("cross_spec_hit_rate".into(), Value::F64(stats.cross_spec_hit_rate())),
         ("failures".into(), Value::U64(batch.failures.len() as u64)),
+        ("reports".into(), Value::U64(batch.reports.len() as u64)),
+        ("degraded".into(), Value::U64(batch.degraded_count() as u64)),
     ]);
     let json = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
-    fs::write(dir.join("batch.json"), json + "\n").map_err(|e| e.to_string())
+    fs::write(dir.join("batch.json"), json + "\n").map_err(|e| e.to_string())?;
+    let reports = serde_json::to_string_pretty(&batch.reports).map_err(|e| e.to_string())?;
+    fs::write(dir.join("reports.json"), reports + "\n").map_err(|e| e.to_string())
 }
 
 fn write_telemetry(path: &Path, batch: &Batch, ctx: &SpecCtx) -> Result<(), String> {
@@ -250,7 +328,34 @@ mod tests {
         assert_eq!(opts.json.as_deref(), Some(Path::new("out")));
         assert_eq!(opts.args, vec![4.5, 200.0]);
         assert!(!opts.check);
+        assert!(opts.policy().is_strict());
         assert!(parse(&["--bogus".to_string()]).is_err());
         assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn parse_handles_the_fault_tolerance_flags() {
+        let argv: Vec<String> = [
+            "--all",
+            "--fault-plan",
+            "seed=42;exp.task:panic@64",
+            "--deadline-ms",
+            "2500",
+            "--degrade",
+        ]
+        .map(String::from)
+        .to_vec();
+        let opts = parse(&argv).unwrap();
+        assert_eq!(opts.fault_plan.as_deref(), Some("seed=42;exp.task:panic@64"));
+        assert_eq!(opts.deadline_ms, Some(2500));
+        assert!(opts.degrade);
+        let policy = opts.policy();
+        assert!(!policy.is_strict());
+        assert_eq!(policy.max_attempts, 2);
+        assert_eq!(policy.deadline, Some(Duration::from_millis(2500)));
+
+        assert!(parse(&["--all".into(), "--deadline-ms".into(), "0".into()]).is_err());
+        assert!(parse(&["--all".into(), "--deadline-ms".into(), "soon".into()]).is_err());
+        assert!(parse(&["--all".into(), "--fault-plan".into()]).is_err());
     }
 }

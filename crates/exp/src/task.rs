@@ -13,6 +13,8 @@
 //! experiments exercise (Monte-Carlo fork model, Algorithm 1 traces, mixed
 //! pricing, Q-learning, the race simulator).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use mbm_chain_sim::fork::{collision_pdf, split_rate_curve, CollisionPdf, ForkPoint};
 use mbm_chain_sim::network::DelayModel;
 use mbm_chain_sim::sim::{simulate, EdgeMode, SimConfig};
@@ -445,6 +447,35 @@ impl Keyer {
 }
 
 impl Task {
+    /// The kind-appropriate failure output carrying `error` — what the
+    /// executor records for a task that never produced a value (an isolated
+    /// worker panic, an injected task-level fault). The scalar kinds have no
+    /// error channel and NaN-encode the failure, matching their solver-error
+    /// convention.
+    #[must_use]
+    pub fn failed_output(&self, error: &str) -> TaskOutput {
+        let e = error.to_string();
+        match self {
+            Task::SymSubgame { .. } => TaskOutput::Sym(Err(e)),
+            Task::Nep { .. }
+            | Task::Leader { .. }
+            | Task::SymDynamic { .. }
+            | Task::SymContinuous { .. } => TaskOutput::Market(Err(e)),
+            Task::CspOptimalPrice { .. } => TaskOutput::Scalar(f64::NAN),
+            Task::ClosedForms { .. } => TaskOutput::Closed(Err(e)),
+            Task::StandalonePrices { .. } => {
+                TaskOutput::StandalonePrices { cloud: f64::NAN, edge: f64::NAN }
+            }
+            Task::CollisionPdf { .. } => TaskOutput::Pdf(Err(e)),
+            Task::SplitRate { .. } => TaskOutput::Curve(Err(e)),
+            Task::BrDynamics { .. } => TaskOutput::Br(Err(e)),
+            Task::Algorithm1 { .. } => TaskOutput::Trace(Err(e)),
+            Task::MixedPricing { .. } => TaskOutput::Mixed(Err(e)),
+            Task::RlTrain { .. } => TaskOutput::Learned(Err(e)),
+            Task::RaceSim { .. } => TaskOutput::Race(Err(e)),
+        }
+    }
+
     /// Short kind label, used for telemetry keys and error messages.
     #[must_use]
     pub fn kind(&self) -> &'static str {

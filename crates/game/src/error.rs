@@ -56,6 +56,14 @@ impl GameError {
     pub fn invalid(msg: impl Into<String>) -> Self {
         GameError::InvalidGame(msg.into())
     }
+
+    /// Whether the runtime budget for the solve was spent (deadline or
+    /// cancellation) rather than the dynamics failing — see
+    /// [`NumericsError::is_interruption`].
+    #[must_use]
+    pub fn is_interruption(&self) -> bool {
+        matches!(self, GameError::Numerics(e) if e.is_interruption())
+    }
 }
 
 #[cfg(test)]

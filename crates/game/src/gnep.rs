@@ -10,6 +10,8 @@
 //! pseudo-gradient, and is what the paper's Algorithm 2 computes. This
 //! module builds that VI and solves it with the extragradient method.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use mbm_numerics::projection::ConvexSet;
 use mbm_numerics::vi::{extragradient_in, natural_residual_in, ViParams, ViRun, ViWorkspace};
 

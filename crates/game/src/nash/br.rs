@@ -7,6 +7,8 @@
 //! miner subgame has a strictly monotone pseudo-gradient, Theorem 2), every
 //! schedule converges to the unique Nash equilibrium.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -211,6 +213,12 @@ pub fn best_response_dynamics_in<G: Game>(
     };
 
     for sweep in 0..params.max_sweeps {
+        mbm_numerics::supervision::checkpoint(
+            mbm_faults::sites::BR_DYNAMICS,
+            sweep,
+            params.max_sweeps,
+            history.last().copied().unwrap_or(f64::INFINITY),
+        )?;
         sync_profile(before, profile);
         match params.order {
             UpdateOrder::Simultaneous => {

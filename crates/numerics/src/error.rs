@@ -44,6 +44,17 @@ pub enum NumericsError {
         /// only, for context).
         at: f64,
     },
+    /// The supervision deadline passed while iterating. Unlike
+    /// [`NumericsError::DidNotConverge`] this is **not** a convergence
+    /// failure: the runtime budget for the whole solve is spent, so tier
+    /// escalation must stop rather than start over.
+    DeadlineExceeded {
+        /// Wall-clock time elapsed since supervision began, in milliseconds.
+        elapsed_ms: u64,
+    },
+    /// Cooperative cancellation was requested while iterating. Terminal for
+    /// the same reason as [`NumericsError::DeadlineExceeded`].
+    Cancelled,
 }
 
 impl fmt::Display for NumericsError {
@@ -60,6 +71,10 @@ impl fmt::Display for NumericsError {
             NumericsError::NonFiniteValue { at } => {
                 write!(f, "non-finite function value encountered near {at}")
             }
+            NumericsError::DeadlineExceeded { elapsed_ms } => {
+                write!(f, "solve deadline exceeded after {elapsed_ms} ms")
+            }
+            NumericsError::Cancelled => write!(f, "solve cancelled"),
         }
     }
 }
@@ -70,6 +85,15 @@ impl NumericsError {
     /// Convenience constructor for [`NumericsError::InvalidInput`].
     pub fn invalid(msg: impl Into<String>) -> Self {
         NumericsError::InvalidInput(msg.into())
+    }
+
+    /// Whether this error means the *runtime budget* for the solve was spent
+    /// (deadline passed or cancellation requested) rather than the method
+    /// failing. Interruptions are terminal: retrying or escalating to
+    /// another tier would just spin against the same exhausted budget.
+    #[must_use]
+    pub fn is_interruption(&self) -> bool {
+        matches!(self, NumericsError::DeadlineExceeded { .. } | NumericsError::Cancelled)
     }
 }
 

@@ -5,6 +5,8 @@
 //! Damping (`x ← (1−ω) x + ω T(x)`) turns many merely non-expansive maps into
 //! convergent ones and is one of the ablations benchmarked in EXP-ABL.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use serde::{Deserialize, Serialize};
 
 use crate::error::NumericsError;
@@ -85,6 +87,12 @@ where
     let mut tx = vec![0.0; x.len()];
     let mut history = Vec::new();
     for iter in 0..params.max_iter {
+        crate::supervision::checkpoint(
+            mbm_faults::sites::FIXED_POINT,
+            iter,
+            params.max_iter,
+            history.last().copied().unwrap_or(f64::INFINITY),
+        )?;
         map(&x, &mut tx);
         if tx.iter().any(|v| !v.is_finite()) {
             return Err(NumericsError::NonFiniteValue { at: x[0] });

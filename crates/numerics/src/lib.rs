@@ -55,6 +55,7 @@ pub mod quadrature;
 pub mod roots;
 pub mod sequence;
 pub mod stats;
+pub mod supervision;
 pub(crate) mod telemetry;
 pub mod vi;
 

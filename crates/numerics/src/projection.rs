@@ -11,6 +11,8 @@
 //!   `Σ eᵢ ≤ E_max`) — [`Halfspace`];
 //! * intersections of the above — [`dykstra`].
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use serde::{Deserialize, Serialize};
 
 use crate::error::NumericsError;

@@ -7,6 +7,8 @@
 //! weights are computed from scratch by Newton iteration on the Hermite
 //! recurrence.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use crate::error::NumericsError;
 
 /// Composite Simpson integration of `f` over `[a, b]` with `2n` panels.

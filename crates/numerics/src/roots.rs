@@ -4,6 +4,8 @@
 //! characterize miner best responses (budget multipliers) and service-provider
 //! price optima in the mining game.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use crate::error::{ensure_finite, NumericsError};
 
 /// A validated interval `[a, b]` with `a < b`, used as the search region for
@@ -115,7 +117,8 @@ where
     if fa.signum() == fb.signum() {
         return Err(NumericsError::NoBracket { a, b, fa, fb });
     }
-    for _ in 0..max_iter {
+    for iter in 0..max_iter {
+        crate::supervision::checkpoint(mbm_faults::sites::ROOTS, iter, max_iter, b - a)?;
         let mid = 0.5 * (a + b);
         let fm = f(mid);
         evals += 1;
@@ -197,7 +200,8 @@ where
     let mut d = b - a;
     let mut e = d;
 
-    for _ in 0..max_iter {
+    for iter in 0..max_iter {
+        crate::supervision::checkpoint(mbm_faults::sites::ROOTS, iter, max_iter, fb.abs())?;
         if fb.signum() == fc.signum() {
             c = a;
             fc = fa;
@@ -319,7 +323,8 @@ where
         std::mem::swap(&mut a, &mut b);
     }
     let mut x = 0.5 * (a + b);
-    for _ in 0..max_iter {
+    for iter in 0..max_iter {
+        crate::supervision::checkpoint(mbm_faults::sites::ROOTS, iter, max_iter, (b - a).abs())?;
         let (fx, dfx) = fdf(x);
         evals += 1;
         check_finite(x, fx)?;

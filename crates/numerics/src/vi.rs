@@ -9,6 +9,8 @@
 //! The extragradient (Korpelevich) method converges for monotone Lipschitz
 //! `F` on compact convex `K`.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use serde::{Deserialize, Serialize};
 
 use crate::error::NumericsError;
@@ -176,6 +178,12 @@ where
     let mut residual = f64::INFINITY;
 
     for iter in 0..params.max_iter {
+        crate::supervision::checkpoint(
+            mbm_faults::sites::VI_EXTRAGRADIENT,
+            iter,
+            params.max_iter,
+            residual,
+        )?;
         operator(x, fx);
         ensure_finite_slice(fx, x)?;
         // Predictor: y = P_K(x - step * F(x)).
