@@ -152,6 +152,11 @@ impl Puzzle {
     /// cross-chunk cancellation.
     pub const PAR_CHUNK: u64 = 16 * 1024;
 
+    /// Minimum nonce budget for which [`Puzzle::solve_par`] actually fans
+    /// out; at or below this it runs the serial scan (chunk distribution
+    /// would cost more than it amortizes over so few chunks).
+    pub const PAR_WORK_THRESHOLD: u64 = 4 * Self::PAR_CHUNK;
+
     /// Parallel [`Puzzle::solve`]: grinds disjoint nonce chunks on `pool`
     /// with first-hit cancellation.
     ///
@@ -167,7 +172,12 @@ impl Puzzle {
         start: u64,
         max_attempts: u64,
     ) -> Option<Solution> {
-        if max_attempts <= Self::PAR_CHUNK || pool.threads() <= 1 {
+        // Below the work threshold the chunked search cannot win: with a
+        // serial pool it is the serial scan plus bookkeeping, and with only
+        // a few chunks the claim/cancellation machinery costs more than the
+        // overlap saves. Fall back, so `solve_par` is never slower than
+        // `solve` by construction (the `pow_grind` bench gates on this).
+        if max_attempts <= Self::PAR_WORK_THRESHOLD || pool.threads() <= 1 {
             return self.solve(start, max_attempts);
         }
         let rec = mbm_obs::global();
@@ -279,6 +289,18 @@ mod tests {
         // Nonzero start with a multi-chunk budget.
         let budget = 3 * Puzzle::PAR_CHUNK + 17;
         assert_eq!(puzzle.solve(1 << 40, budget), puzzle.solve_par(&pool, 1 << 40, budget));
+    }
+
+    #[test]
+    fn parallel_solve_falls_back_below_the_work_threshold() {
+        // At the threshold boundary the serial fallback and the fanned
+        // search must agree; the telemetry distinguishes the two paths.
+        let t = Target::from_success_probability(1.0 / 1_000_000.0).unwrap();
+        let puzzle = Puzzle::new(b"threshold".to_vec(), t);
+        let pool = mbm_par::Pool::new(4);
+        for budget in [Puzzle::PAR_WORK_THRESHOLD, Puzzle::PAR_WORK_THRESHOLD + Puzzle::PAR_CHUNK] {
+            assert_eq!(puzzle.solve(0, budget), puzzle.solve_par(&pool, 0, budget));
+        }
     }
 
     #[test]

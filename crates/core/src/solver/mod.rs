@@ -29,6 +29,7 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod aggregate;
 pub mod policy;
 pub mod report;
 pub mod workspace;
@@ -43,6 +44,9 @@ use mbm_game::gnep::{gnep_residual_in, variational_equilibrium_in, ProductSet};
 use mbm_game::nash::{best_response_dynamics_in, BrParams, UpdateOrder};
 use mbm_numerics::projection::{BudgetSet, ConvexSet};
 use mbm_numerics::vi::ViParams;
+use mbm_par::Pool;
+
+use aggregate::{run_aggregate, AggregateMode};
 
 use crate::error::MiningGameError;
 use crate::params::{validate_budgets, validate_prices, MarketParams, Prices};
@@ -96,7 +100,7 @@ pub struct Solved {
 }
 
 /// Intermediate result of one tier run.
-struct TierRun {
+pub(crate) struct TierRun {
     aggregates: Aggregates,
     n: usize,
     iterations: usize,
@@ -111,6 +115,7 @@ struct TierRun {
 /// tier already failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum TierSpec {
+    AggregateBr,
     ConnectedBr { boosted: bool },
     ConnectedVi,
     StandaloneVi,
@@ -125,6 +130,7 @@ enum TierSpec {
 impl TierSpec {
     fn method(self) -> SolveMethod {
         match self {
+            TierSpec::AggregateBr => SolveMethod::AggregateBestResponse,
             TierSpec::ConnectedBr { .. } | TierSpec::StandaloneBr => {
                 SolveMethod::BestResponseDynamics
             }
@@ -142,6 +148,8 @@ impl TierSpec {
 enum FollowerProblem<'a> {
     Connected { budgets: &'a [f64], cfg: SubgameConfig },
     Standalone { budgets: &'a [f64], cfg: SubgameConfig },
+    AggregateConnected { budgets: &'a [f64], cfg: SubgameConfig, pool: &'a Pool },
+    AggregateStandalone { budgets: &'a [f64], cfg: SubgameConfig, pool: &'a Pool },
     SymmetricConnected { budget: f64, n: usize, cfg: SubgameConfig },
     SymmetricStandalone { budget: f64, n: usize, cfg: SubgameConfig },
     Homogeneous { budget: f64, n: usize },
@@ -180,6 +188,64 @@ impl<'a> TieredSolver<'a> {
         cfg: &SubgameConfig,
     ) -> Self {
         TieredSolver { params, prices, problem: FollowerProblem::Standalone { budgets, cfg: *cfg } }
+    }
+
+    /// Aggregate-form O(N) connected chain (chunked Jacobi sweep →
+    /// legacy BR dynamics → extragradient), parallelized on the global pool.
+    /// Results are bitwise identical at any pool size — see
+    /// [`TieredSolver::aggregate_connected_in`] to pin a pool explicitly.
+    #[must_use]
+    pub fn aggregate_connected(
+        params: &'a MarketParams,
+        prices: &'a Prices,
+        budgets: &'a [f64],
+        cfg: &SubgameConfig,
+    ) -> Self {
+        Self::aggregate_connected_in(params, prices, budgets, cfg, Pool::global())
+    }
+
+    /// [`TieredSolver::aggregate_connected`] on an explicit worker pool.
+    #[must_use]
+    pub fn aggregate_connected_in(
+        params: &'a MarketParams,
+        prices: &'a Prices,
+        budgets: &'a [f64],
+        cfg: &SubgameConfig,
+        pool: &'a Pool,
+    ) -> Self {
+        TieredSolver {
+            params,
+            prices,
+            problem: FollowerProblem::AggregateConnected { budgets, cfg: *cfg, pool },
+        }
+    }
+
+    /// Aggregate-form O(N) standalone chain (chunked capped Jacobi sweep →
+    /// extragradient → legacy BR dynamics), parallelized on the global pool.
+    #[must_use]
+    pub fn aggregate_standalone(
+        params: &'a MarketParams,
+        prices: &'a Prices,
+        budgets: &'a [f64],
+        cfg: &SubgameConfig,
+    ) -> Self {
+        Self::aggregate_standalone_in(params, prices, budgets, cfg, Pool::global())
+    }
+
+    /// [`TieredSolver::aggregate_standalone`] on an explicit worker pool.
+    #[must_use]
+    pub fn aggregate_standalone_in(
+        params: &'a MarketParams,
+        prices: &'a Prices,
+        budgets: &'a [f64],
+        cfg: &SubgameConfig,
+        pool: &'a Pool,
+    ) -> Self {
+        TieredSolver {
+            params,
+            prices,
+            problem: FollowerProblem::AggregateStandalone { budgets, cfg: *cfg, pool },
+        }
     }
 
     /// Symmetric connected fast path with full-solve escalation.
@@ -260,6 +326,18 @@ impl<'a> TieredSolver<'a> {
                 &[TierSpec::ConnectedBr { boosted: false }, TierSpec::ConnectedVi]
             }
             FollowerProblem::Standalone { .. } => &[TierSpec::StandaloneVi, TierSpec::StandaloneBr],
+            // The aggregate chains escalate to the legacy full solvers only
+            // on convergence failure (the legacy tiers are O(N²) per sweep,
+            // so escalation is expected to fire at small N only — at large N
+            // the solve policy's deadline bounds the fallback).
+            FollowerProblem::AggregateConnected { .. } => &[
+                TierSpec::AggregateBr,
+                TierSpec::ConnectedBr { boosted: true },
+                TierSpec::ConnectedVi,
+            ],
+            FollowerProblem::AggregateStandalone { .. } => {
+                &[TierSpec::AggregateBr, TierSpec::StandaloneVi, TierSpec::StandaloneBr]
+            }
             FollowerProblem::SymmetricConnected { .. } => &[
                 TierSpec::SymConnected,
                 TierSpec::ConnectedBr { boosted: true },
@@ -281,9 +359,13 @@ impl<'a> TieredSolver<'a> {
 
     fn mode_sym(&self) -> (SolveMode, bool) {
         match self.problem {
-            FollowerProblem::Connected { .. } => (SolveMode::Connected, false),
+            FollowerProblem::Connected { .. } | FollowerProblem::AggregateConnected { .. } => {
+                (SolveMode::Connected, false)
+            }
             FollowerProblem::SymmetricConnected { .. } => (SolveMode::Connected, true),
-            FollowerProblem::Standalone { .. } => (SolveMode::Standalone, false),
+            FollowerProblem::Standalone { .. } | FollowerProblem::AggregateStandalone { .. } => {
+                (SolveMode::Standalone, false)
+            }
             FollowerProblem::SymmetricStandalone { .. } => (SolveMode::Standalone, true),
             FollowerProblem::Homogeneous { .. } => (SolveMode::Homogeneous, true),
             FollowerProblem::Dynamic { .. } | FollowerProblem::Continuous { .. } => {
@@ -295,8 +377,10 @@ impl<'a> TieredSolver<'a> {
     fn telemetry_name(&self) -> &'static str {
         match self.problem {
             FollowerProblem::Connected { .. } => "core.solver.connected",
+            FollowerProblem::AggregateConnected { .. } => "core.solver.connected_aggregate",
             FollowerProblem::SymmetricConnected { .. } => "core.solver.connected_sym",
             FollowerProblem::Standalone { .. } => "core.solver.standalone",
+            FollowerProblem::AggregateStandalone { .. } => "core.solver.standalone_aggregate",
             FollowerProblem::SymmetricStandalone { .. } => "core.solver.standalone_sym",
             FollowerProblem::Homogeneous { .. } => "core.solver.homogeneous",
             FollowerProblem::Dynamic { .. } => "core.solver.dynamic",
@@ -312,7 +396,9 @@ impl<'a> TieredSolver<'a> {
         validate_prices(self.prices)?;
         match &self.problem {
             FollowerProblem::Connected { budgets, .. }
-            | FollowerProblem::Standalone { budgets, .. } => validate_budgets(budgets),
+            | FollowerProblem::Standalone { budgets, .. }
+            | FollowerProblem::AggregateConnected { budgets, .. }
+            | FollowerProblem::AggregateStandalone { budgets, .. } => validate_budgets(budgets),
             FollowerProblem::SymmetricConnected { budget, n, .. }
             | FollowerProblem::SymmetricStandalone { budget, n, .. }
             | FollowerProblem::Homogeneous { budget, n } => {
@@ -355,6 +441,69 @@ impl<'a> TieredSolver<'a> {
             }
             (FollowerProblem::Connected { budgets, cfg }, TierSpec::ConnectedVi) => {
                 run_connected_vi(params, prices, budgets, cfg, ws, salvage)
+            }
+            (FollowerProblem::AggregateConnected { budgets, cfg, pool }, TierSpec::AggregateBr) => {
+                run_aggregate(
+                    AggregateMode::Connected,
+                    params,
+                    prices,
+                    budgets,
+                    cfg,
+                    damping_scale,
+                    overrides,
+                    pool,
+                    ws,
+                    salvage,
+                )
+            }
+            (
+                FollowerProblem::AggregateStandalone { budgets, cfg, pool },
+                TierSpec::AggregateBr,
+            ) => run_aggregate(
+                AggregateMode::Standalone,
+                params,
+                prices,
+                budgets,
+                cfg,
+                damping_scale,
+                overrides,
+                pool,
+                ws,
+                salvage,
+            ),
+            // Aggregate chains escalate to the legacy full solvers on the
+            // same budget vector.
+            (
+                FollowerProblem::AggregateConnected { budgets, cfg, .. },
+                TierSpec::ConnectedBr { boosted },
+            ) => run_connected_br(
+                params,
+                prices,
+                budgets,
+                cfg,
+                boosted,
+                damping_scale,
+                overrides,
+                ws,
+                salvage,
+            ),
+            (FollowerProblem::AggregateConnected { budgets, cfg, .. }, TierSpec::ConnectedVi) => {
+                run_connected_vi(params, prices, budgets, cfg, ws, salvage)
+            }
+            (FollowerProblem::AggregateStandalone { budgets, cfg, .. }, TierSpec::StandaloneVi) => {
+                run_standalone_vi(params, prices, budgets, cfg, overrides, ws, salvage)
+            }
+            (FollowerProblem::AggregateStandalone { budgets, cfg, .. }, TierSpec::StandaloneBr) => {
+                run_standalone_br(
+                    params,
+                    prices,
+                    budgets,
+                    cfg,
+                    damping_scale,
+                    overrides,
+                    ws,
+                    salvage,
+                )
             }
             (FollowerProblem::Standalone { budgets, cfg }, TierSpec::StandaloneVi) => {
                 run_standalone_vi(params, prices, budgets, cfg, overrides, ws, salvage)
@@ -737,6 +886,7 @@ fn method_counter(m: SolveMethod) -> &'static str {
         SolveMethod::DampedExpectationFixedPoint => {
             "core.solver.method.damped_expectation_fixed_point"
         }
+        SolveMethod::AggregateBestResponse => "core.solver.method.aggregate_best_response",
     }
 }
 
@@ -1111,6 +1261,44 @@ pub fn solve_standalone_reported(
 ) -> Result<(MinerEquilibrium, SolveReport), MiningGameError> {
     SolveWorkspace::with_thread_local(|ws| {
         let solved = TieredSolver::standalone(params, prices, budgets, cfg).solve(ws)?;
+        Ok((ws.equilibrium(&solved), solved.report))
+    })
+}
+
+/// Solves the heterogeneous connected subgame via the aggregate-form O(N)
+/// chain (chunked Jacobi sweep with legacy escalation), returning the
+/// equilibrium and the solve report. Parallelized on the global pool;
+/// results are bitwise identical at any pool size.
+///
+/// # Errors
+///
+/// Propagates parameter and (terminal) convergence errors.
+pub fn solve_aggregate_connected_reported(
+    params: &MarketParams,
+    prices: &Prices,
+    budgets: &[f64],
+    cfg: &SubgameConfig,
+) -> Result<(MinerEquilibrium, SolveReport), MiningGameError> {
+    SolveWorkspace::with_thread_local(|ws| {
+        let solved = TieredSolver::aggregate_connected(params, prices, budgets, cfg).solve(ws)?;
+        Ok((ws.equilibrium(&solved), solved.report))
+    })
+}
+
+/// Solves the heterogeneous standalone subgame via the aggregate-form O(N)
+/// chain, returning the equilibrium and the solve report.
+///
+/// # Errors
+///
+/// Propagates parameter and (terminal) convergence errors.
+pub fn solve_aggregate_standalone_reported(
+    params: &MarketParams,
+    prices: &Prices,
+    budgets: &[f64],
+    cfg: &SubgameConfig,
+) -> Result<(MinerEquilibrium, SolveReport), MiningGameError> {
+    SolveWorkspace::with_thread_local(|ws| {
+        let solved = TieredSolver::aggregate_standalone(params, prices, budgets, cfg).solve(ws)?;
         Ok((ws.equilibrium(&solved), solved.report))
     })
 }

@@ -60,6 +60,9 @@ pub enum SolveMethod {
     Extragradient,
     /// Damped fixed point over population-expectation best responses.
     DampedExpectationFixedPoint,
+    /// Aggregate-form O(N) Jacobi best-response sweep over the SoA
+    /// population (streaming aggregates, chunked deterministic reduction).
+    AggregateBestResponse,
 }
 
 impl SolveMethod {
@@ -72,6 +75,7 @@ impl SolveMethod {
             SolveMethod::BestResponseDynamics => "best_response_dynamics",
             SolveMethod::Extragradient => "extragradient",
             SolveMethod::DampedExpectationFixedPoint => "damped_expectation_fixed_point",
+            SolveMethod::AggregateBestResponse => "aggregate_best_response",
         }
     }
 }

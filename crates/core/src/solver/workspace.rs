@@ -36,6 +36,9 @@ pub struct SolveWorkspace {
     pub(crate) init: Option<Profile>,
     /// Flat staging buffer for profile data.
     pub(crate) flat: Vec<f64>,
+    /// SoA population scratch of the aggregate-form solver (contiguous
+    /// budget/edge/cloud arrays, staged once per budget vector).
+    pub(crate) soa: SoaPopulation,
     /// Per-miner equilibrium requests of the last heterogeneous solve.
     pub requests: Vec<Request>,
     /// Per-miner equilibrium utilities of the last heterogeneous solve.
@@ -43,6 +46,70 @@ pub struct SolveWorkspace {
     /// Supervision policy for solves using this workspace (retries,
     /// degradation, deadline). Defaults to the strict historical behaviour.
     pub policy: SolvePolicy,
+}
+
+/// Structure-of-arrays population layout for the aggregate-form solver:
+/// budgets and per-miner requests live in contiguous `f64` arrays so the
+/// per-miner sweep streams linearly through memory instead of hopping
+/// across `Request` pairs inside a `Profile`.
+///
+/// Staging is keyed on `(n, budget-bits hash)`: repeated solves over the
+/// same budget vector (the leader price search re-solves the followers at
+/// thousands of price points) skip the `budgets.to_vec()`-style copy that
+/// the legacy heterogeneous games pay on every construction. A key match is
+/// confirmed with a bitwise slice compare, so a hash collision can never
+/// alias two different populations.
+#[derive(Debug, Default)]
+pub(crate) struct SoaPopulation {
+    /// `(n, FNV-1a over budget bits)` of the staged population.
+    key: Option<(usize, u64)>,
+    /// Per-miner budgets, contiguous.
+    pub budgets: Vec<f64>,
+    /// Per-miner edge requests of the current sweep iterate.
+    pub edges: Vec<f64>,
+    /// Per-miner cloud requests of the current sweep iterate.
+    pub clouds: Vec<f64>,
+}
+
+fn budget_bits_key(budgets: &[f64]) -> u64 {
+    // FNV-1a over the raw IEEE-754 bits: cheap, deterministic, and exact on
+    // the bit patterns (no float comparison semantics involved).
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in budgets {
+        for byte in b.to_bits().to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+impl SoaPopulation {
+    /// Stages `budgets` into the contiguous budget array (and sizes the
+    /// request arrays), skipping the copy when the exact same vector is
+    /// already staged. Returns `true` when a (re)copy happened.
+    pub fn stage(&mut self, budgets: &[f64]) -> bool {
+        let key = (budgets.len(), budget_bits_key(budgets));
+        if self.key == Some(key) && bits_equal(&self.budgets, budgets) {
+            return false;
+        }
+        self.budgets.clear();
+        self.budgets.extend_from_slice(budgets);
+        self.edges.resize(budgets.len(), 0.0);
+        self.clouds.resize(budgets.len(), 0.0);
+        self.key = Some(key);
+        true
+    }
+
+    /// Heap bytes currently reserved by the SoA arrays.
+    pub fn footprint(&self) -> usize {
+        (self.budgets.capacity() + self.edges.capacity() + self.clouds.capacity())
+            * std::mem::size_of::<f64>()
+    }
+}
+
+fn bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
 thread_local! {
@@ -81,6 +148,7 @@ impl SolveWorkspace {
             + self.gnep.footprint()
             + self.init.as_ref().map_or(0, Profile::heap_bytes)
             + self.flat.capacity() * std::mem::size_of::<f64>()
+            + self.soa.footprint()
             + self.requests.capacity() * std::mem::size_of::<Request>()
             + self.utilities.capacity() * std::mem::size_of::<f64>()
     }
@@ -159,5 +227,33 @@ mod tests {
         ws.flat.extend_from_slice(&[0.0; 8]);
         ws.requests.push(Request::default());
         assert!(ws.footprint() > 0);
+    }
+
+    #[test]
+    fn soa_staging_skips_copy_for_identical_budget_bits() {
+        let mut soa = SoaPopulation::default();
+        let budgets = [100.0, 250.0, 75.5];
+        assert!(soa.stage(&budgets));
+        assert_eq!(soa.budgets, budgets);
+        assert_eq!(soa.edges.len(), 3);
+        // Same bits: no restage.
+        assert!(!soa.stage(&budgets));
+        // One bit different: restage.
+        let nudged = [100.0, 250.0, 75.5 + f64::EPSILON * 64.0];
+        assert!(soa.stage(&nudged));
+        assert_eq!(soa.budgets, nudged);
+        // Different n: restage and resize.
+        assert!(soa.stage(&[1.0, 2.0]));
+        assert_eq!(soa.edges.len(), 2);
+    }
+
+    #[test]
+    fn soa_key_collision_cannot_alias_populations() {
+        // Even if two vectors collided in the hash, the bitwise confirm
+        // forces a restage; simulate by checking unequal vectors restage.
+        let mut soa = SoaPopulation::default();
+        soa.stage(&[10.0, 20.0]);
+        assert!(soa.stage(&[20.0, 10.0]));
+        assert_eq!(soa.budgets, [20.0, 10.0]);
     }
 }

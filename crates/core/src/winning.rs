@@ -133,6 +133,36 @@ pub fn w_standalone(i: usize, requests: &[Request], beta: f64) -> f64 {
     w_full(i, requests, beta)
 }
 
+/// [`w_connected_expected`] evaluated against precomputed aggregates: the
+/// O(1) form the aggregate-form population solver uses, where `agg` is
+/// computed once for the whole profile instead of per miner. Given the same
+/// aggregate values the arithmetic is identical to the slice version.
+#[must_use]
+pub fn w_connected_expected_at(r: &Request, agg: &Aggregates, beta: f64, h: f64) -> f64 {
+    let s = agg.total();
+    if s <= 0.0 {
+        return 0.0;
+    }
+    if agg.edge <= 0.0 {
+        return r.total() / s;
+    }
+    (1.0 - beta) * r.total() / s + beta * h * ratio(r.edge, agg.edge)
+}
+
+/// [`w_full`] evaluated against precomputed aggregates (see
+/// [`w_connected_expected_at`]).
+#[must_use]
+pub fn w_full_at(r: &Request, agg: &Aggregates, beta: f64) -> f64 {
+    let s = agg.total();
+    if s <= 0.0 {
+        return 0.0;
+    }
+    if agg.edge <= 0.0 {
+        return r.total() / s;
+    }
+    r.total() / s + beta * (r.edge * agg.cloud - r.cloud * agg.edge) / (agg.edge * s)
+}
+
 /// Theorem 1 check: the total winning probability `Σ_i W_i^h` (exactly 1
 /// for non-degenerate profiles).
 #[must_use]
@@ -165,6 +195,31 @@ pub fn utility_standalone(
     params: &MarketParams,
 ) -> f64 {
     params.reward() * w_full(i, requests, params.fork_rate()) - requests[i].cost(prices)
+}
+
+/// [`utility_connected`] evaluated against precomputed aggregates: the O(1)
+/// per-miner form of the aggregate-form solver's utility fill.
+#[must_use]
+pub fn utility_connected_at(
+    r: &Request,
+    agg: &Aggregates,
+    prices: &Prices,
+    params: &MarketParams,
+) -> f64 {
+    params.reward()
+        * w_connected_expected_at(r, agg, params.fork_rate(), params.edge_availability())
+        - r.cost(prices)
+}
+
+/// [`utility_standalone`] evaluated against precomputed aggregates.
+#[must_use]
+pub fn utility_standalone_at(
+    r: &Request,
+    agg: &Aggregates,
+    prices: &Prices,
+    params: &MarketParams,
+) -> f64 {
+    params.reward() * w_full_at(r, agg, params.fork_rate()) - r.cost(prices)
 }
 
 /// Analytic gradient `[∂U_i/∂e_i, ∂U_i/∂c_i]` of the connected-mode utility
@@ -310,6 +365,41 @@ mod tests {
 
         let us = utility_standalone(0, &r, &prices, &params);
         assert!((us - (100.0 * w_full(0, &r, BETA) - 5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_form_helpers_are_bitwise_equal_to_slice_forms() {
+        let params = MarketParams::builder().fork_rate(BETA).build().unwrap();
+        let prices = Prices::new(3.0, 2.0).unwrap();
+        for profile in [
+            vec![(1.5, 2.5), (2.0, 1.0), (0.5, 3.0)],
+            vec![(0.0, 2.0), (0.0, 6.0)],
+            vec![(0.0, 0.0), (0.0, 0.0)],
+        ] {
+            let r = reqs(&profile);
+            let agg = Aggregates::of(&r);
+            let h = params.edge_availability();
+            for i in 0..r.len() {
+                assert_eq!(
+                    w_connected_expected(i, &r, BETA, h).to_bits(),
+                    w_connected_expected_at(&r[i], &agg, BETA, h).to_bits(),
+                    "{profile:?} miner {i}"
+                );
+                assert_eq!(
+                    w_full(i, &r, BETA).to_bits(),
+                    w_full_at(&r[i], &agg, BETA).to_bits(),
+                    "{profile:?} miner {i}"
+                );
+                assert_eq!(
+                    utility_connected(i, &r, &prices, &params).to_bits(),
+                    utility_connected_at(&r[i], &agg, &prices, &params).to_bits(),
+                );
+                assert_eq!(
+                    utility_standalone(i, &r, &prices, &params).to_bits(),
+                    utility_standalone_at(&r[i], &agg, &prices, &params).to_bits(),
+                );
+            }
+        }
     }
 
     #[test]

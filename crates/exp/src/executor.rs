@@ -31,7 +31,7 @@ use mbm_par::Pool;
 
 use crate::error::EngineError;
 use crate::planner::Plan;
-use crate::task::{RaceSummary, Task, TaskKey, TaskOutput};
+use crate::task::{AggregateSummary, RaceSummary, Task, TaskKey, TaskOutput};
 
 /// Deterministic per-task fault-scope key: an FNV-style fold of the task's
 /// bit-exact canonical key.
@@ -260,6 +260,23 @@ impl TaskResults {
         match self.output(task)? {
             TaskOutput::Scalar(v) => Ok(*v),
             other => Err(Self::mismatch("scalar", other)),
+        }
+    }
+
+    /// Aggregate-form NEP summary; solver failure degrades to `None`.
+    pub fn aggregate_opt(&self, task: &Task) -> Result<Option<&AggregateSummary>, EngineError> {
+        match self.output(task)? {
+            TaskOutput::Aggregate(res) => Ok(res.as_ref().ok()),
+            other => Err(Self::mismatch("aggregate", other)),
+        }
+    }
+
+    /// Aggregate-form NEP summary of a required task.
+    pub fn aggregate(&self, task: &Task) -> Result<&AggregateSummary, EngineError> {
+        match self.output(task)? {
+            TaskOutput::Aggregate(Ok(s)) => Ok(s),
+            TaskOutput::Aggregate(Err(e)) => Err(Self::failed(task, e)),
+            other => Err(Self::mismatch("aggregate", other)),
         }
     }
 

@@ -105,6 +105,7 @@ pub fn registry() -> Vec<ExperimentSpec> {
         crate::specs::calibration::spec(),
         crate::specs::welfare::spec(),
         crate::specs::edgeworth::spec(),
+        crate::specs::scaling::spec(),
     ]
 }
 

@@ -1,0 +1,106 @@
+//! EXP-SCALE — aggregate-form scaling curve: the uniform-budget connected
+//! NEP solved through the O(N) aggregate chain at population sizes from
+//! 10^3 to 10^5, validated per point against the Corollary 1 closed form
+//! (sufficient budget at these sizes, since per-miner spend shrinks like
+//! `1/n`). Rows report the relative error of the aggregate equilibrium
+//! against the closed form plus the sweep count, which stays flat in `N`
+//! (the damping clamp keeps the contraction rate size-independent).
+//!
+//! CI runs this spec at full resolution under `--deadline-ms` as the
+//! large-N smoke; every solve must end `Converged` in `reports.json`.
+
+use mbm_core::params::Prices;
+use mbm_core::scenario::EdgeOperation;
+use mbm_core::subgame::SubgameConfig;
+
+use crate::error::EngineError;
+use crate::executor::TaskResults;
+use crate::market::baseline_market;
+use crate::planner::PlannedTask;
+use crate::spec::{ExperimentSpec, SpecCtx};
+use crate::table::SweepTable;
+use crate::task::Task;
+
+/// The scaling-curve spec. CLI overrides: `[P_e] [P_c] [budget]`.
+#[must_use]
+pub fn spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "scaling-curve",
+        summary: "aggregate-form O(N) solver vs closed form, N = 10^3..10^5",
+        tasks,
+        render,
+    }
+}
+
+fn grid(ctx: &SpecCtx) -> Vec<(usize, Task, Task)> {
+    let params = baseline_market();
+    let p_e = ctx.arg_or(1, 4.0);
+    let p_c = ctx.arg_or(2, 2.0);
+    let budget = ctx.arg_or(3, 200.0);
+    let prices = Prices::new(p_e, p_c).expect("valid prices");
+    let sizes: &[usize] = if ctx.is_check() {
+        // Check keeps the same structure at debug-friendly sizes.
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    sizes
+        .iter()
+        .map(|&n| {
+            let solve = Task::AggregateNep {
+                op: EdgeOperation::Connected,
+                params,
+                prices,
+                budget,
+                n,
+                cfg: SubgameConfig::default(),
+            };
+            let closed = Task::ClosedForms { params, prices, n };
+            (n, solve, closed)
+        })
+        .collect()
+}
+
+fn tasks(ctx: &SpecCtx) -> Vec<PlannedTask> {
+    grid(ctx)
+        .into_iter()
+        .flat_map(|(_, solve, closed)| {
+            [PlannedTask::required(solve), PlannedTask::required(closed)]
+        })
+        .collect()
+}
+
+fn render(ctx: &SpecCtx, results: &TaskResults) -> Result<Vec<SweepTable>, EngineError> {
+    let mut rows = Vec::new();
+    for (n, solve, closed) in grid(ctx) {
+        // Failed tasks degrade to NaN rows (the engine records them against
+        // the spec separately) so a fault-injected sweep still renders.
+        let (agg, reference) = match (results.aggregate_opt(&solve)?, results.closed_opt(&closed)?)
+        {
+            (Some(agg), Some(table2)) => (agg, table2.connected.per_miner),
+            _ => {
+                let mut row = vec![f64::NAN; 9];
+                row[0] = n as f64;
+                rows.push(row);
+                continue;
+            }
+        };
+        let rel = |got: f64, want: f64| (got - want).abs() / want.abs().max(1e-12);
+        rows.push(vec![
+            n as f64,
+            agg.mean_request.edge,
+            agg.mean_request.cloud,
+            agg.aggregates.edge,
+            agg.aggregates.cloud,
+            rel(agg.mean_request.edge, reference.edge),
+            rel(agg.mean_request.cloud, reference.cloud),
+            agg.iterations as f64,
+            agg.residual,
+        ]);
+    }
+    Ok(vec![SweepTable::new(
+        "Scaling curve: aggregate-form connected NEP vs Corollary 1 closed form",
+        &["n", "e_i", "c_i", "E", "C", "rel_err_e", "rel_err_c", "sweeps", "residual"],
+        rows,
+    )])
+}

@@ -20,9 +20,13 @@ use mbm_chain_sim::network::DelayModel;
 use mbm_chain_sim::sim::{simulate, EdgeMode, SimConfig};
 use mbm_core::algorithms::{algorithm1_asynchronous_best_response, AlgorithmConfig, PriceTrace};
 use mbm_core::params::{MarketParams, Prices};
+use mbm_core::request::Aggregates;
 use mbm_core::request::Request;
 use mbm_core::scenario::{EdgeOperation, Scenario, ScenarioOutcome};
-use mbm_core::solver::{solve_symmetric_continuous_reported, SolveReport};
+use mbm_core::solver::{
+    solve_aggregate_connected_reported, solve_aggregate_standalone_reported,
+    solve_symmetric_continuous_reported, SolveReport,
+};
 use mbm_core::sp::mixed::{mixed_price_equilibrium, MixedPriceEquilibrium, MixedPricingConfig};
 use mbm_core::sp::pricing::{standalone_csp_price, standalone_market_clearing_edge_price};
 use mbm_core::sp::stage::{Mode, ProviderStage};
@@ -309,6 +313,42 @@ pub enum Task {
         /// RNG seed.
         seed: u64,
     },
+    /// Uniform-budget follower NEP solved through the aggregate-form O(N)
+    /// chain — the scaling-curve spec's per-N solve. The population is
+    /// described by `(budget, n)` and materialized on the worker, so
+    /// million-miner tasks don't drag million-element budget vectors
+    /// through the planner.
+    AggregateNep {
+        /// Edge operation mode.
+        op: EdgeOperation,
+        /// Market parameters.
+        params: MarketParams,
+        /// Announced prices.
+        prices: Prices,
+        /// Common miner budget.
+        budget: f64,
+        /// Miner count.
+        n: usize,
+        /// Follower-stage solver settings.
+        cfg: SubgameConfig,
+    },
+}
+
+/// Summary of an aggregate-form NEP solve — the full per-miner equilibrium
+/// is collapsed on the worker (mean request + aggregates) so scaling-curve
+/// results stay O(1) per task however large the population is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateSummary {
+    /// Miner count.
+    pub n: usize,
+    /// Equilibrium aggregate demand.
+    pub aggregates: Aggregates,
+    /// Mean per-miner request.
+    pub mean_request: Request,
+    /// Sweeps used by the reporting tier.
+    pub iterations: usize,
+    /// Final sweep displacement.
+    pub residual: f64,
 }
 
 /// The executed output of a [`Task`]; failed solves carry the solver's
@@ -345,6 +385,8 @@ pub enum TaskOutput {
     Learned(Result<Request, String>),
     /// Race-simulation summary.
     Race(Result<RaceSummary, String>),
+    /// Aggregate-form NEP summary (scaling-curve row).
+    Aggregate(Result<AggregateSummary, String>),
 }
 
 /// Bit-exact canonical key: the planner's dedup identity.
@@ -473,6 +515,7 @@ impl Task {
             Task::MixedPricing { .. } => TaskOutput::Mixed(Err(e)),
             Task::RlTrain { .. } => TaskOutput::Learned(Err(e)),
             Task::RaceSim { .. } => TaskOutput::Race(Err(e)),
+            Task::AggregateNep { .. } => TaskOutput::Aggregate(Err(e)),
         }
     }
 
@@ -495,6 +538,7 @@ impl Task {
             Task::MixedPricing { .. } => "mixed_pricing",
             Task::RlTrain { .. } => "rl_train",
             Task::RaceSim { .. } => "race_sim",
+            Task::AggregateNep { .. } => "aggregate_nep",
         }
     }
 
@@ -518,6 +562,7 @@ impl Task {
             Task::MixedPricing { .. } => "exp.task.mixed_pricing",
             Task::RlTrain { .. } => "exp.task.rl_train",
             Task::RaceSim { .. } => "exp.task.race_sim",
+            Task::AggregateNep { .. } => "exp.task.aggregate_nep",
         }
     }
 
@@ -663,6 +708,15 @@ impl Task {
                 k.u(*rounds as u64);
                 k.u(*seed);
             }
+            Task::AggregateNep { op, params, prices, budget, n, cfg } => {
+                k.tag(16);
+                k.op(*op);
+                k.params(params);
+                k.prices(prices);
+                k.f(*budget);
+                k.u(*n as u64);
+                k.subgame(cfg);
+            }
         }
         k.0
     }
@@ -731,6 +785,35 @@ impl Task {
                 match solve_symmetric_continuous_reported(params, prices, *budget, *mu, *sd, cfg) {
                     Ok((r, rep)) => (TaskOutput::Sym(Ok(r)), Some(rep)),
                     Err(e) => (TaskOutput::Sym(Err(e.to_string())), None),
+                }
+            }
+            Task::AggregateNep { op, params, prices, budget, n, cfg } => {
+                let budgets = vec![*budget; *n];
+                let solved = match op {
+                    EdgeOperation::Connected => {
+                        solve_aggregate_connected_reported(params, prices, &budgets, cfg)
+                    }
+                    EdgeOperation::Standalone => {
+                        solve_aggregate_standalone_reported(params, prices, &budgets, cfg)
+                    }
+                };
+                match solved {
+                    Ok((eq, rep)) => {
+                        let inv = 1.0 / *n as f64;
+                        let mean_request = Request {
+                            edge: eq.aggregates.edge * inv,
+                            cloud: eq.aggregates.cloud * inv,
+                        };
+                        let summary = AggregateSummary {
+                            n: *n,
+                            aggregates: eq.aggregates,
+                            mean_request,
+                            iterations: eq.iterations,
+                            residual: eq.residual,
+                        };
+                        (TaskOutput::Aggregate(Ok(summary)), Some(rep))
+                    }
+                    Err(e) => (TaskOutput::Aggregate(Err(e.to_string())), None),
                 }
             }
             _ => (self.run(), None),
@@ -891,6 +974,7 @@ impl Task {
                     .map_err(|e| e.to_string());
                 TaskOutput::Race(summary)
             }
+            Task::AggregateNep { .. } => self.run_reported().0,
         }
     }
 }
@@ -926,6 +1010,7 @@ impl TaskOutput {
             TaskOutput::Mixed(_) => "mixed",
             TaskOutput::Learned(_) => "learned",
             TaskOutput::Race(_) => "race",
+            TaskOutput::Aggregate(_) => "aggregate",
         }
     }
 
@@ -942,7 +1027,8 @@ impl TaskOutput {
             | TaskOutput::Trace(Err(e))
             | TaskOutput::Mixed(Err(e))
             | TaskOutput::Learned(Err(e))
-            | TaskOutput::Race(Err(e)) => Some(e),
+            | TaskOutput::Race(Err(e))
+            | TaskOutput::Aggregate(Err(e)) => Some(e),
             _ => None,
         }
     }

@@ -71,6 +71,8 @@ pub mod sites {
     pub const BR_DYNAMICS: &str = "game.br_dynamics";
     /// Iterations of the symmetric fixed-point cores in the solver.
     pub const SYMMETRIC_FP: &str = "core.solver.symmetric_fp";
+    /// Sweeps of the aggregate-form (SoA) population best-response solver.
+    pub const AGGREGATE_SWEEP: &str = "core.solver.aggregate_sweep";
     /// Tier boundaries of the tiered follower solver.
     pub const SOLVER_TIER: &str = "core.solver.tier";
     /// Task boundaries in the experiment executor.

@@ -34,6 +34,32 @@ pub struct BlockOutcome {
     pub utilities: Vec<f64>,
 }
 
+/// Reusable trajectory buffers for block playouts — the environment-side
+/// analogue of the solver's `SolveWorkspace`. A training run plays tens of
+/// thousands of blocks; routing them through one scratch keeps the
+/// participant/line-up/utility vectors at their high-water capacity instead
+/// of reallocating them every block.
+#[derive(Debug, Default)]
+pub struct BlockScratch {
+    /// Indices of the miners that participated in the last block.
+    pub participants: Vec<usize>,
+    /// Requests of the participants, in slot order.
+    lineup: Vec<Request>,
+    /// Utility realized by each participant (aligned with `participants`).
+    pub utilities: Vec<f64>,
+}
+
+impl BlockScratch {
+    /// Heap bytes currently reserved across the buffers (capacity, not
+    /// length). Steady-state training must not grow this.
+    #[must_use]
+    pub fn footprint(&self) -> usize {
+        self.participants.capacity() * std::mem::size_of::<usize>()
+            + self.lineup.capacity() * std::mem::size_of::<Request>()
+            + self.utilities.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
 impl MiningEnv {
     /// Creates an environment with `pool` learning miners.
     ///
@@ -81,23 +107,42 @@ impl MiningEnv {
     ///
     /// Panics if `requests.len() != self.pool()`.
     pub fn play_block<R: Rng + ?Sized>(&self, requests: &[Request], rng: &mut R) -> BlockOutcome {
+        let mut scratch = BlockScratch::default();
+        self.play_block_into(requests, rng, &mut scratch);
+        BlockOutcome { participants: scratch.participants, utilities: scratch.utilities }
+    }
+
+    /// [`MiningEnv::play_block`] into reusable buffers: identical draws and
+    /// payoffs (the RNG call sequence is unchanged), but the trajectory
+    /// vectors in `scratch` are reused across blocks instead of allocated
+    /// per block. Results land in `scratch.participants` / `scratch.utilities`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len() != self.pool()`.
+    pub fn play_block_into<R: Rng + ?Sized>(
+        &self,
+        requests: &[Request],
+        rng: &mut R,
+        scratch: &mut BlockScratch,
+    ) {
         assert_eq!(requests.len(), self.pool, "MiningEnv::play_block: request count mismatch");
         let k = (self.population.pmf().sample(rng) as usize).clamp(1, self.pool);
-        let mut idx: Vec<usize> = (0..self.pool).collect();
+        let idx = &mut scratch.participants;
+        idx.clear();
+        idx.extend(0..self.pool);
         idx.shuffle(rng);
         idx.truncate(k);
-        let lineup: Vec<Request> = idx.iter().map(|&i| requests[i]).collect();
+        scratch.lineup.clear();
+        scratch.lineup.extend(idx.iter().map(|&i| requests[i]));
+        let lineup = &scratch.lineup;
         let beta = self.params.fork_rate();
-        let utilities = idx
-            .iter()
-            .enumerate()
-            .map(|(slot, &i)| {
-                let w = self.mixing * w_full(slot, &lineup, beta)
-                    + (1.0 - self.mixing) * w_connected_transfer(slot, &lineup, beta);
-                self.params.reward() * w - requests[i].cost(&self.prices)
-            })
-            .collect();
-        BlockOutcome { participants: idx, utilities }
+        scratch.utilities.clear();
+        scratch.utilities.extend(idx.iter().enumerate().map(|(slot, &i)| {
+            let w = self.mixing * w_full(slot, lineup, beta)
+                + (1.0 - self.mixing) * w_connected_transfer(slot, lineup, beta);
+            self.params.reward() * w - requests[i].cost(&self.prices)
+        }));
     }
 
     /// Aggregate demand of a request profile (diagnostic for the SP loop).
@@ -181,6 +226,29 @@ mod tests {
             .map(|(_, &u)| u)
             .unwrap();
         assert!((u0 - (100.0 - 4.0)).abs() < 1e-9, "{u0}");
+    }
+
+    #[test]
+    fn scratch_playout_is_bitwise_equal_and_allocation_stable() {
+        let e = env(6);
+        let reqs = vec![Request { edge: 1.2, cloud: 0.7 }; 6];
+        let mut rng_a = StdRng::seed_from_u64(17);
+        let mut rng_b = StdRng::seed_from_u64(17);
+        let mut scratch = BlockScratch::default();
+        let mut high_water = 0usize;
+        for block in 0..500 {
+            let owned = e.play_block(&reqs, &mut rng_a);
+            e.play_block_into(&reqs, &mut rng_b, &mut scratch);
+            assert_eq!(scratch.participants, owned.participants, "block {block}");
+            assert_eq!(scratch.utilities, owned.utilities, "block {block}");
+            if block == 49 {
+                high_water = scratch.footprint();
+                assert!(high_water > 0);
+            }
+            if block >= 50 {
+                assert_eq!(scratch.footprint(), high_water, "scratch grew at block {block}");
+            }
+        }
     }
 
     #[test]

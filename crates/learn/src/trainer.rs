@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::actions::ActionGrid;
 use crate::bandit::QLearner;
-use crate::env::MiningEnv;
+use crate::env::{BlockScratch, MiningEnv};
 use crate::error::LearnError;
 
 /// Configuration for the learning loops.
@@ -123,6 +123,11 @@ pub fn learn_on_grid(
         .map(|_| QLearner::new(grid.len(), cfg.epsilon, cfg.epsilon_decay, cfg.alpha))
         .collect::<Result<_, _>>()?;
     let mut chosen = vec![0usize; pool];
+    // Trajectory scratch reused across every block of the run: the action
+    // profile and the environment's participant/line-up/utility buffers
+    // stay at their high-water capacity instead of reallocating per block.
+    let mut requests = vec![Request::default(); pool];
+    let mut scratch = BlockScratch::default();
     let blocks = cfg.period_blocks * cfg.periods;
     let rec = mbm_obs::global();
     let telemetry = rec.enabled();
@@ -133,14 +138,16 @@ pub fn learn_on_grid(
             for (i, l) in learners.iter().enumerate() {
                 chosen[i] = l.select(&mut rng);
             }
-            let requests: Vec<Request> = chosen.iter().map(|&a| grid.action(a)).collect();
-            let outcome = env.play_block(&requests, &mut rng);
-            for (&i, &u) in outcome.participants.iter().zip(&outcome.utilities) {
+            for (r, &a) in requests.iter_mut().zip(&chosen) {
+                *r = grid.action(a);
+            }
+            env.play_block_into(&requests, &mut rng, &mut scratch);
+            for (&i, &u) in scratch.participants.iter().zip(&scratch.utilities) {
                 learners[i].update(chosen[i], u);
             }
             if telemetry {
-                period_reward += outcome.utilities.iter().sum::<f64>();
-                period_samples += outcome.utilities.len();
+                period_reward += scratch.utilities.iter().sum::<f64>();
+                period_samples += scratch.utilities.len();
             }
         }
         if telemetry {

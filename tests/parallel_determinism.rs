@@ -7,8 +7,11 @@
 use proptest::prelude::*;
 
 use mbm_chain_sim::pow::{Puzzle, Target};
-use mbm_core::params::{MarketParams, Provider};
+use mbm_core::params::{MarketParams, Prices, Provider};
+use mbm_core::request::Request;
+use mbm_core::solver::{FollowerSolver, SolveWorkspace, TieredSolver};
 use mbm_core::stackelberg::{solve_connected, ExecConfig, StackelbergConfig};
+use mbm_core::subgame::SubgameConfig;
 use mbm_par::Pool;
 
 /// Markets in the regime where the leader game has a pure equilibrium
@@ -76,6 +79,71 @@ proptest! {
             };
             let got = solve_connected(&params, &budgets, &cfg).ok();
             prop_assert_eq!(&got, &reference, "threads = {}, capacity = {}", threads, capacity);
+        }
+    }
+}
+
+/// Heterogeneous budgets from a fixed LCG so the population differs across
+/// every chunk of the aggregate sweep without depending on `rand`.
+fn lcg_budgets(n: usize) -> Vec<f64> {
+    let mut state: u64 = 0x2545_f491_4f6c_dd1d;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            // Map the top bits into [50, 450).
+            50.0 + 400.0 * ((state >> 11) as f64 / (1u64 << 53) as f64)
+        })
+        .collect()
+}
+
+/// Solves `budgets` through the aggregate-form chain on an explicit pool
+/// and returns the per-miner request bit patterns plus the solve
+/// aggregates/residual bits.
+fn aggregate_solve_bits(
+    standalone: bool,
+    budgets: &[f64],
+    threads: usize,
+) -> (Vec<(u64, u64)>, u64, u64, u64) {
+    let params = MarketParams::builder()
+        .reward(100.0)
+        .fork_rate(0.2)
+        .edge_availability(0.8)
+        .e_max(1e6)
+        .build()
+        .unwrap();
+    let prices = Prices::new(4.0, 2.0).unwrap();
+    let cfg = SubgameConfig { tol: 1e-6, ..SubgameConfig::default() };
+    let pool = Pool::new(threads);
+    let solver = if standalone {
+        TieredSolver::aggregate_standalone_in(&params, &prices, budgets, &cfg, &pool)
+    } else {
+        TieredSolver::aggregate_connected_in(&params, &prices, budgets, &cfg, &pool)
+    };
+    let mut ws = SolveWorkspace::new();
+    let solved = solver.solve(&mut ws).unwrap();
+    let requests: Vec<(u64, u64)> =
+        ws.requests.iter().map(|r: &Request| (r.edge.to_bits(), r.cloud.to_bits())).collect();
+    (
+        requests,
+        solved.aggregates.edge.to_bits(),
+        solved.aggregates.cloud.to_bits(),
+        solved.residual.to_bits(),
+    )
+}
+
+/// The chunked aggregate-form sweep is bitwise identical at 1, 2 and 8
+/// worker threads, on a population large enough to span chunk boundaries
+/// (`SWEEP_CHUNK` = 4096), in both follower modes.
+#[test]
+fn aggregate_sweep_is_bitwise_identical_across_1_2_8_threads() {
+    let budgets = lcg_budgets(4096 + 257);
+    for standalone in [false, true] {
+        let reference = aggregate_solve_bits(standalone, &budgets, 1);
+        for threads in [2usize, 8] {
+            let got = aggregate_solve_bits(standalone, &budgets, threads);
+            assert_eq!(got, reference, "standalone = {standalone}, threads = {threads}");
         }
     }
 }
