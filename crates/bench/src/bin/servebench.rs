@@ -1,0 +1,8 @@
+//! Thin entry point: the serving-layer throughput bench lives in
+//! `mbm_serve::loadgen` (a self-contained spawn-mode load run emitting the
+//! `serve_sustained_throughput` record). Usage:
+//! `servebench [bench.json] [telemetry.json]`.
+
+fn main() {
+    std::process::exit(mbm_serve::loadgen::main_servebench());
+}

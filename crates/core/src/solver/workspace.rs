@@ -123,6 +123,15 @@ impl SolveWorkspace {
         SolveWorkspace::default()
     }
 
+    /// An empty workspace pre-configured with a supervision policy. Server
+    /// workers own one workspace per thread and construct it with their
+    /// batch policy (e.g. [`SolvePolicy::resilient`]) so every job solved on
+    /// that worker is supervised without per-job policy plumbing.
+    #[must_use]
+    pub fn with_policy(policy: SolvePolicy) -> Self {
+        SolveWorkspace { policy, ..SolveWorkspace::default() }
+    }
+
     /// Runs `f` with this thread's shared workspace. The hot leader-search
     /// path uses this so every follower solve on a worker thread reuses one
     /// set of buffers; workspace contents never influence solve *values*

@@ -77,6 +77,9 @@ pub mod sites {
     pub const SOLVER_TIER: &str = "core.solver.tier";
     /// Task boundaries in the experiment executor.
     pub const EXP_TASK: &str = "exp.task";
+    /// Job boundaries in the `mbm-serve` worker pool (probed once per
+    /// admitted request before the solve starts).
+    pub const SERVE_JOB: &str = "serve.job";
 }
 
 /// What an injected fault forces the probed code path to do.

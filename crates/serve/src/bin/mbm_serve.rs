@@ -1,0 +1,137 @@
+//! The `mbm-serve` daemon binary.
+//!
+//! ```text
+//! mbm-serve --addr 127.0.0.1:7424 --workers 4 --queue 64
+//! ```
+//!
+//! SIGTERM/SIGINT begin a graceful drain (in-flight jobs finish, queued
+//! jobs are shed with typed responses, exit 0); a second signal escalates
+//! to forced shutdown (in-flight solves are cancelled at their next
+//! supervision probe). Worker count 0 defers to `MBM_PAR_THREADS` via the
+//! same [`ExecConfig::effective_threads`] resolution the experiment
+//! pipeline uses.
+//!
+//! [`ExecConfig::effective_threads`]: mbm_core::stackelberg::ExecConfig::effective_threads
+
+#![deny(clippy::unwrap_used)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use mbm_serve::server::{request_shutdown, Server, ServerConfig, ShutdownFlag, DRAIN, FORCE};
+
+/// Signal numbers (POSIX; this workspace only targets Unix runners).
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    /// libc `signal(2)` — always linked by std; no new dependency.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+static SIGNAL_COUNT: AtomicUsize = AtomicUsize::new(0);
+static FLAG: OnceLock<ShutdownFlag> = OnceLock::new();
+
+extern "C" fn on_signal(_sig: i32) {
+    // Async-signal-safe: atomics only. First signal drains, second forces.
+    let prior = SIGNAL_COUNT.fetch_add(1, Ordering::SeqCst);
+    if let Some(flag) = FLAG.get() {
+        request_shutdown(flag, if prior == 0 { DRAIN } else { FORCE });
+    }
+}
+
+fn install_signal_handlers() {
+    // SAFETY: installing a handler that only touches atomics; `on_signal`
+    // has the exact type `signal` expects.
+    let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mbm-serve [--addr HOST:PORT] [--workers N] [--queue N] \
+         [--default-deadline-ms N] [--max-deadline-ms N] [--test-verbs]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> ServerConfig {
+    let mut cfg = ServerConfig { addr: "127.0.0.1:7424".into(), ..ServerConfig::default() };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = take("--addr"),
+            "--workers" => cfg.workers = parse_num(&take("--workers"), "--workers"),
+            "--queue" => cfg.queue_capacity = parse_num(&take("--queue"), "--queue"),
+            "--default-deadline-ms" => {
+                cfg.default_deadline_ms =
+                    parse_num(&take("--default-deadline-ms"), "--default-deadline-ms") as u64;
+            }
+            "--max-deadline-ms" => {
+                cfg.max_deadline_ms =
+                    parse_num(&take("--max-deadline-ms"), "--max-deadline-ms") as u64;
+            }
+            "--test-verbs" => cfg.test_verbs = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    cfg
+}
+
+fn parse_num(s: &str, name: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{name}: `{s}` is not a non-negative integer");
+        usage()
+    })
+}
+
+fn main() {
+    let cfg = parse_args();
+    // Deterministic fault injection: honour MBM_FAULT_PLAN exactly like the
+    // experiments runner, so CI can drive kernel faults through the daemon.
+    // A typo'd plan is a hard error, not a silently fault-free run.
+    let plan = match mbm_faults::FaultPlan::from_env() {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("mbm-serve: MBM_FAULT_PLAN: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(p) = &plan {
+        eprintln!("mbm-serve: fault plan armed: {}", p.to_spec());
+    }
+    let _fault_guard = plan.map(mbm_faults::install);
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mbm-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = server.local_addr().map(|a| a.to_string()).unwrap_or_default();
+    FLAG.set(server.shutdown_flag()).ok();
+    install_signal_handlers();
+    eprintln!("mbm-serve: listening on {addr} with {} workers", server.workers());
+    match server.run() {
+        Ok(()) => {
+            eprintln!("mbm-serve: graceful shutdown complete");
+        }
+        Err(e) => {
+            eprintln!("mbm-serve: listener error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! The `mbm-serve-load` load-generator binary.
+//!
+//! ```text
+//! # Against a running daemon:
+//! mbm-serve-load --addr 127.0.0.1:7424 --requests 400 --seed 42
+//!
+//! # Self-contained (in-process server, ephemeral port):
+//! mbm-serve-load --spawn 2 --requests 400 --dump dump.txt --bench SERVE_BENCH.json
+//! ```
+//!
+//! Exits non-zero on a stall, a missing response, any untyped response, or
+//! a violated `--floor-rps` throughput floor. `--dump` writes the sorted
+//! response multiset — byte-identical across worker counts — for the CI
+//! determinism gate.
+
+#![deny(clippy::unwrap_used)]
+
+use std::time::Duration;
+
+use mbm_serve::loadgen::{run, summarize, LoadConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mbm-serve-load (--addr HOST:PORT | --spawn WORKERS) [--requests N] \
+         [--seed N] [--deadline-ms N] [--window N] [--stall-secs N] [--dump PATH] \
+         [--bench PATH] [--telemetry PATH] [--health-out PATH] [--floor-rps X]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> LoadConfig {
+    let mut cfg = LoadConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = Some(take("--addr")),
+            "--spawn" => cfg.spawn_workers = Some(num(&take("--spawn"), "--spawn")),
+            "--requests" => cfg.requests = num(&take("--requests"), "--requests"),
+            "--seed" => cfg.seed = num(&take("--seed"), "--seed") as u64,
+            "--deadline-ms" => {
+                cfg.deadline_ms = num(&take("--deadline-ms"), "--deadline-ms") as u64
+            }
+            "--window" => cfg.window = num(&take("--window"), "--window"),
+            "--stall-secs" => {
+                cfg.stall_timeout =
+                    Duration::from_secs(num(&take("--stall-secs"), "--stall-secs") as u64);
+            }
+            "--dump" => cfg.dump = Some(take("--dump")),
+            "--bench" => cfg.bench_out = Some(take("--bench")),
+            "--telemetry" => cfg.telemetry_out = Some(take("--telemetry")),
+            "--health-out" => cfg.health_out = Some(take("--health-out")),
+            "--floor-rps" => {
+                cfg.floor_rps = take("--floor-rps").parse().unwrap_or_else(|_| {
+                    eprintln!("--floor-rps needs a number");
+                    usage()
+                });
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    cfg
+}
+
+fn num(s: &str, name: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{name}: `{s}` is not a non-negative integer");
+        usage()
+    })
+}
+
+fn main() {
+    let cfg = parse_args();
+    match run(&cfg) {
+        Ok(outcome) => {
+            println!("{}", summarize(&outcome));
+            if outcome.untyped > 0 {
+                eprintln!(
+                    "mbm-serve-load: {} untyped response(s) — protocol violation",
+                    outcome.untyped
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("mbm-serve-load: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! `mbm-serve`: the equilibrium-pricing service daemon and its load
+//! generator.
+//!
+//! The daemon accepts pricing jobs — market parameters, announced prices,
+//! a miner population, and a solver mode — as JSON-lines over TCP and
+//! answers with the follower equilibrium, leader payoffs, and the full
+//! [`mbm_core::solver::SolveReport`]. A load-shedding worker pool enforces
+//! per-request deadlines under [`mbm_faults::Supervision`]: every frame is
+//! answered with a converged equilibrium, a certified degraded iterate, or
+//! a typed error — never a hang, never an escaped panic.
+//!
+//! Module map:
+//! * [`protocol`] — wire grammar, total parsing, deterministic rendering;
+//! * [`metrics`] — serve counters and the health snapshot;
+//! * [`worker`] — the bounded-queue worker pool with panic isolation;
+//! * [`server`] — TCP listener, connections, shutdown state machine;
+//! * [`loadgen`] — the deterministic seeded load generator.
+//!
+//! See DESIGN.md §12 for the protocol grammar and the shedding rationale.
+
+pub mod loadgen;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod worker;
+
+pub use metrics::ServeMetrics;
+pub use protocol::{parse_request, ErrorKind, Mode, Request, SolveJob, Verb};
+pub use server::{Server, ServerConfig};
+pub use worker::WorkerPool;

@@ -1,0 +1,124 @@
+//! Serve-side counters and the health snapshot.
+//!
+//! The counters here are daemon-local (per-process, reset on restart) and
+//! answer the operational questions the load generator and CI assert on:
+//! how many jobs were admitted, completed, shed (and why), and how many
+//! responses were degraded. The health verb merges them with the process
+//! [`mbm_obs`] snapshot so one response carries both the serving-layer and
+//! solver-kernel views.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::Value;
+
+/// Lock-free counters shared by the listener, admission control, and the
+/// worker pool.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Solve jobs admitted to the queue.
+    pub accepted: AtomicU64,
+    /// Solve jobs that ran to a solve response (any status).
+    pub completed: AtomicU64,
+    /// Completed jobs whose report converged.
+    pub converged: AtomicU64,
+    /// Completed jobs answered with a certified best-so-far iterate.
+    pub degraded: AtomicU64,
+    /// Jobs refused at admission because the queue was full.
+    pub shed_overload: AtomicU64,
+    /// Jobs shed because their deadline expired (queued or mid-solve).
+    pub shed_deadline: AtomicU64,
+    /// Queued jobs shed by graceful shutdown.
+    pub shed_shutdown: AtomicU64,
+    /// Solves cancelled by forced shutdown.
+    pub cancelled: AtomicU64,
+    /// Frames that failed to parse as JSON request objects.
+    pub malformed: AtomicU64,
+    /// Frames that parsed but failed validation.
+    pub invalid: AtomicU64,
+    /// Solves whose every tier failed with nothing to salvage.
+    pub solve_failed: AtomicU64,
+    /// Worker panics caught and converted to typed `internal` errors.
+    pub panics_caught: AtomicU64,
+    /// Jobs currently executing on a worker.
+    pub in_flight: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// Fresh zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        ServeMetrics::default()
+    }
+
+    /// Snapshot of every counter as ordered `(name, value)` pairs.
+    #[must_use]
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        vec![
+            ("accepted".into(), load(&self.accepted)),
+            ("completed".into(), load(&self.completed)),
+            ("converged".into(), load(&self.converged)),
+            ("degraded".into(), load(&self.degraded)),
+            ("shed_overload".into(), load(&self.shed_overload)),
+            ("shed_deadline".into(), load(&self.shed_deadline)),
+            ("shed_shutdown".into(), load(&self.shed_shutdown)),
+            ("cancelled".into(), load(&self.cancelled)),
+            ("malformed".into(), load(&self.malformed)),
+            ("invalid".into(), load(&self.invalid)),
+            ("solve_failed".into(), load(&self.solve_failed)),
+            ("panics_caught".into(), load(&self.panics_caught)),
+            ("in_flight".into(), load(&self.in_flight)),
+        ]
+    }
+
+    /// The health document body: worker/queue state, serve counters, and
+    /// the process-wide [`mbm_obs`] snapshot (counters land only when the
+    /// global recorder is enabled).
+    #[must_use]
+    pub fn health_value(&self, workers: usize, queue_depth: usize, queue_capacity: usize) -> Value {
+        let counters =
+            self.counters().into_iter().map(|(k, v)| (k, Value::U64(v))).collect::<Vec<_>>();
+        let obs = mbm_exp::obs_bridge::snapshot_value(&mbm_obs::global().snapshot());
+        Value::Map(vec![
+            ("workers".into(), Value::U64(workers as u64)),
+            ("queue_depth".into(), Value::U64(queue_depth as u64)),
+            ("queue_capacity".into(), Value::U64(queue_capacity as u64)),
+            ("counters".into(), Value::Map(counters)),
+            ("obs".into(), obs),
+        ])
+    }
+}
+
+/// Relaxed increment helper (all serve counters are monotonic tallies).
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_snapshot_in_stable_order() {
+        let m = ServeMetrics::new();
+        bump(&m.accepted);
+        bump(&m.accepted);
+        bump(&m.degraded);
+        let c = m.counters();
+        assert_eq!(c[0], ("accepted".to_string(), 2));
+        assert!(c.iter().any(|(k, v)| k == "degraded" && *v == 1));
+    }
+
+    #[test]
+    fn health_value_carries_queue_state() {
+        let m = ServeMetrics::new();
+        let h = m.health_value(4, 3, 64);
+        assert_eq!(h.get("workers"), Some(&Value::U64(4)));
+        assert_eq!(h.get("queue_depth"), Some(&Value::U64(3)));
+        assert_eq!(h.get("queue_capacity"), Some(&Value::U64(64)));
+        assert!(h.get("counters").is_some());
+        assert!(h.get("obs").is_some());
+    }
+}

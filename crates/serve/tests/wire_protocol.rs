@@ -1,0 +1,110 @@
+//! Wire-protocol hardening: arbitrary, truncated, and NaN-bearing frames
+//! must map to typed errors — never a panic — and a bad frame must not
+//! poison its connection.
+
+use proptest::prelude::*;
+
+use mbm_serve::protocol::{parse_request, ErrorKind};
+use mbm_serve::server::{request_shutdown, spawn, ServerConfig, DRAIN};
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn valid_frame(id: u64) -> String {
+    format!(
+        r#"{{"id":{id},"mode":"connected","prices":{{"edge":4.0,"cloud":2.0}},"budgets":[100.0,80.0,120.0]}}"#
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Totality: any byte soup is either a request or a typed error.
+    #[test]
+    fn arbitrary_lines_never_panic(bytes in prop::collection::vec(0u8..=255, 0..200usize)) {
+        let line = String::from_utf8_lossy(&bytes);
+        let _ = parse_request(&line);
+    }
+
+    /// Truncating a valid frame anywhere yields a typed error (or, for the
+    /// full-length cut, the original request) — never a panic.
+    #[test]
+    fn truncated_frames_are_typed(id in 0u64..1000, cut in 0usize..120) {
+        let frame = valid_frame(id);
+        let cut = cut.min(frame.len());
+        // Cut on a char boundary (the frame is ASCII, so every index is).
+        let truncated = &frame[..cut];
+        match parse_request(truncated) {
+            Ok(req) => prop_assert_eq!(req.id, Some(id), "only the full frame parses"),
+            Err(e) => prop_assert!(
+                matches!(e.kind, ErrorKind::Malformed | ErrorKind::InvalidParameter),
+                "unexpected kind {:?} for {:?}", e.kind, truncated
+            ),
+        }
+    }
+
+    /// Splicing `null` (JSON's only route to NaN) over any budget entry is
+    /// rejected at the boundary as invalid_parameter.
+    #[test]
+    fn nan_bearing_budgets_are_rejected(id in 0u64..1000, slot in 0usize..3) {
+        let budgets = ["100.0", "80.0", "120.0"]
+            .iter()
+            .enumerate()
+            .map(|(i, b)| if i == slot { "null" } else { b })
+            .collect::<Vec<_>>()
+            .join(",");
+        let frame = format!(
+            r#"{{"id":{id},"mode":"connected","prices":{{"edge":4.0,"cloud":2.0}},"budgets":[{budgets}]}}"#
+        );
+        let err = parse_request(&frame).unwrap_err();
+        prop_assert_eq!(err.kind, ErrorKind::InvalidParameter);
+        prop_assert_eq!(err.id, Some(id));
+    }
+
+    /// Mutating one byte of a valid frame never panics and, when it still
+    /// parses, still describes a 3-miner connected job.
+    #[test]
+    fn single_byte_mutations_are_total(id in 0u64..1000, pos in 0usize..100, byte in 0u8..=255) {
+        let mut bytes = valid_frame(id).into_bytes();
+        let pos = pos.min(bytes.len() - 1);
+        bytes[pos] = byte;
+        if let Ok(line) = String::from_utf8(bytes) {
+            let _ = parse_request(&line);
+        }
+    }
+}
+
+/// A malformed frame poisons only itself: the same connection then serves
+/// a valid solve.
+#[test]
+fn connection_survives_malformed_frames() {
+    let (addr, flag, handle) =
+        spawn(ServerConfig { workers: 1, ..ServerConfig::default() }).expect("spawn");
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    let mut exchange = |frame: &str| -> String {
+        writeln!(writer, "{frame}").expect("send");
+        writer.flush().expect("flush");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response");
+        line.trim().to_string()
+    };
+
+    let garbage = exchange(r#"{"id":1,"mode":"conn"#);
+    assert!(garbage.contains(r#""kind":"malformed""#), "{garbage}");
+
+    let nan = exchange(
+        r#"{"id":2,"mode":"connected","prices":{"edge":4.0,"cloud":2.0},"budgets":[1.0,null]}"#,
+    );
+    assert!(nan.contains(r#""kind":"invalid_parameter""#), "{nan}");
+    assert!(nan.contains(r#""id":2"#), "{nan}");
+
+    let solved = exchange(&valid_frame(3));
+    assert!(solved.contains(r#""status":"Converged""#), "{solved}");
+    assert!(solved.contains(r#""id":3"#), "{solved}");
+
+    request_shutdown(&flag, DRAIN);
+    handle.join().expect("server thread").expect("clean shutdown");
+}

@@ -1,0 +1,45 @@
+//! Runs `tools/unwrap_gate.sh` as a unit test, so a module dropping its
+//! `deny(clippy::unwrap_used)` attribute is caught by `cargo test` locally
+//! before CI's lint job sees it. CI invokes the same script, so the two
+//! gates can never drift apart.
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn unwrap_gate_attributes_present() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let script = root.join("tools").join("unwrap_gate.sh");
+    assert!(script.is_file(), "missing {}", script.display());
+
+    let output = Command::new("bash")
+        .arg(&script)
+        .current_dir(root)
+        .output()
+        .expect("run tools/unwrap_gate.sh");
+    assert!(
+        output.status.success(),
+        "unwrap gate failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn unwrap_gate_lists_serve_modules() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let output = Command::new("bash")
+        .arg(root.join("tools").join("unwrap_gate.sh"))
+        .arg("--list")
+        .current_dir(root)
+        .output()
+        .expect("run tools/unwrap_gate.sh --list");
+    let listed = String::from_utf8_lossy(&output.stdout);
+    for module in [
+        "crates/serve/src/protocol.rs",
+        "crates/serve/src/worker.rs",
+        "crates/serve/src/server.rs",
+        "crates/serve/src/metrics.rs",
+    ] {
+        assert!(listed.lines().any(|l| l == module), "{module} not enrolled in the unwrap gate");
+    }
+}
