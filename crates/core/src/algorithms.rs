@@ -10,13 +10,15 @@
 
 use serde::{Deserialize, Serialize};
 
-use mbm_numerics::optimize::adaptive_grid_max;
+use mbm_numerics::optimize::{adaptive_grid_max, adaptive_grid_max_batch};
 
 use crate::error::MiningGameError;
 use crate::params::{MarketParams, Prices};
 use crate::request::Aggregates;
+use crate::solver::ThreadWarmGuard;
 use crate::sp::stage::{Mode, ProviderStage};
 use crate::sp::MinerPopulation;
+use crate::stackelberg::ExecConfig;
 use crate::subgame::SubgameConfig;
 
 /// One recorded round of a price algorithm.
@@ -127,15 +129,44 @@ pub fn algorithm1_asynchronous_best_response(
     init: Prices,
     cfg: &AlgorithmConfig,
 ) -> Result<PriceTrace, MiningGameError> {
+    algorithm1_asynchronous_best_response_exec(
+        params,
+        population,
+        mode,
+        init,
+        cfg,
+        &ExecConfig::serial(),
+    )
+}
+
+/// [`algorithm1_asynchronous_best_response`] with execution options. With
+/// `exec.warm_start` set, each provider's one-dimensional price sweep is
+/// solved as a warm continuation batch per refinement round, and the solves
+/// continue across rounds (the population never changes inside a run).
+/// `warm_start` off is exactly the historical cold path.
+///
+/// # Errors
+///
+/// Propagates parameter errors; non-convergence is reported in the trace.
+pub fn algorithm1_asynchronous_best_response_exec(
+    params: &MarketParams,
+    population: MinerPopulation,
+    mode: Mode,
+    init: Prices,
+    cfg: &AlgorithmConfig,
+    exec: &ExecConfig,
+) -> Result<PriceTrace, MiningGameError> {
+    let warm = exec.warm_start;
+    let _warm = warm.then(ThreadWarmGuard::engage);
     let stage = ProviderStage::new(*params, population, mode, cfg.subgame);
     let mut prices = init;
     let mut rounds = vec![record(&stage, params, prices)?];
     for _ in 0..cfg.max_rounds {
         let before = prices;
         // ESP re-prices against the CSP's current price.
-        prices.edge = best_price(&stage, params, 0, prices, cfg)?;
+        prices.edge = best_price_exec(&stage, params, 0, prices, cfg, warm)?;
         // CSP re-prices against the ESP's *new* price (asynchronous).
-        prices.cloud = best_price(&stage, params, 1, prices, cfg)?;
+        prices.cloud = best_price_exec(&stage, params, 1, prices, cfg, warm)?;
         rounds.push(record(&stage, params, prices)?);
         if (prices.edge - before.edge).abs() <= cfg.tol
             && (prices.cloud - before.cloud).abs() <= cfg.tol
@@ -160,14 +191,33 @@ pub fn algorithm2_price_bargaining(
     init: Prices,
     cfg: &AlgorithmConfig,
 ) -> Result<PriceTrace, MiningGameError> {
+    algorithm2_price_bargaining_exec(params, population, mode, init, cfg, &ExecConfig::serial())
+}
+
+/// [`algorithm2_price_bargaining`] with execution options (see
+/// [`algorithm1_asynchronous_best_response_exec`] for `warm_start`).
+///
+/// # Errors
+///
+/// Propagates parameter errors; non-convergence is reported in the trace.
+pub fn algorithm2_price_bargaining_exec(
+    params: &MarketParams,
+    population: MinerPopulation,
+    mode: Mode,
+    init: Prices,
+    cfg: &AlgorithmConfig,
+    exec: &ExecConfig,
+) -> Result<PriceTrace, MiningGameError> {
+    let warm = exec.warm_start;
+    let _warm = warm.then(ThreadWarmGuard::engage);
     let stage = ProviderStage::new(*params, population, mode, cfg.subgame);
     let mut prices = init;
     let mut rounds = vec![record(&stage, params, prices)?];
     for _ in 0..cfg.max_rounds {
         let before = prices;
         // Simultaneous: both optimize against the same observed round.
-        let new_edge = best_price(&stage, params, 0, before, cfg)?;
-        let new_cloud = best_price(&stage, params, 1, before, cfg)?;
+        let new_edge = best_price_exec(&stage, params, 0, before, cfg, warm)?;
+        let new_cloud = best_price_exec(&stage, params, 1, before, cfg, warm)?;
         prices = Prices::new(new_edge, new_cloud)?;
         rounds.push(record(&stage, params, prices)?);
         if (prices.edge - before.edge).abs() <= cfg.tol
@@ -215,6 +265,55 @@ fn best_price(
         }
     };
     let r = adaptive_grid_max(objective, lo, hi, cfg.grid_points, cfg.grid_rounds)?;
+    Ok(r.x)
+}
+
+fn best_price_exec(
+    stage: &ProviderStage,
+    params: &MarketParams,
+    leader: usize,
+    prices: Prices,
+    cfg: &AlgorithmConfig,
+    warm: bool,
+) -> Result<f64, MiningGameError> {
+    if !warm {
+        return best_price(stage, params, leader, prices, cfg);
+    }
+    let provider = if leader == 0 { params.esp() } else { params.csp() };
+    let lo = provider.cost().max(1e-6 * provider.price_cap());
+    let hi = provider.price_cap();
+    // Each refinement round's candidate sweep solves as one warm
+    // continuation batch: the candidates are numerically adjacent, so each
+    // follower solve seeds from its neighbour's equilibrium.
+    let eval_batch = |xs: &[f64]| {
+        let trials: Vec<Option<Prices>> = xs
+            .iter()
+            .map(|&p| {
+                if leader == 0 { Prices::new(p, prices.cloud) } else { Prices::new(prices.edge, p) }
+                    .ok()
+            })
+            .collect();
+        let grid: Vec<Prices> = trials.iter().filter_map(|t| *t).collect();
+        let mut demands = stage.follower_demand_batch(&grid).into_iter();
+        trials
+            .iter()
+            .map(|trial| match trial {
+                Some(t) => match demands.next().flatten() {
+                    Some(d) => {
+                        let (ve, vc) = crate::sp::profits(params, t, &d);
+                        if leader == 0 {
+                            ve
+                        } else {
+                            vc
+                        }
+                    }
+                    None => f64::NAN,
+                },
+                None => f64::NAN,
+            })
+            .collect()
+    };
+    let r = adaptive_grid_max_batch(eval_batch, lo, hi, cfg.grid_points, cfg.grid_rounds)?;
     Ok(r.x)
 }
 
@@ -329,6 +428,33 @@ mod tests {
         for r in &trace.rounds {
             assert!(r.demand.edge <= p.e_max() + 1e-4, "{r:?}");
         }
+    }
+
+    #[test]
+    fn warm_algorithm1_agrees_with_cold() {
+        let p = ne_params();
+        let init = Prices::new(10.0, 4.0).unwrap();
+        let cold = algorithm1_asynchronous_best_response(
+            &p,
+            population(),
+            Mode::Connected,
+            init,
+            &AlgorithmConfig::default(),
+        )
+        .unwrap();
+        let warm = algorithm1_asynchronous_best_response_exec(
+            &p,
+            population(),
+            Mode::Connected,
+            init,
+            &AlgorithmConfig::default(),
+            &ExecConfig::serial().with_warm_start(),
+        )
+        .unwrap();
+        assert!(warm.converged);
+        let (fc, fw) = (cold.final_prices(), warm.final_prices());
+        assert!((fc.edge - fw.edge).abs() < 1e-3, "{fc:?} vs {fw:?}");
+        assert!((fc.cloud - fw.cloud).abs() < 1e-3, "{fc:?} vs {fw:?}");
     }
 
     #[test]

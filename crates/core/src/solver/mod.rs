@@ -30,10 +30,12 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod aggregate;
+pub mod continuation;
 pub mod policy;
 pub mod report;
 pub mod workspace;
 
+pub use continuation::{nearest_neighbor_order, ThreadWarmGuard, WarmState};
 pub use policy::{DegradeMode, SolvePolicy};
 pub use report::{
     ConfigOverride, FallbackHop, Overrides, SolveMethod, SolveMode, SolveReport, SolveStatus,
@@ -58,7 +60,9 @@ use crate::subgame::dynamic::{
 };
 use crate::subgame::homogeneous::{homogeneous_core, Regime};
 use crate::subgame::standalone::{symmetric_standalone_core, StandaloneMinerGame};
-use crate::subgame::{initial_profile_into, MinerEquilibrium, SubgameConfig};
+use continuation::Family;
+
+use crate::subgame::{MinerEquilibrium, SubgameConfig};
 use crate::winning::{utility_connected, utility_standalone};
 use workspace::ensure_pairs;
 
@@ -76,6 +80,21 @@ pub trait FollowerSolver {
     /// Returns the terminal error when every applicable tier fails, or the
     /// original error immediately for non-convergence failures.
     fn solve(&self, ws: &mut SolveWorkspace) -> Result<Solved, MiningGameError>;
+
+    /// Solves the same follower population at every price point of `grid`
+    /// with warm-started continuation: the points are visited along a
+    /// nearest-neighbor path and each solve seeds from its predecessor's
+    /// equilibrium, but results come back **in grid order** (slot `i`
+    /// answers `grid[i]`). Each entry carries the per-point outcome — a
+    /// failed point never poisons its neighbours. The sequence runs
+    /// serially on the one workspace, so results are identical at any
+    /// thread count; warm solves land on the same equilibria as cold
+    /// solves within the certificate tolerance.
+    fn solve_batch(
+        &self,
+        grid: &[Prices],
+        ws: &mut SolveWorkspace,
+    ) -> Vec<Result<Solved, MiningGameError>>;
 }
 
 /// Scalar outcome of a successful follower solve. Per-miner vectors live in
@@ -145,6 +164,7 @@ impl TierSpec {
 }
 
 /// The follower subgame a [`TieredSolver`] is pointed at.
+#[derive(Clone, Copy)]
 enum FollowerProblem<'a> {
     Connected { budgets: &'a [f64], cfg: SubgameConfig },
     Standalone { budgets: &'a [f64], cfg: SubgameConfig },
@@ -318,6 +338,12 @@ impl<'a> TieredSolver<'a> {
             prices,
             problem: FollowerProblem::Continuous { budget, mean, sd, cfg },
         }
+    }
+
+    /// The same problem re-pointed at different prices (the continuation
+    /// layer walks a price grid with one solver definition).
+    fn at_prices<'b>(&'b self, prices: &'b Prices) -> TieredSolver<'b> {
+        TieredSolver { params: self.params, prices, problem: self.problem }
     }
 
     fn tiers(&self) -> &'static [TierSpec] {
@@ -753,10 +779,15 @@ impl FollowerSolver for TieredSolver<'_> {
         let max_attempts = policy.max_attempts.max(1);
         let mut attempts = 0usize;
         let mut terminal: Option<MiningGameError> = None;
+        // Continuation tier selection: accumulated fallback-hop evidence can
+        // say the symmetric fixed point is contracting too slowly (ω clamp
+        // binding) in this parameter region — start at the escalation tier.
+        // Always 0 when warm continuation is off.
+        let start_tier = continuation::start_tier(&self.problem, &ws.warm);
         'attempts: for attempt in 1..=max_attempts {
             attempts = attempt;
             let scale = policy.damping_scale(attempt);
-            for (idx, &spec) in tiers.iter().enumerate() {
+            for (idx, &spec) in tiers.iter().enumerate().skip(start_tier) {
                 let mut tier_salvage: Option<TierRun> = None;
                 let outcome = mbm_numerics::supervision::checkpoint(
                     mbm_faults::sites::SOLVER_TIER,
@@ -771,6 +802,10 @@ impl FollowerSolver for TieredSolver<'_> {
                 }
                 match outcome {
                     Ok(run) => {
+                        continuation::store_success(&self.problem, ws, &run);
+                        if matches!(spec, TierSpec::SymConnected | TierSpec::SymStandalone) {
+                            ws.warm.note_sym_ok();
+                        }
                         if rec.enabled() {
                             rec.solver(name, run.iterations as u64, run.residual);
                             rec.incr(method_counter(spec.method()));
@@ -807,6 +842,9 @@ impl FollowerSolver for TieredSolver<'_> {
                         });
                     }
                     Err(e) if idx + 1 < tiers.len() && e.is_convergence_failure() => {
+                        if matches!(spec, TierSpec::SymConnected | TierSpec::SymStandalone) {
+                            ws.warm.note_sym_hop();
+                        }
                         hops.push(FallbackHop { method: spec.method(), error: e.to_string() });
                     }
                     Err(e) => {
@@ -874,6 +912,35 @@ impl FollowerSolver for TieredSolver<'_> {
             rec.solver_failure(name, error_iterations(&err));
         }
         Err(err)
+    }
+
+    fn solve_batch(
+        &self,
+        grid: &[Prices],
+        ws: &mut SolveWorkspace,
+    ) -> Vec<Result<Solved, MiningGameError>> {
+        let order = continuation::nearest_neighbor_order(grid);
+        // Enable warm continuation for the batch. If the caller already
+        // opted this workspace in, its slot (population-keyed, so never
+        // stale) carries into and out of the batch; otherwise the slot is
+        // clean on entry (disabling always clears it) and cleared again on
+        // exit.
+        let prev = ws.warm.set_enabled(true);
+        let mut out: Vec<Option<Result<Solved, MiningGameError>>> = Vec::new();
+        out.resize_with(grid.len(), || None);
+        for &i in &order {
+            out[i] = Some(self.at_prices(&grid[i]).solve(ws));
+        }
+        if !prev {
+            ws.warm.set_enabled(false);
+        }
+        out.into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    Err(MiningGameError::invalid("price point missing from continuation path"))
+                })
+            })
+            .collect()
     }
 }
 
@@ -966,8 +1033,8 @@ fn run_connected_br(
     salvage: &mut Option<TierRun>,
 ) -> Result<TierRun, MiningGameError> {
     let game = ConnectedMinerGame::new(*params, *prices, budgets.to_vec())?;
-    let SolveWorkspace { br, init, flat, requests, utilities, .. } = ws;
-    initial_profile_into(budgets, prices, None, flat)?;
+    let SolveWorkspace { br, init, flat, requests, utilities, warm, .. } = ws;
+    warm.seed_profile(Family::Connected, budgets, prices, None, flat)?;
     let start = ensure_pairs(init, flat)?;
     let (tol, max_sweeps) = if boosted {
         let (t, m) = (cfg.effective_tol(), cfg.effective_max_iter());
@@ -1047,8 +1114,8 @@ fn run_connected_vi(
         })
         .collect::<Result<_, MiningGameError>>()?;
     let product = ProductSet::new(sets)?;
-    let SolveWorkspace { gnep, init, flat, requests, utilities, .. } = ws;
-    initial_profile_into(budgets, prices, None, flat)?;
+    let SolveWorkspace { gnep, init, flat, requests, utilities, warm, .. } = ws;
+    warm.seed_profile(Family::Connected, budgets, prices, None, flat)?;
     let start = ensure_pairs(init, flat)?;
     let vi = ViParams {
         tol: cfg.effective_tol(),
@@ -1104,8 +1171,8 @@ fn run_standalone_vi(
 ) -> Result<TierRun, MiningGameError> {
     let game = StandaloneMinerGame::new(*params, *prices, budgets.to_vec())?;
     let shared = game.shared_set()?;
-    let SolveWorkspace { gnep, init, flat, requests, utilities, .. } = ws;
-    initial_profile_into(budgets, prices, Some(params.e_max()), flat)?;
+    let SolveWorkspace { gnep, init, flat, requests, utilities, warm, .. } = ws;
+    warm.seed_profile(Family::Standalone, budgets, prices, Some(params.e_max()), flat)?;
     let start = ensure_pairs(init, flat)?;
     let vi = ViParams {
         tol: cfg.effective_tol(),
@@ -1170,8 +1237,8 @@ fn run_standalone_br(
 ) -> Result<TierRun, MiningGameError> {
     let game = StandaloneMinerGame::new(*params, *prices, budgets.to_vec())?;
     let shared = game.shared_set()?;
-    let SolveWorkspace { br, gnep, init, flat, requests, utilities, .. } = ws;
-    initial_profile_into(budgets, prices, Some(params.e_max()), flat)?;
+    let SolveWorkspace { br, gnep, init, flat, requests, utilities, warm, .. } = ws;
+    warm.seed_profile(Family::Standalone, budgets, prices, Some(params.e_max()), flat)?;
     let start = ensure_pairs(init, flat)?;
     let damping = cfg.damping * damping_scale;
     if damping_scale != 1.0 {

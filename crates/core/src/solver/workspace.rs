@@ -46,6 +46,9 @@ pub struct SolveWorkspace {
     /// Supervision policy for solves using this workspace (retries,
     /// degradation, deadline). Defaults to the strict historical behaviour.
     pub policy: SolvePolicy,
+    /// Warm-start slot for equilibrium continuation (disabled by default;
+    /// see [`super::continuation`]).
+    pub(crate) warm: super::continuation::WarmState,
 }
 
 /// Structure-of-arrays population layout for the aggregate-form solver:
@@ -149,6 +152,41 @@ impl SolveWorkspace {
         TLS_WORKSPACE.with(|ws| std::mem::replace(&mut ws.borrow_mut().policy, policy))
     }
 
+    /// Enables or disables warm continuation on this thread's shared
+    /// workspace, returning the previous setting. Both transitions clear
+    /// the warm slot, so no stale profile survives an enable/disable
+    /// boundary. Must not be called from inside a
+    /// [`SolveWorkspace::with_thread_local`] closure (the workspace is
+    /// already borrowed there).
+    pub fn set_thread_warm(on: bool) -> bool {
+        TLS_WORKSPACE.with(|ws| {
+            let mut ws = ws.borrow_mut();
+            let prev = ws.warm.set_enabled(on);
+            ws.warm.invalidate();
+            prev
+        })
+    }
+
+    /// Read access to this workspace's warm-continuation slot (counters,
+    /// enabled flag).
+    #[must_use]
+    pub fn warm(&self) -> &super::continuation::WarmState {
+        &self.warm
+    }
+
+    /// Mutable access to the warm slot (enable/invalidate from owners of a
+    /// dedicated workspace, e.g. server workers).
+    pub fn warm_mut(&mut self) -> &mut super::continuation::WarmState {
+        &mut self.warm
+    }
+
+    /// Swaps this workspace's warm slot with `other`. Server workers use
+    /// this to install a connection's carried warm state around a solve and
+    /// recover it afterwards without cloning profiles.
+    pub fn warm_swap(&mut self, other: &mut super::continuation::WarmState) {
+        std::mem::swap(&mut self.warm, other);
+    }
+
     /// Heap bytes currently reserved across all buffers (capacity, not
     /// length). Steady-state solves must not grow this.
     #[must_use]
@@ -160,6 +198,7 @@ impl SolveWorkspace {
             + self.soa.footprint()
             + self.requests.capacity() * std::mem::size_of::<Request>()
             + self.utilities.capacity() * std::mem::size_of::<f64>()
+            + self.warm.footprint()
     }
 
     /// Clones the per-miner data of the last heterogeneous solve into an

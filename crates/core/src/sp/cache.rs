@@ -23,6 +23,15 @@
 //! * relative to the *unsnapped* stage, equilibrium prices move by at most
 //!   one quantum per coordinate — two orders of magnitude below the leader
 //!   tolerance, i.e. below the solver's own resolution.
+//!
+//! # Interaction with warm continuation
+//!
+//! Under [`ExecConfig::warm_start`](crate::stackelberg::ExecConfig) the
+//! cached stage needs no changes: cache *misses* solve through
+//! `inner.follower_demand` on the calling thread, whose workspace has warm
+//! continuation engaged, so each miss continues from the previous miss's
+//! equilibrium. Warm runs are forced serial, so the miss sequence — and
+//! therefore every cached value — is deterministic.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};

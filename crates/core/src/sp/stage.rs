@@ -83,6 +83,22 @@ impl ProviderStage {
         let chain = self.follower_chain(prices);
         SolveWorkspace::with_thread_local(|ws| chain.solve(ws)).ok().map(|s| s.aggregates)
     }
+
+    /// Aggregate follower demand at every price point of `grid`, solved
+    /// with warm-started continuation along a nearest-neighbor path (see
+    /// [`FollowerSolver::solve_batch`]). Results come back in grid order;
+    /// non-convergent points are `None`, exactly like
+    /// [`ProviderStage::follower_demand`]. Runs serially on this thread's
+    /// workspace, so the answers are thread-count independent.
+    #[must_use]
+    pub fn follower_demand_batch(&self, grid: &[Prices]) -> Vec<Option<Aggregates>> {
+        let Some(first) = grid.first() else { return Vec::new() };
+        let chain = self.follower_chain(first);
+        SolveWorkspace::with_thread_local(|ws| chain.solve_batch(grid, ws))
+            .into_iter()
+            .map(|r| r.ok().map(|s| s.aggregates))
+            .collect()
+    }
 }
 
 impl LeaderStage for ProviderStage {

@@ -60,6 +60,15 @@ pub struct ExecConfig {
     /// same process do not pollute a scoped measurement.
     #[serde(default)]
     pub telemetry: bool,
+    /// Warm-started equilibrium continuation in the leader price search:
+    /// follower solves seed from the previous equilibrium (population-keyed,
+    /// see [`crate::solver::continuation`]) instead of starting cold. Forces
+    /// serial leader evaluation (`threads` is ignored) so the continuation
+    /// sequence is deterministic at any configured thread count. Off by
+    /// default — cold paths stay bitwise-historical; warm results agree
+    /// within the certificate tolerance.
+    #[serde(default)]
+    pub warm_start: bool,
 }
 
 impl ExecConfig {
@@ -67,19 +76,26 @@ impl ExecConfig {
     /// [`Default`]).
     #[must_use]
     pub fn serial() -> Self {
-        ExecConfig { threads: 1, cache_capacity: 0, telemetry: false }
+        ExecConfig { threads: 1, cache_capacity: 0, telemetry: false, warm_start: false }
     }
 
     /// Auto-sized worker pool plus a generously sized payoff cache.
     #[must_use]
     pub fn accelerated() -> Self {
-        ExecConfig { threads: 0, cache_capacity: 1 << 16, telemetry: false }
+        ExecConfig { threads: 0, cache_capacity: 1 << 16, telemetry: false, warm_start: false }
     }
 
     /// Same execution settings with telemetry publication switched on.
     #[must_use]
     pub fn with_telemetry(self) -> Self {
         ExecConfig { telemetry: true, ..self }
+    }
+
+    /// Same execution settings with warm-started continuation switched on
+    /// (and therefore serial leader evaluation).
+    #[must_use]
+    pub fn with_warm_start(self) -> Self {
+        ExecConfig { warm_start: true, ..self }
     }
 
     /// The worker count this configuration actually runs with.
@@ -215,7 +231,12 @@ fn solve(
         0.5 * (params.esp().cost() + params.esp().price_cap()),
         0.5 * (params.csp().cost() + params.csp().price_cap()),
     ];
-    let pool = (threads > 1).then(|| Pool::new(threads));
+    // Warm continuation runs the whole leader search (and the final subgame
+    // re-solve) serially on this thread's workspace: every follower solve
+    // continues from its predecessor's equilibrium, and the answer cannot
+    // depend on the configured thread count.
+    let _warm = cfg.exec.warm_start.then(crate::solver::ThreadWarmGuard::engage);
+    let pool = (threads > 1 && !cfg.exec.warm_start).then(|| Pool::new(threads));
     let out = if cfg.exec.cache_capacity > 0 {
         let cached = CachedStage::new(&stage, cfg.leader.tol, cfg.exec.cache_capacity);
         let out = run_leader_stage(&cached, init, cfg, pool.as_ref());
@@ -407,6 +428,33 @@ mod tests {
     }
 
     #[test]
+    fn warm_start_agrees_with_cold_within_tolerance_at_any_thread_count() {
+        let p = params();
+        let cold = solve_connected(&p, &[200.0; 5], &StackelbergConfig::default()).unwrap();
+        let mut warm_solutions = Vec::new();
+        for threads in [1, 4] {
+            let cfg = StackelbergConfig {
+                exec: ExecConfig {
+                    threads,
+                    cache_capacity: 0,
+                    telemetry: false,
+                    warm_start: true,
+                },
+                ..Default::default()
+            };
+            warm_solutions.push(solve_connected(&p, &[200.0; 5], &cfg).unwrap());
+        }
+        // Thread count cannot matter under warm continuation (forced serial).
+        assert_eq!(warm_solutions[0], warm_solutions[1]);
+        let warm = &warm_solutions[0];
+        // Warm and cold land on the same leader equilibrium within the
+        // leader search resolution.
+        let tol = StackelbergConfig::default().leader.tol * 10.0;
+        assert!((warm.prices.edge - cold.prices.edge).abs() <= tol, "{warm:?} vs {cold:?}");
+        assert!((warm.prices.cloud - cold.prices.cloud).abs() <= tol, "{warm:?} vs {cold:?}");
+    }
+
+    #[test]
     fn rejects_bad_budgets() {
         let p = params();
         assert!(solve_connected(&p, &[100.0], &StackelbergConfig::default()).is_err());
@@ -419,7 +467,12 @@ mod tests {
         let serial = solve_connected(&p, &[200.0; 5], &StackelbergConfig::default()).unwrap();
         for threads in [2, 4] {
             let cfg = StackelbergConfig {
-                exec: ExecConfig { threads, cache_capacity: 0, telemetry: false },
+                exec: ExecConfig {
+                    threads,
+                    cache_capacity: 0,
+                    telemetry: false,
+                    warm_start: false,
+                },
                 ..Default::default()
             };
             let par = solve_connected(&p, &[200.0; 5], &cfg).unwrap();
@@ -435,14 +488,24 @@ mod tests {
             &p,
             &[200.0; 5],
             &StackelbergConfig {
-                exec: ExecConfig { threads: 1, cache_capacity: 1, telemetry: false },
+                exec: ExecConfig {
+                    threads: 1,
+                    cache_capacity: 1,
+                    telemetry: false,
+                    warm_start: false,
+                },
                 ..base
             },
         )
         .unwrap();
         for (threads, capacity) in [(1, 1 << 16), (4, 1), (4, 1 << 16)] {
             let cfg = StackelbergConfig {
-                exec: ExecConfig { threads, cache_capacity: capacity, telemetry: false },
+                exec: ExecConfig {
+                    threads,
+                    cache_capacity: capacity,
+                    telemetry: false,
+                    warm_start: false,
+                },
                 ..base
             };
             let sol = solve_connected(&p, &[200.0; 5], &cfg).unwrap();

@@ -7,7 +7,9 @@ use mbm_par::Pool;
 use serde::Serialize;
 
 use crate::error::EngineError;
-use crate::executor::{execute, execute_supervised, TaskFailure, TaskResults};
+use crate::executor::{
+    execute, execute_supervised, execute_supervised_warm, TaskFailure, TaskResults,
+};
 use crate::planner::{plan, Plan, PlanStats, PlannedTask};
 use crate::spec::{ExperimentSpec, SpecCtx};
 use crate::table::ExperimentResult;
@@ -80,9 +82,40 @@ pub fn run_batch_supervised(
     pool: &Pool,
     policy: SolvePolicy,
 ) -> Result<Batch, EngineError> {
+    run_batch_supervised_opts(specs, ctx, pool, policy, BatchOptions::default())
+}
+
+/// Execution options for a batch run, beyond the solve policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchOptions {
+    /// Warm-started continuation batching: grid-shaped tasks that share a
+    /// [`crate::task::Task::grid_family`] run as sequential
+    /// nearest-neighbor batches, each solve seeded from its predecessor
+    /// (see [`execute_supervised_warm`]). Off (the default) is the
+    /// bitwise-historical executor.
+    pub warm_start: bool,
+}
+
+/// [`run_batch_supervised`] with [`BatchOptions`]. With the default
+/// options this is exactly [`run_batch_supervised`].
+///
+/// # Errors
+///
+/// Same contract as [`run_batch`].
+pub fn run_batch_supervised_opts(
+    specs: &[ExperimentSpec],
+    ctx: &SpecCtx,
+    pool: &Pool,
+    policy: SolvePolicy,
+    opts: BatchOptions,
+) -> Result<Batch, EngineError> {
     let spec_tasks: Vec<Vec<PlannedTask>> = specs.iter().map(|s| (s.tasks)(ctx)).collect();
     let compiled: Plan = plan(&spec_tasks);
-    let results = execute_supervised(&compiled, pool, policy);
+    let results = if opts.warm_start {
+        execute_supervised_warm(&compiled, pool, policy)
+    } else {
+        execute_supervised(&compiled, pool, policy)
+    };
     let failures = results
         .failures
         .iter()

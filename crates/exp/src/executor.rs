@@ -23,9 +23,12 @@
 
 use std::collections::HashMap;
 
+use mbm_core::params::Prices;
 use mbm_core::request::Request;
 use mbm_core::scenario::ScenarioOutcome;
-use mbm_core::solver::{SolvePolicy, SolveReport, SolveWorkspace};
+use mbm_core::solver::{
+    nearest_neighbor_order, SolvePolicy, SolveReport, SolveWorkspace, ThreadWarmGuard,
+};
 use mbm_core::table2::Table2;
 use mbm_par::Pool;
 
@@ -115,9 +118,10 @@ pub fn execute_supervised(plan: &Plan, pool: &Pool, policy: SolvePolicy) -> Task
             task.run_reported()
         }
     });
-    let mut results = TaskResults::default();
-    for (entry, slot) in plan.unique.iter().zip(outputs) {
-        let (output, report, panicked) = match slot {
+    let slots = outputs
+        .into_iter()
+        .zip(&plan.unique)
+        .map(|(slot, entry)| match slot {
             Ok((output, report)) => (output, report, false),
             Err(panic) => {
                 if rec.enabled() {
@@ -126,7 +130,152 @@ pub fn execute_supervised(plan: &Plan, pool: &Pool, policy: SolvePolicy) -> Task
                 let error = format!("worker panic isolated: {}", panic.message);
                 (entry.task.failed_output(&error), None, true)
             }
-        };
+        })
+        .collect();
+    collect_results(plan, slots)
+}
+
+/// [`execute_supervised`] with warm-started continuation batching: unique
+/// tasks that share a [`Task::grid_family`] (same follower solve, different
+/// price point) run as one sequential pool item, ordered along the
+/// nearest-neighbor path through their price points, with the thread's
+/// warm slot engaged so each solve seeds from its predecessor's
+/// equilibrium. Tasks without a family (and single-member families) run
+/// exactly as in [`execute_supervised`], bitwise included. Outputs agree
+/// with the cold executor within certificate tolerance and are
+/// thread-count invariant: group membership and in-group order are pure
+/// functions of the plan, and each group runs serially on one workspace.
+///
+/// Fault semantics are preserved per task: the same deterministic fault
+/// scope, the same `exp.task` probe, and per-task panic isolation (a panic
+/// inside a group fails that task, clears the warm slot, and the rest of
+/// the group continues cold-seeded).
+#[must_use]
+pub fn execute_supervised_warm(plan: &Plan, pool: &Pool, policy: SolvePolicy) -> TaskResults {
+    let rec = mbm_obs::global();
+    // Group unique-task indices by continuation family, groups in
+    // first-seen order so scheduling is a pure function of the plan.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut family_group: HashMap<TaskKey, usize> = HashMap::new();
+    for (i, entry) in plan.unique.iter().enumerate() {
+        match entry.task.grid_family() {
+            Some(family) => match family_group.get(&family) {
+                Some(&g) => groups[g].push(i),
+                None => {
+                    family_group.insert(family, groups.len());
+                    groups.push(vec![i]);
+                }
+            },
+            None => groups.push(vec![i]),
+        }
+    }
+    // Nearest-neighbor continuation order within each multi-task family.
+    for group in &mut groups {
+        if group.len() < 2 {
+            continue;
+        }
+        let points: Vec<Prices> =
+            group.iter().filter_map(|&i| plan.unique[i].task.grid_prices()).collect();
+        if points.len() == group.len() {
+            let path = nearest_neighbor_order(&points);
+            *group = path.into_iter().map(|k| group[k]).collect();
+        }
+    }
+
+    type TaskResult = Result<(TaskOutput, Option<SolveReport>), String>;
+    type TaskSlot = (usize, TaskResult);
+    let group_outputs = pool.try_par_eval(groups.len(), |g| {
+        let group = &groups[g];
+        // Engage the warm slot only for genuine batches; singletons stay on
+        // the bitwise-historical cold path.
+        let _warm = (group.len() > 1).then(ThreadWarmGuard::engage);
+        let mut items: Vec<TaskSlot> = Vec::with_capacity(group.len());
+        for &i in group {
+            let task = &plan.unique[i].task;
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _scope = mbm_faults::scope(scope_key(&task.canon()));
+                let _policy = PolicyGuard::set(policy);
+                if let Some(interrupt) = mbm_faults::probe(mbm_faults::sites::EXP_TASK) {
+                    return (
+                        task.failed_output(&format!("injected task fault: {interrupt}")),
+                        None,
+                    );
+                }
+                if rec.enabled() {
+                    rec.incr("exp.exec.tasks_run");
+                    let _span = rec.span(task.span_name());
+                    task.run_reported()
+                } else {
+                    task.run_reported()
+                }
+            }));
+            match run {
+                Ok(v) => items.push((i, Ok(v))),
+                Err(payload) => {
+                    if group.len() > 1 {
+                        // The panic may have unwound mid-solve; clear the
+                        // warm slot so the rest of the group continues from
+                        // a cold (deterministic) seed rather than a
+                        // half-written profile.
+                        SolveWorkspace::set_thread_warm(true);
+                    }
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    items.push((i, Err(message)));
+                }
+            }
+        }
+        items
+    });
+
+    let mut per_task: Vec<Option<TaskResult>> =
+        (0..plan.unique.len()).map(|_| None).collect();
+    for (group, slot) in groups.iter().zip(group_outputs) {
+        match slot {
+            Ok(items) => {
+                for (i, r) in items {
+                    per_task[i] = Some(r);
+                }
+            }
+            // The per-task catch_unwind makes a group-level panic
+            // unreachable, but if one ever escapes, charge every member.
+            Err(panic) => {
+                for &i in group {
+                    per_task[i] = Some(Err(panic.message.clone()));
+                }
+            }
+        }
+    }
+    let slots = per_task
+        .into_iter()
+        .zip(&plan.unique)
+        .map(|(slot, entry)| match slot {
+            Some(Ok((output, report))) => (output, report, false),
+            Some(Err(message)) => {
+                if rec.enabled() {
+                    rec.incr("exp.exec.panics_isolated");
+                }
+                let error = format!("worker panic isolated: {message}");
+                (entry.task.failed_output(&error), None, true)
+            }
+            None => {
+                let error = "task missing from continuation schedule".to_string();
+                (entry.task.failed_output(&error), None, true)
+            }
+        })
+        .collect();
+    collect_results(plan, slots)
+}
+
+/// Shared bookkeeping tail of the executors: failure registration for
+/// required tasks, report capture, and the `exp.exec.*` batch totals.
+fn collect_results(plan: &Plan, slots: Vec<(TaskOutput, Option<SolveReport>, bool)>) -> TaskResults {
+    let rec = mbm_obs::global();
+    let mut results = TaskResults::default();
+    for (entry, (output, report, panicked)) in plan.unique.iter().zip(slots) {
         if entry.required {
             if let Some(error) = output.error() {
                 results.failures.push(TaskFailure {

@@ -28,6 +28,11 @@
 //! * `--degrade` switches every solve to best-effort supervision (one
 //!   retry at halved damping, then the best-so-far iterate is returned as
 //!   a `Degraded` report instead of an error).
+//! * `--warm` opts into warm-started continuation batching: grid-shaped
+//!   tasks that differ only in their price point run as sequential
+//!   nearest-neighbor batches, each solve seeded from its predecessor's
+//!   equilibrium (agrees with the cold run within certificate tolerance;
+//!   without the flag the executor is bitwise-historical).
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
@@ -38,7 +43,7 @@ use std::time::Duration;
 use mbm_core::solver::{DegradeMode, SolvePolicy};
 use serde::Value;
 
-use crate::engine::{run_batch, run_batch_supervised, Batch};
+use crate::engine::{run_batch, run_batch_supervised_opts, Batch, BatchOptions};
 use crate::obs_bridge::telemetry_document;
 use crate::spec::{find, registry, ExperimentSpec, Resolution, SpecCtx};
 
@@ -54,6 +59,7 @@ struct Options {
     fault_plan: Option<String>,
     deadline_ms: Option<u64>,
     degrade: bool,
+    warm: bool,
     /// Positional `arg_or` overrides (unparsable entries become NaN so
     /// later slots keep their position, as the legacy binaries did).
     args: Vec<f64>,
@@ -74,7 +80,7 @@ impl Options {
 
 const USAGE: &str = "usage: experiments (--list | --all | --only NAME[,NAME...]) \
 [--check] [--json DIR] [--telemetry PATH] [--fault-plan SPEC] [--deadline-ms N] \
-[--degrade] [ARGS...]";
+[--degrade] [--warm] [ARGS...]";
 
 fn parse(argv: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
@@ -108,6 +114,7 @@ fn parse(argv: &[String]) -> Result<Options, String> {
                 opts.deadline_ms = Some(ms);
             }
             "--degrade" => opts.degrade = true,
+            "--warm" => opts.warm = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => opts.args.push(other.parse().unwrap_or(f64::NAN)),
         }
@@ -180,7 +187,13 @@ pub fn main_experiments() -> i32 {
     };
     let _fault_guard = plan.map(mbm_faults::install);
 
-    let batch = match run_batch_supervised(&specs, &ctx, mbm_par::Pool::global(), opts.policy()) {
+    let batch = match run_batch_supervised_opts(
+        &specs,
+        &ctx,
+        mbm_par::Pool::global(),
+        opts.policy(),
+        BatchOptions { warm_start: opts.warm },
+    ) {
         Ok(b) => b,
         Err(e) => {
             eprintln!("experiments: {e}");
@@ -349,11 +362,13 @@ mod tests {
         assert_eq!(opts.fault_plan.as_deref(), Some("seed=42;exp.task:panic@64"));
         assert_eq!(opts.deadline_ms, Some(2500));
         assert!(opts.degrade);
+        assert!(!opts.warm);
         let policy = opts.policy();
         assert!(!policy.is_strict());
         assert_eq!(policy.max_attempts, 2);
         assert_eq!(policy.deadline, Some(Duration::from_millis(2500)));
 
+        assert!(parse(&["--all".into(), "--warm".into()]).unwrap().warm);
         assert!(parse(&["--all".into(), "--deadline-ms".into(), "0".into()]).is_err());
         assert!(parse(&["--all".into(), "--deadline-ms".into(), "soon".into()]).is_err());
         assert!(parse(&["--all".into(), "--fault-plan".into()]).is_err());

@@ -721,6 +721,57 @@ impl Task {
         k.0
     }
 
+    /// Continuation-family key: two tasks with equal family keys run the
+    /// *same* follower solve and differ only in the announced price pair,
+    /// so a warm-started executor can batch them and walk the family along
+    /// a nearest-neighbor price path (DESIGN.md §13). The key is the
+    /// canonical key with the price words omitted. `None` for every kind
+    /// that is not a single follower solve at one price point.
+    #[must_use]
+    pub fn grid_family(&self) -> Option<TaskKey> {
+        let mut k = Keyer(Vec::with_capacity(24));
+        match self {
+            Task::SymSubgame { op, params, budget, n, cfg, .. } => {
+                k.tag(1);
+                k.op(*op);
+                k.params(params);
+                k.f(*budget);
+                k.u(*n as u64);
+                k.subgame(cfg);
+            }
+            Task::Nep { op, params, budgets, cfg, .. } => {
+                k.tag(2);
+                k.op(*op);
+                k.params(params);
+                k.fs(budgets);
+                k.subgame(cfg);
+            }
+            Task::AggregateNep { op, params, budget, n, cfg, .. } => {
+                k.tag(16);
+                k.op(*op);
+                k.params(params);
+                k.f(*budget);
+                k.u(*n as u64);
+                k.subgame(cfg);
+            }
+            _ => return None,
+        }
+        Some(k.0)
+    }
+
+    /// The price point of a grid-family task (see [`Task::grid_family`]);
+    /// the warm executor orders a family's tasks along the nearest-neighbor
+    /// path through these points.
+    #[must_use]
+    pub fn grid_prices(&self) -> Option<Prices> {
+        match self {
+            Task::SymSubgame { prices, .. }
+            | Task::Nep { prices, .. }
+            | Task::AggregateNep { prices, .. } => Some(*prices),
+            _ => None,
+        }
+    }
+
     /// Executes the task and, for the market solves that route through the
     /// tiered follower solver (`sym_subgame`, `nep`, `leader`,
     /// `sym_dynamic`, `sym_continuous`), also returns the [`SolveReport`]
@@ -1138,7 +1189,7 @@ mod tests {
             params: crate::market::leader_ne_market(),
             budgets: vec![BUDGET; N_MINERS],
             cfg: StackelbergConfig {
-                exec: ExecConfig { threads: 8, cache_capacity: 1 << 12, telemetry: true },
+                exec: ExecConfig { threads: 8, cache_capacity: 1 << 12, telemetry: true, warm_start: false },
                 ..StackelbergConfig::default()
             },
         };

@@ -12,7 +12,7 @@ use mbm_core::params::Prices;
 use mbm_core::scenario::EdgeOperation;
 use mbm_core::solver::SolvePolicy;
 use mbm_core::subgame::SubgameConfig;
-use mbm_exp::executor::{execute_supervised, TaskResults};
+use mbm_exp::executor::{execute_supervised, execute_supervised_warm, TaskResults};
 use mbm_exp::market::{baseline_market, BUDGET, N_MINERS};
 use mbm_exp::planner::{plan, PlannedTask};
 use mbm_exp::Task;
@@ -144,6 +144,76 @@ fn forced_panics_are_isolated_per_task() {
         match &reference {
             None => reference = Some(survived),
             Some(want) => assert_eq!(&survived, want, "casualty set diverged at {threads} threads"),
+        }
+    }
+}
+
+/// Warm continuation batching: the grid tasks share one family, so the
+/// warm executor solves them as a single nearest-neighbor batch. Outputs
+/// agree with the cold executor within certificate tolerance and are
+/// bitwise identical at every thread count (the batch runs serially on one
+/// workspace regardless of pool size).
+#[test]
+fn warm_batches_agree_with_cold_and_are_thread_count_invariant() {
+    let _serial = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let tasks = batch(8);
+    let compiled = plan(&[tasks.to_vec()]);
+    let cold = execute_supervised(&compiled, &Pool::new(2), SolvePolicy::strict());
+    let mut reference: Option<String> = None;
+    for threads in [1usize, 2, 8] {
+        let warm = execute_supervised_warm(&compiled, &Pool::new(threads), SolvePolicy::strict());
+        let mut fingerprint = String::new();
+        for planned in &tasks {
+            let c = cold.sym_opt(&planned.task).expect("planned").expect("cold converged");
+            let w = warm.sym_opt(&planned.task).expect("planned").expect("warm converged");
+            assert!(
+                (w.edge - c.edge).abs() < 1e-6 && (w.cloud - c.cloud).abs() < 1e-6,
+                "warm {w:?} drifted from cold {c:?}"
+            );
+            fingerprint.push_str(&format!("{w:?}\n"));
+        }
+        match &reference {
+            None => reference = Some(fingerprint),
+            Some(want) => {
+                assert_eq!(&fingerprint, want, "warm outputs diverged at {threads} threads");
+            }
+        }
+    }
+}
+
+/// A forced panic inside a warm batch is isolated to its task: the fault
+/// schedule is keyed by task identity (not batch layout), so the casualty
+/// set matches the cold executor's exactly, at every thread count, and the
+/// rest of the batch still converges.
+#[test]
+fn warm_batches_isolate_panics_and_match_the_cold_casualty_set() {
+    let _serial = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let tasks = batch(8);
+    let spec = "seed=3;exp.task:panic@2";
+    let fault_plan = mbm_faults::FaultPlan::parse(spec).expect("test plan parses");
+    let _guard = mbm_faults::install(fault_plan);
+    let compiled = plan(&[tasks.to_vec()]);
+
+    let casualty_set = |results: &TaskResults| -> Vec<bool> {
+        tasks.iter().map(|p| results.sym_opt(&p.task).expect("planned").is_some()).collect()
+    };
+    let cold = execute_supervised(&compiled, &Pool::new(2), SolvePolicy::strict());
+    let want = casualty_set(&cold);
+    assert!(
+        want.iter().any(|&s| s) && want.iter().any(|&s| !s),
+        "panic@2 should kill some tasks and spare others; got {want:?}"
+    );
+    for threads in [1usize, 2, 8] {
+        let warm = execute_supervised_warm(&compiled, &Pool::new(threads), SolvePolicy::strict());
+        assert_eq!(casualty_set(&warm), want, "casualty set diverged at {threads} threads");
+        for (planned, &ok) in tasks.iter().zip(&want) {
+            if !ok {
+                let debug = format!("{:?}", warm.output(&planned.task).expect("planned"));
+                assert!(
+                    debug.contains("worker panic isolated"),
+                    "casualty lacks the isolation marker: {debug}"
+                );
+            }
         }
     }
 }

@@ -38,6 +38,23 @@ impl QLearner {
         epsilon_decay: f64,
         alpha: Option<f64>,
     ) -> Result<Self, LearnError> {
+        Self::validate(num_actions, epsilon, epsilon_decay, alpha)?;
+        Ok(QLearner {
+            values: vec![0.0; num_actions],
+            counts: vec![0; num_actions],
+            epsilon,
+            epsilon_decay,
+            epsilon_min: 0.01,
+            alpha,
+        })
+    }
+
+    fn validate(
+        num_actions: usize,
+        epsilon: f64,
+        epsilon_decay: f64,
+        alpha: Option<f64>,
+    ) -> Result<(), LearnError> {
         if num_actions == 0 {
             return Err(LearnError::invalid("QLearner: need at least one action"));
         }
@@ -56,14 +73,44 @@ impl QLearner {
                 return Err(LearnError::invalid(format!("QLearner: alpha = {a} not in (0, 1]")));
             }
         }
-        Ok(QLearner {
-            values: vec![0.0; num_actions],
-            counts: vec![0; num_actions],
-            epsilon,
-            epsilon_decay,
-            epsilon_min: 0.01,
-            alpha,
-        })
+        Ok(())
+    }
+
+    /// Resets this learner in place to exactly the state [`QLearner::new`]
+    /// would produce with the same arguments, reusing the value/count
+    /// buffers (no allocation when `num_actions` fits their capacity).
+    /// Repeated training runs — e.g. the slow-timescale price adaptation,
+    /// which re-trains the miner pool at every candidate price — route
+    /// through this instead of building fresh learner tables.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QLearner::new`].
+    pub fn reset(
+        &mut self,
+        num_actions: usize,
+        epsilon: f64,
+        epsilon_decay: f64,
+        alpha: Option<f64>,
+    ) -> Result<(), LearnError> {
+        Self::validate(num_actions, epsilon, epsilon_decay, alpha)?;
+        self.values.clear();
+        self.values.resize(num_actions, 0.0);
+        self.counts.clear();
+        self.counts.resize(num_actions, 0);
+        self.epsilon = epsilon;
+        self.epsilon_decay = epsilon_decay;
+        self.epsilon_min = 0.01;
+        self.alpha = alpha;
+        Ok(())
+    }
+
+    /// Heap bytes currently reserved by the value/count tables (capacity,
+    /// not length). Steady-state training must not grow this.
+    #[must_use]
+    pub fn footprint(&self) -> usize {
+        self.values.capacity() * std::mem::size_of::<f64>()
+            + self.counts.capacity() * std::mem::size_of::<u64>()
     }
 
     /// Number of actions.
@@ -182,6 +229,29 @@ mod tests {
             q.update(0, 10.0);
         }
         assert!((q.values()[0] - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn reset_is_bitwise_identical_to_fresh_and_allocation_free() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut q = QLearner::new(6, 0.4, 0.999, Some(0.05)).unwrap();
+        for _ in 0..200 {
+            let a = q.select(&mut rng);
+            q.update(a, rng.gen::<f64>());
+        }
+        let footprint = q.footprint();
+        // Same-size reset: identical to a fresh learner, buffers reused.
+        q.reset(6, 0.4, 0.999, Some(0.05)).unwrap();
+        assert_eq!(q, QLearner::new(6, 0.4, 0.999, Some(0.05)).unwrap());
+        assert_eq!(q.footprint(), footprint, "reset must not reallocate");
+        // Smaller reset with different hyperparameters: still identical to
+        // fresh, still within the reserved capacity.
+        q.reset(4, 0.2, 1.0, None).unwrap();
+        assert_eq!(q, QLearner::new(4, 0.2, 1.0, None).unwrap());
+        assert_eq!(q.footprint(), footprint, "shrinking reset must keep capacity");
+        // Invalid reset arguments are rejected like `new`'s.
+        assert!(q.reset(0, 0.1, 1.0, None).is_err());
+        assert!(q.reset(2, 1.5, 1.0, None).is_err());
     }
 
     #[test]

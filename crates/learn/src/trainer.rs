@@ -89,6 +89,25 @@ pub fn learn_miner_strategies(
     pool: usize,
     cfg: &TrainConfig,
 ) -> Result<LearnedMiners, LearnError> {
+    learn_miner_strategies_in(params, prices, budget, population, pool, cfg, &mut TrainerScratch::default())
+}
+
+/// [`learn_miner_strategies`] into a reusable [`TrainerScratch`] (see
+/// [`learn_on_grid_in`]); bitwise identical output.
+///
+/// # Errors
+///
+/// Propagates configuration and model errors.
+#[allow(clippy::too_many_arguments)] // mirrors learn_miner_strategies plus the scratch
+pub fn learn_miner_strategies_in(
+    params: &MarketParams,
+    prices: &Prices,
+    budget: f64,
+    population: &Population,
+    pool: usize,
+    cfg: &TrainConfig,
+    scratch: &mut TrainerScratch,
+) -> Result<LearnedMiners, LearnError> {
     use mbm_core::subgame::dynamic::{solve_symmetric_dynamic, DynamicConfig};
     let model = solve_symmetric_dynamic(
         params,
@@ -98,7 +117,35 @@ pub fn learn_miner_strategies(
         &DynamicConfig { mixing: cfg.mixing, ..Default::default() },
     )?;
     let grid = ActionGrid::around(model, cfg.grid_spread, cfg.grid_points, prices, budget)?;
-    learn_on_grid(params, prices, &grid, population, pool, cfg)
+    learn_on_grid_in(params, prices, &grid, population, pool, cfg, scratch)
+}
+
+/// Reusable training buffers: the learner tables, the per-block action
+/// profile, and the environment's trajectory scratch — the training-run
+/// analogue of the solver's `SolveWorkspace`. One run already reuses its
+/// buffers across blocks; routing *repeated* runs (the slow-timescale price
+/// adaptation re-trains the miner pool at every candidate price) through
+/// one `TrainerScratch` keeps everything at high-water capacity, so
+/// episodes allocate nothing after warmup.
+#[derive(Debug, Default)]
+pub struct TrainerScratch {
+    learners: Vec<QLearner>,
+    chosen: Vec<usize>,
+    requests: Vec<Request>,
+    block: BlockScratch,
+}
+
+impl TrainerScratch {
+    /// Heap bytes currently reserved across all buffers (capacity, not
+    /// length). Steady-state training must not grow this.
+    #[must_use]
+    pub fn footprint(&self) -> usize {
+        self.learners.iter().map(QLearner::footprint).sum::<usize>()
+            + self.learners.capacity() * std::mem::size_of::<QLearner>()
+            + self.chosen.capacity() * std::mem::size_of::<usize>()
+            + self.requests.capacity() * std::mem::size_of::<Request>()
+            + self.block.footprint()
+    }
 }
 
 /// Trains miners on an explicit action grid (no model seeding).
@@ -114,20 +161,44 @@ pub fn learn_on_grid(
     pool: usize,
     cfg: &TrainConfig,
 ) -> Result<LearnedMiners, LearnError> {
+    learn_on_grid_in(params, prices, grid, population, pool, cfg, &mut TrainerScratch::default())
+}
+
+/// [`learn_on_grid`] into a reusable [`TrainerScratch`]: identical RNG
+/// sequence and bitwise-identical output, but learner tables and trajectory
+/// buffers are reset in place instead of reallocated, so back-to-back runs
+/// (price adaptation, ensembles) allocate nothing after the first.
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+#[allow(clippy::too_many_arguments)] // mirrors learn_on_grid plus the scratch
+pub fn learn_on_grid_in(
+    params: &MarketParams,
+    prices: &Prices,
+    grid: &ActionGrid,
+    population: &Population,
+    pool: usize,
+    cfg: &TrainConfig,
+    scratch: &mut TrainerScratch,
+) -> Result<LearnedMiners, LearnError> {
     if cfg.period_blocks == 0 || cfg.periods == 0 {
         return Err(LearnError::invalid("TrainConfig: periods and period_blocks must be positive"));
     }
     let env = MiningEnv::new(*params, *prices, population.clone(), pool, cfg.mixing)?;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut learners: Vec<QLearner> = (0..pool)
-        .map(|_| QLearner::new(grid.len(), cfg.epsilon, cfg.epsilon_decay, cfg.alpha))
-        .collect::<Result<_, _>>()?;
-    let mut chosen = vec![0usize; pool];
-    // Trajectory scratch reused across every block of the run: the action
-    // profile and the environment's participant/line-up/utility buffers
-    // stay at their high-water capacity instead of reallocating per block.
-    let mut requests = vec![Request::default(); pool];
-    let mut scratch = BlockScratch::default();
+    let TrainerScratch { learners, chosen, requests, block: scratch } = scratch;
+    learners.truncate(pool);
+    for l in learners.iter_mut() {
+        l.reset(grid.len(), cfg.epsilon, cfg.epsilon_decay, cfg.alpha)?;
+    }
+    while learners.len() < pool {
+        learners.push(QLearner::new(grid.len(), cfg.epsilon, cfg.epsilon_decay, cfg.alpha)?);
+    }
+    chosen.clear();
+    chosen.resize(pool, 0usize);
+    requests.clear();
+    requests.resize(pool, Request::default());
     let blocks = cfg.period_blocks * cfg.periods;
     let rec = mbm_obs::global();
     let telemetry = rec.enabled();
@@ -138,10 +209,10 @@ pub fn learn_on_grid(
             for (i, l) in learners.iter().enumerate() {
                 chosen[i] = l.select(&mut rng);
             }
-            for (r, &a) in requests.iter_mut().zip(&chosen) {
+            for (r, &a) in requests.iter_mut().zip(chosen.iter()) {
                 *r = grid.action(a);
             }
-            env.play_block_into(&requests, &mut rng, &mut scratch);
+            env.play_block_into(requests, &mut rng, scratch);
             for (&i, &u) in scratch.participants.iter().zip(&scratch.utilities) {
                 learners[i].update(chosen[i], u);
             }
@@ -238,23 +309,32 @@ fn adapt_prices_impl(
             (params.csp().cost().max(1e-6), params.csp().price_cap(), params.csp().cost())
         };
         // Each candidate retrains the miners from the same seed, so the
-        // evaluations are independent and safe to fan out.
-        let evaluate = |k: usize| -> Result<(f64, f64), LearnError> {
+        // evaluations are independent and safe to fan out. The scratch only
+        // carries buffer capacity, never state that affects a result, so
+        // serial (one scratch across candidates) and parallel (one per
+        // call) evaluations stay bitwise identical.
+        let evaluate = |k: usize, scratch: &mut TrainerScratch| -> Result<(f64, f64), LearnError> {
             let p = lo + (hi - lo) * (k as f64 + 0.5) / price_grid as f64;
             let candidate = if leader == 0 {
                 Prices::new(p, current.cloud)?
             } else {
                 Prices::new(current.edge, p)?
             };
-            let learned =
-                learn_miner_strategies(params, &candidate, budget, population, pool, cfg)?;
+            let learned = learn_miner_strategies_in(
+                params, &candidate, budget, population, pool, cfg, scratch,
+            )?;
             let demand =
                 if leader == 0 { learned.aggregates.edge } else { learned.aggregates.cloud };
             Ok(((p - cost) * demand, p))
         };
         let profits: Vec<Result<(f64, f64), LearnError>> = match exec {
-            Some(exec) => exec.par_eval(price_grid, evaluate),
-            None => (0..price_grid).map(evaluate).collect(),
+            Some(exec) => {
+                exec.par_eval(price_grid, |k| evaluate(k, &mut TrainerScratch::default()))
+            }
+            None => {
+                let mut scratch = TrainerScratch::default();
+                (0..price_grid).map(|k| evaluate(k, &mut scratch)).collect()
+            }
         };
         // First-strict-maximum scan in candidate order (and first error in
         // candidate order), identical however the profits were computed.
@@ -508,6 +588,28 @@ mod tests {
             )
             .unwrap();
             assert_eq!(&one, run, "seed = {seed}");
+        }
+    }
+
+    #[test]
+    fn scratch_runs_are_bitwise_equal_and_allocation_stable() {
+        let p = params();
+        let pop = Population::fixed(4).unwrap();
+        let cfg = TrainConfig { periods: 8, ..Default::default() };
+        let mut scratch = TrainerScratch::default();
+        // Warm up the scratch once, then repeated runs at drifting prices
+        // must reuse the reserved capacity exactly.
+        let warmup = Prices::new(3.0, 1.5).unwrap();
+        learn_miner_strategies_in(&p, &warmup, 120.0, &pop, 4, &cfg, &mut scratch).unwrap();
+        let high_water = scratch.footprint();
+        assert!(high_water > 0);
+        for k in 0..6 {
+            let pr = Prices::new(3.0 + 0.2 * k as f64, 1.5 + 0.1 * k as f64).unwrap();
+            let reused =
+                learn_miner_strategies_in(&p, &pr, 120.0, &pop, 4, &cfg, &mut scratch).unwrap();
+            let fresh = learn_miner_strategies(&p, &pr, 120.0, &pop, 4, &cfg).unwrap();
+            assert_eq!(reused, fresh, "scratch reuse changed the output at step {k}");
+            assert_eq!(scratch.footprint(), high_water, "scratch grew at step {k}");
         }
     }
 

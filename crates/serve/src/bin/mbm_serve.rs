@@ -53,7 +53,7 @@ fn install_signal_handlers() {
 fn usage() -> ! {
     eprintln!(
         "usage: mbm-serve [--addr HOST:PORT] [--workers N] [--queue N] \
-         [--default-deadline-ms N] [--max-deadline-ms N] [--test-verbs]"
+         [--default-deadline-ms N] [--max-deadline-ms N] [--max-idle-ms N] [--obs] [--test-verbs]"
     );
     std::process::exit(2);
 }
@@ -80,6 +80,14 @@ fn parse_args() -> ServerConfig {
                 cfg.max_deadline_ms =
                     parse_num(&take("--max-deadline-ms"), "--max-deadline-ms") as u64;
             }
+            "--max-idle-ms" => {
+                cfg.max_idle_ms = parse_num(&take("--max-idle-ms"), "--max-idle-ms") as u64;
+            }
+            // Enable the process-wide mbm-obs recorder so the health
+            // document's `obs` section carries live solver counters —
+            // `core.solver.warm_{hits,resets}` from keep-alive repricing,
+            // tier fallback hops, method mix.
+            "--obs" => mbm_obs::global().set_enabled(true),
             "--test-verbs" => cfg.test_verbs = true,
             "--help" | "-h" => usage(),
             other => {

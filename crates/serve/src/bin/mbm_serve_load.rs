@@ -22,8 +22,8 @@ use mbm_serve::loadgen::{run, summarize, LoadConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: mbm-serve-load (--addr HOST:PORT | --spawn WORKERS) [--requests N] \
-         [--seed N] [--deadline-ms N] [--window N] [--stall-secs N] [--dump PATH] \
-         [--bench PATH] [--telemetry PATH] [--health-out PATH] [--floor-rps X]"
+         [--seed N] [--deadline-ms N] [--window N] [--stall-secs N] [--reprice N] \
+         [--dump PATH] [--bench PATH] [--telemetry PATH] [--health-out PATH] [--floor-rps X]"
     );
     std::process::exit(2);
 }
@@ -47,6 +47,7 @@ fn parse_args() -> LoadConfig {
                 cfg.deadline_ms = num(&take("--deadline-ms"), "--deadline-ms") as u64
             }
             "--window" => cfg.window = num(&take("--window"), "--window"),
+            "--reprice" => cfg.reprice = num(&take("--reprice"), "--reprice"),
             "--stall-secs" => {
                 cfg.stall_timeout =
                     Duration::from_secs(num(&take("--stall-secs"), "--stall-secs") as u64);

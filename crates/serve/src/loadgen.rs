@@ -48,6 +48,12 @@ pub struct LoadConfig {
     pub window: usize,
     /// Fail the run if no response arrives for this long.
     pub stall_timeout: Duration,
+    /// Keep-alive repricing tail: after the pipelined mix, send this many
+    /// sequential `"warm": true` solve frames re-pricing one fixed
+    /// population along a drifting price path (0 = skip). Sequential by
+    /// construction, so the warm continuation is deterministic and the
+    /// responses stay byte-identical across worker counts.
+    pub reprice: usize,
     /// Write the sorted response multiset here (determinism gate).
     pub dump: Option<String>,
     /// Write the `serve_sustained_throughput` bench record here.
@@ -70,6 +76,7 @@ impl Default for LoadConfig {
             deadline_ms: 10_000,
             window: 16,
             stall_timeout: Duration::from_secs(30),
+            reprice: 0,
             dump: None,
             bench_out: None,
             telemetry_out: None,
@@ -233,6 +240,26 @@ fn gen_poison(rng: &mut StdRng, id: u64) -> Frame {
     }
 }
 
+/// The keep-alive repricing tail: one fixed heterogeneous population
+/// re-solved along a drifting price path with `"warm": true`, ids following
+/// the main mix. Pure in its inputs.
+fn reprice_frames(count: usize, first_id: u64, deadline_ms: u64) -> Vec<Frame> {
+    (0..count)
+        .map(|k| {
+            let id = first_id + k as u64;
+            #[allow(clippy::cast_precision_loss)]
+            let step = (k % 20) as f64;
+            let (pe, pc) = (4.0 + 0.05 * step, 1.8 + 0.03 * step);
+            let line = format!(
+                r#"{{"id":{id},"mode":"connected","prices":{{"edge":{},"cloud":{}}},"budgets":[90.0,110.0,130.0],"deadline_ms":{deadline_ms},"warm":true}}"#,
+                fmt(pe),
+                fmt(pc),
+            );
+            Frame { line, id: Some(id) }
+        })
+        .collect()
+}
+
 /// Runs the load described by `cfg`.
 ///
 /// # Errors
@@ -386,6 +413,42 @@ fn drive(cfg: &LoadConfig, addr: &str) -> Result<LoadOutcome, String> {
     }
     let elapsed = start.elapsed().as_secs_f64();
 
+    // Keep-alive repricing tail: strictly sequential (one response awaited
+    // per send), so each warm solve continues from the previous equilibrium
+    // on this connection's warm slot and the response bytes are independent
+    // of the worker count.
+    let tail = reprice_frames(cfg.reprice, frames.len() as u64 + 1, cfg.deadline_ms);
+    for (k, frame) in tail.iter().enumerate() {
+        if let Some(id) = frame.id {
+            send_times.insert(id, Instant::now());
+        }
+        writer
+            .write_all(frame.line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("send reprice frame {k}: {e}"))?;
+        match rx.recv_timeout(cfg.stall_timeout) {
+            Ok(line) => {
+                classify(
+                    &line,
+                    &mut converged,
+                    &mut degraded,
+                    &mut errors,
+                    &mut untyped,
+                    &mut send_times,
+                    &mut latencies_ms,
+                );
+                responses.push(line);
+            }
+            Err(_) => {
+                return Err(format!(
+                    "stalled: reprice frame {k} unanswered after {:?} of silence",
+                    cfg.stall_timeout
+                ))
+            }
+        }
+    }
+
     // End-of-run health snapshot over the same connection.
     let health = if cfg.health_out.is_some() || cfg.telemetry_out.is_some() {
         writer
@@ -424,7 +487,7 @@ fn drive(cfg: &LoadConfig, addr: &str) -> Result<LoadOutcome, String> {
     let mut errors: Vec<(String, u64)> = errors.into_iter().collect();
     errors.sort();
     let outcome = LoadOutcome {
-        sent: frames.len(),
+        sent: frames.len() + tail.len(),
         converged,
         degraded,
         errors,

@@ -43,6 +43,8 @@ pub struct ServeMetrics {
     pub panics_caught: AtomicU64,
     /// Jobs currently executing on a worker.
     pub in_flight: AtomicU64,
+    /// Keep-alive connections reaped by the `max_idle` deadline.
+    pub idle_closed: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -70,6 +72,7 @@ impl ServeMetrics {
             ("solve_failed".into(), load(&self.solve_failed)),
             ("panics_caught".into(), load(&self.panics_caught)),
             ("in_flight".into(), load(&self.in_flight)),
+            ("idle_closed".into(), load(&self.idle_closed)),
         ]
     }
 

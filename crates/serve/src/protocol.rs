@@ -122,6 +122,12 @@ pub struct SolveJob {
     /// Per-request deadline override in milliseconds (`None` → server
     /// default; clamped to the server maximum at admission).
     pub deadline_ms: Option<u64>,
+    /// Warm-start opt-in: seed this solve from the connection's last warm
+    /// equilibrium and store the result back for the next warm request on
+    /// the same keep-alive connection (see DESIGN.md §13). Off by default;
+    /// cold requests never touch the warm slot and stay
+    /// bitwise-historical.
+    pub warm: bool,
 }
 
 /// What a parsed frame asks the server to do.
@@ -346,7 +352,12 @@ fn parse_solve(map: &Value, id: Option<u64>) -> Result<SolveJob, FrameError> {
     validate_cfg(&cfg).map_err(|e| invalid(id, &e))?;
 
     let deadline_ms = u64_field(map, "deadline_ms", id)?;
-    Ok(SolveJob { mode, params, prices, population, cfg, deadline_ms })
+    let warm = match field(map, "warm") {
+        None | Some(Value::Null) => false,
+        Some(v) => serde_json::from_value::<bool>(v.clone())
+            .map_err(|e| FrameError::new(id, ErrorKind::InvalidParameter, format!("warm: {e}")))?,
+    };
+    Ok(SolveJob { mode, params, prices, population, cfg, deadline_ms, warm })
 }
 
 /// Parses one JSON-lines frame into a [`Request`].
@@ -493,9 +504,22 @@ mod tests {
                 assert_eq!(job.population.n(), 3);
                 assert_eq!(job.cfg, SubgameConfig::default());
                 assert!(job.deadline_ms.is_none());
+                assert!(!job.warm, "warm must be an explicit opt-in");
             }
             other => panic!("expected solve, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn warm_flag_parses_and_is_validated() {
+        let req = parse_request(&solve_line(r#","warm":true"#)).unwrap();
+        match req.verb {
+            Verb::Solve(job) => assert!(job.warm),
+            other => panic!("expected solve, got {other:?}"),
+        }
+        let err = parse_request(&solve_line(r#","warm":"yes""#)).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::InvalidParameter);
+        assert!(err.message.contains("warm"), "{}", err.message);
     }
 
     #[test]

@@ -22,9 +22,10 @@ use std::io::{BufRead, BufReader, ErrorKind as IoErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use mbm_core::solver::WarmState;
 use mbm_core::stackelberg::ExecConfig;
 use serde::Value;
 
@@ -64,6 +65,9 @@ pub struct ServerConfig {
     pub max_deadline_ms: u64,
     /// Honor the test-only `sleep` verb (drain tests; off in production).
     pub test_verbs: bool,
+    /// Close keep-alive connections idle longer than this (milliseconds);
+    /// `0` disables the idle reaper and connections live until EOF.
+    pub max_idle_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +79,7 @@ impl Default for ServerConfig {
             default_deadline_ms: 5_000,
             max_deadline_ms: 60_000,
             test_verbs: false,
+            max_idle_ms: 0,
         }
     }
 }
@@ -212,7 +217,12 @@ fn handle_connection(stream: TcpStream, shared: &ConnShared) {
             let _ = out.flush();
         }
     });
-    read_frames(stream, shared, &tx);
+    // One warm-continuation slot per connection: repricing requests that set
+    // `"warm": true` continue from the last equilibrium this connection
+    // solved. The slot dies with the connection, so state never leaks
+    // across clients.
+    let warm = Arc::new(Mutex::new(WarmState::default()));
+    read_frames(stream, shared, &tx, &warm);
     // Dropping the reader's sender lets the writer exit once every job
     // holding a clone has responded.
     drop(tx);
@@ -220,12 +230,21 @@ fn handle_connection(stream: TcpStream, shared: &ConnShared) {
 }
 
 /// Reader loop: pulls JSON-lines frames off the socket until EOF, a socket
-/// error, or shutdown. The read timeout keeps the loop responsive to the
-/// shutdown flag; a timeout mid-line preserves the partial buffer.
-fn read_frames(stream: TcpStream, shared: &ConnShared, tx: &Sender<String>) {
+/// error, shutdown, or (when `max_idle_ms` is set) the idle deadline. The
+/// read timeout keeps the loop responsive to the shutdown flag; a timeout
+/// mid-line preserves the partial buffer and does not count as idleness.
+fn read_frames(
+    stream: TcpStream,
+    shared: &ConnShared,
+    tx: &Sender<String>,
+    warm: &Arc<Mutex<WarmState>>,
+) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
+    let idle_limit = (shared.cfg.max_idle_ms > 0)
+        .then(|| Duration::from_millis(shared.cfg.max_idle_ms));
+    let mut last_activity = Instant::now();
     loop {
         if shared.shutdown.load(Ordering::SeqCst) != RUN {
             break;
@@ -235,23 +254,36 @@ fn read_frames(stream: TcpStream, shared: &ConnShared, tx: &Sender<String>) {
             Ok(_) => {
                 let frame = line.trim();
                 if !frame.is_empty() {
-                    handle_frame(frame, shared, tx);
+                    handle_frame(frame, shared, tx, warm);
                 }
                 line.clear();
+                last_activity = Instant::now();
             }
             Err(e)
                 if e.kind() == IoErrorKind::WouldBlock
                     || e.kind() == IoErrorKind::TimedOut
                     || e.kind() == IoErrorKind::Interrupted =>
             {
-                // Partial data (if any) stays in `line`; poll again.
+                // Partial data (if any) stays in `line`; poll again. A
+                // half-received frame never trips the idle reaper.
+                if let Some(limit) = idle_limit {
+                    if line.is_empty() && last_activity.elapsed() >= limit {
+                        bump(&shared.metrics.idle_closed);
+                        break;
+                    }
+                }
             }
             Err(_) => break,
         }
     }
 }
 
-fn handle_frame(frame: &str, shared: &ConnShared, tx: &Sender<String>) {
+fn handle_frame(
+    frame: &str,
+    shared: &ConnShared,
+    tx: &Sender<String>,
+    warm: &Arc<Mutex<WarmState>>,
+) {
     let request = match parse_request(frame) {
         Ok(req) => req,
         Err(err) => {
@@ -282,7 +314,7 @@ fn handle_frame(frame: &str, shared: &ConnShared, tx: &Sender<String>) {
         }
         Verb::Sleep { ms } => {
             if shared.cfg.test_verbs {
-                submit(shared, tx, id, JobKind::Sleep { ms }, None);
+                submit(shared, tx, id, JobKind::Sleep { ms }, None, None);
             } else {
                 let err = FrameError {
                     id,
@@ -295,7 +327,8 @@ fn handle_frame(frame: &str, shared: &ConnShared, tx: &Sender<String>) {
         }
         Verb::Solve(job) => {
             let deadline_ms = job.deadline_ms;
-            submit(shared, tx, id, JobKind::Solve(job), deadline_ms);
+            let warm_slot = job.warm.then(|| Arc::clone(warm));
+            submit(shared, tx, id, JobKind::Solve(job), deadline_ms, warm_slot);
         }
     }
 }
@@ -306,6 +339,7 @@ fn submit(
     id: Option<u64>,
     kind: JobKind,
     deadline_ms: Option<u64>,
+    warm: Option<Arc<Mutex<WarmState>>>,
 ) {
     let budget_ms = deadline_ms
         .unwrap_or(shared.cfg.default_deadline_ms)
@@ -317,6 +351,7 @@ fn submit(
         deadline: Instant::now() + Duration::from_millis(budget_ms),
         respond: tx.clone(),
         scope_key: scope_key_for(id),
+        warm,
     };
     if let Err((job, reason)) = shared.pool.submit(job) {
         let (kind, counter, message) = match reason {

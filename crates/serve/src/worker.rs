@@ -33,7 +33,7 @@ use std::sync::{Arc, Condvar, Mutex, Once};
 use std::time::{Duration, Instant};
 
 use mbm_core::solver::{
-    FollowerSolver, SolvePolicy, SolveStatus, SolveWorkspace, Solved, TieredSolver,
+    FollowerSolver, SolvePolicy, SolveStatus, SolveWorkspace, Solved, TieredSolver, WarmState,
 };
 use mbm_core::MiningGameError;
 use mbm_faults::{sites, CancelToken, Interrupt, Supervision};
@@ -71,6 +71,12 @@ pub struct Job {
     /// an installed fault plan fires identically for a given request no
     /// matter which worker runs it or how many workers exist.
     pub scope_key: u64,
+    /// The owning connection's warm continuation slot, set only for solve
+    /// requests that opted in with `"warm": true`. Whichever worker runs
+    /// the job swaps this state into its workspace for the duration of the
+    /// solve, so repeated repricing requests on one keep-alive connection
+    /// continue from the last equilibrium regardless of worker identity.
+    pub warm: Option<Arc<Mutex<WarmState>>>,
 }
 
 /// Why [`WorkerPool::submit`] refused a job.
@@ -263,10 +269,27 @@ fn execute(job: Job, ws: &mut SolveWorkspace, metrics: &ServeMetrics, cancel: &C
         }
         JobKind::Solve(solve_job) => {
             let remaining = job.deadline.saturating_duration_since(now);
+            // Warm continuation: hold the connection's slot for the whole
+            // solve. The guard is taken *before* catch_unwind and released
+            // after the state swaps back, so a panic inside the solve can
+            // neither poison the mutex nor leak a half-owned slot — the
+            // state is only ever updated by a successful solve.
+            let mut warm_guard = job.warm.as_ref().map(|slot| match slot.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            });
+            if let Some(state) = warm_guard.as_deref_mut() {
+                state.set_enabled(true);
+                ws.warm_swap(state);
+            }
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let _quiet = QuietPanicGuard::arm();
                 run_solve(&solve_job, remaining, ws, cancel, job.scope_key)
             }));
+            if let Some(state) = warm_guard.as_deref_mut() {
+                ws.warm_swap(state);
+            }
+            drop(warm_guard);
             let body = match outcome {
                 Ok(Ok(solved)) => {
                     bump(&metrics.completed);
@@ -462,17 +485,23 @@ mod tests {
             deadline: Instant::now() + Duration::from_millis(budget_ms),
             respond,
             scope_key: scope_key_for(Some(id)),
+            warm: None,
         }
     }
 
     fn solve_kind(mode: Mode) -> JobKind {
+        solve_kind_at(mode, 4.0, 2.0)
+    }
+
+    fn solve_kind_at(mode: Mode, edge: f64, cloud: f64) -> JobKind {
         JobKind::Solve(Box::new(SolveJob {
             mode,
             params: MarketParams::builder().build().expect("defaults valid"),
-            prices: Prices::new(4.0, 2.0).expect("valid prices"),
+            prices: Prices::new(edge, cloud).expect("valid prices"),
             population: PopulationSpec::Budgets(vec![100.0, 80.0, 120.0]),
             cfg: SubgameConfig::default(),
             deadline_ms: None,
+            warm: false,
         }))
     }
 
@@ -548,6 +577,51 @@ mod tests {
         assert!(body.contains(r#""kind":"deadline_exceeded""#), "{body}");
         pool.shutdown(true);
         assert_eq!(metrics.shed_deadline.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn warm_repricing_continues_from_the_connection_slot() {
+        let metrics = Arc::new(ServeMetrics::new());
+        let pool = WorkerPool::new(2, 8, Arc::clone(&metrics));
+        let slot = Arc::new(Mutex::new(WarmState::default()));
+        let (tx, rx) = mpsc::channel();
+        // Two sequential warm repricing requests at neighbouring prices,
+        // exactly like a keep-alive client: the second seeds from the
+        // first's stored equilibrium.
+        for (id, pc) in [(1u64, 2.0), (2, 2.1)] {
+            let mut j = job(id, solve_kind_at(Mode::Connected, 4.0, pc), tx.clone(), 30_000);
+            j.warm = Some(Arc::clone(&slot));
+            pool.submit(j).expect("admitted");
+            let body = rx.recv_timeout(Duration::from_secs(30)).expect("response");
+            assert!(body.contains(r#""status":"Converged""#), "{body}");
+        }
+        let state = slot.lock().expect("slot unpoisoned");
+        assert!(state.hits() >= 1, "second repricing should seed warm; hits = {}", state.hits());
+        drop(state);
+        // A cold solve of the second request agrees within tolerance.
+        let (tx2, rx2) = mpsc::channel();
+        pool.submit(job(3, solve_kind_at(Mode::Connected, 4.0, 2.1), tx2, 30_000))
+            .expect("admitted");
+        let cold = rx2.recv_timeout(Duration::from_secs(30)).expect("response");
+        let warm_body = {
+            let (tx3, rx3) = mpsc::channel();
+            let mut j = job(4, solve_kind_at(Mode::Connected, 4.0, 2.1), tx3, 30_000);
+            j.warm = Some(Arc::clone(&slot));
+            pool.submit(j).expect("admitted");
+            rx3.recv_timeout(Duration::from_secs(30)).expect("response")
+        };
+        let edge = |body: &str| -> f64 {
+            let v: serde::Value = serde_json::from_str(body).expect("json");
+            match v.get("aggregates").and_then(|a| a.get("edge")) {
+                Some(serde::Value::F64(x)) => *x,
+                other => panic!("no aggregate edge in {other:?}"),
+            }
+        };
+        assert!(
+            (edge(&cold) - edge(&warm_body)).abs() < 1e-6,
+            "warm drifted: {cold} vs {warm_body}"
+        );
+        pool.shutdown(true);
     }
 
     #[test]

@@ -140,6 +140,77 @@ fn drain_answers_in_flight_and_sheds_queued() {
     assert!(shed.iter().any(|r| r.contains(r#""id":3"#)), "{responses:?}");
 }
 
+/// Keep-alive warm repricing: sequential `"warm": true` solves on one
+/// connection agree with their cold counterparts on a second connection,
+/// and the warm tail keeps the response multiset worker-count invariant.
+#[test]
+fn warm_repricing_matches_cold_on_a_second_connection() {
+    let (addr, flag, handle) =
+        spawn(ServerConfig { workers: 2, ..ServerConfig::default() }).expect("spawn");
+    let mut warm_conn = Client::connect(addr);
+    let mut cold_conn = Client::connect(addr);
+
+    let solve_frame = |id: u64, pc: f64, warm: bool| {
+        format!(
+            r#"{{"id":{id},"mode":"connected","prices":{{"edge":4.0,"cloud":{pc}}},"budgets":[90.0,110.0,130.0],"warm":{warm}}}"#
+        )
+    };
+    let edge_of = |body: &str| -> f64 {
+        let v: Value = serde_json::from_str(body).expect("valid json");
+        match v.get("aggregates").and_then(|a| a.get("edge")) {
+            Some(Value::F64(x)) => *x,
+            other => panic!("no aggregate edge ({other:?}) in {body}"),
+        }
+    };
+    for (k, pc) in [(0u64, 1.8), (1, 1.83), (2, 1.86), (3, 1.89)] {
+        let warm_body = warm_conn.exchange(&solve_frame(10 + k, pc, true));
+        let cold_body = cold_conn.exchange(&solve_frame(20 + k, pc, false));
+        assert!(warm_body.contains(r#""status":"Converged""#), "{warm_body}");
+        let (w, c) = (edge_of(&warm_body), edge_of(&cold_body));
+        assert!((w - c).abs() < 1e-6, "warm reprice {k} drifted: {w} vs {c}");
+    }
+
+    request_shutdown(&flag, DRAIN);
+    handle.join().expect("server thread").expect("clean shutdown");
+}
+
+/// With `max_idle_ms` set, a silent keep-alive connection is reaped: the
+/// server closes it and counts the reap, while an active connection keeps
+/// being served past the idle horizon.
+#[test]
+fn idle_connections_are_reaped_under_max_idle() {
+    let (addr, flag, handle) =
+        spawn(ServerConfig { workers: 1, max_idle_ms: 200, ..ServerConfig::default() })
+            .expect("spawn");
+    let mut idle = Client::connect(addr);
+    let mut active = Client::connect(addr);
+
+    // The idle connection says one ping, then goes silent past the limit.
+    let pong = idle.exchange(r#"{"id":1,"verb":"ping"}"#);
+    assert!(pong.contains(r#""pong":true"#), "{pong}");
+    // The active connection keeps talking well past max_idle_ms.
+    for i in 0..6u64 {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let id = 100 + i;
+        let pong = active.exchange(&format!(r#"{{"id":{id},"verb":"ping"}}"#));
+        assert!(pong.contains(r#""pong":true"#), "active connection dropped: {pong}");
+    }
+    // The idle connection has been closed by the server (EOF, no error).
+    assert!(idle.drain().is_empty(), "no unsolicited frames on the reaped connection");
+
+    let health = active.exchange(r#"{"id":999,"verb":"health"}"#);
+    let h: Value = serde_json::from_str(&health).expect("valid json");
+    let reaped = h
+        .get("health")
+        .and_then(|b| b.get("counters"))
+        .and_then(|c| c.get("idle_closed"))
+        .cloned();
+    assert_eq!(reaped, Some(Value::U64(1)), "{health}");
+
+    request_shutdown(&flag, DRAIN);
+    handle.join().expect("server thread").expect("clean shutdown");
+}
+
 /// The acceptance gate: the same seeded mix produces a byte-identical
 /// sorted response multiset whether 1, 2, or 4 workers serve it.
 #[test]
@@ -157,6 +228,9 @@ fn response_multiset_identical_across_worker_counts() {
             // shed by queue wait, which is timing- (and machine-) dependent.
             // Deadline *enforcement* is covered by the worker/e2e tests.
             deadline_ms: 600_000,
+            // Warm repricing tail rides along: sequential warm solves must
+            // not break the worker-count invariance of the dump.
+            reprice: 12,
             dump: Some(dump.display().to_string()),
             ..LoadConfig::default()
         };
@@ -172,5 +246,5 @@ fn response_multiset_identical_across_worker_counts() {
     }
     assert_eq!(dumps[0], dumps[1], "1-worker vs 2-worker responses differ");
     assert_eq!(dumps[0], dumps[2], "1-worker vs 4-worker responses differ");
-    assert!(dumps[0].lines().count() == 96, "one response per frame");
+    assert!(dumps[0].lines().count() == 96 + 12, "one response per frame");
 }

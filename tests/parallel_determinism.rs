@@ -48,7 +48,7 @@ proptest! {
         let reference = solve_connected(&params, &budgets, &serial).ok();
         for threads in [2usize, 4] {
             let cfg = StackelbergConfig {
-                exec: ExecConfig { threads, cache_capacity: 0, telemetry: false },
+                exec: ExecConfig { threads, cache_capacity: 0, telemetry: false, warm_start: false },
                 ..serial
             };
             let got = solve_connected(&params, &budgets, &cfg).ok();
@@ -68,13 +68,13 @@ proptest! {
         let params = market(c_e, beta, 0.8);
         let budgets = [b0, b0 + 40.0, b0 + 90.0];
         let base = StackelbergConfig {
-            exec: ExecConfig { threads: 1, cache_capacity: 1, telemetry: false },
+            exec: ExecConfig { threads: 1, cache_capacity: 1, telemetry: false, warm_start: false },
             ..StackelbergConfig::default()
         };
         let reference = solve_connected(&params, &budgets, &base).ok();
         for (threads, capacity) in [(1usize, 1usize << 16), (4, 1), (4, 1 << 16)] {
             let cfg = StackelbergConfig {
-                exec: ExecConfig { threads, cache_capacity: capacity, telemetry: false },
+                exec: ExecConfig { threads, cache_capacity: capacity, telemetry: false, warm_start: false },
                 ..base
             };
             let got = solve_connected(&params, &budgets, &cfg).ok();

@@ -6,7 +6,8 @@ use proptest::prelude::*;
 use mbm_core::params::{MarketParams, Prices};
 use mbm_core::solver::{
     solve_connected_reported, solve_standalone_reported, solve_symmetric_connected_reported,
-    solve_symmetric_standalone_reported, SolveMethod, SolveMode,
+    solve_symmetric_standalone_reported, FollowerSolver, SolveMethod, SolveMode, SolveWorkspace,
+    TieredSolver,
 };
 use mbm_core::subgame::SubgameConfig;
 
@@ -161,5 +162,112 @@ proptest! {
                 "standalone n={} sym {:?} vs full {:?}", n, sym_s, r
             );
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Warm-started continuation over a randomized price grid lands on the
+    /// same equilibria as independent cold solves, within certificate
+    /// tolerance, and answers come back in grid order.
+    #[test]
+    fn warm_batch_matches_cold_solves_within_tolerance(
+        base_e in 3.8f64..5.0,
+        base_c in 1.6f64..2.1,
+        step in 0.02f64..0.08,
+        n in 3usize..7,
+    ) {
+        let params = market();
+        let cfg = SubgameConfig::default();
+        let budgets: Vec<f64> = (0..n).map(|i| 90.0 + 20.0 * i as f64).collect();
+        let grid: Vec<Prices> = (0..6)
+            .map(|k| Prices::new(base_e + step * k as f64, base_c + 0.5 * step * k as f64).unwrap())
+            .collect();
+        let solver = TieredSolver::connected(&params, &grid[0], &budgets, &cfg);
+        let mut ws = SolveWorkspace::new();
+        let warm = solver.solve_batch(&grid, &mut ws);
+        prop_assert_eq!(warm.len(), grid.len());
+        for (k, (p, w)) in grid.iter().zip(&warm).enumerate() {
+            let w = w.as_ref().expect("warm point converged");
+            let cold = TieredSolver::connected(&params, p, &budgets, &cfg)
+                .solve(&mut SolveWorkspace::new())
+                .unwrap();
+            prop_assert!(
+                (w.aggregates.edge - cold.aggregates.edge).abs() < 1e-6
+                    && (w.aggregates.cloud - cold.aggregates.cloud).abs() < 1e-6,
+                "grid point {} warm {:?} vs cold {:?}", k, w.aggregates, cold.aggregates
+            );
+        }
+        // The batch is an opt-in scope: it leaves the workspace cold again.
+        prop_assert!(!ws.warm().enabled());
+    }
+
+    /// The continuation sequence runs serially on one workspace, so the
+    /// batched results are bitwise identical whatever the worker-pool size
+    /// the aggregate tiers fan their sweeps over.
+    #[test]
+    fn warm_batch_is_thread_count_deterministic(
+        base_e in 4.0f64..5.0,
+        base_c in 1.4f64..2.0,
+    ) {
+        let params = market();
+        let cfg = SubgameConfig::default();
+        let budgets: Vec<f64> = (0..24).map(|i| 80.0 + 5.0 * (i % 7) as f64).collect();
+        let grid: Vec<Prices> = (0..4)
+            .map(|k| Prices::new(base_e + 0.05 * k as f64, base_c + 0.02 * k as f64).unwrap())
+            .collect();
+        let mut reference: Option<String> = None;
+        for threads in [1usize, 2, 8] {
+            let pool = mbm_par::Pool::new(threads);
+            let solver =
+                TieredSolver::aggregate_connected_in(&params, &grid[0], &budgets, &cfg, &pool);
+            let out = solver.solve_batch(&grid, &mut SolveWorkspace::new());
+            let fingerprint: String = out
+                .iter()
+                .map(|r| format!("{:?}\n", r.as_ref().expect("point converged").aggregates))
+                .collect();
+            match &reference {
+                None => reference = Some(fingerprint),
+                Some(want) => prop_assert_eq!(
+                    &fingerprint, want, "batch diverged at {} threads", threads
+                ),
+            }
+        }
+    }
+
+    /// Changing the population re-keys the warm slot: the counter records
+    /// the reset and the next solve seeds cold (bitwise equal to a fresh
+    /// warm-enabled workspace), so no stale profile leaks across tasks.
+    #[test]
+    fn population_change_resets_the_warm_slot(
+        edge in 3.9f64..5.0,
+        cloud in 1.6f64..2.1,
+    ) {
+        let params = market();
+        let cfg = SubgameConfig::default();
+        let a = vec![100.0, 120.0, 140.0, 160.0];
+        let b = vec![90.0, 95.0, 105.0];
+        let p0 = Prices::new(edge, cloud).unwrap();
+        let p1 = Prices::new(edge + 0.03, cloud + 0.02).unwrap();
+
+        let mut ws = SolveWorkspace::new();
+        ws.warm_mut().set_enabled(true);
+        TieredSolver::connected(&params, &p0, &a, &cfg).solve(&mut ws).unwrap();
+        TieredSolver::connected(&params, &p1, &a, &cfg).solve(&mut ws).unwrap();
+        prop_assert!(ws.warm().hits() >= 1, "repricing the same population must seed warm");
+        prop_assert_eq!(ws.warm().resets(), 0);
+
+        let swapped = TieredSolver::connected(&params, &p1, &b, &cfg).solve(&mut ws).unwrap();
+        prop_assert_eq!(ws.warm().resets(), 1, "population change must re-key the slot");
+
+        let mut fresh = SolveWorkspace::new();
+        fresh.warm_mut().set_enabled(true);
+        let cold_b = TieredSolver::connected(&params, &p1, &b, &cfg).solve(&mut fresh).unwrap();
+        prop_assert_eq!(
+            format!("{:?}", swapped.aggregates),
+            format!("{:?}", cold_b.aggregates),
+            "post-reset solve must seed cold, not from the stale profile"
+        );
     }
 }

@@ -49,7 +49,7 @@ fn reference_pipeline_telemetry_matches_golden() {
     rec.reset();
     rec.set_enabled(true);
     let cfg = StackelbergConfig {
-        exec: ExecConfig { threads: 1, cache_capacity: 1 << 16, telemetry: true },
+        exec: ExecConfig { threads: 1, cache_capacity: 1 << 16, telemetry: true, warm_start: false },
         ..StackelbergConfig::default()
     };
     let sol = solve_connected(&reference_market(), &[80.0, 140.0, 200.0], &cfg)

@@ -22,6 +22,7 @@ cd "$(dirname "$0")/.."
 FILES=(
   crates/core/src/solver/mod.rs
   crates/core/src/solver/aggregate.rs
+  crates/core/src/solver/continuation.rs
   crates/core/src/solver/policy.rs
   crates/core/src/solver/report.rs
   crates/core/src/solver/workspace.rs
