@@ -57,33 +57,42 @@ impl PriceTrace {
     /// prices). Returns `None` for converged or aperiodic traces.
     #[must_use]
     pub fn detect_cycle(&self, tol: f64) -> Option<usize> {
-        let n = self.rounds.len();
-        if self.converged || n < 4 {
-            return None;
-        }
-        let close = |a: &Prices, b: &Prices| {
+        detect_cycle_impl(self.rounds.len(), self.converged, |i, j| {
+            let (a, b) = (&self.rounds[i].prices, &self.rounds[j].prices);
             (a.edge - b.edge).abs() <= tol && (a.cloud - b.cloud).abs() <= tol
-        };
-        for period in 2..=(n / 2).min(12) {
-            let mut ok = true;
-            for k in 0..period {
-                let i = n - 1 - k;
-                let j = i - period;
-                if !close(&self.rounds[i].prices, &self.rounds[j].prices) {
-                    ok = false;
-                    break;
-                }
-            }
-            if ok {
-                // Exclude the degenerate "constant" pseudo-cycle.
-                let i = n - 1;
-                if !close(&self.rounds[i].prices, &self.rounds[i - 1].prices) {
-                    return Some(period);
-                }
+        })
+    }
+}
+
+/// Shared Edgeworth-cycle detector over any round sequence: the smallest
+/// period `p ≥ 2` such that the last `2p` rounds repeat with that period
+/// under the caller's `close(i, j)` round comparison. Converged or short
+/// (`n < 4`) traces and the degenerate constant pseudo-cycle report `None`.
+/// Used by both the two-provider [`PriceTrace`] and the K-provider
+/// [`crate::sp::oligopoly::OligopolyTrace`].
+pub(crate) fn detect_cycle_impl(
+    n: usize,
+    converged: bool,
+    close: impl Fn(usize, usize) -> bool,
+) -> Option<usize> {
+    if converged || n < 4 {
+        return None;
+    }
+    for period in 2..=(n / 2).min(12) {
+        let mut ok = true;
+        for k in 0..period {
+            let i = n - 1 - k;
+            if !close(i, i - period) {
+                ok = false;
+                break;
             }
         }
-        None
+        // Exclude the degenerate "constant" pseudo-cycle.
+        if ok && !close(n - 1, n - 2) {
+            return Some(period);
+        }
     }
+    None
 }
 
 /// Shared configuration for the traced algorithms.

@@ -64,6 +64,7 @@ pub mod algorithms;
 pub mod analysis;
 pub mod calibration;
 pub mod error;
+pub mod market;
 pub mod params;
 pub mod presets;
 pub mod request;

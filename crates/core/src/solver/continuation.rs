@@ -64,6 +64,16 @@ fn fnv_fold(mut h: u64, value: f64) -> u64 {
     h
 }
 
+/// FNV-1a over the exact bit patterns of a price vector — the grid-point
+/// identity used by the K-provider market layer ([`crate::market`]) to
+/// dedup continuation batches and key warm sweeps. Folding `to_bits()`
+/// bytes (not values) keeps the key one-ulp sensitive, matching the
+/// bitwise-compare discipline of [`WarmState`]'s population keys.
+#[must_use]
+pub fn price_key(prices: &[f64]) -> u64 {
+    prices.iter().fold(FNV_OFFSET, |h, &p| fnv_fold(h, p))
+}
+
 fn slice_key(family: Family, budgets: &[f64]) -> WarmKey {
     let bits = budgets.iter().fold(FNV_OFFSET, |h, &b| fnv_fold(h, b));
     WarmKey { family, n: budgets.len(), bits }
@@ -438,8 +448,7 @@ mod tests {
         let mut warm = WarmState::default();
         warm.set_enabled(true);
         let budgets = [100.0, 200.0];
-        let reqs =
-            [Request { edge: 1.0, cloud: 2.0 }, Request { edge: 3.0, cloud: 4.0 }];
+        let reqs = [Request { edge: 1.0, cloud: 2.0 }, Request { edge: 3.0, cloud: 4.0 }];
         warm.store_slice(Family::Connected, &budgets, &reqs);
         let mut out = Vec::new();
         warm.seed_profile(Family::Connected, &budgets, &prices(5.0, 2.0), None, &mut out).unwrap();
@@ -458,8 +467,7 @@ mod tests {
         let mut warm = WarmState::default();
         warm.set_enabled(true);
         let budgets = [100.0, 200.0];
-        let reqs =
-            [Request { edge: 4.0, cloud: 2.0 }, Request { edge: 6.0, cloud: 4.0 }];
+        let reqs = [Request { edge: 4.0, cloud: 2.0 }, Request { edge: 6.0, cloud: 4.0 }];
         warm.store_slice(Family::Standalone, &budgets, &reqs);
         let mut out = Vec::new();
         warm.seed_profile(Family::Standalone, &budgets, &prices(5.0, 2.0), Some(5.0), &mut out)

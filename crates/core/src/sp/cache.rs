@@ -74,31 +74,35 @@ impl CacheStats {
 /// capacity, it becomes `cold` and a fresh `hot` starts; `cold` hits are
 /// promoted. Recently-used keys therefore survive at least one generation,
 /// and total occupancy never exceeds the capacity.
+///
+/// Generic over key/value so the two-provider stage (price-pair bits →
+/// profit pair) and the K-provider oligopoly stage (K snapped price bits →
+/// K profits, [`crate::sp::oligopoly`]) share one eviction policy.
 #[derive(Debug)]
-struct Generations {
-    hot: HashMap<(u64, u64), (f64, f64)>,
-    cold: HashMap<(u64, u64), (f64, f64)>,
+pub(crate) struct Generations<K, V> {
+    hot: HashMap<K, V>,
+    cold: HashMap<K, V>,
     half_capacity: usize,
 }
 
-impl Generations {
-    fn new(capacity: usize) -> Self {
+impl<K: std::hash::Hash + Eq + Clone, V: Clone> Generations<K, V> {
+    pub(crate) fn new(capacity: usize) -> Self {
         let half_capacity = (capacity / 2).max(1);
         Generations { hot: HashMap::new(), cold: HashMap::new(), half_capacity }
     }
 
-    fn get_promote(&mut self, key: (u64, u64)) -> Option<(f64, f64)> {
-        if let Some(&v) = self.hot.get(&key) {
-            return Some(v);
+    pub(crate) fn get_promote(&mut self, key: &K) -> Option<V> {
+        if let Some(v) = self.hot.get(key) {
+            return Some(v.clone());
         }
-        if let Some(v) = self.cold.remove(&key) {
-            self.insert(key, v);
+        if let Some(v) = self.cold.remove(key) {
+            self.insert(key.clone(), v.clone());
             return Some(v);
         }
         None
     }
 
-    fn insert(&mut self, key: (u64, u64), value: (f64, f64)) {
+    pub(crate) fn insert(&mut self, key: K, value: V) {
         if self.hot.len() >= self.half_capacity {
             self.cold = std::mem::take(&mut self.hot);
         }
@@ -115,7 +119,7 @@ impl Generations {
 pub struct CachedStage<'a> {
     inner: &'a ProviderStage,
     quantum: f64,
-    cache: Mutex<Generations>,
+    cache: Mutex<Generations<(u64, u64), (f64, f64)>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -178,7 +182,7 @@ impl<'a> CachedStage<'a> {
     /// a non-convergent follower stage, exactly as in the uncached payoff.
     fn profits_at(&self, snapped: Prices) -> (f64, f64) {
         let key = (snapped.edge.to_bits(), snapped.cloud.to_bits());
-        if let Some(v) = self.cache.lock().expect("payoff cache lock").get_promote(key) {
+        if let Some(v) = self.cache.lock().expect("payoff cache lock").get_promote(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return v;
         }

@@ -14,8 +14,8 @@ use serde::{Deserialize, Serialize};
 use crate::error::MiningGameError;
 use crate::params::{MarketParams, Prices};
 use crate::sp::stage::{Mode, ProviderStage};
-use crate::stackelberg::ExecConfig;
 use crate::sp::MinerPopulation;
+use crate::stackelberg::ExecConfig;
 use crate::subgame::SubgameConfig;
 
 /// Configuration for [`mixed_price_equilibrium`].

@@ -13,6 +13,7 @@
 
 pub mod cache;
 pub mod mixed;
+pub mod oligopoly;
 pub mod pricing;
 pub mod stage;
 

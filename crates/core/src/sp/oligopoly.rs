@@ -1,0 +1,693 @@
+//! The K-provider oligopoly leader stage.
+//!
+//! [`OligopolyStage`] embeds the miner subgame into a K-leader pricing game
+//! (one edge provider, `K − 1` Bertrand-competing cloud providers) by
+//! reducing every candidate [`PriceVector`] to its effective two-price form
+//! ([`PriceVector::effective`]) and splitting the resulting aggregate demand
+//! back across providers ([`PriceVector::allocate_demand`]). The stage
+//! implements [`LeaderStage`], so the existing best-response / bargaining
+//! leader solvers — serial or pooled — drive it unchanged.
+//!
+//! At `K = 2` every entry point here is **bitwise identical** to the legacy
+//! two-provider path: the effective reduction is the identity on the pair,
+//! demand allocation hands the cloud aggregate to the single cloud provider
+//! undivided, and [`ProviderSet::profit`] is the same arithmetic as
+//! [`crate::sp::profits`]. The root `solver_core` / `parallel_determinism`
+//! suites pin this contract.
+//!
+//! For `K > 2` the sequential best-response dynamics
+//! ([`oligopoly_best_response_dynamics`]) can fail to settle — Bertrand
+//! undercutting among the cloud providers produces the same Edgeworth-style
+//! price cycles the two-leader game exhibits below the stationary price —
+//! so [`OligopolyTrace::detect_cycle`] reuses the period detector of
+//! [`crate::algorithms::PriceTrace`].
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use mbm_game::stackelberg::LeaderStage;
+use mbm_game::GameError;
+use mbm_numerics::optimize::adaptive_grid_max;
+use mbm_par::Pool;
+use serde::{Deserialize, Serialize};
+
+use crate::algorithms::{detect_cycle_impl, AlgorithmConfig};
+use crate::error::MiningGameError;
+use crate::market::{PriceVector, ProviderSet};
+use crate::params::{validate_budgets, MarketParams, Prices};
+use crate::request::Aggregates;
+use crate::sp::cache::{CacheStats, Generations, QUANTUM_PER_TOL};
+use crate::sp::stage::{Mode, ProviderStage};
+use crate::sp::MinerPopulation;
+use crate::stackelberg::{population_of, run_leader_stage, StackelbergConfig};
+use crate::subgame::connected::solve_connected_miner_subgame;
+use crate::subgame::standalone::solve_standalone_miner_subgame;
+use crate::subgame::{MinerEquilibrium, SubgameConfig};
+
+/// A K-leader pricing stage over the miner subgame.
+#[derive(Debug, Clone)]
+pub struct OligopolyStage {
+    inner: ProviderStage,
+    providers: ProviderSet,
+}
+
+impl OligopolyStage {
+    /// Creates the stage. The follower subgame only reads the market's
+    /// reward / fork-rate / availability / capacity fields from `params`;
+    /// provider costs and caps come from `providers`.
+    #[must_use]
+    pub fn new(
+        params: MarketParams,
+        providers: ProviderSet,
+        population: MinerPopulation,
+        mode: Mode,
+        subgame: SubgameConfig,
+    ) -> Self {
+        OligopolyStage { inner: ProviderStage::new(params, population, mode, subgame), providers }
+    }
+
+    /// The legacy two-provider market as an oligopoly stage (providers taken
+    /// from `params.esp()` / `params.csp()`).
+    #[must_use]
+    pub fn two_provider(
+        params: MarketParams,
+        population: MinerPopulation,
+        mode: Mode,
+        subgame: SubgameConfig,
+    ) -> Self {
+        let providers = ProviderSet::from_market(&params);
+        OligopolyStage::new(params, providers, population, mode, subgame)
+    }
+
+    /// The provider side of the market.
+    #[must_use]
+    pub fn providers(&self) -> &ProviderSet {
+        &self.providers
+    }
+
+    /// Market parameters the stage was built with.
+    #[must_use]
+    pub fn params(&self) -> &MarketParams {
+        self.inner.params()
+    }
+
+    /// Aggregate follower demand at a K-provider price point: the miner
+    /// subgame solved at the effective two-price reduction. `None` when the
+    /// follower chain does not converge.
+    #[must_use]
+    pub fn follower_demand(&self, prices: &PriceVector) -> Option<Aggregates> {
+        self.inner.follower_demand(&prices.effective())
+    }
+
+    /// Batched follower demand over a K-provider price grid, deduplicated on
+    /// the effective two-price reduction: distinct K-vectors that reduce to
+    /// the same `(P_e, min P_c)` pair (common in per-provider sweeps where
+    /// only an undercut provider's price moves) solve the subgame once. The
+    /// unique effective grid runs through the warm continuation batch path
+    /// of the two-provider stage, first-occurrence order preserved.
+    #[must_use]
+    pub fn follower_demand_batch(&self, grid: &[PriceVector]) -> Vec<Option<Aggregates>> {
+        let mut index_of: HashMap<(u64, u64), usize> = HashMap::new();
+        let mut unique: Vec<Prices> = Vec::new();
+        let mut slots: Vec<usize> = Vec::with_capacity(grid.len());
+        for pv in grid {
+            let eff = pv.effective();
+            let key = (eff.edge.to_bits(), eff.cloud.to_bits());
+            let slot = *index_of.entry(key).or_insert_with(|| {
+                unique.push(eff);
+                unique.len() - 1
+            });
+            slots.push(slot);
+        }
+        let solved = self.inner.follower_demand_batch(&unique);
+        slots.into_iter().map(|s| solved[s]).collect()
+    }
+}
+
+impl LeaderStage for OligopolyStage {
+    fn num_leaders(&self) -> usize {
+        self.providers.k()
+    }
+
+    fn bounds(&self, i: usize) -> (f64, f64) {
+        self.providers.bounds(i)
+    }
+
+    fn payoff(&self, i: usize, actions: &[f64]) -> Result<f64, GameError> {
+        let prices = PriceVector::new(actions).map_err(|e| GameError::invalid(e.to_string()))?;
+        Ok(match self.follower_demand(&prices) {
+            Some(agg) => self.providers.profit(i, &prices, &agg),
+            None => f64::NAN,
+        })
+    }
+}
+
+/// An [`OligopolyStage`] with quantized-price payoff memoization: the
+/// K-provider analogue of [`crate::sp::cache::CachedStage`], sharing its
+/// quantum ([`QUANTUM_PER_TOL`]), snap-then-solve determinism contract and
+/// two-generation eviction policy ([`Generations`]). Keys are the snapped
+/// bit patterns of all `K` prices; values memoize all `K` profits, so every
+/// leader's payoff at one price point costs one subgame solve.
+#[derive(Debug)]
+pub struct CachedOligopolyStage<'a> {
+    inner: &'a OligopolyStage,
+    quantum: f64,
+    cache: Mutex<Generations<Vec<u64>, Vec<f64>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<'a> CachedOligopolyStage<'a> {
+    /// Wraps `stage` with a cache of at most `capacity` entries, quantizing
+    /// prices to `leader_tol * QUANTUM_PER_TOL`.
+    #[must_use]
+    pub fn new(stage: &'a OligopolyStage, leader_tol: f64, capacity: usize) -> Self {
+        CachedOligopolyStage {
+            inner: stage,
+            quantum: leader_tol * QUANTUM_PER_TOL,
+            cache: Mutex::new(Generations::new(capacity.max(2))),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Hit/miss counters so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Publishes the hit/miss counters to `rec` under the same
+    /// `core.cache.*` names as the two-provider cache.
+    pub fn publish_stats(&self, rec: &mbm_obs::Recorder) {
+        let stats = self.stats();
+        rec.add("core.cache.hits", stats.hits);
+        rec.add("core.cache.misses", stats.misses);
+        rec.trace("core.cache.hit_rate", stats.hit_rate());
+    }
+
+    fn snap(&self, price: f64, leader: usize) -> f64 {
+        let (lo, hi) = self.inner.bounds(leader);
+        ((price / self.quantum).round() * self.quantum).clamp(lo, hi)
+    }
+
+    /// All `K` profits at the snapped price point, memoized. NaNs encode a
+    /// non-convergent follower stage.
+    fn profits_at(&self, snapped: &PriceVector) -> Vec<f64> {
+        let key: Vec<u64> = snapped.as_slice().iter().map(|p| p.to_bits()).collect();
+        if let Some(v) = self.cache.lock().expect("payoff cache lock").get_promote(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        // Outside the lock, exactly as in the two-provider cache: duplicated
+        // solves for one key are possible but write the identical value.
+        let value = match self.inner.follower_demand(snapped) {
+            Some(agg) => self.inner.providers().profits(snapped, &agg),
+            None => vec![f64::NAN; snapped.len()],
+        };
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.cache.lock().expect("payoff cache lock").insert(key, value.clone());
+        value
+    }
+}
+
+impl LeaderStage for CachedOligopolyStage<'_> {
+    fn num_leaders(&self) -> usize {
+        self.inner.num_leaders()
+    }
+
+    fn bounds(&self, i: usize) -> (f64, f64) {
+        self.inner.bounds(i)
+    }
+
+    fn payoff(&self, i: usize, actions: &[f64]) -> Result<f64, GameError> {
+        let snapped: Vec<f64> = actions.iter().enumerate().map(|(k, &p)| self.snap(p, k)).collect();
+        let prices = PriceVector::new(&snapped).map_err(|e| GameError::invalid(e.to_string()))?;
+        Ok(self.profits_at(&prices)[i])
+    }
+}
+
+/// One recorded round of the K-leader price dynamics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OligopolyRound {
+    /// Prices announced this round, `[P_e, P_c¹, …]`.
+    pub prices: Vec<f64>,
+    /// Per-provider demand at those prices (Bertrand allocation).
+    pub demand: Vec<f64>,
+    /// Per-provider profits at those prices.
+    pub profits: Vec<f64>,
+}
+
+/// A full traced K-leader run: the K-provider analogue of
+/// [`crate::algorithms::PriceTrace`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OligopolyTrace {
+    /// All rounds, in order (the first entry is the starting point).
+    pub rounds: Vec<OligopolyRound>,
+    /// Whether the final round met the convergence tolerance.
+    pub converged: bool,
+}
+
+impl OligopolyTrace {
+    /// Final prices of the run.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: a trace always holds at least the starting round.
+    #[must_use]
+    pub fn final_prices(&self) -> &[f64] {
+        &self.rounds.last().expect("non-empty trace").prices
+    }
+
+    /// Detects an Edgeworth price cycle: the smallest period `p ≥ 2` such
+    /// that the last `2p` rounds repeat with that period, within `tol` on
+    /// every provider's price. Same detector as
+    /// [`crate::algorithms::PriceTrace::detect_cycle`].
+    #[must_use]
+    pub fn detect_cycle(&self, tol: f64) -> Option<usize> {
+        detect_cycle_impl(self.rounds.len(), self.converged, |i, j| {
+            self.rounds[i]
+                .prices
+                .iter()
+                .zip(&self.rounds[j].prices)
+                .all(|(a, b)| (a - b).abs() <= tol)
+        })
+    }
+}
+
+/// K-leader sequential (asynchronous) best-response price dynamics: each
+/// round, providers re-price one at a time in index order, each observing
+/// every predecessor's *new* price — the K-leader generalization of the
+/// paper's Algorithm 1. At `K = 2` the recorded trace is bitwise identical
+/// to [`crate::algorithms::algorithm1_asynchronous_best_response`] modulo
+/// the vector-vs-pair round layout.
+///
+/// # Errors
+///
+/// Propagates parameter errors; a non-convergent run is *not* an error —
+/// the trace reports `converged = false` so Edgeworth cycles among the
+/// cloud providers can be detected and analyzed.
+pub fn oligopoly_best_response_dynamics(
+    params: &MarketParams,
+    providers: &ProviderSet,
+    population: MinerPopulation,
+    mode: Mode,
+    init: &PriceVector,
+    cfg: &AlgorithmConfig,
+) -> Result<OligopolyTrace, MiningGameError> {
+    if init.len() != providers.k() {
+        return Err(MiningGameError::invalid(format!(
+            "init prices have {} entries for {} providers",
+            init.len(),
+            providers.k()
+        )));
+    }
+    let stage = OligopolyStage::new(*params, providers.clone(), population, mode, cfg.subgame);
+    let mut prices = init.to_vec();
+    let mut rounds = vec![record(&stage, &prices)?];
+    for _ in 0..cfg.max_rounds {
+        let before = prices.clone();
+        for leader in 0..providers.k() {
+            prices[leader] = best_price(&stage, leader, &prices, cfg)?;
+        }
+        rounds.push(record(&stage, &prices)?);
+        if prices.iter().zip(&before).all(|(p, b)| (p - b).abs() <= cfg.tol) {
+            return Ok(OligopolyTrace { rounds, converged: true });
+        }
+    }
+    Ok(OligopolyTrace { rounds, converged: false })
+}
+
+fn record(stage: &OligopolyStage, prices: &[f64]) -> Result<OligopolyRound, MiningGameError> {
+    let pv = PriceVector::new(prices)?;
+    let agg = stage.follower_demand(&pv).unwrap_or_default();
+    Ok(OligopolyRound {
+        prices: prices.to_vec(),
+        demand: pv.allocate_demand(&agg),
+        profits: stage.providers().profits(&pv, &agg),
+    })
+}
+
+fn best_price(
+    stage: &OligopolyStage,
+    leader: usize,
+    prices: &[f64],
+    cfg: &AlgorithmConfig,
+) -> Result<f64, MiningGameError> {
+    let (lo, hi) = stage.providers().bounds(leader);
+    let objective = |p: f64| {
+        let mut trial = prices.to_vec();
+        trial[leader] = p;
+        PriceVector::new(&trial)
+            .ok()
+            .and_then(|pv| {
+                stage.follower_demand(&pv).map(|agg| stage.providers().profit(leader, &pv, &agg))
+            })
+            .unwrap_or(f64::NAN)
+    };
+    let r = adaptive_grid_max(objective, lo, hi, cfg.grid_points, cfg.grid_rounds)?;
+    Ok(r.x)
+}
+
+/// A solved K-provider Stackelberg game.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OligopolySolution {
+    /// Equilibrium prices `[P_e*, P_c¹*, …]`.
+    pub prices: Vec<f64>,
+    /// Follower equilibrium at the effective prices.
+    pub equilibrium: MinerEquilibrium,
+    /// Per-provider demand (Bertrand allocation of the aggregates).
+    pub demand: Vec<f64>,
+    /// Per-provider profits.
+    pub profits: Vec<f64>,
+    /// Leader rounds used.
+    pub leader_rounds: usize,
+    /// Final leader residual (price displacement).
+    pub leader_residual: f64,
+}
+
+/// Solves the K-provider Stackelberg game: the leader schedule and
+/// damping-retry ladder of [`crate::stackelberg`] run on an
+/// [`OligopolyStage`], then the follower equilibrium is re-solved at the
+/// effective equilibrium prices with the full heterogeneous solver. At
+/// `K = 2` ([`ProviderSet::from_market`]) the solution is bitwise identical
+/// to [`crate::stackelberg::solve_connected`] / `solve_standalone` modulo
+/// the vector-vs-pair layout.
+///
+/// With `cfg.exec.telemetry` set, publishes `core.solver.oligopoly.solves`
+/// / `.rounds` counters, the `core.solver.oligopoly.k` gauge and the
+/// `.residual` observation to [`mbm_obs::global`].
+///
+/// # Errors
+///
+/// Propagates parameter and convergence errors.
+pub fn solve_oligopoly(
+    params: &MarketParams,
+    providers: &ProviderSet,
+    budgets: &[f64],
+    mode: Mode,
+    cfg: &StackelbergConfig,
+) -> Result<OligopolySolution, MiningGameError> {
+    validate_budgets(budgets)?;
+    let rec = mbm_obs::global();
+    let telemetry = cfg.exec.telemetry;
+    let _span = telemetry.then(|| rec.span("core.solver.oligopoly.solve"));
+    let threads = cfg.exec.effective_threads();
+    if telemetry {
+        rec.incr("core.solver.oligopoly.solves");
+        rec.gauge("core.solver.oligopoly.k", providers.k() as u64);
+        rec.gauge("core.exec.threads", threads as u64);
+        rec.gauge("core.exec.cache_capacity", cfg.exec.cache_capacity as u64);
+    }
+    let population = population_of(budgets);
+    let stage = OligopolyStage::new(*params, providers.clone(), population, mode, cfg.subgame);
+    let init = providers.midpoint_prices().to_vec();
+    // Same execution discipline as the two-provider solve: warm continuation
+    // forces a serial leader search on this thread's workspace.
+    let _warm = cfg.exec.warm_start.then(crate::solver::ThreadWarmGuard::engage);
+    let pool = (threads > 1 && !cfg.exec.warm_start).then(|| Pool::new(threads));
+    let out = if cfg.exec.cache_capacity > 0 {
+        let cached = CachedOligopolyStage::new(&stage, cfg.leader.tol, cfg.exec.cache_capacity);
+        let out = run_leader_stage(&cached, init, cfg, pool.as_ref());
+        if telemetry {
+            cached.publish_stats(rec);
+        }
+        out?
+    } else {
+        run_leader_stage(&stage, init, cfg, pool.as_ref())?
+    };
+    if telemetry {
+        rec.add("core.solver.oligopoly.rounds", out.rounds as u64);
+        rec.observe("core.solver.oligopoly.residual", out.residual);
+    }
+    let prices = PriceVector::new(&out.actions)?;
+    let effective = prices.effective();
+    let equilibrium = match mode {
+        Mode::Connected => {
+            solve_connected_miner_subgame(params, &effective, budgets, &cfg.subgame)?
+        }
+        Mode::Standalone => {
+            solve_standalone_miner_subgame(params, &effective, budgets, &cfg.subgame)?
+        }
+    };
+    let demand = prices.allocate_demand(&equilibrium.aggregates);
+    let profits = providers.profits(&prices, &equilibrium.aggregates);
+    Ok(OligopolySolution {
+        prices: prices.to_vec(),
+        equilibrium,
+        demand,
+        profits,
+        leader_rounds: out.rounds,
+        leader_residual: out.residual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::algorithm1_asynchronous_best_response;
+    use crate::params::Provider;
+    use crate::stackelberg::solve_connected;
+
+    /// The pure-NE market of the stackelberg tests.
+    fn params() -> MarketParams {
+        MarketParams::builder()
+            .reward(100.0)
+            .fork_rate(0.2)
+            .edge_availability(0.8)
+            .e_max(5.0)
+            .esp(Provider::new(7.0, 15.0).unwrap())
+            .csp(Provider::new(1.0, 8.0).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    fn population() -> MinerPopulation {
+        MinerPopulation::Homogeneous { budget: 200.0, n: 5 }
+    }
+
+    fn three_provider_set() -> ProviderSet {
+        ProviderSet::new(vec![
+            Provider::new(7.0, 15.0).unwrap(),
+            Provider::new(1.0, 8.0).unwrap(),
+            Provider::new(1.5, 8.0).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn k2_payoffs_are_bitwise_the_provider_stage() {
+        let p = params();
+        let two = ProviderStage::new(p, population(), Mode::Connected, SubgameConfig::default());
+        let k = OligopolyStage::two_provider(
+            p,
+            population(),
+            Mode::Connected,
+            SubgameConfig::default(),
+        );
+        assert_eq!(k.num_leaders(), 2);
+        for i in 0..2 {
+            assert_eq!(k.bounds(i), two.bounds(i));
+            let a = two.payoff(i, &[9.0, 3.0]).unwrap();
+            let b = k.payoff(i, &[9.0, 3.0]).unwrap();
+            assert_eq!(a.to_bits(), b.to_bits(), "leader {i}");
+        }
+    }
+
+    #[test]
+    fn k2_batched_demand_is_bitwise_the_pair_batch() {
+        let p = params();
+        let two = ProviderStage::new(p, population(), Mode::Connected, SubgameConfig::default());
+        let k = OligopolyStage::two_provider(
+            p,
+            population(),
+            Mode::Connected,
+            SubgameConfig::default(),
+        );
+        let pair_grid: Vec<Prices> =
+            [(9.0, 3.0), (9.5, 3.0), (9.5, 2.5)].map(|(e, c)| Prices::new(e, c).unwrap()).to_vec();
+        let vec_grid: Vec<PriceVector> =
+            pair_grid.iter().map(|pr| PriceVector::from_prices(pr).unwrap()).collect();
+        let a = two.follower_demand_batch(&pair_grid);
+        let b = k.follower_demand_batch(&vec_grid);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            let (x, y) = (x.unwrap(), y.unwrap());
+            assert_eq!(x.edge.to_bits(), y.edge.to_bits());
+            assert_eq!(x.cloud.to_bits(), y.cloud.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_dedups_vectors_with_equal_effective_prices() {
+        let p = params();
+        let set = three_provider_set();
+        let stage =
+            OligopolyStage::new(p, set, population(), Mode::Connected, SubgameConfig::default());
+        // Both points reduce to (9, 3): the dominated provider's price moves.
+        let grid = vec![
+            PriceVector::new(&[9.0, 3.0, 5.0]).unwrap(),
+            PriceVector::new(&[9.0, 3.0, 6.0]).unwrap(),
+        ];
+        let out = stage.follower_demand_batch(&grid);
+        let (a, b) = (out[0].unwrap(), out[1].unwrap());
+        assert_eq!(a.edge.to_bits(), b.edge.to_bits());
+        assert_eq!(a.cloud.to_bits(), b.cloud.to_bits());
+    }
+
+    #[test]
+    fn k2_solution_is_bitwise_the_legacy_solve() {
+        let p = params();
+        let cfg = StackelbergConfig::default();
+        let legacy = solve_connected(&p, &[200.0; 5], &cfg).unwrap();
+        let set = ProviderSet::from_market(&p);
+        let sol = solve_oligopoly(&p, &set, &[200.0; 5], Mode::Connected, &cfg).unwrap();
+        assert_eq!(sol.prices.len(), 2);
+        assert_eq!(sol.prices[0].to_bits(), legacy.prices.edge.to_bits());
+        assert_eq!(sol.prices[1].to_bits(), legacy.prices.cloud.to_bits());
+        assert_eq!(sol.equilibrium, legacy.equilibrium);
+        assert_eq!(sol.profits[0].to_bits(), legacy.esp_profit.to_bits());
+        assert_eq!(sol.profits[1].to_bits(), legacy.csp_profit.to_bits());
+        assert_eq!(sol.leader_rounds, legacy.leader_rounds);
+        assert_eq!(sol.leader_residual.to_bits(), legacy.leader_residual.to_bits());
+    }
+
+    #[test]
+    fn k2_dynamics_are_bitwise_algorithm1() {
+        let p = params();
+        let cfg = AlgorithmConfig::default();
+        let init = Prices::new(10.0, 4.0).unwrap();
+        let legacy =
+            algorithm1_asynchronous_best_response(&p, population(), Mode::Connected, init, &cfg)
+                .unwrap();
+        let set = ProviderSet::from_market(&p);
+        let trace = oligopoly_best_response_dynamics(
+            &p,
+            &set,
+            population(),
+            Mode::Connected,
+            &PriceVector::from_prices(&init).unwrap(),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(trace.converged, legacy.converged);
+        assert_eq!(trace.rounds.len(), legacy.rounds.len());
+        for (k, two) in trace.rounds.iter().zip(&legacy.rounds) {
+            assert_eq!(k.prices[0].to_bits(), two.prices.edge.to_bits());
+            assert_eq!(k.prices[1].to_bits(), two.prices.cloud.to_bits());
+            assert_eq!(k.demand[0].to_bits(), two.demand.edge.to_bits());
+            assert_eq!(k.demand[1].to_bits(), two.demand.cloud.to_bits());
+            assert_eq!(k.profits[0].to_bits(), two.profits.0.to_bits());
+            assert_eq!(k.profits[1].to_bits(), two.profits.1.to_bits());
+        }
+        assert_eq!(trace.detect_cycle(1e-3), legacy.detect_cycle(1e-3));
+    }
+
+    #[test]
+    fn k3_solution_prices_the_cheap_cloud_below_its_rival() {
+        let p = params();
+        let set = three_provider_set();
+        let sol =
+            solve_oligopoly(&p, &set, &[200.0; 5], Mode::Connected, &StackelbergConfig::default())
+                .unwrap();
+        assert_eq!(sol.prices.len(), 3);
+        // Demand accounting: edge gets E, winning cloud(s) split C.
+        let agg = sol.equilibrium.aggregates;
+        assert!((sol.demand[0] - agg.edge).abs() < 1e-12);
+        assert!((sol.demand[1] + sol.demand[2] - agg.cloud).abs() < 1e-9, "{:?}", sol.demand);
+        // The losing cloud provider earns nothing.
+        let min = sol.prices[1].min(sol.prices[2]);
+        for i in 1..3 {
+            if sol.prices[i] > min {
+                assert_eq!(sol.profits[i], 0.0, "{sol:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn k3_cached_and_parallel_execution_is_bitwise_serial() {
+        let p = params();
+        let set = three_provider_set();
+        let serial =
+            solve_oligopoly(&p, &set, &[200.0; 5], Mode::Connected, &StackelbergConfig::default())
+                .unwrap();
+        for (threads, capacity) in [(4, 0), (1, 1 << 14), (4, 1 << 14)] {
+            let cfg = StackelbergConfig {
+                exec: crate::stackelberg::ExecConfig {
+                    threads,
+                    cache_capacity: capacity,
+                    telemetry: false,
+                    warm_start: false,
+                },
+                ..Default::default()
+            };
+            let other = solve_oligopoly(&p, &set, &[200.0; 5], Mode::Connected, &cfg).unwrap();
+            if capacity == 0 {
+                assert_eq!(serial, other, "threads {threads}");
+            } else {
+                // Quantization moves prices below the solver's resolution.
+                for (a, b) in serial.prices.iter().zip(&other.prices) {
+                    assert!((a - b).abs() <= 10.0 * cfg.leader.tol, "{serial:?} vs {other:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bertrand_undercutting_cycles_are_detected_for_k3() {
+        // Symmetric cloud costs in the Edgeworth region of the two-leader
+        // game: sequential undercutting among the clouds has no pure resting
+        // point above cost, so the dynamics either converge near cost or
+        // cycle — a cycling run must be detected, never misread as NE.
+        let p = MarketParams::builder()
+            .reward(100.0)
+            .fork_rate(0.2)
+            .edge_availability(0.8)
+            .esp(Provider::new(2.0, 10.0).unwrap())
+            .csp(Provider::new(1.0, 8.0).unwrap())
+            .build()
+            .unwrap();
+        let set = ProviderSet::new(vec![
+            Provider::new(2.0, 10.0).unwrap(),
+            Provider::new(1.0, 8.0).unwrap(),
+            Provider::new(1.0, 8.0).unwrap(),
+        ])
+        .unwrap();
+        let init = PriceVector::new(&[6.0, 3.0, 3.0]).unwrap();
+        let trace = oligopoly_best_response_dynamics(
+            &p,
+            &set,
+            population(),
+            Mode::Connected,
+            &init,
+            &AlgorithmConfig { max_rounds: 25, ..Default::default() },
+        )
+        .unwrap();
+        if !trace.converged {
+            // Non-convergence must be a *recognized* cycle, not chaos.
+            assert!(trace.detect_cycle(0.1).is_some(), "{} rounds", trace.rounds.len());
+        }
+    }
+
+    #[test]
+    fn dynamics_reject_mismatched_init() {
+        let p = params();
+        let set = three_provider_set();
+        let init = PriceVector::new(&[9.0, 3.0]).unwrap();
+        assert!(oligopoly_best_response_dynamics(
+            &p,
+            &set,
+            population(),
+            Mode::Connected,
+            &init,
+            &AlgorithmConfig::default(),
+        )
+        .is_err());
+    }
+}

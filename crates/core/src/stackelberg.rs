@@ -275,7 +275,11 @@ fn solve(
 /// producing an Edgeworth-style price cycle (see DESIGN.md). Best response
 /// therefore retries with increasing damping, which settles near-cycles; a
 /// genuine cycle still reports `NoConvergence` honestly.
-fn run_leader_stage<S: LeaderStage + Sync>(
+///
+/// `pub(crate)` so the K-provider oligopoly solve
+/// ([`crate::sp::oligopoly::solve_oligopoly`]) shares the exact schedule and
+/// damping-retry ladder — at K=2 its leader search is this one, bitwise.
+pub(crate) fn run_leader_stage<S: LeaderStage + Sync>(
     stage: &S,
     init: Vec<f64>,
     cfg: &StackelbergConfig,
@@ -308,7 +312,7 @@ fn run_leader_stage<S: LeaderStage + Sync>(
     }
 }
 
-fn population_of(budgets: &[f64]) -> MinerPopulation {
+pub(crate) fn population_of(budgets: &[f64]) -> MinerPopulation {
     let first = budgets[0];
     if budgets.iter().all(|&b| (b - first).abs() <= 1e-12 * (1.0 + first)) {
         MinerPopulation::Homogeneous { budget: first, n: budgets.len() }
@@ -434,12 +438,7 @@ mod tests {
         let mut warm_solutions = Vec::new();
         for threads in [1, 4] {
             let cfg = StackelbergConfig {
-                exec: ExecConfig {
-                    threads,
-                    cache_capacity: 0,
-                    telemetry: false,
-                    warm_start: true,
-                },
+                exec: ExecConfig { threads, cache_capacity: 0, telemetry: false, warm_start: true },
                 ..Default::default()
             };
             warm_solutions.push(solve_connected(&p, &[200.0; 5], &cfg).unwrap());

@@ -25,11 +25,13 @@
 use std::time::Instant;
 
 use mbm_chain_sim::pow::{Puzzle, Target};
-use mbm_core::params::Prices;
+use mbm_core::market::{PriceVector, ProviderSet};
+use mbm_core::params::{Prices, Provider};
 use mbm_core::request::Aggregates;
 use mbm_core::scenario::EdgeOperation;
 use mbm_core::solver::{FollowerSolver, SolveWorkspace, TieredSolver};
 use mbm_core::sp::cache::CachedStage;
+use mbm_core::sp::oligopoly::OligopolyStage;
 use mbm_core::sp::stage::{Mode, ProviderStage};
 use mbm_core::sp::MinerPopulation;
 use mbm_core::stackelberg::{solve_connected, ExecConfig, StackelbergConfig};
@@ -538,7 +540,9 @@ fn bench_continuation_grid_sweep() -> BenchRecord {
     // leaves headroom without masking a wrong-basin drift).
     for (k, (a, b)) in cold.iter().zip(&warm).enumerate() {
         let agree = match (a, b) {
-            (Some(x), Some(y)) => (x.edge - y.edge).abs() < 5e-5 && (x.cloud - y.cloud).abs() < 5e-5,
+            (Some(x), Some(y)) => {
+                (x.edge - y.edge).abs() < 5e-5 && (x.cloud - y.cloud).abs() < 5e-5
+            }
             (None, None) => true,
             _ => false,
         };
@@ -550,6 +554,87 @@ fn bench_continuation_grid_sweep() -> BenchRecord {
         parallel_ms: warm_ms,
         speedup: cold_ms / warm_ms,
         floor: 1.5,
+        miners_per_sec: 0.0,
+    }
+}
+
+/// The K = 3 analogue of `continuation_grid_sweep`: a leader-refinement
+/// lattice of provider *vectors* — edge and cheapest-cloud prices stepping
+/// finely, the expensive third provider drifting above them — demanded
+/// through the oligopoly stage. The cold path solves every vector's
+/// follower subgame independently; the batch path dedups vectors that share
+/// an effective (edge, min-cloud) reduction and runs the unique grid
+/// through the warm continuation, so the K-provider layer inherits the
+/// two-provider warm savings instead of re-deriving them per provider.
+fn bench_oligopoly_grid_sweep() -> BenchRecord {
+    let params = leader_ne_market();
+    #[allow(clippy::cast_precision_loss)] // i < 24
+    let budgets: Vec<f64> = (0..24).map(|i| 80.0 + 7.0 * (i % 11) as f64).collect();
+    let cfg = SubgameConfig { tol: 1e-6, ..SubgameConfig::default() };
+    let providers = ProviderSet::new(vec![
+        params.esp(),
+        params.csp(),
+        Provider::new(1.4, 8.0).expect("valid provider"),
+    ])
+    .expect("valid provider set");
+    let stage = OligopolyStage::new(
+        params,
+        providers,
+        MinerPopulation::Heterogeneous { budgets },
+        Mode::Connected,
+        cfg,
+    );
+    let grid: Vec<PriceVector> = (0..24)
+        .flat_map(|i| {
+            (0..24).map(move |j| {
+                // The third provider is always undercut; half the lattice
+                // moves *only* its price, so those points collapse onto one
+                // effective reduction and exercise the dedup path.
+                let cheap = 1.45 + 0.01 * f64::from(j / 2);
+                let expensive = 2.2 + 0.01 * f64::from(j % 2) + 0.001 * f64::from(i);
+                PriceVector::new(&[4.5 + 0.01 * f64::from(i), cheap, expensive])
+                    .expect("valid price vector")
+            })
+        })
+        .collect();
+
+    let run_cold =
+        || -> Vec<Option<Aggregates>> { grid.iter().map(|pv| stage.follower_demand(pv)).collect() };
+    let run_batch = || -> Vec<Option<Aggregates>> { stage.follower_demand_batch(&grid) };
+
+    let (cold, mut cold_ms) = best_of(3, || time_ms(run_cold));
+    let (batch, mut batch_ms) = best_of(3, || time_ms(run_batch));
+    for _ in 0..4 {
+        if cold_ms / batch_ms >= 1.2 {
+            break;
+        }
+        let (_, c_ms) = time_ms(run_cold);
+        let (_, b_ms) = time_ms(run_batch);
+        cold_ms = cold_ms.min(c_ms);
+        batch_ms = batch_ms.min(b_ms);
+    }
+
+    // Both paths stop at the certificate tolerance, so aggregates may
+    // differ by a few times 1e-6 (same bound as continuation_grid_sweep).
+    for (k, (a, b)) in cold.iter().zip(&batch).enumerate() {
+        let agree = match (a, b) {
+            (Some(x), Some(y)) => {
+                (x.edge - y.edge).abs() < 5e-5 && (x.cloud - y.cloud).abs() < 5e-5
+            }
+            (None, None) => true,
+            _ => false,
+        };
+        assert!(agree, "oligopoly batch drifted at grid point {k}: {a:?} vs {b:?}");
+    }
+    BenchRecord {
+        name: "oligopoly_grid_sweep".into(),
+        serial_ms: cold_ms,
+        parallel_ms: batch_ms,
+        speedup: cold_ms / batch_ms,
+        // Dedup alone halves the unique grid and continuation adds ~1.9× on
+        // what remains; 1.2 leaves room for scheduler noise while failing
+        // if either layer quietly stops sharing work.
+        floor: 1.2,
         miners_per_sec: 0.0,
     }
 }
@@ -691,6 +776,7 @@ pub fn main_bench1() -> i32 {
             bench_aggregate_sweep(),
             bench_workspace_reuse_leader_search(),
             bench_continuation_grid_sweep(),
+            bench_oligopoly_grid_sweep(),
             bench_obs_overhead(),
             engine_record,
         ],

@@ -34,7 +34,7 @@ use mbm_par::Pool;
 
 use crate::error::EngineError;
 use crate::planner::Plan;
-use crate::task::{AggregateSummary, RaceSummary, Task, TaskKey, TaskOutput};
+use crate::task::{AggregateSummary, OligopolySummary, RaceSummary, Task, TaskKey, TaskOutput};
 
 /// Deterministic per-task fault-scope key: an FNV-style fold of the task's
 /// bit-exact canonical key.
@@ -231,8 +231,7 @@ pub fn execute_supervised_warm(plan: &Plan, pool: &Pool, policy: SolvePolicy) ->
         items
     });
 
-    let mut per_task: Vec<Option<TaskResult>> =
-        (0..plan.unique.len()).map(|_| None).collect();
+    let mut per_task: Vec<Option<TaskResult>> = (0..plan.unique.len()).map(|_| None).collect();
     for (group, slot) in groups.iter().zip(group_outputs) {
         match slot {
             Ok(items) => {
@@ -272,7 +271,10 @@ pub fn execute_supervised_warm(plan: &Plan, pool: &Pool, policy: SolvePolicy) ->
 
 /// Shared bookkeeping tail of the executors: failure registration for
 /// required tasks, report capture, and the `exp.exec.*` batch totals.
-fn collect_results(plan: &Plan, slots: Vec<(TaskOutput, Option<SolveReport>, bool)>) -> TaskResults {
+fn collect_results(
+    plan: &Plan,
+    slots: Vec<(TaskOutput, Option<SolveReport>, bool)>,
+) -> TaskResults {
     let rec = mbm_obs::global();
     let mut results = TaskResults::default();
     for (entry, (output, report, panicked)) in plan.unique.iter().zip(slots) {
@@ -507,6 +509,35 @@ impl TaskResults {
             TaskOutput::Race(Ok(r)) => Ok(r),
             TaskOutput::Race(Err(e)) => Err(Self::failed(task, e)),
             other => Err(Self::mismatch("race", other)),
+        }
+    }
+
+    /// Oligopoly grid-point summary; solver failure degrades to `None`.
+    pub fn oligopoly_opt(&self, task: &Task) -> Result<Option<&OligopolySummary>, EngineError> {
+        match self.output(task)? {
+            TaskOutput::Oligopoly(res) => Ok(res.as_ref().ok()),
+            other => Err(Self::mismatch("oligopoly", other)),
+        }
+    }
+
+    /// Oligopoly grid-point summary of a required task.
+    pub fn oligopoly(&self, task: &Task) -> Result<&OligopolySummary, EngineError> {
+        match self.output(task)? {
+            TaskOutput::Oligopoly(Ok(s)) => Ok(s),
+            TaskOutput::Oligopoly(Err(e)) => Err(Self::failed(task, e)),
+            other => Err(Self::mismatch("oligopoly", other)),
+        }
+    }
+
+    /// K-leader price-dynamics trace of a required task.
+    pub fn oligopoly_trace(
+        &self,
+        task: &Task,
+    ) -> Result<&mbm_core::sp::oligopoly::OligopolyTrace, EngineError> {
+        match self.output(task)? {
+            TaskOutput::OligopolyTrace(Ok(t)) => Ok(t),
+            TaskOutput::OligopolyTrace(Err(e)) => Err(Self::failed(task, e)),
+            other => Err(Self::mismatch("oligopoly_trace", other)),
         }
     }
 }

@@ -106,6 +106,7 @@ pub fn registry() -> Vec<ExperimentSpec> {
         crate::specs::welfare::spec(),
         crate::specs::edgeworth::spec(),
         crate::specs::scaling::spec(),
+        crate::specs::oligopoly::spec(),
     ]
 }
 

@@ -18,6 +18,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9a;
 pub mod fig9b;
+pub mod oligopoly;
 pub mod scaling;
 pub mod table2;
 pub mod welfare;

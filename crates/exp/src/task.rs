@@ -19,7 +19,8 @@ use mbm_chain_sim::fork::{collision_pdf, split_rate_curve, CollisionPdf, ForkPoi
 use mbm_chain_sim::network::DelayModel;
 use mbm_chain_sim::sim::{simulate, EdgeMode, SimConfig};
 use mbm_core::algorithms::{algorithm1_asynchronous_best_response, AlgorithmConfig, PriceTrace};
-use mbm_core::params::{MarketParams, Prices};
+use mbm_core::market::{provider_revenues, PriceVector, ProviderSet};
+use mbm_core::params::{MarketParams, Prices, Provider};
 use mbm_core::request::Aggregates;
 use mbm_core::request::Request;
 use mbm_core::scenario::{EdgeOperation, Scenario, ScenarioOutcome};
@@ -28,6 +29,7 @@ use mbm_core::solver::{
     solve_symmetric_continuous_reported, SolveReport,
 };
 use mbm_core::sp::mixed::{mixed_price_equilibrium, MixedPriceEquilibrium, MixedPricingConfig};
+use mbm_core::sp::oligopoly::{oligopoly_best_response_dynamics, OligopolyTrace};
 use mbm_core::sp::pricing::{standalone_csp_price, standalone_market_clearing_edge_price};
 use mbm_core::sp::stage::{Mode, ProviderStage};
 use mbm_core::sp::MinerPopulation;
@@ -332,6 +334,64 @@ pub enum Task {
         /// Follower-stage solver settings.
         cfg: SubgameConfig,
     },
+    /// Symmetric follower equilibrium at a fixed K-provider price vector
+    /// with the aggregates Bertrand-allocated across providers — the
+    /// oligopoly sweep's per-grid-point solve. The follower stage is solved
+    /// once at the effective `(P_e, min P_c)` reduction
+    /// ([`mbm_core::market::PriceVector::effective`]); per-provider demand,
+    /// revenue and profit are then exact functions of the aggregates.
+    OligopolyNep {
+        /// Edge operation mode.
+        op: EdgeOperation,
+        /// Market parameters (edge provider = `params.esp()`).
+        params: MarketParams,
+        /// Unit costs of the `K − 1` cloud providers, in provider order.
+        cloud_costs: Vec<f64>,
+        /// Announced prices `[P_e, P_c¹, …]` (`len == cloud_costs.len()+1`).
+        prices: Vec<f64>,
+        /// Common miner budget.
+        budget: f64,
+        /// Miner count.
+        n: usize,
+        /// Follower-stage solver settings.
+        cfg: SubgameConfig,
+    },
+    /// K-leader sequential best-response price dynamics
+    /// ([`mbm_core::sp::oligopoly::oligopoly_best_response_dynamics`]) with
+    /// Edgeworth-cycle detection on the trace.
+    OligopolyBr {
+        /// Edge operation mode.
+        op: EdgeOperation,
+        /// Market parameters (edge provider = `params.esp()`).
+        params: MarketParams,
+        /// `(cost, price_cap)` of the `K − 1` cloud providers.
+        clouds: Vec<(f64, f64)>,
+        /// Common miner budget.
+        budget: f64,
+        /// Miner count.
+        n: usize,
+        /// Starting prices `[P_e, P_c¹, …]`.
+        init: Vec<f64>,
+        /// Round cap (remaining settings are [`AlgorithmConfig::default`]).
+        max_rounds: usize,
+    },
+}
+
+/// Per-provider summary of one oligopoly grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OligopolySummary {
+    /// Provider count `K`.
+    pub k: usize,
+    /// Announced prices `[P_e, P_c¹, …]`.
+    pub prices: Vec<f64>,
+    /// Equilibrium aggregate demand `(E, C)`.
+    pub aggregates: Aggregates,
+    /// Per-provider demand (Bertrand allocation of the aggregates).
+    pub demand: Vec<f64>,
+    /// Per-provider revenue `p_i · q_i`.
+    pub revenue: Vec<f64>,
+    /// Per-provider profit `(p_i − c_i) · q_i`.
+    pub profit: Vec<f64>,
 }
 
 /// Summary of an aggregate-form NEP solve — the full per-miner equilibrium
@@ -387,6 +447,10 @@ pub enum TaskOutput {
     Race(Result<RaceSummary, String>),
     /// Aggregate-form NEP summary (scaling-curve row).
     Aggregate(Result<AggregateSummary, String>),
+    /// Per-provider oligopoly grid-point summary.
+    Oligopoly(Result<OligopolySummary, String>),
+    /// K-leader price-dynamics trace.
+    OligopolyTrace(Result<OligopolyTrace, String>),
 }
 
 /// Bit-exact canonical key: the planner's dedup identity.
@@ -516,6 +580,8 @@ impl Task {
             Task::RlTrain { .. } => TaskOutput::Learned(Err(e)),
             Task::RaceSim { .. } => TaskOutput::Race(Err(e)),
             Task::AggregateNep { .. } => TaskOutput::Aggregate(Err(e)),
+            Task::OligopolyNep { .. } => TaskOutput::Oligopoly(Err(e)),
+            Task::OligopolyBr { .. } => TaskOutput::OligopolyTrace(Err(e)),
         }
     }
 
@@ -539,6 +605,8 @@ impl Task {
             Task::RlTrain { .. } => "rl_train",
             Task::RaceSim { .. } => "race_sim",
             Task::AggregateNep { .. } => "aggregate_nep",
+            Task::OligopolyNep { .. } => "oligopoly_nep",
+            Task::OligopolyBr { .. } => "oligopoly_br",
         }
     }
 
@@ -563,6 +631,8 @@ impl Task {
             Task::RlTrain { .. } => "exp.task.rl_train",
             Task::RaceSim { .. } => "exp.task.race_sim",
             Task::AggregateNep { .. } => "exp.task.aggregate_nep",
+            Task::OligopolyNep { .. } => "exp.task.oligopoly_nep",
+            Task::OligopolyBr { .. } => "exp.task.oligopoly_br",
         }
     }
 
@@ -717,6 +787,30 @@ impl Task {
                 k.u(*n as u64);
                 k.subgame(cfg);
             }
+            Task::OligopolyNep { op, params, cloud_costs, prices, budget, n, cfg } => {
+                k.tag(17);
+                k.op(*op);
+                k.params(params);
+                k.fs(cloud_costs);
+                k.fs(prices);
+                k.f(*budget);
+                k.u(*n as u64);
+                k.subgame(cfg);
+            }
+            Task::OligopolyBr { op, params, clouds, budget, n, init, max_rounds } => {
+                k.tag(18);
+                k.op(*op);
+                k.params(params);
+                k.u(clouds.len() as u64);
+                for &(cost, cap) in clouds {
+                    k.f(cost);
+                    k.f(cap);
+                }
+                k.f(*budget);
+                k.u(*n as u64);
+                k.fs(init);
+                k.u(*max_rounds as u64);
+            }
         }
         k.0
     }
@@ -754,6 +848,18 @@ impl Task {
                 k.u(*n as u64);
                 k.subgame(cfg);
             }
+            Task::OligopolyNep { op, params, cloud_costs, prices, budget, n, cfg } => {
+                // A malformed price vector never joins a warm family: it
+                // has no effective price point to order by.
+                PriceVector::new(prices).ok()?;
+                k.tag(17);
+                k.op(*op);
+                k.params(params);
+                k.fs(cloud_costs);
+                k.f(*budget);
+                k.u(*n as u64);
+                k.subgame(cfg);
+            }
             _ => return None,
         }
         Some(k.0)
@@ -768,6 +874,11 @@ impl Task {
             Task::SymSubgame { prices, .. }
             | Task::Nep { prices, .. }
             | Task::AggregateNep { prices, .. } => Some(*prices),
+            // The oligopoly grid orders by the *effective* two-price
+            // reduction — the point the follower stage actually solves at.
+            Task::OligopolyNep { prices, .. } => {
+                PriceVector::new(prices).ok().map(|pv| pv.effective())
+            }
             _ => None,
         }
     }
@@ -865,6 +976,58 @@ impl Task {
                         (TaskOutput::Aggregate(Ok(summary)), Some(rep))
                     }
                     Err(e) => (TaskOutput::Aggregate(Err(e.to_string())), None),
+                }
+            }
+            Task::OligopolyNep { op, params, cloud_costs, prices, budget, n, cfg } => {
+                let pv = match PriceVector::new(prices) {
+                    Ok(pv) => pv,
+                    Err(e) => return (TaskOutput::Oligopoly(Err(e.to_string())), None),
+                };
+                if cloud_costs.len() + 1 != pv.len() {
+                    return (
+                        TaskOutput::Oligopoly(Err(format!(
+                            "{} cloud costs for {} providers",
+                            cloud_costs.len(),
+                            pv.len()
+                        ))),
+                        None,
+                    );
+                }
+                match scenario(*op, params)
+                    .homogeneous_miners(*n, *budget)
+                    .with_prices(pv.effective())
+                    .with_stackelberg_config(StackelbergConfig {
+                        subgame: *cfg,
+                        ..StackelbergConfig::default()
+                    })
+                    .solve_symmetric_reported()
+                {
+                    Ok((r, rep)) => {
+                        let n_f = *n as f64;
+                        let aggregates = Aggregates { edge: r.edge * n_f, cloud: r.cloud * n_f };
+                        let demand = pv.allocate_demand(&aggregates);
+                        let revenue = provider_revenues(&pv, &aggregates);
+                        let costs: Vec<f64> = std::iter::once(params.esp().cost())
+                            .chain(cloud_costs.iter().copied())
+                            .collect();
+                        let profit: Vec<f64> = pv
+                            .as_slice()
+                            .iter()
+                            .zip(&costs)
+                            .zip(&demand)
+                            .map(|((p, c), q)| (p - c) * q)
+                            .collect();
+                        let summary = OligopolySummary {
+                            k: pv.len(),
+                            prices: pv.to_vec(),
+                            aggregates,
+                            demand,
+                            revenue,
+                            profit,
+                        };
+                        (TaskOutput::Oligopoly(Ok(summary)), Some(rep))
+                    }
+                    Err(e) => (TaskOutput::Oligopoly(Err(e.to_string())), None),
                 }
             }
             _ => (self.run(), None),
@@ -1025,7 +1188,11 @@ impl Task {
                     .map_err(|e| e.to_string());
                 TaskOutput::Race(summary)
             }
-            Task::AggregateNep { .. } => self.run_reported().0,
+            Task::AggregateNep { .. } | Task::OligopolyNep { .. } => self.run_reported().0,
+            Task::OligopolyBr { op, params, clouds, budget, n, init, max_rounds } => {
+                let trace = run_oligopoly_br(params, *op, clouds, *budget, *n, init, *max_rounds);
+                TaskOutput::OligopolyTrace(trace)
+            }
         }
     }
 }
@@ -1062,6 +1229,8 @@ impl TaskOutput {
             TaskOutput::Learned(_) => "learned",
             TaskOutput::Race(_) => "race",
             TaskOutput::Aggregate(_) => "aggregate",
+            TaskOutput::Oligopoly(_) => "oligopoly",
+            TaskOutput::OligopolyTrace(_) => "oligopoly_trace",
         }
     }
 
@@ -1079,7 +1248,9 @@ impl TaskOutput {
             | TaskOutput::Mixed(Err(e))
             | TaskOutput::Learned(Err(e))
             | TaskOutput::Race(Err(e))
-            | TaskOutput::Aggregate(Err(e)) => Some(e),
+            | TaskOutput::Aggregate(Err(e))
+            | TaskOutput::Oligopoly(Err(e))
+            | TaskOutput::OligopolyTrace(Err(e)) => Some(e),
             _ => None,
         }
     }
@@ -1097,6 +1268,34 @@ fn mode(op: EdgeOperation) -> Mode {
         EdgeOperation::Connected => Mode::Connected,
         EdgeOperation::Standalone => Mode::Standalone,
     }
+}
+
+/// Builds the K-provider set and runs the sequential best-response price
+/// dynamics for [`Task::OligopolyBr`].
+fn run_oligopoly_br(
+    params: &MarketParams,
+    op: EdgeOperation,
+    clouds: &[(f64, f64)],
+    budget: f64,
+    n: usize,
+    init: &[f64],
+    max_rounds: usize,
+) -> Result<OligopolyTrace, String> {
+    let mut providers = vec![params.esp()];
+    for &(cost, cap) in clouds {
+        providers.push(Provider::new(cost, cap).map_err(|e| e.to_string())?);
+    }
+    let set = ProviderSet::new(providers).map_err(|e| e.to_string())?;
+    let init = PriceVector::new(init).map_err(|e| e.to_string())?;
+    oligopoly_best_response_dynamics(
+        params,
+        &set,
+        MinerPopulation::Homogeneous { budget, n },
+        mode(op),
+        &init,
+        &AlgorithmConfig { max_rounds, ..AlgorithmConfig::default() },
+    )
+    .map_err(|e| e.to_string())
 }
 
 /// ABL-1's diagnostic: sequential best-response dynamics from the fixed
@@ -1189,7 +1388,12 @@ mod tests {
             params: crate::market::leader_ne_market(),
             budgets: vec![BUDGET; N_MINERS],
             cfg: StackelbergConfig {
-                exec: ExecConfig { threads: 8, cache_capacity: 1 << 12, telemetry: true, warm_start: false },
+                exec: ExecConfig {
+                    threads: 8,
+                    cache_capacity: 1 << 12,
+                    telemetry: true,
+                    warm_start: false,
+                },
                 ..StackelbergConfig::default()
             },
         };

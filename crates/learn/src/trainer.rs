@@ -89,7 +89,15 @@ pub fn learn_miner_strategies(
     pool: usize,
     cfg: &TrainConfig,
 ) -> Result<LearnedMiners, LearnError> {
-    learn_miner_strategies_in(params, prices, budget, population, pool, cfg, &mut TrainerScratch::default())
+    learn_miner_strategies_in(
+        params,
+        prices,
+        budget,
+        population,
+        pool,
+        cfg,
+        &mut TrainerScratch::default(),
+    )
 }
 
 /// [`learn_miner_strategies`] into a reusable [`TrainerScratch`] (see

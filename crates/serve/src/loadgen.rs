@@ -158,9 +158,22 @@ fn gen_prices(rng: &mut StdRng) -> (f64, f64) {
 
 fn gen_small(rng: &mut StdRng, id: u64, deadline_ms: u64) -> Frame {
     let (pe, pc) = gen_prices(rng);
-    let mode_roll = rng.gen_range(0u32..4);
+    let mode_roll = rng.gen_range(0u32..5);
     let n = rng.gen_range(3usize..8);
-    let line = if mode_roll >= 2 {
+    let line = if mode_roll == 4 {
+        // K = 3 provider-vector frame: the daemon reduces it to the
+        // (edge, cheapest cloud) pair and reports the Bertrand split.
+        let pc2 = pc + rng.gen_range(0.2..1.0);
+        let mode = if rng.gen_bool(0.5) { "connected" } else { "standalone" };
+        let budgets: Vec<String> = (0..n).map(|_| fmt(rng.gen_range(50.0..150.0))).collect();
+        format!(
+            r#"{{"id":{id},"mode":"{mode}","providers":[{},{},{}],"budgets":[{}],"deadline_ms":{deadline_ms}}}"#,
+            fmt(pe),
+            fmt(pc),
+            fmt(pc2),
+            budgets.join(","),
+        )
+    } else if mode_roll >= 2 {
         let mode = if mode_roll == 2 { "symmetric_connected" } else { "symmetric_standalone" };
         let budget = rng.gen_range(50.0..150.0);
         format!(
@@ -203,7 +216,7 @@ fn gen_aggregate(rng: &mut StdRng, id: u64, deadline_ms: u64) -> Frame {
 }
 
 fn gen_poison(rng: &mut StdRng, id: u64) -> Frame {
-    match rng.gen_range(0u32..7) {
+    match rng.gen_range(0u32..8) {
         0 => Frame {
             // JSON null in a budget vector deserializes to NaN; the protocol
             // boundary must reject it as invalid_parameter.
@@ -232,6 +245,13 @@ fn gen_poison(rng: &mut StdRng, id: u64) -> Frame {
         },
         4 => Frame { line: format!(r#"{{"id":{id},"verb":"frobnicate"}}"#), id: Some(id) },
         5 => Frame {
+            // Degenerate provider vector: rejected as invalid_parameter.
+            line: format!(
+                r#"{{"id":{id},"mode":"connected","providers":[],"budgets":[100.0,80.0]}}"#
+            ),
+            id: Some(id),
+        },
+        6 => Frame {
             // Truncated mid-token: malformed, id unrecoverable.
             line: format!(r#"{{"id":{id},"verb":"sol"#),
             id: None,
@@ -643,11 +663,15 @@ mod tests {
                     || f.line.contains("warp_drive")
                     || f.line.contains("frobnicate")
                     || f.line.contains(r#""n":1}"#)
+                    || f.line.contains(r#""providers":[]"#)
             })
             .count();
         let aggregate = frames.iter().filter(|f| f.line.contains("aggregate_")).count();
+        let k3 = frames.iter().filter(|f| f.line.contains(r#""providers":["#)).count()
+            - frames.iter().filter(|f| f.line.contains(r#""providers":[]"#)).count();
         assert!(poison > 10, "poison tranche missing ({poison})");
         assert!(aggregate > 40, "aggregate tranche missing ({aggregate})");
+        assert!(k3 > 10, "K = 3 provider-vector tranche missing ({k3})");
         assert!(frames.len() - poison - aggregate > 100, "small tranche missing");
     }
 }

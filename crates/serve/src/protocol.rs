@@ -22,6 +22,7 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+use mbm_core::market::{provider_revenues, validate_price_vector, PriceVector};
 use mbm_core::params::{validate_budgets, validate_prices, MarketParams, Prices, Provider};
 use mbm_core::request::Aggregates;
 use mbm_core::solver::{SolveStatus, Solved};
@@ -113,8 +114,14 @@ pub struct SolveJob {
     pub mode: Mode,
     /// Market parameters (revalidated through the builder on parse).
     pub params: MarketParams,
-    /// Announced unit prices.
+    /// Announced unit prices. For K-provider frames this is the Bertrand
+    /// reduction of `providers` (edge price + cheapest cloud), so every
+    /// solver tier sees the same two-price subgame either way.
     pub prices: Prices,
+    /// The full K-provider price vector when the frame used `"providers"`
+    /// (DESIGN.md §14). `None` for legacy two-field `"prices"` frames —
+    /// those responses stay byte-identical to the pre-oligopoly wire.
+    pub providers: Option<Vec<f64>>,
     /// The miner population.
     pub population: PopulationSpec,
     /// Subgame solver configuration.
@@ -287,9 +294,42 @@ fn parse_solve(map: &Value, id: Option<u64>) -> Result<SolveJob, FrameError> {
         }
     };
 
-    let prices: Prices = serde_json::from_value(require(map, "prices", id)?.clone())
-        .map_err(|e| FrameError::new(id, ErrorKind::InvalidParameter, format!("prices: {e}")))?;
-    validate_prices(&prices).map_err(|e| invalid(id, &e))?;
+    let providers = match field(map, "providers") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(serde_json::from_value::<Vec<f64>>(v.clone()).map_err(|e| {
+            FrameError::new(id, ErrorKind::InvalidParameter, format!("providers: {e}"))
+        })?),
+    };
+    let prices =
+        match (field(map, "prices"), &providers) {
+            (Some(_), Some(_)) => return Err(FrameError::new(
+                id,
+                ErrorKind::InvalidParameter,
+                "announce either `prices` (edge/cloud pair) or `providers` (K-vector), not both",
+            )),
+            (_, Some(vector)) => {
+                // `null` elements arrive as NaN and fail the finiteness check.
+                validate_price_vector(vector).map_err(|e| invalid(id, &e))?;
+                PriceVector::new(vector).map_err(|e| invalid(id, &e))?.effective()
+            }
+            (price_field, None) => {
+                let raw = match price_field {
+                    Some(v) => v.clone(),
+                    None => {
+                        return Err(FrameError::new(
+                            id,
+                            ErrorKind::InvalidParameter,
+                            "missing required field `prices`",
+                        ))
+                    }
+                };
+                let prices: Prices = serde_json::from_value(raw).map_err(|e| {
+                    FrameError::new(id, ErrorKind::InvalidParameter, format!("prices: {e}"))
+                })?;
+                validate_prices(&prices).map_err(|e| invalid(id, &e))?;
+                prices
+            }
+        };
 
     let budgets = match field(map, "budgets") {
         None | Some(Value::Null) => None,
@@ -357,7 +397,7 @@ fn parse_solve(map: &Value, id: Option<u64>) -> Result<SolveJob, FrameError> {
         Some(v) => serde_json::from_value::<bool>(v.clone())
             .map_err(|e| FrameError::new(id, ErrorKind::InvalidParameter, format!("warm: {e}")))?,
     };
-    Ok(SolveJob { mode, params, prices, population, cfg, deadline_ms, warm })
+    Ok(SolveJob { mode, params, prices, providers, population, cfg, deadline_ms, warm })
 }
 
 /// Parses one JSON-lines frame into a [`Request`].
@@ -453,7 +493,28 @@ pub fn render_solved(id: Option<u64>, job: &SolveJob, solved: &Solved) -> String
         ),
         ("report".into(), report),
     ]);
-    serde_json::to_string(&body).unwrap_or_else(|_| "{}".into())
+    let mut body = match body {
+        Value::Map(entries) => entries,
+        _ => unreachable!("body is constructed as a map"),
+    };
+    // K-provider frames additionally get the Bertrand split: per-provider
+    // demand and revenue at the announced vector. Legacy `prices` frames
+    // skip this key entirely so their bodies stay byte-identical.
+    if let Some(vector) = &job.providers {
+        if let Ok(pv) = PriceVector::new(vector) {
+            let demand = pv.allocate_demand(&solved.aggregates);
+            let revenue = provider_revenues(&pv, &solved.aggregates);
+            body.push((
+                "providers".into(),
+                Value::Map(vec![
+                    ("prices".into(), Value::Seq(vector.iter().map(|&p| Value::F64(p)).collect())),
+                    ("demand".into(), Value::Seq(demand.into_iter().map(Value::F64).collect())),
+                    ("revenue".into(), Value::Seq(revenue.into_iter().map(Value::F64).collect())),
+                ]),
+            ));
+        }
+    }
+    serde_json::to_string(&Value::Map(body)).unwrap_or_else(|_| "{}".into())
 }
 
 /// Renders a typed error response.
@@ -596,6 +657,54 @@ mod tests {
     fn symmetric_mode_rejects_budget_vector() {
         let line = r#"{"id":7,"mode":"symmetric_connected","prices":{"edge":4,"cloud":2},"budgets":[1.0,2.0]}"#;
         assert_eq!(parse_request(line).unwrap_err().kind, ErrorKind::InvalidParameter);
+    }
+
+    #[test]
+    fn providers_frame_reduces_to_effective_prices() {
+        let line =
+            r#"{"id":10,"mode":"connected","providers":[4.0,2.5,2.0,3.0],"budgets":[100.0,80.0]}"#;
+        let req = parse_request(line).unwrap();
+        match req.verb {
+            Verb::Solve(job) => {
+                assert_eq!(job.prices, Prices::new(4.0, 2.0).unwrap());
+                assert_eq!(job.providers.as_deref(), Some(&[4.0, 2.5, 2.0, 3.0][..]));
+            }
+            other => panic!("expected solve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_prices_frame_leaves_providers_unset() {
+        let req = parse_request(&solve_line("")).unwrap();
+        match req.verb {
+            Verb::Solve(job) => assert!(job.providers.is_none()),
+            other => panic!("expected solve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_provider_vectors_are_invalid_parameter() {
+        let mut sixty_five = vec!["1.5"; 65].join(",");
+        sixty_five.insert(0, '[');
+        sixty_five.push(']');
+        for providers in
+            ["[]", "[4.0]", "[4.0,null,2.0]", "[4.0,-1.0]", "[4.0,0.0]", sixty_five.as_str()]
+        {
+            let line = format!(
+                r#"{{"id":11,"mode":"connected","providers":{providers},"budgets":[100.0,80.0]}}"#
+            );
+            let err = parse_request(&line).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::InvalidParameter, "providers {providers}");
+            assert_eq!(err.id, Some(11));
+        }
+    }
+
+    #[test]
+    fn prices_and_providers_together_are_rejected() {
+        let line = r#"{"id":12,"mode":"connected","prices":{"edge":4.0,"cloud":2.0},"providers":[4.0,2.0],"budgets":[100.0,80.0]}"#;
+        let err = parse_request(line).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::InvalidParameter);
+        assert!(err.message.contains("not both"), "{}", err.message);
     }
 
     #[test]

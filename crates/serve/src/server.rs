@@ -242,8 +242,8 @@ fn read_frames(
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
-    let idle_limit = (shared.cfg.max_idle_ms > 0)
-        .then(|| Duration::from_millis(shared.cfg.max_idle_ms));
+    let idle_limit =
+        (shared.cfg.max_idle_ms > 0).then(|| Duration::from_millis(shared.cfg.max_idle_ms));
     let mut last_activity = Instant::now();
     loop {
         if shared.shutdown.load(Ordering::SeqCst) != RUN {

@@ -498,6 +498,7 @@ mod tests {
             mode,
             params: MarketParams::builder().build().expect("defaults valid"),
             prices: Prices::new(edge, cloud).expect("valid prices"),
+            providers: None,
             population: PopulationSpec::Budgets(vec![100.0, 80.0, 120.0]),
             cfg: SubgameConfig::default(),
             deadline_ms: None,

@@ -200,11 +200,8 @@ fn idle_connections_are_reaped_under_max_idle() {
 
     let health = active.exchange(r#"{"id":999,"verb":"health"}"#);
     let h: Value = serde_json::from_str(&health).expect("valid json");
-    let reaped = h
-        .get("health")
-        .and_then(|b| b.get("counters"))
-        .and_then(|c| c.get("idle_closed"))
-        .cloned();
+    let reaped =
+        h.get("health").and_then(|b| b.get("counters")).and_then(|c| c.get("idle_closed")).cloned();
     assert_eq!(reaped, Some(Value::U64(1)), "{health}");
 
     request_shutdown(&flag, DRAIN);

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use mbm_serve::protocol::{parse_request, ErrorKind};
+use mbm_serve::protocol::{parse_request, ErrorKind, Verb};
 use mbm_serve::server::{request_shutdown, spawn, ServerConfig, DRAIN};
 
 use std::io::{BufRead, BufReader, Write};
@@ -72,6 +72,63 @@ proptest! {
             let _ = parse_request(&line);
         }
     }
+
+    /// A valid K-provider frame reduces to (edge, cheapest cloud), and a
+    /// K = 2 `providers` frame describes the same job as the legacy
+    /// two-field `prices` frame (bitwise, minus the provider echo).
+    #[test]
+    fn provider_vectors_reduce_to_the_cheapest_cloud(
+        id in 0u64..1000,
+        edge in 0.5f64..12.0,
+        clouds in prop::collection::vec(0.5f64..9.0, 1..8usize),
+    ) {
+        let vector: Vec<f64> = std::iter::once(edge).chain(clouds.iter().copied()).collect();
+        let body: Vec<String> = vector.iter().map(|p| format!("{p:?}")).collect();
+        let frame = format!(
+            r#"{{"id":{id},"mode":"connected","providers":[{}],"budgets":[100.0,80.0]}}"#,
+            body.join(","),
+        );
+        let req = parse_request(&frame).expect("valid provider frame");
+        let job = match req.verb {
+            Verb::Solve(job) => job,
+            other => panic!("expected solve, got {other:?}"),
+        };
+        let min_cloud = clouds.iter().copied().fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(job.prices.edge.to_bits(), edge.to_bits());
+        prop_assert_eq!(job.prices.cloud.to_bits(), min_cloud.to_bits());
+
+        if clouds.len() == 1 {
+            let legacy = format!(
+                r#"{{"id":{id},"mode":"connected","prices":{{"edge":{edge:?},"cloud":{:?}}},"budgets":[100.0,80.0]}}"#,
+                clouds[0],
+            );
+            let legacy_job = match parse_request(&legacy).expect("legacy frame").verb {
+                Verb::Solve(job) => job,
+                other => panic!("expected solve, got {other:?}"),
+            };
+            prop_assert_eq!(legacy_job.prices, job.prices);
+            prop_assert_eq!(legacy_job.population, job.population);
+        }
+    }
+
+    /// Malformed provider vectors — empty, too short, NaN-bearing (`null`),
+    /// non-positive, oversized — are typed invalid_parameter, never panics.
+    #[test]
+    fn malformed_provider_vectors_are_typed(id in 0u64..1000, variant in 0usize..5, len in 65usize..80) {
+        let providers = match variant {
+            0 => "[]".to_string(),
+            1 => "[4.0]".to_string(),
+            2 => "[4.0,null,2.0]".to_string(),
+            3 => "[4.0,-2.0]".to_string(),
+            _ => format!("[{}]", vec!["1.5"; len].join(",")),
+        };
+        let frame = format!(
+            r#"{{"id":{id},"mode":"connected","providers":{providers},"budgets":[100.0,80.0]}}"#
+        );
+        let err = parse_request(&frame).unwrap_err();
+        prop_assert_eq!(err.kind, ErrorKind::InvalidParameter);
+        prop_assert_eq!(err.id, Some(id));
+    }
 }
 
 /// A malformed frame poisons only itself: the same connection then serves
@@ -104,6 +161,17 @@ fn connection_survives_malformed_frames() {
     let solved = exchange(&valid_frame(3));
     assert!(solved.contains(r#""status":"Converged""#), "{solved}");
     assert!(solved.contains(r#""id":3"#), "{solved}");
+    assert!(!solved.contains(r#""providers""#), "legacy frames carry no provider echo: {solved}");
+
+    // A K = 3 provider frame over the same connection: solved at the
+    // Bertrand reduction, with the per-provider split echoed back.
+    let oligopoly = exchange(
+        r#"{"id":4,"mode":"connected","providers":[4.0,2.5,2.0],"budgets":[100.0,80.0,120.0]}"#,
+    );
+    assert!(oligopoly.contains(r#""status":"Converged""#), "{oligopoly}");
+    assert!(oligopoly.contains(r#""providers""#), "{oligopoly}");
+    assert!(oligopoly.contains(r#""demand""#), "{oligopoly}");
+    assert!(oligopoly.contains(r#""revenue""#), "{oligopoly}");
 
     request_shutdown(&flag, DRAIN);
     handle.join().expect("server thread").expect("clean shutdown");

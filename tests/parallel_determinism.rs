@@ -7,10 +7,13 @@
 use proptest::prelude::*;
 
 use mbm_chain_sim::pow::{Puzzle, Target};
+use mbm_core::market::ProviderSet;
 use mbm_core::params::{MarketParams, Prices, Provider};
 use mbm_core::request::Request;
 use mbm_core::solver::{FollowerSolver, SolveWorkspace, TieredSolver};
-use mbm_core::stackelberg::{solve_connected, ExecConfig, StackelbergConfig};
+use mbm_core::sp::oligopoly::solve_oligopoly;
+use mbm_core::sp::stage::Mode;
+use mbm_core::stackelberg::{solve_connected, solve_standalone, ExecConfig, StackelbergConfig};
 use mbm_core::subgame::SubgameConfig;
 use mbm_par::Pool;
 
@@ -79,6 +82,97 @@ proptest! {
             };
             let got = solve_connected(&params, &budgets, &cfg).ok();
             prop_assert_eq!(&got, &reference, "threads = {}, capacity = {}", threads, capacity);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The K-provider leader solve at K = 2 is bitwise the legacy
+    /// two-provider pipeline, in both follower modes, at 1/2/8 pool
+    /// threads: generalizing the price pair to a vector must not move a
+    /// bit of the equilibrium, profits, round count or residual.
+    #[test]
+    fn k2_oligopoly_solve_is_bitwise_the_legacy_pipeline(
+        c_e in 8.0f64..12.0,
+        beta in 0.1f64..0.4,
+        b0 in 60.0f64..140.0,
+    ) {
+        let params = market(c_e, beta, 0.8);
+        let budgets = [b0, b0 + 40.0, b0 + 90.0];
+        let set = ProviderSet::from_market(&params);
+        for threads in [1usize, 2, 8] {
+            let cfg = StackelbergConfig {
+                exec: ExecConfig { threads, cache_capacity: 0, telemetry: false, warm_start: false },
+                ..StackelbergConfig::default()
+            };
+            for mode in [Mode::Connected, Mode::Standalone] {
+                let sol = solve_oligopoly(&params, &set, &budgets, mode, &cfg).ok();
+                let legacy = match mode {
+                    Mode::Connected => solve_connected(&params, &budgets, &cfg).ok(),
+                    Mode::Standalone => solve_standalone(&params, &budgets, &cfg).ok(),
+                };
+                match (sol, legacy) {
+                    (None, None) => {}
+                    (Some(sol), Some(legacy)) => {
+                        prop_assert_eq!(sol.prices.len(), 2);
+                        prop_assert_eq!(sol.prices[0].to_bits(), legacy.prices.edge.to_bits());
+                        prop_assert_eq!(sol.prices[1].to_bits(), legacy.prices.cloud.to_bits());
+                        prop_assert_eq!(&sol.equilibrium, &legacy.equilibrium);
+                        prop_assert_eq!(sol.profits[0].to_bits(), legacy.esp_profit.to_bits());
+                        prop_assert_eq!(sol.profits[1].to_bits(), legacy.csp_profit.to_bits());
+                        prop_assert_eq!(sol.leader_rounds, legacy.leader_rounds);
+                        prop_assert_eq!(
+                            sol.leader_residual.to_bits(),
+                            legacy.leader_residual.to_bits()
+                        );
+                    }
+                    (sol, legacy) => prop_assert!(
+                        false,
+                        "K = 2 and legacy solves must fail together: \
+                         oligopoly = {sol:?}, legacy = {legacy:?}"
+                    ),
+                }
+            }
+        }
+    }
+
+    /// A K = 3 oligopoly solve is a pure function of the market: thread
+    /// count and cache capacity must not move a single bit.
+    #[test]
+    fn k3_oligopoly_solve_is_thread_and_cache_invariant(
+        c_e in 8.0f64..12.0,
+        beta in 0.1f64..0.4,
+        b0 in 60.0f64..140.0,
+        c_c2 in 1.2f64..3.0,
+    ) {
+        let params = market(c_e, beta, 0.8);
+        let budgets = [b0, b0 + 40.0, b0 + 90.0];
+        let set = ProviderSet::new(vec![
+            params.esp(),
+            params.csp(),
+            Provider::new(c_c2, 8.0).unwrap(),
+        ])
+        .unwrap();
+        let base = StackelbergConfig {
+            exec: ExecConfig { threads: 1, cache_capacity: 0, telemetry: false, warm_start: false },
+            ..StackelbergConfig::default()
+        };
+        let reference = solve_oligopoly(&params, &set, &budgets, Mode::Connected, &base).ok();
+        for (threads, capacity) in [(2usize, 0usize), (8, 0), (1, 512), (8, 512)] {
+            let cfg = StackelbergConfig {
+                exec: ExecConfig { threads, cache_capacity: capacity, telemetry: false, warm_start: false },
+                ..base
+            };
+            let got = solve_oligopoly(&params, &set, &budgets, Mode::Connected, &cfg).ok();
+            prop_assert_eq!(
+                format!("{got:?}"),
+                format!("{reference:?}"),
+                "threads = {}, capacity = {}",
+                threads,
+                capacity
+            );
         }
     }
 }

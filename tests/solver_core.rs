@@ -3,6 +3,7 @@
 
 use proptest::prelude::*;
 
+use mbm_core::market::PriceVector;
 use mbm_core::params::{MarketParams, Prices};
 use mbm_core::solver::{
     solve_connected_reported, solve_standalone_reported, solve_symmetric_connected_reported,
@@ -167,6 +168,71 @@ proptest! {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The K-provider reduction is the identity on random two-provider
+    /// markets: a `PriceVector` round-trips to the legacy `Prices` pair
+    /// bitwise, and solving at the reduction is bitwise the legacy solve
+    /// across all six solver modes. Padding the vector with strictly more
+    /// expensive clouds (K = 4) must not move a bit either — the extra
+    /// providers are Bertrand-priced out of the market.
+    #[test]
+    fn k2_price_vector_reduction_is_bitwise_across_all_six_modes(
+        edge in 3.6f64..5.5,
+        cloud in 1.7f64..2.3,
+        budget in 60.0f64..400.0,
+        n in 2usize..=8,
+        pad in 0.1f64..2.0,
+    ) {
+        let params = market();
+        let cfg = SubgameConfig::default();
+        let prices = Prices::new(edge, cloud).unwrap();
+        let budgets = vec![budget; n];
+
+        let k2 = PriceVector::from_prices(&prices).unwrap().effective();
+        prop_assert_eq!(k2.edge.to_bits(), prices.edge.to_bits());
+        prop_assert_eq!(k2.cloud.to_bits(), prices.cloud.to_bits());
+        let k4 = PriceVector::new(&[edge, cloud, cloud + pad, cloud + 2.0 * pad])
+            .unwrap()
+            .effective();
+        prop_assert_eq!(k4.edge.to_bits(), prices.edge.to_bits());
+        prop_assert_eq!(k4.cloud.to_bits(), prices.cloud.to_bits());
+
+        for reduced in [k2, k4] {
+            // Heterogeneous chains (connected NEP, standalone GNEP).
+            let legacy = solve_connected_reported(&params, &prices, &budgets, &cfg).unwrap();
+            let via = solve_connected_reported(&params, &reduced, &budgets, &cfg).unwrap();
+            prop_assert_eq!(format!("{legacy:?}"), format!("{via:?}"));
+            let legacy = solve_standalone_reported(&params, &prices, &budgets, &cfg).unwrap();
+            let via = solve_standalone_reported(&params, &reduced, &budgets, &cfg).unwrap();
+            prop_assert_eq!(format!("{legacy:?}"), format!("{via:?}"));
+
+            // Symmetric fast paths.
+            let legacy =
+                solve_symmetric_connected_reported(&params, &prices, budget, n, &cfg).unwrap();
+            let via =
+                solve_symmetric_connected_reported(&params, &reduced, budget, n, &cfg).unwrap();
+            prop_assert_eq!(format!("{legacy:?}"), format!("{via:?}"));
+            let legacy =
+                solve_symmetric_standalone_reported(&params, &prices, budget, n, &cfg).unwrap();
+            let via =
+                solve_symmetric_standalone_reported(&params, &reduced, budget, n, &cfg).unwrap();
+            prop_assert_eq!(format!("{legacy:?}"), format!("{via:?}"));
+
+            // Aggregate-form O(N) chains.
+            for standalone in [false, true] {
+                let solve = |p: &Prices| {
+                    let solver = if standalone {
+                        TieredSolver::aggregate_standalone(&params, p, &budgets, &cfg)
+                    } else {
+                        TieredSolver::aggregate_connected(&params, p, &budgets, &cfg)
+                    };
+                    let solved = solver.solve(&mut SolveWorkspace::new()).unwrap();
+                    format!("{:?}", solved)
+                };
+                prop_assert_eq!(solve(&prices), solve(&reduced), "standalone = {}", standalone);
+            }
+        }
+    }
 
     /// Warm-started continuation over a randomized price grid lands on the
     /// same equilibria as independent cold solves, within certificate

@@ -2,13 +2,16 @@
 //! the checked-in golden file byte for byte.
 //!
 //! The reference workload is one connected-mode Stackelberg solve —
-//! heterogeneous budgets, memo cache on, **one worker thread** — with the
-//! global recorder enabled. Its counters and gauges (solver calls, iteration
-//! totals, grid evaluations, cache hits/misses, leader rounds) are exact
-//! functions of the workload at a fixed thread count, so any drift is a real
-//! behavioural change in a solver: more Brent iterations, a different
-//! best-response path, a cache that stopped hitting. The gate turns that
-//! drift into a readable JSON diff instead of a silent perf loss.
+//! heterogeneous budgets, memo cache on, **one worker thread** — followed by
+//! a K = 3 oligopoly leader solve (`core.solver.oligopoly.*`) and a tiny
+//! planned oligopoly task batch through the experiment engine (`exp.plan.*`
+//! / `exp.exec.*`), all with the global recorder enabled. The counters and
+//! gauges (solver calls, iteration totals, grid evaluations, cache
+//! hits/misses, leader rounds) are exact functions of the workload at a
+//! fixed thread count, so any drift is a real behavioural change in a
+//! solver: more Brent iterations, a different best-response path, a cache
+//! that stopped hitting. The gate turns that drift into a readable JSON
+//! diff instead of a silent perf loss.
 //!
 //! Knobs (used by `.github/workflows/ci.yml`):
 //!
@@ -24,8 +27,16 @@
 
 use std::path::PathBuf;
 
+use mbm_core::market::ProviderSet;
 use mbm_core::params::{MarketParams, Provider};
+use mbm_core::scenario::EdgeOperation;
+use mbm_core::sp::oligopoly::solve_oligopoly;
+use mbm_core::sp::stage::Mode;
 use mbm_core::stackelberg::{solve_connected, ExecConfig, StackelbergConfig};
+use mbm_core::subgame::SubgameConfig;
+use mbm_exp::executor::execute;
+use mbm_exp::planner::{plan, PlannedTask};
+use mbm_exp::task::Task;
 
 fn reference_market() -> MarketParams {
     MarketParams::builder()
@@ -49,13 +60,43 @@ fn reference_pipeline_telemetry_matches_golden() {
     rec.reset();
     rec.set_enabled(true);
     let cfg = StackelbergConfig {
-        exec: ExecConfig { threads: 1, cache_capacity: 1 << 16, telemetry: true, warm_start: false },
+        exec: ExecConfig {
+            threads: 1,
+            cache_capacity: 1 << 16,
+            telemetry: true,
+            warm_start: false,
+        },
         ..StackelbergConfig::default()
     };
-    let sol = solve_connected(&reference_market(), &[80.0, 140.0, 200.0], &cfg)
-        .expect("reference solve converges");
-    rec.set_enabled(false);
+    let params = reference_market();
+    let sol =
+        solve_connected(&params, &[80.0, 140.0, 200.0], &cfg).expect("reference solve converges");
     assert!(sol.esp_profit.is_finite() && sol.csp_profit.is_finite());
+
+    // K = 3 oligopoly leader solve: the provider-vector layer's
+    // `core.solver.oligopoly.*` counters are part of the golden surface.
+    let set = ProviderSet::new(vec![params.esp(), params.csp(), Provider::new(1.4, 8.0).unwrap()])
+        .unwrap();
+    let oligopoly = solve_oligopoly(&params, &set, &[80.0, 140.0, 200.0], Mode::Connected, &cfg)
+        .expect("oligopoly reference solve converges");
+    assert_eq!(oligopoly.prices.len(), 3);
+
+    // A two-task oligopoly batch through the planner/executor records the
+    // deterministic `exp.plan.*` / `exp.exec.*` counters.
+    let task = Task::OligopolyNep {
+        op: EdgeOperation::Connected,
+        params,
+        cloud_costs: vec![1.0, 1.4],
+        prices: vec![4.0, 2.0, 2.5],
+        budget: 150.0,
+        n: 4,
+        cfg: SubgameConfig::default(),
+    };
+    let specs = vec![vec![PlannedTask::required(task.clone())], vec![PlannedTask::required(task)]];
+    let pool = mbm_par::Pool::new(1);
+    let results = execute(&plan(&specs), &pool);
+    assert_eq!(results.failures.len(), 0, "oligopoly task batch must succeed");
+    rec.set_enabled(false);
 
     let mut snapshot = rec.snapshot();
     assert!(
@@ -64,6 +105,11 @@ fn reference_pipeline_telemetry_matches_golden() {
         snapshot.counters.keys().collect::<Vec<_>>()
     );
     assert!(snapshot.counters.contains_key("core.cache.hits"), "cache stats missing");
+    assert!(
+        snapshot.counters.contains_key("core.solver.oligopoly.solves"),
+        "oligopoly solver counters missing"
+    );
+    assert!(snapshot.counters.contains_key("exp.plan.unique"), "engine plan counters missing");
 
     if std::env::var_os("MBM_TELEMETRY_PERTURB").is_some() {
         // Simulate a solver regression: one extra iteration somewhere.

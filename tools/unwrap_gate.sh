@@ -32,6 +32,8 @@ FILES=(
   crates/core/src/subgame/homogeneous.rs
   crates/core/src/error.rs
   crates/core/src/params.rs
+  crates/core/src/market.rs
+  crates/core/src/sp/oligopoly.rs
   crates/numerics/src/vi.rs
   crates/numerics/src/roots.rs
   crates/numerics/src/fixed_point.rs
