@@ -31,6 +31,7 @@
 
 pub mod aggregate;
 pub mod continuation;
+pub mod memo;
 pub mod policy;
 pub mod report;
 pub mod workspace;
@@ -763,6 +764,60 @@ impl<'a> TieredSolver<'a> {
 impl FollowerSolver for TieredSolver<'_> {
     fn solve(&self, ws: &mut SolveWorkspace) -> Result<Solved, MiningGameError> {
         self.validate()?;
+        // Disk-backed equilibrium memo (installed via `solver::memo`): a
+        // re-certified hit replays the cold solve bitwise — workspace
+        // effects included — without running a single iteration. Only
+        // strict cold successes are recorded; warm-continuation solves
+        // (grid batches) may differ within tolerance from cold, so they
+        // consult but never write.
+        let memo_key = memo::active_key(self.params, self.prices, &self.problem);
+        if let Some(key) = memo_key.as_deref() {
+            if let Some(hit) = memo::consult(key, self.params, self.prices, &self.problem, ws) {
+                return Ok(hit);
+            }
+        }
+        let solved = self.solve_validated(ws)?;
+        if let Some(key) = memo_key.as_deref() {
+            if solved.report.status == SolveStatus::Converged && !ws.warm.enabled() {
+                memo::record(key, &solved, self.params, self.prices, &self.problem, ws);
+            }
+        }
+        Ok(solved)
+    }
+
+    fn solve_batch(
+        &self,
+        grid: &[Prices],
+        ws: &mut SolveWorkspace,
+    ) -> Vec<Result<Solved, MiningGameError>> {
+        let order = continuation::nearest_neighbor_order(grid);
+        // Enable warm continuation for the batch. If the caller already
+        // opted this workspace in, its slot (population-keyed, so never
+        // stale) carries into and out of the batch; otherwise the slot is
+        // clean on entry (disabling always clears it) and cleared again on
+        // exit.
+        let prev = ws.warm.set_enabled(true);
+        let mut out: Vec<Option<Result<Solved, MiningGameError>>> = Vec::new();
+        out.resize_with(grid.len(), || None);
+        for &i in &order {
+            out[i] = Some(self.at_prices(&grid[i]).solve(ws));
+        }
+        if !prev {
+            ws.warm.set_enabled(false);
+        }
+        out.into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    Err(MiningGameError::invalid("price point missing from continuation path"))
+                })
+            })
+            .collect()
+    }
+}
+
+impl TieredSolver<'_> {
+    /// The tier chain itself, after validation and the memo consult.
+    fn solve_validated(&self, ws: &mut SolveWorkspace) -> Result<Solved, MiningGameError> {
         let policy = ws.policy;
         let tiers = self.tiers();
         let (mode, symmetric) = self.mode_sym();
@@ -912,35 +967,6 @@ impl FollowerSolver for TieredSolver<'_> {
             rec.solver_failure(name, error_iterations(&err));
         }
         Err(err)
-    }
-
-    fn solve_batch(
-        &self,
-        grid: &[Prices],
-        ws: &mut SolveWorkspace,
-    ) -> Vec<Result<Solved, MiningGameError>> {
-        let order = continuation::nearest_neighbor_order(grid);
-        // Enable warm continuation for the batch. If the caller already
-        // opted this workspace in, its slot (population-keyed, so never
-        // stale) carries into and out of the batch; otherwise the slot is
-        // clean on entry (disabling always clears it) and cleared again on
-        // exit.
-        let prev = ws.warm.set_enabled(true);
-        let mut out: Vec<Option<Result<Solved, MiningGameError>>> = Vec::new();
-        out.resize_with(grid.len(), || None);
-        for &i in &order {
-            out[i] = Some(self.at_prices(&grid[i]).solve(ws));
-        }
-        if !prev {
-            ws.warm.set_enabled(false);
-        }
-        out.into_iter()
-            .map(|slot| {
-                slot.unwrap_or_else(|| {
-                    Err(MiningGameError::invalid("price point missing from continuation path"))
-                })
-            })
-            .collect()
     }
 }
 

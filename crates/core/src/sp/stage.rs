@@ -11,6 +11,8 @@
 //! which every tier of the follower chain fails to converge are reported as
 //! `NaN` (infeasible), which the leader search skips.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use mbm_game::stackelberg::LeaderStage;
 use mbm_game::GameError;
 

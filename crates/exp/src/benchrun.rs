@@ -639,6 +639,90 @@ fn bench_oligopoly_grid_sweep() -> BenchRecord {
     }
 }
 
+/// Cold solves vs warm-store replays of the same price lattice: the disk
+/// memo's hit path (index lookup + payload decode + golden residual
+/// re-certification) against full best-response solves. The replayed
+/// aggregates are asserted bitwise-equal to the cold ones — the store may
+/// only ever save time, never move a bit — and the speedup is a work
+/// ratio (one residual evaluation versus a full BR iteration trail), so
+/// the floor is machine-independent.
+fn bench_store_warm_replay() -> BenchRecord {
+    use mbm_core::solver::memo::{self, MemoConfig};
+
+    let params = leader_ne_market();
+    #[allow(clippy::cast_precision_loss)] // i < 24
+    let budgets: Vec<f64> = (0..24).map(|i| 80.0 + 7.0 * (i % 11) as f64).collect();
+    let cfg = SubgameConfig { tol: 1e-6, ..SubgameConfig::default() };
+    let grid: Vec<Prices> = (0..8)
+        .flat_map(|i| {
+            (0..8).map(move |j| {
+                Prices::new(4.5 + 0.02 * f64::from(i), 1.45 + 0.02 * f64::from(j))
+                    .expect("valid prices")
+            })
+        })
+        .collect();
+
+    let run = || -> Vec<Option<(u64, u64)>> {
+        let mut ws = SolveWorkspace::new();
+        grid.iter()
+            .map(|prices| {
+                TieredSolver::connected(&params, prices, &budgets, &cfg)
+                    .solve(&mut ws)
+                    .ok()
+                    .map(|s| (s.aggregates.edge.to_bits(), s.aggregates.cloud.to_bits()))
+            })
+            .collect()
+    };
+
+    // Cold baseline: no store installed, every point a full solve.
+    let (cold, mut cold_ms) = best_of(3, || time_ms(run));
+
+    // Same lattice through the disk memo: one populating pass (miss +
+    // append per point), then timed passes that hit on every point.
+    let store_path =
+        std::env::temp_dir().join(format!("mbm_bench_store_{}.store", std::process::id()));
+    let _ = std::fs::remove_file(&store_path);
+    let (guard, _summary) =
+        memo::open_and_install(&store_path, MemoConfig::default(), Default::default())
+            .expect("bench store opens");
+    memo::reset_stats();
+    let (_populate, _) = time_ms(run);
+    let (warm, mut warm_ms) = best_of(3, || time_ms(run));
+    for _ in 0..4 {
+        if cold_ms / warm_ms >= 2.0 {
+            break;
+        }
+        // Top up per-path minima (the cold path needs the store gone, so
+        // the warm minimum is refined first and cold re-timed after drop).
+        let (_, w_ms) = time_ms(run);
+        warm_ms = warm_ms.min(w_ms);
+    }
+    let stats = memo::stats();
+    drop(guard);
+    let _ = std::fs::remove_file(&store_path);
+    memo::reset_stats();
+    if cold_ms / warm_ms < 2.0 {
+        let (_, c_ms) = best_of(2, || time_ms(run));
+        cold_ms = cold_ms.min(c_ms);
+    }
+
+    assert_eq!(cold, warm, "a store replay moved a bit relative to the cold solve");
+    assert!(stats.hits >= grid.len() as u64, "warm passes did not hit the store: {stats:?}");
+    assert_eq!(stats.rejected, 0, "golden check rejected a record the bench just wrote");
+
+    BenchRecord {
+        name: "store_warm_replay".into(),
+        serial_ms: cold_ms,
+        parallel_ms: warm_ms,
+        speedup: cold_ms / warm_ms,
+        // A hit replaces ~40 BR sweeps with one residual evaluation plus
+        // decode; 2.0 leaves a wide noise margin while failing if the hit
+        // path quietly starts re-solving.
+        floor: 2.0,
+        miners_per_sec: 0.0,
+    }
+}
+
 /// Recorder-enabled vs recorder-disabled wall clock of the same serial
 /// Stackelberg solve. `serial_ms` is the disabled run, `parallel_ms` the
 /// enabled run; `speedup` < 1 is the (tiny) cost of live telemetry. The
@@ -777,6 +861,7 @@ pub fn main_bench1() -> i32 {
             bench_workspace_reuse_leader_search(),
             bench_continuation_grid_sweep(),
             bench_oligopoly_grid_sweep(),
+            bench_store_warm_replay(),
             bench_obs_overhead(),
             engine_record,
         ],

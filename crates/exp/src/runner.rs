@@ -33,6 +33,14 @@
 //!   nearest-neighbor batches, each solve seeded from its predecessor's
 //!   equilibrium (agrees with the cold run within certificate tolerance;
 //!   without the flag the executor is bitwise-historical).
+//! * `--store PATH` installs the disk-backed equilibrium memo at `PATH`
+//!   (created on first use): converged strict solves are persisted under
+//!   their exact-bit problem identity and replayed **bitwise** on later
+//!   runs. Corrupted or torn stores are recovered (truncate to the last
+//!   valid record) with the diagnosis reported on stderr, and every hit is
+//!   re-certified against the configurable golden check before being
+//!   served; `--store-golden off|feasibility|residual[:TOL]` selects the
+//!   policy (default `residual`, tolerance `1e-6`).
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
@@ -40,6 +48,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
+use mbm_core::solver::memo::{self, GoldenCheck, MemoConfig};
 use mbm_core::solver::{DegradeMode, SolvePolicy};
 use serde::Value;
 
@@ -60,6 +69,8 @@ struct Options {
     deadline_ms: Option<u64>,
     degrade: bool,
     warm: bool,
+    store: Option<PathBuf>,
+    store_golden: Option<GoldenCheck>,
     /// Positional `arg_or` overrides (unparsable entries become NaN so
     /// later slots keep their position, as the legacy binaries did).
     args: Vec<f64>,
@@ -80,7 +91,8 @@ impl Options {
 
 const USAGE: &str = "usage: experiments (--list | --all | --only NAME[,NAME...]) \
 [--check] [--json DIR] [--telemetry PATH] [--fault-plan SPEC] [--deadline-ms N] \
-[--degrade] [--warm] [ARGS...]";
+[--degrade] [--warm] [--store PATH] [--store-golden off|feasibility|residual[:TOL]] \
+[ARGS...]";
 
 fn parse(argv: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
@@ -115,6 +127,14 @@ fn parse(argv: &[String]) -> Result<Options, String> {
             }
             "--degrade" => opts.degrade = true,
             "--warm" => opts.warm = true,
+            "--store" => {
+                opts.store = Some(PathBuf::from(it.next().ok_or("--store needs a path")?));
+            }
+            "--store-golden" => {
+                let spec = it.next().ok_or("--store-golden needs a policy")?;
+                opts.store_golden =
+                    Some(GoldenCheck::parse(spec).map_err(|e| format!("--store-golden: {e}"))?);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => opts.args.push(other.parse().unwrap_or(f64::NAN)),
         }
@@ -187,6 +207,39 @@ pub fn main_experiments() -> i32 {
     };
     let _fault_guard = plan.map(mbm_faults::install);
 
+    // Disk-backed equilibrium memo: converged strict solves persist across
+    // runs and replay bitwise. Opened with recovery — a corrupted store is
+    // truncated to its last valid record and reported, never trusted.
+    let _memo_guard = match &opts.store {
+        Some(path) => {
+            let cfg = MemoConfig {
+                golden: opts.store_golden.unwrap_or_default(),
+                ..MemoConfig::default()
+            };
+            match memo::open_and_install(path, cfg, mbm_store::StoreOptions::default()) {
+                Ok((guard, summary)) => {
+                    if let Some(diagnosis) = &summary.diagnosis {
+                        eprintln!(
+                            "experiments: --store: recovered {} ({} bytes truncated, \
+                             {} record(s) kept{})",
+                            diagnosis,
+                            summary.truncated_bytes,
+                            summary.records,
+                            if summary.rebuilt { ", file rebuilt" } else { "" },
+                        );
+                    }
+                    memo::reset_stats();
+                    Some(guard)
+                }
+                Err(e) => {
+                    eprintln!("experiments: --store: {e}");
+                    return 2;
+                }
+            }
+        }
+        None => None,
+    };
+
     let batch = match run_batch_supervised_opts(
         &specs,
         &ctx,
@@ -219,6 +272,25 @@ pub fn main_experiments() -> i32 {
             eprintln!("experiments: --telemetry: {e}");
             code = 1;
         }
+    }
+    if let Some(path) = &opts.store {
+        if let Err(e) = memo::flush() {
+            eprintln!("experiments: --store: flush: {e}");
+            code = 1;
+        }
+        let s = memo::stats();
+        eprintln!(
+            "experiments: store {}: hits={} misses={} rejected={} appends={} \
+             append_errors={} skipped={} collisions={}",
+            path.display(),
+            s.hits,
+            s.misses,
+            s.rejected,
+            s.appends,
+            s.append_errors,
+            s.skipped,
+            s.collisions,
+        );
     }
     code
 }
@@ -369,6 +441,18 @@ mod tests {
         assert_eq!(policy.deadline, Some(Duration::from_millis(2500)));
 
         assert!(parse(&["--all".into(), "--warm".into()]).unwrap().warm);
+        let store = parse(&[
+            "--all".into(),
+            "--store".into(),
+            "eq.store".into(),
+            "--store-golden".into(),
+            "residual:1e-4".into(),
+        ])
+        .unwrap();
+        assert_eq!(store.store.as_deref(), Some(Path::new("eq.store")));
+        assert_eq!(store.store_golden, Some(GoldenCheck::Residual { tol: 1e-4 }));
+        assert!(parse(&["--all".into(), "--store".into()]).is_err());
+        assert!(parse(&["--all".into(), "--store-golden".into(), "sometimes".into()]).is_err());
         assert!(parse(&["--all".into(), "--deadline-ms".into(), "0".into()]).is_err());
         assert!(parse(&["--all".into(), "--deadline-ms".into(), "soon".into()]).is_err());
         assert!(parse(&["--all".into(), "--fault-plan".into()]).is_err());

@@ -80,6 +80,13 @@ pub mod sites {
     /// Job boundaries in the `mbm-serve` worker pool (probed once per
     /// admitted request before the solve starts).
     pub const SERVE_JOB: &str = "serve.job";
+    /// Record reads in the persistent equilibrium store (`mbm-store`):
+    /// probed once per record while scanning a file open and once per
+    /// memo lookup that goes to the byte layer.
+    pub const STORE_READ: &str = "store.read";
+    /// Record appends in the persistent equilibrium store: probed once per
+    /// record write, before any bytes reach the file.
+    pub const STORE_APPEND: &str = "store.append";
 }
 
 /// What an injected fault forces the probed code path to do.
@@ -99,6 +106,17 @@ pub enum FaultKind {
     /// probe itself panics with a recognizable message; nothing is
     /// returned.
     Panic,
+    /// Fail an I/O operation outright (exercises typed `StoreError`
+    /// propagation: the operation reports an OS-level error without
+    /// touching the file).
+    IoError,
+    /// Write only a prefix of the record, then fail (exercises torn-write
+    /// recovery: the tail must be truncated to the last valid record on the
+    /// next open).
+    TornWrite,
+    /// Flip a byte in the data being read or written (exercises checksum
+    /// verification: the record must be rejected, never served).
+    Corrupt,
 }
 
 impl FaultKind {
@@ -108,6 +126,9 @@ impl FaultKind {
             "nan" => Some(FaultKind::NanResidual),
             "exhaust" => Some(FaultKind::ExhaustBudget),
             "panic" => Some(FaultKind::Panic),
+            "io_error" => Some(FaultKind::IoError),
+            "torn_write" => Some(FaultKind::TornWrite),
+            "corrupt" => Some(FaultKind::Corrupt),
             _ => None,
         }
     }
@@ -118,6 +139,9 @@ impl FaultKind {
             FaultKind::NanResidual => "nan",
             FaultKind::ExhaustBudget => "exhaust",
             FaultKind::Panic => "panic",
+            FaultKind::IoError => "io_error",
+            FaultKind::TornWrite => "torn_write",
+            FaultKind::Corrupt => "corrupt",
         }
     }
 }
@@ -207,7 +231,10 @@ impl FaultPlan {
                 None => (rest, None),
             };
             let kind = FaultKind::parse(kind_str.trim()).ok_or_else(|| {
-                format!("unknown fault kind {kind_str:?} (expected misconverge|nan|exhaust|panic)")
+                format!(
+                    "unknown fault kind {kind_str:?} \
+                     (expected misconverge|nan|exhaust|panic|io_error|torn_write|corrupt)"
+                )
             })?;
             let rate = match rate_str {
                 Some(r) => {
@@ -618,6 +645,14 @@ mod tests {
         );
         let reparsed = FaultPlan::parse(&plan.to_spec()).unwrap();
         assert_eq!(plan, reparsed);
+
+        let io =
+            FaultPlan::parse("store.append:torn_write@7;store.read:corrupt@3;store.*:io_error")
+                .unwrap();
+        assert_eq!(io.rules[0].kind, FaultKind::TornWrite);
+        assert_eq!(io.rules[1].kind, FaultKind::Corrupt);
+        assert_eq!(io.rules[2].kind, FaultKind::IoError);
+        assert_eq!(FaultPlan::parse(&io.to_spec()).unwrap(), io);
 
         assert!(FaultPlan::parse("seed=notanumber").is_err());
         assert!(FaultPlan::parse("siteonly").is_err());

@@ -53,13 +53,15 @@ fn install_signal_handlers() {
 fn usage() -> ! {
     eprintln!(
         "usage: mbm-serve [--addr HOST:PORT] [--workers N] [--queue N] \
-         [--default-deadline-ms N] [--max-deadline-ms N] [--max-idle-ms N] [--obs] [--test-verbs]"
+         [--default-deadline-ms N] [--max-deadline-ms N] [--max-idle-ms N] \
+         [--store PATH] [--obs] [--test-verbs]"
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> ServerConfig {
+fn parse_args() -> (ServerConfig, Option<String>) {
     let mut cfg = ServerConfig { addr: "127.0.0.1:7424".into(), ..ServerConfig::default() };
+    let mut store = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |name: &str| {
@@ -70,6 +72,10 @@ fn parse_args() -> ServerConfig {
         };
         match arg.as_str() {
             "--addr" => cfg.addr = take("--addr"),
+            // Disk-backed equilibrium memo shared by all workers: hits are
+            // re-certified and replayed bitwise; health gains a `store`
+            // section with the memo counters.
+            "--store" => store = Some(take("--store")),
             "--workers" => cfg.workers = parse_num(&take("--workers"), "--workers"),
             "--queue" => cfg.queue_capacity = parse_num(&take("--queue"), "--queue"),
             "--default-deadline-ms" => {
@@ -96,7 +102,7 @@ fn parse_args() -> ServerConfig {
             }
         }
     }
-    cfg
+    (cfg, store)
 }
 
 fn parse_num(s: &str, name: &str) -> usize {
@@ -107,7 +113,7 @@ fn parse_num(s: &str, name: &str) -> usize {
 }
 
 fn main() {
-    let cfg = parse_args();
+    let (cfg, store) = parse_args();
     // Deterministic fault injection: honour MBM_FAULT_PLAN exactly like the
     // experiments runner, so CI can drive kernel faults through the daemon.
     // A typo'd plan is a hard error, not a silently fault-free run.
@@ -122,6 +128,35 @@ fn main() {
         eprintln!("mbm-serve: fault plan armed: {}", p.to_spec());
     }
     let _fault_guard = plan.map(mbm_faults::install);
+    // Disk-backed equilibrium memo: opened with recovery, shared by every
+    // worker for the daemon's lifetime. A corrupted store is truncated to
+    // its last valid record — reported, never trusted, never fatal.
+    let _memo_guard = store.map(|path| {
+        use mbm_core::solver::memo::{self, MemoConfig};
+        match memo::open_and_install(
+            &path,
+            MemoConfig::default(),
+            mbm_store::StoreOptions::default(),
+        ) {
+            Ok((guard, summary)) => {
+                if let Some(diagnosis) = &summary.diagnosis {
+                    eprintln!(
+                        "mbm-serve: --store: recovered {diagnosis} ({} bytes truncated, \
+                         {} record(s) kept{})",
+                        summary.truncated_bytes,
+                        summary.records,
+                        if summary.rebuilt { ", file rebuilt" } else { "" },
+                    );
+                }
+                eprintln!("mbm-serve: equilibrium store at {path} ({} record(s))", summary.records);
+                guard
+            }
+            Err(e) => {
+                eprintln!("mbm-serve: --store: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
     let server = match Server::bind(cfg) {
         Ok(s) => s,
         Err(e) => {

@@ -23,7 +23,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: mbm-serve-load (--addr HOST:PORT | --spawn WORKERS) [--requests N] \
          [--seed N] [--deadline-ms N] [--window N] [--stall-secs N] [--reprice N] \
-         [--dump PATH] [--bench PATH] [--telemetry PATH] [--health-out PATH] [--floor-rps X]"
+         [--retries N] [--dump PATH] [--bench PATH] [--telemetry PATH] \
+         [--health-out PATH] [--floor-rps X]"
     );
     std::process::exit(2);
 }
@@ -48,6 +49,9 @@ fn parse_args() -> LoadConfig {
             }
             "--window" => cfg.window = num(&take("--window"), "--window"),
             "--reprice" => cfg.reprice = num(&take("--reprice"), "--reprice"),
+            // Bounded retry-with-backoff for overload sheds (deterministic
+            // seeded jitter; retried sheds stay out of the --dump multiset).
+            "--retries" => cfg.retries = num(&take("--retries"), "--retries"),
             "--stall-secs" => {
                 cfg.stall_timeout =
                     Duration::from_secs(num(&take("--stall-secs"), "--stall-secs") as u64);

@@ -64,6 +64,14 @@ pub struct LoadConfig {
     pub health_out: Option<String>,
     /// Fail the run below this sustained request rate (0 = informational).
     pub floor_rps: f64,
+    /// Bounded retries for `overloaded` sheds: a shed solve frame is
+    /// re-sent up to this many times after a deterministic seeded backoff
+    /// (a pure function of `(seed, id, attempt)` — no clocks, no global
+    /// RNG). Retried sheds are tallied in [`LoadOutcome::retried`] and
+    /// excluded from the `--dump` multiset, so the dump stays byte-identical
+    /// across worker counts even when admission timing differs. `0`
+    /// (default) keeps the historical fail-fast behaviour.
+    pub retries: usize,
 }
 
 impl Default for LoadConfig {
@@ -82,6 +90,7 @@ impl Default for LoadConfig {
             telemetry_out: None,
             health_out: None,
             floor_rps: 0.0,
+            retries: 0,
         }
     }
 }
@@ -99,6 +108,9 @@ pub struct LoadOutcome {
     pub errors: Vec<(String, u64)>,
     /// Responses that were not a recognized typed shape (must be 0).
     pub untyped: u64,
+    /// `overloaded` sheds absorbed by a retry (re-sent after backoff;
+    /// excluded from `errors` and from the `--dump` multiset).
+    pub retried: u64,
     /// Sustained request rate over the whole run.
     pub req_per_sec: f64,
     /// Median response latency (send → receive) in milliseconds.
@@ -354,78 +366,82 @@ fn drive(cfg: &LoadConfig, addr: &str) -> Result<LoadOutcome, String> {
     let mut degraded = 0u64;
     let mut errors: HashMap<String, u64> = HashMap::new();
     let mut untyped = 0u64;
+    let mut retried = 0u64;
 
-    let classify = |line: &str,
-                    converged: &mut u64,
-                    degraded: &mut u64,
-                    errors: &mut HashMap<String, u64>,
-                    untyped: &mut u64,
-                    send_times: &mut HashMap<u64, Instant>,
-                    latencies_ms: &mut Vec<f64>| {
-        let parsed: Result<Value, _> = serde_json::from_str(line);
-        match parsed {
-            Ok(v) => {
-                if let Some(Value::U64(id)) = v.get("id") {
-                    if let Some(t0) = send_times.remove(id) {
-                        latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
-                    }
-                }
-                match v.get("status") {
-                    Some(Value::Str(s)) if s == "Converged" => *converged += 1,
-                    Some(Value::Str(s)) if s == "Degraded" => *degraded += 1,
-                    Some(Value::Str(s)) if s == "Ok" => {}
-                    Some(Value::Str(s)) if s == "Error" => {
-                        let kind =
-                            v.get("error").and_then(|e| e.get("kind")).and_then(|k| match k {
-                                Value::Str(s) => Some(s.clone()),
-                                _ => None,
-                            });
-                        match kind {
-                            Some(k) => *errors.entry(k).or_insert(0) += 1,
-                            None => *untyped += 1,
-                        }
-                    }
-                    _ => *untyped += 1,
-                }
-            }
-            Err(_) => *untyped += 1,
-        }
+    let tally = |class: &ResponseClass,
+                 converged: &mut u64,
+                 degraded: &mut u64,
+                 errors: &mut HashMap<String, u64>,
+                 untyped: &mut u64| match class {
+        ResponseClass::Converged => *converged += 1,
+        ResponseClass::Degraded => *degraded += 1,
+        ResponseClass::Ok => {}
+        ResponseClass::Error(Some(kind)) => *errors.entry(kind.clone()).or_insert(0) += 1,
+        ResponseClass::Error(None) | ResponseClass::Untyped => *untyped += 1,
     };
 
     let start = Instant::now();
-    let mut sent = 0usize;
-    let mut received = 0usize;
-    while received < frames.len() {
-        while sent < frames.len() && sent - received < window {
-            let frame = &frames[sent];
+    // Send queue: `(frame index, attempt)`. Overloaded sheds re-enqueue the
+    // same frame with `attempt + 1` (bounded by `cfg.retries`), so a frame
+    // keeps its id and byte content across attempts.
+    let mut pending: std::collections::VecDeque<(usize, u32)> =
+        (0..frames.len()).map(|i| (i, 0)).collect();
+    let mut attempt_by_id: HashMap<u64, (usize, u32)> = HashMap::new();
+    let mut in_flight = 0usize;
+    let mut finals = 0usize;
+    while finals < frames.len() {
+        while in_flight < window {
+            let Some((idx, attempt)) = pending.pop_front() else { break };
+            let frame = &frames[idx];
             if let Some(id) = frame.id {
                 send_times.insert(id, Instant::now());
+                attempt_by_id.insert(id, (idx, attempt));
             }
             writer
                 .write_all(frame.line.as_bytes())
                 .and_then(|()| writer.write_all(b"\n"))
-                .map_err(|e| format!("send frame {sent}: {e}"))?;
-            sent += 1;
+                .map_err(|e| format!("send frame {idx}: {e}"))?;
+            in_flight += 1;
         }
         writer.flush().map_err(|e| format!("flush: {e}"))?;
         match rx.recv_timeout(cfg.stall_timeout) {
             Ok(line) => {
-                classify(
-                    &line,
-                    &mut converged,
-                    &mut degraded,
-                    &mut errors,
-                    &mut untyped,
-                    &mut send_times,
-                    &mut latencies_ms,
-                );
-                responses.push(line);
-                received += 1;
+                in_flight = in_flight.saturating_sub(1);
+                let (id, class) = classify_line(&line);
+                if let Some(id) = id {
+                    if let Some(t0) = send_times.remove(&id) {
+                        latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                }
+                // Bounded retry on overload: the shed response is absorbed
+                // (kept out of the tallies and the dump multiset) and the
+                // identical frame goes back on the queue after a
+                // deterministic seeded backoff.
+                let retry_slot = match (&class, id) {
+                    (ResponseClass::Error(Some(kind)), Some(id)) if kind == "overloaded" => {
+                        attempt_by_id
+                            .get(&id)
+                            .copied()
+                            .filter(|&(_, attempt)| (attempt as usize) < cfg.retries)
+                            .map(|slot| (id, slot))
+                    }
+                    _ => None,
+                };
+                if let Some((id, (idx, attempt))) = retry_slot {
+                    retried += 1;
+                    std::thread::sleep(retry_backoff(cfg.seed, id, attempt));
+                    pending.push_back((idx, attempt + 1));
+                } else {
+                    tally(&class, &mut converged, &mut degraded, &mut errors, &mut untyped);
+                    responses.push(line);
+                    finals += 1;
+                }
             }
             Err(_) => {
                 return Err(format!(
-                    "stalled: {received}/{sent} responses after {:?} of silence \
-                     (a hung frame is a protocol bug)",
+                    "stalled: {finals}/{} final responses ({in_flight} in flight, \
+                     {retried} retried) after {:?} of silence (a hung frame is a protocol bug)",
+                    frames.len(),
                     cfg.stall_timeout
                 ))
             }
@@ -449,15 +465,13 @@ fn drive(cfg: &LoadConfig, addr: &str) -> Result<LoadOutcome, String> {
             .map_err(|e| format!("send reprice frame {k}: {e}"))?;
         match rx.recv_timeout(cfg.stall_timeout) {
             Ok(line) => {
-                classify(
-                    &line,
-                    &mut converged,
-                    &mut degraded,
-                    &mut errors,
-                    &mut untyped,
-                    &mut send_times,
-                    &mut latencies_ms,
-                );
+                let (id, class) = classify_line(&line);
+                if let Some(id) = id {
+                    if let Some(t0) = send_times.remove(&id) {
+                        latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                }
+                tally(&class, &mut converged, &mut degraded, &mut errors, &mut untyped);
                 responses.push(line);
             }
             Err(_) => {
@@ -512,6 +526,7 @@ fn drive(cfg: &LoadConfig, addr: &str) -> Result<LoadOutcome, String> {
         degraded,
         errors,
         untyped,
+        retried,
         req_per_sec,
         p50_ms: quantile(0.50),
         p99_ms: quantile(0.99),
@@ -544,6 +559,59 @@ fn drive(cfg: &LoadConfig, addr: &str) -> Result<LoadOutcome, String> {
     Ok(outcome)
 }
 
+/// Typed shape of one response line.
+enum ResponseClass {
+    Converged,
+    Degraded,
+    Ok,
+    /// A typed error response and its `error.kind` (when present).
+    Error(Option<String>),
+    Untyped,
+}
+
+/// Parses one response line into its correlation id and typed class.
+fn classify_line(line: &str) -> (Option<u64>, ResponseClass) {
+    let Ok(v) = serde_json::from_str::<Value>(line) else {
+        return (None, ResponseClass::Untyped);
+    };
+    let id = match v.get("id") {
+        Some(Value::U64(id)) => Some(*id),
+        _ => None,
+    };
+    let class = match v.get("status") {
+        Some(Value::Str(s)) if s == "Converged" => ResponseClass::Converged,
+        Some(Value::Str(s)) if s == "Degraded" => ResponseClass::Degraded,
+        Some(Value::Str(s)) if s == "Ok" => ResponseClass::Ok,
+        Some(Value::Str(s)) if s == "Error" => {
+            ResponseClass::Error(v.get("error").and_then(|e| e.get("kind")).and_then(|k| match k {
+                Value::Str(s) => Some(s.clone()),
+                _ => None,
+            }))
+        }
+        _ => ResponseClass::Untyped,
+    };
+    (id, class)
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Backoff before re-sending an overloaded frame: exponential base
+/// (4 ms · 2^attempt, capped at 256 ms) with seeded jitter in the upper
+/// half of the interval. A pure function of `(seed, id, attempt)` so two
+/// runs with the same seed back off identically regardless of timing.
+fn retry_backoff(seed: u64, id: u64, attempt: u32) -> Duration {
+    let base_ms = 4u64 << attempt.min(6);
+    let h = splitmix64(seed ^ id.rotate_left(32) ^ u64::from(attempt).wrapping_mul(0xA5A5_A5A5));
+    let jitter = h % (base_ms / 2 + 1);
+    Duration::from_millis(base_ms / 2 + jitter)
+}
+
 fn write_bench_record(path: &str, cfg: &LoadConfig, out: &LoadOutcome) -> Result<(), String> {
     let record = Value::Map(vec![
         ("name".into(), Value::Str("serve_sustained_throughput".into())),
@@ -554,6 +622,7 @@ fn write_bench_record(path: &str, cfg: &LoadConfig, out: &LoadOutcome) -> Result
         ("degraded".into(), Value::U64(out.degraded)),
         ("typed_errors".into(), Value::U64(out.error_total())),
         ("untyped".into(), Value::U64(out.untyped)),
+        ("retried".into(), Value::U64(out.retried)),
         ("req_per_sec".into(), Value::F64(out.req_per_sec)),
         ("p50_ms".into(), Value::F64(out.p50_ms)),
         ("p99_ms".into(), Value::F64(out.p99_ms)),
@@ -623,12 +692,13 @@ pub fn main_servebench() -> i32 {
 pub fn summarize(out: &LoadOutcome) -> String {
     let errors: Vec<String> = out.errors.iter().map(|(k, n)| format!("{k}={n}")).collect();
     format!(
-        "sent={} converged={} degraded={} errors=[{}] untyped={} rate={:.1} req/s p50={:.1} ms p99={:.1} ms",
+        "sent={} converged={} degraded={} errors=[{}] untyped={} retried={} rate={:.1} req/s p50={:.1} ms p99={:.1} ms",
         out.sent,
         out.converged,
         out.degraded,
         errors.join(","),
         out.untyped,
+        out.retried,
         out.req_per_sec,
         out.p50_ms,
         out.p99_ms,
@@ -649,6 +719,51 @@ mod tests {
         let c = gen_frames(8, 64, 1000);
         let lines_c: Vec<&str> = c.iter().map(|f| f.line.as_str()).collect();
         assert_ne!(lines_a, lines_c, "different seeds should differ");
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_bounded_and_id_sensitive() {
+        for attempt in 0..10 {
+            let base = 4u64 << attempt.min(6);
+            let d = retry_backoff(42, 7, attempt);
+            assert_eq!(d, retry_backoff(42, 7, attempt), "same inputs, same delay");
+            assert!(d.as_millis() as u64 >= base / 2 && d.as_millis() as u64 <= base);
+        }
+        let distinct: std::collections::HashSet<Duration> =
+            (0..32).map(|id| retry_backoff(42, id, 3)).collect();
+        assert!(distinct.len() > 8, "jitter should spread across ids ({})", distinct.len());
+    }
+
+    #[test]
+    fn overload_sheds_are_retried_to_completion_on_a_tiny_queue() {
+        // One worker, queue of 2, window of 16: the mix overruns admission
+        // and sheds, and bounded retries must absorb every shed. With
+        // retries the tallied outcomes contain no `overloaded` error.
+        let sc = server::ServerConfig {
+            workers: 1,
+            queue_capacity: 2,
+            test_verbs: false,
+            ..server::ServerConfig::default()
+        };
+        let (addr, flag, handle) = server::spawn(sc).expect("spawn tiny server");
+        let cfg = LoadConfig {
+            addr: Some(addr.to_string()),
+            requests: 60,
+            window: 16,
+            retries: 50,
+            deadline_ms: 60_000,
+            ..LoadConfig::default()
+        };
+        let out = drive(&cfg, &addr.to_string()).expect("run completes");
+        request_shutdown(&flag, DRAIN);
+        let _ = handle.join();
+        assert_eq!(out.untyped, 0);
+        assert!(
+            out.errors.iter().all(|(k, _)| k != "overloaded"),
+            "overloaded sheds must be absorbed by retries: {:?}",
+            out.errors
+        );
+        assert!(out.retried > 0, "a queue of 2 under a window of 16 must shed at least once");
     }
 
     #[test]

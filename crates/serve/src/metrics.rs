@@ -78,19 +78,36 @@ impl ServeMetrics {
 
     /// The health document body: worker/queue state, serve counters, and
     /// the process-wide [`mbm_obs`] snapshot (counters land only when the
-    /// global recorder is enabled).
+    /// global recorder is enabled). When the daemon runs with `--store`,
+    /// a `store` section carries the equilibrium-memo counters.
     #[must_use]
     pub fn health_value(&self, workers: usize, queue_depth: usize, queue_capacity: usize) -> Value {
         let counters =
             self.counters().into_iter().map(|(k, v)| (k, Value::U64(v))).collect::<Vec<_>>();
         let obs = mbm_exp::obs_bridge::snapshot_value(&mbm_obs::global().snapshot());
-        Value::Map(vec![
+        let mut map = vec![
             ("workers".into(), Value::U64(workers as u64)),
             ("queue_depth".into(), Value::U64(queue_depth as u64)),
             ("queue_capacity".into(), Value::U64(queue_capacity as u64)),
             ("counters".into(), Value::Map(counters)),
             ("obs".into(), obs),
-        ])
+        ];
+        if mbm_core::solver::memo::installed() {
+            let s = mbm_core::solver::memo::stats();
+            map.push((
+                "store".into(),
+                Value::Map(vec![
+                    ("hits".into(), Value::U64(s.hits)),
+                    ("misses".into(), Value::U64(s.misses)),
+                    ("rejected".into(), Value::U64(s.rejected)),
+                    ("appends".into(), Value::U64(s.appends)),
+                    ("append_errors".into(), Value::U64(s.append_errors)),
+                    ("skipped".into(), Value::U64(s.skipped)),
+                    ("collisions".into(), Value::U64(s.collisions)),
+                ]),
+            ));
+        }
+        Value::Map(map)
     }
 }
 

@@ -1,0 +1,934 @@
+//! Crash-safe disk-backed append-only memo store (`mbm-store`).
+//!
+//! Task identity in this workspace is already exact-bit (`Task::canon`,
+//! `f64::to_bits`), so equilibrium dedup can extend across process
+//! lifetimes: the experiment runner, the leader grid stage, and the
+//! `mbm-serve` daemon consult a [`Store`] before solving and append the
+//! certified result afterwards. The store is deliberately dumb — keys are
+//! `&[u64]` words, payloads are opaque bytes — and all game-aware logic
+//! (key construction, payload codecs, golden re-certification) lives in
+//! `mbm_core::solver::memo` on top of it.
+//!
+//! What this crate *does* own is the durability contract:
+//!
+//! * **On-disk format** (DESIGN.md §15): a 16-byte header (`MBMSTORE`
+//!   magic, format version, flags) followed by length-prefixed records,
+//!   each carrying its key, payload, and an FNV-1a checksum over every
+//!   preceding byte of the record.
+//! * **Total loading.** [`Store::open`] never panics and never serves a
+//!   record it cannot prove whole: a wrong version, flipped bit, torn
+//!   write, or truncated tail yields a typed [`StoreDiagnosis`] in the
+//!   [`OpenSummary`] and recovery truncates the file to the last valid
+//!   record (or rebuilds the header via tempfile + rename when the header
+//!   itself is unusable).
+//! * **Atomic appends.** Records are assembled fully in memory and written
+//!   with a single `write_all` + configurable fsync cadence
+//!   ([`StoreOptions::sync_every`]); a failed or torn append is repaired by
+//!   truncating back to the previous end so one bad write can never poison
+//!   subsequent records.
+//! * **Fault injection.** The `store.read` / `store.append` probe sites
+//!   ([`mbm_faults::sites::STORE_READ`], [`mbm_faults::sites::STORE_APPEND`])
+//!   let CI plans inject `io_error`, `torn_write`, and `corrupt` faults to
+//!   prove every degraded-disk path ends in a typed error or a checksum
+//!   rejection — never a panic, never silently-served garbage.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use mbm_faults::{sites, FaultKind, Interrupt};
+
+/// Magic bytes opening every store file.
+pub const MAGIC: [u8; 8] = *b"MBMSTORE";
+/// Current on-disk format version. Bump on any layout change; an old store
+/// is then diagnosed as [`StoreDiagnosis::VersionMismatch`] and rebuilt
+/// empty rather than misread.
+pub const FORMAT_VERSION: u32 = 1;
+/// Header length in bytes: magic + version + flags.
+pub const HEADER_LEN: u64 = 16;
+/// Smallest legal record body: key-word count (4) + checksum (8).
+const MIN_BODY_LEN: u32 = 12;
+
+/// Tuning knobs for [`Store::open`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// fsync after every `sync_every`-th append (1 = every append). A crash
+    /// can lose at most the unsynced tail, which the next open truncates.
+    pub sync_every: u32,
+    /// Upper bound on a record body; a length field above this is diagnosed
+    /// as [`StoreDiagnosis::BadRecordLength`] instead of attempting a
+    /// multi-gigabyte allocation from corrupt bytes.
+    pub max_record_len: u32,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions { sync_every: 1, max_record_len: 1 << 26 }
+    }
+}
+
+/// Why an individual store operation failed. Every variant is an expected,
+/// recoverable condition for callers: the memo layer counts it and falls
+/// through to a fresh solve.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An OS-level I/O failure, tagged with the operation that hit it.
+    Io {
+        /// Operation name (`"open"`, `"append"`, `"fsync"`, ...).
+        op: &'static str,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// An injected `io_error` fault fired at `site`.
+    InjectedIo {
+        /// The probe site that fired.
+        site: &'static str,
+    },
+    /// An append wrote only a prefix of the record (injected `torn_write`
+    /// or short write); the store truncated back to the previous end.
+    TornWrite {
+        /// Bytes that reached the file before the tear.
+        written: usize,
+        /// Full record length that was intended.
+        expected: usize,
+        /// Whether truncating back to the pre-append end succeeded. When
+        /// `false` the store disables further appends.
+        repaired: bool,
+    },
+    /// A previous unrepairable append failure disabled writes; reads still
+    /// serve the in-memory index.
+    WritesDisabled,
+    /// The record (key + payload) exceeds [`StoreOptions::max_record_len`].
+    RecordTooLarge {
+        /// The oversized body length.
+        len: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, source } => write!(f, "store {op} failed: {source}"),
+            StoreError::InjectedIo { site } => write!(f, "injected io_error at {site}"),
+            StoreError::TornWrite { written, expected, repaired } => write!(
+                f,
+                "torn append ({written}/{expected} bytes){}",
+                if *repaired { ", truncated back to last record" } else { ", repair failed" }
+            ),
+            StoreError::WritesDisabled => f.write_str("store appends disabled after write failure"),
+            StoreError::RecordTooLarge { len } => write!(f, "record body of {len} bytes too large"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Typed verdict on what was wrong with a store file at open. At most one
+/// diagnosis is reported per open: scanning stops at the first invalid byte
+/// and everything after it is discarded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreDiagnosis {
+    /// The file does not start with [`MAGIC`]; it is replaced by a fresh
+    /// store via tempfile + rename.
+    BadMagic,
+    /// The header version differs from [`FORMAT_VERSION`]; the store is
+    /// rebuilt empty (a stale format must never be misread as current).
+    VersionMismatch {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The file ends inside the 16-byte header (torn header write).
+    TruncatedHeader {
+        /// Actual file length.
+        len: u64,
+    },
+    /// The file ends inside a record (torn append / truncated tail).
+    TruncatedRecord {
+        /// Offset of the record's length prefix.
+        offset: u64,
+        /// Bytes available after the length prefix.
+        have: u64,
+        /// Bytes the length prefix promised.
+        need: u64,
+    },
+    /// A record length field is structurally impossible (below the minimum
+    /// body, above the cap, or inconsistent with its key-word count).
+    BadRecordLength {
+        /// Offset of the record's length prefix.
+        offset: u64,
+        /// The bad length value.
+        len: u64,
+    },
+    /// A record's FNV-1a checksum does not match its bytes (bit rot or a
+    /// torn write that landed on a stale extent).
+    ChecksumMismatch {
+        /// Offset of the record's length prefix.
+        offset: u64,
+        /// Checksum stored in the record.
+        stored: u64,
+        /// Checksum recomputed over the record bytes.
+        computed: u64,
+    },
+    /// Reading a record failed outright (OS error or injected `io_error`).
+    ReadFault {
+        /// Offset of the record's length prefix.
+        offset: u64,
+    },
+}
+
+impl fmt::Display for StoreDiagnosis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreDiagnosis::BadMagic => f.write_str("bad magic (not a store file)"),
+            StoreDiagnosis::VersionMismatch { found } => {
+                write!(f, "format version {found} (this build writes {FORMAT_VERSION})")
+            }
+            StoreDiagnosis::TruncatedHeader { len } => {
+                write!(f, "truncated header ({len} of {HEADER_LEN} bytes)")
+            }
+            StoreDiagnosis::TruncatedRecord { offset, have, need } => {
+                write!(f, "truncated record at offset {offset} ({have} of {need} bytes)")
+            }
+            StoreDiagnosis::BadRecordLength { offset, len } => {
+                write!(f, "impossible record length {len} at offset {offset}")
+            }
+            StoreDiagnosis::ChecksumMismatch { offset, stored, computed } => write!(
+                f,
+                "checksum mismatch at offset {offset} (stored {stored:#018x}, computed {computed:#018x})"
+            ),
+            StoreDiagnosis::ReadFault { offset } => {
+                write!(f, "read failure at offset {offset}")
+            }
+        }
+    }
+}
+
+/// What [`Store::open`] found and did. Returned alongside the store so
+/// callers can log recovery and bump telemetry.
+#[derive(Debug, Clone, Default)]
+pub struct OpenSummary {
+    /// Valid records parsed (including superseded duplicates).
+    pub records: usize,
+    /// Distinct live keys in the index after last-wins dedup.
+    pub live: usize,
+    /// Bytes discarded by recovery (truncated tail, or the whole previous
+    /// file when the header was rebuilt).
+    pub truncated_bytes: u64,
+    /// The first invalid condition encountered, if any.
+    pub diagnosis: Option<StoreDiagnosis>,
+    /// Whether the header was rewritten from scratch (tempfile + rename).
+    pub rebuilt: bool,
+}
+
+/// A disk-backed append-only map from `u64`-word keys to byte payloads,
+/// fully mirrored in memory. Open it once per process and share behind a
+/// mutex; every method that touches the file takes `&mut self`.
+#[derive(Debug)]
+pub struct Store {
+    file: File,
+    path: PathBuf,
+    index: HashMap<Vec<u64>, Vec<u8>>,
+    /// Append position == length of the validated prefix.
+    end: u64,
+    unsynced: u32,
+    writes_disabled: bool,
+    opts: StoreOptions,
+}
+
+impl Store {
+    /// Opens (creating if absent) the store at `path`, scanning and
+    /// validating every record. Recovery from a bad tail or header happens
+    /// here; the returned [`OpenSummary`] says what was found.
+    ///
+    /// # Errors
+    ///
+    /// Only hard I/O failures (cannot open, read, truncate, or rebuild the
+    /// file) surface as [`StoreError`]; corruption never does.
+    pub fn open(
+        path: impl AsRef<Path>,
+        opts: StoreOptions,
+    ) -> Result<(Store, OpenSummary), StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|source| StoreError::Io { op: "open", source })?;
+        let file_len =
+            file.metadata().map_err(|source| StoreError::Io { op: "stat", source })?.len();
+
+        let mut summary = OpenSummary::default();
+
+        // Header: absent (fresh file) → write one in place; unusable →
+        // rebuild the whole file atomically.
+        if file_len == 0 {
+            write_header(&mut file)?;
+        } else if file_len < HEADER_LEN {
+            summary.diagnosis = Some(StoreDiagnosis::TruncatedHeader { len: file_len });
+            return Self::rebuild(path, opts, summary, file_len);
+        } else {
+            let mut header = [0u8; HEADER_LEN as usize];
+            file.seek(SeekFrom::Start(0))
+                .map_err(|source| StoreError::Io { op: "seek", source })?;
+            file.read_exact(&mut header)
+                .map_err(|source| StoreError::Io { op: "read_header", source })?;
+            if header[..8] != MAGIC {
+                summary.diagnosis = Some(StoreDiagnosis::BadMagic);
+                return Self::rebuild(path, opts, summary, file_len);
+            }
+            let version = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+            if version != FORMAT_VERSION {
+                summary.diagnosis = Some(StoreDiagnosis::VersionMismatch { found: version });
+                return Self::rebuild(path, opts, summary, file_len);
+            }
+        }
+
+        // Scan records from the header to the first invalid byte.
+        let mut index = HashMap::new();
+        let mut offset = HEADER_LEN;
+        while offset < file_len {
+            match read_record(&mut file, offset, file_len, &opts) {
+                Ok((key, payload, next)) => {
+                    summary.records += 1;
+                    index.insert(key, payload);
+                    offset = next;
+                }
+                Err(diagnosis) => {
+                    summary.diagnosis = Some(diagnosis);
+                    break;
+                }
+            }
+        }
+
+        // Recovery: truncate anything past the validated prefix.
+        if offset < file_len {
+            summary.truncated_bytes = file_len - offset;
+            file.set_len(offset).map_err(|source| StoreError::Io { op: "truncate", source })?;
+            file.sync_all().map_err(|source| StoreError::Io { op: "fsync", source })?;
+        }
+        file.seek(SeekFrom::Start(offset))
+            .map_err(|source| StoreError::Io { op: "seek", source })?;
+
+        summary.live = index.len();
+        let store =
+            Store { file, path, index, end: offset, unsynced: 0, writes_disabled: false, opts };
+        mbm_obs::global().add("store.open.records", summary.records as u64);
+        if summary.diagnosis.is_some() {
+            mbm_obs::global().incr("store.open.diagnoses");
+            mbm_obs::global().add("store.open.truncated_bytes", summary.truncated_bytes);
+        }
+        Ok((store, summary))
+    }
+
+    /// Replaces an unusable store file with a fresh empty one, atomically:
+    /// write the header to `<path>.tmp`, fsync, rename over `path`.
+    fn rebuild(
+        path: PathBuf,
+        opts: StoreOptions,
+        mut summary: OpenSummary,
+        old_len: u64,
+    ) -> Result<(Store, OpenSummary), StoreError> {
+        let tmp = path.with_extension("tmp");
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(|source| StoreError::Io { op: "open_tmp", source })?;
+        write_header(&mut file)?;
+        std::fs::rename(&tmp, &path).map_err(|source| StoreError::Io { op: "rename", source })?;
+        summary.truncated_bytes = old_len;
+        summary.rebuilt = true;
+        summary.live = 0;
+        mbm_obs::global().incr("store.open.diagnoses");
+        mbm_obs::global().add("store.open.truncated_bytes", old_len);
+        Ok((
+            Store {
+                file,
+                path,
+                index: HashMap::new(),
+                end: HEADER_LEN,
+                unsynced: 0,
+                writes_disabled: false,
+                opts,
+            },
+            summary,
+        ))
+    }
+
+    /// Looks up `key`, cloning the payload on a hit. Goes through the
+    /// `store.read` fault site so plans can inject read failures
+    /// (`io_error` → typed error) and silent corruption (`corrupt` → a byte
+    /// of the returned copy is flipped; the caller's codec or golden check
+    /// must catch it — the store's own index stays intact).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::InjectedIo`] when an injected `io_error` fires.
+    pub fn get(&self, key: &[u64]) -> Result<Option<Vec<u8>>, StoreError> {
+        mbm_obs::global().incr("store.reads");
+        match probe_fault(sites::STORE_READ) {
+            Some(FaultKind::IoError) => {
+                mbm_obs::global().incr("store.read_errors");
+                return Err(StoreError::InjectedIo { site: sites::STORE_READ });
+            }
+            Some(FaultKind::Corrupt) => {
+                let mut payload = match self.index.get(key) {
+                    Some(p) => p.clone(),
+                    None => return Ok(None),
+                };
+                if let Some(byte) = payload.first_mut() {
+                    *byte ^= 0x40;
+                }
+                return Ok(Some(payload));
+            }
+            _ => {}
+        }
+        Ok(self.index.get(key).cloned())
+    }
+
+    /// Whether `key` has a live record (no fault probing; index only).
+    #[must_use]
+    pub fn contains(&self, key: &[u64]) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Number of distinct live keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the store holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The file backing this store.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether a prior unrepairable append failure disabled writes.
+    #[must_use]
+    pub fn writes_disabled(&self) -> bool {
+        self.writes_disabled
+    }
+
+    /// Appends a record, updating the in-memory index. The record is
+    /// assembled fully in memory (length prefix, key, payload, FNV-1a
+    /// checksum) and written with one `write_all`; fsync cadence follows
+    /// [`StoreOptions::sync_every`]. The `store.append` fault site is
+    /// probed first: `io_error` fails before any byte is written,
+    /// `torn_write` writes a prefix then repairs by truncation, `corrupt`
+    /// flips a byte on its way to disk (caught by checksum at next open;
+    /// the in-memory index keeps the true payload).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on OS failures, injected faults, oversized records,
+    /// or when writes are disabled. After any error the in-memory index is
+    /// unchanged except for the `corrupt` case described above.
+    pub fn append(&mut self, key: &[u64], payload: &[u8]) -> Result<(), StoreError> {
+        if self.writes_disabled {
+            return Err(StoreError::WritesDisabled);
+        }
+        let body_len = 4u64 + key.len() as u64 * 8 + payload.len() as u64 + 8;
+        if body_len > u64::from(self.opts.max_record_len) {
+            return Err(StoreError::RecordTooLarge { len: body_len });
+        }
+        let mut record = Vec::with_capacity(4 + body_len as usize);
+        record.extend_from_slice(&(body_len as u32).to_le_bytes());
+        record.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        for word in key {
+            record.extend_from_slice(&word.to_le_bytes());
+        }
+        record.extend_from_slice(payload);
+        let checksum = fnv1a64(&record);
+        record.extend_from_slice(&checksum.to_le_bytes());
+
+        let mut corrupt_on_disk = false;
+        match probe_fault(sites::STORE_APPEND) {
+            Some(FaultKind::IoError) => {
+                mbm_obs::global().incr("store.append_errors");
+                return Err(StoreError::InjectedIo { site: sites::STORE_APPEND });
+            }
+            Some(FaultKind::TornWrite) => {
+                let written = (record.len() / 2).max(1);
+                // Best effort: the tear itself may also fail to reach disk.
+                let _ = self.file.write_all(&record[..written]);
+                let repaired = self.repair_tail();
+                mbm_obs::global().incr("store.append_errors");
+                return Err(StoreError::TornWrite { written, expected: record.len(), repaired });
+            }
+            Some(FaultKind::Corrupt) => {
+                // Flip a payload byte after the checksum was computed: the
+                // record lands whole but provably wrong.
+                let idx = 8 + key.len() * 8; // first payload byte (or checksum when empty)
+                if idx < record.len() {
+                    record[idx] ^= 0x40;
+                }
+                corrupt_on_disk = true;
+            }
+            _ => {}
+        }
+
+        if let Err(source) = self.file.write_all(&record) {
+            let repaired = self.repair_tail();
+            mbm_obs::global().incr("store.append_errors");
+            if repaired {
+                return Err(StoreError::Io { op: "append", source });
+            }
+            return Err(StoreError::TornWrite { written: 0, expected: record.len(), repaired });
+        }
+        self.end += record.len() as u64;
+        self.unsynced += 1;
+        if self.unsynced >= self.opts.sync_every {
+            self.flush()?;
+        }
+        if corrupt_on_disk {
+            mbm_obs::global().incr("store.append_corrupted");
+        }
+        mbm_obs::global().incr("store.appends");
+        self.index.insert(key.to_vec(), payload.to_vec());
+        Ok(())
+    }
+
+    /// Truncates the file back to the last known-good end after a failed
+    /// append. Returns whether the repair succeeded; on failure the store
+    /// refuses further appends so garbage can never precede a valid record.
+    fn repair_tail(&mut self) -> bool {
+        let ok = self.file.set_len(self.end).is_ok()
+            && self.file.seek(SeekFrom::Start(self.end)).is_ok();
+        if !ok {
+            self.writes_disabled = true;
+        }
+        ok
+    }
+
+    /// Forces an fsync of any unsynced appends.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the sync fails.
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        if self.unsynced == 0 {
+            return Ok(());
+        }
+        self.file.sync_all().map_err(|source| StoreError::Io { op: "fsync", source })?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Iterates over live `(key, payload)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u64], &[u8])> {
+        self.index.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+/// Translates a fired probe into the fault kind, passing non-fault
+/// interrupts (deadline, cancellation) through as `None`: the store is not
+/// an iterative kernel and must not abort a write on a solve deadline.
+fn probe_fault(site: &'static str) -> Option<FaultKind> {
+    match mbm_faults::probe(site) {
+        Some(Interrupt::Fault(kind)) => Some(kind),
+        _ => None,
+    }
+}
+
+fn write_header(file: &mut File) -> Result<(), StoreError> {
+    let mut header = [0u8; HEADER_LEN as usize];
+    header[..8].copy_from_slice(&MAGIC);
+    header[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    // bytes 12..16: flags, reserved as zero.
+    file.seek(SeekFrom::Start(0)).map_err(|source| StoreError::Io { op: "seek", source })?;
+    file.write_all(&header).map_err(|source| StoreError::Io { op: "write_header", source })?;
+    file.sync_all().map_err(|source| StoreError::Io { op: "fsync", source })?;
+    Ok(())
+}
+
+/// Reads and validates one record at `offset`; returns the parsed key,
+/// payload, and the offset of the next record.
+fn read_record(
+    file: &mut File,
+    offset: u64,
+    file_len: u64,
+    opts: &StoreOptions,
+) -> Result<(Vec<u64>, Vec<u8>, u64), StoreDiagnosis> {
+    let remaining = file_len - offset;
+    if remaining < 4 {
+        return Err(StoreDiagnosis::TruncatedRecord { offset, have: remaining, need: 4 });
+    }
+    if file.seek(SeekFrom::Start(offset)).is_err() {
+        return Err(StoreDiagnosis::ReadFault { offset });
+    }
+    let mut len_bytes = [0u8; 4];
+    if file.read_exact(&mut len_bytes).is_err() {
+        return Err(StoreDiagnosis::ReadFault { offset });
+    }
+    let body_len = u32::from_le_bytes(len_bytes);
+    if body_len < MIN_BODY_LEN || body_len > opts.max_record_len {
+        return Err(StoreDiagnosis::BadRecordLength { offset, len: u64::from(body_len) });
+    }
+    if u64::from(body_len) > remaining - 4 {
+        return Err(StoreDiagnosis::TruncatedRecord {
+            offset,
+            have: remaining - 4,
+            need: u64::from(body_len),
+        });
+    }
+    let mut body = vec![0u8; body_len as usize];
+    if file.read_exact(&mut body).is_err() {
+        return Err(StoreDiagnosis::ReadFault { offset });
+    }
+    match probe_fault(sites::STORE_READ) {
+        Some(FaultKind::IoError) => return Err(StoreDiagnosis::ReadFault { offset }),
+        Some(FaultKind::Corrupt) => {
+            if let Some(byte) = body.first_mut() {
+                *byte ^= 0x40;
+            }
+        }
+        _ => {}
+    }
+
+    let stored = u64::from_le_bytes(
+        body[body_len as usize - 8..]
+            .try_into()
+            .map_err(|_| StoreDiagnosis::ReadFault { offset })?,
+    );
+    let mut hasher = Fnv1a::new();
+    hasher.write(&len_bytes);
+    hasher.write(&body[..body_len as usize - 8]);
+    let computed = hasher.finish();
+    if stored != computed {
+        return Err(StoreDiagnosis::ChecksumMismatch { offset, stored, computed });
+    }
+
+    let key_words =
+        u32::from_le_bytes(body[..4].try_into().map_err(|_| StoreDiagnosis::ReadFault { offset })?);
+    let key_bytes = u64::from(key_words) * 8;
+    if 4 + key_bytes + 8 > u64::from(body_len) {
+        return Err(StoreDiagnosis::BadRecordLength { offset, len: u64::from(body_len) });
+    }
+    let mut key = Vec::with_capacity(key_words as usize);
+    for chunk in body[4..4 + key_bytes as usize].chunks_exact(8) {
+        key.push(u64::from_le_bytes(
+            chunk.try_into().map_err(|_| StoreDiagnosis::ReadFault { offset })?,
+        ));
+    }
+    let payload = body[4 + key_bytes as usize..body_len as usize - 8].to_vec();
+    Ok((key, payload, offset + 4 + u64::from(body_len)))
+}
+
+/// Incremental FNV-1a (the same constants as `mbm_faults` and the task
+/// canon hashing; stability across builds is the point).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a over one buffer.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    // Fault plans are process-global; tests that install one serialize here.
+    fn fault_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mbm_store_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn opened(path: &Path) -> (Store, OpenSummary) {
+        Store::open(path, StoreOptions::default()).expect("open")
+    }
+
+    #[test]
+    fn roundtrip_and_reopen() {
+        let path = temp_path("roundtrip");
+        {
+            let (mut store, summary) = opened(&path);
+            assert!(summary.diagnosis.is_none());
+            assert!(store.is_empty());
+            store.append(&[1, 2, 3], b"alpha").unwrap();
+            store.append(&[4], b"").unwrap();
+            store.append(&[1, 2, 3], b"beta").unwrap(); // last wins
+            assert_eq!(store.get(&[1, 2, 3]).unwrap().as_deref(), Some(&b"beta"[..]));
+            assert_eq!(store.get(&[4]).unwrap().as_deref(), Some(&b""[..]));
+            assert_eq!(store.get(&[9]).unwrap(), None);
+            assert_eq!(store.len(), 2);
+        }
+        let (store, summary) = opened(&path);
+        assert!(summary.diagnosis.is_none());
+        assert_eq!(summary.records, 3);
+        assert_eq!(summary.live, 2);
+        assert_eq!(summary.truncated_bytes, 0);
+        assert_eq!(store.get(&[1, 2, 3]).unwrap().as_deref(), Some(&b"beta"[..]));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flipped_byte_truncates_to_last_valid_record() {
+        let path = temp_path("flip");
+        let second_start;
+        {
+            let (mut store, _) = opened(&path);
+            store.append(&[7], b"first").unwrap();
+            second_start = store.end;
+            store.append(&[8], b"second").unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let flip_at = second_start as usize + 6; // inside the second record
+        bytes[flip_at] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (store, summary) = opened(&path);
+        match summary.diagnosis {
+            Some(StoreDiagnosis::ChecksumMismatch { offset, .. }) => {
+                assert_eq!(offset, second_start);
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+        assert_eq!(store.len(), 1);
+        assert!(store.contains(&[7]));
+        assert!(!store.contains(&[8]));
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), second_start);
+
+        // Recovery is stable: a second open is clean.
+        let (_, summary2) = opened(&path);
+        assert!(summary2.diagnosis.is_none());
+        assert_eq!(summary2.records, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_truncates() {
+        let path = temp_path("torn");
+        let end;
+        {
+            let (mut store, _) = opened(&path);
+            store.append(&[1], b"kept").unwrap();
+            end = store.end;
+        }
+        // Simulate a crash mid-append: half a record's bytes at the tail.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&40u32.to_le_bytes());
+        bytes.extend_from_slice(&[0xAB; 11]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (store, summary) = opened(&path);
+        assert!(matches!(
+            summary.diagnosis,
+            Some(StoreDiagnosis::TruncatedRecord { offset, .. }) if offset == end
+        ));
+        assert_eq!(summary.truncated_bytes, 15);
+        assert_eq!(store.len(), 1);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), end);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn version_mismatch_rebuilds_empty() {
+        let path = temp_path("version");
+        {
+            let (mut store, _) = opened(&path);
+            store.append(&[1], b"old world").unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let old_len = bytes.len() as u64;
+
+        let (store, summary) = opened(&path);
+        assert_eq!(summary.diagnosis, Some(StoreDiagnosis::VersionMismatch { found: 99 }));
+        assert!(summary.rebuilt);
+        assert_eq!(summary.truncated_bytes, old_len);
+        assert!(store.is_empty());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), HEADER_LEN);
+
+        let (_, summary2) = opened(&path);
+        assert!(summary2.diagnosis.is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bad_magic_and_short_header_rebuild() {
+        let path = temp_path("magic");
+        std::fs::write(&path, b"definitely not a store file").unwrap();
+        let (store, summary) = opened(&path);
+        assert_eq!(summary.diagnosis, Some(StoreDiagnosis::BadMagic));
+        assert!(summary.rebuilt && store.is_empty());
+
+        std::fs::write(&path, b"MBM").unwrap();
+        let (_, summary) = opened(&path);
+        assert!(matches!(summary.diagnosis, Some(StoreDiagnosis::TruncatedHeader { len: 3 })));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn garbage_length_field_is_diagnosed_not_allocated() {
+        let path = temp_path("length");
+        {
+            let (mut store, _) = opened(&path);
+            store.append(&[1], b"x").unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let tail = bytes.len();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 64]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (store, summary) = opened(&path);
+        assert!(matches!(
+            summary.diagnosis,
+            Some(StoreDiagnosis::BadRecordLength { offset, .. }) if offset == tail as u64
+        ));
+        assert_eq!(store.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn injected_append_faults_are_typed_and_repaired() {
+        let _l = fault_lock();
+        let path = temp_path("inject_append");
+        let (mut store, _) = opened(&path);
+        store.append(&[1], b"before faults").unwrap();
+        let clean_end = store.end;
+
+        {
+            let plan = mbm_faults::FaultPlan::parse("store.append:io_error@1").unwrap();
+            let _g = mbm_faults::install(plan);
+            match store.append(&[2], b"lost") {
+                Err(StoreError::InjectedIo { site: "store.append" }) => {}
+                other => panic!("expected injected io error, got {other:?}"),
+            }
+        }
+        assert_eq!(store.end, clean_end);
+        assert!(!store.contains(&[2]));
+
+        {
+            let plan = mbm_faults::FaultPlan::parse("store.append:torn_write@1").unwrap();
+            let _g = mbm_faults::install(plan);
+            match store.append(&[3], b"torn") {
+                Err(StoreError::TornWrite { repaired: true, .. }) => {}
+                other => panic!("expected repaired torn write, got {other:?}"),
+            }
+        }
+        assert_eq!(store.end, clean_end);
+        assert!(!store.writes_disabled());
+
+        // The store still works after both faults.
+        store.append(&[4], b"after faults").unwrap();
+        drop(store);
+        let (store, summary) = opened(&path);
+        assert!(summary.diagnosis.is_none(), "repair left a clean file: {summary:?}");
+        assert_eq!(summary.records, 2);
+        assert!(store.contains(&[1]) && store.contains(&[4]));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn injected_append_corruption_is_caught_at_next_open() {
+        let _l = fault_lock();
+        let path = temp_path("inject_corrupt");
+        let (mut store, _) = opened(&path);
+        store.append(&[1], b"good").unwrap();
+        {
+            let plan = mbm_faults::FaultPlan::parse("store.append:corrupt@1").unwrap();
+            let _g = mbm_faults::install(plan);
+            store.append(&[2], b"rotten on disk").unwrap();
+        }
+        // In-memory copy is the true payload...
+        assert_eq!(store.get(&[2]).unwrap().as_deref(), Some(&b"rotten on disk"[..]));
+        drop(store);
+        // ...but the disk bytes are provably wrong and never served.
+        let (store, summary) = opened(&path);
+        assert!(matches!(summary.diagnosis, Some(StoreDiagnosis::ChecksumMismatch { .. })));
+        assert!(!store.contains(&[2]));
+        assert!(store.contains(&[1]));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn injected_read_faults_error_or_corrupt_the_copy() {
+        let _l = fault_lock();
+        let path = temp_path("inject_read");
+        let (mut store, _) = opened(&path);
+        store.append(&[5], b"payload").unwrap();
+
+        {
+            let plan = mbm_faults::FaultPlan::parse("store.read:io_error@1").unwrap();
+            let _g = mbm_faults::install(plan);
+            assert!(matches!(store.get(&[5]), Err(StoreError::InjectedIo { .. })));
+        }
+        {
+            let plan = mbm_faults::FaultPlan::parse("store.read:corrupt@1").unwrap();
+            let _g = mbm_faults::install(plan);
+            let got = store.get(&[5]).unwrap().unwrap();
+            assert_ne!(got, b"payload", "corrupt fault must perturb the copy");
+        }
+        // The index itself was never touched.
+        assert_eq!(store.get(&[5]).unwrap().as_deref(), Some(&b"payload"[..]));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sync_every_batches_then_flushes() {
+        let path = temp_path("sync");
+        let (mut store, _) =
+            Store::open(&path, StoreOptions { sync_every: 8, ..StoreOptions::default() })
+                .expect("open");
+        for i in 0..5u64 {
+            store.append(&[i], b"batched").unwrap();
+        }
+        assert_eq!(store.unsynced, 5);
+        store.flush().unwrap();
+        assert_eq!(store.unsynced, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -96,6 +96,36 @@ fn reference_pipeline_telemetry_matches_golden() {
     let pool = mbm_par::Pool::new(1);
     let results = execute(&plan(&specs), &pool);
     assert_eq!(results.failures.len(), 0, "oligopoly task batch must succeed");
+
+    // Disk-backed equilibrium memo: one cold heterogeneous solve (miss +
+    // append) and one repeat (re-certified hit) put the `store.*` counters
+    // on the golden surface. The file is recreated from scratch each run so
+    // the counts are exact.
+    {
+        use mbm_core::params::Prices;
+        use mbm_core::solver::{memo, FollowerSolver, SolveWorkspace, TieredSolver};
+        let store_path = std::env::temp_dir()
+            .join(format!("mbm_telemetry_reference_{}.store", std::process::id()));
+        let _ = std::fs::remove_file(&store_path);
+        let (guard, summary) = memo::open_and_install(
+            &store_path,
+            memo::MemoConfig::default(),
+            mbm_store::StoreOptions::default(),
+        )
+        .expect("open telemetry reference store");
+        assert_eq!(summary.records, 0, "telemetry store must start empty");
+        let prices = Prices::new(4.0, 2.0).expect("reference prices");
+        let budgets = [80.0, 140.0, 200.0];
+        let sub = SubgameConfig::default();
+        let solver = TieredSolver::connected(&params, &prices, &budgets, &sub);
+        let mut cold_ws = SolveWorkspace::new();
+        let cold = solver.solve(&mut cold_ws).expect("cold store solve converges");
+        let mut hit_ws = SolveWorkspace::new();
+        let hit = solver.solve(&mut hit_ws).expect("store hit solve converges");
+        assert_eq!(cold.aggregates, hit.aggregates, "store hit must replay the cold solve");
+        drop(guard);
+        let _ = std::fs::remove_file(&store_path);
+    }
     rec.set_enabled(false);
 
     let mut snapshot = rec.snapshot();
@@ -110,6 +140,7 @@ fn reference_pipeline_telemetry_matches_golden() {
         "oligopoly solver counters missing"
     );
     assert!(snapshot.counters.contains_key("exp.plan.unique"), "engine plan counters missing");
+    assert!(snapshot.counters.contains_key("store.hits"), "memo store counters missing");
 
     if std::env::var_os("MBM_TELEMETRY_PERTURB").is_some() {
         // Simulate a solver regression: one extra iteration somewhere.

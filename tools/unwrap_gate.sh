@@ -23,6 +23,7 @@ FILES=(
   crates/core/src/solver/mod.rs
   crates/core/src/solver/aggregate.rs
   crates/core/src/solver/continuation.rs
+  crates/core/src/solver/memo.rs
   crates/core/src/solver/policy.rs
   crates/core/src/solver/report.rs
   crates/core/src/solver/workspace.rs
@@ -34,6 +35,8 @@ FILES=(
   crates/core/src/params.rs
   crates/core/src/market.rs
   crates/core/src/sp/oligopoly.rs
+  crates/core/src/sp/stage.rs
+  crates/store/src/lib.rs
   crates/numerics/src/vi.rs
   crates/numerics/src/roots.rs
   crates/numerics/src/fixed_point.rs
